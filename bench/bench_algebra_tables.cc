@@ -1,0 +1,118 @@
+// Regenerates the MOOD algebra typing tables (paper Tables 1-7) directly from
+// the implementation's return-type rules, so any drift between code and paper is
+// visible in the output.
+
+#include "algebra/operators.h"
+#include "bench/bench_util.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+int main() {
+  const CollKind kinds[] = {CollKind::kExtent, CollKind::kSet, CollKind::kList,
+                            CollKind::kNamedObject};
+
+  Banner("Table 1: return types of the Select operator");
+  {
+    Table t({"arg type", "Extent", "Set", "List", "Named Obj."});
+    std::vector<std::string> row = {"return type"};
+    row.push_back(std::string(CollKindName(SelectReturnKind(CollKind::kExtent, false))) +
+                  " or " + std::string(CollKindName(SelectReturnKind(CollKind::kExtent, true))));
+    row.push_back(std::string(CollKindName(SelectReturnKind(CollKind::kSet))));
+    row.push_back(std::string(CollKindName(SelectReturnKind(CollKind::kList))));
+    row.push_back(std::string(CollKindName(SelectReturnKind(CollKind::kNamedObject))));
+    t.AddRow(row);
+    t.Print();
+  }
+
+  Banner("Table 2: return types of the Join operator (rows: arg2, cols: arg1)");
+  {
+    Table t({"arg2 \\ arg1", "Extent", "Set", "List", "Named Obj."});
+    for (CollKind arg2 : kinds) {
+      std::vector<std::string> row = {std::string(CollKindName(arg2))};
+      for (CollKind arg1 : kinds) {
+        CollKind out = JoinReturnKind(arg1, arg2);
+        row.push_back(out == CollKind::kNamedObject ? "Object"
+                                                    : std::string(CollKindName(out)));
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+  }
+
+  Banner("Table 3: return types of the DupElim operator");
+  {
+    Table t({"type of arg", "DupElim(arg)"});
+    for (CollKind k : {CollKind::kSet, CollKind::kList, CollKind::kExtent}) {
+      auto rule = DupElimReturn(k);
+      t.AddRow({std::string(CollKindName(k)),
+                rule.has_value() ? *rule : "not applicable"});
+    }
+    t.Print();
+  }
+
+  Banner("Table 4: return types of Union / Intersection / Difference");
+  {
+    Table t({"args", "Set", "List"});
+    for (CollKind a : {CollKind::kSet, CollKind::kList}) {
+      std::vector<std::string> row = {std::string(CollKindName(a))};
+      for (CollKind b : {CollKind::kSet, CollKind::kList}) {
+        auto out = SetOpReturnKind(a, b);
+        row.push_back(out.ok() ? std::string(CollKindName(out.value())) : "error");
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+  }
+
+  Banner("Table 5: elements of the result of asSet / asList");
+  {
+    Table t({"type of arg", "elements of the resulting set or list"});
+    for (CollKind k : kinds) {
+      t.AddRow({std::string(CollKindName(k)), AsSetListElements(k)});
+    }
+    t.Print();
+  }
+
+  Banner("Table 6: return types of the asExtent operator");
+  {
+    Table t({"type of arg", "asExtent(arg)"});
+    for (CollKind k : {CollKind::kSet, CollKind::kList, CollKind::kExtent}) {
+      auto out = AsExtentReturn(k);
+      t.AddRow({std::string(CollKindName(k)),
+                out.ok() ? out.value() : "error: " + out.status().ToString()});
+    }
+    t.Print();
+  }
+
+  Banner("Table 7: argument types accepted by the Unnest operator");
+  {
+    Table t({"argument", "accepted"});
+    t.AddRow({"Extent of tuple type objects", UnnestAccepts(CollKind::kExtent, false) ? "yes" : "no"});
+    t.AddRow({"Set(oids of tuple type objects)", UnnestAccepts(CollKind::kSet, false) ? "yes" : "no"});
+    t.AddRow({"List(oids of tuple type objects)", UnnestAccepts(CollKind::kList, false) ? "yes" : "no"});
+    t.AddRow({"A tuple type object", UnnestAccepts(CollKind::kNamedObject, true) ? "yes" : "no"});
+    t.Print();
+  }
+
+  // Cross-check the full Table 2 matrix against the paper's published values.
+  Checks checks;
+  Banner("Paper conformance checks");
+  const CollKind expected[4][4] = {
+      {CollKind::kExtent, CollKind::kExtent, CollKind::kExtent, CollKind::kExtent},
+      {CollKind::kExtent, CollKind::kSet, CollKind::kSet, CollKind::kSet},
+      {CollKind::kExtent, CollKind::kSet, CollKind::kList, CollKind::kList},
+      {CollKind::kExtent, CollKind::kSet, CollKind::kList, CollKind::kNamedObject}};
+  bool table2_ok = true;
+  for (int r = 0; r < 4; r++) {
+    for (int c = 0; c < 4; c++) {
+      if (JoinReturnKind(kinds[c], kinds[r]) != expected[r][c]) table2_ok = false;
+    }
+  }
+  checks.Expect(table2_ok, "Table 2 join matrix matches the paper");
+  checks.Expect(!DupElimReturn(CollKind::kSet).has_value(),
+                "Table 3: DupElim(Set) is 'not applicable'");
+  checks.Expect(SetOpReturnKind(CollKind::kList, CollKind::kList).value() == CollKind::kList,
+                "Table 4: List x List stays a List (union = concatenation)");
+  return checks.ExitCode();
+}

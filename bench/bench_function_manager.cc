@@ -1,0 +1,129 @@
+// Section 2's headline design claim: dividing labor between a SQL interpreter
+// and a C++ compiler avoids interpreting function bodies. Measures (with
+// google-benchmark):
+//   - invoking a *compiled* (native, signature-dispatched) method body,
+//   - invoking the same body through the *interpreted* fallback
+//     (OperandDataType-based expression interpretation),
+//   - cold (signature lookup + load) vs warm (already in memory) dispatch,
+//   - raw OperandDataType expression interpretation as the baseline unit.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "types/operand.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+namespace {
+
+struct Env {
+  BenchDb scratch{"funcman"};
+  Database db;
+  Oid vehicle;
+  MoodValue self;
+  std::vector<std::string> attr_names;
+
+  Env() {
+    Check(db.Open(scratch.Path("mood")), "open");
+    Check(paperdb::CreatePaperSchema(&db), "schema");
+    vehicle = CheckV(db.objects()->CreateObject(
+                         "Vehicle", MoodValue::Tuple({MoodValue::Integer(1),
+                                                      MoodValue::Integer(1000)})),
+                     "create");
+    self = CheckV(db.objects()->Fetch(vehicle), "fetch");
+    auto attrs = CheckV(db.catalog()->AllAttributes("Vehicle"), "attrs");
+    for (const auto& a : attrs) attr_names.push_back(a.name);
+    // Register a compiled body for `compiled_lbweight`.
+    MoodsFunction decl;
+    decl.name = "compiled_lbweight";
+    decl.return_type = TypeDesc::Basic(BasicType::kInteger);
+    Check(db.functions()->Register(
+              "Vehicle", decl,
+              [](const MethodContext& ctx, const std::vector<MoodValue>&)
+                  -> Result<MoodValue> {
+                MOOD_ASSIGN_OR_RETURN(MoodValue w, ctx.Attr("weight"));
+                return MoodValue::Integer(
+                    static_cast<int32_t>(w.AsInteger() * 2.2075));
+              }),
+          "register");
+  }
+
+  MethodContext Ctx() {
+    MethodContext ctx;
+    ctx.self = vehicle;
+    ctx.self_value = &self;
+    ctx.attr_names = &attr_names;
+    return ctx;
+  }
+};
+
+Env* env() {
+  static Env e;
+  return &e;
+}
+
+void BM_CompiledDispatchWarm(benchmark::State& state) {
+  MethodContext ctx = env()->Ctx();
+  for (auto _ : state) {
+    auto r = env()->db.functions()->Invoke("Vehicle", "compiled_lbweight", ctx, {});
+    if (!r.ok()) state.SkipWithError("invoke failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CompiledDispatchWarm);
+
+void BM_CompiledDispatchCold(benchmark::State& state) {
+  MethodContext ctx = env()->Ctx();
+  for (auto _ : state) {
+    env()->db.functions()->UnloadAll();  // force the shared-object "open"
+    auto r = env()->db.functions()->Invoke("Vehicle", "compiled_lbweight", ctx, {});
+    if (!r.ok()) state.SkipWithError("invoke failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CompiledDispatchCold);
+
+void BM_InterpretedBody(benchmark::State& state) {
+  // lbweight has only the stored source "{ return weight * 2.2075; }": every
+  // call parses and interprets it through OperandDataType.
+  MethodContext ctx = env()->Ctx();
+  for (auto _ : state) {
+    auto r = env()->db.functions()->Invoke("Vehicle", "lbweight", ctx, {});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InterpretedBody);
+
+void BM_RawOperandExpression(benchmark::State& state) {
+  // The pure interpreter unit: (x*3 + x%3) * (y/4*5) from the paper's Section 2.
+  for (auto _ : state) {
+    OperandDataType x(DataTypeCode::kInt16), y(DataTypeCode::kInt32),
+        z(DataTypeCode::kDouble);
+    x = int64_t{10};
+    y = int64_t{13};
+    OperandDataType c3(DataTypeCode::kInt16), c4(DataTypeCode::kInt16),
+        c5(DataTypeCode::kInt16);
+    c3 = int64_t{3};
+    c4 = int64_t{4};
+    c5 = int64_t{5};
+    z.Assign((x * c3 + x % c3) * (y / c4 * c5));
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_RawOperandExpression);
+
+void BM_NativeLambdaBaseline(benchmark::State& state) {
+  // What the body costs without any kernel machinery.
+  int32_t weight = 1000;
+  for (auto _ : state) {
+    int32_t lb = static_cast<int32_t>(weight * 2.2075);
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_NativeLambdaBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

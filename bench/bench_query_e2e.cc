@@ -1,0 +1,121 @@
+// End-to-end value of the Section 7/8 optimizer: runs the paper's example
+// queries through (a) the optimized plan and (b) a naive executor that scans
+// the cross product of the FROM extents and evaluates the whole WHERE clause
+// per row, and reports wall-clock times and result parity.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "sql/parser.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+/// Naive execution: cross product of FROM extents, full WHERE per row.
+Result<size_t> NaiveCount(Database* db, const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  const auto& select = std::get<SelectStmt>(stmt);
+  std::vector<std::vector<Oid>> extents;
+  for (const auto& fe : select.from) {
+    std::vector<Oid> oids;
+    MOOD_RETURN_IF_ERROR(db->objects()->ScanExtent(fe.class_name, fe.every,
+                                                   fe.excludes,
+                                                   [&](Oid oid, const MoodValue&) {
+                                                     oids.push_back(oid);
+                                                     return Status::OK();
+                                                   }));
+    extents.push_back(std::move(oids));
+  }
+  size_t count = 0;
+  std::vector<size_t> idx(extents.size(), 0);
+  std::function<Result<size_t>(size_t, Evaluator::Env&)> rec =
+      [&](size_t depth, Evaluator::Env& env) -> Result<size_t> {
+    if (depth == extents.size()) {
+      if (select.where == nullptr) return size_t{1};
+      MOOD_ASSIGN_OR_RETURN(bool keep, db->evaluator()->EvalPredicate(select.where, env));
+      return keep ? size_t{1} : size_t{0};
+    }
+    size_t sub = 0;
+    for (Oid oid : extents[depth]) {
+      env.vars[select.from[depth].var] = oid;
+      MOOD_ASSIGN_OR_RETURN(size_t n, rec(depth + 1, env));
+      sub += n;
+    }
+    return sub;
+  };
+  Evaluator::Env env;
+  MOOD_ASSIGN_OR_RETURN(count, rec(0, env));
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  BenchDb scratch("query_e2e");
+  Database db;
+  Check(db.Open(scratch.Path("mood")), "open");
+  Check(paperdb::CreatePaperSchema(&db), "schema");
+  auto report = CheckV(paperdb::PopulatePaperData(&db, 800), "populate");
+  Check(db.CollectAllStatistics(), "collect");
+  Check(db.Execute("CREATE INDEX eng_cyl ON VehicleEngine(cylinders) USING BTREE")
+            .status(),
+        "index");
+  Check(db.CollectStatistics("VehicleEngine"), "recollect");
+
+  std::printf("scale: %llu vehicles, %llu engines, %llu companies\n",
+              (unsigned long long)report.vehicles, (unsigned long long)report.engines,
+              (unsigned long long)report.companies);
+
+  struct Query {
+    const char* label;
+    std::string sql;
+    bool run_naive;
+  };
+  std::vector<Query> queries = {
+      {"Example 8.1 (two path predicates)", paperdb::kExample81Query, true},
+      {"Example 8.2 (one path predicate)", paperdb::kExample82Query, true},
+      {"Section 3.1 (explicit join, cross product for naive)", paperdb::kSection31Query, true},
+      {"indexed immediate selection",
+       "SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", true},
+  };
+
+  Checks checks;
+  Banner("Optimized vs naive execution");
+  Table t({"query", "optimized ms", "naive ms", "speedup", "rows", "naive rows"});
+  for (const auto& q : queries) {
+    auto start = std::chrono::steady_clock::now();
+    auto qr = CheckV(db.Query(q.sql), q.label);
+    double opt_ms = MillisSince(start);
+
+    std::string naive_ms = "-", naive_rows = "-", speedup = "-";
+    if (q.run_naive) {
+      start = std::chrono::steady_clock::now();
+      size_t n = CheckV(NaiveCount(&db, q.sql), "naive");
+      double ms = MillisSince(start);
+      naive_ms = Fmt(ms, 1);
+      naive_rows = std::to_string(n);
+      speedup = Fmt(ms / std::max(opt_ms, 0.001), 1) + "x";
+      checks.Expect(n == qr.rows.size(),
+                    std::string(q.label) + ": naive and optimized agree");
+    }
+    t.AddRow({q.label, Fmt(opt_ms, 1), naive_ms, speedup, std::to_string(qr.rows.size()),
+              naive_rows});
+  }
+  t.Print();
+  std::printf(
+      "the optimizer's win shows on multi-variable queries, where the naive\n"
+      "evaluator pays the cross product (Section 3.1's two range variables).\n"
+      "For single-variable path queries over memory-resident extents the naive\n"
+      "scan is competitive in wall-clock terms: the paper's optimizer targets\n"
+      "1994 disk behaviour, which the modeled costs in bench_join_strategies\n"
+      "price; the plan choices matter there, not in hot-cache microseconds.\n");
+  return checks.ExitCode();
+}

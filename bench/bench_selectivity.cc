@@ -1,0 +1,121 @@
+// Section 4.1 — validates the selectivity machinery:
+//   (a) the c(n,m,r) color approximation against Yao's exact formula and the
+//       Cardenas formula (the paper: "it has been validated that c(n,m,r) well
+//       serves our purposes");
+//   (b) estimated vs actual selectivity of atomic and path predicates on real
+//       generated data with collected statistics.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "sql/binder.h"
+#include "stats/approx.h"
+#include "stats/selectivity.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+int main() {
+  Banner("c(n,m,r) vs Yao (exact) vs Cardenas  [n = 20000 links, m = 2000 targets]");
+  {
+    Table t({"r", "c(n,m,r)", "Yao exact", "Cardenas", "c rel.err vs Yao"});
+    const double n = 20000, m = 2000;
+    for (double r : {10.0, 500.0, 1000.0, 2000.0, 3000.0, 4000.0, 8000.0, 20000.0}) {
+      double c = CApprox(n, m, r);
+      double yao = YaoExact(static_cast<uint64_t>(n), static_cast<uint64_t>(m),
+                            static_cast<uint64_t>(r));
+      double card = Cardenas(m, r);
+      t.AddRow({Fmt(r, 0), Fmt(c, 1), Fmt(yao, 1), Fmt(card, 1),
+                Fmt(std::abs(c - yao) / std::max(yao, 1.0), 3)});
+    }
+    t.Print();
+  }
+
+  BenchDb scratch("selectivity");
+  Database db;
+  Check(db.Open(scratch.Path("mood")), "open");
+  Check(paperdb::CreatePaperSchema(&db), "schema");
+  auto report = CheckV(paperdb::PopulatePaperData(&db, 600), "populate");
+  Check(db.CollectAllStatistics(), "collect");
+  SelectivityEstimator est(db.stats());
+  Binder binder(db.catalog());
+
+  auto count = [&](const std::string& sql) {
+    return CheckV(db.Query(sql), sql.c_str()).rows.size();
+  };
+
+  Checks checks;
+  Banner("Estimated vs actual selectivity (scale = 600, collected statistics)");
+  {
+    Table t({"predicate", "estimated", "actual", "abs err"});
+    struct Case {
+      std::string label;
+      std::string cls;  // extent counted against
+      std::string sql;
+      double estimated;
+    };
+    std::vector<Case> cases;
+
+    // Atomic equality: e.cylinders = 4.
+    double est_eq = CheckV(est.AtomicSelectivity("VehicleEngine", "cylinders",
+                                                 BinaryOp::kEq, MoodValue::Integer(4)),
+                           "eq");
+    cases.push_back({"e.cylinders = 4", "VehicleEngine",
+                     "SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", est_eq});
+    // Atomic range: e.cylinders > 16.
+    double est_gt = CheckV(est.AtomicSelectivity("VehicleEngine", "cylinders",
+                                                 BinaryOp::kGt, MoodValue::Integer(16)),
+                           "gt");
+    cases.push_back({"e.cylinders > 16", "VehicleEngine",
+                     "SELECT e FROM VehicleEngine e WHERE e.cylinders > 16", est_gt});
+    // Path: v.drivetrain.engine.cylinders = 4 (two reference hops).
+    BoundPath p1 = CheckV(binder.ResolvePathFromClass(
+                              "Vehicle", {"drivetrain", "engine", "cylinders"}),
+                          "p1");
+    double est_p1 =
+        CheckV(est.PathSelectivity(p1, BinaryOp::kEq, MoodValue::Integer(4)), "ps1");
+    cases.push_back({"v.drivetrain.engine.cylinders = 4", "Vehicle",
+                     "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 4",
+                     est_p1});
+    // Path: v.company.name = 'BMW' (one hop, highly selective terminal).
+    BoundPath p2 = CheckV(binder.ResolvePathFromClass("Vehicle", {"company", "name"}),
+                          "p2");
+    double est_p2 =
+        CheckV(est.PathSelectivity(p2, BinaryOp::kEq, MoodValue::String("BMW")), "ps2");
+    cases.push_back({"v.company.name = 'BMW'", "Vehicle",
+                     "SELECT v FROM Vehicle v WHERE v.company.name = 'BMW'", est_p2});
+
+    double max_path_err = 0;
+    for (const auto& c : cases) {
+      size_t extent = count("SELECT x FROM " + c.cls + " x");
+      size_t hits = count(c.sql);
+      double actual = extent == 0 ? 0 : static_cast<double>(hits) / extent;
+      double err = std::abs(actual - c.estimated);
+      if (c.label[0] == 'v') max_path_err = std::max(max_path_err, err);
+      t.AddRow({c.label, FmtSci(c.estimated), FmtSci(actual), FmtSci(err)});
+    }
+    t.Print();
+    std::printf("  (vehicles=%llu engines=%llu companies=%llu)\n",
+                (unsigned long long)report.vehicles, (unsigned long long)report.engines,
+                (unsigned long long)report.companies);
+    checks.Expect(max_path_err < 0.15,
+                  "path selectivity estimates within 0.15 absolute error");
+  }
+
+  Banner("Shape checks on the approximation");
+  {
+    // c() must hug Yao in the saturated regime and stay within ~45% elsewhere
+    // (it is a piecewise-linear surrogate for a concave curve).
+    double worst = 0;
+    for (double r = 100; r <= 20000; r += 100) {
+      double c = CApprox(20000, 2000, r);
+      double yao = YaoExact(20000, 2000, static_cast<uint64_t>(r));
+      worst = std::max(worst, std::abs(c - yao) / std::max(yao, 1.0));
+    }
+    std::printf("  worst relative error of c() vs Yao over the sweep: %.3f\n", worst);
+    checks.Expect(worst < 0.45, "c(n,m,r) tracks Yao within 45% everywhere");
+    checks.Expect(CApprox(20000, 2000, 20000) == 2000,
+                  "c() saturates at m for r >= 2m");
+  }
+  return checks.ExitCode();
+}

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/paper_example.h"
+
+namespace mood::bench {
+
+/// Scratch database directory for a bench binary; removed on destruction.
+class BenchDb {
+ public:
+  explicit BenchDb(const std::string& name) {
+    dir_ = std::filesystem::temp_directory_path() / ("mood_bench_" + name);
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~BenchDb() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& file) const { return (dir_ / file).string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Minimal fixed-width table printer for regenerating the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); c++) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&] {
+      std::string out = "+";
+      for (size_t c = 0; c < width.size(); c++) {
+        out += std::string(width[c] + 2, '-') + "+";
+      }
+      std::printf("%s\n", out.c_str());
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::string out = "|";
+      for (size_t c = 0; c < width.size(); c++) {
+        std::string cell = c < row.size() ? row[c] : "";
+        out += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+      }
+      std::printf("%s\n", out.c_str());
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& row : rows_) print_row(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Records pass/fail of shape assertions; returns a process exit code.
+class Checks {
+ public:
+  void Expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) failures_++;
+  }
+  int ExitCode() const { return failures_ == 0 ? 0 : 1; }
+  int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+/// Dies on a bad status (bench binaries prefer loud failures).
+inline void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, st.ToString().c_str());
+    std::exit(2);
+  }
+}
+template <typename T>
+T CheckV(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, r.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace mood::bench

@@ -1,0 +1,75 @@
+#include "algebra/collection.h"
+
+#include <algorithm>
+
+namespace mood {
+
+std::string_view CollKindName(CollKind k) {
+  switch (k) {
+    case CollKind::kExtent: return "Extent";
+    case CollKind::kSet: return "Set";
+    case CollKind::kList: return "List";
+    case CollKind::kNamedObject: return "Named Obj.";
+  }
+  return "?";
+}
+
+Collection Collection::Extent(std::string class_name, std::vector<Oid> oids) {
+  Collection c;
+  c.kind_ = CollKind::kExtent;
+  c.class_name_ = std::move(class_name);
+  c.oids_ = std::move(oids);
+  return c;
+}
+
+Collection Collection::ValueExtent(std::vector<MoodValue> values) {
+  Collection c;
+  c.kind_ = CollKind::kExtent;
+  c.materialized_ = true;
+  c.values_ = std::move(values);
+  return c;
+}
+
+Collection Collection::Set(std::vector<Oid> oids) {
+  Collection c;
+  c.kind_ = CollKind::kSet;
+  std::vector<Oid> dedup;
+  for (Oid o : oids) {
+    if (std::find(dedup.begin(), dedup.end(), o) == dedup.end()) dedup.push_back(o);
+  }
+  c.oids_ = std::move(dedup);
+  return c;
+}
+
+Collection Collection::List(std::vector<Oid> oids) {
+  Collection c;
+  c.kind_ = CollKind::kList;
+  c.oids_ = std::move(oids);
+  return c;
+}
+
+Collection Collection::NamedObject(std::string name, Oid oid) {
+  Collection c;
+  c.kind_ = CollKind::kNamedObject;
+  c.object_name_ = std::move(name);
+  c.oids_ = {oid};
+  return c;
+}
+
+Collection Collection::Pairs(CollKind kind, std::vector<MoodValue> pair_values) {
+  Collection c;
+  c.kind_ = kind;
+  c.materialized_ = true;
+  c.values_ = std::move(pair_values);
+  return c;
+}
+
+std::string Collection::ToString() const {
+  std::string out(CollKindName(kind_));
+  if (!class_name_.empty()) out += "<" + class_name_ + ">";
+  if (!object_name_.empty()) out += "'" + object_name_ + "'";
+  out += "(" + std::to_string(size()) + ")";
+  return out;
+}
+
+}  // namespace mood

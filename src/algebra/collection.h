@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/oid.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// The collection kinds of the MOOD algebra (Section 3.2): objects are accessed
+/// through extents, sets of object identifiers, lists of object identifiers, or
+/// named objects.
+enum class CollKind : uint8_t {
+  kExtent = 0,
+  kSet = 1,
+  kList = 2,
+  kNamedObject = 3,
+};
+
+std::string_view CollKindName(CollKind k);
+
+/// A runtime algebra collection. Extents may be *object* extents (element = Oid
+/// into a class extent) or *value* extents (materialized tuple values — the
+/// result of Project, which produces "the extent of the tuple type values").
+/// Sets and lists carry object identifiers; a named object is a single-element
+/// collection.
+class Collection {
+ public:
+  Collection() : kind_(CollKind::kSet) {}
+
+  static Collection Extent(std::string class_name, std::vector<Oid> oids);
+  static Collection ValueExtent(std::vector<MoodValue> values);
+  static Collection Set(std::vector<Oid> oids);        // deduplicates
+  static Collection List(std::vector<Oid> oids);
+  static Collection NamedObject(std::string name, Oid oid);
+  /// Pair collections produced by the Join operator: kind per Table 2, elements
+  /// are <left, right> value tuples.
+  static Collection Pairs(CollKind kind, std::vector<MoodValue> pair_values);
+
+  CollKind kind() const { return kind_; }
+  bool materialized() const { return materialized_; }
+  const std::string& class_name() const { return class_name_; }
+  const std::string& object_name() const { return object_name_; }
+
+  const std::vector<Oid>& oids() const { return oids_; }
+  std::vector<Oid>& mutable_oids() { return oids_; }
+  const std::vector<MoodValue>& values() const { return values_; }
+  std::vector<MoodValue>& mutable_values() { return values_; }
+
+  size_t size() const { return materialized_ ? values_.size() : oids_.size(); }
+  bool empty() const { return size() == 0; }
+
+  std::string ToString() const;
+
+ private:
+  CollKind kind_;
+  bool materialized_ = false;
+  std::string class_name_;   // extent source class ("" for derived)
+  std::string object_name_;  // named object
+  std::vector<Oid> oids_;
+  std::vector<MoodValue> values_;
+};
+
+}  // namespace mood

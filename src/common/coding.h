@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace mood {
+
+/// Little-endian fixed-width and length-prefixed codecs used by every on-disk
+/// structure (slotted pages, catalog records, index entries, WAL records).
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+inline double DecodeDouble(const char* src) {
+  double v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutLengthPrefixedSlice(std::string* dst, Slice s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Cursor-style decoder over an input slice; each Get* consumes bytes and fails
+/// with Corruption if the input is exhausted.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : input_(input) {}
+
+  Status GetFixed16(uint16_t* v) {
+    if (input_.size() < 2) return Truncated("u16");
+    *v = DecodeFixed16(input_.data());
+    input_.remove_prefix(2);
+    return Status::OK();
+  }
+  Status GetFixed32(uint32_t* v) {
+    if (input_.size() < 4) return Truncated("u32");
+    *v = DecodeFixed32(input_.data());
+    input_.remove_prefix(4);
+    return Status::OK();
+  }
+  Status GetFixed64(uint64_t* v) {
+    if (input_.size() < 8) return Truncated("u64");
+    *v = DecodeFixed64(input_.data());
+    input_.remove_prefix(8);
+    return Status::OK();
+  }
+  Status GetDouble(double* v) {
+    if (input_.size() < 8) return Truncated("double");
+    *v = DecodeDouble(input_.data());
+    input_.remove_prefix(8);
+    return Status::OK();
+  }
+  Status GetLengthPrefixedSlice(Slice* out) {
+    uint32_t len = 0;
+    MOOD_RETURN_IF_ERROR(GetFixed32(&len));
+    if (input_.size() < len) return Truncated("bytes");
+    *out = Slice(input_.data(), len);
+    input_.remove_prefix(len);
+    return Status::OK();
+  }
+  Status GetString(std::string* out) {
+    Slice s;
+    MOOD_RETURN_IF_ERROR(GetLengthPrefixedSlice(&s));
+    *out = s.ToString();
+    return Status::OK();
+  }
+
+  bool Empty() const { return input_.empty(); }
+  size_t Remaining() const { return input_.size(); }
+  Slice rest() const { return input_; }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated input while decoding ") + what);
+  }
+
+  Slice input_;
+};
+
+}  // namespace mood

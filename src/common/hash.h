@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+
+namespace mood {
+
+/// 64-bit FNV-1a; used by the hash index, hash-partition join and catalog maps.
+inline uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Hash64(Slice s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace mood

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace mood {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kCatalogError: return "CatalogError";
+    case StatusCode::kFunctionError: return "FunctionError";
+    case StatusCode::kTxnAborted: return "TxnAborted";
+    case StatusCode::kDeadlock: return "Deadlock";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace mood

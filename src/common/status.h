@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mood {
+
+/// Error categories used across the MOOD system. Mirrors the failure surface of the
+/// original system: storage-level failures (ESM in the paper), catalog lookups, SQL
+/// front-end errors, function-manager errors, and transaction aborts.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kParseError = 7,
+  kTypeError = 8,
+  kCatalogError = 9,
+  kFunctionError = 10,
+  kTxnAborted = 11,
+  kDeadlock = 12,
+  kInternal = 13,
+};
+
+/// Human-readable name of a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// RocksDB-style status object: cheap to pass by value, OK status carries no
+/// allocation. All public MOOD APIs that can fail return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status CatalogError(std::string msg) {
+    return Status(StatusCode::kCatalogError, std::move(msg));
+  }
+  static Status FunctionError(std::string msg) {
+    return Status(StatusCode::kFunctionError, std::move(msg));
+  }
+  static Status TxnAborted(std::string msg) {
+    return Status(StatusCode::kTxnAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> couples a Status with a value; exactly one of the two is meaningful.
+/// Usage:
+///   Result<int> r = Compute();
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-*)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mood
+
+/// Propagate a non-OK Status out of the current function.
+#define MOOD_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::mood::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluate a Result<T>-returning expression; on error return its Status, otherwise
+/// bind the value to `lhs`. `lhs` may be a declaration ("auto x").
+#define MOOD_ASSIGN_OR_RETURN(lhs, expr)                   \
+  MOOD_ASSIGN_OR_RETURN_IMPL_(                             \
+      MOOD_STATUS_CONCAT_(_res, __LINE__), lhs, expr)
+
+#define MOOD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define MOOD_STATUS_CONCAT_(a, b) MOOD_STATUS_CONCAT_IMPL_(a, b)
+#define MOOD_STATUS_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,442 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "types/operand.h"
+
+namespace mood {
+
+Database::~Database() {
+  if (is_open()) Close();
+}
+
+Status Database::Open(const std::string& path, const DatabaseOptions& options) {
+  if (is_open()) return Status::InvalidArgument("database already open");
+  options_ = options;
+  storage_ = std::make_unique<StorageManager>();
+  StorageOptions sopts;
+  sopts.pool_pages = options.pool_pages;
+  MOOD_RETURN_IF_ERROR(storage_->Open(path + ".mood", sopts));
+
+  if (options.enable_wal) {
+    log_ = std::make_unique<LogManager>();
+    MOOD_RETURN_IF_ERROR(log_->Open(path + ".wal"));
+    locks_ = std::make_unique<LockManager>();
+    txn_manager_ = std::make_unique<TransactionManager>(storage_->buffer_pool(),
+                                                        log_.get(), locks_.get());
+    // Crash recovery: replay any log left by an unclean shutdown.
+    RecoveryManager recovery(storage_->buffer_pool(), log_.get());
+    MOOD_ASSIGN_OR_RETURN(auto report, recovery.Recover());
+    (void)report;
+    // The directory was read before replay; re-read it from recovered pages.
+    MOOD_RETURN_IF_ERROR(storage_->ReloadDirectory());
+  }
+
+  catalog_ = std::make_unique<Catalog>();
+  MOOD_RETURN_IF_ERROR(catalog_->Open(storage_.get()));
+  objects_ = std::make_unique<ObjectManager>(storage_.get(), catalog_.get());
+  functions_ = std::make_unique<FunctionManager>(catalog_.get());
+  evaluator_ = std::make_unique<Evaluator>(objects_.get(), functions_.get());
+  algebra_ = std::make_unique<MoodAlgebra>(objects_.get(), evaluator_.get());
+  stats_ = std::make_unique<StatisticsManager>(objects_.get());
+  optimizer_ = std::make_unique<QueryOptimizer>(catalog_.get(), objects_.get(),
+                                                stats_.get(), options.optimizer);
+  executor_ =
+      std::make_unique<Executor>(objects_.get(), evaluator_.get(), algebra_.get());
+  schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
+  object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
+
+  // "The power of object oriented applications lies in the interpretation":
+  // methods without a registered compiled body fall back to interpreting simple
+  // `return <expr>;` bodies.
+  functions_->SetInterpretedFallback(
+      [this](const std::string& cls, const MoodsFunction& decl, const MethodContext& ctx,
+             const std::vector<MoodValue>& args) {
+        return InterpretMethodBody(cls, decl, ctx, args);
+      });
+  return Status::OK();
+}
+
+Status Database::Close() {
+  if (!is_open()) return Status::OK();
+  if (active_txn_ != nullptr) MOOD_RETURN_IF_ERROR(Abort());
+  MOOD_RETURN_IF_ERROR(Checkpoint());
+  schema_browser_.reset();
+  object_browser_.reset();
+  executor_.reset();
+  optimizer_.reset();
+  stats_.reset();
+  algebra_.reset();
+  evaluator_.reset();
+  functions_.reset();
+  objects_.reset();
+  catalog_.reset();
+  txn_manager_.reset();
+  locks_.reset();
+  if (log_) {
+    MOOD_RETURN_IF_ERROR(log_->Close());
+    log_.reset();
+  }
+  MOOD_RETURN_IF_ERROR(storage_->Close());
+  storage_.reset();
+  return Status::OK();
+}
+
+Result<Transaction*> Database::Begin() {
+  if (txn_manager_ == nullptr) {
+    return Status::NotSupported("transactions require enable_wal");
+  }
+  if (active_txn_ != nullptr) {
+    return Status::InvalidArgument("a transaction is already active");
+  }
+  MOOD_ASSIGN_OR_RETURN(active_txn_, txn_manager_->Begin());
+  return active_txn_;
+}
+
+Status Database::Commit() {
+  if (active_txn_ == nullptr) return Status::InvalidArgument("no active transaction");
+  Status st = txn_manager_->Commit(active_txn_);
+  active_txn_ = nullptr;
+  return st;
+}
+
+Status Database::Abort() {
+  if (active_txn_ == nullptr) return Status::InvalidArgument("no active transaction");
+  Status st = txn_manager_->Abort(active_txn_);
+  active_txn_ = nullptr;
+  return st;
+}
+
+Status Database::Checkpoint() {
+  MOOD_RETURN_IF_ERROR(storage_->Checkpoint());
+  if (log_ && active_txn_ == nullptr) {
+    MOOD_RETURN_IF_ERROR(log_->Truncate());
+  }
+  return Status::OK();
+}
+
+Status Database::CollectStatistics(const std::string& class_name) {
+  return stats_->Collect(class_name);
+}
+
+Status Database::CollectAllStatistics() {
+  for (const MoodsType* t : catalog_->AllTypes()) {
+    if (t->is_class) MOOD_RETURN_IF_ERROR(stats_->Collect(t->name));
+  }
+  return Status::OK();
+}
+
+Status Database::RegisterMethod(const std::string& class_name,
+                                const MoodsFunction& decl, NativeFunction body) {
+  return functions_->Register(class_name, decl, std::move(body));
+}
+
+Result<ExecResult> Database::Execute(const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<ExecResult> Database::ExecuteScript(const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  ExecResult last;
+  for (const auto& stmt : stmts) {
+    MOOD_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+  }
+  return last;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(ExecResult res, Execute(sql));
+  if (res.kind != ExecResult::Kind::kQuery) {
+    return Status::InvalidArgument("not a SELECT statement");
+  }
+  return res.query;
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(auto optimized, OptimizeOnly(sql));
+  return optimized.Explain();
+}
+
+Result<QueryOptimizer::Optimized> Database::OptimizeOnly(const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
+  return optimizer_->Optimize(*select);
+}
+
+Result<ExecResult> Database::ExecuteStatement(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& s) -> Result<ExecResult> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s);
+        else if constexpr (std::is_same_v<T, CreateClassStmt>) return ExecCreateClass(s);
+        else if constexpr (std::is_same_v<T, NewObjectStmt>) return ExecNew(s);
+        else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s);
+        else if constexpr (std::is_same_v<T, DeleteStmt>) return ExecDelete(s);
+        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return ExecCreateIndex(s);
+        else return ExecDropClass(s);
+      },
+      stmt);
+}
+
+Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt) {
+  MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(stmt));
+  MOOD_ASSIGN_OR_RETURN(QueryResult qr, executor_->ExecuteSelect(optimized));
+  ExecResult res;
+  res.kind = ExecResult::Kind::kQuery;
+  res.query = std::move(qr);
+  return res;
+}
+
+Result<ExecResult> Database::ExecCreateClass(const CreateClassStmt& stmt) {
+  MOOD_ASSIGN_OR_RETURN(TypeId id, catalog_->Define(stmt.def));
+  ExecResult res;
+  res.message = std::string(stmt.def.is_class ? "class '" : "type '") + stmt.def.name +
+                "' created with type id " + std::to_string(id);
+  return res;
+}
+
+Result<ExecResult> Database::ExecNew(const NewObjectStmt& stmt) {
+  // Strict 2PL: inserts take an exclusive lock on the class extent.
+  if (active_txn_ != nullptr) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(stmt.class_name));
+    MOOD_RETURN_IF_ERROR(active_txn_->Lock(
+        LockKey{/*space=*/1, type->extent_file}, LockMode::kExclusive));
+  }
+  Evaluator::Env empty;
+  MoodValue::ValueList values;
+  for (const auto& e : stmt.values) {
+    MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(e, empty));
+    values.push_back(std::move(v));
+  }
+  MOOD_ASSIGN_OR_RETURN(
+      Oid oid, objects_->CreateObject(stmt.class_name, MoodValue::Tuple(std::move(values)),
+                                      wal_for_writes()));
+  if (!stmt.bind_name.empty()) {
+    MOOD_RETURN_IF_ERROR(catalog_->BindName(stmt.bind_name, oid));
+  }
+  ExecResult res;
+  res.kind = ExecResult::Kind::kDml;
+  res.created_oid = oid;
+  res.affected = 1;
+  res.message = "created " + stmt.class_name + " " + oid.ToString();
+  return res;
+}
+
+Result<std::vector<Oid>> Database::MatchingObjects(const std::string& class_name,
+                                                   const std::string& var,
+                                                   const ExprPtr& where) {
+  SelectStmt select;
+  select.projection.push_back(Expr::Path(var, {}));
+  FromEntry fe;
+  fe.class_name = class_name;
+  fe.var = var;
+  select.from.push_back(fe);
+  select.where = where;
+  MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(select));
+  MOOD_ASSIGN_OR_RETURN(RowSet rows, executor_->ExecutePlan(optimized.plan));
+  int idx = rows.VarIndex(var);
+  if (idx < 0) return Status::Internal("range variable lost during optimization");
+  std::vector<Oid> out;
+  out.reserve(rows.rows.size());
+  for (const auto& row : rows.rows) out.push_back(row[static_cast<size_t>(idx)]);
+  // A row may repeat the var when joins fan out; deduplicate.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<ExecResult> Database::ExecUpdate(const UpdateStmt& stmt) {
+  MOOD_ASSIGN_OR_RETURN(auto oids, MatchingObjects(stmt.class_name, stmt.var, stmt.where));
+  for (Oid oid : oids) {
+    if (active_txn_ != nullptr) {
+      MOOD_RETURN_IF_ERROR(active_txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
+                                             LockMode::kExclusive));
+    }
+    Evaluator::Env env;
+    env.vars[stmt.var] = oid;
+    for (const auto& [attr, expr] : stmt.assignments) {
+      MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(expr, env));
+      MOOD_RETURN_IF_ERROR(objects_->SetAttribute(oid, attr, std::move(v), wal_for_writes()));
+    }
+  }
+  ExecResult res;
+  res.kind = ExecResult::Kind::kDml;
+  res.affected = oids.size();
+  res.message = "updated " + std::to_string(oids.size()) + " object(s)";
+  return res;
+}
+
+Result<ExecResult> Database::ExecDelete(const DeleteStmt& stmt) {
+  MOOD_ASSIGN_OR_RETURN(auto oids, MatchingObjects(stmt.class_name, stmt.var, stmt.where));
+  for (Oid oid : oids) {
+    if (active_txn_ != nullptr) {
+      MOOD_RETURN_IF_ERROR(active_txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
+                                             LockMode::kExclusive));
+    }
+    MOOD_RETURN_IF_ERROR(objects_->DeleteObject(oid, wal_for_writes()));
+  }
+  ExecResult res;
+  res.kind = ExecResult::Kind::kDml;
+  res.affected = oids.size();
+  res.message = "deleted " + std::to_string(oids.size()) + " object(s)";
+  return res;
+}
+
+Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
+  switch (stmt.kind) {
+    case IndexKind::kBTree:
+    case IndexKind::kHash:
+      MOOD_RETURN_IF_ERROR(objects_->CreateAttributeIndex(
+          stmt.index_name, stmt.class_name, stmt.attribute, stmt.kind, stmt.unique));
+      break;
+    case IndexKind::kPath:
+      MOOD_RETURN_IF_ERROR(
+          objects_->CreatePathIndex(stmt.index_name, stmt.class_name, stmt.attribute));
+      break;
+    case IndexKind::kBinaryJoin:
+      MOOD_RETURN_IF_ERROR(objects_->CreateBinaryJoinIndex(stmt.index_name,
+                                                           stmt.class_name,
+                                                           stmt.attribute));
+      break;
+    case IndexKind::kRTree:
+      return Status::NotSupported(
+          "R-tree indexes are created through the spatial API (see examples/spatial)");
+  }
+  ExecResult res;
+  res.message = "index '" + stmt.index_name + "' created (" +
+                std::string(IndexKindName(stmt.kind)) + ")";
+  return res;
+}
+
+Result<ExecResult> Database::ExecDropClass(const DropClassStmt& stmt) {
+  MOOD_RETURN_IF_ERROR(catalog_->Drop(stmt.class_name));
+  ExecResult res;
+  res.message = "class '" + stmt.class_name + "' dropped";
+  return res;
+}
+
+Result<MoodValue> Database::InterpretMethodBody(const std::string& class_name,
+                                                const MoodsFunction& decl,
+                                                const MethodContext& ctx,
+                                                const std::vector<MoodValue>& args) {
+  (void)class_name;
+  // Accept bodies of the form `{ return <expr>; }` (whitespace tolerant).
+  std::string body = decl.body_source;
+  auto strip = [](std::string s) {
+    size_t a = s.find_first_not_of(" \t\r\n");
+    size_t b = s.find_last_not_of(" \t\r\n");
+    if (a == std::string::npos) return std::string();
+    return s.substr(a, b - a + 1);
+  };
+  body = strip(body);
+  if (!body.empty() && body.front() == '{') body = strip(body.substr(1));
+  if (!body.empty() && body.back() == '}') body = strip(body.substr(0, body.size() - 1));
+  if (body.rfind("return", 0) != 0) {
+    return Status::FunctionError("method '" + decl.name +
+                                 "' has no compiled body and its source is not an "
+                                 "interpretable `return <expr>;` form");
+  }
+  body = strip(body.substr(6));
+  if (!body.empty() && body.back() == ';') body = strip(body.substr(0, body.size() - 1));
+  MOOD_ASSIGN_OR_RETURN(ExprPtr expr, Parser::ParseExpression(body));
+
+  // Identifier resolution: parameters shadow receiver attributes.
+  std::function<Result<MoodValue>(const ExprPtr&)> eval =
+      [&](const ExprPtr& e) -> Result<MoodValue> {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return e->literal;
+      case ExprKind::kPath: {
+        MoodValue base;
+        bool found = false;
+        for (size_t i = 0; i < decl.params.size(); i++) {
+          if (decl.params[i].name == e->range_var && i < args.size()) {
+            base = args[i];
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          auto attr = ctx.Attr(e->range_var);
+          if (!attr.ok()) return attr.status();
+          base = attr.value();
+          found = true;
+        }
+        // Navigate any further steps through references.
+        for (const auto& step : e->steps) {
+          if (base.kind() != ValueKind::kReference || !ctx.deref) {
+            return Status::FunctionError("cannot navigate '" + step.name +
+                                         "' in interpreted method body");
+          }
+          MOOD_ASSIGN_OR_RETURN(MoodValue obj, ctx.deref(base.AsReference()));
+          (void)obj;
+          return Status::FunctionError(
+              "interpreted bodies support attribute and parameter identifiers only");
+        }
+        return base;
+      }
+      case ExprKind::kUnary: {
+        MOOD_ASSIGN_OR_RETURN(MoodValue v, eval(e->operand));
+        OperandDataType o = OperandDataType::FromValue(v);
+        if (e->uop == UnaryOp::kNeg) return (-o).ToValue();
+        return (!o).ToValue();
+      }
+      case ExprKind::kBinary: {
+        MOOD_ASSIGN_OR_RETURN(MoodValue lv, eval(e->lhs));
+        MOOD_ASSIGN_OR_RETURN(MoodValue rv, eval(e->rhs));
+        OperandDataType x = OperandDataType::FromValue(lv);
+        OperandDataType y = OperandDataType::FromValue(rv);
+        OperandDataType r(DataTypeCode::kInt32);
+        switch (e->op) {
+          case BinaryOp::kAdd: r = x + y; break;
+          case BinaryOp::kSub: r = x - y; break;
+          case BinaryOp::kMul: r = x * y; break;
+          case BinaryOp::kDiv: r = x / y; break;
+          case BinaryOp::kMod: r = x % y; break;
+          case BinaryOp::kEq: r = (x == y); break;
+          case BinaryOp::kNe: r = (x != y); break;
+          case BinaryOp::kLt: r = (x < y); break;
+          case BinaryOp::kLe: r = (x <= y); break;
+          case BinaryOp::kGt: r = (x > y); break;
+          case BinaryOp::kGe: r = (x >= y); break;
+          case BinaryOp::kAnd: r = (x && y); break;
+          case BinaryOp::kOr: r = (x || y); break;
+        }
+        return r.ToValue();
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  };
+  MOOD_ASSIGN_OR_RETURN(MoodValue raw, eval(expr));
+  // Run-time cast to the declared return type (e.g. `int lbweight()` returning
+  // weight * 2.2075 truncates, exactly like the compiled C++ would).
+  if (decl.return_type->kind() == ConstructorKind::kBasic && raw.IsNumeric()) {
+    switch (decl.return_type->basic()) {
+      case BasicType::kInteger: {
+        MOOD_ASSIGN_OR_RETURN(double d, raw.ToDouble());
+        return MoodValue::Integer(static_cast<int32_t>(d));
+      }
+      case BasicType::kLongInteger: {
+        MOOD_ASSIGN_OR_RETURN(double d, raw.ToDouble());
+        return MoodValue::LongInteger(static_cast<int64_t>(d));
+      }
+      case BasicType::kFloat: {
+        MOOD_ASSIGN_OR_RETURN(double d, raw.ToDouble());
+        return MoodValue::Float(d);
+      }
+      default:
+        break;
+    }
+  }
+  return raw;
+}
+
+std::unique_ptr<QueryManager> Database::MakeQuerySession() {
+  return std::make_unique<QueryManager>(
+      [this](const std::string& sql) { return Query(sql); });
+}
+
+}  // namespace mood

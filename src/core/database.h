@@ -1,0 +1,156 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algebra/operators.h"
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "funcman/function_manager.h"
+#include "moodview/object_browser.h"
+#include "moodview/query_manager.h"
+#include "moodview/schema_browser.h"
+#include "objects/object_manager.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "stats/statistics.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction.h"
+
+namespace mood {
+
+struct DatabaseOptions {
+  size_t pool_pages = 1024;
+  /// Write-ahead logging + crash recovery (the ESM "backup and recovery"
+  /// function). When off, no log file is kept and transactions are unavailable.
+  bool enable_wal = true;
+  OptimizerOptions optimizer;
+};
+
+/// Result of executing one MOODSQL statement.
+struct ExecResult {
+  enum class Kind { kQuery, kDdl, kDml };
+  Kind kind = Kind::kDdl;
+  QueryResult query;     ///< kQuery
+  std::string message;   ///< DDL/DML summary
+  Oid created_oid;       ///< NEW statements
+  size_t affected = 0;   ///< UPDATE/DELETE row counts
+};
+
+/// The MOOD database facade (Figure 2.1): the MOODSQL interpreter on top of the
+/// kernel — catalog management, dynamic function linking, optimization and
+/// interpretation of SQL statements — over the local storage substrate that
+/// replaces the Exodus Storage Manager.
+class Database {
+ public:
+  Database() = default;
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens (creating if needed) a database. `path` is a file-name prefix: the
+  /// data file is `<path>.mood`, the WAL `<path>.wal`. Runs crash recovery when
+  /// the log is non-empty.
+  Status Open(const std::string& path, const DatabaseOptions& options = {});
+  Status Close();
+  bool is_open() const { return storage_ != nullptr && storage_->is_open(); }
+
+  // --- SQL surface ---------------------------------------------------------------
+
+  /// Parses and executes one MOODSQL statement.
+  Result<ExecResult> Execute(const std::string& sql);
+  /// Executes a ';'-separated script; returns the last statement's result.
+  Result<ExecResult> ExecuteScript(const std::string& sql);
+  /// Convenience: SELECT statements only.
+  Result<QueryResult> Query(const std::string& sql);
+  /// Optimizer dictionaries + chosen plan, without executing.
+  Result<std::string> Explain(const std::string& sql);
+  /// Full optimizer output (for benches asserting on plan shapes).
+  Result<QueryOptimizer::Optimized> OptimizeOnly(const std::string& sql);
+
+  // --- Methods (Function Manager) --------------------------------------------------
+
+  /// Registers a compiled method body; declares the method if absent.
+  Status RegisterMethod(const std::string& class_name, const MoodsFunction& decl,
+                        NativeFunction body);
+
+  // --- Transactions ----------------------------------------------------------------
+
+  /// Begins a transaction. While active, DML through Execute() is logged and can
+  /// be rolled back. (One active transaction per Database handle.)
+  Result<Transaction*> Begin();
+  Status Commit();
+  Status Abort();
+  bool in_transaction() const { return active_txn_ != nullptr; }
+
+  /// Flushes all pages and truncates the log.
+  Status Checkpoint();
+
+  // --- Statistics -------------------------------------------------------------------
+
+  /// Scans a class extent and refreshes the optimizer statistics (Table 8).
+  Status CollectStatistics(const std::string& class_name);
+  Status CollectAllStatistics();
+
+  // --- Component access ---------------------------------------------------------------
+
+  Catalog* catalog() { return catalog_.get(); }
+  ObjectManager* objects() { return objects_.get(); }
+  FunctionManager* functions() { return functions_.get(); }
+  StatisticsManager* stats() { return stats_.get(); }
+  StorageManager* storage() { return storage_.get(); }
+  Evaluator* evaluator() { return evaluator_.get(); }
+  MoodAlgebra* algebra() { return algebra_.get(); }
+  Executor* executor() { return executor_.get(); }
+  QueryOptimizer* optimizer() { return optimizer_.get(); }
+  SchemaBrowser* schema_browser() { return schema_browser_.get(); }
+  ObjectBrowser* object_browser() { return object_browser_.get(); }
+  LogManager* log() { return log_.get(); }
+  TransactionManager* txn_manager() { return txn_manager_.get(); }
+
+  /// MoodView-style query session bound to this database.
+  std::unique_ptr<QueryManager> MakeQuerySession();
+
+ private:
+  Result<ExecResult> ExecuteStatement(const Statement& stmt);
+  Result<ExecResult> ExecSelect(const SelectStmt& stmt);
+  Result<ExecResult> ExecCreateClass(const CreateClassStmt& stmt);
+  Result<ExecResult> ExecNew(const NewObjectStmt& stmt);
+  Result<ExecResult> ExecUpdate(const UpdateStmt& stmt);
+  Result<ExecResult> ExecDelete(const DeleteStmt& stmt);
+  Result<ExecResult> ExecCreateIndex(const CreateIndexStmt& stmt);
+  Result<ExecResult> ExecDropClass(const DropClassStmt& stmt);
+
+  /// Evaluates the rows a WHERE clause selects for UPDATE/DELETE.
+  Result<std::vector<Oid>> MatchingObjects(const std::string& class_name,
+                                           const std::string& var, const ExprPtr& where);
+
+  /// The interpreted fallback: evaluates `return <expr>;` method bodies with
+  /// identifiers bound to receiver attributes and parameters.
+  Result<MoodValue> InterpretMethodBody(const std::string& class_name,
+                                        const MoodsFunction& decl,
+                                        const MethodContext& ctx,
+                                        const std::vector<MoodValue>& args);
+
+  PageWriteLogger* wal_for_writes() { return active_txn_; }
+
+  DatabaseOptions options_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<ObjectManager> objects_;
+  std::unique_ptr<FunctionManager> functions_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<MoodAlgebra> algebra_;
+  std::unique_ptr<StatisticsManager> stats_;
+  std::unique_ptr<QueryOptimizer> optimizer_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<SchemaBrowser> schema_browser_;
+  std::unique_ptr<ObjectBrowser> object_browser_;
+  Transaction* active_txn_ = nullptr;
+};
+
+}  // namespace mood

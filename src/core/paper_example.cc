@@ -1,0 +1,169 @@
+#include "core/paper_example.h"
+
+#include "common/random.h"
+
+namespace mood::paperdb {
+
+Status CreatePaperSchema(Database* db) {
+  const char* ddl = R"SQL(
+CREATE CLASS VehicleEngine
+  TUPLE (
+    size Integer,
+    cylinders Integer
+  );
+
+CREATE CLASS VehicleDriveTrain
+  TUPLE (
+    engine REFERENCE (VehicleEngine),
+    transmission String(32)
+  );
+
+CREATE CLASS Employee
+  TUPLE (
+    ssno Integer,
+    name String(32),
+    age Integer
+  );
+
+CREATE CLASS Company
+  TUPLE (
+    name String(32),
+    location String(32),
+    president REFERENCE (Employee)
+  );
+
+CREATE CLASS Vehicle
+  TUPLE (
+    id Integer,
+    weight Integer,
+    drivetrain REFERENCE (VehicleDriveTrain),
+    company REFERENCE (Company)
+  )
+  METHODS:
+    lbweight () Integer;
+
+CREATE CLASS Automobile
+  INHERITS FROM Vehicle;
+
+CREATE CLASS JapaneseAuto
+  INHERITS FROM Automobile;
+)SQL";
+  MOOD_RETURN_IF_ERROR(db->ExecuteScript(ddl).status());
+  // int Vehicle::lbweight() { return weight * 2.2075; } — stored as processed
+  // source; interpreted by the kernel fallback, or overridable with a compiled
+  // body via RegisterMethod.
+  MOOD_RETURN_IF_ERROR(db->catalog()->UpdateFunctionBody(
+      "Vehicle", "lbweight", "{ return weight * 2.2075; }"));
+  return Status::OK();
+}
+
+void InstallPaperStatistics(StatisticsManager* stats) {
+  // Table 13.
+  stats->SetClassStats("Vehicle", ClassStats{20000, 2000, 400});
+  stats->SetClassStats("VehicleDriveTrain", ClassStats{10000, 750, 300});
+  stats->SetClassStats("VehicleEngine", ClassStats{10000, 5000, 2000});
+  stats->SetClassStats("Company", ClassStats{200000, 2500, 500});
+
+  // Table 14.
+  {
+    AttributeStats cyl;
+    cyl.dist = 16;
+    cyl.max_val = 32;
+    cyl.min_val = 2;
+    cyl.has_range = true;
+    stats->SetAttributeStats("VehicleEngine", "cylinders", cyl);
+    AttributeStats name;
+    name.dist = 200000;
+    name.has_range = false;
+    stats->SetAttributeStats("Company", "name", name);
+  }
+
+  // Table 15 (fan / totref; totlinks and hitprb are derived).
+  stats->SetReferenceStats("Vehicle", "drivetrain",
+                           ReferenceStats{"VehicleDriveTrain", 1.0, 10000});
+  stats->SetReferenceStats("Vehicle", "company",
+                           ReferenceStats{"Company", 1.0, 20000});
+  stats->SetReferenceStats("VehicleDriveTrain", "engine",
+                           ReferenceStats{"VehicleEngine", 1.0, 10000});
+}
+
+Result<PopulateReport> PopulatePaperData(Database* db, uint64_t scale, uint64_t seed) {
+  Random rng(seed);
+  PopulateReport report;
+  ObjectManager* om = db->objects();
+
+  const uint64_t n_engines = std::max<uint64_t>(1, scale / 2);
+  const uint64_t n_drivetrains = std::max<uint64_t>(1, scale / 2);
+  const uint64_t n_companies = std::max<uint64_t>(1, scale * 10);
+  const uint64_t n_employees = std::max<uint64_t>(1, scale / 4);
+
+  std::vector<Oid> engines, drivetrains, companies, employees;
+  for (uint64_t i = 0; i < n_engines; i++) {
+    // cylinders: 16 distinct even values in [2, 32] (Table 14).
+    int32_t cyl = static_cast<int32_t>(2 + 2 * rng.Uniform(16));
+    MOOD_ASSIGN_OR_RETURN(
+        Oid oid, om->CreateObject("VehicleEngine",
+                                  MoodValue::Tuple({MoodValue::Integer(
+                                                        static_cast<int32_t>(1000 + i)),
+                                                    MoodValue::Integer(cyl)})));
+    engines.push_back(oid);
+    report.engines++;
+  }
+  for (uint64_t i = 0; i < n_drivetrains; i++) {
+    const char* trans = rng.OneIn(2) ? "AUTOMATIC" : "MANUAL";
+    MOOD_ASSIGN_OR_RETURN(
+        Oid oid,
+        om->CreateObject("VehicleDriveTrain",
+                         MoodValue::Tuple(
+                             {MoodValue::Reference(engines[rng.Uniform(engines.size())]),
+                              MoodValue::String(trans)})));
+    drivetrains.push_back(oid);
+    report.drivetrains++;
+  }
+  for (uint64_t i = 0; i < n_employees; i++) {
+    MOOD_ASSIGN_OR_RETURN(
+        Oid oid,
+        om->CreateObject("Employee",
+                         MoodValue::Tuple({MoodValue::Integer(static_cast<int32_t>(i)),
+                                           MoodValue::String("emp" + std::to_string(i)),
+                                           MoodValue::Integer(static_cast<int32_t>(
+                                               25 + rng.Uniform(40)))})));
+    employees.push_back(oid);
+    report.employees++;
+  }
+  for (uint64_t i = 0; i < n_companies; i++) {
+    // Unique names (dist == |Company| in Table 14). Company 0 is 'BMW' so the
+    // Example 8.1 literal matches exactly one company.
+    std::string name = i == 0 ? "BMW" : "company" + std::to_string(i);
+    MOOD_ASSIGN_OR_RETURN(
+        Oid oid,
+        om->CreateObject(
+            "Company",
+            MoodValue::Tuple({MoodValue::String(name),
+                              MoodValue::String("city" + std::to_string(i % 50)),
+                              MoodValue::Reference(
+                                  employees[rng.Uniform(employees.size())])})));
+    companies.push_back(oid);
+    report.companies++;
+  }
+  // Vehicles reference ~10% of the companies (hitprb = 0.1 in Table 15).
+  const uint64_t company_pool = std::max<uint64_t>(1, n_companies / 10);
+  for (uint64_t i = 0; i < scale; i++) {
+    MoodValue tuple = MoodValue::Tuple(
+        {MoodValue::Integer(static_cast<int32_t>(i)),
+         MoodValue::Integer(static_cast<int32_t>(800 + rng.Uniform(2000))),
+         MoodValue::Reference(drivetrains[rng.Uniform(drivetrains.size())]),
+         MoodValue::Reference(companies[rng.Uniform(company_pool)])});
+    // One third plain vehicles, one third automobiles, one third Japanese autos
+    // (exercising the EVERY / minus semantics).
+    const char* cls = (i % 3 == 0) ? "Vehicle" : (i % 3 == 1) ? "Automobile"
+                                                              : "JapaneseAuto";
+    MOOD_RETURN_IF_ERROR(om->CreateObject(cls, std::move(tuple)).status());
+    report.vehicles++;
+    if (i % 3 == 1) report.automobiles++;
+    if (i % 3 == 2) report.japanese_autos++;
+  }
+  return report;
+}
+
+}  // namespace mood::paperdb

@@ -1,0 +1,39 @@
+#include "cost/file_ops.h"
+
+#include <cmath>
+
+#include "stats/approx.h"
+
+namespace mood {
+
+double SeqCost(double b, const DiskParameters& p) {
+  if (p.esm_btree_files) return RndCost(b, p);
+  return p.s + p.r + b * p.ebt;
+}
+
+double RndCost(double b, const DiskParameters& p) { return b * (p.s + p.r + p.btt); }
+
+double IndCost(double k, const BTreeCostParams& index, const DiskParameters& p) {
+  if (k <= 0) return 0;
+  const double base = 2.0 * index.order * std::log(2.0);  // 2v ln2: avg fanout
+  double total_accesses = 0;
+  double r_i = k;
+  double prev_c = k;
+  for (int i = 1; i <= static_cast<int>(index.levels); i++) {
+    double n_i = index.leaves / std::pow(base, i - 2);
+    double m_i = index.leaves / std::pow(base, i - 1);
+    if (m_i < 1) m_i = 1;
+    if (n_i < 1) n_i = 1;
+    r_i = (i == 1) ? k : prev_c;
+    double c_i = CApprox(n_i, m_i, r_i);
+    total_accesses += std::ceil(c_i);
+    prev_c = c_i;
+  }
+  return total_accesses * RndCost(1, p);
+}
+
+double RngxCost(double fract, const BTreeCostParams& index, const DiskParameters& p) {
+  return fract * index.leaves * (p.s + p.r + p.btt);
+}
+
+}  // namespace mood

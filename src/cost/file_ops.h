@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/status.h"
+#include "cost/disk_params.h"
+
+namespace mood {
+
+/// B+-tree parameters as the cost model consumes them (paper Table 9).
+struct BTreeCostParams {
+  double order = 100;     ///< v(I)
+  double levels = 2;      ///< level(I)
+  double leaves = 100;    ///< leaves(I)
+  double keysize = 8;     ///< keysize(I)
+  bool unique = false;    ///< unique(I)
+};
+
+/// Section 5 — cost analysis of basic file operations. All results in ms.
+
+/// SEQCOST(b) = s + r + b * ebt  (or RNDCOST(b) under the ESM B+-tree-file regime).
+double SeqCost(double b, const DiskParameters& p);
+
+/// RNDCOST(b) = b * (s + r + btt).
+double RndCost(double b, const DiskParameters& p);
+
+/// INDCOST(k): cost of accessing object identifiers for k random keys through a
+/// secondary B+-tree index:
+///   INDCOST(k) = (sum_{i=1..level} ceil(c(n_i, m_i, r_i))) * RNDCOST(1)
+/// with n_i = leaves/(2v ln2)^{i-2}, m_i = leaves/(2v ln2)^{i-1},
+/// r_1 = k and r_i = c(n_{i-1}, m_{i-1}, r_{i-1}).
+double IndCost(double k, const BTreeCostParams& index, const DiskParameters& p);
+
+/// RNGXCOST(fract) = fract * leaves(I) * (s + r + btt).
+double RngxCost(double fract, const BTreeCostParams& index, const DiskParameters& p);
+
+}  // namespace mood

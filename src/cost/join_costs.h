@@ -1,0 +1,64 @@
+#pragma once
+
+#include "common/status.h"
+#include "cost/file_ops.h"
+#include "sql/binder.h"
+#include "stats/selectivity.h"
+
+namespace mood {
+
+/// Section 6 — costs of realizing the implicit join C.A = D.self, joining k_c
+/// selected objects of C with k_d selected objects of D. All results in ms.
+/// Inputs come from the statistics manager (Table 8 parameters).
+
+struct ImplicitJoinInput {
+  double k_c = 0;          ///< selected objects of C
+  double k_d = 0;          ///< selected objects of D
+  double card_c = 0;       ///< |C|
+  double card_d = 0;       ///< |D|
+  double nbpages_c = 0;    ///< nbpages(C)
+  double nbpages_d = 0;    ///< nbpages(D)
+  double fan = 1;          ///< fan(A,C,D)
+  double totref = 0;       ///< totref(A,C,D)
+  bool d_accessed_previously = false;
+  /// The k_c source objects are already in memory (a prior selection or join
+  /// produced them), so forward traversal does not pay to fetch their pages.
+  bool c_accessed_previously = false;
+};
+
+/// Section 6.1, forward traversal:
+///   ftc = RNDCOST(nbpg_c) + RNDCOST(k_c * fan)
+///   nbpg_c = nbpages(C) * (1 - (1 - 1/nbpages(C))^{k_c})
+/// (worst case: no buffer hits on D's pages).
+double ForwardTraversalCost(const ImplicitJoinInput& in, const DiskParameters& p);
+
+/// Section 6.2, backward traversal (no stored back-references: sequential scan of
+/// C testing each reference against the k_d selected D objects):
+///   btc = SEQCOST(nbpages(C)) + k_c * fan * k_d * CPUCOST
+///         + (0 if D accessed previously else SEQCOST(nbpages(D)))
+double BackwardTraversalCost(const ImplicitJoinInput& in, const DiskParameters& p);
+
+/// Section 6.3, binary join index: bjc = INDCOST(k) probed with the smaller side.
+double BinaryJoinIndexCost(double k, const BTreeCostParams& index,
+                           const DiskParameters& p);
+
+/// Section 6.4, pointer-based hash-partition join:
+///   hhc = 3 * (k_c / |C|) * SEQCOST(nbpages(C)) + RNDCOST(nbpg)
+///   nbpg = nbpages(D) * (1 - (1 - 1/nbpages(D))^alpha)
+///   alpha = c(|C| * fan, totref, k_c * fan)
+/// Applicable only when A's constructor is Reference.
+double HashPartitionJoinCost(const ImplicitJoinInput& in, const DiskParameters& p);
+
+/// Expected number of distinct pages of a class touched by k random object
+/// fetches (the nbpg_c / nbpg term): nbpages * (1 - (1 - 1/nbpages)^k).
+double ExpectedPages(double nbpages, double k);
+
+/// Forward traversal cost of a whole path expression starting from k root
+/// objects (the F_i of Algorithm 8.1): the root pages are fetched once, then each
+/// reference hop chases the expected number of distinct references.
+///   F = RNDCOST(nbpg_{C1}(k)) + sum_i RNDCOST(fref_i * fan_i)
+Result<double> ForwardPathCost(const BoundPath& path, double k,
+                               const SelectivityEstimator& est,
+                               const DiskParameters& p);
+
+}  // namespace mood

@@ -1,0 +1,371 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mood {
+
+std::string QueryResult::ToString(size_t limit) const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < columns.size(); c++) widths[c] = columns[c].size();
+  size_t n = rows.size();
+  if (limit > 0 && limit < n) n = limit;
+  for (size_t r = 0; r < n; r++) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < rows[r].size(); c++) {
+      std::string cell = rows[r][c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], cell.size());
+      line.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  auto pad = [&](const std::string& s, size_t w) {
+    out += s;
+    out.append(w > s.size() ? w - s.size() : 0, ' ');
+    out += "  ";
+  };
+  for (size_t c = 0; c < columns.size(); c++) pad(columns[c], widths[c]);
+  out += "\n";
+  for (size_t c = 0; c < columns.size(); c++) {
+    out += std::string(widths[c], '-');
+    out += "  ";
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); c++) pad(line[c], c < widths.size() ? widths[c] : 0);
+    out += "\n";
+  }
+  if (limit > 0 && rows.size() > limit) {
+    out += "... (" + std::to_string(rows.size() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+Evaluator::Env Executor::EnvOf(const RowSet& rs, const std::vector<Oid>& row) const {
+  Evaluator::Env env;
+  for (size_t i = 0; i < rs.vars.size(); i++) env.vars[rs.vars[i]] = row[i];
+  return env;
+}
+
+Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
+                           const std::function<Status(Oid)>& fn) const {
+  if (path.empty()) return fn(from);
+  MOOD_ASSIGN_OR_RETURN(MoodValue v, objects_->GetAttribute(from, path[0]));
+  std::vector<std::string> rest(path.begin() + 1, path.end());
+  auto handle = [&](const MoodValue& r) -> Status {
+    if (r.is_null()) return Status::OK();
+    if (r.kind() != ValueKind::kReference) {
+      return Status::TypeError("reference path step '" + path[0] +
+                               "' reached a non-reference value");
+    }
+    return ChaseRefs(r.AsReference(), rest, fn);
+  };
+  if (v.IsCollection()) {
+    for (const auto& e : v.elements()) MOOD_RETURN_IF_ERROR(handle(e));
+    return Status::OK();
+  }
+  return handle(v);
+}
+
+Result<RowSet> Executor::ExecBind(const PlanNode& node) const {
+  RowSet rs;
+  rs.vars = {node.from.var};
+  MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
+                                            node.from.excludes,
+                                            [&](Oid oid, const MoodValue&) {
+                                              rs.rows.push_back({oid});
+                                              return Status::OK();
+                                            }));
+  return rs;
+}
+
+Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node) const {
+  RowSet rs;
+  rs.vars = {node.from.var};
+  std::vector<Oid> current;
+  for (size_t p = 0; p < node.probes.size(); p++) {
+    const IndexProbe& probe = node.probes[p];
+    MOOD_ASSIGN_OR_RETURN(
+        Collection sel,
+        algebra_->IndSel(node.from.class_name, probe.index, probe.cmp, probe.constant));
+    if (p == 0) {
+      current = sel.oids();
+    } else {
+      std::unordered_set<uint64_t> keep;
+      for (Oid o : sel.oids()) keep.insert(o.Pack());
+      std::vector<Oid> next;
+      for (Oid o : current) {
+        if (keep.count(o.Pack())) next.push_back(o);
+      }
+      current = std::move(next);
+    }
+  }
+  for (Oid o : current) rs.rows.push_back({o});
+  return rs;
+}
+
+Result<RowSet> Executor::ExecFilter(const PlanNode& node) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet child, ExecutePlan(node.child));
+  RowSet rs;
+  rs.vars = child.vars;
+  for (auto& row : child.rows) {
+    Evaluator::Env env = EnvOf(child, row);
+    bool keep = true;
+    for (const auto& pred : node.predicates) {
+      MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
+      if (!keep) break;  // short-circuit: predicates are selectivity-ordered
+    }
+    if (keep) rs.rows.push_back(std::move(row));
+  }
+  return rs;
+}
+
+Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.left));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, ExecutePlan(node.right));
+  int ref_idx = left.VarIndex(node.ref_var);
+  int tgt_idx = right.VarIndex(node.target_var);
+  if (ref_idx < 0 || tgt_idx < 0) {
+    return Status::Internal("pointer join variables not bound by children");
+  }
+  RowSet rs;
+  rs.vars = left.vars;
+  rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
+
+  // Right rows indexed by target oid.
+  std::unordered_map<uint64_t, std::vector<size_t>> right_by_oid;
+  for (size_t i = 0; i < right.rows.size(); i++) {
+    right_by_oid[right.rows[i][static_cast<size_t>(tgt_idx)].Pack()].push_back(i);
+  }
+
+  auto emit = [&](const std::vector<Oid>& lrow, size_t rrow) {
+    std::vector<Oid> combined = lrow;
+    combined.insert(combined.end(), right.rows[rrow].begin(), right.rows[rrow].end());
+    rs.rows.push_back(std::move(combined));
+  };
+
+  if (node.method == JoinMethod::kIndexed && node.ref_path.size() == 1) {
+    auto desc = objects_->catalog()->FindIndex(
+        node.left ? node.left->from.class_name : "", node.ref_path[0],
+        IndexKind::kBinaryJoin);
+    // Fall through to chasing when the index is missing (plans stay executable
+    // even if an index was dropped after optimization).
+    if (desc.has_value()) {
+      MOOD_ASSIGN_OR_RETURN(BinaryJoinIndex * bji, objects_->OpenJoinIndex(*desc));
+      std::unordered_map<uint64_t, std::vector<size_t>> left_by_ref;
+      for (size_t i = 0; i < left.rows.size(); i++) {
+        left_by_ref[left.rows[i][static_cast<size_t>(ref_idx)].Pack()].push_back(i);
+      }
+      std::set<std::pair<size_t, size_t>> emitted;
+      for (size_t r = 0; r < right.rows.size(); r++) {
+        Oid target = right.rows[r][static_cast<size_t>(tgt_idx)];
+        MOOD_ASSIGN_OR_RETURN(auto sources, bji->Sources(target));
+        for (Oid src : sources) {
+          auto it = left_by_ref.find(src.Pack());
+          if (it == left_by_ref.end()) continue;
+          for (size_t l : it->second) {
+            if (emitted.insert({l, r}).second) emit(left.rows[l], r);
+          }
+        }
+      }
+      return rs;
+    }
+  }
+
+  // Forward / backward / hash-partition: in memory they all chase the stored
+  // references and probe the inner side; the strategies differ in the disk
+  // access pattern the cost model prices (Section 6).
+  for (const auto& lrow : left.rows) {
+    Oid from = lrow[static_cast<size_t>(ref_idx)];
+    MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, [&](Oid reached) {
+      auto it = right_by_oid.find(reached.Pack());
+      if (it != right_by_oid.end()) {
+        for (size_t r : it->second) emit(lrow, r);
+      }
+      return Status::OK();
+    }));
+  }
+  return rs;
+}
+
+Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.left));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, ExecutePlan(node.right));
+  RowSet rs;
+  rs.vars = left.vars;
+  rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
+  for (const auto& lrow : left.rows) {
+    for (const auto& rrow : right.rows) {
+      std::vector<Oid> combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (node.join_pred != nullptr) {
+        Evaluator::Env env = EnvOf(rs, combined);
+        MOOD_ASSIGN_OR_RETURN(bool match, evaluator_->EvalPredicate(node.join_pred, env));
+        if (!match) continue;
+      }
+      rs.rows.push_back(std::move(combined));
+    }
+  }
+  return rs;
+}
+
+Result<RowSet> Executor::ExecUnion(const PlanNode& node) const {
+  if (node.children.empty()) return RowSet{};
+  MOOD_ASSIGN_OR_RETURN(RowSet first, ExecutePlan(node.children[0]));
+  // Align every child on the first child's variable order and deduplicate
+  // (DNF AND-terms overlap, so the UNION needs set semantics).
+  std::set<std::vector<uint64_t>> seen;
+  RowSet rs;
+  rs.vars = first.vars;
+  auto add = [&](const RowSet& child) -> Status {
+    std::vector<int> mapping(rs.vars.size());
+    for (size_t i = 0; i < rs.vars.size(); i++) {
+      mapping[i] = child.VarIndex(rs.vars[i]);
+      if (mapping[i] < 0) {
+        return Status::Internal("UNION children bind different range variables");
+      }
+    }
+    for (const auto& row : child.rows) {
+      std::vector<Oid> aligned(rs.vars.size());
+      std::vector<uint64_t> key(rs.vars.size());
+      for (size_t i = 0; i < rs.vars.size(); i++) {
+        aligned[i] = row[static_cast<size_t>(mapping[i])];
+        key[i] = aligned[i].Pack();
+      }
+      if (seen.insert(key).second) rs.rows.push_back(std::move(aligned));
+    }
+    return Status::OK();
+  };
+  MOOD_RETURN_IF_ERROR(add(first));
+  for (size_t c = 1; c < node.children.size(); c++) {
+    MOOD_ASSIGN_OR_RETURN(RowSet child, ExecutePlan(node.children[c]));
+    MOOD_RETURN_IF_ERROR(add(child));
+  }
+  return rs;
+}
+
+Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan) const {
+  switch (plan->op) {
+    case PlanOp::kBindClass: return ExecBind(*plan);
+    case PlanOp::kIndexSelect: return ExecIndexSelect(*plan);
+    case PlanOp::kFilter: return ExecFilter(*plan);
+    case PlanOp::kPointerJoin: return ExecPointerJoin(*plan);
+    case PlanOp::kNestedLoopJoin: return ExecNestedLoop(*plan);
+    case PlanOp::kUnion: return ExecUnion(*plan);
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) const {
+  // GROUP BY: keep one representative row per group key (MOODSQL has no
+  // aggregate functions; grouping exposes one row per partition, matching the
+  // algebra's Partition operator).
+  if (!stmt.group_by.empty()) {
+    std::map<std::string, std::vector<Oid>> groups;
+    for (const auto& row : rows.rows) {
+      Evaluator::Env env = EnvOf(rows, row);
+      std::string key;
+      for (const auto& g : stmt.group_by) {
+        MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(g, env));
+        v.EncodeTo(&key);
+      }
+      groups.emplace(std::move(key), row);
+    }
+    RowSet grouped;
+    grouped.vars = rows.vars;
+    for (auto& [key, row] : groups) grouped.rows.push_back(row);
+    rows = std::move(grouped);
+    if (stmt.having != nullptr) {
+      RowSet kept;
+      kept.vars = rows.vars;
+      for (auto& row : rows.rows) {
+        Evaluator::Env env = EnvOf(rows, row);
+        MOOD_ASSIGN_OR_RETURN(bool keep, evaluator_->EvalPredicate(stmt.having, env));
+        if (keep) kept.rows.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+  }
+
+  // ORDER BY before projection (keys may not be projected).
+  if (!stmt.order_by.empty()) {
+    struct Keyed {
+      std::vector<MoodValue> keys;
+      std::vector<Oid> row;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(rows.rows.size());
+    for (auto& row : rows.rows) {
+      Evaluator::Env env = EnvOf(rows, row);
+      Keyed k;
+      for (const auto& o : stmt.order_by) {
+        MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(o.expr, env));
+        k.keys.push_back(std::move(v));
+      }
+      k.row = std::move(row);
+      keyed.push_back(std::move(k));
+    }
+    Status cmp_error;
+    std::stable_sort(keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+      for (size_t i = 0; i < stmt.order_by.size(); i++) {
+        auto c = a.keys[i].Compare(b.keys[i]);
+        if (!c.ok()) {
+          if (cmp_error.ok()) cmp_error = c.status();
+          return false;
+        }
+        if (c.value() != 0) {
+          return stmt.order_by[i].ascending ? c.value() < 0 : c.value() > 0;
+        }
+      }
+      return false;
+    });
+    MOOD_RETURN_IF_ERROR(cmp_error);
+    rows.rows.clear();
+    for (auto& k : keyed) rows.rows.push_back(std::move(k.row));
+  }
+
+  // Projection.
+  QueryResult result;
+  for (const auto& p : stmt.projection) result.columns.push_back(p->ToString());
+  for (const auto& row : rows.rows) {
+    Evaluator::Env env = EnvOf(rows, row);
+    std::vector<MoodValue> out;
+    out.reserve(stmt.projection.size());
+    for (const auto& p : stmt.projection) {
+      MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(p, env));
+      out.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(out));
+  }
+
+  if (stmt.distinct) {
+    std::vector<std::vector<MoodValue>> dedup;
+    for (auto& row : result.rows) {
+      bool seen = false;
+      for (const auto& d : dedup) {
+        bool all = d.size() == row.size();
+        for (size_t i = 0; all && i < d.size(); i++) all = d[i].Equals(row[i]);
+        if (all) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) dedup.push_back(std::move(row));
+    }
+    result.rows = std::move(dedup);
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteSelect(
+    const QueryOptimizer::Optimized& optimized) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(optimized.plan));
+  return FinishSelect(optimized.bound.stmt, std::move(rows));
+}
+
+}  // namespace mood

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "objects/object_manager.h"
+#include "optimizer/optimizer.h"
+#include "sql/evaluator.h"
+
+namespace mood {
+
+/// Intermediate result: rows of range-variable bindings.
+struct RowSet {
+  std::vector<std::string> vars;
+  std::vector<std::vector<Oid>> rows;
+
+  int VarIndex(const std::string& var) const {
+    for (size_t i = 0; i < vars.size(); i++) {
+      if (vars[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Final query result: named columns of values.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<MoodValue>> rows;
+
+  /// Aligned-table rendering (at most `limit` rows; 0 = all).
+  std::string ToString(size_t limit = 0) const;
+};
+
+/// Executes physical plans produced by the optimizer, then applies the clause
+/// pipeline of Figure 7.1: FROM -> WHERE -> GROUP BY -> HAVING -> SELECT
+/// (projection) -> ORDER BY.
+class Executor {
+ public:
+  Executor(ObjectManager* objects, Evaluator* evaluator, MoodAlgebra* algebra)
+      : objects_(objects), evaluator_(evaluator), algebra_(algebra) {}
+
+  Result<RowSet> ExecutePlan(const PlanPtr& plan) const;
+
+  Result<QueryResult> ExecuteSelect(const QueryOptimizer::Optimized& optimized) const;
+
+  /// Evaluates the clause pipeline over an already-computed row set (used by the
+  /// naive executor in bench_query_e2e).
+  Result<QueryResult> FinishSelect(const SelectStmt& stmt, RowSet rows) const;
+
+ private:
+  Result<RowSet> ExecBind(const PlanNode& node) const;
+  Result<RowSet> ExecIndexSelect(const PlanNode& node) const;
+  Result<RowSet> ExecFilter(const PlanNode& node) const;
+  Result<RowSet> ExecPointerJoin(const PlanNode& node) const;
+  Result<RowSet> ExecNestedLoop(const PlanNode& node) const;
+  Result<RowSet> ExecUnion(const PlanNode& node) const;
+
+  Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row) const;
+
+  /// Chases a reference path from an object, invoking `fn` for every reached
+  /// object identifier (fan-out through set/list-valued reference attributes).
+  Status ChaseRefs(Oid from, const std::vector<std::string>& path,
+                   const std::function<Status(Oid)>& fn) const;
+
+  ObjectManager* objects_;
+  Evaluator* evaluator_;
+  MoodAlgebra* algebra_;
+};
+
+}  // namespace mood

@@ -1,0 +1,144 @@
+#include "funcman/function_manager.h"
+
+namespace mood {
+
+Result<MoodValue> MethodContext::Attr(const std::string& name) const {
+  if (self_value == nullptr || attr_names == nullptr) {
+    return Status::FunctionError("method context has no receiver");
+  }
+  for (size_t i = 0; i < attr_names->size(); i++) {
+    if ((*attr_names)[i] == name) {
+      MOOD_ASSIGN_OR_RETURN(const MoodValue* f, self_value->Field(i));
+      return *f;
+    }
+  }
+  return Status::FunctionError("receiver has no attribute '" + name + "'");
+}
+
+std::mutex& FunctionManager::ClassLatch(const std::string& class_name) {
+  std::lock_guard<std::mutex> lock(latch_map_mu_);
+  return class_latches_[class_name];
+}
+
+Status FunctionManager::Register(const std::string& class_name,
+                                 const MoodsFunction& decl, NativeFunction body) {
+  std::lock_guard<std::mutex> lock(ClassLatch(class_name));
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  if (type->FindFunction(decl.name) == nullptr) {
+    MOOD_RETURN_IF_ERROR(catalog_->AddFunction(class_name, decl));
+  }
+  std::string sig = decl.Signature(class_name);
+  if (registry_.count(sig)) {
+    return Status::AlreadyExists("function already registered: " + sig);
+  }
+  registry_[sig] = std::move(body);
+  return Status::OK();
+}
+
+Status FunctionManager::Update(const std::string& class_name, const std::string& fname,
+                               NativeFunction body) {
+  std::lock_guard<std::mutex> lock(ClassLatch(class_name));
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  const MoodsFunction* decl = type->FindFunction(fname);
+  if (decl == nullptr) {
+    return Status::NotFound("no method '" + fname + "' on '" + class_name + "'");
+  }
+  std::string sig = decl->Signature(class_name);
+  auto it = registry_.find(sig);
+  if (it == registry_.end()) {
+    return Status::NotFound("no compiled body for " + sig);
+  }
+  it->second = std::move(body);
+  loaded_.erase(sig);  // force a reload: the shared object was rewritten
+  return Status::OK();
+}
+
+Status FunctionManager::Remove(const std::string& class_name,
+                               const std::string& fname) {
+  std::lock_guard<std::mutex> lock(ClassLatch(class_name));
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  const MoodsFunction* decl = type->FindFunction(fname);
+  if (decl == nullptr) {
+    return Status::NotFound("no method '" + fname + "' on '" + class_name + "'");
+  }
+  std::string sig = decl->Signature(class_name);
+  registry_.erase(sig);
+  loaded_.erase(sig);
+  return catalog_->DropFunction(class_name, fname);
+}
+
+Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
+                                          const std::string& fname,
+                                          const MethodContext& ctx,
+                                          std::vector<MoodValue> args) {
+  // Late binding: resolve the method bottom-up from the receiver's class.
+  auto resolved = catalog_->ResolveFunction(class_name, fname);
+  if (!resolved.ok()) {
+    stats_.errors++;
+    return Status::FunctionError(resolved.status().message());
+  }
+  const auto& [defining_class, decl] = resolved.value();
+
+  // Run-time parameter type checking.
+  if (args.size() != decl->params.size()) {
+    stats_.errors++;
+    return Status::FunctionError(
+        "method '" + fname + "' expects " + std::to_string(decl->params.size()) +
+        " argument(s), got " + std::to_string(args.size()));
+  }
+  for (size_t i = 0; i < args.size(); i++) {
+    Status st = decl->params[i].type->CheckValue(args[i]);
+    if (!st.ok()) {
+      stats_.errors++;
+      return Status::FunctionError("argument '" + decl->params[i].name +
+                                   "': " + st.message());
+    }
+  }
+
+  // Build the signature and locate the compiled body in the CATALOG/registry.
+  std::string sig = decl->Signature(defining_class);
+  const NativeFunction* fn = nullptr;
+  auto loaded_it = loaded_.find(sig);
+  if (loaded_it != loaded_.end()) {
+    stats_.warm_calls++;
+    fn = loaded_it->second;
+  } else {
+    auto reg_it = registry_.find(sig);
+    if (reg_it != registry_.end()) {
+      // "Shared Object File of the Class is opened and the function is loaded
+      // into memory."
+      stats_.cold_loads++;
+      loaded_[sig] = &reg_it->second;
+      fn = &reg_it->second;
+    }
+  }
+
+  Result<MoodValue> result = MoodValue::Null();
+  if (fn != nullptr) {
+    result = (*fn)(ctx, args);
+  } else if (fallback_) {
+    stats_.fallback_calls++;
+    result = fallback_(defining_class, *decl, ctx, args);
+  } else {
+    stats_.errors++;
+    return Status::FunctionError("no compiled body for " + sig +
+                                 " and no interpreter fallback installed");
+  }
+
+  if (!result.ok()) {
+    // The Exception class: system errors of compiled functions are surfaced as
+    // interpreter-style errors.
+    stats_.errors++;
+    return Status::FunctionError(sig + ": " + result.status().message());
+  }
+  Status st = decl->return_type->CheckValue(result.value());
+  if (!st.ok()) {
+    stats_.errors++;
+    return Status::FunctionError(sig + " returned ill-typed value: " + st.message());
+  }
+  return result;
+}
+
+void FunctionManager::UnloadAll() { loaded_.clear(); }
+
+}  // namespace mood

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// Context passed to an invoked member function: the receiver object and a
+/// dereferencing hook so method bodies can chase references.
+struct MethodContext {
+  Oid self;
+  /// The receiver's attribute tuple (attribute order = Catalog::AllAttributes).
+  const MoodValue* self_value = nullptr;
+  /// Attribute names matching self_value's positions.
+  const std::vector<std::string>* attr_names = nullptr;
+  /// Dereferences an Oid into the referenced object's value.
+  std::function<Result<MoodValue>(Oid)> deref;
+
+  /// Convenience: receiver attribute by name.
+  Result<MoodValue> Attr(const std::string& name) const;
+};
+
+/// A compiled member-function body. In the original system this is native code in
+/// a per-class shared object produced by C++ compilation and opened through dld;
+/// here it is a registered C++ callable — the signature-keyed lookup, lazy load
+/// and late binding are identical (see DESIGN.md, substitution table).
+using NativeFunction =
+    std::function<Result<MoodValue>(const MethodContext&, const std::vector<MoodValue>&)>;
+
+/// The paper's Function Manager: "responsible for adding, updating, deleting and
+/// invoking the member functions of the classes". Functions are located by the
+/// signature built from the class name the function is applied to and its
+/// parameter list; once loaded they stay in memory until evicted (the paper keeps
+/// them "until the scope changes" — we expose an explicit UnloadAll for that).
+class FunctionManager {
+ public:
+  explicit FunctionManager(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Registers the compiled body for `class_name::fname`. Also declares the
+  /// function in the catalog when absent (AddFunction path of Section 2): the
+  /// signature information is extracted and inserted into the CATALOG.
+  Status Register(const std::string& class_name, const MoodsFunction& decl,
+                  NativeFunction body);
+
+  /// Replaces an existing compiled body (UpdateFunction). Holds the class latch,
+  /// mirroring "the shared library of the class will be unavailable only during
+  /// the time it takes to write the new function".
+  Status Update(const std::string& class_name, const std::string& fname,
+                NativeFunction body);
+
+  /// Removes the compiled body and the catalog entry.
+  Status Remove(const std::string& class_name, const std::string& fname);
+
+  /// Invokes a member function with late binding: the method is resolved
+  /// bottom-up from the receiver's class, its signature is built and looked up,
+  /// the body is loaded (cold) or reused (warm), arguments are type-checked
+  /// against the declared parameters and the result against the return type.
+  /// All failures surface as FunctionError — "although the functions are
+  /// compiled, their error messages are handled as if they are interpreted".
+  Result<MoodValue> Invoke(const std::string& class_name, const std::string& fname,
+                           const MethodContext& ctx, std::vector<MoodValue> args);
+
+  /// Evicts loaded function bodies (scope change in the paper's model).
+  void UnloadAll();
+
+  /// Fallback used when a declared method has no registered native body: the
+  /// kernel may interpret simple `return <expr>;` bodies. Installed by the
+  /// Database facade once the expression evaluator exists.
+  using InterpretedFallback = std::function<Result<MoodValue>(
+      const std::string& class_name, const MoodsFunction& decl, const MethodContext&,
+      const std::vector<MoodValue>& args)>;
+  void SetInterpretedFallback(InterpretedFallback fb) { fallback_ = std::move(fb); }
+
+  struct InvokeStats {
+    uint64_t cold_loads = 0;   ///< signature resolved + body loaded
+    uint64_t warm_calls = 0;   ///< body already in memory
+    uint64_t fallback_calls = 0;
+    uint64_t errors = 0;
+  };
+  const InvokeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = InvokeStats{}; }
+
+  size_t registered_count() const { return registry_.size(); }
+  size_t loaded_count() const { return loaded_.size(); }
+
+ private:
+  std::mutex& ClassLatch(const std::string& class_name);
+
+  Catalog* catalog_;
+  /// signature -> compiled body (the per-class shared-object file contents).
+  std::map<std::string, NativeFunction> registry_;
+  /// signature -> body currently "loaded into memory".
+  std::map<std::string, const NativeFunction*> loaded_;
+  std::map<std::string, std::mutex> class_latches_;
+  std::mutex latch_map_mu_;
+  InterpretedFallback fallback_;
+  InvokeStats stats_;
+};
+
+}  // namespace mood

@@ -1,0 +1,370 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace mood {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0xB7EEB7EE;
+}
+
+size_t BPlusTree::Node::SerializedSize() const {
+  size_t sz = 8 + 1 + 2 + 4;  // lsn, leaf flag, count, next
+  if (leaf) {
+    for (size_t i = 0; i < keys.size(); i++) sz += 2 + keys[i].size() + 8;
+  } else {
+    sz += 4;  // child0
+    for (size_t i = 0; i < keys.size(); i++) sz += 2 + keys[i].size() + 4;
+  }
+  return sz;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(BufferPool* pool,
+                                                     FileDirectory* alloc,
+                                                     bool unique) {
+  MOOD_ASSIGN_OR_RETURN(Page* meta_pg, pool->NewPage());
+  PageId meta_id = meta_pg->page_id();
+  MOOD_RETURN_IF_ERROR(pool->UnpinPage(meta_id, true));
+
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pool, alloc, meta_id));
+  // Empty root leaf.
+  MOOD_ASSIGN_OR_RETURN(PageId root_id, tree->NewNodePage());
+  Node root;
+  root.id = root_id;
+  root.leaf = true;
+  MOOD_RETURN_IF_ERROR(tree->StoreNode(root));
+
+  tree->meta_.root = root_id;
+  tree->meta_.first_leaf = root_id;
+  tree->meta_.unique = unique;
+  tree->meta_.levels = 1;
+  tree->meta_.leaves = 1;
+  MOOD_RETURN_IF_ERROR(tree->StoreMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(BufferPool* pool,
+                                                   FileDirectory* alloc,
+                                                   PageId meta_page) {
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pool, alloc, meta_page));
+  MOOD_RETURN_IF_ERROR(tree->LoadMeta());
+  return tree;
+}
+
+Status BPlusTree::LoadMeta() {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  if (DecodeFixed32(p + 8) != kMetaMagic) {
+    return Status::Corruption("not a B+-tree meta page");
+  }
+  meta_.root = DecodeFixed32(p + 12);
+  meta_.first_leaf = DecodeFixed32(p + 16);
+  meta_.unique = p[20] != 0;
+  meta_.levels = DecodeFixed32(p + 21);
+  meta_.leaves = DecodeFixed64(p + 25);
+  meta_.entries = DecodeFixed64(p + 33);
+  meta_.key_bytes = DecodeFixed64(p + 41);
+  meta_.max_fanout = DecodeFixed32(p + 49);
+  return Status::OK();
+}
+
+Status BPlusTree::StoreMeta() const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  EncodeFixed64(p, kInvalidLsn);
+  EncodeFixed32(p + 8, kMetaMagic);
+  EncodeFixed32(p + 12, meta_.root);
+  EncodeFixed32(p + 16, meta_.first_leaf);
+  p[20] = meta_.unique ? 1 : 0;
+  EncodeFixed32(p + 21, meta_.levels);
+  EncodeFixed64(p + 25, meta_.leaves);
+  EncodeFixed64(p + 33, meta_.entries);
+  EncodeFixed64(p + 41, meta_.key_bytes);
+  EncodeFixed32(p + 49, meta_.max_fanout);
+  return Status::OK();
+}
+
+Result<PageId> BPlusTree::NewNodePage() const { return alloc_->AllocatePage(); }
+
+Result<BPlusTree::Node> BPlusTree::LoadNode(PageId id) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(id));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  Node node;
+  node.id = id;
+  node.leaf = p[8] != 0;
+  uint16_t count = DecodeFixed16(p + 9);
+  node.next = DecodeFixed32(p + 11);
+  size_t off = 15;
+  auto read_key = [&]() {
+    uint16_t klen = DecodeFixed16(p + off);
+    off += 2;
+    std::string key(p + off, klen);
+    off += klen;
+    return key;
+  };
+  if (node.leaf) {
+    node.keys.reserve(count);
+    node.values.reserve(count);
+    for (uint16_t i = 0; i < count; i++) {
+      node.keys.push_back(read_key());
+      node.values.push_back(DecodeFixed64(p + off));
+      off += 8;
+    }
+  } else {
+    node.children.reserve(count + 1);
+    node.children.push_back(DecodeFixed32(p + off));
+    off += 4;
+    for (uint16_t i = 0; i < count; i++) {
+      node.keys.push_back(read_key());
+      node.children.push_back(DecodeFixed32(p + off));
+      off += 4;
+    }
+  }
+  if (off > kPageSize) return Status::Corruption("B+-tree node overruns page");
+  return node;
+}
+
+Status BPlusTree::StoreNode(const Node& node) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(node.id));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  std::memset(p, 0, kPageSize);
+  EncodeFixed64(p, kInvalidLsn);
+  p[8] = node.leaf ? 1 : 0;
+  EncodeFixed16(p + 9, static_cast<uint16_t>(node.keys.size()));
+  EncodeFixed32(p + 11, node.next);
+  size_t off = 15;
+  auto write_key = [&](const std::string& key) {
+    EncodeFixed16(p + off, static_cast<uint16_t>(key.size()));
+    off += 2;
+    std::memcpy(p + off, key.data(), key.size());
+    off += key.size();
+  };
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      write_key(node.keys[i]);
+      EncodeFixed64(p + off, node.values[i]);
+      off += 8;
+    }
+  } else {
+    EncodeFixed32(p + off, node.children[0]);
+    off += 4;
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      write_key(node.keys[i]);
+      EncodeFixed32(p + off, node.children[i + 1]);
+      off += 4;
+    }
+  }
+  if (off > kPageSize) return Status::Internal("B+-tree node too large to store");
+  return Status::OK();
+}
+
+Result<BPlusTree::InsertResult> BPlusTree::InsertRec(PageId page_id, Slice key,
+                                                     uint64_t value) {
+  MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(page_id));
+  if (node.leaf) {
+    // Position by (key, value) so duplicate keys stay ordered deterministically.
+    size_t pos = 0;
+    while (pos < node.keys.size()) {
+      int c = Slice(node.keys[pos]).compare(key);
+      if (c > 0) break;
+      if (c == 0) {
+        if (meta_.unique) {
+          return Status::AlreadyExists("duplicate key in unique index");
+        }
+        if (node.values[pos] >= value) break;
+      }
+      pos++;
+    }
+    node.keys.insert(node.keys.begin() + pos, key.ToString());
+    node.values.insert(node.values.begin() + pos, value);
+    meta_.entries++;
+    meta_.key_bytes += key.size();
+    meta_.max_fanout = std::max<uint32_t>(meta_.max_fanout,
+                                          static_cast<uint32_t>(node.keys.size()));
+    if (node.SerializedSize() <= kNodeCapacity) {
+      MOOD_RETURN_IF_ERROR(StoreNode(node));
+      return InsertResult{};
+    }
+    // Split the leaf.
+    size_t mid = node.keys.size() / 2;
+    Node right;
+    MOOD_ASSIGN_OR_RETURN(right.id, NewNodePage());
+    right.leaf = true;
+    right.next = node.next;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    right.values.assign(node.values.begin() + mid, node.values.end());
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    node.next = right.id;
+    MOOD_RETURN_IF_ERROR(StoreNode(node));
+    MOOD_RETURN_IF_ERROR(StoreNode(right));
+    meta_.leaves++;
+    InsertResult res;
+    res.split = true;
+    res.split_key = right.keys.front();
+    res.new_page = right.id;
+    return res;
+  }
+
+  // Internal node: find child. Strict comparison keeps duplicate keys reachable
+  // from the leftmost candidate leaf.
+  size_t child_idx = 0;
+  while (child_idx < node.keys.size() && Slice(node.keys[child_idx]).compare(key) < 0) {
+    child_idx++;
+  }
+  MOOD_ASSIGN_OR_RETURN(InsertResult child_res,
+                        InsertRec(node.children[child_idx], key, value));
+  if (!child_res.split) return InsertResult{};
+  node.keys.insert(node.keys.begin() + child_idx, child_res.split_key);
+  node.children.insert(node.children.begin() + child_idx + 1, child_res.new_page);
+  meta_.max_fanout = std::max<uint32_t>(meta_.max_fanout,
+                                        static_cast<uint32_t>(node.children.size()));
+  if (node.SerializedSize() <= kNodeCapacity) {
+    MOOD_RETURN_IF_ERROR(StoreNode(node));
+    return InsertResult{};
+  }
+  // Split the internal node: middle key moves up.
+  size_t mid = node.keys.size() / 2;
+  std::string up_key = node.keys[mid];
+  Node right;
+  MOOD_ASSIGN_OR_RETURN(right.id, NewNodePage());
+  right.leaf = false;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1, node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  MOOD_RETURN_IF_ERROR(StoreNode(node));
+  MOOD_RETURN_IF_ERROR(StoreNode(right));
+  InsertResult res;
+  res.split = true;
+  res.split_key = std::move(up_key);
+  res.new_page = right.id;
+  return res;
+}
+
+Status BPlusTree::Insert(Slice key, uint64_t value) {
+  MOOD_ASSIGN_OR_RETURN(InsertResult res, InsertRec(meta_.root, key, value));
+  if (res.split) {
+    Node new_root;
+    MOOD_ASSIGN_OR_RETURN(new_root.id, NewNodePage());
+    new_root.leaf = false;
+    new_root.keys.push_back(res.split_key);
+    new_root.children.push_back(meta_.root);
+    new_root.children.push_back(res.new_page);
+    MOOD_RETURN_IF_ERROR(StoreNode(new_root));
+    meta_.root = new_root.id;
+    meta_.levels++;
+  }
+  return StoreMeta();
+}
+
+Status BPlusTree::Delete(Slice key, uint64_t value) {
+  // Descend to the leaf that could hold (key, value).
+  PageId page_id = meta_.root;
+  for (;;) {
+    MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(page_id));
+    if (!node.leaf) {
+      size_t child_idx = 0;
+      while (child_idx < node.keys.size() &&
+             Slice(node.keys[child_idx]).compare(key) < 0) {
+        child_idx++;
+      }
+      page_id = node.children[child_idx];
+      continue;
+    }
+    // Duplicates may spill over leaf boundaries; walk the chain while keys match.
+    Node leaf = std::move(node);
+    for (;;) {
+      for (size_t i = 0; i < leaf.keys.size(); i++) {
+        int c = Slice(leaf.keys[i]).compare(key);
+        if (c > 0) return Status::NotFound("key/value pair not in index");
+        if (c == 0 && leaf.values[i] == value) {
+          meta_.key_bytes -= leaf.keys[i].size();
+          leaf.keys.erase(leaf.keys.begin() + i);
+          leaf.values.erase(leaf.values.begin() + i);
+          meta_.entries--;
+          MOOD_RETURN_IF_ERROR(StoreNode(leaf));
+          return StoreMeta();
+        }
+      }
+      if (leaf.next == kInvalidPageId) return Status::NotFound("key/value pair not in index");
+      MOOD_ASSIGN_OR_RETURN(leaf, LoadNode(leaf.next));
+    }
+  }
+}
+
+Result<std::vector<uint64_t>> BPlusTree::SearchEqual(Slice key) const {
+  std::vector<uint64_t> out;
+  std::string k = key.ToString();
+  MOOD_RETURN_IF_ERROR(Scan(&k, &k, [&](Slice, uint64_t v) {
+    out.push_back(v);
+    return Status::OK();
+  }));
+  return out;
+}
+
+Status BPlusTree::Scan(const std::string* lo, const std::string* hi,
+                       const std::function<Status(Slice, uint64_t)>& fn) const {
+  // Descend to the first leaf that can contain `lo` (leftmost leaf when
+  // unbounded below).
+  PageId page_id = meta_.root;
+  for (;;) {
+    MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(page_id));
+    if (node.leaf) {
+      Node leaf = std::move(node);
+      for (;;) {
+        for (size_t i = 0; i < leaf.keys.size(); i++) {
+          Slice k(leaf.keys[i]);
+          if (lo != nullptr && k.compare(Slice(*lo)) < 0) continue;
+          if (hi != nullptr && k.compare(Slice(*hi)) > 0) return Status::OK();
+          MOOD_RETURN_IF_ERROR(fn(k, leaf.values[i]));
+        }
+        if (leaf.next == kInvalidPageId) return Status::OK();
+        MOOD_ASSIGN_OR_RETURN(leaf, LoadNode(leaf.next));
+      }
+    }
+    size_t child_idx = 0;
+    if (lo != nullptr) {
+      while (child_idx < node.keys.size() &&
+             Slice(node.keys[child_idx]).compare(Slice(*lo)) < 0) {
+        child_idx++;
+      }
+    }
+    page_id = node.children[child_idx];
+  }
+}
+
+BPlusTreeStats BPlusTree::stats() const {
+  BPlusTreeStats s;
+  s.levels = meta_.levels;
+  s.leaves = meta_.leaves;
+  s.unique = meta_.unique;
+  s.entries = meta_.entries;
+  s.order = meta_.max_fanout;
+  s.keysize = meta_.entries == 0
+                  ? 0
+                  : static_cast<uint32_t>(meta_.key_bytes / meta_.entries);
+  return s;
+}
+
+Result<uint64_t> BPlusTree::CountLeaves() const {
+  uint64_t count = 0;
+  PageId id = meta_.first_leaf;
+  while (id != kInvalidPageId) {
+    MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(id));
+    count++;
+    id = node.next;
+  }
+  return count;
+}
+
+}  // namespace mood

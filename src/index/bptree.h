@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/heap_file.h"
+#include "storage/storage_manager.h"
+
+namespace mood {
+
+/// Statistics kept for a B+-tree index — exactly the parameters of Table 9 of the
+/// paper, consumed by INDCOST / RNGXCOST.
+struct BPlusTreeStats {
+  uint32_t order = 0;       ///< v(I): max entries per node observed at build time
+  uint32_t levels = 0;      ///< level(I)
+  uint64_t leaves = 0;      ///< leaves(I)
+  uint32_t keysize = 0;     ///< keysize(I): average key size (bytes)
+  bool unique = false;      ///< unique(I)
+  uint64_t entries = 0;     ///< total stored (key, value) pairs
+};
+
+/// A disk-resident B+-tree mapping byte-string keys (see key_codec.h) to 64-bit
+/// payloads (packed Oids or RecordIds). Supports duplicates unless `unique`.
+/// This provides the "B+-tree indexing supported through the Exodus Storage
+/// Manager" that IndSel and the indexed join strategies rely on.
+///
+/// Deletion is lazy (no rebalancing); the tree stays correct, matching the
+/// prototype-era behaviour the cost model assumes.
+class BPlusTree {
+ public:
+  /// Creates a fresh tree; its meta page id is the handle to reopen it later.
+  static Result<std::unique_ptr<BPlusTree>> Create(BufferPool* pool,
+                                                   FileDirectory* alloc, bool unique);
+  static Result<std::unique_ptr<BPlusTree>> Open(BufferPool* pool,
+                                                 FileDirectory* alloc,
+                                                 PageId meta_page);
+
+  PageId meta_page() const { return meta_page_; }
+
+  Status Insert(Slice key, uint64_t value);
+  /// Removes one (key, value) pair; NotFound if absent.
+  Status Delete(Slice key, uint64_t value);
+
+  /// All payloads stored under exactly `key`.
+  Result<std::vector<uint64_t>> SearchEqual(Slice key) const;
+
+  /// Range scan callback; called for each (key, value) with lo <= key <= hi.
+  /// A null bound is unbounded on that side.
+  Status Scan(const std::string* lo, const std::string* hi,
+              const std::function<Status(Slice key, uint64_t value)>& fn) const;
+
+  BPlusTreeStats stats() const;
+
+  /// Recomputed leaf count (walks the leaf chain; used by tests to validate the
+  /// incrementally maintained stats).
+  Result<uint64_t> CountLeaves() const;
+
+ private:
+  BPlusTree(BufferPool* pool, FileDirectory* alloc, PageId meta_page)
+      : pool_(pool), alloc_(alloc), meta_page_(meta_page) {}
+
+  /// In-memory image of one node page.
+  struct Node {
+    PageId id = kInvalidPageId;
+    bool leaf = true;
+    PageId next = kInvalidPageId;  // leaf chain
+    std::vector<std::string> keys;
+    std::vector<uint64_t> values;    // leaf payloads
+    std::vector<PageId> children;    // internal: keys.size() + 1 children
+
+    size_t SerializedSize() const;
+  };
+
+  struct Meta {
+    PageId root = kInvalidPageId;
+    PageId first_leaf = kInvalidPageId;
+    bool unique = false;
+    uint32_t levels = 1;
+    uint64_t leaves = 1;
+    uint64_t entries = 0;
+    uint64_t key_bytes = 0;  // running total for average keysize
+    uint32_t max_fanout = 0;
+  };
+
+  Status LoadMeta();
+  Status StoreMeta() const;
+  Result<Node> LoadNode(PageId id) const;
+  Status StoreNode(const Node& node) const;
+  Result<PageId> NewNodePage() const;
+
+  /// Result of a recursive insert: if the child split, `split_key`/`new_page`
+  /// describe the new right sibling to add to the parent.
+  struct InsertResult {
+    bool split = false;
+    std::string split_key;
+    PageId new_page = kInvalidPageId;
+  };
+  Result<InsertResult> InsertRec(PageId page, Slice key, uint64_t value);
+
+  /// Page-size budget for a serialized node before it must split.
+  static constexpr size_t kNodeCapacity = kPageSize - 64;
+
+  BufferPool* pool_;
+  FileDirectory* alloc_;
+  PageId meta_page_;
+  mutable Meta meta_;
+};
+
+}  // namespace mood

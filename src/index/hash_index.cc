@@ -1,0 +1,201 @@
+#include "index/hash_index.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace mood {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0x4A5B0AD1;
+}
+
+size_t HashIndex::BucketPage::SerializedSize() const {
+  size_t sz = 8 + 2 + 4;
+  for (const auto& e : entries) sz += 2 + e.key.size() + 8;
+  return sz;
+}
+
+Result<std::unique_ptr<HashIndex>> HashIndex::Create(BufferPool* pool,
+                                                     FileDirectory* alloc,
+                                                     uint32_t num_buckets) {
+  const uint32_t max_buckets = static_cast<uint32_t>((kPageSize - 32) / 4);
+  if (num_buckets == 0 || num_buckets > max_buckets) {
+    return Status::InvalidArgument("bucket count must be in [1, " +
+                                   std::to_string(max_buckets) + "]");
+  }
+  MOOD_ASSIGN_OR_RETURN(Page* meta_pg, pool->NewPage());
+  PageId meta_id = meta_pg->page_id();
+  MOOD_RETURN_IF_ERROR(pool->UnpinPage(meta_id, true));
+
+  auto idx = std::unique_ptr<HashIndex>(new HashIndex(pool, alloc, meta_id));
+  idx->buckets_.resize(num_buckets, kInvalidPageId);
+  for (uint32_t b = 0; b < num_buckets; b++) {
+    MOOD_ASSIGN_OR_RETURN(PageId pid, alloc->AllocatePage());
+    BucketPage bp;
+    bp.id = pid;
+    MOOD_RETURN_IF_ERROR(idx->StoreBucketPage(bp));
+    idx->buckets_[b] = pid;
+  }
+  MOOD_RETURN_IF_ERROR(idx->StoreMeta());
+  return idx;
+}
+
+Result<std::unique_ptr<HashIndex>> HashIndex::Open(BufferPool* pool,
+                                                   FileDirectory* alloc,
+                                                   PageId meta_page) {
+  auto idx = std::unique_ptr<HashIndex>(new HashIndex(pool, alloc, meta_page));
+  MOOD_RETURN_IF_ERROR(idx->LoadMeta());
+  return idx;
+}
+
+Status HashIndex::LoadMeta() {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  if (DecodeFixed32(p + 8) != kMetaMagic) {
+    return Status::Corruption("not a hash-index meta page");
+  }
+  uint32_t n = DecodeFixed32(p + 12);
+  entries_ = DecodeFixed64(p + 16);
+  buckets_.resize(n);
+  for (uint32_t i = 0; i < n; i++) buckets_[i] = DecodeFixed32(p + 24 + i * 4);
+  return Status::OK();
+}
+
+Status HashIndex::StoreMeta() const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  EncodeFixed64(p, kInvalidLsn);
+  EncodeFixed32(p + 8, kMetaMagic);
+  EncodeFixed32(p + 12, static_cast<uint32_t>(buckets_.size()));
+  EncodeFixed64(p + 16, entries_);
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    EncodeFixed32(p + 24 + i * 4, buckets_[i]);
+  }
+  return Status::OK();
+}
+
+Result<HashIndex::BucketPage> HashIndex::LoadBucketPage(PageId id) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(id));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  BucketPage bp;
+  bp.id = id;
+  uint16_t count = DecodeFixed16(p + 8);
+  bp.next = DecodeFixed32(p + 10);
+  size_t off = 14;
+  bp.entries.reserve(count);
+  for (uint16_t i = 0; i < count; i++) {
+    uint16_t klen = DecodeFixed16(p + off);
+    off += 2;
+    Entry e;
+    e.key.assign(p + off, klen);
+    off += klen;
+    e.value = DecodeFixed64(p + off);
+    off += 8;
+    bp.entries.push_back(std::move(e));
+  }
+  if (off > kPageSize) return Status::Corruption("hash bucket overruns page");
+  return bp;
+}
+
+Status HashIndex::StoreBucketPage(const BucketPage& bp) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(bp.id));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  std::memset(p, 0, kPageSize);
+  EncodeFixed64(p, kInvalidLsn);
+  EncodeFixed16(p + 8, static_cast<uint16_t>(bp.entries.size()));
+  EncodeFixed32(p + 10, bp.next);
+  size_t off = 14;
+  for (const auto& e : bp.entries) {
+    EncodeFixed16(p + off, static_cast<uint16_t>(e.key.size()));
+    off += 2;
+    std::memcpy(p + off, e.key.data(), e.key.size());
+    off += e.key.size();
+    EncodeFixed64(p + off, e.value);
+    off += 8;
+  }
+  return Status::OK();
+}
+
+uint32_t HashIndex::BucketOf(Slice key) const {
+  return static_cast<uint32_t>(Hash64(key) % buckets_.size());
+}
+
+Status HashIndex::Insert(Slice key, uint64_t value) {
+  PageId pid = buckets_[BucketOf(key)];
+  for (;;) {
+    MOOD_ASSIGN_OR_RETURN(BucketPage bp, LoadBucketPage(pid));
+    Entry e{key.ToString(), value};
+    size_t need = 2 + e.key.size() + 8;
+    if (bp.SerializedSize() + need <= kBucketCapacity) {
+      bp.entries.push_back(std::move(e));
+      MOOD_RETURN_IF_ERROR(StoreBucketPage(bp));
+      entries_++;
+      return StoreMeta();
+    }
+    if (bp.next == kInvalidPageId) {
+      MOOD_ASSIGN_OR_RETURN(PageId fresh, alloc_->AllocatePage());
+      BucketPage overflow;
+      overflow.id = fresh;
+      overflow.entries.push_back(std::move(e));
+      MOOD_RETURN_IF_ERROR(StoreBucketPage(overflow));
+      bp.next = fresh;
+      MOOD_RETURN_IF_ERROR(StoreBucketPage(bp));
+      entries_++;
+      return StoreMeta();
+    }
+    pid = bp.next;
+  }
+}
+
+Status HashIndex::Delete(Slice key, uint64_t value) {
+  PageId pid = buckets_[BucketOf(key)];
+  while (pid != kInvalidPageId) {
+    MOOD_ASSIGN_OR_RETURN(BucketPage bp, LoadBucketPage(pid));
+    for (size_t i = 0; i < bp.entries.size(); i++) {
+      if (bp.entries[i].value == value && Slice(bp.entries[i].key) == key) {
+        bp.entries.erase(bp.entries.begin() + i);
+        MOOD_RETURN_IF_ERROR(StoreBucketPage(bp));
+        entries_--;
+        return StoreMeta();
+      }
+    }
+    pid = bp.next;
+  }
+  return Status::NotFound("key/value pair not in hash index");
+}
+
+Result<std::vector<uint64_t>> HashIndex::SearchEqual(Slice key) const {
+  std::vector<uint64_t> out;
+  PageId pid = buckets_[BucketOf(key)];
+  while (pid != kInvalidPageId) {
+    MOOD_ASSIGN_OR_RETURN(BucketPage bp, LoadBucketPage(pid));
+    for (const auto& e : bp.entries) {
+      if (Slice(e.key) == key) out.push_back(e.value);
+    }
+    pid = bp.next;
+  }
+  return out;
+}
+
+Result<double> HashIndex::AverageChainLength() const {
+  uint64_t total_pages = 0;
+  for (PageId head : buckets_) {
+    PageId pid = head;
+    while (pid != kInvalidPageId) {
+      total_pages++;
+      MOOD_ASSIGN_OR_RETURN(BucketPage bp, LoadBucketPage(pid));
+      pid = bp.next;
+    }
+  }
+  return static_cast<double>(total_pages) / static_cast<double>(buckets_.size());
+}
+
+}  // namespace mood

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/heap_file.h"
+#include "storage/storage_manager.h"
+
+namespace mood {
+
+/// Static hash index with overflow chains: the "hash indexing supported through
+/// the Exodus Storage Manager" used by IndSel for equality predicates.
+///
+/// Layout: a meta page holding the bucket directory (bucket count fixed at
+/// creation), each bucket a chain of pages of {key, payload} entries.
+class HashIndex {
+ public:
+  static Result<std::unique_ptr<HashIndex>> Create(BufferPool* pool,
+                                                   FileDirectory* alloc,
+                                                   uint32_t num_buckets = 64);
+  static Result<std::unique_ptr<HashIndex>> Open(BufferPool* pool, FileDirectory* alloc,
+                                                 PageId meta_page);
+
+  PageId meta_page() const { return meta_page_; }
+
+  Status Insert(Slice key, uint64_t value);
+  /// Removes one matching (key, value) pair; NotFound if absent.
+  Status Delete(Slice key, uint64_t value);
+  Result<std::vector<uint64_t>> SearchEqual(Slice key) const;
+
+  uint64_t entries() const { return entries_; }
+  uint32_t num_buckets() const { return static_cast<uint32_t>(buckets_.size()); }
+
+  /// Average overflow-chain length (for tests / bench reporting).
+  Result<double> AverageChainLength() const;
+
+ private:
+  HashIndex(BufferPool* pool, FileDirectory* alloc, PageId meta_page)
+      : pool_(pool), alloc_(alloc), meta_page_(meta_page) {}
+
+  struct Entry {
+    std::string key;
+    uint64_t value;
+  };
+  struct BucketPage {
+    PageId id = kInvalidPageId;
+    PageId next = kInvalidPageId;
+    std::vector<Entry> entries;
+    size_t SerializedSize() const;
+  };
+
+  Status LoadMeta();
+  Status StoreMeta() const;
+  Result<BucketPage> LoadBucketPage(PageId id) const;
+  Status StoreBucketPage(const BucketPage& bp) const;
+
+  uint32_t BucketOf(Slice key) const;
+
+  static constexpr size_t kBucketCapacity = kPageSize - 64;
+
+  BufferPool* pool_;
+  FileDirectory* alloc_;
+  PageId meta_page_;
+  std::vector<PageId> buckets_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace mood

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bptree.h"
+#include "types/oid.h"
+
+namespace mood {
+
+/// Binary Join Index (Valduriez-style): a materialized set of (oid_c, oid_d)
+/// pairs for one reference attribute C.A -> D, indexed in both directions. The
+/// optimizer's "index-based join" strategy (Section 8.3) probes it with whichever
+/// side is smaller; its access cost is INDCOST(k) (Section 6.3).
+class BinaryJoinIndex {
+ public:
+  static Result<std::unique_ptr<BinaryJoinIndex>> Create(BufferPool* pool,
+                                                         FileDirectory* alloc);
+  static Result<std::unique_ptr<BinaryJoinIndex>> Open(BufferPool* pool,
+                                                       FileDirectory* alloc,
+                                                       PageId forward_meta,
+                                                       PageId backward_meta);
+
+  PageId forward_meta() const { return forward_->meta_page(); }
+  PageId backward_meta() const { return backward_->meta_page(); }
+
+  Status Add(Oid from, Oid to);
+  Status Remove(Oid from, Oid to);
+
+  /// D-side objects referenced by `from` (forward direction).
+  Result<std::vector<Oid>> Targets(Oid from) const;
+  /// C-side objects referencing `to` (backward direction).
+  Result<std::vector<Oid>> Sources(Oid to) const;
+
+  uint64_t pair_count() const { return forward_->stats().entries; }
+  const BPlusTree& forward_tree() const { return *forward_; }
+  const BPlusTree& backward_tree() const { return *backward_; }
+
+ private:
+  BinaryJoinIndex(std::unique_ptr<BPlusTree> fwd, std::unique_ptr<BPlusTree> bwd)
+      : forward_(std::move(fwd)), backward_(std::move(bwd)) {}
+
+  static std::string OidKey(Oid oid);
+
+  std::unique_ptr<BPlusTree> forward_;
+  std::unique_ptr<BPlusTree> backward_;
+};
+
+/// Path index (Kemper/Moerkotte access support): maps the atomic value at the end
+/// of a path C1.A1...Am directly to the Oids of the C1 root objects, collapsing
+/// the whole chain of implicit joins into one lookup.
+class PathIndex {
+ public:
+  static Result<std::unique_ptr<PathIndex>> Create(BufferPool* pool,
+                                                   FileDirectory* alloc);
+  static Result<std::unique_ptr<PathIndex>> Open(BufferPool* pool, FileDirectory* alloc,
+                                                 PageId meta_page);
+
+  PageId meta_page() const { return tree_->meta_page(); }
+
+  /// Registers that root object `root` reaches terminal value `key` (encoded with
+  /// key_codec).
+  Status Add(Slice key, Oid root);
+  Status Remove(Slice key, Oid root);
+
+  Result<std::vector<Oid>> Lookup(Slice key) const;
+  /// Range lookup [lo, hi]; null bound = unbounded.
+  Result<std::vector<Oid>> LookupRange(const std::string* lo, const std::string* hi) const;
+
+  const BPlusTree& tree() const { return *tree_; }
+
+ private:
+  explicit PathIndex(std::unique_ptr<BPlusTree> tree) : tree_(std::move(tree)) {}
+
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+}  // namespace mood

@@ -1,0 +1,66 @@
+#include "index/key_codec.h"
+
+#include <cstring>
+
+namespace mood {
+
+namespace {
+
+void PutBigEndian64(std::string* dst, uint64_t v) {
+  for (int i = 7; i >= 0; i--) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint64_t FlipSign64(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (1ULL << 63);
+}
+
+uint64_t OrderedDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  // Negative doubles: flip all bits; non-negative: flip the sign bit.
+  if (bits & (1ULL << 63)) return ~bits;
+  return bits | (1ULL << 63);
+}
+
+}  // namespace
+
+void EncodeIndexKey(const MoodValue& v, std::string* dst) {
+  switch (v.kind()) {
+    case ValueKind::kInteger:
+      PutBigEndian64(dst, FlipSign64(v.AsInteger()));
+      break;
+    case ValueKind::kLongInteger:
+      PutBigEndian64(dst, FlipSign64(v.AsLongInteger()));
+      break;
+    case ValueKind::kFloat:
+      PutBigEndian64(dst, OrderedDouble(v.AsFloat()));
+      break;
+    case ValueKind::kChar:
+      dst->push_back(static_cast<char>(static_cast<unsigned char>(v.AsChar()) ^ 0x80));
+      break;
+    case ValueKind::kBoolean:
+      dst->push_back(v.AsBoolean() ? 1 : 0);
+      break;
+    case ValueKind::kString:
+      dst->append(v.AsString());
+      break;
+    case ValueKind::kReference:
+      PutBigEndian64(dst, v.AsReference().Pack());
+      break;
+    case ValueKind::kNull:
+      // Nulls sort lowest: empty key.
+      break;
+    default:
+      // Collections are not indexable keys; encode a stable fallback.
+      PutBigEndian64(dst, v.Hash());
+      break;
+  }
+}
+
+std::string MakeIndexKey(const MoodValue& v) {
+  std::string out;
+  EncodeIndexKey(v, &out);
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// Order-preserving key encodings: encoded keys compare with memcmp in the same
+/// order as the source values, which lets the B+-tree stay a byte-string tree.
+///
+/// Integers are sign-flipped big-endian; doubles use the standard IEEE-754 total
+/// order trick; strings are raw bytes. One index always holds keys of one type, so
+/// cross-type ordering never arises.
+void EncodeIndexKey(const MoodValue& v, std::string* dst);
+
+/// Convenience wrapper returning the encoded key.
+std::string MakeIndexKey(const MoodValue& v);
+
+}  // namespace mood

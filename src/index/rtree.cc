@@ -1,0 +1,323 @@
+#include "index/rtree.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+
+#include "common/coding.h"
+
+namespace mood {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0x47757474;  // "Gutt"
+
+void EncodeRect(char* p, const Rect& r) {
+  std::memcpy(p, &r.xmin, 8);
+  std::memcpy(p + 8, &r.ymin, 8);
+  std::memcpy(p + 16, &r.xmax, 8);
+  std::memcpy(p + 24, &r.ymax, 8);
+}
+Rect DecodeRect(const char* p) {
+  Rect r;
+  std::memcpy(&r.xmin, p, 8);
+  std::memcpy(&r.ymin, p + 8, 8);
+  std::memcpy(&r.xmax, p + 16, 8);
+  std::memcpy(&r.ymax, p + 24, 8);
+  return r;
+}
+}  // namespace
+
+Result<std::unique_ptr<RTree>> RTree::Create(BufferPool* pool, FileDirectory* alloc) {
+  MOOD_ASSIGN_OR_RETURN(Page* meta_pg, pool->NewPage());
+  PageId meta_id = meta_pg->page_id();
+  MOOD_RETURN_IF_ERROR(pool->UnpinPage(meta_id, true));
+  auto tree = std::unique_ptr<RTree>(new RTree(pool, alloc, meta_id));
+  MOOD_ASSIGN_OR_RETURN(PageId root_id, alloc->AllocatePage());
+  Node root;
+  root.id = root_id;
+  root.leaf = true;
+  MOOD_RETURN_IF_ERROR(tree->StoreNode(root));
+  tree->root_ = root_id;
+  MOOD_RETURN_IF_ERROR(tree->StoreMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<RTree>> RTree::Open(BufferPool* pool, FileDirectory* alloc,
+                                           PageId meta_page) {
+  auto tree = std::unique_ptr<RTree>(new RTree(pool, alloc, meta_page));
+  MOOD_RETURN_IF_ERROR(tree->LoadMeta());
+  return tree;
+}
+
+Status RTree::LoadMeta() {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  if (DecodeFixed32(p + 8) != kMetaMagic) return Status::Corruption("not an R-tree meta page");
+  root_ = DecodeFixed32(p + 12);
+  height_ = DecodeFixed32(p + 16);
+  entries_ = DecodeFixed64(p + 20);
+  return Status::OK();
+}
+
+Status RTree::StoreMeta() const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(meta_page_));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  EncodeFixed64(p, kInvalidLsn);
+  EncodeFixed32(p + 8, kMetaMagic);
+  EncodeFixed32(p + 12, root_);
+  EncodeFixed32(p + 16, height_);
+  EncodeFixed64(p + 20, entries_);
+  return Status::OK();
+}
+
+Result<RTree::Node> RTree::LoadNode(PageId id) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(id));
+  PageGuard guard(pool_, page);
+  const char* p = page->data();
+  Node node;
+  node.id = id;
+  node.leaf = p[8] != 0;
+  uint16_t count = DecodeFixed16(p + 9);
+  size_t off = 11;
+  node.entries.reserve(count);
+  for (uint16_t i = 0; i < count; i++) {
+    Entry e;
+    e.rect = DecodeRect(p + off);
+    off += 32;
+    if (node.leaf) {
+      e.value = DecodeFixed64(p + off);
+      off += 8;
+    } else {
+      e.child = DecodeFixed32(p + off);
+      off += 4;
+    }
+    node.entries.push_back(e);
+  }
+  if (off > kPageSize) return Status::Corruption("R-tree node overruns page");
+  return node;
+}
+
+Status RTree::StoreNode(const Node& node) const {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(node.id));
+  PageGuard guard(pool_, page);
+  guard.MarkDirty();
+  char* p = page->data();
+  std::memset(p, 0, kPageSize);
+  EncodeFixed64(p, kInvalidLsn);
+  p[8] = node.leaf ? 1 : 0;
+  EncodeFixed16(p + 9, static_cast<uint16_t>(node.entries.size()));
+  size_t off = 11;
+  for (const auto& e : node.entries) {
+    EncodeRect(p + off, e.rect);
+    off += 32;
+    if (node.leaf) {
+      EncodeFixed64(p + off, e.value);
+      off += 8;
+    } else {
+      EncodeFixed32(p + off, e.child);
+      off += 4;
+    }
+  }
+  return Status::OK();
+}
+
+Rect RTree::Mbr(const std::vector<Entry>& entries) {
+  Rect mbr = entries.front().rect;
+  for (size_t i = 1; i < entries.size(); i++) mbr = mbr.Union(entries[i].rect);
+  return mbr;
+}
+
+void RTree::QuadraticSplit(std::vector<Entry>& all, std::vector<Entry>* left,
+                           std::vector<Entry>* right) {
+  // Pick seeds: the pair wasting the most area if grouped together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < all.size(); i++) {
+    for (size_t j = i + 1; j < all.size(); j++) {
+      double waste = all[i].rect.Union(all[j].rect).Area() - all[i].rect.Area() -
+                     all[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  left->clear();
+  right->clear();
+  left->push_back(all[seed_a]);
+  right->push_back(all[seed_b]);
+  Rect lmbr = all[seed_a].rect, rmbr = all[seed_b].rect;
+  for (size_t i = 0; i < all.size(); i++) {
+    if (i == seed_a || i == seed_b) continue;
+    size_t remaining = all.size() - i;  // coarse bound on what's left (incl. this)
+    // Force assignment when one side must take all remaining to reach the minimum.
+    if (left->size() + remaining <= kMinEntries) {
+      left->push_back(all[i]);
+      lmbr = lmbr.Union(all[i].rect);
+      continue;
+    }
+    if (right->size() + remaining <= kMinEntries) {
+      right->push_back(all[i]);
+      rmbr = rmbr.Union(all[i].rect);
+      continue;
+    }
+    double dl = lmbr.Enlargement(all[i].rect);
+    double dr = rmbr.Enlargement(all[i].rect);
+    bool to_left = dl < dr || (dl == dr && lmbr.Area() <= rmbr.Area());
+    if (to_left) {
+      left->push_back(all[i]);
+      lmbr = lmbr.Union(all[i].rect);
+    } else {
+      right->push_back(all[i]);
+      rmbr = rmbr.Union(all[i].rect);
+    }
+  }
+}
+
+Result<RTree::SplitResult> RTree::InsertRec(PageId page_id, const Rect& rect,
+                                            uint64_t value, uint32_t level) {
+  MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(page_id));
+  if (node.leaf) {
+    node.entries.push_back(Entry{rect, value, kInvalidPageId});
+  } else {
+    // ChooseLeaf: child needing least enlargement (ties: smaller area).
+    size_t best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); i++) {
+      double enl = node.entries[i].rect.Enlargement(rect);
+      double area = node.entries[i].rect.Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = i;
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    MOOD_ASSIGN_OR_RETURN(SplitResult child,
+                          InsertRec(node.entries[best].child, rect, value, level + 1));
+    node.entries[best].rect = child.old_mbr;
+    if (child.split) {
+      node.entries.push_back(Entry{child.new_mbr, 0, child.new_page});
+    }
+  }
+
+  if (node.entries.size() <= kMaxEntries) {
+    MOOD_RETURN_IF_ERROR(StoreNode(node));
+    SplitResult res;
+    res.old_mbr = Mbr(node.entries);
+    return res;
+  }
+
+  // Overflow: quadratic split.
+  std::vector<Entry> left, right;
+  QuadraticSplit(node.entries, &left, &right);
+  Node sibling;
+  MOOD_ASSIGN_OR_RETURN(sibling.id, alloc_->AllocatePage());
+  sibling.leaf = node.leaf;
+  sibling.entries = std::move(right);
+  node.entries = std::move(left);
+  MOOD_RETURN_IF_ERROR(StoreNode(node));
+  MOOD_RETURN_IF_ERROR(StoreNode(sibling));
+  SplitResult res;
+  res.split = true;
+  res.new_page = sibling.id;
+  res.new_mbr = Mbr(sibling.entries);
+  res.old_mbr = Mbr(node.entries);
+  return res;
+}
+
+Status RTree::Insert(const Rect& rect, uint64_t value) {
+  MOOD_ASSIGN_OR_RETURN(SplitResult res, InsertRec(root_, rect, value, 0));
+  if (res.split) {
+    Node new_root;
+    MOOD_ASSIGN_OR_RETURN(new_root.id, alloc_->AllocatePage());
+    new_root.leaf = false;
+    new_root.entries.push_back(Entry{res.old_mbr, 0, root_});
+    new_root.entries.push_back(Entry{res.new_mbr, 0, res.new_page});
+    MOOD_RETURN_IF_ERROR(StoreNode(new_root));
+    root_ = new_root.id;
+    height_++;
+  }
+  entries_++;
+  return StoreMeta();
+}
+
+Status RTree::Delete(const Rect& rect, uint64_t value) {
+  // Depth-first search for the entry; remove it and tighten ancestor MBRs.
+  std::function<Result<bool>(PageId)> rec = [&](PageId pid) -> Result<bool> {
+    MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+    if (node.leaf) {
+      for (size_t i = 0; i < node.entries.size(); i++) {
+        if (node.entries[i].value == value && node.entries[i].rect == rect) {
+          node.entries.erase(node.entries.begin() + i);
+          MOOD_RETURN_IF_ERROR(StoreNode(node));
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t i = 0; i < node.entries.size(); i++) {
+      if (!node.entries[i].rect.Intersects(rect)) continue;
+      MOOD_ASSIGN_OR_RETURN(bool removed, rec(node.entries[i].child));
+      if (removed) {
+        MOOD_ASSIGN_OR_RETURN(Node child, LoadNode(node.entries[i].child));
+        if (!child.entries.empty()) {
+          node.entries[i].rect = Mbr(child.entries);
+        }
+        MOOD_RETURN_IF_ERROR(StoreNode(node));
+        return true;
+      }
+    }
+    return false;
+  };
+  MOOD_ASSIGN_OR_RETURN(bool removed, rec(root_));
+  if (!removed) return Status::NotFound("rect/value pair not in R-tree");
+  entries_--;
+  return StoreMeta();
+}
+
+Result<std::vector<std::pair<Rect, uint64_t>>> RTree::Search(const Rect& window) const {
+  std::vector<std::pair<Rect, uint64_t>> out;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId pid = stack.back();
+    stack.pop_back();
+    MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+    for (const auto& e : node.entries) {
+      if (!e.rect.Intersects(window)) continue;
+      if (node.leaf) {
+        out.emplace_back(e.rect, e.value);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+Status RTree::CheckRec(PageId pid, uint32_t depth) const {
+  MOOD_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+  if (node.leaf) {
+    if (depth + 1 != height_) {
+      return Status::Corruption("leaf at wrong depth");
+    }
+    return Status::OK();
+  }
+  for (const auto& e : node.entries) {
+    MOOD_ASSIGN_OR_RETURN(Node child, LoadNode(e.child));
+    if (!child.entries.empty() && !e.rect.Contains(Mbr(child.entries))) {
+      return Status::Corruption("child MBR escapes parent entry");
+    }
+    MOOD_RETURN_IF_ERROR(CheckRec(e.child, depth + 1));
+  }
+  return Status::OK();
+}
+
+Status RTree::CheckInvariants() const { return CheckRec(root_, 0); }
+
+}  // namespace mood

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace mood {
+
+/// 2-D axis-aligned rectangle used by the spatial index.
+struct Rect {
+  double xmin = 0, ymin = 0, xmax = 0, ymax = 0;
+
+  static Rect Point(double x, double y) { return Rect{x, y, x, y}; }
+
+  double Area() const { return (xmax - xmin) * (ymax - ymin); }
+
+  bool Intersects(const Rect& o) const {
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax && o.ymin <= ymax;
+  }
+  bool Contains(const Rect& o) const {
+    return xmin <= o.xmin && o.xmax <= xmax && ymin <= o.ymin && o.ymax <= ymax;
+  }
+
+  /// Smallest rectangle covering both.
+  Rect Union(const Rect& o) const {
+    return Rect{std::min(xmin, o.xmin), std::min(ymin, o.ymin), std::max(xmax, o.xmax),
+                std::max(ymax, o.ymax)};
+  }
+
+  /// Area growth needed to cover `o`.
+  double Enlargement(const Rect& o) const { return Union(o).Area() - Area(); }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Guttman R-tree (quadratic split) over the buffer pool — the index behind
+/// MoodView's "graphical indexing tool for the spatial data, i.e., R Trees".
+/// Payloads are 64-bit (packed Oids). Deletion removes the entry without
+/// rebalancing (lazy condensation), which keeps the tree valid.
+class RTree {
+ public:
+  static Result<std::unique_ptr<RTree>> Create(BufferPool* pool, FileDirectory* alloc);
+  static Result<std::unique_ptr<RTree>> Open(BufferPool* pool, FileDirectory* alloc,
+                                             PageId meta_page);
+
+  PageId meta_page() const { return meta_page_; }
+
+  Status Insert(const Rect& rect, uint64_t value);
+  Status Delete(const Rect& rect, uint64_t value);
+
+  /// All payloads whose rectangle intersects `window`.
+  Result<std::vector<std::pair<Rect, uint64_t>>> Search(const Rect& window) const;
+
+  uint64_t entries() const { return entries_; }
+  uint32_t height() const { return height_; }
+
+  /// Validates containment invariants (every child MBR inside its parent entry).
+  Status CheckInvariants() const;
+
+ private:
+  RTree(BufferPool* pool, FileDirectory* alloc, PageId meta)
+      : pool_(pool), alloc_(alloc), meta_page_(meta) {}
+
+  struct Entry {
+    Rect rect;
+    uint64_t value = 0;      // leaf payload
+    PageId child = kInvalidPageId;  // internal child
+  };
+  struct Node {
+    PageId id = kInvalidPageId;
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  static constexpr size_t kMaxEntries = 32;
+  static constexpr size_t kMinEntries = 13;  // ~40% of max, per Guttman
+
+  Status LoadMeta();
+  Status StoreMeta() const;
+  Result<Node> LoadNode(PageId id) const;
+  Status StoreNode(const Node& node) const;
+
+  struct SplitResult {
+    bool split = false;
+    PageId new_page = kInvalidPageId;
+    Rect new_mbr;
+    Rect old_mbr;
+  };
+  Result<SplitResult> InsertRec(PageId page, const Rect& rect, uint64_t value,
+                                uint32_t level);
+  /// Quadratic split of an overflowing entry list into two groups.
+  static void QuadraticSplit(std::vector<Entry>& all, std::vector<Entry>* left,
+                             std::vector<Entry>* right);
+  static Rect Mbr(const std::vector<Entry>& entries);
+
+  Status CheckRec(PageId page, uint32_t depth) const;
+
+  BufferPool* pool_;
+  FileDirectory* alloc_;
+  PageId meta_page_;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 1;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace mood

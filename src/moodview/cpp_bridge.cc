@@ -1,0 +1,317 @@
+#include "moodview/cpp_bridge.h"
+
+#include <cctype>
+
+namespace mood {
+
+namespace {
+
+/// Minimal C++-declaration tokenizer: identifiers, numbers, punctuation.
+struct CppTok {
+  std::string text;
+  size_t pos;
+};
+
+std::vector<CppTok> CppTokenize(const std::string& src) {
+  std::vector<CppTok> out;
+  size_t i = 0;
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) i++;
+      i += 2;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        i++;
+      }
+      out.push_back({src.substr(start, i - start), start});
+      continue;
+    }
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      out.push_back({"::", start});
+      i += 2;
+      continue;
+    }
+    out.push_back({std::string(1, c), start});
+    i++;
+  }
+  return out;
+}
+
+bool IsBalancedBodyStart(const std::vector<CppTok>& toks, size_t i) {
+  return i < toks.size() && toks[i].text == "{";
+}
+
+/// Skips a balanced {...} block, returning the index after the closing brace and
+/// the raw body text.
+size_t SkipBody(const std::string& src, const std::vector<CppTok>& toks, size_t i,
+                std::string* body) {
+  size_t depth = 0;
+  size_t start_pos = toks[i].pos;
+  for (; i < toks.size(); i++) {
+    if (toks[i].text == "{") depth++;
+    if (toks[i].text == "}") {
+      depth--;
+      if (depth == 0) {
+        if (body != nullptr) {
+          *body = src.substr(start_pos, toks[i].pos - start_pos + 1);
+        }
+        return i + 1;
+      }
+    }
+  }
+  return i;
+}
+
+}  // namespace
+
+Result<TypeDescPtr> CppBridge::CppTypeToMood(const std::string& spelling) {
+  if (spelling == "int") return TypeDesc::Basic(BasicType::kInteger);
+  if (spelling == "long") return TypeDesc::Basic(BasicType::kLongInteger);
+  if (spelling == "float" || spelling == "double") {
+    return TypeDesc::Basic(BasicType::kFloat);
+  }
+  if (spelling == "char") return TypeDesc::Basic(BasicType::kChar);
+  if (spelling == "bool") return TypeDesc::Basic(BasicType::kBoolean);
+  if (spelling == "String" || spelling == "string") {
+    return TypeDesc::Basic(BasicType::kString);
+  }
+  return Status::NotSupported("unsupported C++ type '" + spelling + "'");
+}
+
+std::string CppBridge::MoodTypeToCpp(const TypeDesc& type, const std::string& member) {
+  switch (type.kind()) {
+    case ConstructorKind::kBasic:
+      switch (type.basic()) {
+        case BasicType::kInteger: return "int " + member;
+        case BasicType::kLongInteger: return "long " + member;
+        case BasicType::kFloat: return "double " + member;
+        case BasicType::kChar: return "char " + member;
+        case BasicType::kBoolean: return "bool " + member;
+        case BasicType::kString:
+          if (type.string_capacity() > 0) {
+            return "char " + member + "[" + std::to_string(type.string_capacity()) + "]";
+          }
+          return "String " + member;
+      }
+      return "int " + member;
+    case ConstructorKind::kReference:
+      return type.referenced_class() + "* " + member;
+    case ConstructorKind::kSet:
+      return "Set<" + MoodTypeToCpp(*type.element(), "") + "> " + member;
+    case ConstructorKind::kList:
+      return "List<" + MoodTypeToCpp(*type.element(), "") + "> " + member;
+    case ConstructorKind::kTuple:
+      return "struct { /* tuple */ } " + member;
+  }
+  return member;
+}
+
+Result<std::vector<Catalog::ClassDef>> CppBridge::ParseHeader(const std::string& src) {
+  auto toks = CppTokenize(src);
+  std::vector<Catalog::ClassDef> defs;
+  auto find_def = [&](const std::string& name) -> Catalog::ClassDef* {
+    for (auto& d : defs) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  };
+
+  size_t i = 0;
+  auto expect = [&](const std::string& t) -> Status {
+    if (i < toks.size() && toks[i].text == t) {
+      i++;
+      return Status::OK();
+    }
+    return Status::ParseError("expected '" + t + "' in C++ declaration near offset " +
+                              std::to_string(i < toks.size() ? toks[i].pos : src.size()));
+  };
+
+  while (i < toks.size()) {
+    if (toks[i].text == "class" || toks[i].text == "struct") {
+      i++;
+      if (i >= toks.size()) return Status::ParseError("class name missing");
+      Catalog::ClassDef def;
+      def.is_class = true;
+      def.name = toks[i++].text;
+      if (i < toks.size() && toks[i].text == ";") {
+        i++;  // forward declaration
+        continue;
+      }
+      if (i < toks.size() && toks[i].text == ":") {
+        i++;
+        while (i < toks.size() && toks[i].text != "{") {
+          if (toks[i].text == "public" || toks[i].text == "private" ||
+              toks[i].text == "protected" || toks[i].text == ",") {
+            i++;
+            continue;
+          }
+          def.supers.push_back(toks[i++].text);
+        }
+      }
+      MOOD_RETURN_IF_ERROR(expect("{"));
+      while (i < toks.size() && toks[i].text != "}") {
+        // Access specifiers.
+        if ((toks[i].text == "public" || toks[i].text == "private" ||
+             toks[i].text == "protected") &&
+            i + 1 < toks.size() && toks[i + 1].text == ":") {
+          i += 2;
+          continue;
+        }
+        // Member: TYPE [*] NAME [\[N\]] (';' | '(' params ')' ';').
+        std::string base = toks[i++].text;
+        TypeDescPtr type;
+        if ((base == "Set" || base == "List") && i < toks.size() &&
+            toks[i].text == "<") {
+          i++;
+          std::string elem = toks[i++].text;
+          bool ptr = false;
+          if (i < toks.size() && toks[i].text == "*") {
+            ptr = true;
+            i++;
+          }
+          MOOD_RETURN_IF_ERROR(expect(">"));
+          TypeDescPtr elem_type;
+          if (ptr) {
+            elem_type = TypeDesc::Reference(elem);
+          } else {
+            MOOD_ASSIGN_OR_RETURN(elem_type, CppTypeToMood(elem));
+          }
+          type = base == "Set" ? TypeDesc::Set(elem_type) : TypeDesc::List(elem_type);
+        } else if (i < toks.size() && toks[i].text == "*") {
+          i++;
+          type = TypeDesc::Reference(base);
+        } else {
+          auto basic = CppTypeToMood(base);
+          if (basic.ok()) {
+            type = basic.value();
+          } else {
+            // Embedded object by value: treat as reference (MOOD identity model).
+            type = TypeDesc::Reference(base);
+          }
+        }
+        if (i >= toks.size()) return Status::ParseError("truncated member");
+        std::string member = toks[i++].text;
+        // char name[32] -> String(32).
+        if (i < toks.size() && toks[i].text == "[") {
+          i++;
+          uint32_t cap = 0;
+          if (i < toks.size()) cap = static_cast<uint32_t>(std::atoi(toks[i].text.c_str()));
+          i++;
+          MOOD_RETURN_IF_ERROR(expect("]"));
+          if (type->kind() == ConstructorKind::kBasic &&
+              type->basic() == BasicType::kChar) {
+            type = TypeDesc::SizedString(cap);
+          }
+        }
+        if (i < toks.size() && toks[i].text == "(") {
+          // Method declaration.
+          i++;
+          MoodsFunction fn;
+          fn.name = member;
+          fn.return_type = type;
+          while (i < toks.size() && toks[i].text != ")") {
+            if (toks[i].text == ",") {
+              i++;
+              continue;
+            }
+            std::string ptype = toks[i++].text;
+            bool ptr = i < toks.size() && toks[i].text == "*";
+            if (ptr) i++;
+            std::string pname =
+                (i < toks.size() && toks[i].text != ")" && toks[i].text != ",")
+                    ? toks[i++].text
+                    : "arg" + std::to_string(fn.params.size());
+            MoodsAttribute p;
+            p.name = pname;
+            if (ptr) {
+              p.type = TypeDesc::Reference(ptype);
+            } else {
+              MOOD_ASSIGN_OR_RETURN(p.type, CppTypeToMood(ptype));
+            }
+            fn.params.push_back(std::move(p));
+          }
+          MOOD_RETURN_IF_ERROR(expect(")"));
+          if (IsBalancedBodyStart(toks, i)) {
+            i = SkipBody(src, toks, i, &fn.body_source);  // inline body
+          } else {
+            MOOD_RETURN_IF_ERROR(expect(";"));
+          }
+          def.methods.push_back(std::move(fn));
+        } else {
+          MOOD_RETURN_IF_ERROR(expect(";"));
+          def.attributes.push_back(MoodsAttribute{member, type});
+        }
+      }
+      MOOD_RETURN_IF_ERROR(expect("}"));
+      if (i < toks.size() && toks[i].text == ";") i++;
+      defs.push_back(std::move(def));
+      continue;
+    }
+    // Out-of-line member definition: RET Class::name(...) { body }.
+    if (i + 2 < toks.size() && toks[i + 2].text == "::") {
+      std::string cls = toks[i + 1].text;
+      size_t j = i + 3;
+      if (j < toks.size()) {
+        std::string fname = toks[j].text;
+        // Find the body.
+        while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") j++;
+        if (j < toks.size() && toks[j].text == "{") {
+          std::string body;
+          j = SkipBody(src, toks, j, &body);
+          if (Catalog::ClassDef* def = find_def(cls)) {
+            for (auto& fn : def->methods) {
+              if (fn.name == fname) fn.body_source = body;
+            }
+          }
+          i = j;
+          continue;
+        }
+      }
+    }
+    i++;  // skip anything unrecognized at file scope
+  }
+  return defs;
+}
+
+Result<std::string> CppBridge::GenerateHeader(const Catalog& catalog,
+                                              const std::string& class_name) {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* t, catalog.Lookup(class_name));
+  std::string out = "class " + t->name;
+  if (!t->supers.empty()) {
+    out += " : ";
+    for (size_t i = 0; i < t->supers.size(); i++) {
+      if (i > 0) out += ", ";
+      out += "public " + t->supers[i];
+    }
+  }
+  out += " {\n public:\n";
+  for (const auto& a : t->own_attributes) {
+    out += "  " + MoodTypeToCpp(*a.type, a.name) + ";\n";
+  }
+  for (const auto& f : t->functions) {
+    out += "  " + MoodTypeToCpp(*f.return_type, f.name) + "(";
+    for (size_t p = 0; p < f.params.size(); p++) {
+      if (p > 0) out += ", ";
+      out += MoodTypeToCpp(*f.params[p].type, f.params[p].name);
+    }
+    out += ");\n";
+  }
+  out += "};\n";
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace mood {
+
+/// The modified-cfront substitute (Section 2 / Figure 9.1(b)): extracts catalog
+/// information from C++ class declarations, and generates C++ headers back from
+/// the catalog ("MoodView also can convert graphically designed class hierarchy
+/// graph into C++ code").
+///
+/// Supported declaration subset — the shape of the paper's own examples:
+///
+///   class Vehicle : public Base {
+///    public:
+///     int id;
+///     char name[32];            // -> String(32)
+///     Company* manufacturer;    // -> REFERENCE (Company)
+///     Set<VehicleEngine*> spares;   // -> SET (REFERENCE (VehicleEngine))
+///     int lbweight();
+///     int scale(int factor);
+///   };
+///   int Vehicle::lbweight() { return weight * 2; }   // body captured
+class CppBridge {
+ public:
+  /// Parses class declarations and out-of-line member definitions; returns the
+  /// definitions in declaration order (supers before subs is the caller's
+  /// responsibility, matching real header order).
+  static Result<std::vector<Catalog::ClassDef>> ParseHeader(const std::string& source);
+
+  /// Generates a C++ header for one catalog class.
+  static Result<std::string> GenerateHeader(const Catalog& catalog,
+                                            const std::string& class_name);
+
+  /// Maps a C++ type spelling to a MOOD type.
+  static Result<TypeDescPtr> CppTypeToMood(const std::string& spelling);
+  /// Maps a MOOD type to a C++ spelling.
+  static std::string MoodTypeToCpp(const TypeDesc& type, const std::string& member);
+};
+
+}  // namespace mood

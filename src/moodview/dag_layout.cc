@@ -1,0 +1,144 @@
+#include "moodview/dag_layout.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mood {
+
+void DagLayout::AddNode(const std::string& name) {
+  if (std::find(nodes_.begin(), nodes_.end(), name) == nodes_.end()) {
+    nodes_.push_back(name);
+  }
+}
+
+void DagLayout::AddEdge(const std::string& from, const std::string& to) {
+  AddNode(from);
+  AddNode(to);
+  edges_.emplace_back(from, to);
+}
+
+Status DagLayout::Compute() {
+  positions_.clear();
+  // Longest-path layering via repeated relaxation (graphs are small schemas).
+  std::map<std::string, int> layer;
+  for (const auto& n : nodes_) layer[n] = 0;
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > static_cast<int>(nodes_.size()) + 2) {
+      return Status::InvalidArgument("inheritance graph contains a cycle");
+    }
+    for (const auto& [from, to] : edges_) {
+      if (layer[to] < layer[from] + 1) {
+        layer[to] = layer[from] + 1;
+        changed = true;
+      }
+    }
+  }
+  layer_count_ = 0;
+  for (const auto& [n, l] : layer) layer_count_ = std::max(layer_count_, l + 1);
+
+  // Initial order: insertion order within each layer.
+  std::vector<std::vector<std::string>> layers(static_cast<size_t>(layer_count_));
+  for (const auto& n : nodes_) layers[static_cast<size_t>(layer[n])].push_back(n);
+
+  // Barycenter sweeps: order each layer by the mean position of its neighbors in
+  // the adjacent layer, alternating downward and upward.
+  auto order_index = [&](const std::vector<std::string>& row,
+                         const std::string& name) {
+    for (size_t i = 0; i < row.size(); i++) {
+      if (row[i] == name) return static_cast<double>(i);
+    }
+    return -1.0;
+  };
+  for (int sweep = 0; sweep < 4; sweep++) {
+    bool down = (sweep % 2 == 0);
+    for (int l = down ? 1 : layer_count_ - 2; down ? l < layer_count_ : l >= 0;
+         l += down ? 1 : -1) {
+      auto& row = layers[static_cast<size_t>(l)];
+      auto& adj = layers[static_cast<size_t>(down ? l - 1 : l + 1)];
+      std::stable_sort(row.begin(), row.end(), [&](const std::string& a,
+                                                   const std::string& b) {
+        auto barycenter = [&](const std::string& n) {
+          double sum = 0;
+          int count = 0;
+          for (const auto& [from, to] : edges_) {
+            const std::string* other = nullptr;
+            if (down && to == n) other = &from;
+            if (!down && from == n) other = &to;
+            if (other != nullptr) {
+              double idx = order_index(adj, *other);
+              if (idx >= 0) {
+                sum += idx;
+                count++;
+              }
+            }
+          }
+          return count == 0 ? 1e9 : sum / count;
+        };
+        return barycenter(a) < barycenter(b);
+      });
+    }
+  }
+
+  for (int l = 0; l < layer_count_; l++) {
+    for (size_t i = 0; i < layers[static_cast<size_t>(l)].size(); i++) {
+      positions_[layers[static_cast<size_t>(l)][i]] =
+          DagPosition{l, static_cast<int>(i)};
+    }
+  }
+  return Status::OK();
+}
+
+int DagLayout::CountCrossings() const {
+  // Two edges (a->b), (c->d) between the same pair of adjacent layers cross when
+  // their endpoints interleave.
+  int crossings = 0;
+  for (size_t i = 0; i < edges_.size(); i++) {
+    for (size_t j = i + 1; j < edges_.size(); j++) {
+      auto pa = positions_.at(edges_[i].first);
+      auto pb = positions_.at(edges_[i].second);
+      auto pc = positions_.at(edges_[j].first);
+      auto pd = positions_.at(edges_[j].second);
+      if (pa.layer != pc.layer || pb.layer != pd.layer) continue;
+      int u = pa.order - pc.order;
+      int v = pb.order - pd.order;
+      if ((u < 0 && v > 0) || (u > 0 && v < 0)) crossings++;
+    }
+  }
+  return crossings;
+}
+
+std::string DagLayout::Render() const {
+  std::string out;
+  for (int l = 0; l < layer_count_; l++) {
+    std::vector<std::string> row;
+    for (const auto& [n, pos] : positions_) {
+      if (pos.layer == l) row.push_back(n);
+    }
+    std::sort(row.begin(), row.end(), [&](const std::string& a, const std::string& b) {
+      return positions_.at(a).order < positions_.at(b).order;
+    });
+    out += "layer " + std::to_string(l) + ": ";
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i > 0) out += "   ";
+      out += "[" + row[i] + "]";
+    }
+    out += "\n";
+    // Edge summary below each non-final layer.
+    if (l + 1 < layer_count_) {
+      std::string links;
+      for (const auto& [from, to] : edges_) {
+        if (positions_.at(from).layer == l && positions_.at(to).layer == l + 1) {
+          if (!links.empty()) links += ", ";
+          links += from + " -> " + to;
+        }
+      }
+      if (!links.empty()) out += "         " + links + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mood {
+
+/// Placement of one DAG node: layer (row) and order within the layer.
+struct DagPosition {
+  int layer = 0;
+  int order = 0;
+};
+
+/// Layered DAG placement with barycenter crossing minimization — the algorithm
+/// behind MoodView's class-hierarchy browser ("a DAG placement algorithm that
+/// minimizes crossovers", Section 9.2). Nodes are class names; edges point from
+/// superclass to subclass.
+class DagLayout {
+ public:
+  void AddNode(const std::string& name);
+  void AddEdge(const std::string& from, const std::string& to);
+
+  /// Computes layers (longest path from roots) and orders nodes within each
+  /// layer by iterated barycenter sweeps.
+  Status Compute();
+
+  const std::map<std::string, DagPosition>& positions() const { return positions_; }
+  int layer_count() const { return layer_count_; }
+
+  /// Number of edge crossings in the current placement (minimization target;
+  /// exposed for tests and the layout-quality bench).
+  int CountCrossings() const;
+
+  /// ASCII rendering: one row per layer, edges drawn as parent lists.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+  std::map<std::string, DagPosition> positions_;
+  int layer_count_ = 0;
+};
+
+}  // namespace mood

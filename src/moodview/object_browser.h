@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "objects/object_manager.h"
+
+namespace mood {
+
+/// Generic object presenter: "MoodView has a generic display algorithm for
+/// displaying these object graphs and walking through the referenced objects"
+/// (Section 9.3). The rendering is driven entirely by the persistent type
+/// catalog, so it works for any class without per-type code.
+class ObjectBrowser {
+ public:
+  explicit ObjectBrowser(ObjectManager* objects) : objects_(objects) {}
+
+  /// Renders one object: attribute names from the catalog, nested values, and
+  /// referenced objects expanded to `depth` levels (cycle-safe).
+  Result<std::string> Render(Oid oid, int depth = 1) const;
+
+  /// Renders every instance of a class (Figure 9.3(b)'s set browser).
+  Result<std::string> RenderExtent(const std::string& class_name, int depth = 0,
+                                   size_t limit = 10) const;
+
+ private:
+  Result<std::string> RenderValue(const MoodValue& v, int depth, int indent,
+                                  std::vector<Oid>* trail) const;
+  Result<std::string> RenderObject(Oid oid, int depth, int indent,
+                                   std::vector<Oid>* trail) const;
+
+  ObjectManager* objects_;
+};
+
+}  // namespace mood

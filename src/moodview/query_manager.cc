@@ -1,0 +1,35 @@
+#include "moodview/query_manager.h"
+
+namespace mood {
+
+Result<QueryResult> QueryManager::Run(const std::string& sql) {
+  HistoryEntry entry;
+  entry.sql = sql;
+  auto result = execute_(sql);
+  entry.succeeded = result.ok();
+  if (result.ok()) {
+    entry.result_rows = result.value().rows.size();
+    last_result_ = result.value();
+  }
+  history_.push_back(std::move(entry));
+  return result;
+}
+
+Result<QueryResult> QueryManager::Rerun(size_t index) {
+  if (index >= history_.size()) {
+    return Status::InvalidArgument("no history entry " + std::to_string(index));
+  }
+  return Run(history_[index].sql);
+}
+
+std::string QueryManager::RenderHistory() const {
+  std::string out = "=== Query Manager History ===\n";
+  for (size_t i = 0; i < history_.size(); i++) {
+    out += std::to_string(i) + ": [" + (history_[i].succeeded ? "ok" : "ERR") + "] " +
+           history_[i].sql + " (" + std::to_string(history_[i].result_rows) +
+           " rows)\n";
+  }
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+
+namespace mood {
+
+/// MoodView's SQL-based query manager (Section 9.3): a query editor session
+/// "with facilities for accessing previous queries". All database operations go
+/// through SQL strings interpreted by the kernel — the standard communication
+/// protocol between the GUI and the kernel (Section 9.4).
+class QueryManager {
+ public:
+  using ExecuteFn = std::function<Result<QueryResult>(const std::string& sql)>;
+
+  explicit QueryManager(ExecuteFn execute) : execute_(std::move(execute)) {}
+
+  /// Runs a query, recording it (and its outcome) in the session history.
+  Result<QueryResult> Run(const std::string& sql);
+
+  /// Re-runs history entry `index` (0 = oldest).
+  Result<QueryResult> Rerun(size_t index);
+
+  struct HistoryEntry {
+    std::string sql;
+    bool succeeded = false;
+    size_t result_rows = 0;
+  };
+  const std::vector<HistoryEntry>& history() const { return history_; }
+  const QueryResult& last_result() const { return last_result_; }
+
+  std::string RenderHistory() const;
+
+ private:
+  ExecuteFn execute_;
+  std::vector<HistoryEntry> history_;
+  QueryResult last_result_;
+};
+
+}  // namespace mood

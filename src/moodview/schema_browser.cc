@@ -1,0 +1,131 @@
+#include "moodview/schema_browser.h"
+
+namespace mood {
+
+Result<DagLayout> SchemaBrowser::BuildLayout() const {
+  DagLayout layout;
+  for (const MoodsType* t : catalog_->AllTypes()) {
+    if (!t->is_class) continue;
+    layout.AddNode(t->name);
+    for (const auto& s : t->supers) layout.AddEdge(s, t->name);
+  }
+  MOOD_RETURN_IF_ERROR(layout.Compute());
+  return layout;
+}
+
+Result<std::string> SchemaBrowser::RenderHierarchy() const {
+  MOOD_ASSIGN_OR_RETURN(DagLayout layout, BuildLayout());
+  std::string out = "=== MoodView Class Hierarchy Browser ===\n";
+  out += layout.Render();
+  out += "(edge crossings: " + std::to_string(layout.CountCrossings()) + ")\n";
+  return out;
+}
+
+Result<std::string> SchemaBrowser::RenderClass(const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* t, catalog_->Lookup(class_name));
+  std::string out = "=== MoodView Class Presentation ===\n";
+  out += "Type Name : " + t->name + "\n";
+  out += "Type Id   : " + std::to_string(t->id) + "\n";
+  out += "Class Type: " + std::string(t->is_class ? "User Class" : "User Type") + "\n";
+  out += "Superclasses:";
+  for (const auto& s : t->supers) out += " " + s;
+  out += "\nSubclasses:";
+  MOOD_ASSIGN_OR_RETURN(auto subs, catalog_->Subclasses(class_name));
+  for (const auto& s : subs) out += " " + s;
+  out += "\nMethods:\n";
+  MOOD_ASSIGN_OR_RETURN(auto fns, catalog_->AllFunctions(class_name));
+  for (const auto& f : fns) {
+    out += "  " + f.name + "(";
+    for (size_t i = 0; i < f.params.size(); i++) {
+      if (i > 0) out += ", ";
+      out += f.params[i].name + " " + f.params[i].type->ToString();
+    }
+    out += ") " + f.return_type->ToString() + "\n";
+  }
+  out += "Attributes:\n";
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+  for (const auto& a : attrs) {
+    out += "  " + a.name + " " + a.type->ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::string> SchemaBrowser::RenderAttributeTable(
+    const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+  std::string out = "=== MoodView Type Designer: " + class_name + " ===\n";
+  size_t width = 10;
+  for (const auto& a : attrs) width = std::max(width, a.name.size());
+  out += "FIELD NAME";
+  out.append(width > 10 ? width - 10 : 0, ' ');
+  out += "  DATA TYPE\n";
+  for (const auto& a : attrs) {
+    out += a.name;
+    out.append(width - a.name.size(), ' ');
+    out += "  " + a.type->ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::string> SchemaBrowser::RenderMethod(const std::string& class_name,
+                                                const std::string& method) const {
+  MOOD_ASSIGN_OR_RETURN(auto resolved, catalog_->ResolveFunction(class_name, method));
+  const auto& [defining, fn] = resolved;
+  std::string out = "=== MoodView Method Presentation ===\n";
+  out += "Method     : " + fn->name + "\n";
+  out += "Return Type: " + fn->return_type->ToString() + "\n";
+  out += "Parameters :\n";
+  for (const auto& p : fn->params) {
+    out += "  " + p.type->ToString() + " " + p.name + "\n";
+  }
+  out += "Defined By : " + defining + "\n";
+  out += "Applicable Classes:";
+  MOOD_ASSIGN_OR_RETURN(auto subtree, catalog_->SubtreeClasses(defining));
+  for (const auto& c : subtree) out += " " + c;
+  out += "\n";
+  if (!fn->body_source.empty()) {
+    out += "Body:\n" + fn->body_source + "\n";
+  }
+  return out;
+}
+
+Result<std::string> SchemaBrowser::GenerateDdl(const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* t, catalog_->Lookup(class_name));
+  std::string out = t->is_class ? "CREATE CLASS " : "CREATE TYPE ";
+  out += t->name;
+  if (!t->supers.empty()) {
+    out += "\n  INHERITS FROM ";
+    for (size_t i = 0; i < t->supers.size(); i++) {
+      if (i > 0) out += ", ";
+      out += t->supers[i];
+    }
+  }
+  if (!t->own_attributes.empty()) {
+    out += "\n  TUPLE (\n";
+    for (size_t i = 0; i < t->own_attributes.size(); i++) {
+      out += "    " + t->own_attributes[i].name + " " +
+             t->own_attributes[i].type->ToString();
+      if (i + 1 < t->own_attributes.size()) out += ",";
+      out += "\n";
+    }
+    out += "  )";
+  }
+  if (!t->functions.empty()) {
+    out += "\n  METHODS:\n";
+    for (size_t i = 0; i < t->functions.size(); i++) {
+      const auto& f = t->functions[i];
+      out += "    " + f.name + " (";
+      for (size_t p = 0; p < f.params.size(); p++) {
+        if (p > 0) out += ", ";
+        out += f.params[p].name + " " + f.params[p].type->ToString();
+      }
+      out += ") " + f.return_type->ToString();
+      if (i + 1 < t->functions.size()) out += ",";
+      out += "\n";
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "moodview/dag_layout.h"
+
+namespace mood {
+
+/// Text-mode schema browser: the catalog-driven half of MoodView (Section 9.2).
+/// Renders the class-hierarchy DAG, per-class presentations (Figure 9.2(b)),
+/// attribute designer tables (Figure 9.2(c)) and method presentations
+/// (Figure 9.2(a)).
+class SchemaBrowser {
+ public:
+  explicit SchemaBrowser(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Class-hierarchy browser: DAG placement with crossing minimization.
+  Result<std::string> RenderHierarchy() const;
+
+  /// Class presentation: type name/id, super/sub classes, methods, attributes.
+  Result<std::string> RenderClass(const std::string& class_name) const;
+
+  /// Type-designer table: FIELD NAME / DATA TYPE rows.
+  Result<std::string> RenderAttributeTable(const std::string& class_name) const;
+
+  /// Method presentation: name, return type, parameters, applicable classes.
+  Result<std::string> RenderMethod(const std::string& class_name,
+                                   const std::string& method) const;
+
+  /// Regenerates MOODSQL DDL for a class (used to round-trip schemas).
+  Result<std::string> GenerateDdl(const std::string& class_name) const;
+
+  /// Builds the layout object (exposed for crossing-count tests).
+  Result<DagLayout> BuildLayout() const;
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace mood

@@ -1,0 +1,499 @@
+#include "objects/object_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/coding.h"
+#include "index/key_codec.h"
+
+namespace mood {
+
+void EncodeObjectRecord(TypeId type_id, const MoodValue& tuple, std::string* dst) {
+  PutFixed32(dst, type_id);
+  tuple.EncodeTo(dst);
+}
+
+Result<std::pair<TypeId, MoodValue>> DecodeObjectRecord(Slice record) {
+  if (record.size() < 4) return Status::Corruption("short object record");
+  TypeId id = DecodeFixed32(record.data());
+  record.remove_prefix(4);
+  MOOD_ASSIGN_OR_RETURN(MoodValue v, MoodValue::DecodeAll(record));
+  return std::make_pair(id, std::move(v));
+}
+
+Result<HeapFile*> ObjectManager::ExtentOf(const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  if (!type->is_class) {
+    return Status::InvalidArgument("'" + class_name + "' is a value type (no extent)");
+  }
+  return storage_->GetFile(type->extent_file);
+}
+
+Result<MoodValue> ObjectManager::PadToSchema(const std::string& class_name,
+                                             MoodValue tuple) const {
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+  if (tuple.kind() != ValueKind::kTuple) {
+    return Status::TypeError("object value must be a Tuple");
+  }
+  if (tuple.size() > attrs.size()) {
+    return Status::TypeError("tuple has more fields than class '" + class_name +
+                             "' has attributes");
+  }
+  if (tuple.size() < attrs.size()) {
+    auto& elems = tuple.mutable_elements();
+    for (size_t i = elems.size(); i < attrs.size(); i++) {
+      elems.push_back(attrs[i].type->DefaultValue());
+    }
+  }
+  for (size_t i = 0; i < attrs.size(); i++) {
+    Status st = attrs[i].type->CheckValue(tuple.elements()[i]);
+    if (!st.ok()) {
+      return Status::TypeError("attribute '" + attrs[i].name + "': " + st.message());
+    }
+  }
+  return tuple;
+}
+
+Result<Oid> ObjectManager::CreateObject(const std::string& class_name, MoodValue tuple,
+                                        PageWriteLogger* wal) {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  std::string rec;
+  EncodeObjectRecord(type->id, tuple, &rec);
+  MOOD_ASSIGN_OR_RETURN(RecordId rid, extent->Insert(rec, wal));
+  Oid oid;
+  oid.file = static_cast<uint16_t>(type->extent_file);
+  oid.page = rid.page;
+  oid.slot = rid.slot;
+  MOOD_RETURN_IF_ERROR(MaintainIndexes(class_name, oid, nullptr, &tuple));
+  return oid;
+}
+
+Result<MoodValue> ObjectManager::Fetch(Oid oid) const {
+  if (!oid.valid()) return Status::InvalidArgument("null object identifier");
+  MOOD_ASSIGN_OR_RETURN(HeapFile* file, storage_->GetFile(oid.file));
+  MOOD_ASSIGN_OR_RETURN(std::string rec, file->Get(RecordId{oid.page, oid.slot}));
+  MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
+  return std::move(decoded.second);
+}
+
+Result<std::string> ObjectManager::ClassOf(Oid oid) const {
+  MOOD_ASSIGN_OR_RETURN(HeapFile* file, storage_->GetFile(oid.file));
+  MOOD_ASSIGN_OR_RETURN(std::string rec, file->Get(RecordId{oid.page, oid.slot}));
+  if (rec.size() < 4) return Status::Corruption("short object record");
+  TypeId id = DecodeFixed32(rec.data());
+  std::string name = catalog_->typeName(id);
+  if (name.empty()) return Status::CatalogError("object has unknown type id");
+  return name;
+}
+
+Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal) {
+  MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+  MOOD_ASSIGN_OR_RETURN(MoodValue old_tuple, Fetch(oid));
+  MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  std::string rec;
+  EncodeObjectRecord(type->id, tuple, &rec);
+  MOOD_RETURN_IF_ERROR(extent->Update(RecordId{oid.page, oid.slot}, rec, wal));
+  return MaintainIndexes(class_name, oid, &old_tuple, &tuple);
+}
+
+Result<int> ObjectManager::AttrIndex(const std::string& class_name,
+                                     const std::string& attr) const {
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+  for (size_t i = 0; i < attrs.size(); i++) {
+    if (attrs[i].name == attr) return static_cast<int>(i);
+  }
+  return Status::NotFound("class '" + class_name + "' has no attribute '" + attr + "'");
+}
+
+Status ObjectManager::SetAttribute(Oid oid, const std::string& attr, MoodValue value,
+                                   PageWriteLogger* wal) {
+  MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+  MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attr));
+  MOOD_ASSIGN_OR_RETURN(MoodValue tuple, Fetch(oid));
+  MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
+  tuple.mutable_elements()[static_cast<size_t>(idx)] = std::move(value);
+  return UpdateObject(oid, std::move(tuple), wal);
+}
+
+Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal) {
+  MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+  MOOD_ASSIGN_OR_RETURN(MoodValue old_tuple, Fetch(oid));
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  MOOD_RETURN_IF_ERROR(extent->Delete(RecordId{oid.page, oid.slot}, wal));
+  return MaintainIndexes(class_name, oid, &old_tuple, nullptr);
+}
+
+Result<MoodValue> ObjectManager::GetAttribute(Oid oid, const std::string& attr) const {
+  MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+  MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attr));
+  MOOD_ASSIGN_OR_RETURN(MoodValue tuple, Fetch(oid));
+  if (static_cast<size_t>(idx) >= tuple.size()) {
+    // Object predates a schema change; the attribute takes its default.
+    MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+    return attrs[static_cast<size_t>(idx)].type->DefaultValue();
+  }
+  MOOD_ASSIGN_OR_RETURN(const MoodValue* f, tuple.Field(static_cast<size_t>(idx)));
+  return *f;
+}
+
+Status ObjectManager::ScanExtent(
+    const std::string& class_name, bool include_subclasses,
+    const std::vector<std::string>& exclude,
+    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+  std::vector<std::string> classes;
+  if (include_subclasses) {
+    MOOD_ASSIGN_OR_RETURN(classes, catalog_->SubtreeClasses(class_name));
+  } else {
+    classes.push_back(class_name);
+  }
+  // The `-` operator removes whole subtrees of the excluded subclasses.
+  std::set<std::string> excluded;
+  for (const auto& ex : exclude) {
+    MOOD_ASSIGN_OR_RETURN(auto sub, catalog_->SubtreeClasses(ex));
+    excluded.insert(sub.begin(), sub.end());
+  }
+  for (const auto& cls : classes) {
+    if (excluded.count(cls)) continue;
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(cls));
+    MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
+    auto it = extent->Begin();
+    for (; it.Valid(); it.Next()) {
+      MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(it.record()));
+      Oid oid;
+      oid.file = static_cast<uint16_t>(type->extent_file);
+      oid.page = it.rid().page;
+      oid.slot = it.rid().slot;
+      MOOD_RETURN_IF_ERROR(fn(oid, decoded.second));
+    }
+    MOOD_RETURN_IF_ERROR(it.status());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ObjectManager::ExtentCount(const std::string& class_name,
+                                            bool include_subclasses) const {
+  std::vector<std::string> classes;
+  if (include_subclasses) {
+    MOOD_ASSIGN_OR_RETURN(classes, catalog_->SubtreeClasses(class_name));
+  } else {
+    classes.push_back(class_name);
+  }
+  uint64_t total = 0;
+  for (const auto& cls : classes) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(cls));
+    MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
+    total += extent->record_count();
+  }
+  return total;
+}
+
+Result<uint32_t> ObjectManager::ExtentPages(const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  return extent->page_count();
+}
+
+Result<bool> ObjectManager::DeepEquals(const MoodValue& a, const MoodValue& b) const {
+  std::vector<std::pair<uint64_t, uint64_t>> visiting;
+  return DeepEqualsRec(a, b, &visiting);
+}
+
+Result<bool> ObjectManager::DeepEqualsRec(
+    const MoodValue& a, const MoodValue& b,
+    std::vector<std::pair<uint64_t, uint64_t>>* visiting) const {
+  if (a.kind() == ValueKind::kReference && b.kind() == ValueKind::kReference) {
+    Oid oa = a.AsReference(), ob = b.AsReference();
+    if (oa == ob) return true;
+    auto pair = std::make_pair(oa.Pack(), ob.Pack());
+    if (std::find(visiting->begin(), visiting->end(), pair) != visiting->end()) {
+      return true;  // cycle: assume equal along this path
+    }
+    visiting->push_back(pair);
+    MOOD_ASSIGN_OR_RETURN(MoodValue va, Fetch(oa));
+    MOOD_ASSIGN_OR_RETURN(MoodValue vb, Fetch(ob));
+    MOOD_ASSIGN_OR_RETURN(bool eq, DeepEqualsRec(va, vb, visiting));
+    visiting->pop_back();
+    return eq;
+  }
+  if (a.kind() != b.kind()) return a.Equals(b);  // numeric cross-kind etc.
+  switch (a.kind()) {
+    case ValueKind::kTuple:
+    case ValueKind::kList: {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); i++) {
+        MOOD_ASSIGN_OR_RETURN(bool eq,
+                              DeepEqualsRec(a.elements()[i], b.elements()[i], visiting));
+        if (!eq) return false;
+      }
+      return true;
+    }
+    case ValueKind::kSet: {
+      if (a.size() != b.size()) return false;
+      std::vector<bool> used(b.size(), false);
+      for (const auto& ea : a.elements()) {
+        bool matched = false;
+        for (size_t j = 0; j < b.size(); j++) {
+          if (used[j]) continue;
+          MOOD_ASSIGN_OR_RETURN(bool eq, DeepEqualsRec(ea, b.elements()[j], visiting));
+          if (eq) {
+            used[j] = true;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) return false;
+      }
+      return true;
+    }
+    default:
+      return a.Equals(b);
+  }
+}
+
+Status ObjectManager::MaintainIndexes(const std::string& class_name, Oid oid,
+                                      const MoodValue* old_tuple,
+                                      const MoodValue* new_tuple) {
+  auto descs = catalog_->IndexesOn(class_name);
+  if (descs.empty()) return Status::OK();
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+  auto attr_value = [&](const MoodValue* tuple, const std::string& attr)
+      -> const MoodValue* {
+    if (tuple == nullptr) return nullptr;
+    for (size_t i = 0; i < attrs.size(); i++) {
+      if (attrs[i].name == attr) {
+        return i < tuple->size() ? &tuple->elements()[i] : nullptr;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const auto& d : descs) {
+    switch (d.kind) {
+      case IndexKind::kBTree: {
+        MOOD_ASSIGN_OR_RETURN(BPlusTree * tree, OpenBTree(d));
+        const MoodValue* ov = attr_value(old_tuple, d.attribute);
+        const MoodValue* nv = attr_value(new_tuple, d.attribute);
+        if (ov != nullptr && nv != nullptr && ov->Equals(*nv)) break;
+        if (ov != nullptr) {
+          MOOD_RETURN_IF_ERROR(tree->Delete(MakeIndexKey(*ov), oid.Pack()));
+        }
+        if (nv != nullptr) {
+          MOOD_RETURN_IF_ERROR(tree->Insert(MakeIndexKey(*nv), oid.Pack()));
+        }
+        break;
+      }
+      case IndexKind::kHash: {
+        MOOD_ASSIGN_OR_RETURN(HashIndex * hash, OpenHash(d));
+        const MoodValue* ov = attr_value(old_tuple, d.attribute);
+        const MoodValue* nv = attr_value(new_tuple, d.attribute);
+        if (ov != nullptr && nv != nullptr && ov->Equals(*nv)) break;
+        if (ov != nullptr) {
+          MOOD_RETURN_IF_ERROR(hash->Delete(MakeIndexKey(*ov), oid.Pack()));
+        }
+        if (nv != nullptr) {
+          MOOD_RETURN_IF_ERROR(hash->Insert(MakeIndexKey(*nv), oid.Pack()));
+        }
+        break;
+      }
+      case IndexKind::kBinaryJoin: {
+        MOOD_ASSIGN_OR_RETURN(BinaryJoinIndex * bji, OpenJoinIndex(d));
+        const MoodValue* ov = attr_value(old_tuple, d.attribute);
+        const MoodValue* nv = attr_value(new_tuple, d.attribute);
+        auto each_ref = [](const MoodValue* v,
+                           const std::function<Status(Oid)>& cb) -> Status {
+          if (v == nullptr || v->is_null()) return Status::OK();
+          if (v->kind() == ValueKind::kReference) return cb(v->AsReference());
+          if (v->IsCollection()) {
+            for (const auto& e : v->elements()) {
+              if (e.kind() == ValueKind::kReference) MOOD_RETURN_IF_ERROR(cb(e.AsReference()));
+            }
+          }
+          return Status::OK();
+        };
+        if (ov != nullptr && nv != nullptr && ov->Equals(*nv)) break;
+        MOOD_RETURN_IF_ERROR(
+            each_ref(ov, [&](Oid target) { return bji->Remove(oid, target); }));
+        MOOD_RETURN_IF_ERROR(
+            each_ref(nv, [&](Oid target) { return bji->Add(oid, target); }));
+        break;
+      }
+      case IndexKind::kRTree:
+      case IndexKind::kPath:
+        // Spatial and path indexes are maintained by their builders / the
+        // application layer (matching the paper's standalone indexing tools).
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ObjectManager::CreateAttributeIndex(const std::string& index_name,
+                                           const std::string& class_name,
+                                           const std::string& attribute,
+                                           IndexKind kind, bool unique) {
+  if (kind != IndexKind::kBTree && kind != IndexKind::kHash) {
+    return Status::InvalidArgument("CreateAttributeIndex supports BTree/Hash only");
+  }
+  MOOD_RETURN_IF_ERROR(AttrIndex(class_name, attribute).status());
+  IndexDesc desc;
+  desc.name = index_name;
+  desc.class_name = class_name;
+  desc.attribute = attribute;
+  desc.kind = kind;
+  desc.unique = unique;
+  if (kind == IndexKind::kBTree) {
+    MOOD_ASSIGN_OR_RETURN(auto tree,
+                          BPlusTree::Create(storage_->buffer_pool(), storage_, unique));
+    desc.meta1 = tree->meta_page();
+    btrees_[index_name] = std::move(tree);
+  } else {
+    MOOD_ASSIGN_OR_RETURN(auto hash, HashIndex::Create(storage_->buffer_pool(), storage_));
+    desc.meta1 = hash->meta_page();
+    hashes_[index_name] = std::move(hash);
+  }
+  MOOD_RETURN_IF_ERROR(catalog_->RegisterIndex(desc));
+  // Bulk load existing instances (own extent only: subclass instances live in
+  // their own extents and need their own indexes).
+  MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attribute));
+  return ScanExtent(class_name, false, {}, [&](Oid oid, const MoodValue& tuple) {
+    if (static_cast<size_t>(idx) >= tuple.size()) return Status::OK();
+    const MoodValue& v = tuple.elements()[static_cast<size_t>(idx)];
+    if (kind == IndexKind::kBTree) {
+      return btrees_[index_name]->Insert(MakeIndexKey(v), oid.Pack());
+    }
+    return hashes_[index_name]->Insert(MakeIndexKey(v), oid.Pack());
+  });
+}
+
+Status ObjectManager::CreateBinaryJoinIndex(const std::string& index_name,
+                                            const std::string& class_name,
+                                            const std::string& attribute) {
+  MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attribute));
+  MOOD_ASSIGN_OR_RETURN(auto bji,
+                        BinaryJoinIndex::Create(storage_->buffer_pool(), storage_));
+  IndexDesc desc;
+  desc.name = index_name;
+  desc.class_name = class_name;
+  desc.attribute = attribute;
+  desc.kind = IndexKind::kBinaryJoin;
+  desc.meta1 = bji->forward_meta();
+  desc.meta2 = bji->backward_meta();
+  BinaryJoinIndex* raw = bji.get();
+  bjis_[index_name] = std::move(bji);
+  MOOD_RETURN_IF_ERROR(catalog_->RegisterIndex(desc));
+  return ScanExtent(class_name, false, {}, [&](Oid oid, const MoodValue& tuple) {
+    if (static_cast<size_t>(idx) >= tuple.size()) return Status::OK();
+    const MoodValue& v = tuple.elements()[static_cast<size_t>(idx)];
+    if (v.kind() == ValueKind::kReference) return raw->Add(oid, v.AsReference());
+    if (v.IsCollection()) {
+      for (const auto& e : v.elements()) {
+        if (e.kind() == ValueKind::kReference) {
+          MOOD_RETURN_IF_ERROR(raw->Add(oid, e.AsReference()));
+        }
+      }
+    }
+    return Status::OK();
+  });
+}
+
+Status ObjectManager::CreatePathIndex(const std::string& index_name,
+                                      const std::string& class_name,
+                                      const std::string& path) {
+  // Split the dotted path.
+  std::vector<std::string> steps;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t dot = path.find('.', start);
+    if (dot == std::string::npos) {
+      steps.push_back(path.substr(start));
+      break;
+    }
+    steps.push_back(path.substr(start, dot - start));
+    start = dot + 1;
+  }
+  if (steps.empty()) return Status::InvalidArgument("empty path");
+
+  MOOD_ASSIGN_OR_RETURN(auto pidx, PathIndex::Create(storage_->buffer_pool(), storage_));
+  IndexDesc desc;
+  desc.name = index_name;
+  desc.class_name = class_name;
+  desc.attribute = path;
+  desc.kind = IndexKind::kPath;
+  desc.meta1 = pidx->meta_page();
+  PathIndex* raw = pidx.get();
+  path_indexes_[index_name] = std::move(pidx);
+  MOOD_RETURN_IF_ERROR(catalog_->RegisterIndex(desc));
+  return ScanExtent(class_name, false, {}, [&](Oid oid, const MoodValue&) {
+    return TraversePath(oid, steps, [&](const MoodValue& terminal) {
+      return raw->Add(MakeIndexKey(terminal), oid);
+    });
+  });
+}
+
+Status ObjectManager::TraversePath(
+    Oid root, const std::vector<std::string>& path,
+    const std::function<Status(const MoodValue&)>& fn) const {
+  std::function<Status(Oid, size_t)> step = [&](Oid oid, size_t depth) -> Status {
+    MOOD_ASSIGN_OR_RETURN(MoodValue v, GetAttribute(oid, path[depth]));
+    auto handle = [&](const MoodValue& val) -> Status {
+      if (depth + 1 == path.size()) return fn(val);
+      if (val.is_null()) return Status::OK();  // broken path: no terminal value
+      if (val.kind() != ValueKind::kReference) {
+        return Status::TypeError("path step '" + path[depth] +
+                                 "' is not a reference but the path continues");
+      }
+      return step(val.AsReference(), depth + 1);
+    };
+    if (v.IsCollection()) {
+      for (const auto& e : v.elements()) MOOD_RETURN_IF_ERROR(handle(e));
+      return Status::OK();
+    }
+    return handle(v);
+  };
+  return step(root, 0);
+}
+
+Result<BPlusTree*> ObjectManager::OpenBTree(const IndexDesc& desc) {
+  auto it = btrees_.find(desc.name);
+  if (it != btrees_.end()) return it->second.get();
+  MOOD_ASSIGN_OR_RETURN(auto tree,
+                        BPlusTree::Open(storage_->buffer_pool(), storage_, desc.meta1));
+  BPlusTree* raw = tree.get();
+  btrees_[desc.name] = std::move(tree);
+  return raw;
+}
+
+Result<HashIndex*> ObjectManager::OpenHash(const IndexDesc& desc) {
+  auto it = hashes_.find(desc.name);
+  if (it != hashes_.end()) return it->second.get();
+  MOOD_ASSIGN_OR_RETURN(auto hash,
+                        HashIndex::Open(storage_->buffer_pool(), storage_, desc.meta1));
+  HashIndex* raw = hash.get();
+  hashes_[desc.name] = std::move(hash);
+  return raw;
+}
+
+Result<BinaryJoinIndex*> ObjectManager::OpenJoinIndex(const IndexDesc& desc) {
+  auto it = bjis_.find(desc.name);
+  if (it != bjis_.end()) return it->second.get();
+  MOOD_ASSIGN_OR_RETURN(auto bji, BinaryJoinIndex::Open(storage_->buffer_pool(),
+                                                        storage_, desc.meta1, desc.meta2));
+  BinaryJoinIndex* raw = bji.get();
+  bjis_[desc.name] = std::move(bji);
+  return raw;
+}
+
+Result<PathIndex*> ObjectManager::OpenPathIndex(const IndexDesc& desc) {
+  auto it = path_indexes_.find(desc.name);
+  if (it != path_indexes_.end()) return it->second.get();
+  MOOD_ASSIGN_OR_RETURN(auto pidx,
+                        PathIndex::Open(storage_->buffer_pool(), storage_, desc.meta1));
+  PathIndex* raw = pidx.get();
+  path_indexes_[desc.name] = std::move(pidx);
+  return raw;
+}
+
+}  // namespace mood

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "index/bptree.h"
+#include "index/hash_index.h"
+#include "index/join_index.h"
+#include "storage/storage_manager.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// Object-level storage interface: creates, fetches, updates and deletes class
+/// instances in their default extents, maintains registered secondary indexes,
+/// and implements dereferencing and deep equality — the object layer the MOOD
+/// kernel builds over the storage manager.
+class ObjectManager {
+ public:
+  ObjectManager(StorageManager* storage, Catalog* catalog)
+      : storage_(storage), catalog_(catalog) {}
+
+  /// Creates an instance of `class_name` from a tuple whose fields follow
+  /// Catalog::AllAttributes order. Type-checks against the class schema, inserts
+  /// into the class extent and maintains indexes. A tuple shorter than the schema
+  /// is padded with attribute defaults (supports schema evolution via
+  /// AddAttribute).
+  Result<Oid> CreateObject(const std::string& class_name, MoodValue tuple,
+                           PageWriteLogger* wal = nullptr);
+
+  /// The algebra's Deref(oid) operator.
+  Result<MoodValue> Fetch(Oid oid) const;
+
+  /// Class name of the object (the algebra's TypeId/isA support). Derived from
+  /// the type id stored with every object.
+  Result<std::string> ClassOf(Oid oid) const;
+
+  /// Replaces the whole attribute tuple (type-checked; indexes maintained).
+  Status UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal = nullptr);
+
+  /// Sets one attribute by name.
+  Status SetAttribute(Oid oid, const std::string& attr, MoodValue value,
+                      PageWriteLogger* wal = nullptr);
+
+  Status DeleteObject(Oid oid, PageWriteLogger* wal = nullptr);
+
+  /// Attribute of an object by name (inherited attributes included).
+  Result<MoodValue> GetAttribute(Oid oid, const std::string& attr) const;
+
+  /// Scans a class extent. `include_subclasses` adds every transitive subclass
+  /// extent (the EVERY form); `exclude` removes the subtrees of the listed
+  /// subclasses (the `-` operator in FROM).
+  Status ScanExtent(const std::string& class_name, bool include_subclasses,
+                    const std::vector<std::string>& exclude,
+                    const std::function<Status(Oid, const MoodValue&)>& fn) const;
+
+  /// |C| for one class (own extent only or with subclasses).
+  Result<uint64_t> ExtentCount(const std::string& class_name,
+                               bool include_subclasses) const;
+  /// nbpages(C) of the class's own extent.
+  Result<uint32_t> ExtentPages(const std::string& class_name) const;
+
+  /// Deep (value) equality following references, with cycle protection. Used by
+  /// DupElim on extents ("deep equality check", Table 3).
+  Result<bool> DeepEquals(const MoodValue& a, const MoodValue& b) const;
+
+  // --- Index creation & access -------------------------------------------------
+
+  /// Builds a B+-tree (or hash) index over `attribute` of `class_name`, bulk
+  /// loading existing objects, and registers it in the catalog.
+  Status CreateAttributeIndex(const std::string& index_name,
+                              const std::string& class_name,
+                              const std::string& attribute, IndexKind kind,
+                              bool unique = false);
+
+  /// Builds a binary join index over reference attribute `attribute`.
+  Status CreateBinaryJoinIndex(const std::string& index_name,
+                               const std::string& class_name,
+                               const std::string& attribute);
+
+  /// Builds a path index for `path` (dotted attribute chain from `class_name`
+  /// ending in an atomic attribute).
+  Status CreatePathIndex(const std::string& index_name, const std::string& class_name,
+                         const std::string& path);
+
+  /// Opens (cached) handles to registered indexes.
+  Result<BPlusTree*> OpenBTree(const IndexDesc& desc);
+  Result<HashIndex*> OpenHash(const IndexDesc& desc);
+  Result<BinaryJoinIndex*> OpenJoinIndex(const IndexDesc& desc);
+  Result<PathIndex*> OpenPathIndex(const IndexDesc& desc);
+
+  /// Follows a dotted path from a root object to its terminal values. Set/list
+  /// valued reference attributes fan out. The callback receives each terminal
+  /// value reached.
+  Status TraversePath(Oid root, const std::vector<std::string>& path,
+                      const std::function<Status(const MoodValue&)>& fn) const;
+
+  Catalog* catalog() const { return catalog_; }
+  StorageManager* storage() const { return storage_; }
+
+ private:
+  Result<HeapFile*> ExtentOf(const std::string& class_name) const;
+  Result<MoodValue> PadToSchema(const std::string& class_name, MoodValue tuple) const;
+
+  /// Applies index maintenance for one object transition old -> new (either may
+  /// be null for insert/delete).
+  Status MaintainIndexes(const std::string& class_name, Oid oid,
+                         const MoodValue* old_tuple, const MoodValue* new_tuple);
+
+  Result<int> AttrIndex(const std::string& class_name, const std::string& attr) const;
+
+  Result<bool> DeepEqualsRec(const MoodValue& a, const MoodValue& b,
+                             std::vector<std::pair<uint64_t, uint64_t>>* visiting) const;
+
+  StorageManager* storage_;
+  Catalog* catalog_;
+  mutable std::unordered_map<std::string, std::unique_ptr<BPlusTree>> btrees_;
+  mutable std::unordered_map<std::string, std::unique_ptr<HashIndex>> hashes_;
+  mutable std::unordered_map<std::string, std::unique_ptr<BinaryJoinIndex>> bjis_;
+  mutable std::unordered_map<std::string, std::unique_ptr<PathIndex>> path_indexes_;
+};
+
+/// Encodes an object record: [type_id u32][tuple value bytes].
+void EncodeObjectRecord(TypeId type_id, const MoodValue& tuple, std::string* dst);
+Result<std::pair<TypeId, MoodValue>> DecodeObjectRecord(Slice record);
+
+}  // namespace mood

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/plan.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+
+namespace mood {
+
+/// Entry of the ImmSelInfo dictionary (paper Table 11): immediate selections
+/// "s.A theta c" on an atomic attribute or parameterless method.
+struct ImmSelEntry {
+  std::string range_var;
+  ExprPtr pred;
+  std::string attribute;
+  bool is_method = false;
+  BinaryOp op = BinaryOp::kEq;
+  MoodValue constant;
+  double selectivity = 1.0;
+  double indexed_access_cost = -1;  ///< -1: no usable index
+  double sequential_access_cost = 0;
+  std::string access_type;  ///< "indexed" or "sequential"
+  std::optional<IndexDesc> index;
+};
+
+/// Entry of the PathSelInfo dictionary (paper Table 12, extended with the
+/// F/(1-s) ordering rank of Algorithm 8.1).
+struct PathSelEntry {
+  std::string range_var;
+  ExprPtr pred;
+  BoundPath path;
+  BinaryOp op = BinaryOp::kEq;
+  MoodValue constant;
+  double selectivity = 1.0;
+  double forward_traversal_cost = 0;  ///< F_i
+
+  double Rank() const {
+    double denom = 1.0 - selectivity;
+    if (denom <= 1e-12) return 1e308;
+    return forward_traversal_cost / denom;
+  }
+};
+
+/// Entry of the OtherSelInfo dictionary: predicates whose selectivity is hard to
+/// estimate (methods with arguments, complex predicates). Same structure as
+/// ImmSelInfo per the paper; we keep the default selectivity explicit.
+struct OtherSelEntry {
+  std::string range_var;  ///< empty when the predicate spans several variables
+  ExprPtr pred;
+  double selectivity = 1.0 / 3.0;
+};
+
+/// An explicit join predicate connecting two range variables, e.g.
+/// "c.drivetrain.engine = v" or "v.company = c.self".
+struct JoinPredEntry {
+  ExprPtr pred;
+  /// Referencing side: a path terminating in a reference.
+  std::string ref_var;
+  BoundPath ref_path;
+  /// Referenced side: a bare variable or var.self.
+  std::string target_var;
+  /// False when the predicate is a general theta join (nested loop only).
+  bool pointer_form = true;
+};
+
+/// Everything the optimizer derived for one AND-term — the dictionaries of
+/// Section 7 plus the chosen subplan. Exposed so EXPLAIN and the benches can
+/// print Tables 11/12/16/17 from live optimizer state.
+struct AndTermInfo {
+  std::vector<ImmSelEntry> imm;
+  std::vector<PathSelEntry> paths;  ///< in chosen execution order (Algorithm 8.1)
+  std::vector<OtherSelEntry> other;
+  std::vector<JoinPredEntry> joins;
+  PlanPtr plan;
+};
+
+}  // namespace mood

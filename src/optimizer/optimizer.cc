@@ -1,0 +1,754 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "stats/approx.h"
+
+namespace mood {
+
+namespace {
+
+/// Collects the range variables referenced by an expression.
+void CollectRangeVars(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kPath:
+      out->insert(e->range_var);
+      for (const auto& s : e->steps) {
+        for (const auto& arg : s.args) CollectRangeVars(arg, out);
+      }
+      return;
+    case ExprKind::kUnary:
+      CollectRangeVars(e->operand, out);
+      return;
+    case ExprKind::kBinary:
+      CollectRangeVars(e->lhs, out);
+      CollectRangeVars(e->rhs, out);
+      return;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // = and <> are symmetric
+  }
+}
+
+bool HasMethodStep(const BoundPath& path) {
+  for (bool m : path.step_is_method) {
+    if (m) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QueryOptimizer::QueryOptimizer(Catalog* catalog, ObjectManager* objects,
+                               StatisticsManager* stats, OptimizerOptions options)
+    : catalog_(catalog),
+      objects_(objects),
+      stats_(stats),
+      options_(options),
+      estimator_(stats),
+      binder_(catalog) {}
+
+std::vector<size_t> QueryOptimizer::OrderByRank(const std::vector<double>& cost,
+                                                const std::vector<double>& selectivity) {
+  std::vector<size_t> order(cost.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto rank = [&](size_t i) {
+    double denom = 1.0 - selectivity[i];
+    if (denom <= 1e-12) return 1e308;
+    return cost[i] / denom;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return rank(a) < rank(b); });
+  return order;
+}
+
+double QueryOptimizer::OrderingObjective(const std::vector<double>& cost,
+                                         const std::vector<double>& selectivity,
+                                         const std::vector<size_t>& perm) {
+  double f = 0;
+  double running = 1.0;
+  for (size_t idx : perm) {
+    f += running * cost[idx];
+    running *= selectivity[idx];
+  }
+  return f;
+}
+
+Result<ClassStats> QueryOptimizer::ClassStatsOrLive(const std::string& cls) const {
+  auto s = stats_->Class(cls);
+  if (s.ok()) return s;
+  // Fall back to live extent metadata.
+  ClassStats live;
+  MOOD_ASSIGN_OR_RETURN(live.cardinality, objects_->ExtentCount(cls, false));
+  MOOD_ASSIGN_OR_RETURN(live.nbpages, objects_->ExtentPages(cls));
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(cls));
+  size_t sz = 0;
+  for (const auto& a : attrs) sz += a.type->EstimateSize();
+  live.size = static_cast<uint32_t>(sz);
+  return live;
+}
+
+Result<double> QueryOptimizer::AtomicSelectivityOrDefault(
+    const std::string& cls, const std::string& attr, BinaryOp op,
+    const MoodValue& constant) const {
+  auto s = estimator_.AtomicSelectivity(cls, attr, op, constant);
+  if (s.ok()) return s;
+  // No statistics: textbook defaults.
+  if (op == BinaryOp::kEq) return 0.1;
+  if (op == BinaryOp::kNe) return 0.9;
+  return options_.default_selectivity;
+}
+
+Result<QueryOptimizer::Classified> QueryOptimizer::Classify(const BoundQuery& query,
+                                                            const AndTerm& term) const {
+  Classified out;
+  for (const ExprPtr& pred : term) {
+    // Default: the Other dictionary.
+    auto push_other = [&](const ExprPtr& p) {
+      std::set<std::string> vars;
+      CollectRangeVars(p, &vars);
+      OtherSelEntry e;
+      e.pred = p;
+      e.selectivity = options_.default_selectivity;
+      if (vars.size() == 1) e.range_var = *vars.begin();
+      out.other.push_back(std::move(e));
+    };
+
+    if (pred->kind != ExprKind::kBinary || !IsComparison(pred->op)) {
+      push_other(pred);
+      continue;
+    }
+
+    ExprPtr lhs = pred->lhs;
+    ExprPtr rhs = pred->rhs;
+    BinaryOp op = pred->op;
+    if (lhs->kind == ExprKind::kLiteral && rhs->kind == ExprKind::kPath) {
+      std::swap(lhs, rhs);
+      op = FlipComparison(op);
+    }
+
+    if (lhs->kind == ExprKind::kPath && rhs->kind == ExprKind::kLiteral) {
+      auto bound = binder_.ResolvePath(query, *lhs);
+      if (!bound.ok()) return bound.status();
+      const BoundPath& path = bound.value();
+      if (!path.IsTerminalAtomic() || path.steps.empty()) {
+        push_other(pred);
+        continue;
+      }
+      if (path.steps.size() == 1) {
+        // Immediate selection: atomic attribute or parameterless method.
+        ImmSelEntry e;
+        e.range_var = path.range_var;
+        e.pred = pred;
+        e.attribute = path.steps[0].name;
+        e.is_method = path.step_is_method[0];
+        e.op = op;
+        e.constant = rhs->literal;
+        out.imm.push_back(std::move(e));
+        continue;
+      }
+      if (HasMethodStep(path)) {
+        push_other(pred);
+        continue;
+      }
+      PathSelEntry e;
+      e.range_var = path.range_var;
+      e.pred = pred;
+      e.path = path;
+      e.op = op;
+      e.constant = rhs->literal;
+      out.paths.push_back(std::move(e));
+      continue;
+    }
+
+    if (lhs->kind == ExprKind::kPath && rhs->kind == ExprKind::kPath) {
+      auto bl = binder_.ResolvePath(query, *lhs);
+      auto br = binder_.ResolvePath(query, *rhs);
+      if (!bl.ok()) return bl.status();
+      if (!br.ok()) return br.status();
+      const BoundPath& pl = bl.value();
+      const BoundPath& pr = br.value();
+      if (pl.range_var == pr.range_var) {
+        push_other(pred);
+        continue;
+      }
+      // Pointer form: one side denotes the object itself, the other terminates
+      // in a reference — the implicit join C.A = D.self.
+      auto pointer_form = [&](const BoundPath& ref, const BoundPath& self) {
+        return op == BinaryOp::kEq && self.is_self && ref.IsTerminalRef() &&
+               !HasMethodStep(ref) && !ref.fans_out &&
+               catalog_->IsSubclassOf(self.classes[0], ref.TerminalClass());
+      };
+      JoinPredEntry e;
+      e.pred = pred;
+      if (pointer_form(pl, pr)) {
+        e.ref_var = pl.range_var;
+        e.ref_path = pl;
+        e.target_var = pr.range_var;
+        e.pointer_form = true;
+      } else if (pointer_form(pr, pl)) {
+        e.ref_var = pr.range_var;
+        e.ref_path = pr;
+        e.target_var = pl.range_var;
+        e.pointer_form = true;
+      } else {
+        e.ref_var = pl.range_var;
+        e.target_var = pr.range_var;
+        e.pointer_form = false;
+      }
+      out.joins.push_back(std::move(e));
+      continue;
+    }
+    push_other(pred);
+  }
+  return out;
+}
+
+Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
+    const BoundQuery& query, const std::string& var, std::vector<ImmSelEntry*> imm,
+    std::vector<OtherSelEntry*> other) const {
+  const FromEntry& from = query.range_vars.at(var);
+  MOOD_ASSIGN_OR_RETURN(ClassStats cls, ClassStatsOrLive(from.class_name));
+  const double seq = SeqCost(cls.nbpages, options_.disk);
+
+  // Fill in selectivities and access costs (Table 11 columns).
+  for (ImmSelEntry* e : imm) {
+    e->sequential_access_cost = seq;
+    e->access_type = "sequential";
+    if (e->is_method) {
+      e->selectivity = options_.default_selectivity;
+      continue;
+    }
+    MOOD_ASSIGN_OR_RETURN(
+        e->selectivity,
+        AtomicSelectivityOrDefault(from.class_name, e->attribute, e->op, e->constant));
+    // Usable index?
+    auto btree = catalog_->FindIndex(from.class_name, e->attribute, IndexKind::kBTree);
+    auto hash = catalog_->FindIndex(from.class_name, e->attribute, IndexKind::kHash);
+    if (btree.has_value()) {
+      auto tree = objects_->OpenBTree(*btree);
+      if (tree.ok()) {
+        BPlusTreeStats ts = tree.value()->stats();
+        BTreeCostParams bt;
+        bt.order = std::max<uint32_t>(ts.order, 2);
+        bt.levels = std::max<uint32_t>(ts.levels, 1);
+        bt.leaves = std::max<uint64_t>(ts.leaves, 1);
+        bt.keysize = ts.keysize;
+        bt.unique = ts.unique;
+        e->indexed_access_cost = e->op == BinaryOp::kEq
+                                     ? IndCost(1, bt, options_.disk)
+                                     : RngxCost(e->selectivity, bt, options_.disk);
+        e->index = btree;
+      }
+    } else if (hash.has_value() && e->op == BinaryOp::kEq) {
+      // Bucket page + object page.
+      e->indexed_access_cost = RndCost(2, options_.disk);
+      e->index = hash;
+    }
+  }
+
+  // Section 8.1: pick the number of indexes to use — the maximum k with
+  //   sum_{i<=k} cost_i + RNDCOST(|C| * prod_{i<=k} f_i) < SEQCOST(nbpages(C)).
+  std::vector<ImmSelEntry*> indexed;
+  for (ImmSelEntry* e : imm) {
+    if (e->indexed_access_cost >= 0 && e->index.has_value()) indexed.push_back(e);
+  }
+  std::sort(indexed.begin(), indexed.end(), [](const ImmSelEntry* a, const ImmSelEntry* b) {
+    return a->indexed_access_cost < b->indexed_access_cost;
+  });
+  size_t chosen = 0;
+  {
+    double cost_sum = 0;
+    double sel_prod = 1.0;
+    for (size_t k = 0; k < indexed.size(); k++) {
+      cost_sum += indexed[k]->indexed_access_cost;
+      sel_prod *= indexed[k]->selectivity;
+      double total = cost_sum +
+                     RndCost(static_cast<double>(cls.cardinality) * sel_prod, options_.disk);
+      if (total < seq) chosen = k + 1;
+    }
+  }
+
+  PlanPtr leaf;
+  double leaf_cost = seq;
+  if (chosen > 0) {
+    std::vector<IndexProbe> probes;
+    double cost_sum = 0;
+    double sel_prod = 1.0;
+    for (size_t k = 0; k < chosen; k++) {
+      indexed[k]->access_type = "indexed";
+      probes.push_back(IndexProbe{*indexed[k]->index, indexed[k]->op,
+                                  indexed[k]->constant});
+      cost_sum += indexed[k]->indexed_access_cost;
+      sel_prod *= indexed[k]->selectivity;
+    }
+    leaf = PlanNode::IndexSel(from, std::move(probes));
+    leaf_cost = cost_sum +
+                RndCost(static_cast<double>(cls.cardinality) * sel_prod, options_.disk);
+  } else {
+    leaf = PlanNode::Bind(from);
+  }
+
+  // Residual predicates: everything not enforced by the chosen probes, applied
+  // in ascending selectivity order (short-circuit heuristic of Section 8.1).
+  struct Residual {
+    ExprPtr pred;
+    double selectivity;
+  };
+  std::vector<Residual> residual;
+  for (ImmSelEntry* e : imm) {
+    bool used = false;
+    for (size_t k = 0; k < chosen; k++) {
+      if (indexed[k] == e) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) residual.push_back(Residual{e->pred, e->selectivity});
+  }
+  for (OtherSelEntry* e : other) residual.push_back(Residual{e->pred, e->selectivity});
+  std::stable_sort(residual.begin(), residual.end(),
+                   [](const Residual& a, const Residual& b) {
+                     return a.selectivity < b.selectivity;
+                   });
+
+  VarPlan vp;
+  double sel_all = 1.0;
+  for (ImmSelEntry* e : imm) sel_all *= e->selectivity;
+  for (OtherSelEntry* e : other) sel_all *= e->selectivity;
+  vp.k = static_cast<double>(cls.cardinality) * sel_all;
+  vp.accessed = chosen > 0 || !residual.empty();
+  if (residual.empty()) {
+    vp.plan = leaf;
+  } else {
+    std::vector<ExprPtr> preds;
+    for (const auto& r : residual) preds.push_back(r.pred);
+    vp.plan = PlanNode::Filter(leaf, std::move(preds));
+  }
+  vp.plan->est_cost = leaf_cost;
+  vp.plan->est_rows = vp.k;
+  return vp;
+}
+
+Result<QueryOptimizer::HopCost> QueryOptimizer::BestJoinStrategy(
+    const std::string& c_class, const std::string& attr, const std::string& d_class,
+    double k_c, double k_d, bool c_accessed, bool d_accessed) const {
+  MOOD_ASSIGN_OR_RETURN(ClassStats cs, ClassStatsOrLive(c_class));
+  MOOD_ASSIGN_OR_RETURN(ClassStats ds, ClassStatsOrLive(d_class));
+  ImplicitJoinInput in;
+  in.k_c = k_c;
+  in.k_d = k_d;
+  in.card_c = static_cast<double>(cs.cardinality);
+  in.card_d = static_cast<double>(ds.cardinality);
+  in.nbpages_c = cs.nbpages;
+  in.nbpages_d = ds.nbpages;
+  in.c_accessed_previously = c_accessed;
+  in.d_accessed_previously = d_accessed;
+  auto ref = stats_->Reference(c_class, attr);
+  if (ref.ok()) {
+    in.fan = ref.value().fan;
+    in.totref = static_cast<double>(ref.value().totref);
+  } else {
+    in.fan = 1.0;
+    in.totref = std::min(in.card_c, in.card_d);
+  }
+
+  HopCost best;
+  best.jc = ForwardTraversalCost(in, options_.disk);
+  best.method = JoinMethod::kForwardTraversal;
+  double btc = BackwardTraversalCost(in, options_.disk);
+  if (btc < best.jc) {
+    best.jc = btc;
+    best.method = JoinMethod::kBackwardTraversal;
+  }
+  double hhc = HashPartitionJoinCost(in, options_.disk);
+  if (hhc < best.jc) {
+    best.jc = hhc;
+    best.method = JoinMethod::kHashPartition;
+  }
+  auto bji = catalog_->FindIndex(c_class, attr, IndexKind::kBinaryJoin);
+  if (bji.has_value()) {
+    auto idx = objects_->OpenJoinIndex(*bji);
+    if (idx.ok()) {
+      BPlusTreeStats ts = idx.value()->forward_tree().stats();
+      BTreeCostParams bt;
+      bt.order = std::max<uint32_t>(ts.order, 2);
+      bt.levels = std::max<uint32_t>(ts.levels, 1);
+      bt.leaves = std::max<uint64_t>(ts.leaves, 1);
+      double bjc = BinaryJoinIndexCost(std::min(k_c, k_d), bt, options_.disk);
+      if (bjc < best.jc) {
+        best.jc = bjc;
+        best.method = JoinMethod::kIndexed;
+      }
+    }
+  }
+  double card_d = std::max(in.card_d, 1.0);
+  best.js = std::min(0.99, in.fan * k_d / card_d);
+  return best;
+}
+
+Result<QueryOptimizer::VarPlan> QueryOptimizer::ExpandPathSelection(
+    const BoundQuery& query, VarPlan current, const PathSelEntry& entry) const {
+  const BoundPath& path = entry.path;
+  const size_t hops = path.classes.size() - 1;  // reference hops
+  if (hops == 0) return Status::Internal("path selection without reference hops");
+
+  struct ChainNode {
+    PlanPtr plan;
+    size_t left_class;   // index into path.classes
+    size_t right_class;
+    double k_left;
+    double k_right;
+    bool accessed;
+  };
+  std::vector<std::string> class_vars(path.classes.size());
+  class_vars[0] = entry.range_var;
+
+  std::vector<ChainNode> nodes;
+  nodes.push_back(ChainNode{current.plan, 0, 0, current.k, current.k, current.accessed});
+  for (size_t i = 1; i < path.classes.size(); i++) {
+    const std::string& cls = path.classes[i];
+    class_vars[i] = "_t" + std::to_string(++temp_var_counter_);
+    FromEntry fe;
+    fe.class_name = cls;
+    fe.var = class_vars[i];
+    MOOD_ASSIGN_OR_RETURN(ClassStats cs, ClassStatsOrLive(cls));
+    ChainNode node;
+    node.left_class = node.right_class = i;
+    node.k_left = node.k_right = static_cast<double>(cs.cardinality);
+    node.accessed = false;
+    if (i + 1 == path.classes.size()) {
+      // Terminal class: apply the atomic selection A_m theta c here, reusing the
+      // Section 8.1 machinery (index choice + residual ordering).
+      const std::string& am = path.steps.back().name;
+      ExprPtr term_pred = Expr::Binary(
+          entry.op, Expr::Path(class_vars[i], {PathStep{am, false, {}}}),
+          Expr::Literal(entry.constant));
+      ImmSelEntry imm;
+      imm.range_var = class_vars[i];
+      imm.pred = term_pred;
+      imm.attribute = am;
+      imm.op = entry.op;
+      imm.constant = entry.constant;
+      // Temporary bound query view providing the synthetic range variable.
+      BoundQuery sub = query;
+      sub.range_vars[class_vars[i]] = fe;
+      MOOD_ASSIGN_OR_RETURN(VarPlan term,
+                            BuildVarLeaf(sub, class_vars[i], {&imm}, {}));
+      node.plan = term.plan;
+      node.k_left = node.k_right = term.k;
+      node.accessed = true;
+    } else {
+      node.plan = PlanNode::Bind(fe);
+    }
+    nodes.push_back(std::move(node));
+  }
+
+  // Algorithm 8.2: greedily merge the adjacent pair minimizing jc / (1 - js).
+  while (nodes.size() > 1) {
+    double best_rank = 1e308;
+    size_t best_i = 0;
+    HopCost best_cost;
+    for (size_t i = 0; i + 1 < nodes.size(); i++) {
+      size_t hop = nodes[i].right_class;  // ref from classes[hop] to classes[hop+1]
+      MOOD_ASSIGN_OR_RETURN(
+          HopCost hc,
+          BestJoinStrategy(path.classes[hop], path.steps[hop].name,
+                           path.classes[hop + 1], nodes[i].k_right,
+                           nodes[i + 1].k_left, nodes[i].accessed,
+                           nodes[i + 1].accessed));
+      if (hc.Rank() < best_rank) {
+        best_rank = hc.Rank();
+        best_i = i;
+        best_cost = hc;
+      }
+    }
+    ChainNode& a = nodes[best_i];
+    ChainNode& b = nodes[best_i + 1];
+    size_t hop = a.right_class;
+    MOOD_ASSIGN_OR_RETURN(ClassStats ds, ClassStatsOrLive(path.classes[hop + 1]));
+    double fan = 1.0, totref = std::max(1.0, static_cast<double>(ds.cardinality));
+    double totlinks = totref;
+    {
+      auto ref = stats_->Reference(path.classes[hop], path.steps[hop].name);
+      if (ref.ok()) {
+        fan = ref.value().fan;
+        totref = static_cast<double>(ref.value().totref);
+        MOOD_ASSIGN_OR_RETURN(ClassStats cs, ClassStatsOrLive(path.classes[hop]));
+        totlinks = fan * static_cast<double>(cs.cardinality);
+      }
+    }
+    double card_d = std::max(1.0, static_cast<double>(ds.cardinality));
+    ChainNode merged;
+    merged.plan =
+        PlanNode::PointerJoin(a.plan, b.plan, best_cost.method, class_vars[hop],
+                              {path.steps[hop].name}, class_vars[hop + 1]);
+    merged.left_class = a.left_class;
+    merged.right_class = b.right_class;
+    merged.k_left = a.k_left * std::min(1.0, fan * b.k_left / card_d);
+    double reached = CApprox(totlinks, totref, a.k_right * fan);
+    merged.k_right = b.k_right * std::min(1.0, reached / card_d);
+    merged.accessed = true;
+    merged.plan->est_cost = a.plan->est_cost + b.plan->est_cost + best_cost.jc;
+    merged.plan->est_rows = merged.k_left;
+    nodes[best_i] = merged;
+    nodes.erase(nodes.begin() + best_i + 1);
+  }
+
+  VarPlan out;
+  out.plan = nodes[0].plan;
+  out.k = nodes[0].k_left;
+  out.accessed = true;
+  return out;
+}
+
+Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stmt) {
+  Optimized result;
+  MOOD_ASSIGN_OR_RETURN(result.bound, binder_.Bind(stmt));
+  const BoundQuery& bound = result.bound;
+
+  std::vector<AndTerm> terms = bound.where_dnf;
+  if (terms.empty()) terms.push_back(AndTerm{});
+
+  std::vector<PlanPtr> term_plans;
+  for (const AndTerm& term : terms) {
+    MOOD_ASSIGN_OR_RETURN(Classified cls, Classify(bound, term));
+    AndTermInfo info;
+    info.imm = cls.imm;
+    info.other = cls.other;
+    info.joins = cls.joins;
+
+    // Group dictionary entries per range variable.
+    std::map<std::string, std::vector<ImmSelEntry*>> imm_by_var;
+    for (auto& e : info.imm) imm_by_var[e.range_var].push_back(&e);
+    std::map<std::string, std::vector<OtherSelEntry*>> other_by_var;
+    std::vector<OtherSelEntry*> multi_var_other;
+    for (auto& e : info.other) {
+      if (e.range_var.empty()) {
+        multi_var_other.push_back(&e);
+      } else {
+        other_by_var[e.range_var].push_back(&e);
+      }
+    }
+
+    // Per-variable leaves (Section 8.1).
+    std::map<std::string, VarPlan> var_plans;
+    for (const auto& var : bound.var_order) {
+      MOOD_ASSIGN_OR_RETURN(
+          VarPlan vp, BuildVarLeaf(bound, var, imm_by_var[var], other_by_var[var]));
+      var_plans[var] = vp;
+    }
+
+    // Path-expression ordering (Algorithm 8.1): rank by F/(1-s) per variable.
+    // Missing statistics fall back to defaults (OtherSelInfo-style treatment).
+    for (auto& e : cls.paths) {
+      auto sel = estimator_.PathSelectivity(e.path, e.op, e.constant);
+      e.selectivity = sel.ok() ? sel.value() : options_.default_selectivity;
+      auto fc = ForwardPathCost(e.path, options_.path_rank_root_objects, estimator_,
+                                options_.disk);
+      const double hops = static_cast<double>(e.path.classes.size() - 1);
+      e.forward_traversal_cost =
+          fc.ok() ? fc.value()
+                  : options_.disk.s + options_.disk.r +
+                        RndCost(options_.path_rank_root_objects * (1.0 + hops),
+                                options_.disk);
+    }
+    std::stable_sort(cls.paths.begin(), cls.paths.end(),
+                     [](const PathSelEntry& a, const PathSelEntry& b) {
+                       return a.Rank() < b.Rank();
+                     });
+    info.paths = cls.paths;
+    for (const auto& e : info.paths) {
+      MOOD_ASSIGN_OR_RETURN(var_plans[e.range_var],
+                            ExpandPathSelection(bound, var_plans[e.range_var], e));
+    }
+
+    // Explicit joins between range variables: greedy connection by jc/(1-js).
+    struct Component {
+      PlanPtr plan;
+      std::set<std::string> vars;
+      double k;
+      bool accessed;
+    };
+    std::vector<Component> components;
+    for (const auto& var : bound.var_order) {
+      Component c;
+      c.plan = var_plans[var].plan;
+      c.vars = {var};
+      c.k = var_plans[var].k;
+      c.accessed = var_plans[var].accessed;
+      components.push_back(std::move(c));
+    }
+    auto comp_of = [&](const std::string& var) -> size_t {
+      for (size_t i = 0; i < components.size(); i++) {
+        if (components[i].vars.count(var)) return i;
+      }
+      return components.size();
+    };
+
+    std::vector<JoinPredEntry*> pending;
+    for (auto& e : info.joins) pending.push_back(&e);
+    while (!pending.empty()) {
+      double best_rank = 1e308;
+      size_t best_idx = SIZE_MAX;
+      HopCost best_cost;
+      for (size_t i = 0; i < pending.size(); i++) {
+        JoinPredEntry* e = pending[i];
+        size_t ca = comp_of(e->ref_var);
+        size_t cb = comp_of(e->target_var);
+        if (ca == cb) {
+          // Both sides already joined: apply as a residual filter.
+          components[ca].plan = PlanNode::Filter(components[ca].plan, {e->pred});
+          components[ca].k *= options_.default_selectivity;
+          pending.erase(pending.begin() + i);
+          best_idx = SIZE_MAX;
+          i = SIZE_MAX;  // restart scan
+          break;
+        }
+        HopCost hc;
+        if (e->pointer_form) {
+          // Price the final hop of the reference path.
+          const BoundPath& rp = e->ref_path;
+          size_t hop_idx = rp.classes.size() - 2;
+          MOOD_ASSIGN_OR_RETURN(
+              hc, BestJoinStrategy(rp.classes[hop_idx], rp.steps[hop_idx].name,
+                                   rp.classes[hop_idx + 1], components[ca].k,
+                                   components[cb].k, components[ca].accessed,
+                                   components[cb].accessed));
+        } else {
+          // Nested-loop theta join.
+          hc.method = JoinMethod::kNestedLoop;
+          hc.jc = components[ca].k * components[cb].k * options_.disk.cpu_cost;
+          hc.js = options_.default_selectivity;
+        }
+        if (hc.Rank() < best_rank) {
+          best_rank = hc.Rank();
+          best_idx = i;
+          best_cost = hc;
+        }
+      }
+      if (best_idx == SIZE_MAX) continue;  // a filter application restarted the loop
+      JoinPredEntry* e = pending[best_idx];
+      pending.erase(pending.begin() + best_idx);
+      size_t ca = comp_of(e->ref_var);
+      size_t cb = comp_of(e->target_var);
+      Component merged;
+      if (e->pointer_form) {
+        std::vector<std::string> steps;
+        for (const auto& s : e->ref_path.steps) {
+          if (s.name == "self") continue;
+          steps.push_back(s.name);
+        }
+        merged.plan = PlanNode::PointerJoin(components[ca].plan, components[cb].plan,
+                                            best_cost.method, e->ref_var, steps,
+                                            e->target_var);
+      } else {
+        merged.plan =
+            PlanNode::NestedLoop(components[ca].plan, components[cb].plan, e->pred);
+      }
+      merged.vars = components[ca].vars;
+      merged.vars.insert(components[cb].vars.begin(), components[cb].vars.end());
+      merged.k = std::max(1.0, components[ca].k * std::min(1.0, best_cost.js) *
+                                   (e->pointer_form ? 1.0 : components[cb].k));
+      merged.accessed = true;
+      merged.plan->est_cost = components[ca].plan->est_cost +
+                              components[cb].plan->est_cost + best_cost.jc;
+      merged.plan->est_rows = merged.k;
+      size_t lo = std::min(ca, cb), hi = std::max(ca, cb);
+      components[lo] = std::move(merged);
+      components.erase(components.begin() + hi);
+    }
+
+    // Unconnected components: cross product.
+    while (components.size() > 1) {
+      Component merged;
+      merged.plan =
+          PlanNode::NestedLoop(components[0].plan, components[1].plan, nullptr);
+      merged.vars = components[0].vars;
+      merged.vars.insert(components[1].vars.begin(), components[1].vars.end());
+      merged.k = components[0].k * components[1].k;
+      merged.accessed = true;
+      merged.plan->est_cost =
+          components[0].plan->est_cost + components[1].plan->est_cost;
+      merged.plan->est_rows = merged.k;
+      components[0] = std::move(merged);
+      components.erase(components.begin() + 1);
+    }
+
+    PlanPtr term_plan = components[0].plan;
+    // Multi-variable Other predicates run after all joins.
+    for (OtherSelEntry* e : multi_var_other) {
+      term_plan = PlanNode::Filter(term_plan, {e->pred});
+      term_plan->est_rows = components[0].k * e->selectivity;
+      term_plan->est_cost = components[0].plan->est_cost;
+    }
+    info.plan = term_plan;
+    result.terms.push_back(std::move(info));
+    term_plans.push_back(term_plan);
+  }
+
+  if (term_plans.size() == 1) {
+    result.plan = term_plans[0];
+  } else {
+    result.plan = PlanNode::Union(term_plans);
+    for (const auto& t : term_plans) {
+      result.plan->est_cost += t->est_cost;
+      result.plan->est_rows += t->est_rows;
+    }
+  }
+  return result;
+}
+
+std::string QueryOptimizer::Optimized::Explain() const {
+  std::string out;
+  char buf[256];
+  for (size_t t = 0; t < terms.size(); t++) {
+    out += "AND-term " + std::to_string(t + 1) + ":\n";
+    if (!terms[t].imm.empty()) {
+      out += "  ImmSelInfo:\n";
+      for (const auto& e : terms[t].imm) {
+        std::snprintf(buf, sizeof(buf),
+                      "    %-4s %-40s sel=%-10.4g idx=%-10.4g seq=%-10.4g %s\n",
+                      e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity,
+                      e.indexed_access_cost, e.sequential_access_cost,
+                      e.access_type.c_str());
+        out += buf;
+      }
+    }
+    if (!terms[t].paths.empty()) {
+      out += "  PathSelInfo (ordered by F/(1-s)):\n";
+      for (const auto& e : terms[t].paths) {
+        std::snprintf(buf, sizeof(buf),
+                      "    %-4s %-40s sel=%-10.4g F=%-10.4f F/(1-s)=%-10.4f\n",
+                      e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity,
+                      e.forward_traversal_cost, e.Rank());
+        out += buf;
+      }
+    }
+    if (!terms[t].other.empty()) {
+      out += "  OtherSelInfo:\n";
+      for (const auto& e : terms[t].other) {
+        std::snprintf(buf, sizeof(buf), "    %-4s %-40s sel=%-10.4g\n",
+                      e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity);
+        out += buf;
+      }
+    }
+    out += "  Plan:\n" + terms[t].plan->Explain(2);
+  }
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,175 @@
+#include "optimizer/plan.h"
+
+#include <set>
+
+namespace mood {
+
+namespace {
+void CollectVars(const PlanNode& node, std::set<std::string>* out) {
+  switch (node.op) {
+    case PlanOp::kBindClass:
+    case PlanOp::kIndexSelect:
+      out->insert(node.from.var);
+      break;
+    case PlanOp::kFilter:
+      CollectVars(*node.child, out);
+      break;
+    case PlanOp::kPointerJoin:
+    case PlanOp::kNestedLoopJoin:
+      CollectVars(*node.left, out);
+      CollectVars(*node.right, out);
+      break;
+    case PlanOp::kUnion:
+      for (const auto& c : node.children) CollectVars(*c, out);
+      break;
+  }
+}
+
+std::string JoinPathString(const PlanNode& node) {
+  std::string p = node.ref_var;
+  for (const auto& step : node.ref_path) p += "." + step;
+  return p + " = " + node.target_var + ".self";
+}
+}  // namespace
+
+std::vector<std::string> PlanNode::BoundVars() const {
+  std::set<std::string> vars;
+  CollectVars(*this, &vars);
+  return {vars.begin(), vars.end()};
+}
+
+std::string PlanNode::ToString() const {
+  switch (op) {
+    case PlanOp::kBindClass: {
+      std::string out = "BIND(";
+      if (from.every) out += "EVERY ";
+      out += from.class_name;
+      for (const auto& ex : from.excludes) out += " - " + ex;
+      out += ", " + from.var + ")";
+      return out;
+    }
+    case PlanOp::kIndexSelect: {
+      std::string out = "INDSEL(" + from.class_name;
+      for (const auto& probe : probes) {
+        out += ", " + probe.index.name + ": " + from.var + "." + probe.index.attribute +
+               " " + std::string(BinaryOpName(probe.cmp)) + " " +
+               probe.constant.ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case PlanOp::kFilter: {
+      std::string out = "SELECT(" + child->ToString() + ", ";
+      for (size_t i = 0; i < predicates.size(); i++) {
+        if (i > 0) out += " AND ";
+        out += predicates[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case PlanOp::kPointerJoin:
+      return "JOIN(" + left->ToString() + ", " + right->ToString() + ", " +
+             std::string(JoinMethodName(method)) + ", " + JoinPathString(*this) + ")";
+    case PlanOp::kNestedLoopJoin:
+      return "JOIN(" + left->ToString() + ", " + right->ToString() + ", NESTED_LOOP, " +
+             (join_pred ? join_pred->ToString() : "true") + ")";
+    case PlanOp::kUnion: {
+      std::string out = "UNION(";
+      for (size_t i = 0; i < children.size(); i++) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  [cost=%.3f rows=%.2f]", est_cost, est_rows);
+  std::string est(buf);
+  switch (op) {
+    case PlanOp::kBindClass:
+    case PlanOp::kIndexSelect:
+      return pad + ToString() + est + "\n";
+    case PlanOp::kFilter: {
+      std::string preds;
+      for (size_t i = 0; i < predicates.size(); i++) {
+        if (i > 0) preds += " AND ";
+        preds += predicates[i]->ToString();
+      }
+      return pad + "SELECT " + preds + est + "\n" + child->Explain(indent + 1);
+    }
+    case PlanOp::kPointerJoin:
+      return pad + "JOIN[" + std::string(JoinMethodName(method)) + "] " +
+             JoinPathString(*this) + est + "\n" + left->Explain(indent + 1) +
+             right->Explain(indent + 1);
+    case PlanOp::kNestedLoopJoin:
+      return pad + "JOIN[NESTED_LOOP] " + (join_pred ? join_pred->ToString() : "true") +
+             est + "\n" + left->Explain(indent + 1) + right->Explain(indent + 1);
+    case PlanOp::kUnion: {
+      std::string out = pad + "UNION" + est + "\n";
+      for (const auto& c : children) out += c->Explain(indent + 1);
+      return out;
+    }
+  }
+  return pad + "?\n";
+}
+
+PlanPtr PlanNode::Bind(FromEntry from) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kBindClass;
+  n->from = std::move(from);
+  return n;
+}
+
+PlanPtr PlanNode::IndexSel(FromEntry from, std::vector<IndexProbe> probes) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kIndexSelect;
+  n->from = std::move(from);
+  n->probes = std::move(probes);
+  return n;
+}
+
+PlanPtr PlanNode::Filter(PlanPtr child, std::vector<ExprPtr> preds) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kFilter;
+  n->child = std::move(child);
+  n->predicates = std::move(preds);
+  return n;
+}
+
+PlanPtr PlanNode::PointerJoin(PlanPtr left, PlanPtr right, JoinMethod method,
+                              std::string ref_var, std::vector<std::string> ref_path,
+                              std::string target_var) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kPointerJoin;
+  n->left = std::move(left);
+  n->right = std::move(right);
+  n->method = method;
+  n->ref_var = std::move(ref_var);
+  n->ref_path = std::move(ref_path);
+  n->target_var = std::move(target_var);
+  return n;
+}
+
+PlanPtr PlanNode::NestedLoop(PlanPtr left, PlanPtr right, ExprPtr pred) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kNestedLoopJoin;
+  n->left = std::move(left);
+  n->right = std::move(right);
+  n->join_pred = std::move(pred);
+  return n;
+}
+
+PlanPtr PlanNode::Union(std::vector<PlanPtr> children) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanOp::kUnion;
+  n->children = std::move(children);
+  return n;
+}
+
+}  // namespace mood

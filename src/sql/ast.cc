@@ -1,0 +1,99 @@
+#include "sql/ast.h"
+
+namespace mood {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::Literal(MoodValue v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Path(std::string var, std::vector<PathStep> steps) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kPath;
+  e->range_var = std::move(var);
+  e->steps = std::move(steps);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->operand = std::move(operand);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kPath: {
+      std::string out = range_var;
+      for (const auto& s : steps) {
+        out += "." + s.name;
+        if (s.is_call) {
+          out += "(";
+          for (size_t i = 0; i < s.args.size(); i++) {
+            if (i > 0) out += ", ";
+            out += s.args[i]->ToString();
+          }
+          out += ")";
+        }
+      }
+      return out;
+    }
+    case ExprKind::kBinary:
+      return "(" + lhs->ToString() + " " + std::string(BinaryOpName(op)) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kUnary:
+      return uop == UnaryOp::kNot ? "NOT (" + operand->ToString() + ")"
+                                  : "-(" + operand->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace mood

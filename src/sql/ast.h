@@ -1,0 +1,138 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "types/value.h"
+
+namespace mood {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+std::string_view BinaryOpName(BinaryOp op);
+bool IsComparison(BinaryOp op);
+
+/// One step of a path expression: an attribute access or a method call.
+struct PathStep {
+  std::string name;
+  bool is_call = false;
+  std::vector<ExprPtr> args;
+};
+
+enum class ExprKind { kLiteral, kPath, kBinary, kUnary };
+
+/// MOODSQL expression tree. A path expression `v.a.b.c()` is one kPath node with
+/// range variable "v" and steps [a, b, c()].
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  MoodValue literal;
+
+  // kPath
+  std::string range_var;
+  std::vector<PathStep> steps;  // may be empty: the bare range variable
+
+  // kBinary
+  BinaryOp op = BinaryOp::kAnd;
+  ExprPtr lhs, rhs;
+
+  // kUnary
+  UnaryOp uop = UnaryOp::kNot;
+  ExprPtr operand;
+
+  static ExprPtr Literal(MoodValue v);
+  static ExprPtr Path(std::string var, std::vector<PathStep> steps);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+
+  /// Textual rendering (used by EXPLAIN and the optimizer dictionaries).
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// One FROM-clause entry: [EVERY] Class [- Sub1 - Sub2 ...] var
+struct FromEntry {
+  std::string class_name;
+  bool every = false;                  // include subclass extents
+  std::vector<std::string> excludes;   // the `-` operator
+  std::string var;
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<ExprPtr> projection;
+  std::vector<FromEntry> from;
+  ExprPtr where;                    // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                   // may be null
+  std::vector<OrderKey> order_by;
+  bool distinct = false;
+};
+
+struct CreateClassStmt {
+  Catalog::ClassDef def;
+};
+
+/// new ClassName <v1, v2, ...> [AS name]
+struct NewObjectStmt {
+  std::string class_name;
+  std::vector<ExprPtr> values;
+  std::string bind_name;  // optional persistent name (Bind operator)
+};
+
+/// UPDATE Class var SET attr = expr, ... [WHERE ...]
+struct UpdateStmt {
+  std::string class_name;
+  std::string var;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+/// DELETE FROM Class var [WHERE ...]
+struct DeleteStmt {
+  std::string class_name;
+  std::string var;
+  ExprPtr where;
+};
+
+/// CREATE [UNIQUE] INDEX name ON Class(attr-or-path) USING BTREE|HASH|PATH|JOININDEX
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string class_name;
+  std::string attribute;  // dotted path for USING PATH
+  IndexKind kind = IndexKind::kBTree;
+  bool unique = false;
+};
+
+struct DropClassStmt {
+  std::string class_name;
+};
+
+using Statement = std::variant<SelectStmt, CreateClassStmt, NewObjectStmt, UpdateStmt,
+                               DeleteStmt, CreateIndexStmt, DropClassStmt>;
+
+}  // namespace mood

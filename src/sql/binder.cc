@@ -1,0 +1,179 @@
+#include "sql/binder.h"
+
+#include <functional>
+
+namespace mood {
+
+std::string BoundPath::ToString() const {
+  std::string out = range_var;
+  for (const auto& s : steps) {
+    out += "." + s.name;
+    if (s.is_call) out += "()";
+  }
+  return out;
+}
+
+Result<BoundQuery> Binder::Bind(const SelectStmt& stmt) const {
+  BoundQuery query;
+  query.stmt = stmt;
+  for (const auto& fe : stmt.from) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(fe.class_name));
+    if (!type->is_class) {
+      return Status::CatalogError("FROM requires a class with an extent, '" +
+                                  fe.class_name + "' is a value type");
+    }
+    for (const auto& ex : fe.excludes) {
+      if (!catalog_->IsSubclassOf(ex, fe.class_name)) {
+        return Status::CatalogError("'" + ex + "' is not a subclass of '" +
+                                    fe.class_name + "'");
+      }
+    }
+    if (fe.var.empty()) return Status::ParseError("FROM entry missing range variable");
+    if (query.range_vars.count(fe.var)) {
+      return Status::ParseError("duplicate range variable '" + fe.var + "'");
+    }
+    query.range_vars[fe.var] = fe;
+    query.var_order.push_back(fe.var);
+  }
+
+  // Validate that every path in the statement resolves.
+  std::function<Status(const ExprPtr&)> check = [&](const ExprPtr& e) -> Status {
+    if (e == nullptr) return Status::OK();
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kPath: {
+        MOOD_RETURN_IF_ERROR(ResolvePath(query, *e).status());
+        for (const auto& s : e->steps) {
+          for (const auto& arg : s.args) MOOD_RETURN_IF_ERROR(check(arg));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kUnary:
+        return check(e->operand);
+      case ExprKind::kBinary:
+        MOOD_RETURN_IF_ERROR(check(e->lhs));
+        return check(e->rhs);
+    }
+    return Status::OK();
+  };
+  for (const auto& p : stmt.projection) MOOD_RETURN_IF_ERROR(check(p));
+  MOOD_RETURN_IF_ERROR(check(stmt.where));
+  for (const auto& g : stmt.group_by) MOOD_RETURN_IF_ERROR(check(g));
+  MOOD_RETURN_IF_ERROR(check(stmt.having));
+  for (const auto& o : stmt.order_by) MOOD_RETURN_IF_ERROR(check(o.expr));
+
+  if (stmt.where) {
+    MOOD_ASSIGN_OR_RETURN(query.where_dnf, NormalizePredicate(stmt.where));
+  }
+  if (stmt.having) {
+    MOOD_ASSIGN_OR_RETURN(query.having_dnf, NormalizePredicate(stmt.having));
+  }
+  return query;
+}
+
+Result<BoundPath> Binder::ResolvePath(const BoundQuery& query, const Expr& path) const {
+  if (path.kind != ExprKind::kPath) {
+    return Status::InvalidArgument("not a path expression");
+  }
+  auto it = query.range_vars.find(path.range_var);
+  if (it == query.range_vars.end()) {
+    return Status::CatalogError("unknown range variable '" + path.range_var + "'");
+  }
+  return ResolveSteps(path.range_var, it->second.class_name, path.steps);
+}
+
+Result<BoundPath> Binder::ResolvePathFromClass(
+    const std::string& class_name, const std::vector<std::string>& steps) const {
+  std::vector<PathStep> path_steps;
+  for (const auto& s : steps) path_steps.push_back(PathStep{s, false, {}});
+  return ResolveSteps("<" + class_name + ">", class_name, path_steps);
+}
+
+Result<BoundPath> Binder::ResolveSteps(const std::string& var,
+                                       const std::string& root_class,
+                                       const std::vector<PathStep>& steps) const {
+  BoundPath bound;
+  bound.range_var = var;
+  bound.steps = steps;
+  bound.classes.push_back(root_class);
+
+  if (steps.empty()) {
+    bound.is_self = true;
+    bound.terminal_type = TypeDesc::Reference(root_class);
+    return bound;
+  }
+  if (steps.size() == 1 && !steps[0].is_call && steps[0].name == "self") {
+    bound.is_self = true;
+    bound.step_is_method.push_back(false);
+    bound.terminal_type = TypeDesc::Reference(root_class);
+    return bound;
+  }
+
+  std::string ctx = root_class;
+  for (size_t i = 0; i < steps.size(); i++) {
+    const PathStep& step = steps[i];
+    const bool last = (i + 1 == steps.size());
+    if (step.name == "self" && !step.is_call) {
+      if (!last) return Status::CatalogError("'.self' must terminate a path");
+      bound.step_is_method.push_back(false);
+      bound.terminal_type = TypeDesc::Reference(ctx);
+      bound.is_self = (steps.size() == 1);
+      return bound;
+    }
+
+    // Attribute first; fall back to a method.
+    TypeDescPtr step_type;
+    bool is_method = false;
+    MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(ctx));
+    for (const auto& a : attrs) {
+      if (a.name == step.name) {
+        step_type = a.type;
+        break;
+      }
+    }
+    if (step_type == nullptr) {
+      auto fn = catalog_->ResolveFunction(ctx, step.name);
+      if (!fn.ok()) {
+        return Status::CatalogError("class '" + ctx + "' has no attribute or method '" +
+                                    step.name + "'");
+      }
+      is_method = true;
+      step_type = fn.value().second->return_type;
+      if (!step.is_call && !fn.value().second->params.empty()) {
+        return Status::CatalogError("method '" + step.name +
+                                    "' requires arguments; call it explicitly");
+      }
+    } else if (step.is_call) {
+      return Status::CatalogError("'" + step.name + "' is an attribute, not a method");
+    }
+    bound.step_is_method.push_back(is_method);
+
+    // Unwrap Set/List of references (fan-out).
+    TypeDescPtr effective = step_type;
+    if (effective->kind() == ConstructorKind::kSet ||
+        effective->kind() == ConstructorKind::kList) {
+      bound.fans_out = true;
+      effective = effective->element();
+    }
+
+    if (last) {
+      bound.terminal_type = effective;
+      if (effective->kind() == ConstructorKind::kReference) {
+        MOOD_RETURN_IF_ERROR(catalog_->Lookup(effective->referenced_class()).status());
+        bound.classes.push_back(effective->referenced_class());
+      }
+      return bound;
+    }
+    if (effective->kind() != ConstructorKind::kReference) {
+      return Status::CatalogError("path step '" + step.name +
+                                  "' is not a reference but the path continues");
+    }
+    ctx = effective->referenced_class();
+    MOOD_RETURN_IF_ERROR(catalog_->Lookup(ctx).status());
+    bound.classes.push_back(ctx);
+  }
+  return bound;
+}
+
+}  // namespace mood

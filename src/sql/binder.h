@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/dnf.h"
+
+namespace mood {
+
+/// A path expression resolved against the schema: the class chain it traverses
+/// and the type it terminates in. This is the unit the optimizer's selectivity
+/// and traversal-cost formulas (Section 4.1) operate on.
+struct BoundPath {
+  std::string range_var;
+  std::vector<PathStep> steps;
+
+  /// classes[i] is the class context before step i; classes.size() == steps.size()+1.
+  /// The final entry is the class reached after the last reference step (for a
+  /// path ending in an atomic attribute, the class owning that attribute... i.e.
+  /// classes[steps.size()-1]); for reference-terminated paths it is the referenced
+  /// class.
+  std::vector<std::string> classes;
+
+  /// Marks steps that resolved to methods rather than attributes.
+  std::vector<bool> step_is_method;
+
+  /// Static type of the path's terminal value (null for `.self`).
+  TypeDescPtr terminal_type;
+
+  /// True when the path is `v` or `v.self`: denotes the object itself.
+  bool is_self = false;
+
+  /// True if any step fans out through a Set/List of references.
+  bool fans_out = false;
+
+  /// Number of reference hops (implicit joins) in the path.
+  size_t RefHops() const { return classes.size() - 1; }
+
+  bool IsTerminalRef() const {
+    return terminal_type != nullptr &&
+           terminal_type->kind() == ConstructorKind::kReference;
+  }
+  bool IsTerminalAtomic() const {
+    return terminal_type != nullptr && terminal_type->kind() == ConstructorKind::kBasic;
+  }
+
+  /// The isA(path) operator: class name of the last attribute's class context.
+  const std::string& TerminalClass() const { return classes.back(); }
+
+  std::string ToString() const;
+};
+
+/// A bound SELECT: range variables resolved, WHERE/HAVING normalized to DNF.
+struct BoundQuery {
+  SelectStmt stmt;
+  /// Range variable -> FROM entry, plus positional order.
+  std::map<std::string, FromEntry> range_vars;
+  std::vector<std::string> var_order;
+  std::vector<AndTerm> where_dnf;   // empty: no WHERE
+  std::vector<AndTerm> having_dnf;  // empty: no HAVING
+};
+
+/// Semantic analysis: resolves names against the catalog and validates types.
+class Binder {
+ public:
+  explicit Binder(Catalog* catalog) : catalog_(catalog) {}
+
+  Result<BoundQuery> Bind(const SelectStmt& stmt) const;
+
+  /// Resolves one path expression given the query's range variables.
+  Result<BoundPath> ResolvePath(const BoundQuery& query, const Expr& path) const;
+
+  /// Resolves a dotted path string starting from a known class (used by path
+  /// indexes and the object browser).
+  Result<BoundPath> ResolvePathFromClass(const std::string& class_name,
+                                         const std::vector<std::string>& steps) const;
+
+ private:
+  Result<BoundPath> ResolveSteps(const std::string& var, const std::string& root_class,
+                                 const std::vector<PathStep>& steps) const;
+
+  Catalog* catalog_;
+};
+
+}  // namespace mood

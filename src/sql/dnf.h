@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mood {
+
+/// Constant folding: evaluates literal subtrees ("The expressions are
+/// simplified", Section 7). Non-constant parts are left untouched.
+Result<ExprPtr> FoldConstants(const ExprPtr& expr);
+
+/// Pushes NOT down to the comparison leaves (De Morgan; comparison negation).
+/// NOT over a non-comparison leaf stays in place.
+ExprPtr PushNotDown(const ExprPtr& expr, bool negate = false);
+
+/// An AND-term: conjunction of predicates (Section 7's p_i1 AND p_i2 AND ...).
+using AndTerm = std::vector<ExprPtr>;
+
+/// Transforms a (NOT-normalized) predicate into disjunctive normal form: the
+/// result is an OR over AND-terms. The UNION operation combines the AND-term
+/// subplans afterwards.
+std::vector<AndTerm> ToDnf(const ExprPtr& expr);
+
+/// Convenience: fold + push-not + DNF.
+Result<std::vector<AndTerm>> NormalizePredicate(const ExprPtr& expr);
+
+}  // namespace mood

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "funcman/function_manager.h"
+#include "objects/object_manager.h"
+#include "sql/ast.h"
+
+namespace mood {
+
+/// Interprets MOODSQL expressions at run time over bound range variables. This is
+/// the kernel's interpreted half: arithmetic and Boolean expressions run through
+/// OperandDataType (Section 2), while method steps dispatch into compiled bodies
+/// through the Function Manager.
+class Evaluator {
+ public:
+  Evaluator(ObjectManager* objects, FunctionManager* functions)
+      : objects_(objects), functions_(functions) {}
+
+  /// Bindings of range variables to objects for the current row.
+  struct Env {
+    std::map<std::string, Oid> vars;
+  };
+
+  /// Evaluates an expression to a value. A path through a Set/List-valued
+  /// reference attribute fans out and yields a Set of terminal values; a
+  /// comparison against such a Set uses existential semantics (true if any
+  /// element satisfies it).
+  Result<MoodValue> Eval(const ExprPtr& expr, const Env& env) const;
+
+  /// Evaluates a predicate to a Boolean (null/absent values make it false).
+  Result<bool> EvalPredicate(const ExprPtr& expr, const Env& env) const;
+
+  /// Evaluates a path expression rooted at a concrete object.
+  Result<MoodValue> EvalPathFrom(Oid root, const std::vector<PathStep>& steps,
+                                 const Env& env) const;
+
+  ObjectManager* objects() const { return objects_; }
+  FunctionManager* functions() const { return functions_; }
+
+ private:
+  Result<MoodValue> EvalBinary(const Expr& e, const Env& env) const;
+  Result<MoodValue> CallMethod(Oid receiver, const std::string& fname,
+                               const std::vector<ExprPtr>& args, const Env& env) const;
+
+  /// Compares with existential fan-out semantics.
+  Result<bool> Compare(BinaryOp op, const MoodValue& lhs, const MoodValue& rhs) const;
+
+  ObjectManager* objects_;
+  FunctionManager* functions_;
+};
+
+}  // namespace mood

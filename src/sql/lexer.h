@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mood {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kLAngle,   // < (also comparison)
+  kRAngle,   // > (also comparison)
+  kLe,
+  kGe,
+  kEq,
+  kNe,       // <>
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kColon,
+  kColonColon,
+  kSemicolon,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // identifier / keyword (upper-cased) / literal text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes MOODSQL text. Keywords are case-insensitive; identifiers keep their
+/// case. String literals use single quotes with '' as the escape.
+class Lexer {
+ public:
+  static Result<std::vector<Token>> Tokenize(const std::string& input);
+};
+
+/// True if `word` (already upper-cased) is a reserved MOODSQL keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace mood

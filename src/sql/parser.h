@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace mood {
+
+/// Hand-written recursive-descent parser for MOODSQL (Section 3.1 grammar plus
+/// the DDL shown in the paper's examples and the update statements MoodView
+/// issues).
+class Parser {
+ public:
+  /// Parses one statement (an optional trailing ';' is consumed).
+  static Result<Statement> Parse(const std::string& sql);
+
+  /// Parses a script of ';'-separated statements.
+  static Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+  /// Parses a standalone expression (used by the kernel's interpreted method
+  /// fallback on `return <expr>;` bodies).
+  static Result<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool CheckKeyword(const std::string& kw) const;
+  bool Match(TokenType t);
+  bool MatchKeyword(const std::string& kw);
+  Status Expect(TokenType t, const std::string& what);
+  Status ExpectKeyword(const std::string& kw);
+  Result<std::string> ExpectIdentifier(const std::string& what);
+
+  Result<Statement> ParseStatement();
+  Result<SelectStmt> ParseSelect();
+  Result<Statement> ParseCreate();
+  Result<CreateClassStmt> ParseCreateClass();
+  Result<CreateIndexStmt> ParseCreateIndex(bool unique);
+  Result<NewObjectStmt> ParseNew();
+  Result<UpdateStmt> ParseUpdate();
+  Result<DeleteStmt> ParseDelete();
+  Result<DropClassStmt> ParseDrop();
+
+  Result<FromEntry> ParseFromEntry();
+  Result<TypeDescPtr> ParseType();
+  Result<MoodsFunction> ParseMethodDecl();
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParsePathFrom(std::string first);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mood

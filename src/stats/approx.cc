@@ -1,0 +1,59 @@
+#include "stats/approx.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mood {
+
+double CApprox(double n, double m, double r) {
+  (void)n;  // kept for signature parity with the paper; the bound min(n, ...) is
+            // implied by r <= n in all call sites.
+  if (m <= 0) return 0;
+  if (r < m / 2.0) return r;
+  if (r < 2.0 * m) return (r + m) / 3.0;
+  return m;
+}
+
+double YaoExact(uint64_t n, uint64_t m, uint64_t k) {
+  if (m == 0 || n == 0) return 0;
+  if (k >= n) return static_cast<double>(m);
+  // p = records per block.
+  const double nd = static_cast<double>(n);
+  const double p = nd / static_cast<double>(m);
+  // P(block untouched) = prod_{i=0}^{k-1} (n - p - i) / (n - i).
+  double log_prob = 0;
+  for (uint64_t i = 0; i < k; i++) {
+    double num = nd - p - static_cast<double>(i);
+    double den = nd - static_cast<double>(i);
+    if (num <= 0) return static_cast<double>(m);
+    log_prob += std::log(num) - std::log(den);
+  }
+  return static_cast<double>(m) * (1.0 - std::exp(log_prob));
+}
+
+double Cardenas(double m, double k) {
+  if (m <= 0) return 0;
+  return m * (1.0 - std::pow(1.0 - 1.0 / m, k));
+}
+
+double OverlapProbability(double t, double x, double y) {
+  if (t <= 0 || x <= 0 || y <= 0) return 0;
+  if (x >= t || y >= t) return 1.0;
+  if (x + y > t) return 1.0;  // pigeonhole: they must intersect
+  // Exact product when one cardinality is a small integer:
+  //   C(t-x, y)/C(t, y) = prod_{i=0..x-1} (t-y-i)/(t-i)   (x and y symmetric)
+  double small = std::min(x, y);
+  double large = std::max(x, y);
+  if (small == std::floor(small) && small <= 65536) {
+    double ratio = 1.0;
+    for (double i = 0; i < small; i += 1.0) ratio *= (t - large - i) / (t - i);
+    return std::clamp(1.0 - ratio, 0.0, 1.0);
+  }
+  // General (possibly fractional) case via log-Gamma.
+  double log_ratio = std::lgamma(t - x + 1) + std::lgamma(t - y + 1) -
+                     std::lgamma(t - x - y + 1) - std::lgamma(t + 1);
+  double p = 1.0 - std::exp(log_ratio);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace mood

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mood {
+
+/// The paper's c(n, m, r) approximation [Cer 85] to the expected number of
+/// distinct "colors" when r objects are chosen out of n objects uniformly
+/// distributed over m colors:
+///
+///   c(n,m,r) = r            if r <  m/2
+///            = (r + m) / 3  if m/2 <= r < 2m
+///            = m            if r >= 2m
+double CApprox(double n, double m, double r);
+
+/// Yao's exact formula [Yao 77] for the expected number of distinct blocks
+/// touched when selecting k records out of n records stored in m blocks
+/// (n/m records per block). Used by tests/benches to validate CApprox.
+double YaoExact(uint64_t n, uint64_t m, uint64_t k);
+
+/// Cardenas' classic approximation: m * (1 - (1 - 1/m)^k).
+double Cardenas(double m, double k);
+
+/// The paper's o(t, x, y): probability that two sets of cardinalities x and y,
+/// drawn from t distinct objects, share at least one object:
+///
+///   o(t,x,y) = 1 - C(t-x, y) / C(t, y)
+///
+/// computed in log-space; y may be fractional (the paper multiplies k_m by
+/// hitprb), handled by the Gamma-function generalization of the binomial ratio.
+double OverlapProbability(double t, double x, double y);
+
+}  // namespace mood

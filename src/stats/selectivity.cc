@@ -1,0 +1,105 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/approx.h"
+
+namespace mood {
+
+Result<double> SelectivityEstimator::AtomicSelectivity(const std::string& cls,
+                                                       const std::string& attr,
+                                                       BinaryOp op,
+                                                       const MoodValue& constant) const {
+  MOOD_ASSIGN_OR_RETURN(AttributeStats s, stats_->Attribute(cls, attr));
+  auto clamp = [](double f) { return std::clamp(f, 0.0, 1.0); };
+  const double dist = s.dist == 0 ? 1.0 : static_cast<double>(s.dist);
+  switch (op) {
+    case BinaryOp::kEq:
+      return clamp(1.0 / dist);
+    case BinaryOp::kNe:
+      return clamp(1.0 - 1.0 / dist);
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (!s.has_range) return 1.0 / 3.0;
+      auto c = constant.ToDouble();
+      if (!c.ok()) return 1.0 / 3.0;
+      double denom = s.max_val - s.min_val;
+      if (denom <= 0) return clamp(1.0 / dist);
+      return clamp((s.max_val - c.value()) / denom);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe: {
+      if (!s.has_range) return 1.0 / 3.0;
+      auto c = constant.ToDouble();
+      if (!c.ok()) return 1.0 / 3.0;
+      double denom = s.max_val - s.min_val;
+      if (denom <= 0) return clamp(1.0 / dist);
+      return clamp((c.value() - s.min_val) / denom);
+    }
+    default:
+      return Status::InvalidArgument("not a comparison operator");
+  }
+}
+
+Result<SelectivityEstimator::Hop> SelectivityEstimator::HopParams(
+    const BoundPath& path, size_t i) const {
+  const std::string& c = path.classes[i];
+  const std::string& attr = path.steps[i].name;
+  MOOD_ASSIGN_OR_RETURN(ReferenceStats ref, stats_->Reference(c, attr));
+  MOOD_ASSIGN_OR_RETURN(ClassStats cs, stats_->Class(c));
+  MOOD_ASSIGN_OR_RETURN(ClassStats ds, stats_->Class(path.classes[i + 1]));
+  Hop hop;
+  hop.fan = ref.fan;
+  hop.totref = static_cast<double>(ref.totref);
+  hop.totlinks = ref.fan * static_cast<double>(cs.cardinality);
+  hop.hitprb = ds.cardinality == 0
+                   ? 0.0
+                   : static_cast<double>(ref.totref) / static_cast<double>(ds.cardinality);
+  return hop;
+}
+
+Result<double> SelectivityEstimator::Fref(const BoundPath& path, double k,
+                                          size_t hops) const {
+  const size_t ref_hops = path.classes.size() - 1;
+  const size_t limit = std::min(hops, ref_hops);
+  double fref = k;
+  for (size_t i = 0; i < limit; i++) {
+    MOOD_ASSIGN_OR_RETURN(Hop hop, HopParams(path, i));
+    fref = CApprox(hop.totlinks, hop.totref, fref * hop.fan);
+  }
+  return fref;
+}
+
+Result<double> SelectivityEstimator::TerminalK(const BoundPath& path, BinaryOp op,
+                                               const MoodValue& constant) const {
+  if (!path.IsTerminalAtomic()) {
+    return Status::InvalidArgument("path does not terminate in an atomic attribute");
+  }
+  const std::string& cm = path.TerminalClass();
+  const std::string& am = path.steps.back().name;
+  MOOD_ASSIGN_OR_RETURN(double fs, AtomicSelectivity(cm, am, op, constant));
+  MOOD_ASSIGN_OR_RETURN(ClassStats cs, stats_->Class(cm));
+  return static_cast<double>(cs.cardinality) * fs;
+}
+
+Result<double> SelectivityEstimator::PathSelectivity(const BoundPath& path, BinaryOp op,
+                                                     const MoodValue& constant) const {
+  if (path.steps.size() == 1) {
+    // Immediate selection: plain atomic selectivity.
+    return AtomicSelectivity(path.classes[0], path.steps[0].name, op, constant);
+  }
+  const size_t ref_hops = path.classes.size() - 1;
+  if (ref_hops == 0) {
+    return Status::InvalidArgument("path selectivity needs at least one reference hop");
+  }
+  MOOD_ASSIGN_OR_RETURN(double k_m, TerminalK(path, op, constant));
+  MOOD_ASSIGN_OR_RETURN(double fref_one, Fref(path, 1.0));
+  MOOD_ASSIGN_OR_RETURN(Hop last, HopParams(path, ref_hops - 1));
+  // The paper's Table 16 requires the expected matching set to contain at least
+  // one object (see DESIGN.md): y = max(1, k_m * hitprb).
+  double y = std::max(1.0, k_m * last.hitprb);
+  return OverlapProbability(last.totref, fref_one, y);
+}
+
+}  // namespace mood

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+#include "stats/statistics.h"
+
+namespace mood {
+
+/// Implements the selectivity formulas of Section 4.1 under the uniformity
+/// assumption.
+class SelectivityEstimator {
+ public:
+  explicit SelectivityEstimator(const StatisticsManager* stats) : stats_(stats) {}
+
+  /// f_s for an atomic predicate "s.A theta c":
+  ///   =        -> 1 / dist(A,C)
+  ///   >, >=    -> (max - c) / (max - min)
+  ///   <, <=    -> (c - min) / (max - min)
+  ///   <>       -> 1 - 1/dist
+  /// BETWEEN arrives as >= AND <= after parsing. Non-numeric attributes fall back
+  /// to 1/dist for equality and 1/3 for ranges (the classic default).
+  Result<double> AtomicSelectivity(const std::string& cls, const std::string& attr,
+                                   BinaryOp op, const MoodValue& constant) const;
+
+  /// fref(p.A1...Ai, k): expected number of distinct objects of the class at the
+  /// end of the reference prefix when starting from k objects of the root class.
+  ///   fref(0) = k;  fref(i) = c(totlinks_i, totref_i, fref(i-1) * fan_i)
+  /// `hops` limits the prefix (SIZE_MAX = all reference hops of the path).
+  Result<double> Fref(const BoundPath& path, double k, size_t hops = SIZE_MAX) const;
+
+  /// Selectivity of a full path-expression predicate "p.A1...Am theta c"
+  /// (Section 4.1):
+  ///   k_m  = |C_m| * f_s(A_m theta c)
+  ///   f_s  = o(totref_{m-1}, fref(prefix, 1), max(1, k_m * hitprb_{m-1}))
+  /// The max(1, .) clamp reproduces the paper's Table 16 value for P2 (see
+  /// DESIGN.md's reverse-engineering note).
+  Result<double> PathSelectivity(const BoundPath& path, BinaryOp op,
+                                 const MoodValue& constant) const;
+
+  /// Expected number of C_m objects selected by the terminal predicate: k_m.
+  Result<double> TerminalK(const BoundPath& path, BinaryOp op,
+                           const MoodValue& constant) const;
+
+  const StatisticsManager* stats() const { return stats_; }
+
+ private:
+  /// Reference-hop parameters for hop i (0-based): A_{i+1} from classes[i] to
+  /// classes[i+1].
+  struct Hop {
+    double fan;
+    double totref;
+    double totlinks;
+    double hitprb;
+  };
+  Result<Hop> HopParams(const BoundPath& path, size_t i) const;
+
+  const StatisticsManager* stats_;
+};
+
+}  // namespace mood

@@ -1,0 +1,175 @@
+#include "stats/statistics.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace mood {
+
+Status StatisticsManager::Collect(const std::string& class_name) {
+  Catalog* catalog = objects_->catalog();
+  MOOD_ASSIGN_OR_RETURN(auto attrs, catalog->AllAttributes(class_name));
+
+  ClassStats cls;
+  MOOD_ASSIGN_OR_RETURN(cls.cardinality, objects_->ExtentCount(class_name, false));
+  MOOD_ASSIGN_OR_RETURN(cls.nbpages, objects_->ExtentPages(class_name));
+
+  struct AttrAcc {
+    uint64_t notnull = 0;
+    std::set<std::string> distinct;  // encoded values
+    double max_val = -1e308;
+    double min_val = 1e308;
+    bool numeric = true;
+    bool is_atomic = false;
+  };
+  struct RefAcc {
+    uint64_t links = 0;              // total references
+    uint64_t notnull = 0;
+    std::unordered_set<uint64_t> targets;  // distinct referenced oids
+    std::string target_class;
+  };
+  std::vector<AttrAcc> attr_acc(attrs.size());
+  std::vector<RefAcc> ref_acc(attrs.size());
+  for (size_t i = 0; i < attrs.size(); i++) {
+    auto k = attrs[i].type->kind();
+    attr_acc[i].is_atomic = (k == ConstructorKind::kBasic);
+    if (k == ConstructorKind::kReference) {
+      ref_acc[i].target_class = attrs[i].type->referenced_class();
+    } else if ((k == ConstructorKind::kSet || k == ConstructorKind::kList) &&
+               attrs[i].type->element()->kind() == ConstructorKind::kReference) {
+      ref_acc[i].target_class = attrs[i].type->element()->referenced_class();
+    }
+  }
+
+  uint64_t count = 0;
+  uint64_t total_bytes = 0;
+  MOOD_RETURN_IF_ERROR(objects_->ScanExtent(
+      class_name, false, {}, [&](Oid, const MoodValue& tuple) {
+        count++;
+        std::string enc;
+        tuple.EncodeTo(&enc);
+        total_bytes += enc.size();
+        for (size_t i = 0; i < attrs.size() && i < tuple.size(); i++) {
+          const MoodValue& v = tuple.elements()[i];
+          if (v.is_null()) continue;
+          if (attr_acc[i].is_atomic) {
+            attr_acc[i].notnull++;
+            std::string venc;
+            v.EncodeTo(&venc);
+            attr_acc[i].distinct.insert(std::move(venc));
+            auto d = v.ToDouble();
+            if (d.ok()) {
+              attr_acc[i].max_val = std::max(attr_acc[i].max_val, d.value());
+              attr_acc[i].min_val = std::min(attr_acc[i].min_val, d.value());
+            } else {
+              attr_acc[i].numeric = false;
+            }
+          } else if (!ref_acc[i].target_class.empty()) {
+            auto note = [&](const MoodValue& r) {
+              if (r.kind() == ValueKind::kReference && r.AsReference().valid()) {
+                ref_acc[i].links++;
+                ref_acc[i].targets.insert(r.AsReference().Pack());
+              }
+            };
+            if (v.kind() == ValueKind::kReference) {
+              ref_acc[i].notnull++;
+              note(v);
+            } else if (v.IsCollection()) {
+              ref_acc[i].notnull++;
+              for (const auto& e : v.elements()) note(e);
+            }
+          }
+        }
+        return Status::OK();
+      }));
+
+  cls.size = count == 0 ? 0 : static_cast<uint32_t>(total_bytes / count);
+  classes_[class_name] = cls;
+
+  for (size_t i = 0; i < attrs.size(); i++) {
+    if (attr_acc[i].is_atomic) {
+      AttributeStats s;
+      s.notnull = count == 0 ? 1.0
+                             : static_cast<double>(attr_acc[i].notnull) /
+                                   static_cast<double>(count);
+      s.dist = attr_acc[i].distinct.size();
+      s.has_range = attr_acc[i].numeric && attr_acc[i].notnull > 0;
+      if (s.has_range) {
+        s.max_val = attr_acc[i].max_val;
+        s.min_val = attr_acc[i].min_val;
+      }
+      attributes_[{class_name, attrs[i].name}] = s;
+    } else if (!ref_acc[i].target_class.empty()) {
+      ReferenceStats s;
+      s.target_class = ref_acc[i].target_class;
+      s.fan = count == 0 ? 0.0
+                         : static_cast<double>(ref_acc[i].links) /
+                               static_cast<double>(count);
+      s.totref = ref_acc[i].targets.size();
+      references_[{class_name, attrs[i].name}] = s;
+    }
+  }
+  return Status::OK();
+}
+
+Result<ClassStats> StatisticsManager::Class(const std::string& cls) const {
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) {
+    return Status::NotFound("no statistics for class '" + cls + "'");
+  }
+  return it->second;
+}
+
+Result<AttributeStats> StatisticsManager::Attribute(const std::string& cls,
+                                                    const std::string& attr) const {
+  auto it = attributes_.find({cls, attr});
+  if (it == attributes_.end()) {
+    return Status::NotFound("no statistics for " + cls + "." + attr);
+  }
+  return it->second;
+}
+
+Result<ReferenceStats> StatisticsManager::Reference(const std::string& cls,
+                                                    const std::string& attr) const {
+  auto it = references_.find({cls, attr});
+  if (it == references_.end()) {
+    return Status::NotFound("no reference statistics for " + cls + "." + attr);
+  }
+  return it->second;
+}
+
+Result<double> StatisticsManager::TotLinks(const std::string& cls,
+                                           const std::string& attr) const {
+  MOOD_ASSIGN_OR_RETURN(ReferenceStats ref, Reference(cls, attr));
+  MOOD_ASSIGN_OR_RETURN(ClassStats c, Class(cls));
+  return ref.fan * static_cast<double>(c.cardinality);
+}
+
+Result<double> StatisticsManager::HitPrb(const std::string& cls,
+                                         const std::string& attr) const {
+  MOOD_ASSIGN_OR_RETURN(ReferenceStats ref, Reference(cls, attr));
+  MOOD_ASSIGN_OR_RETURN(ClassStats d, Class(ref.target_class));
+  if (d.cardinality == 0) return 0.0;
+  return static_cast<double>(ref.totref) / static_cast<double>(d.cardinality);
+}
+
+std::vector<std::string> StatisticsManager::Classes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, s] : classes_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+StatisticsManager::ReferenceAttributes() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, s] : references_) out.push_back(key);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+StatisticsManager::AtomicAttributes() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, s] : attributes_) out.push_back(key);
+  return out;
+}
+
+}  // namespace mood

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "objects/object_manager.h"
+
+namespace mood {
+
+/// Per-class statistics (paper Table 8, class-level rows).
+struct ClassStats {
+  uint64_t cardinality = 0;  ///< |C|
+  uint32_t nbpages = 0;      ///< nbpages(C)
+  uint32_t size = 0;         ///< size(C), bytes per instance
+};
+
+/// Per-atomic-attribute statistics (Table 8): notnull, dist, max, min.
+/// max/min are kept as doubles (numeric attributes); for strings only dist and
+/// notnull are meaningful.
+struct AttributeStats {
+  double notnull = 1.0;
+  uint64_t dist = 0;
+  double max_val = 0;
+  double min_val = 0;
+  bool has_range = false;  ///< max/min meaningful (numeric attribute)
+};
+
+/// Per-reference-attribute statistics for A: C -> D (Table 8): fan, totref.
+/// totlinks and hitprb are derived:
+///   totlinks(A,C,D) = fan(A,C,D) * |C|
+///   hitprb(A,C,D)   = totref(A,C,D) / |D|
+struct ReferenceStats {
+  std::string target_class;  ///< D
+  double fan = 1.0;          ///< fan(A,C,D)
+  uint64_t totref = 0;       ///< totref(A,C,D)
+};
+
+/// Holds and computes the cost-model parameters of Section 4. Statistics can be
+/// *collected* by scanning extents (measured mode) or *injected* directly
+/// (modeled mode — how bench_example81 reproduces the paper's Tables 13–15
+/// without materializing 260k objects).
+class StatisticsManager {
+ public:
+  explicit StatisticsManager(ObjectManager* objects) : objects_(objects) {}
+
+  /// Scans the class extent and recomputes class, attribute and reference stats.
+  Status Collect(const std::string& class_name);
+
+  // Injection (modeled mode).
+  void SetClassStats(const std::string& cls, ClassStats s) { classes_[cls] = s; }
+  void SetAttributeStats(const std::string& cls, const std::string& attr,
+                         AttributeStats s) {
+    attributes_[{cls, attr}] = s;
+  }
+  void SetReferenceStats(const std::string& cls, const std::string& attr,
+                         ReferenceStats s) {
+    references_[{cls, attr}] = s;
+  }
+
+  Result<ClassStats> Class(const std::string& cls) const;
+  Result<AttributeStats> Attribute(const std::string& cls,
+                                   const std::string& attr) const;
+  Result<ReferenceStats> Reference(const std::string& cls,
+                                   const std::string& attr) const;
+
+  /// Derived parameters.
+  Result<double> TotLinks(const std::string& cls, const std::string& attr) const;
+  Result<double> HitPrb(const std::string& cls, const std::string& attr) const;
+
+  bool HasClass(const std::string& cls) const { return classes_.count(cls) > 0; }
+
+  /// All classes with stats (for the Table 13–15 printers).
+  std::vector<std::string> Classes() const;
+  std::vector<std::pair<std::string, std::string>> ReferenceAttributes() const;
+  std::vector<std::pair<std::string, std::string>> AtomicAttributes() const;
+
+ private:
+  ObjectManager* objects_;
+  std::map<std::string, ClassStats> classes_;
+  std::map<std::pair<std::string, std::string>, AttributeStats> attributes_;
+  std::map<std::pair<std::string, std::string>, ReferenceStats> references_;
+};
+
+}  // namespace mood

@@ -1,0 +1,118 @@
+#include "storage/buffer_pool.h"
+
+namespace mood {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
+    : disk_(disk), frames_(pool_size) {
+  for (size_t i = 0; i < pool_size; i++) free_frames_.push_back(i);
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.front();
+    free_frames_.pop_front();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all pages pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(idx);
+  Page& victim = frames_[idx];
+  if (victim.dirty()) {
+    if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(victim));
+    MOOD_RETURN_IF_ERROR(disk_->WritePage(victim.page_id(), victim.data()));
+    stats_.evictions++;
+  }
+  page_table_.erase(victim.page_id());
+  return idx;
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    size_t idx = it->second;
+    Page& page = frames_[idx];
+    if (page.pin_count() == 0) {
+      // Remove from the evictable LRU list while pinned.
+      auto pos = lru_pos_.find(idx);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+    }
+    page.Pin();
+    return &page;
+  }
+  stats_.misses++;
+  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Page& page = frames_[idx];
+  page.Reset(page_id);
+  MOOD_RETURN_IF_ERROR(disk_->ReadPage(page_id, page.data()));
+  page.Pin();
+  page_table_[page_id] = idx;
+  return &page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MOOD_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Page& page = frames_[idx];
+  page.Reset(page_id);
+  page.Pin();
+  page.set_dirty(true);
+  page_table_[page_id] = idx;
+  return &page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::InvalidArgument("UnpinPage: page not resident");
+  }
+  size_t idx = it->second;
+  Page& page = frames_[idx];
+  if (page.pin_count() <= 0) {
+    return Status::Internal("UnpinPage: pin count underflow");
+  }
+  if (dirty) page.set_dirty(true);
+  page.Unpin();
+  if (page.pin_count() == 0) {
+    lru_.push_back(idx);
+    lru_pos_[idx] = std::prev(lru_.end());
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page& page = frames_[it->second];
+  if (page.dirty()) {
+    if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(page));
+    MOOD_RETURN_IF_ERROR(disk_->WritePage(page.page_id(), page.data()));
+    page.set_dirty(false);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, idx] : page_table_) {
+    Page& page = frames_[idx];
+    if (page.dirty()) {
+      if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(page));
+      MOOD_RETURN_IF_ERROR(disk_->WritePage(page.page_id(), page.data()));
+      page.set_dirty(false);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mood

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace mood {
+
+/// Buffer-pool statistics (hits/misses/evictions) consumed by bench_file_ops.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  void Clear() { *this = BufferPoolStats{}; }
+};
+
+/// LRU buffer pool over a DiskManager. Fulfils the "storage management" kernel
+/// function the paper delegates to the Exodus Storage Manager.
+///
+/// Pages are pinned by Fetch/New and must be unpinned; pinned pages are never
+/// evicted. An optional flush hook implements the WAL rule: before a dirty page is
+/// written back, the hook is invoked so the log can be forced first.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_size);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page, reading it from disk on a miss. The returned page is pinned.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a fresh page on disk and returns it pinned.
+  Result<Page*> NewPage();
+
+  /// Releases one pin; `dirty` marks the page as modified.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes one page back if dirty. The page stays cached.
+  Status FlushPage(PageId page_id);
+
+  /// Writes back every dirty page.
+  Status FlushAll();
+
+  /// Set a hook invoked with the page about to be flushed (WAL rule).
+  void SetPreFlushHook(std::function<Status(const Page&)> hook) {
+    pre_flush_hook_ = std::move(hook);
+  }
+
+  size_t pool_size() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Clear(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  /// Finds a frame for a new resident page: free list first, else LRU victim.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  std::vector<Page> frames_;
+  std::list<size_t> free_frames_;
+  /// LRU list of evictable frame indexes; most recently used at the back.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::function<Status(const Page&)> pre_flush_hook_;
+  BufferPoolStats stats_;
+  std::mutex mu_;
+};
+
+/// RAII pin guard: unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  bool valid() const { return page_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace mood

@@ -1,0 +1,95 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mood {
+
+namespace {
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) Close();
+}
+
+Status DiskManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::InvalidArgument("DiskManager already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
+  num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  ::close(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("DiskManager not open");
+  PageId id = num_pages_;
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
+                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", path_);
+  num_pages_++;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("DiskManager not open");
+  if (page_id >= num_pages_) {
+    return Status::InvalidArgument("ReadPage: page " + std::to_string(page_id) +
+                                   " out of range (" + std::to_string(num_pages_) + ")");
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page_id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pread", path_);
+  stats_.reads++;
+  if (last_read_page_ != kInvalidPageId && page_id == last_read_page_ + 1) {
+    stats_.sequential_reads++;
+  } else {
+    stats_.random_reads++;
+  }
+  last_read_page_ = page_id;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("DiskManager not open");
+  if (page_id >= num_pages_) {
+    return Status::InvalidArgument("WritePage: page out of range");
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page_id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", path_);
+  stats_.writes++;
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("DiskManager not open");
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace mood

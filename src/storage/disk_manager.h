@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mood {
+
+/// I/O statistics the benchmark harness reads to compare *measured* page accesses
+/// against the paper's cost formulas (SEQCOST / RNDCOST, Section 5).
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  /// Reads whose page id immediately follows the previously read page id; the
+  /// remainder are counted as random. This is how bench_file_ops classifies the
+  /// measured access pattern.
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+
+  void Clear() { *this = DiskStats{}; }
+};
+
+/// Page-granular file I/O. One DiskManager owns one OS file. Thread-safe.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if necessary) the backing file.
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  Status ReadPage(PageId page_id, char* out);
+  Status WritePage(PageId page_id, const char* data);
+
+  /// Forces written data to stable storage.
+  Status Sync();
+
+  uint32_t num_pages() const { return num_pages_; }
+  bool is_open() const { return fd_ >= 0; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Clear(); }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  PageId last_read_page_ = kInvalidPageId;
+  DiskStats stats_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace mood

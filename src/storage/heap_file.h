@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+#include "storage/wal_interface.h"
+
+namespace mood {
+
+using FileId = uint32_t;
+inline constexpr FileId kInvalidFileId = 0xFFFFFFFFu;
+
+/// Physical address of a record: (page, slot). Stable across updates thanks to
+/// forwarding, so it can serve as the physical component of an object identifier.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  SlotId slot = kInvalidSlot;
+
+  bool valid() const { return page != kInvalidPageId && slot != kInvalidSlot; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+};
+
+/// Metadata persisted in the storage manager's file directory.
+struct FileInfo {
+  FileId id = kInvalidFileId;
+  PageId first_page = kInvalidPageId;
+  PageId last_page = kInvalidPageId;
+  uint32_t page_count = 0;
+  uint64_t record_count = 0;
+};
+
+/// Persists FileInfo changes. Implemented by StorageManager.
+class FileDirectory {
+ public:
+  virtual ~FileDirectory() = default;
+  virtual Status UpdateFileInfo(const FileInfo& info, PageWriteLogger* wal) = 0;
+  virtual Result<PageId> AllocatePage() = 0;
+};
+
+/// A heap file of variable-length records: the extent storage for one MOOD class
+/// (or the catalog, or an index's backing structure). Pages form a forward-linked
+/// chain. Records that outgrow their page are moved and a forwarding stub keeps
+/// the original RecordId valid — object identifiers in MOOD are physical, so they
+/// must never dangle after an update.
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, FileDirectory* directory, FileInfo info);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  Result<RecordId> Insert(Slice record, PageWriteLogger* wal = nullptr);
+  Result<std::string> Get(RecordId rid) const;
+  Status Update(RecordId rid, Slice record, PageWriteLogger* wal = nullptr);
+  Status Delete(RecordId rid, PageWriteLogger* wal = nullptr);
+
+  /// Forward scan over live records in page-chain order. Skips tombstones and
+  /// moved-in bodies (those are reached through their home slot).
+  class Iterator {
+   public:
+    Iterator(const HeapFile* file, PageId page);
+
+    bool Valid() const { return current_rid_.valid(); }
+    const RecordId& rid() const { return current_rid_; }
+    const std::string& record() const { return current_record_; }
+
+    /// Advances to the next record; sets an error status on failure.
+    void Next();
+    const Status& status() const { return status_; }
+
+   private:
+    void LoadFrom(PageId page, SlotId slot);
+
+    const HeapFile* file_;
+    RecordId current_rid_;
+    std::string current_record_;
+    Status status_;
+  };
+
+  Iterator Begin() const { return Iterator(this, info_.first_page); }
+
+  const FileInfo& info() const { return info_; }
+  FileId id() const { return info_.id; }
+  uint32_t page_count() const { return info_.page_count; }
+  uint64_t record_count() const { return info_.record_count; }
+
+ private:
+  friend class Iterator;
+
+  /// Appends a fresh page to the chain and returns it pinned.
+  Result<Page*> AppendPage(PageWriteLogger* wal);
+
+  /// Raw insert honoring flags (used by the forwarding machinery).
+  Result<RecordId> InsertWithFlags(Slice record, uint8_t flags, PageWriteLogger* wal);
+
+  /// Wraps a page mutation with before/after-image logging.
+  Status MutatePage(Page* page, PageWriteLogger* wal,
+                    const std::function<Status(SlottedPage&)>& fn);
+
+  Status PersistInfo(PageWriteLogger* wal) { return directory_->UpdateFileInfo(info_, wal); }
+
+  BufferPool* pool_;
+  FileDirectory* directory_;
+  FileInfo info_;
+};
+
+/// Encodes a RecordId into 6 bytes (used by forwarding stubs and join indices).
+void EncodeRecordId(std::string* dst, RecordId rid);
+Result<RecordId> DecodeRecordId(Slice in);
+
+}  // namespace mood

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace mood {
+
+/// Fixed page size for all storage structures. 4 KiB matches the block-size
+/// granularity assumed by the paper's cost model (Table 10 parameter B).
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// An in-memory frame holding one disk page. The first 8 bytes of `data` are
+/// reserved by users that need a page LSN (see SlottedPage); the Page struct itself
+/// only tracks buffer-management state.
+class Page {
+ public:
+  Page() { Reset(kInvalidPageId); }
+
+  void Reset(PageId id) {
+    page_id_ = id;
+    pin_count_ = 0;
+    dirty_ = false;
+    std::memset(data_, 0, kPageSize);
+  }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  int pin_count() const { return pin_count_; }
+  void Pin() { pin_count_++; }
+  void Unpin() { pin_count_--; }
+
+  bool dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+ private:
+  char data_[kPageSize];
+  PageId page_id_;
+  int pin_count_;
+  bool dirty_;
+};
+
+}  // namespace mood

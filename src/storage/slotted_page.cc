@@ -1,0 +1,197 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace mood {
+
+void SlottedPage::Init() {
+  std::memset(page_->data(), 0, kPageSize);
+  set_lsn(kInvalidLsn);
+  set_next_page(kInvalidPageId);
+  EncodeFixed16(page_->data() + 12, 0);
+  EncodeFixed16(page_->data() + 14, static_cast<uint16_t>(kPageSize));
+}
+
+Lsn SlottedPage::lsn() const { return DecodeFixed64(page_->data()); }
+void SlottedPage::set_lsn(Lsn lsn) { EncodeFixed64(page_->data(), lsn); }
+
+PageId SlottedPage::next_page() const { return DecodeFixed32(page_->data() + 8); }
+void SlottedPage::set_next_page(PageId id) { EncodeFixed32(page_->data() + 8, id); }
+
+uint16_t SlottedPage::slot_count() const { return DecodeFixed16(page_->data() + 12); }
+
+uint16_t SlottedPage::SlotOffset(SlotId slot) const {
+  return DecodeFixed16(SlotPtr(slot));
+}
+uint16_t SlottedPage::SlotLength(SlotId slot) const {
+  return DecodeFixed16(SlotPtr(slot) + 2);
+}
+uint8_t SlottedPage::SlotFlagsAt(SlotId slot) const {
+  return static_cast<uint8_t>(SlotPtr(slot)[4]);
+}
+
+void SlottedPage::WriteSlot(SlotId slot, uint16_t offset, uint16_t length,
+                            uint8_t flags) {
+  char* p = SlotPtr(slot);
+  EncodeFixed16(p, offset);
+  EncodeFixed16(p + 2, length);
+  p[4] = static_cast<char>(flags);
+  p[5] = 0;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  const size_t dir_end = kHeaderSize + static_cast<size_t>(slot_count()) * kSlotSize;
+  const size_t free_ptr = DecodeFixed16(page_->data() + 14);
+  // Contiguous middle gap only; fragmented space is recovered by Compact().
+  return free_ptr > dir_end ? free_ptr - dir_end : 0;
+}
+
+bool SlottedPage::IsLive(SlotId slot) const {
+  return slot < slot_count() && SlotOffset(slot) != 0;
+}
+
+uint16_t SlottedPage::LiveCount() const {
+  uint16_t n = 0;
+  for (SlotId s = 0; s < slot_count(); s++) {
+    if (IsLive(s)) n++;
+  }
+  return n;
+}
+
+void SlottedPage::Compact() {
+  struct LiveRec {
+    SlotId slot;
+    std::string bytes;
+    uint8_t flags;
+  };
+  std::vector<LiveRec> live;
+  for (SlotId s = 0; s < slot_count(); s++) {
+    if (IsLive(s)) {
+      live.push_back({s,
+                      std::string(page_->data() + SlotOffset(s), SlotLength(s)),
+                      SlotFlagsAt(s)});
+    }
+  }
+  uint16_t free_ptr = static_cast<uint16_t>(kPageSize);
+  for (auto& rec : live) {
+    free_ptr = static_cast<uint16_t>(free_ptr - rec.bytes.size());
+    std::memcpy(page_->data() + free_ptr, rec.bytes.data(), rec.bytes.size());
+    WriteSlot(rec.slot, free_ptr, static_cast<uint16_t>(rec.bytes.size()), rec.flags);
+  }
+  EncodeFixed16(page_->data() + 14, free_ptr);
+}
+
+Result<SlotId> SlottedPage::Insert(Slice record, uint8_t flags) {
+  if (record.size() > kPageSize - kHeaderSize - kSlotSize) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  // Look for a reusable deleted slot first (no new directory entry needed).
+  SlotId reuse = kInvalidSlot;
+  for (SlotId s = 0; s < slot_count(); s++) {
+    if (!IsLive(s)) {
+      reuse = s;
+      break;
+    }
+  }
+  const size_t need = record.size() + (reuse == kInvalidSlot ? kSlotSize : 0);
+  if (FreeSpace() < need) {
+    Compact();
+    if (FreeSpace() < need) {
+      return Status::InvalidArgument("page full");
+    }
+  }
+  uint16_t free_ptr = DecodeFixed16(page_->data() + 14);
+  free_ptr = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(page_->data() + free_ptr, record.data(), record.size());
+  EncodeFixed16(page_->data() + 14, free_ptr);
+
+  SlotId slot = reuse;
+  if (slot == kInvalidSlot) {
+    slot = slot_count();
+    EncodeFixed16(page_->data() + 12, static_cast<uint16_t>(slot + 1));
+  }
+  WriteSlot(slot, free_ptr, static_cast<uint16_t>(record.size()), flags);
+  page_->set_dirty(true);
+  return slot;
+}
+
+Status SlottedPage::InsertAt(SlotId slot, Slice record, uint8_t flags) {
+  if (slot >= slot_count()) return Status::InvalidArgument("InsertAt: slot out of range");
+  if (IsLive(slot)) return Status::InvalidArgument("InsertAt: slot occupied");
+  if (FreeSpace() < record.size()) {
+    Compact();
+    if (FreeSpace() < record.size()) return Status::InvalidArgument("page full");
+  }
+  uint16_t free_ptr = DecodeFixed16(page_->data() + 14);
+  free_ptr = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(page_->data() + free_ptr, record.data(), record.size());
+  EncodeFixed16(page_->data() + 14, free_ptr);
+  WriteSlot(slot, free_ptr, static_cast<uint16_t>(record.size()), flags);
+  page_->set_dirty(true);
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (!IsLive(slot)) return Status::NotFound("slot not live");
+  WriteSlot(slot, 0, 0, kSlotNormal);
+  page_->set_dirty(true);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(SlotId slot, Slice record) {
+  if (!IsLive(slot)) return Status::NotFound("slot not live");
+  const uint16_t old_len = SlotLength(slot);
+  const uint8_t flags = SlotFlagsAt(slot);
+  if (record.size() <= old_len) {
+    // Shrinking update: rewrite in place (leaves a small hole past the record).
+    const uint16_t off = SlotOffset(slot);
+    std::memcpy(page_->data() + off, record.data(), record.size());
+    WriteSlot(slot, off, static_cast<uint16_t>(record.size()), flags);
+    page_->set_dirty(true);
+    return Status::OK();
+  }
+  // Growing update: free the old space, then allocate anew. Keep a copy of the old
+  // bytes so the record can be restored if the new version does not fit.
+  std::string old_bytes(page_->data() + SlotOffset(slot), old_len);
+  WriteSlot(slot, 0, 0, kSlotNormal);
+  if (FreeSpace() < record.size()) {
+    Compact();
+    if (FreeSpace() < record.size()) {
+      uint16_t restore_ptr = DecodeFixed16(page_->data() + 14);
+      restore_ptr = static_cast<uint16_t>(restore_ptr - old_bytes.size());
+      std::memcpy(page_->data() + restore_ptr, old_bytes.data(), old_bytes.size());
+      EncodeFixed16(page_->data() + 14, restore_ptr);
+      WriteSlot(slot, restore_ptr, static_cast<uint16_t>(old_bytes.size()), flags);
+      return Status::InvalidArgument("page full on update");
+    }
+  }
+  uint16_t free_ptr = DecodeFixed16(page_->data() + 14);
+  free_ptr = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(page_->data() + free_ptr, record.data(), record.size());
+  EncodeFixed16(page_->data() + 14, free_ptr);
+  WriteSlot(slot, free_ptr, static_cast<uint16_t>(record.size()), flags);
+  page_->set_dirty(true);
+  return Status::OK();
+}
+
+Result<Slice> SlottedPage::Get(SlotId slot) const {
+  if (!IsLive(slot)) return Status::NotFound("slot not live");
+  return Slice(page_->data() + SlotOffset(slot), SlotLength(slot));
+}
+
+Result<uint8_t> SlottedPage::GetFlags(SlotId slot) const {
+  if (!IsLive(slot)) return Status::NotFound("slot not live");
+  return SlotFlagsAt(slot);
+}
+
+Status SlottedPage::SetFlags(SlotId slot, uint8_t flags) {
+  if (!IsLive(slot)) return Status::NotFound("slot not live");
+  WriteSlot(slot, SlotOffset(slot), SlotLength(slot), flags);
+  page_->set_dirty(true);
+  return Status::OK();
+}
+
+}  // namespace mood

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mood {
+
+/// Slot index within a page.
+using SlotId = uint16_t;
+inline constexpr SlotId kInvalidSlot = 0xFFFF;
+
+/// Per-record flags stored in the slot directory.
+enum SlotFlags : uint8_t {
+  kSlotNormal = 0,
+  /// The record moved to another page; the slot body holds the forwarding RID.
+  kSlotForward = 1,
+  /// The record lives here but its home slot is elsewhere; scans skip it.
+  kSlotMovedIn = 2,
+};
+
+/// View over one page formatted as a slotted record page.
+///
+/// Layout:
+///   [0..8)    page LSN (recovery idempotence)
+///   [8..12)   next page id in the heap-file chain (kInvalidPageId if none)
+///   [12..14)  slot count
+///   [14..16)  free-space pointer: offset of the lowest used record byte
+///   [16..)    slot directory: 6 bytes per slot {offset u16, length u16, flags u8, pad}
+/// Records are allocated from the end of the page downward.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats a fresh page.
+  void Init();
+
+  Lsn lsn() const;
+  void set_lsn(Lsn lsn);
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  uint16_t slot_count() const;
+
+  /// Bytes available for a new record including its slot entry.
+  size_t FreeSpace() const;
+
+  /// Inserts a record; compacts the page if fragmented. Fails with NotFound-free
+  /// semantics: returns InvalidArgument when the record cannot fit even after
+  /// compaction.
+  Result<SlotId> Insert(Slice record, uint8_t flags = kSlotNormal);
+
+  /// Places a record into a specific dead slot (used by record forwarding, which
+  /// must keep the home slot id stable).
+  Status InsertAt(SlotId slot, Slice record, uint8_t flags);
+
+  /// Marks a slot deleted. The slot id is never reused (so RIDs stay stable) but
+  /// its space is reclaimed by compaction.
+  Status Delete(SlotId slot);
+
+  /// Replaces the record in `slot`. Fails if it cannot fit after compaction.
+  Status Update(SlotId slot, Slice record);
+
+  /// Returns the stored bytes. The slice points into the page; copy before unpin.
+  Result<Slice> Get(SlotId slot) const;
+
+  Result<uint8_t> GetFlags(SlotId slot) const;
+  Status SetFlags(SlotId slot, uint8_t flags);
+
+  bool IsLive(SlotId slot) const;
+
+  /// Number of non-deleted slots.
+  uint16_t LiveCount() const;
+
+ private:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotSize = 6;
+
+  char* SlotPtr(SlotId slot) const {
+    return page_->data() + kHeaderSize + static_cast<size_t>(slot) * kSlotSize;
+  }
+  uint16_t SlotOffset(SlotId slot) const;
+  uint16_t SlotLength(SlotId slot) const;
+  uint8_t SlotFlagsAt(SlotId slot) const;
+  void WriteSlot(SlotId slot, uint16_t offset, uint16_t length, uint8_t flags);
+
+  /// Moves live records to the end of the page, squeezing out holes.
+  void Compact();
+
+  Page* page_;
+};
+
+}  // namespace mood

@@ -1,0 +1,194 @@
+#include "storage/storage_manager.h"
+
+#include "common/coding.h"
+
+namespace mood {
+
+namespace {
+
+void EncodeDirEntry(char* p, const FileInfo& info) {
+  EncodeFixed32(p, info.id);
+  EncodeFixed32(p + 4, info.first_page);
+  EncodeFixed32(p + 8, info.last_page);
+  EncodeFixed32(p + 12, info.page_count);
+  EncodeFixed64(p + 16, info.record_count);
+}
+
+FileInfo DecodeDirEntry(const char* p) {
+  FileInfo info;
+  info.id = DecodeFixed32(p);
+  info.first_page = DecodeFixed32(p + 4);
+  info.last_page = DecodeFixed32(p + 8);
+  info.page_count = DecodeFixed32(p + 12);
+  info.record_count = DecodeFixed64(p + 16);
+  return info;
+}
+
+}  // namespace
+
+StorageManager::~StorageManager() {
+  if (is_open()) Close();
+}
+
+Status StorageManager::Open(const std::string& path, const StorageOptions& options) {
+  if (is_open()) return Status::InvalidArgument("StorageManager already open");
+  disk_ = std::make_unique<DiskManager>();
+  MOOD_RETURN_IF_ERROR(disk_->Open(path));
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options.pool_pages);
+  if (disk_->num_pages() == 0) {
+    // Fresh database: format the first directory page.
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->NewPage());
+    PageGuard guard(pool_.get(), page);
+    guard.MarkDirty();
+    EncodeFixed64(page->data(), kInvalidLsn);
+    EncodeFixed32(page->data() + 8, kInvalidPageId);
+    EncodeFixed32(page->data() + 12, 0);
+    last_dir_page_ = page->page_id();
+    return Status::OK();
+  }
+  return LoadDirectory();
+}
+
+Status StorageManager::Close() {
+  if (!is_open()) return Status::OK();
+  MOOD_RETURN_IF_ERROR(Checkpoint());
+  files_.clear();
+  dir_slots_.clear();
+  pool_.reset();
+  MOOD_RETURN_IF_ERROR(disk_->Close());
+  disk_.reset();
+  next_file_id_ = 1;
+  last_dir_page_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint() {
+  MOOD_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_->Sync();
+}
+
+Status StorageManager::ReloadDirectory() {
+  files_.clear();
+  dir_slots_.clear();
+  next_file_id_ = 1;
+  last_dir_page_ = kInvalidPageId;
+  return LoadDirectory();
+}
+
+Status StorageManager::LoadDirectory() {
+  PageId dir = 0;
+  while (dir != kInvalidPageId) {
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(dir));
+    PageGuard guard(pool_.get(), page);
+    uint32_t count = DecodeFixed32(page->data() + 12);
+    if (count > kDirCapacity) return Status::Corruption("directory entry count");
+    for (uint32_t i = 0; i < count; i++) {
+      FileInfo info = DecodeDirEntry(page->data() + kDirHeader + i * kDirEntrySize);
+      dir_slots_[info.id] = DirSlot{dir, i};
+      files_[info.id] = std::make_unique<HeapFile>(pool_.get(), this, info);
+      if (info.id >= next_file_id_) next_file_id_ = info.id + 1;
+    }
+    last_dir_page_ = dir;
+    PageId next = DecodeFixed32(page->data() + 8);
+    // Page 0 is always the directory head, so a next pointer of 0 can only come
+    // from an unformatted (crashed-before-flush) page: treat it as the end. The
+    // WAL replay restores the real chain, after which ReloadDirectory() is
+    // called.
+    if (next == 0 || next == dir) next = kInvalidPageId;
+    dir = next;
+  }
+  return Status::OK();
+}
+
+Status StorageManager::WriteDirEntry(const FileInfo& info, const DirSlot& slot,
+                                     PageWriteLogger* wal) {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(slot.dir_page));
+  PageGuard guard(pool_.get(), page);
+  guard.MarkDirty();
+  std::string before;
+  if (wal != nullptr) before.assign(page->data(), kPageSize);
+  EncodeDirEntry(page->data() + kDirHeader + slot.index * kDirEntrySize, info);
+  if (wal != nullptr) {
+    MOOD_ASSIGN_OR_RETURN(Lsn lsn,
+                          wal->LogPageWrite(page->page_id(), Slice(before.data(), kPageSize),
+                                            Slice(page->data(), kPageSize)));
+    EncodeFixed64(page->data(), lsn);
+  }
+  return Status::OK();
+}
+
+Status StorageManager::AppendDirEntry(const FileInfo& info, PageWriteLogger* wal,
+                                      DirSlot* out) {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(last_dir_page_));
+  PageGuard guard(pool_.get(), page);
+  guard.MarkDirty();
+  uint32_t count = DecodeFixed32(page->data() + 12);
+  if (count >= kDirCapacity) {
+    // Chain a new directory page.
+    MOOD_ASSIGN_OR_RETURN(Page* fresh, pool_->NewPage());
+    PageGuard fresh_guard(pool_.get(), fresh);
+    fresh_guard.MarkDirty();
+    EncodeFixed64(fresh->data(), kInvalidLsn);
+    EncodeFixed32(fresh->data() + 8, kInvalidPageId);
+    EncodeFixed32(fresh->data() + 12, 0);
+    std::string before;
+    if (wal != nullptr) before.assign(page->data(), kPageSize);
+    EncodeFixed32(page->data() + 8, fresh->page_id());
+    if (wal != nullptr) {
+      MOOD_ASSIGN_OR_RETURN(Lsn lsn,
+                            wal->LogPageWrite(page->page_id(), Slice(before.data(), kPageSize),
+                                              Slice(page->data(), kPageSize)));
+      EncodeFixed64(page->data(), lsn);
+    }
+    last_dir_page_ = fresh->page_id();
+    guard.Release();
+    fresh_guard.Release();
+    return AppendDirEntry(info, wal, out);
+  }
+  std::string before;
+  if (wal != nullptr) before.assign(page->data(), kPageSize);
+  EncodeDirEntry(page->data() + kDirHeader + count * kDirEntrySize, info);
+  EncodeFixed32(page->data() + 12, count + 1);
+  if (wal != nullptr) {
+    MOOD_ASSIGN_OR_RETURN(Lsn lsn,
+                          wal->LogPageWrite(page->page_id(), Slice(before.data(), kPageSize),
+                                            Slice(page->data(), kPageSize)));
+    EncodeFixed64(page->data(), lsn);
+  }
+  *out = DirSlot{page->page_id(), count};
+  return Status::OK();
+}
+
+Result<FileId> StorageManager::CreateFile(PageWriteLogger* wal) {
+  if (!is_open()) return Status::InvalidArgument("storage not open");
+  FileInfo info;
+  info.id = next_file_id_++;
+  DirSlot slot;
+  MOOD_RETURN_IF_ERROR(AppendDirEntry(info, wal, &slot));
+  dir_slots_[info.id] = slot;
+  files_[info.id] = std::make_unique<HeapFile>(pool_.get(), this, info);
+  return info.id;
+}
+
+Result<HeapFile*> StorageManager::GetFile(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no heap file with id " + std::to_string(id));
+  }
+  return it->second.get();
+}
+
+Status StorageManager::UpdateFileInfo(const FileInfo& info, PageWriteLogger* wal) {
+  auto it = dir_slots_.find(info.id);
+  if (it == dir_slots_.end()) return Status::NotFound("file not in directory");
+  return WriteDirEntry(info, it->second, wal);
+}
+
+Result<PageId> StorageManager::AllocatePage() {
+  MOOD_ASSIGN_OR_RETURN(Page* page, pool_->NewPage());
+  PageId id = page->page_id();
+  MOOD_RETURN_IF_ERROR(pool_->UnpinPage(id, true));
+  return id;
+}
+
+}  // namespace mood

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+
+namespace mood {
+
+struct StorageOptions {
+  /// Buffer-pool capacity in pages.
+  size_t pool_pages = 256;
+};
+
+/// The storage facade replacing the Exodus Storage Manager: one database file
+/// multiplexing many heap files (class extents, catalog, index backing files)
+/// behind a shared buffer pool.
+///
+/// Page 0 starts the file directory, a chain of pages holding FileInfo entries:
+///   [0..8)   LSN
+///   [8..12)  next directory page (kInvalidPageId terminates)
+///   [12..16) entry count
+///   entries of 24 bytes: file_id, first_page, last_page, page_count (u32 each),
+///   record_count (u64)
+class StorageManager : public FileDirectory {
+ public:
+  StorageManager() = default;
+  ~StorageManager() override;
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  Status Open(const std::string& path, const StorageOptions& options = {});
+  Status Close();
+
+  /// Creates a new empty heap file and returns its id.
+  Result<FileId> CreateFile(PageWriteLogger* wal = nullptr);
+
+  /// Returns the heap file handle (owned by the manager).
+  Result<HeapFile*> GetFile(FileId id);
+
+  bool HasFile(FileId id) const { return files_.count(id) > 0; }
+
+  /// Flushes all dirty pages and syncs the disk file.
+  Status Checkpoint();
+
+  /// Re-reads the file directory from the (possibly recovered) pages, replacing
+  /// the in-memory file handles. Call after WAL recovery.
+  Status ReloadDirectory();
+
+  // FileDirectory:
+  Status UpdateFileInfo(const FileInfo& info, PageWriteLogger* wal) override;
+  Result<PageId> AllocatePage() override;
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  bool is_open() const { return disk_ != nullptr && disk_->is_open(); }
+
+ private:
+  struct DirSlot {
+    PageId dir_page;
+    uint32_t index;
+  };
+
+  static constexpr size_t kDirHeader = 16;
+  static constexpr size_t kDirEntrySize = 24;
+  static constexpr size_t kDirCapacity = (kPageSize - kDirHeader) / kDirEntrySize;
+
+  Status LoadDirectory();
+  Status WriteDirEntry(const FileInfo& info, const DirSlot& slot, PageWriteLogger* wal);
+  Status AppendDirEntry(const FileInfo& info, PageWriteLogger* wal, DirSlot* out);
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unordered_map<FileId, std::unique_ptr<HeapFile>> files_;
+  std::unordered_map<FileId, DirSlot> dir_slots_;
+  PageId last_dir_page_ = kInvalidPageId;
+  FileId next_file_id_ = 1;
+};
+
+}  // namespace mood

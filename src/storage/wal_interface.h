@@ -1,0 +1,23 @@
+#pragma once
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mood {
+
+/// Interface through which storage structures report page mutations for
+/// write-ahead logging. Implemented by txn::Transaction; storage itself stays
+/// independent of the transaction module. `before` and `after` are full page
+/// images (physical logging keeps redo/undo simple and idempotent via page LSNs).
+class PageWriteLogger {
+ public:
+  virtual ~PageWriteLogger() = default;
+
+  /// Logs the mutation and returns the assigned LSN; the caller stamps it into the
+  /// page header so recovery can decide whether the page already reflects the
+  /// change.
+  virtual Result<Lsn> LogPageWrite(PageId page, Slice before, Slice after) = 0;
+};
+
+}  // namespace mood

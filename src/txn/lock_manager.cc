@@ -1,0 +1,152 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace mood {
+
+bool LockManager::Compatible(const Queue& q, uint64_t txn_id, LockMode mode) const {
+  for (const Request& r : q.requests) {
+    if (!r.granted) continue;
+    if (r.txn_id == txn_id) continue;  // own grant: upgrade handled by caller
+    if (mode == LockMode::kExclusive || r.mode == LockMode::kExclusive) return false;
+  }
+  return true;
+}
+
+void LockManager::PromoteLocked(Queue& q) {
+  for (Request& r : q.requests) {
+    if (r.granted) continue;
+    if (Compatible(q, r.txn_id, r.mode)) {
+      r.granted = true;
+    } else {
+      break;  // FIFO fairness: do not skip over the blocked head
+    }
+  }
+}
+
+bool LockManager::WouldDeadlockLocked(uint64_t start) const {
+  // DFS from `start` over the waits-for graph.
+  std::vector<uint64_t> stack{start};
+  std::set<uint64_t> seen;
+  while (!stack.empty()) {
+    uint64_t cur = stack.back();
+    stack.pop_back();
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (uint64_t next : it->second) {
+      if (next == start) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, LockKey key, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Queue& q = queues_[key];
+
+  // Re-entrant / upgrade handling.
+  for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
+    if (it->txn_id != txn_id || !it->granted) continue;
+    if (it->mode == LockMode::kExclusive || it->mode == mode) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade S -> X: must wait until no other grants remain.
+    for (;;) {
+      bool others = false;
+      for (const Request& r : q.requests) {
+        if (r.granted && r.txn_id != txn_id) {
+          others = true;
+          waits_for_[txn_id].insert(r.txn_id);
+        }
+      }
+      if (!others) {
+        it->mode = LockMode::kExclusive;
+        waits_for_.erase(txn_id);
+        return Status::OK();
+      }
+      if (WouldDeadlockLocked(txn_id)) {
+        waits_for_.erase(txn_id);
+        return Status::Deadlock("lock upgrade deadlock on txn " +
+                                std::to_string(txn_id));
+      }
+      cv_.wait(lock);
+      // The queue node may have been invalidated only by our own release, which
+      // cannot happen while we wait; re-scan from scratch for safety.
+      it = std::find_if(q.requests.begin(), q.requests.end(), [&](const Request& r) {
+        return r.txn_id == txn_id && r.granted;
+      });
+      if (it == q.requests.end()) {
+        return Status::Internal("lock request vanished during upgrade");
+      }
+    }
+  }
+
+  q.requests.push_back(Request{txn_id, mode, false});
+  auto self = std::prev(q.requests.end());
+  for (;;) {
+    PromoteLocked(q);
+    if (self->granted) {
+      held_[txn_id].insert(key);
+      waits_for_.erase(txn_id);
+      cv_.notify_all();
+      return Status::OK();
+    }
+    // Record who blocks us: every granted incompatible holder and every waiter
+    // ahead of us in the FIFO.
+    auto& blockers = waits_for_[txn_id];
+    blockers.clear();
+    for (auto it = q.requests.begin(); it != self; ++it) {
+      if (it->txn_id != txn_id) blockers.insert(it->txn_id);
+    }
+    if (WouldDeadlockLocked(txn_id)) {
+      q.requests.erase(self);
+      waits_for_.erase(txn_id);
+      cv_.notify_all();
+      return Status::Deadlock("deadlock detected for txn " + std::to_string(txn_id));
+    }
+    cv_.wait(lock);
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto held_it = held_.find(txn_id);
+  std::set<LockKey> keys;
+  if (held_it != held_.end()) keys = held_it->second;
+  // Also purge any pending (ungranted) requests from this transaction.
+  for (auto& [key, q] : queues_) {
+    q.requests.remove_if([&](const Request& r) { return r.txn_id == txn_id; });
+    PromoteLocked(q);
+  }
+  held_.erase(txn_id);
+  waits_for_.erase(txn_id);
+  // Drop empty queues to keep the map compact.
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (it->second.requests.empty()) {
+      it = queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(uint64_t txn_id, LockKey key, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(key);
+  if (it == queues_.end()) return false;
+  for (const Request& r : it->second.requests) {
+    if (r.txn_id == txn_id && r.granted) {
+      return mode == LockMode::kShared || r.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+size_t LockManager::LockedResourceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_.size();
+}
+
+}  // namespace mood

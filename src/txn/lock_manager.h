@@ -1,0 +1,72 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mood {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// A lockable resource: a (space, key) pair. Spaces keep file-level and
+/// object-level locks from colliding.
+struct LockKey {
+  uint32_t space = 0;
+  uint64_t key = 0;
+  friend bool operator==(const LockKey&, const LockKey&) = default;
+  friend auto operator<=>(const LockKey&, const LockKey&) = default;
+};
+
+/// Strict two-phase-locking lock manager with waits-for-graph deadlock detection.
+/// This supplies the "controlling data access and concurrency" kernel function the
+/// paper delegates to the Exodus Storage Manager.
+///
+/// Deadlocks are resolved by aborting the requester: Acquire returns
+/// Status::Deadlock and the caller is expected to abort its transaction.
+class LockManager {
+ public:
+  /// Blocks until granted, the deadlock detector picks this request as victim, or
+  /// upgrade conflicts make the request impossible.
+  Status Acquire(uint64_t txn_id, LockKey key, LockMode mode);
+
+  /// Releases every lock held by `txn_id` (strict 2PL: called at commit/abort).
+  void ReleaseAll(uint64_t txn_id);
+
+  /// True if the transaction currently holds the lock in a mode at least as strong.
+  bool Holds(uint64_t txn_id, LockKey key, LockMode mode) const;
+
+  /// Number of distinct locked resources (for tests).
+  size_t LockedResourceCount() const;
+
+ private:
+  struct Request {
+    uint64_t txn_id;
+    LockMode mode;
+    bool granted;
+  };
+  struct Queue {
+    std::list<Request> requests;
+  };
+
+  bool Compatible(const Queue& q, uint64_t txn_id, LockMode mode) const;
+  /// True if granting order admits the first ungranted requests.
+  void PromoteLocked(Queue& q);
+  /// Detects whether txn `start` can reach itself through the waits-for graph.
+  bool WouldDeadlockLocked(uint64_t start) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockKey, Queue> queues_;
+  std::unordered_map<uint64_t, std::set<LockKey>> held_;
+  /// waiting txn -> set of txns it waits for.
+  std::unordered_map<uint64_t, std::set<uint64_t>> waits_for_;
+};
+
+}  // namespace mood

@@ -1,0 +1,161 @@
+#include "txn/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace mood {
+
+namespace {
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) Close();
+}
+
+Status LogManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::InvalidArgument("LogManager already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  path_ = path;
+  // Recover next_lsn_ by scanning the existing log tail.
+  std::vector<LogRecord> records;
+  {
+    // ReadAll without re-locking.
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
+    std::string all(static_cast<size_t>(st.st_size), '\0');
+    if (st.st_size > 0) {
+      ssize_t n = ::pread(fd_, all.data(), all.size(), 0);
+      if (n != st.st_size) return Errno("pread", path);
+    }
+    Decoder dec(all);
+    while (!dec.Empty()) {
+      Slice body;
+      if (!dec.GetLengthPrefixedSlice(&body).ok()) break;  // torn tail: stop
+      if (body.size() < 17) break;
+      Lsn lsn = DecodeFixed64(body.data());
+      if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status LogManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  if (!buffer_.empty()) {
+    ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
+    if (n != static_cast<ssize_t>(buffer_.size())) return Errno("write", path_);
+    buffer_.clear();
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::Append(LogRecordType type, uint64_t txn_id, PageId page,
+                               Slice before, Slice after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("LogManager not open");
+  Lsn lsn = next_lsn_++;
+  std::string body;
+  PutFixed64(&body, lsn);
+  PutFixed64(&body, txn_id);
+  body.push_back(static_cast<char>(type));
+  if (type == LogRecordType::kPageWrite) {
+    PutFixed32(&body, page);
+    PutLengthPrefixedSlice(&body, before);
+    PutLengthPrefixedSlice(&body, after);
+  }
+  PutLengthPrefixedSlice(&buffer_, body);
+  return lsn;
+}
+
+Result<Lsn> LogManager::AppendBegin(uint64_t txn_id) {
+  return Append(LogRecordType::kBegin, txn_id, kInvalidPageId, {}, {});
+}
+Result<Lsn> LogManager::AppendCommit(uint64_t txn_id) {
+  return Append(LogRecordType::kCommit, txn_id, kInvalidPageId, {}, {});
+}
+Result<Lsn> LogManager::AppendAbort(uint64_t txn_id) {
+  return Append(LogRecordType::kAbort, txn_id, kInvalidPageId, {}, {});
+}
+Result<Lsn> LogManager::AppendPageWrite(uint64_t txn_id, PageId page, Slice before,
+                                        Slice after) {
+  return Append(LogRecordType::kPageWrite, txn_id, page, before, after);
+}
+Result<Lsn> LogManager::AppendCheckpoint() {
+  return Append(LogRecordType::kCheckpoint, 0, kInvalidPageId, {}, {});
+}
+
+Status LogManager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("LogManager not open");
+  if (!buffer_.empty()) {
+    ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
+    if (n != static_cast<ssize_t>(buffer_.size())) return Errno("write", path_);
+    buffer_.clear();
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status LogManager::ReadAll(std::vector<LogRecord>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("LogManager not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+  std::string all(static_cast<size_t>(st.st_size), '\0');
+  if (st.st_size > 0) {
+    ssize_t n = ::pread(fd_, all.data(), all.size(), 0);
+    if (n != st.st_size) return Errno("pread", path_);
+  }
+  all.append(buffer_);  // include unflushed tail for in-process readers
+  Decoder dec(all);
+  out->clear();
+  while (!dec.Empty()) {
+    Slice body;
+    Status st2 = dec.GetLengthPrefixedSlice(&body);
+    if (!st2.ok()) break;  // torn tail after crash: ignore
+    Decoder b(body);
+    LogRecord rec;
+    uint8_t type_byte = 0;
+    MOOD_RETURN_IF_ERROR(b.GetFixed64(&rec.lsn));
+    MOOD_RETURN_IF_ERROR(b.GetFixed64(&rec.txn_id));
+    {
+      Slice rest = b.rest();
+      if (rest.empty()) return Status::Corruption("log record missing type");
+      type_byte = static_cast<uint8_t>(rest[0]);
+      Decoder b2(Slice(rest.data() + 1, rest.size() - 1));
+      rec.type = static_cast<LogRecordType>(type_byte);
+      if (rec.type == LogRecordType::kPageWrite) {
+        MOOD_RETURN_IF_ERROR(b2.GetFixed32(&rec.page_id));
+        MOOD_RETURN_IF_ERROR(b2.GetString(&rec.before));
+        MOOD_RETURN_IF_ERROR(b2.GetString(&rec.after));
+      }
+    }
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("LogManager not open");
+  buffer_.clear();
+  if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace mood

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mood {
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kPageWrite = 4,
+  kCheckpoint = 5,
+};
+
+/// A decoded log record. Page-write records carry full before/after page images
+/// (physical logging): redo/undo stay trivially correct and idempotent when paired
+/// with page LSNs.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  uint64_t txn_id = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  PageId page_id = kInvalidPageId;
+  std::string before;
+  std::string after;
+};
+
+/// Append-only write-ahead log backed by one file. Provides the "backup and
+/// recovery" kernel function the paper obtains from the Exodus Storage Manager.
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  Result<Lsn> AppendBegin(uint64_t txn_id);
+  Result<Lsn> AppendCommit(uint64_t txn_id);
+  Result<Lsn> AppendAbort(uint64_t txn_id);
+  Result<Lsn> AppendPageWrite(uint64_t txn_id, PageId page, Slice before, Slice after);
+  Result<Lsn> AppendCheckpoint();
+
+  /// Forces buffered log records to stable storage.
+  Status Flush();
+
+  /// Reads every record currently in the log, in LSN order.
+  Status ReadAll(std::vector<LogRecord>* out);
+
+  /// Discards the log contents (after a checkpoint has flushed all data pages).
+  Status Truncate();
+
+  Lsn last_lsn() const { return next_lsn_ - 1; }
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  Result<Lsn> Append(LogRecordType type, uint64_t txn_id, PageId page, Slice before,
+                     Slice after);
+
+  int fd_ = -1;
+  std::string path_;
+  Lsn next_lsn_ = 1;
+  std::string buffer_;  // unflushed tail
+  mutable std::mutex mu_;
+};
+
+}  // namespace mood

@@ -1,0 +1,130 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/coding.h"
+
+namespace mood {
+
+Result<Lsn> Transaction::LogPageWrite(PageId page, Slice before, Slice after) {
+  if (state_ != TxnState::kActive) {
+    return Status::TxnAborted("write in non-active transaction");
+  }
+  MOOD_ASSIGN_OR_RETURN(Lsn lsn, mgr_->log()->AppendPageWrite(id_, page, before, after));
+  undo_.push_back(UndoEntry{page, lsn, before.ToString()});
+  return lsn;
+}
+
+Status Transaction::Lock(LockKey key, LockMode mode) {
+  return mgr_->locks()->Acquire(id_, key, mode);
+}
+
+TransactionManager::TransactionManager(BufferPool* pool, LogManager* log,
+                                       LockManager* locks)
+    : pool_(pool), log_(log), locks_(locks) {
+  // WAL rule: before any dirty page reaches disk, force the log.
+  pool_->SetPreFlushHook([this](const Page&) { return log_->Flush(); });
+}
+
+TransactionManager::~TransactionManager() { pool_->SetPreFlushHook(nullptr); }
+
+void TransactionManager::PruneCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(live_, [](const auto& t) { return t->state() != TxnState::kActive; });
+}
+
+Result<Transaction*> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_txn_id_++;
+  MOOD_RETURN_IF_ERROR(log_->AppendBegin(id).status());
+  auto txn = std::unique_ptr<Transaction>(new Transaction(id, this));
+  Transaction* ptr = txn.get();
+  live_.push_back(std::move(txn));
+  return ptr;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  MOOD_RETURN_IF_ERROR(log_->AppendCommit(txn->id_).status());
+  MOOD_RETURN_IF_ERROR(log_->Flush());
+  txn->state_ = TxnState::kCommitted;
+  txn->undo_.clear();
+  locks_->ReleaseAll(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  // Restore before-images newest-first.
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(it->page));
+    std::memcpy(page->data(), it->before.data(), kPageSize);
+    MOOD_RETURN_IF_ERROR(pool_->UnpinPage(it->page, /*dirty=*/true));
+  }
+  MOOD_RETURN_IF_ERROR(log_->AppendAbort(txn->id_).status());
+  MOOD_RETURN_IF_ERROR(log_->Flush());
+  txn->state_ = TxnState::kAborted;
+  txn->undo_.clear();
+  locks_->ReleaseAll(txn->id_);
+  return Status::OK();
+}
+
+Result<RecoveryManager::Report> RecoveryManager::Recover() {
+  std::vector<LogRecord> records;
+  MOOD_RETURN_IF_ERROR(log_->ReadAll(&records));
+
+  Report report;
+  std::set<uint64_t> committed;
+  std::set<uint64_t> aborted;
+  std::set<uint64_t> seen;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+    if (rec.type == LogRecordType::kAbort) aborted.insert(rec.txn_id);
+    if (rec.type == LogRecordType::kBegin) seen.insert(rec.txn_id);
+  }
+  report.committed_txns = committed.size();
+  for (uint64_t id : seen) {
+    if (!committed.count(id) && !aborted.count(id)) report.loser_txns++;
+  }
+
+  // Redo phase: apply every page write (committed, aborted and loser alike) whose
+  // LSN is newer than the page. Aborted transactions' abort-time restores were
+  // buffer-level only, so their writes are re-applied here and rolled back again
+  // by the undo phase below, which also covers losers.
+  for (const LogRecord& rec : records) {
+    if (rec.type != LogRecordType::kPageWrite) continue;
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rec.page_id));
+    Lsn current = DecodeFixed64(page->data());
+    if (current < rec.lsn) {
+      std::memcpy(page->data(), rec.after.data(), kPageSize);
+      EncodeFixed64(page->data(), rec.lsn);
+      MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, true));
+      report.redo_applied++;
+    } else {
+      MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, false));
+    }
+  }
+
+  // Undo phase: restore before-images of non-committed transactions, newest first.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const LogRecord& rec = *it;
+    if (rec.type != LogRecordType::kPageWrite) continue;
+    if (committed.count(rec.txn_id)) continue;
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rec.page_id));
+    std::memcpy(page->data(), rec.before.data(), kPageSize);
+    EncodeFixed64(page->data(), rec.lsn);
+    MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, true));
+    report.undo_applied++;
+  }
+
+  MOOD_RETURN_IF_ERROR(pool_->FlushAll());
+  return report;
+}
+
+}  // namespace mood

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/wal_interface.h"
+#include "txn/lock_manager.h"
+#include "txn/log_manager.h"
+
+namespace mood {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+class TransactionManager;
+
+/// A transaction context. Implements PageWriteLogger so storage structures can
+/// report page mutations: each mutation is logged with before/after images, and
+/// the before images double as the in-memory undo chain for Abort.
+class Transaction : public PageWriteLogger {
+ public:
+  uint64_t id() const { return id_; }
+  TxnState state() const { return state_; }
+
+  Result<Lsn> LogPageWrite(PageId page, Slice before, Slice after) override;
+
+  /// Acquires a lock through the owning manager's lock manager (strict 2PL: held
+  /// until commit/abort).
+  Status Lock(LockKey key, LockMode mode);
+
+ private:
+  friend class TransactionManager;
+
+  struct UndoEntry {
+    PageId page;
+    Lsn lsn;
+    std::string before;
+  };
+
+  Transaction(uint64_t id, TransactionManager* mgr) : id_(id), mgr_(mgr) {}
+
+  uint64_t id_;
+  TransactionManager* mgr_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<UndoEntry> undo_;
+};
+
+/// Creates, commits and aborts transactions; wires the WAL rule into the buffer
+/// pool and applies in-memory undo on abort.
+class TransactionManager {
+ public:
+  TransactionManager(BufferPool* pool, LogManager* log, LockManager* locks);
+  /// Uninstalls the WAL-rule hook (the buffer pool may outlive this manager).
+  ~TransactionManager();
+
+  /// Begins a transaction; the returned object stays owned by the manager until
+  /// Commit/Abort.
+  Result<Transaction*> Begin();
+
+  /// Commit: append + flush the commit record, release locks.
+  Status Commit(Transaction* txn);
+
+  /// Abort: restore before-images in reverse order, append abort record, release
+  /// locks.
+  Status Abort(Transaction* txn);
+
+  /// Frees committed/aborted transaction objects. Completed transactions stay
+  /// valid (their pointers may still be observed) until this is called.
+  void PruneCompleted();
+
+  LogManager* log() { return log_; }
+  LockManager* locks() { return locks_; }
+  BufferPool* pool() { return pool_; }
+
+ private:
+  friend class Transaction;
+
+  BufferPool* pool_;
+  LogManager* log_;
+  LockManager* locks_;
+  uint64_t next_txn_id_ = 1;
+  std::vector<std::unique_ptr<Transaction>> live_;
+  std::mutex mu_;
+};
+
+/// Crash recovery: replays the write-ahead log against the database file.
+/// Redo applies committed page images where the page LSN is older; undo restores
+/// before-images of loser transactions in reverse LSN order. Both passes are
+/// idempotent, so an interrupted recovery can simply run again.
+class RecoveryManager {
+ public:
+  RecoveryManager(BufferPool* pool, LogManager* log) : pool_(pool), log_(log) {}
+
+  struct Report {
+    size_t committed_txns = 0;
+    size_t loser_txns = 0;
+    size_t redo_applied = 0;
+    size_t undo_applied = 0;
+  };
+
+  Result<Report> Recover();
+
+ private:
+  BufferPool* pool_;
+  LogManager* log_;
+};
+
+}  // namespace mood

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mood {
+
+/// Object identifier: physical address of an object — (extent file, page, slot).
+/// MOOD follows ESM in using physical OIDs; record forwarding in the heap file
+/// keeps them stable across updates.
+struct Oid {
+  uint16_t file = 0;
+  uint32_t page = 0xFFFFFFFFu;
+  uint16_t slot = 0xFFFF;
+
+  bool valid() const { return page != 0xFFFFFFFFu && slot != 0xFFFF; }
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(file) << 48) | (static_cast<uint64_t>(page) << 16) |
+           slot;
+  }
+  static Oid Unpack(uint64_t v) {
+    Oid o;
+    o.file = static_cast<uint16_t>(v >> 48);
+    o.page = static_cast<uint32_t>((v >> 16) & 0xFFFFFFFFu);
+    o.slot = static_cast<uint16_t>(v & 0xFFFF);
+    return o;
+  }
+
+  std::string ToString() const {
+    return "oid(" + std::to_string(file) + ":" + std::to_string(page) + ":" +
+           std::to_string(slot) + ")";
+  }
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+};
+
+inline constexpr Oid kNullOid{};
+
+}  // namespace mood
+
+template <>
+struct std::hash<mood::Oid> {
+  size_t operator()(const mood::Oid& o) const noexcept {
+    return std::hash<uint64_t>()(o.Pack());
+  }
+};

@@ -1,0 +1,391 @@
+#include "types/operand.h"
+
+#include <cmath>
+
+namespace mood {
+
+std::string_view DataTypeCodeName(DataTypeCode c) {
+  switch (c) {
+    case DataTypeCode::kInt16: return "INT16";
+    case DataTypeCode::kInt32: return "INT32";
+    case DataTypeCode::kInt64: return "INT64";
+    case DataTypeCode::kFloat32: return "FLOAT32";
+    case DataTypeCode::kDouble: return "DOUBLE";
+    case DataTypeCode::kChar: return "CHAR";
+    case DataTypeCode::kBool: return "BOOL";
+    case DataTypeCode::kString: return "STRING";
+  }
+  return "?";
+}
+
+OperandDataType::OperandDataType(DataTypeCode code) : code_(code) {}
+
+OperandDataType::OperandDataType(DataTypeCode code, const MoodValue& v) : code_(code) {
+  switch (v.kind()) {
+    case ValueKind::kInteger: *this = static_cast<int64_t>(v.AsInteger()); break;
+    case ValueKind::kLongInteger: *this = v.AsLongInteger(); break;
+    case ValueKind::kFloat: *this = v.AsFloat(); break;
+    case ValueKind::kChar: *this = static_cast<int64_t>(v.AsChar()); break;
+    case ValueKind::kBoolean: *this = v.AsBoolean(); break;
+    case ValueKind::kString: *this = v.AsString(); break;
+    case ValueKind::kNull: repr_ = Repr::kNone; break;
+    default:
+      status_ = Status::TypeError("OperandDataType cannot hold " +
+                                  std::string(ValueKindName(v.kind())));
+  }
+}
+
+OperandDataType OperandDataType::FromValue(const MoodValue& v) {
+  switch (v.kind()) {
+    case ValueKind::kInteger: return OperandDataType(DataTypeCode::kInt32, v);
+    case ValueKind::kLongInteger: return OperandDataType(DataTypeCode::kInt64, v);
+    case ValueKind::kFloat: return OperandDataType(DataTypeCode::kDouble, v);
+    case ValueKind::kChar: return OperandDataType(DataTypeCode::kChar, v);
+    case ValueKind::kBoolean: return OperandDataType(DataTypeCode::kBool, v);
+    case ValueKind::kString: return OperandDataType(DataTypeCode::kString, v);
+    case ValueKind::kNull: return OperandDataType(DataTypeCode::kInt32, v);
+    default:
+      return Poison(Status::TypeError("non-scalar value in expression: " +
+                                      std::string(ValueKindName(v.kind()))));
+  }
+}
+
+OperandDataType OperandDataType::Poison(Status st) {
+  OperandDataType o(DataTypeCode::kInt32);
+  o.status_ = std::move(st);
+  return o;
+}
+
+int64_t OperandDataType::TruncateInt(DataTypeCode code, int64_t v) {
+  switch (code) {
+    case DataTypeCode::kInt16: return static_cast<int16_t>(v);
+    case DataTypeCode::kInt32: return static_cast<int32_t>(v);
+    case DataTypeCode::kChar: return static_cast<int8_t>(v);
+    default: return v;
+  }
+}
+
+DataTypeCode OperandDataType::Promote(DataTypeCode a, DataTypeCode b) {
+  if (a == DataTypeCode::kDouble || b == DataTypeCode::kDouble) return DataTypeCode::kDouble;
+  if (a == DataTypeCode::kFloat32 || b == DataTypeCode::kFloat32) return DataTypeCode::kDouble;
+  if (a == DataTypeCode::kInt64 || b == DataTypeCode::kInt64) return DataTypeCode::kInt64;
+  if (a == DataTypeCode::kInt32 || b == DataTypeCode::kInt32) return DataTypeCode::kInt32;
+  return DataTypeCode::kInt16;
+}
+
+OperandDataType& OperandDataType::operator=(int64_t v) {
+  status_ = Status::OK();
+  if (IsIntCode(code_)) {
+    repr_ = Repr::kInt;
+    int_ = TruncateInt(code_, v);
+  } else if (IsFloatCode(code_)) {
+    repr_ = Repr::kFloat;
+    float_ = static_cast<double>(v);
+  } else if (code_ == DataTypeCode::kBool) {
+    repr_ = Repr::kBool;
+    bool_ = v != 0;
+  } else {
+    status_ = Status::TypeError("cannot assign integer to STRING operand");
+  }
+  return *this;
+}
+
+OperandDataType& OperandDataType::operator=(double v) {
+  status_ = Status::OK();
+  if (IsFloatCode(code_)) {
+    repr_ = Repr::kFloat;
+    float_ = v;
+  } else if (IsIntCode(code_)) {
+    repr_ = Repr::kInt;
+    int_ = TruncateInt(code_, static_cast<int64_t>(v));  // run-time cast
+  } else if (code_ == DataTypeCode::kBool) {
+    repr_ = Repr::kBool;
+    bool_ = v != 0.0;
+  } else {
+    status_ = Status::TypeError("cannot assign float to STRING operand");
+  }
+  return *this;
+}
+
+OperandDataType& OperandDataType::operator=(bool v) {
+  status_ = Status::OK();
+  if (code_ == DataTypeCode::kBool) {
+    repr_ = Repr::kBool;
+    bool_ = v;
+  } else if (IsNumericCode(code_)) {
+    return *this = static_cast<int64_t>(v ? 1 : 0);
+  } else {
+    status_ = Status::TypeError("cannot assign boolean to STRING operand");
+  }
+  return *this;
+}
+
+OperandDataType& OperandDataType::operator=(const std::string& v) {
+  status_ = Status::OK();
+  if (code_ == DataTypeCode::kString) {
+    repr_ = Repr::kString;
+    string_ = v;
+  } else {
+    status_ = Status::TypeError("cannot assign string to " +
+                                std::string(DataTypeCodeName(code_)) + " operand");
+  }
+  return *this;
+}
+
+OperandDataType& OperandDataType::Assign(const OperandDataType& rhs) {
+  if (!rhs.status_.ok()) {
+    status_ = rhs.status_;
+    return *this;
+  }
+  switch (rhs.repr_) {
+    case Repr::kInt: return *this = rhs.int_;
+    case Repr::kFloat: return *this = rhs.float_;
+    case Repr::kBool: return *this = rhs.bool_;
+    case Repr::kString: return *this = rhs.string_;
+    case Repr::kNone:
+      repr_ = Repr::kNone;
+      status_ = Status::OK();
+      return *this;
+  }
+  return *this;
+}
+
+namespace {
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+}  // namespace
+
+static OperandDataType Arith(const OperandDataType& a, const OperandDataType& b,
+                             ArithOp op);
+
+OperandDataType operator+(const OperandDataType& a, const OperandDataType& b) {
+  // String + String concatenates (a convenience MoodView's query manager uses).
+  if (a.ok() && b.ok() && a.code() == DataTypeCode::kString &&
+      b.code() == DataTypeCode::kString) {
+    auto sa = a.AsStringValue();
+    if (!sa.ok()) return OperandDataType::Poison(sa.status());
+    auto sb = b.AsStringValue();
+    if (!sb.ok()) return OperandDataType::Poison(sb.status());
+    OperandDataType out(DataTypeCode::kString);
+    out = sa.value() + sb.value();
+    return out;
+  }
+  return Arith(a, b, ArithOp::kAdd);
+}
+OperandDataType operator-(const OperandDataType& a, const OperandDataType& b) {
+  return Arith(a, b, ArithOp::kSub);
+}
+OperandDataType operator*(const OperandDataType& a, const OperandDataType& b) {
+  return Arith(a, b, ArithOp::kMul);
+}
+OperandDataType operator/(const OperandDataType& a, const OperandDataType& b) {
+  return Arith(a, b, ArithOp::kDiv);
+}
+OperandDataType operator%(const OperandDataType& a, const OperandDataType& b) {
+  return Arith(a, b, ArithOp::kMod);
+}
+
+static OperandDataType Arith(const OperandDataType& a, const OperandDataType& b,
+                             ArithOp op) {
+  if (!a.ok()) return a;
+  if (!b.ok()) return b;
+  if (!OperandDataType::IsNumericCode(a.code()) ||
+      !OperandDataType::IsNumericCode(b.code())) {
+    return OperandDataType::Poison(
+        Status::TypeError(std::string("arithmetic on non-numeric operands (") +
+                          std::string(DataTypeCodeName(a.code())) + ", " +
+                          std::string(DataTypeCodeName(b.code())) + ")"));
+  }
+  DataTypeCode rc = OperandDataType::Promote(a.code(), b.code());
+  OperandDataType out(rc);
+  if (OperandDataType::IsFloatCode(rc)) {
+    double x = a.AsDouble().value();
+    double y = b.AsDouble().value();
+    switch (op) {
+      case ArithOp::kAdd: out = x + y; break;
+      case ArithOp::kSub: out = x - y; break;
+      case ArithOp::kMul: out = x * y; break;
+      case ArithOp::kDiv:
+        if (y == 0) return OperandDataType::Poison(Status::InvalidArgument("division by zero"));
+        out = x / y;
+        break;
+      case ArithOp::kMod:
+        return OperandDataType::Poison(
+            Status::TypeError("% requires integer operands"));
+    }
+  } else {
+    int64_t x = a.AsInt().value();
+    int64_t y = b.AsInt().value();
+    switch (op) {
+      case ArithOp::kAdd: out = x + y; break;
+      case ArithOp::kSub: out = x - y; break;
+      case ArithOp::kMul: out = x * y; break;
+      case ArithOp::kDiv:
+        if (y == 0) return OperandDataType::Poison(Status::InvalidArgument("division by zero"));
+        out = x / y;
+        break;
+      case ArithOp::kMod:
+        if (y == 0) return OperandDataType::Poison(Status::InvalidArgument("modulo by zero"));
+        out = x % y;
+        break;
+    }
+  }
+  return out;
+}
+
+OperandDataType OperandDataType::operator-() const {
+  if (!ok()) return *this;
+  OperandDataType zero(code_);
+  zero = int64_t{0};
+  return zero - *this;
+}
+
+static OperandDataType Cmp(const OperandDataType& a, const OperandDataType& b,
+                           int lo, int hi) {
+  // Returns bool operand true iff compare(a, b) in [lo, hi] where compare yields
+  // -1/0/1.
+  if (!a.ok()) return a;
+  if (!b.ok()) return b;
+  int c;
+  if (OperandDataType::IsNumericCode(a.code()) &&
+      OperandDataType::IsNumericCode(b.code())) {
+    double x = a.AsDouble().value();
+    double y = b.AsDouble().value();
+    c = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.code() == DataTypeCode::kString && b.code() == DataTypeCode::kString) {
+    int r = a.AsStringValue().value().compare(b.AsStringValue().value());
+    c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+  } else if (a.code() == DataTypeCode::kBool && b.code() == DataTypeCode::kBool) {
+    bool x = a.AsBool().value(), y = b.AsBool().value();
+    c = x == y ? 0 : (x ? 1 : -1);
+  } else {
+    return OperandDataType::Poison(
+        Status::TypeError(std::string("cannot compare ") +
+                          std::string(DataTypeCodeName(a.code())) + " with " +
+                          std::string(DataTypeCodeName(b.code()))));
+  }
+  OperandDataType out(DataTypeCode::kBool);
+  out = (c >= lo && c <= hi);
+  return out;
+}
+
+OperandDataType operator==(const OperandDataType& a, const OperandDataType& b) {
+  return Cmp(a, b, 0, 0);
+}
+OperandDataType operator!=(const OperandDataType& a, const OperandDataType& b) {
+  OperandDataType eq = Cmp(a, b, 0, 0);
+  return eq.ok() ? !eq : eq;
+}
+OperandDataType operator<(const OperandDataType& a, const OperandDataType& b) {
+  return Cmp(a, b, -1, -1);
+}
+OperandDataType operator<=(const OperandDataType& a, const OperandDataType& b) {
+  return Cmp(a, b, -1, 0);
+}
+OperandDataType operator>(const OperandDataType& a, const OperandDataType& b) {
+  return Cmp(a, b, 1, 1);
+}
+OperandDataType operator>=(const OperandDataType& a, const OperandDataType& b) {
+  return Cmp(a, b, 0, 1);
+}
+
+OperandDataType operator&&(const OperandDataType& a, const OperandDataType& b) {
+  if (!a.ok()) return a;
+  if (!b.ok()) return b;
+  auto x = a.AsBool();
+  if (!x.ok()) return OperandDataType::Poison(x.status());
+  auto y = b.AsBool();
+  if (!y.ok()) return OperandDataType::Poison(y.status());
+  OperandDataType out(DataTypeCode::kBool);
+  out = (x.value() && y.value());
+  return out;
+}
+
+OperandDataType operator||(const OperandDataType& a, const OperandDataType& b) {
+  if (!a.ok()) return a;
+  if (!b.ok()) return b;
+  auto x = a.AsBool();
+  if (!x.ok()) return OperandDataType::Poison(x.status());
+  auto y = b.AsBool();
+  if (!y.ok()) return OperandDataType::Poison(y.status());
+  OperandDataType out(DataTypeCode::kBool);
+  out = (x.value() || y.value());
+  return out;
+}
+
+OperandDataType OperandDataType::operator!() const {
+  if (!ok()) return *this;
+  auto x = AsBool();
+  if (!x.ok()) return Poison(x.status());
+  OperandDataType out(DataTypeCode::kBool);
+  out = !x.value();
+  return out;
+}
+
+Result<int64_t> OperandDataType::AsInt() const {
+  MOOD_RETURN_IF_ERROR(status_);
+  switch (repr_) {
+    case Repr::kInt: return int_;
+    case Repr::kFloat: return static_cast<int64_t>(float_);
+    case Repr::kBool: return bool_ ? int64_t{1} : int64_t{0};
+    default: return Status::TypeError("operand has no integer value");
+  }
+}
+
+Result<double> OperandDataType::AsDouble() const {
+  MOOD_RETURN_IF_ERROR(status_);
+  switch (repr_) {
+    case Repr::kInt: return static_cast<double>(int_);
+    case Repr::kFloat: return float_;
+    case Repr::kBool: return bool_ ? 1.0 : 0.0;
+    default: return Status::TypeError("operand has no numeric value");
+  }
+}
+
+Result<bool> OperandDataType::AsBool() const {
+  MOOD_RETURN_IF_ERROR(status_);
+  switch (repr_) {
+    case Repr::kBool: return bool_;
+    case Repr::kInt: return int_ != 0;
+    case Repr::kFloat: return float_ != 0.0;
+    default: return Status::TypeError("operand has no boolean value");
+  }
+}
+
+Result<std::string> OperandDataType::AsStringValue() const {
+  MOOD_RETURN_IF_ERROR(status_);
+  if (repr_ != Repr::kString) return Status::TypeError("operand has no string value");
+  return string_;
+}
+
+Result<MoodValue> OperandDataType::ToValue() const {
+  MOOD_RETURN_IF_ERROR(status_);
+  switch (repr_) {
+    case Repr::kNone: return MoodValue::Null();
+    case Repr::kBool: return MoodValue::Boolean(bool_);
+    case Repr::kString: return MoodValue::String(string_);
+    case Repr::kFloat: return MoodValue::Float(float_);
+    case Repr::kInt:
+      switch (code_) {
+        case DataTypeCode::kInt64: return MoodValue::LongInteger(int_);
+        case DataTypeCode::kChar: return MoodValue::Char(static_cast<char>(int_));
+        default: return MoodValue::Integer(static_cast<int32_t>(int_));
+      }
+  }
+  return Status::Internal("unhandled operand representation");
+}
+
+std::string OperandDataType::ToString() const {
+  if (!ok()) return "<error: " + status_.ToString() + ">";
+  switch (repr_) {
+    case Repr::kNone: return "null:" + std::string(DataTypeCodeName(code_));
+    case Repr::kInt: return std::to_string(int_) + ":" + std::string(DataTypeCodeName(code_));
+    case Repr::kFloat: return std::to_string(float_) + ":" + std::string(DataTypeCodeName(code_));
+    case Repr::kBool: return std::string(bool_ ? "true" : "false") + ":BOOL";
+    case Repr::kString: return "'" + string_ + "':STRING";
+  }
+  return "?";
+}
+
+}  // namespace mood

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// Run-time type codes of the MOODSQL expression interpreter (Section 2 of the
+/// paper names INT16, INT32 and DOUBLE; the full set covers the MOOD basic types).
+enum class DataTypeCode : uint8_t {
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kDouble,
+  kChar,
+  kBool,
+  kString,
+};
+
+std::string_view DataTypeCodeName(DataTypeCode c);
+
+/// The paper's `OperandDataType`: a run-time-typed operand for interpreting
+/// arithmetic and Boolean expressions inside the MOODSQL interpreter.
+///
+///   OperandDataType x(DataTypeCode::kInt16), y(DataTypeCode::kInt32),
+///                   z(DataTypeCode::kDouble);
+///   x = 10; y = 13;
+///   z = (x * 3 + x % 3) * (y / 4 * 5);   // evaluated at run time; the result is
+///                                        // cast to double because z is double
+///
+/// Overloads +, -, *, /, % (in the paper's order), the comparison operators and
+/// AND/OR/NOT. Type checking and conversion happen at run time; a type error
+/// poisons the value and propagates through the rest of the expression, surfacing
+/// via status().
+class OperandDataType {
+ public:
+  explicit OperandDataType(DataTypeCode code);
+  OperandDataType(DataTypeCode code, const MoodValue& v);
+
+  /// Builds an operand from a runtime MOOD value (used by the query executor when
+  /// feeding attribute values into WHERE-clause expressions).
+  static OperandDataType FromValue(const MoodValue& v);
+
+  DataTypeCode code() const { return code_; }
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// Assignment converts to the declared type of the target (run-time cast).
+  OperandDataType& operator=(int64_t v);
+  OperandDataType& operator=(double v);
+  OperandDataType& operator=(bool v);
+  OperandDataType& operator=(const std::string& v);
+  OperandDataType& operator=(const char* v) { return *this = std::string(v); }
+  /// Keeps this operand's declared type and casts the value of `rhs` into it.
+  OperandDataType& Assign(const OperandDataType& rhs);
+
+  // Arithmetic (+, -, *, /, % in the paper's order). Integer operands use integer
+  // division/modulo; any floating operand promotes the expression to double.
+  friend OperandDataType operator+(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator-(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator*(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator/(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator%(const OperandDataType& a, const OperandDataType& b);
+  OperandDataType operator-() const;
+
+  // Comparisons return a kBool operand.
+  friend OperandDataType operator==(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator!=(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator<(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator<=(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator>(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator>=(const OperandDataType& a, const OperandDataType& b);
+
+  // Boolean connectives (non-short-circuiting: both sides are already values).
+  friend OperandDataType operator&&(const OperandDataType& a, const OperandDataType& b);
+  friend OperandDataType operator||(const OperandDataType& a, const OperandDataType& b);
+  OperandDataType operator!() const;
+
+  /// Extractors; fail if the operand is poisoned or of the wrong family.
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+  Result<std::string> AsStringValue() const;
+
+  /// Converts back into a MOOD runtime value.
+  Result<MoodValue> ToValue() const;
+
+  std::string ToString() const;
+
+  /// Builds a poisoned operand carrying a type/evaluation error (public so the
+  /// expression evaluator can inject errors, e.g. unknown identifiers).
+  static OperandDataType Poison(Status st);
+
+  static bool IsIntCode(DataTypeCode c) {
+    return c == DataTypeCode::kInt16 || c == DataTypeCode::kInt32 ||
+           c == DataTypeCode::kInt64 || c == DataTypeCode::kChar;
+  }
+  static bool IsFloatCode(DataTypeCode c) {
+    return c == DataTypeCode::kFloat32 || c == DataTypeCode::kDouble;
+  }
+  static bool IsNumericCode(DataTypeCode c) { return IsIntCode(c) || IsFloatCode(c); }
+  /// Result code of a binary arithmetic op under numeric promotion.
+  static DataTypeCode Promote(DataTypeCode a, DataTypeCode b);
+
+ private:
+  /// Truncates an int64 into the range of `code`.
+  static int64_t TruncateInt(DataTypeCode code, int64_t v);
+
+  enum class Repr : uint8_t { kNone, kInt, kFloat, kBool, kString };
+
+  DataTypeCode code_;
+  Repr repr_ = Repr::kNone;
+  int64_t int_ = 0;
+  double float_ = 0;
+  bool bool_ = false;
+  std::string string_;
+  Status status_;
+};
+
+}  // namespace mood

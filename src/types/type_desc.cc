@@ -1,0 +1,314 @@
+#include "types/type_desc.h"
+
+#include "common/coding.h"
+
+namespace mood {
+
+std::string_view ConstructorKindName(ConstructorKind k) {
+  switch (k) {
+    case ConstructorKind::kBasic: return "Basic";
+    case ConstructorKind::kTuple: return "Tuple";
+    case ConstructorKind::kSet: return "Set";
+    case ConstructorKind::kList: return "List";
+    case ConstructorKind::kReference: return "Reference";
+  }
+  return "?";
+}
+
+TypeDescPtr TypeDesc::Basic(BasicType t) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kBasic;
+  d->basic_ = t;
+  return d;
+}
+
+TypeDescPtr TypeDesc::SizedString(uint32_t capacity) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kBasic;
+  d->basic_ = BasicType::kString;
+  d->string_capacity_ = capacity;
+  return d;
+}
+
+TypeDescPtr TypeDesc::Tuple(std::vector<Field> fields) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kTuple;
+  d->fields_ = std::move(fields);
+  return d;
+}
+
+TypeDescPtr TypeDesc::Set(TypeDescPtr elem) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kSet;
+  d->elem_ = std::move(elem);
+  return d;
+}
+
+TypeDescPtr TypeDesc::List(TypeDescPtr elem) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kList;
+  d->elem_ = std::move(elem);
+  return d;
+}
+
+TypeDescPtr TypeDesc::Reference(std::string class_name) {
+  auto d = std::shared_ptr<TypeDesc>(new TypeDesc());
+  d->kind_ = ConstructorKind::kReference;
+  d->class_name_ = std::move(class_name);
+  return d;
+}
+
+int TypeDesc::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TypeDesc::CheckValue(const MoodValue& v) const {
+  if (v.is_null()) return Status::OK();  // any attribute may be null (notnull stats)
+  switch (kind_) {
+    case ConstructorKind::kBasic: {
+      switch (basic_) {
+        case BasicType::kInteger:
+          if (v.kind() == ValueKind::kInteger) return Status::OK();
+          break;
+        case BasicType::kLongInteger:
+          if (v.kind() == ValueKind::kLongInteger || v.kind() == ValueKind::kInteger) {
+            return Status::OK();
+          }
+          break;
+        case BasicType::kFloat:
+          if (v.IsNumeric()) return Status::OK();
+          break;
+        case BasicType::kString:
+          if (v.kind() == ValueKind::kString) {
+            if (string_capacity_ > 0 && v.AsString().size() > string_capacity_) {
+              return Status::TypeError("string exceeds declared capacity String(" +
+                                       std::to_string(string_capacity_) + ")");
+            }
+            return Status::OK();
+          }
+          break;
+        case BasicType::kChar:
+          if (v.kind() == ValueKind::kChar) return Status::OK();
+          break;
+        case BasicType::kBoolean:
+          if (v.kind() == ValueKind::kBoolean) return Status::OK();
+          break;
+      }
+      return Status::TypeError(std::string("expected ") +
+                               std::string(BasicTypeName(basic_)) + ", got " +
+                               std::string(ValueKindName(v.kind())));
+    }
+    case ConstructorKind::kTuple: {
+      if (v.kind() != ValueKind::kTuple) {
+        return Status::TypeError("expected Tuple, got " +
+                                 std::string(ValueKindName(v.kind())));
+      }
+      if (v.size() != fields_.size()) {
+        return Status::TypeError("tuple arity mismatch: expected " +
+                                 std::to_string(fields_.size()) + ", got " +
+                                 std::to_string(v.size()));
+      }
+      for (size_t i = 0; i < fields_.size(); i++) {
+        Status st = fields_[i].type->CheckValue(v.elements()[i]);
+        if (!st.ok()) {
+          return Status::TypeError("field '" + fields_[i].name + "': " + st.message());
+        }
+      }
+      return Status::OK();
+    }
+    case ConstructorKind::kSet:
+    case ConstructorKind::kList: {
+      ValueKind want = kind_ == ConstructorKind::kSet ? ValueKind::kSet : ValueKind::kList;
+      if (v.kind() != want) {
+        return Status::TypeError(std::string("expected ") +
+                                 std::string(ConstructorKindName(kind_)) + ", got " +
+                                 std::string(ValueKindName(v.kind())));
+      }
+      for (const auto& e : v.elements()) MOOD_RETURN_IF_ERROR(elem_->CheckValue(e));
+      return Status::OK();
+    }
+    case ConstructorKind::kReference: {
+      if (v.kind() == ValueKind::kReference) return Status::OK();
+      return Status::TypeError("expected Reference, got " +
+                               std::string(ValueKindName(v.kind())));
+    }
+  }
+  return Status::Internal("unhandled constructor kind");
+}
+
+MoodValue TypeDesc::DefaultValue() const {
+  switch (kind_) {
+    case ConstructorKind::kBasic:
+      switch (basic_) {
+        case BasicType::kInteger: return MoodValue::Integer(0);
+        case BasicType::kFloat: return MoodValue::Float(0.0);
+        case BasicType::kLongInteger: return MoodValue::LongInteger(0);
+        case BasicType::kString: return MoodValue::String("");
+        case BasicType::kChar: return MoodValue::Char('\0');
+        case BasicType::kBoolean: return MoodValue::Boolean(false);
+      }
+      return MoodValue::Null();
+    case ConstructorKind::kTuple: {
+      MoodValue::ValueList fields;
+      for (const auto& f : fields_) fields.push_back(f.type->DefaultValue());
+      return MoodValue::Tuple(std::move(fields));
+    }
+    case ConstructorKind::kSet: return MoodValue::Set({});
+    case ConstructorKind::kList: return MoodValue::List({});
+    case ConstructorKind::kReference: return MoodValue::Null();
+  }
+  return MoodValue::Null();
+}
+
+size_t TypeDesc::EstimateSize() const {
+  switch (kind_) {
+    case ConstructorKind::kBasic:
+      switch (basic_) {
+        case BasicType::kInteger: return 4;
+        case BasicType::kFloat: return 8;
+        case BasicType::kLongInteger: return 8;
+        case BasicType::kString: return string_capacity_ > 0 ? string_capacity_ : 24;
+        case BasicType::kChar: return 1;
+        case BasicType::kBoolean: return 1;
+      }
+      return 8;
+    case ConstructorKind::kTuple: {
+      size_t total = 0;
+      for (const auto& f : fields_) total += f.type->EstimateSize() + 1;
+      return total;
+    }
+    case ConstructorKind::kSet:
+    case ConstructorKind::kList:
+      return 8 + 4 * elem_->EstimateSize();  // assume small average cardinality
+    case ConstructorKind::kReference:
+      return 8;
+  }
+  return 8;
+}
+
+bool TypeDesc::Equals(const TypeDesc& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ConstructorKind::kBasic:
+      return basic_ == other.basic_ && string_capacity_ == other.string_capacity_;
+    case ConstructorKind::kReference:
+      return class_name_ == other.class_name_;
+    case ConstructorKind::kSet:
+    case ConstructorKind::kList:
+      return elem_->Equals(*other.elem_);
+    case ConstructorKind::kTuple: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); i++) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TypeDesc::ToString() const {
+  switch (kind_) {
+    case ConstructorKind::kBasic: {
+      std::string out(BasicTypeName(basic_));
+      if (basic_ == BasicType::kString && string_capacity_ > 0) {
+        out += "(" + std::to_string(string_capacity_) + ")";
+      }
+      return out;
+    }
+    case ConstructorKind::kTuple: {
+      std::string out = "TUPLE (";
+      for (size_t i = 0; i < fields_.size(); i++) {
+        if (i > 0) out += ", ";
+        out += fields_[i].name + " " + fields_[i].type->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case ConstructorKind::kSet: return "SET (" + elem_->ToString() + ")";
+    case ConstructorKind::kList: return "LIST (" + elem_->ToString() + ")";
+    case ConstructorKind::kReference: return "REFERENCE (" + class_name_ + ")";
+  }
+  return "?";
+}
+
+void TypeDesc::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind_));
+  switch (kind_) {
+    case ConstructorKind::kBasic:
+      dst->push_back(static_cast<char>(basic_));
+      PutFixed32(dst, string_capacity_);
+      break;
+    case ConstructorKind::kReference:
+      PutLengthPrefixedSlice(dst, class_name_);
+      break;
+    case ConstructorKind::kSet:
+    case ConstructorKind::kList:
+      elem_->EncodeTo(dst);
+      break;
+    case ConstructorKind::kTuple:
+      PutFixed32(dst, static_cast<uint32_t>(fields_.size()));
+      for (const auto& f : fields_) {
+        PutLengthPrefixedSlice(dst, f.name);
+        f.type->EncodeTo(dst);
+      }
+      break;
+  }
+}
+
+Result<TypeDescPtr> TypeDesc::Decode(Slice* input) {
+  if (input->empty()) return Status::Corruption("empty type encoding");
+  auto kind = static_cast<ConstructorKind>((*input)[0]);
+  input->remove_prefix(1);
+  switch (kind) {
+    case ConstructorKind::kBasic: {
+      if (input->size() < 5) return Status::Corruption("truncated basic type");
+      auto basic = static_cast<BasicType>((*input)[0]);
+      input->remove_prefix(1);
+      uint32_t cap = DecodeFixed32(input->data());
+      input->remove_prefix(4);
+      if (basic == BasicType::kString && cap > 0) return SizedString(cap);
+      return Basic(basic);
+    }
+    case ConstructorKind::kReference: {
+      Decoder dec(*input);
+      std::string name;
+      size_t start = dec.Remaining();
+      MOOD_RETURN_IF_ERROR(dec.GetString(&name));
+      input->remove_prefix(start - dec.Remaining());
+      return Reference(std::move(name));
+    }
+    case ConstructorKind::kSet: {
+      MOOD_ASSIGN_OR_RETURN(TypeDescPtr elem, Decode(input));
+      return Set(std::move(elem));
+    }
+    case ConstructorKind::kList: {
+      MOOD_ASSIGN_OR_RETURN(TypeDescPtr elem, Decode(input));
+      return List(std::move(elem));
+    }
+    case ConstructorKind::kTuple: {
+      if (input->size() < 4) return Status::Corruption("truncated tuple type");
+      uint32_t n = DecodeFixed32(input->data());
+      input->remove_prefix(4);
+      std::vector<Field> fields;
+      fields.reserve(n);
+      for (uint32_t i = 0; i < n; i++) {
+        Decoder dec(*input);
+        std::string name;
+        size_t start = dec.Remaining();
+        MOOD_RETURN_IF_ERROR(dec.GetString(&name));
+        input->remove_prefix(start - dec.Remaining());
+        MOOD_ASSIGN_OR_RETURN(TypeDescPtr ft, Decode(input));
+        fields.push_back(Field{std::move(name), std::move(ft)});
+      }
+      return Tuple(std::move(fields));
+    }
+  }
+  return Status::Corruption("unknown type constructor tag");
+}
+
+}  // namespace mood

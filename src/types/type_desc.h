@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace mood {
+
+/// The four type constructors of the MOOD data model plus "basic".
+enum class ConstructorKind : uint8_t {
+  kBasic = 0,
+  kTuple = 1,
+  kSet = 2,
+  kList = 3,
+  kReference = 4,
+};
+
+std::string_view ConstructorKindName(ConstructorKind k);
+
+/// A static type description: a basic type, or a constructor applied recursively
+/// (Section 2: "A complex type may be created by using basic types and recursive
+/// application of the type constructors").
+class TypeDesc;
+using TypeDescPtr = std::shared_ptr<const TypeDesc>;
+
+class TypeDesc {
+ public:
+  /// Named tuple field.
+  struct Field {
+    std::string name;
+    TypeDescPtr type;
+  };
+
+  static TypeDescPtr Basic(BasicType t);
+  /// String with a declared capacity, e.g. String(32) in the paper's DDL. The
+  /// capacity is advisory (used for size estimates); 0 means unbounded.
+  static TypeDescPtr SizedString(uint32_t capacity);
+  static TypeDescPtr Tuple(std::vector<Field> fields);
+  static TypeDescPtr Set(TypeDescPtr elem);
+  static TypeDescPtr List(TypeDescPtr elem);
+  static TypeDescPtr Reference(std::string class_name);
+
+  ConstructorKind kind() const { return kind_; }
+  BasicType basic() const { return basic_; }
+  uint32_t string_capacity() const { return string_capacity_; }
+  const std::string& referenced_class() const { return class_name_; }
+  const TypeDescPtr& element() const { return elem_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Position of a tuple field; -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Checks that a runtime value conforms to this type. Numeric widening
+  /// (Integer -> LongInteger -> Float) is accepted; everything else is strict.
+  Status CheckValue(const MoodValue& v) const;
+
+  /// Default value of this type (zero / empty / null reference).
+  MoodValue DefaultValue() const;
+
+  /// Rough per-instance size in bytes, used for nbpages/size statistics.
+  size_t EstimateSize() const;
+
+  bool Equals(const TypeDesc& other) const;
+
+  /// Rendering used in DDL output and MoodView, e.g.
+  /// "TUPLE (id Integer, refs SET (REFERENCE (Company)))".
+  std::string ToString() const;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<TypeDescPtr> Decode(Slice* input);
+
+ private:
+  TypeDesc() = default;
+
+  ConstructorKind kind_ = ConstructorKind::kBasic;
+  BasicType basic_ = BasicType::kInteger;
+  uint32_t string_capacity_ = 0;
+  std::string class_name_;
+  TypeDescPtr elem_;
+  std::vector<Field> fields_;
+};
+
+}  // namespace mood

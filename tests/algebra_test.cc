@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+// --- The typing rules of Tables 1-7 as pure functions ---------------------------
+
+TEST(AlgebraTypingTest, Table1SelectReturnTypes) {
+  EXPECT_EQ(SelectReturnKind(CollKind::kExtent, false), CollKind::kExtent);
+  EXPECT_EQ(SelectReturnKind(CollKind::kExtent, true), CollKind::kSet);
+  EXPECT_EQ(SelectReturnKind(CollKind::kSet), CollKind::kSet);
+  EXPECT_EQ(SelectReturnKind(CollKind::kList), CollKind::kList);
+  EXPECT_EQ(SelectReturnKind(CollKind::kNamedObject), CollKind::kNamedObject);
+}
+
+TEST(AlgebraTypingTest, Table2JoinReturnTypes) {
+  using K = CollKind;
+  const K kinds[] = {K::kExtent, K::kSet, K::kList, K::kNamedObject};
+  // Expected matrix from Table 2 (rows arg2, columns arg1).
+  const K expected[4][4] = {
+      // arg1:   Extent      Set       List      Named
+      {K::kExtent, K::kExtent, K::kExtent, K::kExtent},  // arg2 = Extent
+      {K::kExtent, K::kSet, K::kSet, K::kSet},           // arg2 = Set
+      {K::kExtent, K::kSet, K::kList, K::kList},         // arg2 = List
+      {K::kExtent, K::kSet, K::kList, K::kNamedObject},  // arg2 = Named Obj.
+  };
+  for (int r = 0; r < 4; r++) {
+    for (int c = 0; c < 4; c++) {
+      EXPECT_EQ(JoinReturnKind(kinds[c], kinds[r]), expected[r][c])
+          << CollKindName(kinds[c]) << " x " << CollKindName(kinds[r]);
+    }
+  }
+}
+
+TEST(AlgebraTypingTest, Table3DupElim) {
+  EXPECT_FALSE(DupElimReturn(CollKind::kSet).has_value());  // not applicable
+  EXPECT_TRUE(DupElimReturn(CollKind::kList).has_value());
+  EXPECT_NE(DupElimReturn(CollKind::kExtent)->find("deep equality"),
+            std::string::npos);
+}
+
+TEST(AlgebraTypingTest, Table4SetOps) {
+  MOOD_ASSERT_OK_AND_ASSIGN(CollKind ss, SetOpReturnKind(CollKind::kSet, CollKind::kSet));
+  EXPECT_EQ(ss, CollKind::kSet);
+  MOOD_ASSERT_OK_AND_ASSIGN(CollKind sl, SetOpReturnKind(CollKind::kSet, CollKind::kList));
+  EXPECT_EQ(sl, CollKind::kSet);
+  MOOD_ASSERT_OK_AND_ASSIGN(CollKind ls, SetOpReturnKind(CollKind::kList, CollKind::kSet));
+  EXPECT_EQ(ls, CollKind::kSet);
+  MOOD_ASSERT_OK_AND_ASSIGN(CollKind ll, SetOpReturnKind(CollKind::kList, CollKind::kList));
+  EXPECT_EQ(ll, CollKind::kList);
+  EXPECT_FALSE(SetOpReturnKind(CollKind::kExtent, CollKind::kSet).ok());
+}
+
+TEST(AlgebraTypingTest, Tables5To7Conversions) {
+  EXPECT_NE(AsSetListElements(CollKind::kExtent).find("extent"), std::string::npos);
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string from_set, AsExtentReturn(CollKind::kSet));
+  EXPECT_NE(from_set.find("dereferenced"), std::string::npos);
+  EXPECT_FALSE(AsExtentReturn(CollKind::kExtent).ok());
+  EXPECT_TRUE(UnnestAccepts(CollKind::kExtent, false));
+  EXPECT_TRUE(UnnestAccepts(CollKind::kSet, false));
+  EXPECT_TRUE(UnnestAccepts(CollKind::kList, false));
+  EXPECT_TRUE(UnnestAccepts(CollKind::kNamedObject, true));
+}
+
+// --- Executable operators over real objects -------------------------------------
+
+class AlgebraFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+    MOOD_ASSERT_OK_AND_ASSIGN(report_, paperdb::PopulatePaperData(&db_, 60));
+    algebra_ = db_.algebra();
+  }
+
+  ExprPtr Pred(const std::string& text) {
+    auto e = Parser::ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return e.value();
+  }
+
+  TempDir dir_;
+  Database db_;
+  paperdb::PopulateReport report_;
+  MoodAlgebra* algebra_ = nullptr;
+};
+
+TEST_F(AlgebraFixture, BindClassAndSelect) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  EXPECT_EQ(engines.kind(), CollKind::kExtent);
+  EXPECT_EQ(engines.size(), report_.engines);
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection small, algebra_->Select(engines, Pred("e.cylinders <= 8"), "e"));
+  EXPECT_EQ(small.kind(), CollKind::kExtent);
+  EXPECT_LT(small.size(), engines.size());
+  // Verify against direct evaluation.
+  size_t expected = 0;
+  MOOD_ASSERT_OK(db_.objects()->ScanExtent(
+      "VehicleEngine", false, {}, [&](Oid, const MoodValue& t) {
+        if (t.elements()[1].AsInteger() <= 8) expected++;
+        return Status::OK();
+      }));
+  EXPECT_EQ(small.size(), expected);
+  // As identifiers (Table 1's Set column).
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection as_set, algebra_->Select(engines, Pred("e.cylinders <= 8"), "e", true));
+  EXPECT_EQ(as_set.kind(), CollKind::kSet);
+  EXPECT_EQ(as_set.size(), small.size());
+}
+
+TEST_F(AlgebraFixture, GeneralOperators) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection vehicles, algebra_->BindClass("Vehicle", false));
+  ASSERT_FALSE(vehicles.empty());
+  Oid first = vehicles.oids()[0];
+  EXPECT_EQ(algebra_->ObjId(first), first);
+  MOOD_ASSERT_OK_AND_ASSIGN(TypeId tid, algebra_->TypeIdOf(first));
+  EXPECT_EQ(db_.catalog()->typeName(tid), "Vehicle");
+  MOOD_ASSERT_OK_AND_ASSIGN(MoodValue v, algebra_->Deref(first));
+  EXPECT_EQ(v.kind(), ValueKind::kTuple);
+  // isA: class of the last attribute in the path (the paper's example form).
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string cls, algebra_->IsA("Vehicle.drivetrain.engine"));
+  EXPECT_EQ(cls, "VehicleEngine");
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string cls2, algebra_->IsA("Vehicle.drivetrain.engine.cylinders"));
+  EXPECT_EQ(cls2, "VehicleEngine");
+  // Bind/Named round trip.
+  MOOD_ASSERT_OK(algebra_->Bind(vehicles, "all_vehicles"));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection named, algebra_->Named("all_vehicles"));
+  EXPECT_EQ(named.size(), vehicles.size());
+  EXPECT_TRUE(algebra_->Named("nothing").status().IsNotFound());
+}
+
+TEST_F(AlgebraFixture, ProjectDereferencesAndProjects) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection proj, algebra_->Project(engines, {"cylinders"}));
+  EXPECT_EQ(proj.kind(), CollKind::kExtent);
+  EXPECT_TRUE(proj.materialized());
+  ASSERT_EQ(proj.size(), engines.size());
+  for (const auto& row : proj.values()) {
+    ASSERT_EQ(row.kind(), ValueKind::kTuple);
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_GE(row.elements()[0].AsInteger(), 2);
+  }
+}
+
+TEST_F(AlgebraFixture, JoinMethodsProduceSamePairs) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection drivetrains,
+                            algebra_->BindClass("VehicleDriveTrain", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection fwd, algebra_->Join(drivetrains, engines, JoinMethod::kForwardTraversal,
+                                     nullptr, "d", "e", "engine"));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection hash, algebra_->Join(drivetrains, engines, JoinMethod::kHashPartition,
+                                      nullptr, "d", "e", "engine"));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection bwd, algebra_->Join(drivetrains, engines, JoinMethod::kBackwardTraversal,
+                                     nullptr, "d", "e", "engine"));
+  EXPECT_EQ(fwd.size(), report_.drivetrains);  // every drivetrain has an engine
+  EXPECT_EQ(hash.size(), fwd.size());
+  EXPECT_EQ(bwd.size(), fwd.size());
+  EXPECT_EQ(fwd.kind(), CollKind::kExtent);  // Table 2: Extent x Extent
+}
+
+TEST_F(AlgebraFixture, IndexedJoinViaBinaryJoinIndex) {
+  MOOD_ASSERT_OK(db_.objects()->CreateBinaryJoinIndex("dt_engine", "VehicleDriveTrain",
+                                                      "engine"));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection drivetrains,
+                            algebra_->BindClass("VehicleDriveTrain", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection idx, algebra_->Join(drivetrains, engines, JoinMethod::kIndexed, nullptr,
+                                     "d", "e", "engine"));
+  EXPECT_EQ(idx.size(), report_.drivetrains);
+}
+
+TEST_F(AlgebraFixture, NestedLoopJoinWithPredicate) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  // Self-join on equal cylinder counts (theta join through the evaluator).
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection join,
+      algebra_->Join(engines, engines, JoinMethod::kNestedLoop,
+                     Pred("a.cylinders = b.cylinders"), "a", "b", ""));
+  // At least the diagonal pairs.
+  EXPECT_GE(join.size(), engines.size());
+}
+
+TEST_F(AlgebraFixture, PartitionGroupsByValue) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto groups, algebra_->Partition(engines, {"cylinders"}));
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, engines.size());
+  EXPECT_GT(groups.size(), 1u);
+  EXPECT_LE(groups.size(), 16u);  // at most 16 distinct cylinder values
+}
+
+TEST_F(AlgebraFixture, SortByAttribute) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection sorted, algebra_->Sort(engines, {"cylinders"}));
+  EXPECT_EQ(sorted.kind(), CollKind::kExtent);
+  int32_t prev = INT32_MIN;
+  for (Oid oid : sorted.oids()) {
+    MOOD_ASSERT_OK_AND_ASSIGN(MoodValue c, db_.objects()->GetAttribute(oid, "cylinders"));
+    EXPECT_GE(c.AsInteger(), prev);
+    prev = c.AsInteger();
+  }
+  // Descending.
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection desc, algebra_->Sort(engines, {"cylinders"}, false));
+  MOOD_ASSERT_OK_AND_ASSIGN(MoodValue first,
+                            db_.objects()->GetAttribute(desc.oids()[0], "cylinders"));
+  EXPECT_EQ(first.AsInteger(), prev);  // max comes first
+}
+
+TEST_F(AlgebraFixture, DupElimSemantics) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection vehicles, algebra_->BindClass("Vehicle", false));
+  // Set: not applicable.
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection as_set, algebra_->AsSet(vehicles));
+  EXPECT_FALSE(algebra_->DupElim(as_set).ok());
+  // List with duplicates.
+  std::vector<Oid> dup_oids = {vehicles.oids()[0], vehicles.oids()[1],
+                               vehicles.oids()[0]};
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection deduped,
+                            algebra_->DupElim(Collection::List(dup_oids)));
+  EXPECT_EQ(deduped.kind(), CollKind::kList);
+  EXPECT_EQ(deduped.size(), 2u);
+}
+
+TEST_F(AlgebraFixture, SetOperations) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection vehicles, algebra_->BindClass("Vehicle", false));
+  ASSERT_GE(vehicles.size(), 4u);
+  std::vector<Oid> a_oids(vehicles.oids().begin(), vehicles.oids().begin() + 3);
+  std::vector<Oid> b_oids(vehicles.oids().begin() + 2, vehicles.oids().begin() + 4);
+  Collection a = Collection::Set(a_oids);
+  Collection b = Collection::Set(b_oids);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection u, algebra_->Union(a, b));
+  EXPECT_EQ(u.size(), 4u);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection i, algebra_->Intersection(a, b));
+  EXPECT_EQ(i.size(), 1u);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection d, algebra_->Difference(a, b));
+  EXPECT_EQ(d.size(), 2u);
+  // Two lists: union is concatenation (Table 4).
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection cat, algebra_->Union(Collection::List(a_oids), Collection::List(b_oids)));
+  EXPECT_EQ(cat.kind(), CollKind::kList);
+  EXPECT_EQ(cat.size(), 5u);
+}
+
+TEST_F(AlgebraFixture, ConversionsRoundTrip) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection vehicles, algebra_->BindClass("Vehicle", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection as_set, algebra_->AsSet(vehicles));
+  EXPECT_EQ(as_set.kind(), CollKind::kSet);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection as_list, algebra_->AsList(as_set));
+  EXPECT_EQ(as_list.kind(), CollKind::kList);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection back, algebra_->AsExtent(as_list));
+  EXPECT_EQ(back.kind(), CollKind::kExtent);
+  EXPECT_EQ(back.size(), vehicles.size());
+}
+
+TEST_F(AlgebraFixture, UnnestMatchesPaperExample) {
+  // e = {<o1, {o2, o3}>, <o4, {o5}>} -> {<o1,o2>, <o1,o3>, <o4,o5>}.
+  Oid o1{1, 1, 1}, o2{1, 1, 2}, o3{1, 1, 3}, o4{1, 1, 4}, o5{1, 1, 5};
+  std::vector<MoodValue> tuples = {
+      MoodValue::Tuple({MoodValue::Reference(o1),
+                        MoodValue::Set({MoodValue::Reference(o2), MoodValue::Reference(o3)})}),
+      MoodValue::Tuple({MoodValue::Reference(o4),
+                        MoodValue::Set({MoodValue::Reference(o5)})})};
+  Collection e = Collection::ValueExtent(tuples);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection unnested, algebra_->Unnest(e));
+  ASSERT_EQ(unnested.size(), 3u);
+  for (const auto& row : unnested.values()) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_EQ(row.elements()[1].kind(), ValueKind::kReference);
+  }
+  // Nest inverts it (same groups, set-valued second field).
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection nested, algebra_->Nest(unnested, 1));
+  ASSERT_EQ(nested.size(), 2u);
+  for (const auto& row : nested.values()) {
+    EXPECT_EQ(row.elements()[1].kind(), ValueKind::kSet);
+  }
+}
+
+TEST_F(AlgebraFixture, FlattenAlwaysYieldsSet) {
+  Oid o1{1, 1, 1}, o2{1, 1, 2}, o3{1, 1, 3};
+  std::vector<MoodValue> sets = {
+      MoodValue::Set({MoodValue::Reference(o1), MoodValue::Reference(o2)}),
+      MoodValue::Set({MoodValue::Reference(o3)}),
+      MoodValue::Set({MoodValue::Reference(o1)})};  // o1 repeats
+  Collection arg = Collection::ValueExtent(sets);
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection flat, algebra_->Flatten(arg));
+  EXPECT_EQ(flat.kind(), CollKind::kSet);
+  EXPECT_EQ(flat.size(), 3u);  // deduplicated
+}
+
+TEST_F(AlgebraFixture, IndSelUsesIndexes) {
+  MOOD_ASSERT_OK(db_.objects()->CreateAttributeIndex("eng_cyl", "VehicleEngine",
+                                                     "cylinders", IndexKind::kBTree));
+  auto desc = db_.catalog()->FindIndex("VehicleEngine", "cylinders", IndexKind::kBTree);
+  ASSERT_TRUE(desc.has_value());
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection eq, algebra_->IndSel("VehicleEngine", *desc, BinaryOp::kEq,
+                                      MoodValue::Integer(4)));
+  EXPECT_EQ(eq.kind(), CollKind::kSet);
+  // Compare with a scan-based Select.
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection engines, algebra_->BindClass("VehicleEngine", false));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection scan,
+                            algebra_->Select(engines, Pred("e.cylinders = 4"), "e"));
+  EXPECT_EQ(eq.size(), scan.size());
+  // Range through the index.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Collection gt, algebra_->IndSel("VehicleEngine", *desc, BinaryOp::kGt,
+                                      MoodValue::Integer(4)));
+  MOOD_ASSERT_OK_AND_ASSIGN(Collection scan_gt,
+                            algebra_->Select(engines, Pred("e.cylinders > 4"), "e"));
+  EXPECT_EQ(gt.size(), scan_gt.size());
+}
+
+}  // namespace
+}  // namespace mood

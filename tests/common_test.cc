@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace mood {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 13; c++) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::IOError("disk on fire");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+Result<int> Doubler(Result<int> in) {
+  MOOD_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Doubler(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto err = Doubler(Status::Internal("bad"));
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(SliceTest, CompareAndEquality) {
+  Slice a("abc"), b("abd"), c("abc"), d("ab");
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_EQ(a.compare(c), 0);
+  EXPECT_GT(a.compare(d), 0);
+  EXPECT_TRUE(a == c);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello world");
+  s.remove_prefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  PutDouble(&buf, 3.14159);
+  Decoder dec((Slice(buf)));
+  uint16_t a = 0;
+  uint32_t b = 0;
+  uint64_t c = 0;
+  double d = 0;
+  ASSERT_TRUE(dec.GetFixed16(&a).ok());
+  ASSERT_TRUE(dec.GetFixed32(&b).ok());
+  ASSERT_TRUE(dec.GetFixed64(&c).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, "hello");
+  PutLengthPrefixedSlice(&buf, "");
+  PutLengthPrefixedSlice(&buf, std::string(1000, 'x'));
+  Decoder dec((Slice(buf)));
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetString(&a).ok());
+  ASSERT_TRUE(dec.GetString(&b).ok());
+  ASSERT_TRUE(dec.GetString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodingTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  Decoder dec(Slice(buf.data(), 2));
+  uint32_t v = 0;
+  EXPECT_TRUE(dec.GetFixed32(&v).IsCorruption());
+  std::string bogus;
+  PutFixed32(&bogus, 100);  // claims 100 bytes follow, none do
+  Decoder dec2((Slice(bogus)));
+  Slice out;
+  EXPECT_TRUE(dec2.GetLengthPrefixedSlice(&out).IsCorruption());
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64(Slice("abc")), Hash64(Slice("abc")));
+  EXPECT_NE(Hash64(Slice("abc")), Hash64(Slice("abd")));
+  EXPECT_NE(Hash64(Slice("abc"), 1), Hash64(Slice("abc"), 2));
+}
+
+TEST(RandomTest, DeterministicBySeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(123);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t r = rng.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mood

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+/// End-to-end MOODSQL execution over a populated paper database.
+class ExecFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+    MOOD_ASSERT_OK_AND_ASSIGN(report_, paperdb::PopulatePaperData(&db_, 120));
+    MOOD_ASSERT_OK(db_.CollectAllStatistics());
+  }
+
+  size_t Count(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.value().rows.size() : 0;
+  }
+
+  TempDir dir_;
+  Database db_;
+  paperdb::PopulateReport report_;
+};
+
+TEST_F(ExecFixture, ScanWholeExtent) {
+  // Only plain Vehicles (their own extent).
+  uint64_t plain = report_.vehicles - report_.automobiles - report_.japanese_autos;
+  EXPECT_EQ(Count("SELECT v FROM Vehicle v"), plain);
+}
+
+TEST_F(ExecFixture, EveryIncludesSubclassesMinusExcludes) {
+  EXPECT_EQ(Count("SELECT v FROM EVERY Vehicle v"), report_.vehicles);
+  EXPECT_EQ(Count("SELECT v FROM EVERY Vehicle - JapaneseAuto v"),
+            report_.vehicles - report_.japanese_autos);
+  EXPECT_EQ(Count("SELECT v FROM EVERY Automobile - JapaneseAuto v"),
+            report_.automobiles);
+}
+
+TEST_F(ExecFixture, ImmediateSelection) {
+  // Verify against a manual count.
+  size_t expected = 0;
+  MOOD_ASSERT_OK(db_.objects()->ScanExtent(
+      "VehicleEngine", false, {}, [&](Oid, const MoodValue& t) {
+        if (t.elements()[1].AsInteger() == 4) expected++;
+        return Status::OK();
+      }));
+  EXPECT_EQ(Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4"), expected);
+}
+
+TEST_F(ExecFixture, PathPredicateThroughTwoHops) {
+  // Count vehicles (all classes) whose engine has exactly 4 cylinders, manually.
+  size_t expected = 0;
+  MOOD_ASSERT_OK(db_.objects()->ScanExtent(
+      "Vehicle", true, {}, [&](Oid oid, const MoodValue&) {
+        return db_.objects()->TraversePath(oid, {"drivetrain", "engine", "cylinders"},
+                                           [&](const MoodValue& v) {
+                                             if (v.AsInteger() == 4) expected++;
+                                             return Status::OK();
+                                           });
+      }));
+  EXPECT_EQ(Count("SELECT v FROM EVERY Vehicle v WHERE "
+                  "v.drivetrain.engine.cylinders = 4"),
+            expected);
+}
+
+TEST_F(ExecFixture, Example81QueryExecutes) {
+  // Exactly the paper's Example 8.1 query; company 0 is 'BMW'.
+  size_t expected = 0;
+  MOOD_ASSERT_OK(db_.objects()->ScanExtent(
+      "Vehicle", false, {}, [&](Oid oid, const MoodValue&) -> Status {
+        bool bmw = false, cyl2 = false;
+        MOOD_RETURN_IF_ERROR(db_.objects()->TraversePath(
+            oid, {"company", "name"}, [&](const MoodValue& v) {
+              if (v.AsString() == "BMW") bmw = true;
+              return Status::OK();
+            }));
+        MOOD_RETURN_IF_ERROR(db_.objects()->TraversePath(
+            oid, {"drivetrain", "engine", "cylinders"}, [&](const MoodValue& v) {
+              if (v.AsInteger() == 2) cyl2 = true;
+              return Status::OK();
+            }));
+        if (bmw && cyl2) expected++;
+        return Status::OK();
+      }));
+  EXPECT_EQ(Count(paperdb::kExample81Query), expected);
+}
+
+TEST_F(ExecFixture, Section31QueryShape) {
+  // The Section 3.1 query: automobiles (minus JapaneseAuto) with automatic
+  // transmission and > 4 cylinders, joined explicitly with VehicleEngine.
+  MOOD_ASSERT_OK_AND_ASSIGN(QueryResult qr, db_.Query(paperdb::kSection31Query));
+  // Validate every returned automobile satisfies the predicate.
+  for (const auto& row : qr.rows) {
+    ASSERT_EQ(row.size(), 1u);
+    Oid oid = row[0].AsReference();
+    MOOD_ASSERT_OK_AND_ASSIGN(std::string cls, db_.objects()->ClassOf(oid));
+    EXPECT_EQ(cls, "Automobile");
+    MOOD_ASSERT_OK_AND_ASSIGN(MoodValue dt, db_.objects()->GetAttribute(oid, "drivetrain"));
+    MOOD_ASSERT_OK_AND_ASSIGN(MoodValue trans,
+                              db_.objects()->GetAttribute(dt.AsReference(), "transmission"));
+    EXPECT_EQ(trans.AsString(), "AUTOMATIC");
+  }
+}
+
+TEST_F(ExecFixture, DisjunctionUnionsWithoutDuplicates) {
+  size_t eq2 = Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2");
+  size_t eq4 = Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4");
+  size_t either =
+      Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR e.cylinders = 4");
+  EXPECT_EQ(either, eq2 + eq4);
+  // Overlapping terms must not double-count.
+  size_t overlap = Count(
+      "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR e.size >= 0");
+  EXPECT_EQ(overlap, report_.engines);
+}
+
+TEST_F(ExecFixture, NotAndComparisonNegation) {
+  size_t le8 = Count("SELECT e FROM VehicleEngine e WHERE e.cylinders <= 8");
+  size_t not_gt8 = Count("SELECT e FROM VehicleEngine e WHERE NOT e.cylinders > 8");
+  EXPECT_EQ(le8, not_gt8);
+}
+
+TEST_F(ExecFixture, ProjectionOfPathsAndArithmetic) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult qr,
+      db_.Query("SELECT e.cylinders, e.cylinders * 2 + 1 FROM VehicleEngine e"));
+  ASSERT_EQ(qr.columns.size(), 2u);
+  ASSERT_EQ(qr.rows.size(), report_.engines);
+  for (const auto& row : qr.rows) {
+    EXPECT_EQ(row[1].AsInteger(), row[0].AsInteger() * 2 + 1);
+  }
+}
+
+TEST_F(ExecFixture, MethodInvocationInQuery) {
+  // lbweight() has an interpretable body `return weight * 2.2075;`.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult qr, db_.Query("SELECT v.weight, v.lbweight() FROM Vehicle v"));
+  ASSERT_GT(qr.rows.size(), 0u);
+  for (const auto& row : qr.rows) {
+    int32_t w = row[0].AsInteger();
+    EXPECT_EQ(row[1].AsInteger(), static_cast<int32_t>(w * 2.2075));
+  }
+  // A registered compiled body overrides interpretation.
+  MoodsFunction decl;
+  decl.name = "lbweight";
+  decl.return_type = TypeDesc::Basic(BasicType::kInteger);
+  MOOD_ASSERT_OK(db_.functions()->Register(
+      "Vehicle", decl,
+      [](const MethodContext&, const std::vector<MoodValue>&) {
+        return Result<MoodValue>(MoodValue::Integer(-1));
+      }));
+  MOOD_ASSERT_OK_AND_ASSIGN(QueryResult qr2,
+                            db_.Query("SELECT v.lbweight() FROM Vehicle v"));
+  EXPECT_EQ(qr2.rows[0][0].AsInteger(), -1);
+}
+
+TEST_F(ExecFixture, OrderByAscDesc) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult asc,
+      db_.Query("SELECT e.size FROM VehicleEngine e ORDER BY e.size"));
+  for (size_t i = 1; i < asc.rows.size(); i++) {
+    EXPECT_LE(asc.rows[i - 1][0].AsInteger(), asc.rows[i][0].AsInteger());
+  }
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult desc,
+      db_.Query("SELECT e.size FROM VehicleEngine e ORDER BY e.size DESC"));
+  for (size_t i = 1; i < desc.rows.size(); i++) {
+    EXPECT_GE(desc.rows[i - 1][0].AsInteger(), desc.rows[i][0].AsInteger());
+  }
+}
+
+TEST_F(ExecFixture, GroupByHavingDistinct) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult grouped,
+      db_.Query("SELECT e.cylinders FROM VehicleEngine e GROUP BY e.cylinders"));
+  std::set<int32_t> distinct_groups;
+  for (const auto& row : grouped.rows) distinct_groups.insert(row[0].AsInteger());
+  EXPECT_EQ(distinct_groups.size(), grouped.rows.size());
+
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult having,
+      db_.Query("SELECT e.cylinders FROM VehicleEngine e GROUP BY e.cylinders "
+                "HAVING e.cylinders > 8"));
+  for (const auto& row : having.rows) EXPECT_GT(row[0].AsInteger(), 8);
+
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult dist,
+      db_.Query("SELECT DISTINCT e.cylinders FROM VehicleEngine e"));
+  EXPECT_EQ(dist.rows.size(), distinct_groups.size());
+}
+
+TEST_F(ExecFixture, IndexAndScanAgree) {
+  size_t before = Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 6");
+  MOOD_ASSERT_OK(
+      db_.Execute("CREATE INDEX eng_cyl ON VehicleEngine(cylinders) USING BTREE")
+          .status());
+  MOOD_ASSERT_OK(db_.CollectStatistics("VehicleEngine"));
+  size_t after = Count("SELECT e FROM VehicleEngine e WHERE e.cylinders = 6");
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(ExecFixture, NewUpdateDeleteStatements) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      ExecResult created,
+      db_.Execute("NEW Employee <999, 'Test Person', 33> AS tester"));
+  EXPECT_TRUE(created.created_oid.valid());
+  MOOD_ASSERT_OK_AND_ASSIGN(Oid bound, db_.catalog()->LookupName("tester"));
+  EXPECT_EQ(bound, created.created_oid);
+
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      ExecResult updated,
+      db_.Execute("UPDATE Employee e SET age = e.age + 1 WHERE e.ssno = 999"));
+  EXPECT_EQ(updated.affected, 1u);
+  MOOD_ASSERT_OK_AND_ASSIGN(MoodValue age,
+                            db_.objects()->GetAttribute(created.created_oid, "age"));
+  EXPECT_EQ(age.AsInteger(), 34);
+
+  MOOD_ASSERT_OK_AND_ASSIGN(ExecResult deleted,
+                            db_.Execute("DELETE FROM Employee e WHERE e.ssno = 999"));
+  EXPECT_EQ(deleted.affected, 1u);
+  EXPECT_FALSE(db_.objects()->Fetch(created.created_oid).ok());
+}
+
+TEST_F(ExecFixture, PersistsAcrossReopen) {
+  uint64_t engines = report_.engines;
+  MOOD_ASSERT_OK(db_.Close());
+  Database db2;
+  MOOD_ASSERT_OK(db2.Open(dir_.Path("mood")));
+  MOOD_ASSERT_OK_AND_ASSIGN(QueryResult qr, db2.Query("SELECT e FROM VehicleEngine e"));
+  EXPECT_EQ(qr.rows.size(), engines);
+  // Schema intact: methods still interpretable.
+  MOOD_ASSERT_OK(db2.Query("SELECT v.lbweight() FROM Vehicle v").status());
+}
+
+TEST_F(ExecFixture, TransactionAbortRollsBackDml) {
+  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK(db_.Execute("NEW Employee <555, 'Ghost', 1> AS ghost").status());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 555"), 1u);
+  MOOD_ASSERT_OK(db_.Abort());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 555"), 0u);
+  // Commit path.
+  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK(db_.Execute("NEW Employee <556, 'Real', 1>").status());
+  MOOD_ASSERT_OK(db_.Commit());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 556"), 1u);
+}
+
+TEST_F(ExecFixture, CrashRecoveryThroughDatabaseOpen) {
+  // Checkpoint the base state (setup ran outside transactions), then commit a
+  // change and "crash" (skip Close): the WAL replay must restore the committed
+  // change even though its data pages were never flushed.
+  MOOD_ASSERT_OK(db_.Checkpoint());
+  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK(db_.Execute("NEW Employee <777, 'Survivor', 40>").status());
+  MOOD_ASSERT_OK(db_.Commit());
+  // Abandon db_ without a clean close: open a second handle on the same files.
+  Database db2;
+  MOOD_ASSERT_OK(db2.Open(dir_.Path("mood")));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      QueryResult qr, db2.Query("SELECT e FROM Employee e WHERE e.ssno = 777"));
+  EXPECT_EQ(qr.rows.size(), 1u);
+}
+
+TEST_F(ExecFixture, DmlInsideTransactionHoldsLocks) {
+  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK(db_.Execute("NEW Employee <600, 'Locker', 30>").status());
+  MOOD_ASSERT_OK(
+      db_.Execute("UPDATE Employee e SET age = 31 WHERE e.ssno = 600").status());
+  // Strict 2PL: locks held until commit.
+  LockManager* lm = db_.txn_manager()->locks();
+  EXPECT_GT(lm->LockedResourceCount(), 0u);
+  MOOD_ASSERT_OK(db_.Commit());
+  EXPECT_EQ(lm->LockedResourceCount(), 0u);
+  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK(db_.Execute("DELETE FROM Employee e WHERE e.ssno = 600").status());
+  MOOD_ASSERT_OK(db_.Commit());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 600"), 0u);
+}
+
+TEST_F(ExecFixture, ErrorsAreReported) {
+  EXPECT_TRUE(db_.Query("SELECT x FROM Nowhere x").status().IsNotFound());
+  EXPECT_TRUE(db_.Query("SELECT v.nope FROM Vehicle v").status().code() ==
+              StatusCode::kCatalogError);
+  EXPECT_TRUE(db_.Execute("SELECT FROM").status().IsParseError());
+  EXPECT_TRUE(db_.Execute("NEW Vehicle <'wrong-type'>").status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace mood

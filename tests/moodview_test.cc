@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "moodview/cpp_bridge.h"
+#include "moodview/dag_layout.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+TEST(DagLayoutTest, LayersFollowInheritanceDepth) {
+  DagLayout layout;
+  layout.AddEdge("Vehicle", "Automobile");
+  layout.AddEdge("Automobile", "JapaneseAuto");
+  layout.AddEdge("Vehicle", "Truck");
+  MOOD_ASSERT_OK(layout.Compute());
+  const auto& pos = layout.positions();
+  EXPECT_EQ(pos.at("Vehicle").layer, 0);
+  EXPECT_EQ(pos.at("Automobile").layer, 1);
+  EXPECT_EQ(pos.at("Truck").layer, 1);
+  EXPECT_EQ(pos.at("JapaneseAuto").layer, 2);
+  EXPECT_EQ(layout.layer_count(), 3);
+}
+
+TEST(DagLayoutTest, MultipleInheritanceUsesLongestPath) {
+  DagLayout layout;
+  layout.AddEdge("A", "B");
+  layout.AddEdge("B", "C");
+  layout.AddEdge("A", "C");  // diamond shortcut
+  MOOD_ASSERT_OK(layout.Compute());
+  EXPECT_EQ(layout.positions().at("C").layer, 2);
+}
+
+TEST(DagLayoutTest, CycleDetected) {
+  DagLayout layout;
+  layout.AddEdge("A", "B");
+  layout.AddEdge("B", "A");
+  EXPECT_FALSE(layout.Compute().ok());
+}
+
+TEST(DagLayoutTest, BarycenterReducesCrossings) {
+  // A two-layer graph deliberately ordered to cross: parents A,B with children
+  // placed in reverse. Barycenter ordering removes all crossings.
+  DagLayout layout;
+  layout.AddNode("A");
+  layout.AddNode("B");
+  layout.AddEdge("A", "a2");
+  layout.AddEdge("B", "b1");
+  layout.AddEdge("A", "a1");
+  layout.AddEdge("B", "b2");
+  MOOD_ASSERT_OK(layout.Compute());
+  EXPECT_EQ(layout.CountCrossings(), 0) << layout.Render();
+}
+
+TEST(DagLayoutTest, RenderShowsLayersAndEdges) {
+  DagLayout layout;
+  layout.AddEdge("Vehicle", "Automobile");
+  MOOD_ASSERT_OK(layout.Compute());
+  std::string out = layout.Render();
+  EXPECT_NE(out.find("[Vehicle]"), std::string::npos);
+  EXPECT_NE(out.find("Vehicle -> Automobile"), std::string::npos);
+}
+
+class MoodViewFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+  }
+  TempDir dir_;
+  Database db_;
+};
+
+TEST_F(MoodViewFixture, HierarchyBrowserRendersAllClasses) {
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string out, db_.schema_browser()->RenderHierarchy());
+  EXPECT_NE(out.find("[Vehicle]"), std::string::npos);
+  EXPECT_NE(out.find("[JapaneseAuto]"), std::string::npos);
+  EXPECT_NE(out.find("Automobile -> JapaneseAuto"), std::string::npos);
+}
+
+TEST_F(MoodViewFixture, ClassPresentationMatchesFigure92b) {
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string out, db_.schema_browser()->RenderClass("Automobile"));
+  EXPECT_NE(out.find("Type Name : Automobile"), std::string::npos);
+  EXPECT_NE(out.find("Superclasses: Vehicle"), std::string::npos);
+  EXPECT_NE(out.find("Subclasses: JapaneseAuto"), std::string::npos);
+  EXPECT_NE(out.find("lbweight"), std::string::npos);  // inherited method visible
+  EXPECT_NE(out.find("drivetrain"), std::string::npos);
+}
+
+TEST_F(MoodViewFixture, MethodPresentation) {
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string out,
+                            db_.schema_browser()->RenderMethod("JapaneseAuto", "lbweight"));
+  EXPECT_NE(out.find("Defined By : Vehicle"), std::string::npos);
+  EXPECT_NE(out.find("Applicable Classes: Vehicle Automobile JapaneseAuto"),
+            std::string::npos);
+  EXPECT_NE(out.find("weight * 2.2075"), std::string::npos);
+}
+
+TEST_F(MoodViewFixture, DdlRoundTrip) {
+  // GenerateDdl output re-parses into an equivalent class definition.
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string ddl, db_.schema_browser()->GenerateDdl("Vehicle"));
+  Database db2;
+  TempDir dir2;
+  MOOD_ASSERT_OK(db2.Open(dir2.Path("mood")));
+  // Dependencies first.
+  MOOD_ASSERT_OK(db2.Execute("CREATE CLASS VehicleEngine TUPLE (size Integer, "
+                             "cylinders Integer)")
+                     .status());
+  MOOD_ASSERT_OK(db2.Execute("CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE "
+                             "(VehicleEngine), transmission String(32))")
+                     .status());
+  MOOD_ASSERT_OK(db2.Execute("CREATE CLASS Employee TUPLE (ssno Integer, name "
+                             "String(32), age Integer)")
+                     .status());
+  MOOD_ASSERT_OK(db2.Execute("CREATE CLASS Company TUPLE (name String(32), location "
+                             "String(32), president REFERENCE (Employee))")
+                     .status());
+  MOOD_ASSERT_OK(db2.Execute(ddl).status());
+  MOOD_ASSERT_OK_AND_ASSIGN(auto attrs, db2.catalog()->AllAttributes("Vehicle"));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto orig, db_.catalog()->AllAttributes("Vehicle"));
+  ASSERT_EQ(attrs.size(), orig.size());
+  for (size_t i = 0; i < attrs.size(); i++) {
+    EXPECT_EQ(attrs[i].name, orig[i].name);
+    EXPECT_TRUE(attrs[i].type->Equals(*orig[i].type));
+  }
+}
+
+TEST_F(MoodViewFixture, ObjectBrowserWalksReferences) {
+  MOOD_ASSERT_OK(paperdb::PopulatePaperData(&db_, 9).status());
+  Oid some_vehicle;
+  MOOD_ASSERT_OK(db_.objects()->ScanExtent("Vehicle", false, {},
+                                           [&](Oid oid, const MoodValue&) {
+                                             some_vehicle = oid;
+                                             return Status::OK();
+                                           }));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string out, db_.object_browser()->Render(some_vehicle, 2));
+  EXPECT_NE(out.find("Vehicle oid("), std::string::npos);
+  EXPECT_NE(out.find("drivetrain:"), std::string::npos);
+  EXPECT_NE(out.find("VehicleDriveTrain"), std::string::npos);  // expanded reference
+  EXPECT_NE(out.find("cylinders:"), std::string::npos);         // two levels deep
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string extent,
+                            db_.object_browser()->RenderExtent("VehicleEngine", 0, 3));
+  EXPECT_NE(extent.find("Extent of VehicleEngine"), std::string::npos);
+}
+
+TEST_F(MoodViewFixture, ObjectBrowserHandlesCycles) {
+  MOOD_ASSERT_OK(db_.Execute("CREATE CLASS Node TUPLE (label String(8), next "
+                             "REFERENCE (Node))")
+                     .status());
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Oid a, db_.objects()->CreateObject(
+                 "Node", MoodValue::Tuple({MoodValue::String("a"), MoodValue::Null()})));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Oid b, db_.objects()->CreateObject(
+                 "Node", MoodValue::Tuple({MoodValue::String("b"),
+                                           MoodValue::Reference(a)})));
+  MOOD_ASSERT_OK(db_.objects()->SetAttribute(a, "next", MoodValue::Reference(b)));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string out, db_.object_browser()->Render(a, 5));
+  EXPECT_NE(out.find("<cycle to"), std::string::npos);
+}
+
+TEST_F(MoodViewFixture, QueryManagerKeepsHistory) {
+  MOOD_ASSERT_OK(paperdb::PopulatePaperData(&db_, 9).status());
+  auto session = db_.MakeQuerySession();
+  MOOD_ASSERT_OK(session->Run("SELECT e FROM VehicleEngine e").status());
+  EXPECT_FALSE(session->Run("SELECT nope FROM Nothing n").ok());
+  MOOD_ASSERT_OK(session->Rerun(0).status());
+  ASSERT_EQ(session->history().size(), 3u);
+  EXPECT_TRUE(session->history()[0].succeeded);
+  EXPECT_FALSE(session->history()[1].succeeded);
+  EXPECT_GT(session->history()[0].result_rows, 0u);
+  std::string hist = session->RenderHistory();
+  EXPECT_NE(hist.find("[ok] SELECT e FROM VehicleEngine e"), std::string::npos);
+  EXPECT_NE(hist.find("[ERR]"), std::string::npos);
+}
+
+TEST(CppBridgeTest, ParsesClassDeclarations) {
+  const char* src = R"cpp(
+    class Company;
+    class Vehicle {
+     public:
+      int id;
+      int weight;
+      Company* manufacturer;
+      char name[32];
+      Set<Vehicle*> related;
+      int lbweight();
+      int scale(int factor, double rate);
+    };
+    int Vehicle::lbweight() { return weight * 2; }
+    class Automobile : public Vehicle {
+     public:
+      bool sporty;
+    };
+  )cpp";
+  MOOD_ASSERT_OK_AND_ASSIGN(auto defs, CppBridge::ParseHeader(src));
+  ASSERT_EQ(defs.size(), 2u);
+  const auto& v = defs[0];
+  EXPECT_EQ(v.name, "Vehicle");
+  ASSERT_EQ(v.attributes.size(), 5u);
+  EXPECT_EQ(v.attributes[2].type->ToString(), "REFERENCE (Company)");
+  EXPECT_EQ(v.attributes[3].type->ToString(), "String(32)");
+  EXPECT_EQ(v.attributes[4].type->ToString(), "SET (REFERENCE (Vehicle))");
+  ASSERT_EQ(v.methods.size(), 2u);
+  EXPECT_EQ(v.methods[0].name, "lbweight");
+  EXPECT_NE(v.methods[0].body_source.find("weight * 2"), std::string::npos);
+  ASSERT_EQ(v.methods[1].params.size(), 2u);
+  EXPECT_EQ(v.methods[1].params[1].type->ToString(), "Float");
+  EXPECT_EQ(defs[1].supers, std::vector<std::string>{"Vehicle"});
+}
+
+TEST(CppBridgeTest, GeneratedHeaderReparses) {
+  TempDir dir;
+  Database db;
+  MOOD_ASSERT_OK(db.Open(dir.Path("mood")));
+  MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string header,
+                            CppBridge::GenerateHeader(*db.catalog(), "Vehicle"));
+  EXPECT_NE(header.find("class Vehicle"), std::string::npos);
+  EXPECT_NE(header.find("VehicleDriveTrain* drivetrain;"), std::string::npos);
+  MOOD_ASSERT_OK_AND_ASSIGN(auto defs, CppBridge::ParseHeader(header));
+  ASSERT_EQ(defs.size(), 1u);
+  MOOD_ASSERT_OK_AND_ASSIGN(auto attrs, db.catalog()->AllAttributes("Vehicle"));
+  ASSERT_EQ(defs[0].attributes.size(), attrs.size());
+  for (size_t i = 0; i < attrs.size(); i++) {
+    EXPECT_TRUE(defs[0].attributes[i].type->Equals(*attrs[i].type))
+        << attrs[i].name << ": " << defs[0].attributes[i].type->ToString() << " vs "
+        << attrs[i].type->ToString();
+  }
+}
+
+TEST(CppBridgeTest, CatalogFromParsedHeader) {
+  // The "data definition in C++" path: declarations land in the catalog exactly
+  // like DDL (the modified-cfront flow of Figure 2.1).
+  TempDir dir;
+  Database db;
+  MOOD_ASSERT_OK(db.Open(dir.Path("mood")));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto defs, CppBridge::ParseHeader(R"cpp(
+    class Engine {
+     public:
+      int cylinders;
+    };
+    class Car {
+     public:
+      Engine* engine;
+      int doors();
+    };
+    int Car::doors() { return 4; }
+  )cpp"));
+  for (const auto& def : defs) MOOD_ASSERT_OK(db.catalog()->Define(def).status());
+  MOOD_ASSERT_OK_AND_ASSIGN(const MoodsType* car, db.catalog()->Lookup("Car"));
+  EXPECT_NE(car->FindFunction("doors"), nullptr);
+  // The interpreted fallback executes the captured body.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Oid engine, db.objects()->CreateObject(
+                      "Engine", MoodValue::Tuple({MoodValue::Integer(6)})));
+  MOOD_ASSERT_OK(db.objects()
+                     ->CreateObject("Car", MoodValue::Tuple({MoodValue::Reference(engine)}))
+                     .status());
+  MOOD_ASSERT_OK_AND_ASSIGN(QueryResult qr, db.Query("SELECT c.doors() FROM Car c"));
+  ASSERT_EQ(qr.rows.size(), 1u);
+  EXPECT_EQ(qr.rows[0][0].AsInteger(), 4);
+}
+
+}  // namespace
+}  // namespace mood

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+// --- Algorithm 8.1 / Appendix lemma: pure ordering properties --------------------
+
+TEST(OrderingLemmaTest, TwoExpressionBaseCase) {
+  // F1 + s1 F2 < F2 + s2 F1 iff F1/(1-s1) < F2/(1-s2).
+  std::vector<double> F = {100, 50};
+  std::vector<double> s = {0.9, 0.1};
+  // Ranks: 100/0.1 = 1000; 50/0.9 = 55.6 -> order {1, 0}.
+  auto order = QueryOptimizer::OrderByRank(F, s);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 0}));
+  double best = QueryOptimizer::OrderingObjective(F, s, order);
+  double other = QueryOptimizer::OrderingObjective(F, s, {0, 1});
+  EXPECT_LT(best, other);
+}
+
+TEST(OrderingLemmaTest, SortOrderMinimizesObjectiveExhaustively) {
+  // The Appendix lemma: the F/(1-s) sort minimizes f over ALL permutations.
+  Random rng(31337);
+  for (int trial = 0; trial < 200; trial++) {
+    size_t m = 2 + rng.Uniform(5);  // up to 6 path expressions
+    std::vector<double> F(m), s(m);
+    for (size_t i = 0; i < m; i++) {
+      F[i] = 1.0 + rng.NextDouble() * 1000;
+      s[i] = rng.NextDouble() * 0.999;
+    }
+    auto order = QueryOptimizer::OrderByRank(F, s);
+    double best = QueryOptimizer::OrderingObjective(F, s, order);
+    std::vector<size_t> perm(m);
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      double f = QueryOptimizer::OrderingObjective(F, s, perm);
+      ASSERT_GE(f + 1e-9 * std::abs(f), best)
+          << "sorted order not optimal at trial " << trial;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(OrderingLemmaTest, ObjectiveFormula) {
+  // f = F1 + s1*F2 + s1*s2*F3 for identity permutation.
+  std::vector<double> F = {10, 20, 30};
+  std::vector<double> s = {0.5, 0.1, 0.7};
+  double f = QueryOptimizer::OrderingObjective(F, s, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(f, 10 + 0.5 * 20 + 0.5 * 0.1 * 30);
+}
+
+// --- Optimizer behaviour on the paper's example database --------------------------
+
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+    paperdb::InstallPaperStatistics(db_.stats());
+  }
+  TempDir dir_;
+  Database db_;
+};
+
+TEST_F(OptimizerFixture, Example81PathOrderingMatchesTable16) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample81Query));
+  ASSERT_EQ(optimized.terms.size(), 1u);
+  const auto& paths = optimized.terms[0].paths;
+  ASSERT_EQ(paths.size(), 2u);
+  // P2 (company.name) is ordered first: smaller F/(1-s).
+  EXPECT_EQ(paths[0].path.ToString(), "v.company.name");
+  EXPECT_EQ(paths[1].path.ToString(), "v.drivetrain.engine.cylinders");
+  // Table 16 numbers reproduce exactly.
+  EXPECT_NEAR(paths[0].selectivity, 5.00e-5, 1e-12);
+  EXPECT_NEAR(paths[1].selectivity, 6.25e-2, 1e-9);
+  EXPECT_NEAR(paths[0].forward_traversal_cost, 520.825, 1e-6);
+  EXPECT_NEAR(paths[1].forward_traversal_cost, 771.825, 1e-6);
+  EXPECT_NEAR(paths[1].Rank(), 823.28, 1e-2);
+}
+
+TEST_F(OptimizerFixture, Example81PlanShapeMatchesPaper) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample81Query));
+  std::string plan = optimized.plan->ToString();
+  // The first subplan (T1): hash-partition join of Vehicle with the selected
+  // Company — JOIN(BIND(Vehicle, v), SELECT(BIND(Company, ...), name='BMW'),
+  // HASH_PARTITION, v.company = c.self).
+  EXPECT_NE(plan.find("BIND(Vehicle, v)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("HASH_PARTITION, v.company ="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("= 'BMW'"), std::string::npos) << plan;
+  // Then the P1 chain: forward traversals for v.drivetrain and d.engine.
+  EXPECT_NE(plan.find("FORWARD_TRAVERSAL, v.drivetrain ="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("FORWARD_TRAVERSAL"), plan.rfind("FORWARD_TRAVERSAL")) << plan;
+  EXPECT_NE(plan.find("cylinders = 2"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerFixture, Example82PlanShapeMatchesPaper) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample82Query));
+  std::string plan = optimized.plan->ToString();
+  // T1 = JOIN(BIND(VehicleDriveTrain, d), SELECT(BIND(VehicleEngine, e),
+  // cylinders=2), HASH_PARTITION, d.engine = e.self) — the drivetrain/engine pair
+  // is joined first (greedy jc/(1-js)), by hash partitioning.
+  size_t dt_join = plan.find("HASH_PARTITION, _t");
+  ASSERT_NE(dt_join, std::string::npos) << plan;
+  // The inner-most JOIN pairs VehicleDriveTrain with the engine selection.
+  size_t bind_dt = plan.find("BIND(VehicleDriveTrain");
+  size_t bind_v = plan.find("BIND(Vehicle,");
+  ASSERT_NE(bind_dt, std::string::npos);
+  ASSERT_NE(bind_v, std::string::npos);
+  // Final plan: JOIN(BIND(Vehicle, v), T1, HASH_PARTITION, v.drivetrain = d.self).
+  EXPECT_NE(plan.find("HASH_PARTITION, v.drivetrain ="), std::string::npos) << plan;
+  // Both joins use HASH_PARTITION; no forward traversal at 20000 roots.
+  EXPECT_EQ(plan.find("FORWARD_TRAVERSAL"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerFixture, ImmediateSelectionDictionary) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto optimized,
+      db_.OptimizeOnly("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 AND "
+                       "e.size > 2000"));
+  ASSERT_EQ(optimized.terms.size(), 1u);
+  const auto& imm = optimized.terms[0].imm;
+  ASSERT_EQ(imm.size(), 2u);
+  // Both sequential (no index registered); selectivity of cylinders = 1/16.
+  for (const auto& e : imm) {
+    EXPECT_EQ(e.access_type, "sequential");
+    EXPECT_GT(e.sequential_access_cost, 0);
+  }
+  // Residual predicates are ordered ascending by selectivity: cylinders=2
+  // (0.0625) before size>2000 (no stats for size -> default 1/3).
+  const auto& plan = optimized.terms[0].plan;
+  ASSERT_EQ(plan->op, PlanOp::kFilter);
+  ASSERT_EQ(plan->predicates.size(), 2u);
+  EXPECT_NE(plan->predicates[0]->ToString().find("cylinders"), std::string::npos);
+}
+
+TEST_F(OptimizerFixture, DisjunctionBecomesUnionOfAndTerms) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto optimized,
+      db_.OptimizeOnly("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR "
+                       "e.cylinders = 4"));
+  EXPECT_EQ(optimized.terms.size(), 2u);
+  EXPECT_EQ(optimized.plan->op, PlanOp::kUnion);
+  EXPECT_EQ(optimized.plan->children.size(), 2u);
+}
+
+TEST_F(OptimizerFixture, ExplicitJoinPredicateClassified) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kSection31Query));
+  ASSERT_EQ(optimized.terms.size(), 1u);
+  const auto& term = optimized.terms[0];
+  // c.drivetrain.engine = v is a pointer-form join predicate.
+  ASSERT_EQ(term.joins.size(), 1u);
+  EXPECT_TRUE(term.joins[0].pointer_form);
+  EXPECT_EQ(term.joins[0].ref_var, "c");
+  EXPECT_EQ(term.joins[0].target_var, "v");
+  // c.drivetrain.transmission = 'AUTOMATIC' is a path selection; v.cylinders > 4
+  // is an immediate selection on v.
+  EXPECT_EQ(term.paths.size(), 1u);
+  ASSERT_EQ(term.imm.size(), 1u);
+  EXPECT_EQ(term.imm[0].range_var, "v");
+}
+
+TEST_F(OptimizerFixture, NoWherePlanIsBareScan) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly("SELECT v FROM Vehicle v"));
+  EXPECT_EQ(optimized.plan->op, PlanOp::kBindClass);
+}
+
+TEST_F(OptimizerFixture, CrossProductWhenNoJoinPredicate) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto optimized,
+      db_.OptimizeOnly("SELECT v FROM Vehicle v, Company c"));
+  EXPECT_EQ(optimized.plan->op, PlanOp::kNestedLoopJoin);
+  EXPECT_EQ(optimized.plan->join_pred, nullptr);
+}
+
+TEST_F(OptimizerFixture, ExplainRendersDictionariesAndPlan) {
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string text, db_.Explain(paperdb::kExample81Query));
+  EXPECT_NE(text.find("PathSelInfo"), std::string::npos);
+  EXPECT_NE(text.find("F/(1-s)"), std::string::npos);
+  EXPECT_NE(text.find("Plan:"), std::string::npos);
+}
+
+class IndexChoiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(db_.Execute("CREATE CLASS Item TUPLE (id Integer, grade Integer, "
+                               "label String(64))")
+                       .status());
+    // Large enough extent that a two-level index probe beats the sequential
+    // scan under the Section 8.1 inequality.
+    for (int i = 0; i < 2500; i++) {
+      MOOD_ASSERT_OK(db_.objects()
+                         ->CreateObject("Item", MoodValue::Tuple(
+                                                    {MoodValue::Integer(i),
+                                                     MoodValue::Integer(i % 10),
+                                                     MoodValue::String(
+                                                         "label-with-some-padding-" +
+                                                         std::to_string(i))}))
+                         .status());
+    }
+    MOOD_ASSERT_OK(db_.Execute("CREATE INDEX item_id ON Item(id) USING BTREE").status());
+    MOOD_ASSERT_OK(db_.CollectStatistics("Item"));
+  }
+  TempDir dir_;
+  Database db_;
+};
+
+TEST_F(IndexChoiceFixture, EqualityUsesIndexWhenCheaper) {
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized,
+                            db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id = 5"));
+  const auto& imm = optimized.terms[0].imm;
+  ASSERT_EQ(imm.size(), 1u);
+  EXPECT_EQ(imm[0].access_type, "indexed");
+  EXPECT_GE(imm[0].indexed_access_cost, 0);
+  EXPECT_LT(imm[0].indexed_access_cost, imm[0].sequential_access_cost);
+  EXPECT_EQ(optimized.plan->op, PlanOp::kIndexSelect);
+}
+
+TEST_F(IndexChoiceFixture, UnselectiveRangeFallsBackToScan) {
+  // id > 0 selects ~everything: the Section 8.1 inequality rejects the index.
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized,
+                            db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id >= 0"));
+  const auto& imm = optimized.terms[0].imm;
+  ASSERT_EQ(imm.size(), 1u);
+  EXPECT_EQ(imm[0].access_type, "sequential");
+  EXPECT_EQ(optimized.plan->op, PlanOp::kFilter);
+  EXPECT_EQ(optimized.plan->child->op, PlanOp::kBindClass);
+}
+
+TEST_F(IndexChoiceFixture, SelectiveRangeUsesIndex) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto optimized, db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id < 3"));
+  const auto& imm = optimized.terms[0].imm;
+  ASSERT_EQ(imm.size(), 1u);
+  EXPECT_EQ(imm[0].access_type, "indexed");
+}
+
+TEST_F(IndexChoiceFixture, UnindexedPredicateStaysResidual) {
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto optimized,
+      db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id = 5 AND i.grade = 3"));
+  // id=5 via index, grade=3 residual filter on top.
+  ASSERT_EQ(optimized.plan->op, PlanOp::kFilter);
+  EXPECT_EQ(optimized.plan->child->op, PlanOp::kIndexSelect);
+  ASSERT_EQ(optimized.plan->predicates.size(), 1u);
+  EXPECT_NE(optimized.plan->predicates[0]->ToString().find("grade"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mood

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "cost/disk_params.h"
+#include "cost/file_ops.h"
+#include "cost/join_costs.h"
+#include "stats/approx.h"
+#include "stats/selectivity.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+TEST(ApproxTest, CApproxPiecewise) {
+  // r < m/2 -> r.
+  EXPECT_DOUBLE_EQ(CApprox(1000, 100, 20), 20);
+  // m/2 <= r < 2m -> (r+m)/3.
+  EXPECT_DOUBLE_EQ(CApprox(1000, 100, 100), 200.0 / 3.0);
+  EXPECT_DOUBLE_EQ(CApprox(1000, 100, 150), 250.0 / 3.0);
+  // r >= 2m -> m.
+  EXPECT_DOUBLE_EQ(CApprox(1000, 100, 200), 100);
+  EXPECT_DOUBLE_EQ(CApprox(1000, 100, 100000), 100);
+}
+
+TEST(ApproxTest, CApproxTracksYaoWithinTolerance) {
+  // The paper: "it has been validated that c(n,m,r) well serves our purposes".
+  // Compare against Yao's exact formula over a spread of parameters.
+  const uint64_t n = 10000, m = 1000;
+  for (uint64_t k : {10u, 100u, 500u, 1000u, 2000u, 5000u}) {
+    double exact = YaoExact(n, m, k);
+    double approx = CApprox(n, m, k);
+    EXPECT_LT(std::abs(exact - approx) / std::max(exact, 1.0), 0.45)
+        << "k=" << k << " yao=" << exact << " c=" << approx;
+  }
+}
+
+TEST(ApproxTest, CardenasMonotoneAndBounded) {
+  double prev = 0;
+  for (double k = 0; k <= 5000; k += 250) {
+    double v = Cardenas(1000, k);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 1000.0);
+    prev = v;
+  }
+}
+
+TEST(ApproxTest, OverlapProbabilityIdentities) {
+  // x = 1: o(t,1,y) = y/t.
+  EXPECT_NEAR(OverlapProbability(10000, 1, 625), 0.0625, 1e-9);
+  EXPECT_NEAR(OverlapProbability(20000, 1, 1), 5.0e-5, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(OverlapProbability(1000, 30, 40), OverlapProbability(1000, 40, 30), 1e-9);
+  // Bounds and pigeonhole.
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 60, 60), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 0, 10), 0.0);
+  // Monotone in y.
+  double prev = 0;
+  for (double y = 1; y < 100; y += 7) {
+    double p = OverlapProbability(1000, 50, y);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(FileOpsTest, SeqAndRndCostFormulas) {
+  DiskParameters p;  // defaults: s=16, r=8.3, btt=0.84, ebt=1.0
+  EXPECT_DOUBLE_EQ(SeqCost(100, p), 16 + 8.3 + 100 * 1.0);
+  EXPECT_DOUBLE_EQ(RndCost(100, p), 100 * (16 + 8.3 + 0.84));
+  // The ESM regime: files are B+-trees, sequential == random (Section 5).
+  DiskParameters esm = p;
+  esm.esm_btree_files = true;
+  EXPECT_DOUBLE_EQ(SeqCost(100, esm), RndCost(100, esm));
+}
+
+TEST(FileOpsTest, IndCostGrowsWithKeysAndLevels) {
+  DiskParameters p;
+  BTreeCostParams bt;
+  bt.order = 100;
+  bt.levels = 3;
+  bt.leaves = 1000;
+  double one = IndCost(1, bt, p);
+  double ten = IndCost(10, bt, p);
+  double thousand = IndCost(1000, bt, p);
+  EXPECT_GT(one, 0);
+  EXPECT_LE(one, ten);
+  EXPECT_LT(ten, thousand);
+  // One key costs exactly level(I) random accesses.
+  EXPECT_DOUBLE_EQ(one, 3 * RndCost(1, p));
+  EXPECT_DOUBLE_EQ(IndCost(0, bt, p), 0);
+}
+
+TEST(FileOpsTest, RngxCostProportionalToFraction) {
+  DiskParameters p;
+  BTreeCostParams bt;
+  bt.leaves = 500;
+  EXPECT_DOUBLE_EQ(RngxCost(0.1, bt, p), 0.1 * 500 * (p.s + p.r + p.btt));
+  EXPECT_DOUBLE_EQ(RngxCost(1.0, bt, p), 500 * (p.s + p.r + p.btt));
+}
+
+TEST(JoinCostTest, ExpectedPagesSaturates) {
+  EXPECT_NEAR(ExpectedPages(100, 1), 1.0, 0.01);
+  EXPECT_NEAR(ExpectedPages(100, 100000), 100.0, 0.01);
+  EXPECT_LT(ExpectedPages(100, 50), 50.0);  // collisions
+}
+
+TEST(JoinCostTest, ForwardTraversalWorstCase) {
+  DiskParameters p;
+  ImplicitJoinInput in;
+  in.k_c = 10;
+  in.nbpages_c = 1000;
+  in.fan = 2;
+  // ~10 source pages + 20 reference chases.
+  double expected = RndCost(ExpectedPages(1000, 10), p) + RndCost(20, p);
+  EXPECT_DOUBLE_EQ(ForwardTraversalCost(in, p), expected);
+  // Already-fetched source drops the first term.
+  in.c_accessed_previously = true;
+  EXPECT_DOUBLE_EQ(ForwardTraversalCost(in, p), RndCost(20, p));
+}
+
+TEST(JoinCostTest, BackwardTraversalFormula) {
+  DiskParameters p;
+  ImplicitJoinInput in;
+  in.k_c = 100;
+  in.k_d = 5;
+  in.nbpages_c = 200;
+  in.nbpages_d = 50;
+  in.fan = 1;
+  double expected = SeqCost(200, p) + 100 * 1 * 5 * p.cpu_cost + SeqCost(50, p);
+  EXPECT_DOUBLE_EQ(BackwardTraversalCost(in, p), expected);
+  in.d_accessed_previously = true;
+  EXPECT_DOUBLE_EQ(BackwardTraversalCost(in, p),
+                   SeqCost(200, p) + 100 * 5 * p.cpu_cost);
+}
+
+TEST(JoinCostTest, HashPartitionFormula) {
+  DiskParameters p;
+  ImplicitJoinInput in;
+  in.k_c = 500;
+  in.card_c = 1000;
+  in.card_d = 1000;
+  in.nbpages_c = 100;
+  in.nbpages_d = 80;
+  in.fan = 1;
+  in.totref = 1000;
+  double alpha = CApprox(1000, 1000, 500);
+  double nbpg = ExpectedPages(80, alpha);
+  double expected = 3.0 * 0.5 * SeqCost(100, p) + RndCost(nbpg, p);
+  EXPECT_DOUBLE_EQ(HashPartitionJoinCost(in, p), expected);
+}
+
+// --- Selectivity with the paper's exact statistics (Tables 13-16) -----------------
+
+class PaperStatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+    paperdb::InstallPaperStatistics(db_.stats());
+    binder_ = std::make_unique<Binder>(db_.catalog());
+  }
+
+  Result<BoundPath> Path(const std::string& dotted) {
+    std::vector<std::string> steps;
+    size_t start = 0;
+    for (;;) {
+      size_t dot = dotted.find('.', start);
+      if (dot == std::string::npos) {
+        steps.push_back(dotted.substr(start));
+        break;
+      }
+      steps.push_back(dotted.substr(start, dot - start));
+      start = dot + 1;
+    }
+    return binder_->ResolvePathFromClass("Vehicle", steps);
+  }
+
+  TempDir dir_;
+  Database db_;
+  std::unique_ptr<Binder> binder_;
+};
+
+TEST_F(PaperStatsFixture, DerivedParametersMatchPaper) {
+  // totlinks(A,C,D) = fan * |C|; hitprb = totref / |D| (Table 15).
+  MOOD_ASSERT_OK_AND_ASSIGN(double totlinks, db_.stats()->TotLinks("Vehicle", "drivetrain"));
+  EXPECT_DOUBLE_EQ(totlinks, 20000);
+  MOOD_ASSERT_OK_AND_ASSIGN(double hitprb_dt, db_.stats()->HitPrb("Vehicle", "drivetrain"));
+  EXPECT_DOUBLE_EQ(hitprb_dt, 1.0);
+  MOOD_ASSERT_OK_AND_ASSIGN(double hitprb_co, db_.stats()->HitPrb("Vehicle", "company"));
+  EXPECT_DOUBLE_EQ(hitprb_co, 0.1);
+}
+
+TEST_F(PaperStatsFixture, AtomicSelectivityFormulas) {
+  SelectivityEstimator est(db_.stats());
+  // f_s(= c) = 1/dist = 1/16.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      double eq, est.AtomicSelectivity("VehicleEngine", "cylinders", BinaryOp::kEq,
+                                       MoodValue::Integer(2)));
+  EXPECT_DOUBLE_EQ(eq, 1.0 / 16);
+  // f_s(> c) = (max - c)/(max - min) = (32-20)/30.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      double gt, est.AtomicSelectivity("VehicleEngine", "cylinders", BinaryOp::kGt,
+                                       MoodValue::Integer(20)));
+  EXPECT_DOUBLE_EQ(gt, 12.0 / 30.0);
+  // BETWEEN c1 AND c2 decomposes into >= and <=; the paper's combined formula
+  // (c2-c1)/(max-min) equals f(<=c2) + f(>=c1) - 1 under uniformity.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      double le, est.AtomicSelectivity("VehicleEngine", "cylinders", BinaryOp::kLe,
+                                       MoodValue::Integer(20)));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      double ge, est.AtomicSelectivity("VehicleEngine", "cylinders", BinaryOp::kGe,
+                                       MoodValue::Integer(10)));
+  EXPECT_NEAR(le + ge - 1.0, (20.0 - 10.0) / 30.0, 1e-9);
+  // String equality on Company.name: 1/200000.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      double name_eq, est.AtomicSelectivity("Company", "name", BinaryOp::kEq,
+                                            MoodValue::String("BMW")));
+  EXPECT_DOUBLE_EQ(name_eq, 1.0 / 200000);
+}
+
+TEST_F(PaperStatsFixture, Table16SelectivitiesExact) {
+  SelectivityEstimator est(db_.stats());
+  // P1: v.drivetrain.engine.cylinders = 2 -> 6.25e-2.
+  MOOD_ASSERT_OK_AND_ASSIGN(BoundPath p1, Path("drivetrain.engine.cylinders"));
+  MOOD_ASSERT_OK_AND_ASSIGN(double s1,
+                            est.PathSelectivity(p1, BinaryOp::kEq, MoodValue::Integer(2)));
+  EXPECT_NEAR(s1, 6.25e-2, 1e-9);
+  // P2: v.company.name = 'BMW' -> 5.00e-5.
+  MOOD_ASSERT_OK_AND_ASSIGN(BoundPath p2, Path("company.name"));
+  MOOD_ASSERT_OK_AND_ASSIGN(double s2, est.PathSelectivity(p2, BinaryOp::kEq,
+                                                           MoodValue::String("BMW")));
+  EXPECT_NEAR(s2, 5.00e-5, 1e-12);
+}
+
+TEST_F(PaperStatsFixture, Table16ForwardCostsExactUnderCalibratedDisk) {
+  SelectivityEstimator est(db_.stats());
+  DiskParameters disk = PaperCalibratedDiskParameters();
+  MOOD_ASSERT_OK_AND_ASSIGN(BoundPath p1, Path("drivetrain.engine.cylinders"));
+  MOOD_ASSERT_OK_AND_ASSIGN(BoundPath p2, Path("company.name"));
+  MOOD_ASSERT_OK_AND_ASSIGN(double f1, ForwardPathCost(p1, 10, est, disk));
+  MOOD_ASSERT_OK_AND_ASSIGN(double f2, ForwardPathCost(p2, 10, est, disk));
+  EXPECT_NEAR(f1, 771.825, 1e-6);  // Table 16, P1
+  EXPECT_NEAR(f2, 520.825, 1e-6);  // Table 16, P2
+  // Ranks: F/(1-s). The paper prints 823.280 for P1.
+  EXPECT_NEAR(f1 / (1 - 6.25e-2), 823.28, 1e-2);
+}
+
+TEST_F(PaperStatsFixture, FrefChainUsesColorApproximation) {
+  SelectivityEstimator est(db_.stats());
+  MOOD_ASSERT_OK_AND_ASSIGN(BoundPath p1, Path("drivetrain.engine.cylinders"));
+  // Starting from a single vehicle: one drivetrain, one engine.
+  MOOD_ASSERT_OK_AND_ASSIGN(double one, est.Fref(p1, 1));
+  EXPECT_DOUBLE_EQ(one, 1.0);
+  // Starting from all vehicles: saturates at the 10000 distinct engines... the
+  // c() approximation gives (r+m)/3 in the middle regime.
+  MOOD_ASSERT_OK_AND_ASSIGN(double all, est.Fref(p1, 20000));
+  EXPECT_GT(all, 5000.0);
+  EXPECT_LE(all, 10000.0);
+}
+
+TEST_F(PaperStatsFixture, CollectedStatisticsMatchData) {
+  // Measured mode: populate a small instance and verify Collect's numbers.
+  MOOD_ASSERT_OK_AND_ASSIGN(auto report, paperdb::PopulatePaperData(&db_, 90));
+  MOOD_ASSERT_OK(db_.CollectStatistics("Vehicle"));
+  MOOD_ASSERT_OK(db_.CollectStatistics("VehicleEngine"));
+  MOOD_ASSERT_OK_AND_ASSIGN(ClassStats vs, db_.stats()->Class("Vehicle"));
+  // Only plain vehicles live in the Vehicle extent (subclasses have their own).
+  EXPECT_EQ(vs.cardinality, report.vehicles - report.automobiles - report.japanese_autos);
+  EXPECT_GT(vs.nbpages, 0u);
+  EXPECT_GT(vs.size, 0u);
+  MOOD_ASSERT_OK_AND_ASSIGN(AttributeStats cyl,
+                            db_.stats()->Attribute("VehicleEngine", "cylinders"));
+  EXPECT_GT(cyl.dist, 0u);
+  EXPECT_LE(cyl.dist, 16u);
+  EXPECT_GE(cyl.min_val, 2);
+  EXPECT_LE(cyl.max_val, 32);
+  EXPECT_DOUBLE_EQ(cyl.notnull, 1.0);
+  MOOD_ASSERT_OK_AND_ASSIGN(ReferenceStats dt,
+                            db_.stats()->Reference("Vehicle", "drivetrain"));
+  EXPECT_EQ(dt.target_class, "VehicleDriveTrain");
+  EXPECT_DOUBLE_EQ(dt.fan, 1.0);
+  EXPECT_GT(dt.totref, 0u);
+}
+
+}  // namespace
+}  // namespace mood

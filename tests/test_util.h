@@ -1,0 +1,67 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace mood::testing {
+
+/// Creates a unique scratch directory for a test and removes it afterwards.
+class TempDir {
+ public:
+  TempDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = "mood_test";
+    if (info != nullptr) {
+      name = std::string(info->test_suite_name()) + "_" + info->name();
+    }
+    for (auto& c : name) {
+      if (c == '/' || c == '\\') c = '_';
+    }
+    path_ = std::filesystem::temp_directory_path() / (name + "_XXXXXX");
+    std::string tmpl = path_.string();
+    char* made = mkdtemp(tmpl.data());
+    path_ = made != nullptr ? std::filesystem::path(made) : std::filesystem::path(tmpl);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  std::string Path(const std::string& file) const { return (path_ / file).string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+#define MOOD_ASSERT_OK(expr)                                 \
+  do {                                                       \
+    auto _st = (expr);                                       \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                 \
+  } while (0)
+
+#define MOOD_EXPECT_OK(expr)                                 \
+  do {                                                       \
+    auto _st = (expr);                                       \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                 \
+  } while (0)
+
+#define MOOD_ASSERT_OK_AND_ASSIGN(lhs, expr)                         \
+  MOOD_ASSERT_OK_AND_ASSIGN_IMPL_(                                   \
+      MOOD_TEST_CONCAT_(_res, __LINE__), lhs, expr)
+
+#define MOOD_ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                     \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();      \
+  lhs = std::move(tmp).value()
+
+#define MOOD_TEST_CONCAT_(a, b) MOOD_TEST_CONCAT_IMPL_(a, b)
+#define MOOD_TEST_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mood::testing

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/storage_manager.h"
+#include "tests/test_util.h"
+#include "txn/lock_manager.h"
+#include "txn/log_manager.h"
+#include "txn/transaction.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+TEST(LogManagerTest, AppendFlushReadAll) {
+  TempDir dir;
+  LogManager log;
+  MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+  MOOD_ASSERT_OK(log.AppendBegin(1).status());
+  std::string before(kPageSize, 'b');
+  std::string after(kPageSize, 'a');
+  MOOD_ASSERT_OK(log.AppendPageWrite(1, 7, before, after).status());
+  MOOD_ASSERT_OK(log.AppendCommit(1).status());
+  MOOD_ASSERT_OK(log.Flush());
+  std::vector<LogRecord> records;
+  MOOD_ASSERT_OK(log.ReadAll(&records));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, LogRecordType::kBegin);
+  EXPECT_EQ(records[1].type, LogRecordType::kPageWrite);
+  EXPECT_EQ(records[1].page_id, 7u);
+  EXPECT_EQ(records[1].before, before);
+  EXPECT_EQ(records[1].after, after);
+  EXPECT_EQ(records[2].type, LogRecordType::kCommit);
+  EXPECT_LT(records[0].lsn, records[1].lsn);
+  EXPECT_LT(records[1].lsn, records[2].lsn);
+}
+
+TEST(LogManagerTest, LsnsSurviveReopen) {
+  TempDir dir;
+  Lsn last = 0;
+  {
+    LogManager log;
+    MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+    MOOD_ASSERT_OK_AND_ASSIGN(last, log.AppendBegin(1));
+    MOOD_ASSERT_OK(log.Flush());
+  }
+  LogManager log;
+  MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+  MOOD_ASSERT_OK_AND_ASSIGN(Lsn next, log.AppendBegin(2));
+  EXPECT_GT(next, last);
+}
+
+TEST(LogManagerTest, TornTailIsIgnored) {
+  TempDir dir;
+  {
+    LogManager log;
+    MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+    MOOD_ASSERT_OK(log.AppendBegin(1).status());
+    MOOD_ASSERT_OK(log.AppendCommit(1).status());
+    MOOD_ASSERT_OK(log.Flush());
+  }
+  // Simulate a torn write: append garbage length prefix.
+  {
+    FILE* f = fopen(dir.Path("wal").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    uint32_t bogus_len = 100000;
+    fwrite(&bogus_len, sizeof(bogus_len), 1, f);
+    fwrite("junk", 4, 1, f);
+    fclose(f);
+  }
+  LogManager log;
+  MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+  std::vector<LogRecord> records;
+  MOOD_ASSERT_OK(log.ReadAll(&records));
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(LogManagerTest, TruncateEmptiesLog) {
+  TempDir dir;
+  LogManager log;
+  MOOD_ASSERT_OK(log.Open(dir.Path("wal")));
+  MOOD_ASSERT_OK(log.AppendBegin(1).status());
+  MOOD_ASSERT_OK(log.Flush());
+  MOOD_ASSERT_OK(log.Truncate());
+  std::vector<LogRecord> records;
+  MOOD_ASSERT_OK(log.ReadAll(&records));
+  EXPECT_TRUE(records.empty());
+}
+
+class TxnFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(storage_.Open(dir_.Path("db")));
+    MOOD_ASSERT_OK(log_.Open(dir_.Path("wal")));
+    txns_ = std::make_unique<TransactionManager>(storage_.buffer_pool(), &log_,
+                                                 &locks_);
+    MOOD_ASSERT_OK_AND_ASSIGN(FileId fid, storage_.CreateFile());
+    MOOD_ASSERT_OK_AND_ASSIGN(file_, storage_.GetFile(fid));
+    file_id_ = fid;
+  }
+  TempDir dir_;
+  StorageManager storage_;
+  LogManager log_;
+  LockManager locks_;
+  std::unique_ptr<TransactionManager> txns_;
+  HeapFile* file_ = nullptr;
+  FileId file_id_ = kInvalidFileId;
+};
+
+TEST_F(TxnFixture, CommitMakesChangesDurable) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * txn, txns_->Begin());
+  MOOD_ASSERT_OK_AND_ASSIGN(RecordId rid, file_->Insert("committed", txn));
+  MOOD_ASSERT_OK(txns_->Commit(txn));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string rec, file_->Get(rid));
+  EXPECT_EQ(rec, "committed");
+}
+
+TEST_F(TxnFixture, AbortRollsBackInBuffer) {
+  MOOD_ASSERT_OK_AND_ASSIGN(RecordId keep, file_->Insert("keep"));
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * txn, txns_->Begin());
+  MOOD_ASSERT_OK(file_->Update(keep, "clobbered", txn));
+  MOOD_ASSERT_OK(txns_->Abort(txn));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string rec, file_->Get(keep));
+  EXPECT_EQ(rec, "keep");
+}
+
+TEST_F(TxnFixture, WriteAfterCommitRejected) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * txn, txns_->Begin());
+  MOOD_ASSERT_OK(txns_->Commit(txn));
+  std::string img(kPageSize, 'x');
+  EXPECT_TRUE(txn->LogPageWrite(0, img, img).status().IsTxnAborted());
+}
+
+TEST_F(TxnFixture, RecoveryRedoesCommittedAndUndoesLosers) {
+  // Committed insert, then a loser update that reaches disk (steal).
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * t1, txns_->Begin());
+  MOOD_ASSERT_OK_AND_ASSIGN(RecordId rid, file_->Insert("v1", t1));
+  MOOD_ASSERT_OK(txns_->Commit(t1));
+
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * t2, txns_->Begin());
+  MOOD_ASSERT_OK(file_->Update(rid, "v2-uncommitted", t2));
+  // Force the dirty page to disk before the crash (steal policy).
+  MOOD_ASSERT_OK(storage_.buffer_pool()->FlushAll());
+  // Crash: no commit/abort for t2; reopen the storage from disk.
+  MOOD_ASSERT_OK(log_.Flush());
+  std::string path = dir_.Path("db");
+  // Simulate restart: new storage manager + recovery.
+  StorageManager restarted;
+  MOOD_ASSERT_OK(restarted.Open(path));
+  RecoveryManager recovery(restarted.buffer_pool(), &log_);
+  MOOD_ASSERT_OK_AND_ASSIGN(auto report, recovery.Recover());
+  EXPECT_GE(report.undo_applied, 1u);
+  MOOD_ASSERT_OK_AND_ASSIGN(HeapFile * file, restarted.GetFile(file_id_));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string rec, file->Get(rid));
+  EXPECT_EQ(rec, "v1");
+}
+
+TEST_F(TxnFixture, RecoveryRedoesCommittedChangesLostFromBuffer) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * t1, txns_->Begin());
+  MOOD_ASSERT_OK_AND_ASSIGN(RecordId rid, file_->Insert("durable", t1));
+  MOOD_ASSERT_OK(txns_->Commit(t1));
+  // Crash WITHOUT flushing data pages: only the log survives. Open the disk
+  // file fresh (old StorageManager's buffer contents are dropped).
+  StorageManager restarted;
+  MOOD_ASSERT_OK(restarted.Open(dir_.Path("db")));
+  RecoveryManager recovery(restarted.buffer_pool(), &log_);
+  MOOD_ASSERT_OK_AND_ASSIGN(auto report, recovery.Recover());
+  EXPECT_GE(report.redo_applied, 1u);
+  MOOD_ASSERT_OK(restarted.ReloadDirectory());
+  MOOD_ASSERT_OK_AND_ASSIGN(HeapFile * file, restarted.GetFile(file_id_));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string rec, file->Get(rid));
+  EXPECT_EQ(rec, "durable");
+}
+
+TEST_F(TxnFixture, RecoveryIsIdempotent) {
+  MOOD_ASSERT_OK_AND_ASSIGN(Transaction * t1, txns_->Begin());
+  MOOD_ASSERT_OK_AND_ASSIGN(RecordId rid, file_->Insert("idem", t1));
+  MOOD_ASSERT_OK(txns_->Commit(t1));
+  StorageManager restarted;
+  MOOD_ASSERT_OK(restarted.Open(dir_.Path("db")));
+  RecoveryManager recovery(restarted.buffer_pool(), &log_);
+  MOOD_ASSERT_OK(recovery.Recover().status());
+  MOOD_ASSERT_OK(recovery.Recover().status());  // run twice
+  MOOD_ASSERT_OK(restarted.ReloadDirectory());
+  MOOD_ASSERT_OK_AND_ASSIGN(HeapFile * file, restarted.GetFile(file_id_));
+  MOOD_ASSERT_OK_AND_ASSIGN(std::string rec, file->Get(rid));
+  EXPECT_EQ(rec, "idem");
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  LockKey key{1, 100};
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kShared));
+  MOOD_ASSERT_OK(lm.Acquire(2, key, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, key, LockMode::kShared));
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  LockKey key{1, 100};
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kExclusive));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(2, key, LockMode::kExclusive);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReentrantAcquireIsNoop) {
+  LockManager lm;
+  LockKey key{1, 5};
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kExclusive));
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kExclusive));
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kShared));  // weaker: still ok
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeSharedToExclusive) {
+  LockManager lm;
+  LockKey key{1, 5};
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kShared));
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kExclusive));
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kExclusive));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  LockKey a{1, 1}, b{1, 2};
+  MOOD_ASSERT_OK(lm.Acquire(1, a, LockMode::kExclusive));
+  MOOD_ASSERT_OK(lm.Acquire(2, b, LockMode::kExclusive));
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&] {
+    Status st = lm.Acquire(1, b, LockMode::kExclusive);  // waits for txn 2
+    if (st.IsDeadlock()) deadlocks++;
+    if (st.ok()) lm.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread t2([&] {
+    Status st = lm.Acquire(2, a, LockMode::kExclusive);  // completes the cycle
+    if (st.IsDeadlock()) deadlocks++;
+    if (st.ok()) lm.ReleaseAll(2);
+  });
+  t2.join();
+  lm.ReleaseAll(2);
+  t1.join();
+  lm.ReleaseAll(1);
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST(LockManagerTest, ReleaseWakesFifoWaiters) {
+  LockManager lm;
+  LockKey key{2, 9};
+  MOOD_ASSERT_OK(lm.Acquire(1, key, LockMode::kExclusive));
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::thread> threads;
+  for (int i = 2; i <= 4; i++) {
+    threads.emplace_back([&, i] {
+      MOOD_EXPECT_OK(lm.Acquire(static_cast<uint64_t>(i), key, LockMode::kShared));
+      {
+        std::lock_guard<std::mutex> g(order_mu);
+        order.push_back(i);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  lm.ReleaseAll(1);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(order.size(), 3u);  // all shared waiters granted together
+  for (int i = 2; i <= 4; i++) lm.ReleaseAll(static_cast<uint64_t>(i));
+}
+
+}  // namespace
+}  // namespace mood

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "types/operand.h"
+#include "types/type_desc.h"
+#include "types/value.h"
+
+namespace mood {
+namespace {
+
+TEST(OidTest, PackUnpackRoundTrip) {
+  Oid o;
+  o.file = 42;
+  o.page = 123456;
+  o.slot = 17;
+  Oid back = Oid::Unpack(o.Pack());
+  EXPECT_EQ(back, o);
+  EXPECT_TRUE(o.valid());
+  EXPECT_FALSE(kNullOid.valid());
+}
+
+TEST(ValueTest, ScalarAccessors) {
+  EXPECT_EQ(MoodValue::Integer(-5).AsInteger(), -5);
+  EXPECT_DOUBLE_EQ(MoodValue::Float(2.5).AsFloat(), 2.5);
+  EXPECT_EQ(MoodValue::LongInteger(1LL << 40).AsLongInteger(), 1LL << 40);
+  EXPECT_EQ(MoodValue::String("hi").AsString(), "hi");
+  EXPECT_EQ(MoodValue::Char('x').AsChar(), 'x');
+  EXPECT_TRUE(MoodValue::Boolean(true).AsBoolean());
+  EXPECT_TRUE(MoodValue::Null().is_null());
+}
+
+TEST(ValueTest, SetDeduplicates) {
+  MoodValue s = MoodValue::Set({MoodValue::Integer(1), MoodValue::Integer(2),
+                                MoodValue::Integer(1)});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_TRUE(MoodValue::Integer(2).Equals(MoodValue::Float(2.0)));
+  EXPECT_TRUE(MoodValue::LongInteger(2).Equals(MoodValue::Integer(2)));
+  EXPECT_FALSE(MoodValue::Integer(2).Equals(MoodValue::Float(2.5)));
+  EXPECT_FALSE(MoodValue::Integer(2).Equals(MoodValue::String("2")));
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(MoodValue::Integer(2).Hash(), MoodValue::Float(2.0).Hash());
+  EXPECT_EQ(MoodValue::Set({MoodValue::Integer(1), MoodValue::Integer(2)}).Hash(),
+            MoodValue::Set({MoodValue::Integer(2), MoodValue::Integer(1)}).Hash());
+}
+
+TEST(ValueTest, CompareOrdersScalars) {
+  auto cmp = [](const MoodValue& a, const MoodValue& b) {
+    auto r = a.Compare(b);
+    EXPECT_TRUE(r.ok());
+    return r.value();
+  };
+  EXPECT_LT(cmp(MoodValue::Integer(1), MoodValue::Integer(2)), 0);
+  EXPECT_GT(cmp(MoodValue::Float(2.5), MoodValue::Integer(2)), 0);
+  EXPECT_EQ(cmp(MoodValue::String("abc"), MoodValue::String("abc")), 0);
+  EXPECT_LT(cmp(MoodValue::String("abc"), MoodValue::String("abd")), 0);
+  EXPECT_FALSE(MoodValue::Integer(1).Compare(MoodValue::String("1")).ok());
+}
+
+MoodValue RandomValue(Random* rng, int depth) {
+  switch (rng->Uniform(depth > 0 ? 10 : 7)) {
+    case 0: return MoodValue::Null();
+    case 1: return MoodValue::Integer(static_cast<int32_t>(rng->Range(-1000, 1000)));
+    case 2: return MoodValue::Float(rng->NextDouble() * 100);
+    case 3: return MoodValue::LongInteger(rng->Range(-100000, 100000));
+    case 4: return MoodValue::String(std::string(rng->Uniform(20), 's'));
+    case 5: return MoodValue::Char(static_cast<char>('a' + rng->Uniform(26)));
+    case 6: {
+      Oid o;
+      o.file = static_cast<uint16_t>(rng->Uniform(100));
+      o.page = static_cast<uint32_t>(rng->Uniform(10000));
+      o.slot = static_cast<uint16_t>(rng->Uniform(100));
+      return MoodValue::Reference(o);
+    }
+    default: {
+      MoodValue::ValueList elems;
+      size_t n = rng->Uniform(4);
+      for (size_t i = 0; i < n; i++) elems.push_back(RandomValue(rng, depth - 1));
+      switch (rng->Uniform(3)) {
+        case 0: return MoodValue::Tuple(std::move(elems));
+        case 1: return MoodValue::Set(std::move(elems));
+        default: return MoodValue::List(std::move(elems));
+      }
+    }
+  }
+}
+
+class ValueSerializationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueSerializationProperty, EncodeDecodeRoundTrip) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; i++) {
+    MoodValue v = RandomValue(&rng, 3);
+    std::string buf;
+    v.EncodeTo(&buf);
+    auto back = MoodValue::DecodeAll(buf);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(v.Equals(back.value())) << v.ToString() << " vs "
+                                        << back.value().ToString();
+    EXPECT_EQ(v.Hash(), back.value().Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueSerializationProperty,
+                         ::testing::Values(11, 22, 33));
+
+TEST(ValueTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(MoodValue::DecodeAll(Slice("\xFF\xFF\xFF")).ok());
+  EXPECT_FALSE(MoodValue::DecodeAll(Slice("")).ok());
+  // Trailing bytes.
+  std::string buf;
+  MoodValue::Integer(1).EncodeTo(&buf);
+  buf += "junk";
+  EXPECT_FALSE(MoodValue::DecodeAll(buf).ok());
+}
+
+TEST(ValueTest, CopyOnWriteKeepsValueSemantics) {
+  MoodValue a = MoodValue::List({MoodValue::Integer(1)});
+  MoodValue b = a;
+  b.mutable_elements().push_back(MoodValue::Integer(2));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(TypeDescTest, ToStringMatchesDdlSyntax) {
+  auto t = TypeDesc::Tuple(
+      {{"id", TypeDesc::Basic(BasicType::kInteger)},
+       {"name", TypeDesc::SizedString(32)},
+       {"refs", TypeDesc::Set(TypeDesc::Reference("Company"))}});
+  EXPECT_EQ(t->ToString(),
+            "TUPLE (id Integer, name String(32), refs SET (REFERENCE (Company)))");
+}
+
+TEST(TypeDescTest, EncodeDecodeRoundTrip) {
+  auto t = TypeDesc::Tuple(
+      {{"a", TypeDesc::Basic(BasicType::kFloat)},
+       {"b", TypeDesc::List(TypeDesc::Basic(BasicType::kBoolean))},
+       {"c", TypeDesc::Reference("X")},
+       {"d", TypeDesc::Tuple({{"n", TypeDesc::SizedString(8)}})}});
+  std::string buf;
+  t->EncodeTo(&buf);
+  Slice in(buf);
+  auto back = TypeDesc::Decode(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(t->Equals(*back.value()));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(TypeDescTest, CheckValueAcceptsAndRejects) {
+  auto t = TypeDesc::Tuple({{"id", TypeDesc::Basic(BasicType::kInteger)},
+                            {"name", TypeDesc::SizedString(4)}});
+  MOOD_EXPECT_OK(t->CheckValue(
+      MoodValue::Tuple({MoodValue::Integer(1), MoodValue::String("abcd")})));
+  // Over-capacity string.
+  EXPECT_TRUE(t->CheckValue(MoodValue::Tuple({MoodValue::Integer(1),
+                                              MoodValue::String("abcde")}))
+                  .IsTypeError());
+  // Arity mismatch.
+  EXPECT_TRUE(t->CheckValue(MoodValue::Tuple({MoodValue::Integer(1)})).IsTypeError());
+  // Wrong field type.
+  EXPECT_TRUE(t->CheckValue(MoodValue::Tuple({MoodValue::String("x"),
+                                              MoodValue::String("ab")}))
+                  .IsTypeError());
+  // Nulls allowed anywhere.
+  MOOD_EXPECT_OK(
+      t->CheckValue(MoodValue::Tuple({MoodValue::Null(), MoodValue::Null()})));
+}
+
+TEST(TypeDescTest, NumericWidening) {
+  auto f = TypeDesc::Basic(BasicType::kFloat);
+  MOOD_EXPECT_OK(f->CheckValue(MoodValue::Integer(1)));
+  MOOD_EXPECT_OK(f->CheckValue(MoodValue::LongInteger(1)));
+  auto i = TypeDesc::Basic(BasicType::kInteger);
+  EXPECT_TRUE(i->CheckValue(MoodValue::Float(1.0)).IsTypeError());
+}
+
+TEST(TypeDescTest, DefaultValuesConform) {
+  auto t = TypeDesc::Tuple({{"a", TypeDesc::Basic(BasicType::kInteger)},
+                            {"b", TypeDesc::Set(TypeDesc::Reference("X"))},
+                            {"c", TypeDesc::SizedString(3)}});
+  MOOD_EXPECT_OK(t->CheckValue(t->DefaultValue()));
+}
+
+// --- OperandDataType: the paper's run-time expression interpreter --------------
+
+TEST(OperandTest, PaperSection2Example) {
+  // OperandDataType x(INT16), y(INT32), z(DOUBLE);
+  // x = 10; y = 13;
+  // z = (x*3 + x%3) * (y/4*5);  // integer arithmetic, result cast to double
+  OperandDataType x(DataTypeCode::kInt16), y(DataTypeCode::kInt32),
+      z(DataTypeCode::kDouble);
+  x = int64_t{10};
+  y = int64_t{13};
+  OperandDataType three(DataTypeCode::kInt16), four(DataTypeCode::kInt16),
+      five(DataTypeCode::kInt16);
+  three = int64_t{3};
+  four = int64_t{4};
+  five = int64_t{5};
+  z.Assign((x * three + x % three) * (y / four * five));
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  // (30 + 1) * (3 * 5) = 465, cast to double.
+  MOOD_ASSERT_OK_AND_ASSIGN(double d, z.AsDouble());
+  EXPECT_DOUBLE_EQ(d, 465.0);
+  EXPECT_EQ(z.code(), DataTypeCode::kDouble);
+}
+
+TEST(OperandTest, Int16TruncatesOnAssign) {
+  OperandDataType x(DataTypeCode::kInt16);
+  x = int64_t{70000};
+  MOOD_ASSERT_OK_AND_ASSIGN(int64_t v, x.AsInt());
+  EXPECT_EQ(v, static_cast<int16_t>(70000));
+}
+
+TEST(OperandTest, PromotionRules) {
+  OperandDataType i16(DataTypeCode::kInt16), i64(DataTypeCode::kInt64),
+      d(DataTypeCode::kDouble);
+  i16 = int64_t{5};
+  i64 = int64_t{7};
+  d = 2.5;
+  EXPECT_EQ((i16 + i64).code(), DataTypeCode::kInt64);
+  EXPECT_EQ((i16 + d).code(), DataTypeCode::kDouble);
+  EXPECT_EQ((i16 + i16).code(), DataTypeCode::kInt16);
+}
+
+TEST(OperandTest, IntegerDivisionAndModulo) {
+  OperandDataType a(DataTypeCode::kInt32), b(DataTypeCode::kInt32);
+  a = int64_t{13};
+  b = int64_t{4};
+  EXPECT_EQ((a / b).AsInt().value(), 3);
+  EXPECT_EQ((a % b).AsInt().value(), 1);
+  OperandDataType z(DataTypeCode::kInt32);
+  z = int64_t{0};
+  EXPECT_FALSE((a / z).ok());
+  EXPECT_FALSE((a % z).ok());
+}
+
+TEST(OperandTest, ModuloOnFloatsIsTypeError) {
+  OperandDataType a(DataTypeCode::kDouble), b(DataTypeCode::kInt32);
+  a = 2.5;
+  b = int64_t{2};
+  EXPECT_TRUE((a % b).status().IsTypeError());
+}
+
+TEST(OperandTest, ComparisonsAndBooleans) {
+  OperandDataType a(DataTypeCode::kInt32), b(DataTypeCode::kDouble);
+  a = int64_t{3};
+  b = 3.5;
+  EXPECT_TRUE((a < b).AsBool().value());
+  EXPECT_FALSE((a >= b).AsBool().value());
+  EXPECT_TRUE((a != b).AsBool().value());
+  OperandDataType t(DataTypeCode::kBool), f(DataTypeCode::kBool);
+  t = true;
+  f = false;
+  EXPECT_FALSE((t && f).AsBool().value());
+  EXPECT_TRUE((t || f).AsBool().value());
+  EXPECT_TRUE((!f).AsBool().value());
+}
+
+TEST(OperandTest, StringOperations) {
+  OperandDataType a(DataTypeCode::kString), b(DataTypeCode::kString);
+  a = std::string("AUTO");
+  b = std::string("MATIC");
+  EXPECT_EQ((a + b).AsStringValue().value(), "AUTOMATIC");
+  EXPECT_TRUE((a < b).AsBool().value());
+  EXPECT_FALSE((a == b).AsBool().value());
+}
+
+TEST(OperandTest, TypeErrorsPoisonAndPropagate) {
+  OperandDataType s(DataTypeCode::kString), i(DataTypeCode::kInt32);
+  s = std::string("x");
+  i = int64_t{1};
+  OperandDataType bad = s * i;  // arithmetic on a string
+  EXPECT_FALSE(bad.ok());
+  OperandDataType worse = bad + i;  // propagates
+  EXPECT_FALSE(worse.ok());
+  EXPECT_TRUE(worse.status().IsTypeError());
+}
+
+TEST(OperandTest, AssignConvertsAcrossTypes) {
+  OperandDataType d(DataTypeCode::kDouble);
+  d = 2.9;
+  OperandDataType i(DataTypeCode::kInt32);
+  i.Assign(d);  // run-time cast double -> int truncates
+  EXPECT_EQ(i.AsInt().value(), 2);
+}
+
+TEST(OperandTest, FromValueAndToValueRoundTrip) {
+  auto check = [](const MoodValue& v) {
+    OperandDataType o = OperandDataType::FromValue(v);
+    ASSERT_TRUE(o.ok());
+    auto back = o.ToValue();
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(v.Equals(back.value())) << v.ToString();
+  };
+  check(MoodValue::Integer(7));
+  check(MoodValue::Float(1.5));
+  check(MoodValue::LongInteger(1LL << 33));
+  check(MoodValue::Boolean(true));
+  check(MoodValue::String("str"));
+}
+
+TEST(OperandTest, NonScalarValueRejected) {
+  OperandDataType o = OperandDataType::FromValue(MoodValue::Set({}));
+  EXPECT_FALSE(o.ok());
+}
+
+}  // namespace
+}  // namespace mood
