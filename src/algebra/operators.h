@@ -52,6 +52,12 @@ bool UnnestAccepts(CollKind arg, bool tuple_object);
 /// The MOOD algebra: every operator of Section 3.2 as executable code over the
 /// object manager. Predicates are MOODSQL expressions evaluated with the
 /// element bound to `var`.
+///
+/// Thread safety: the const operators the parallel executor fans out (IndSel,
+/// Deref and friends) are concurrent-read safe — they read through the object
+/// manager's guarded index caches and the buffer pool. Bind mutates the
+/// session name table and is externally synchronized: it runs on the
+/// interpreter thread before workers fan out (see DESIGN.md §6).
 class MoodAlgebra {
  public:
   MoodAlgebra(ObjectManager* objects, Evaluator* evaluator)

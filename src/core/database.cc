@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
 #include "types/operand.h"
 
 namespace mood {
@@ -43,6 +44,8 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
                                                 stats_.get(), options.optimizer);
   executor_ =
       std::make_unique<Executor>(objects_.get(), evaluator_.get(), algebra_.get());
+  executor_->set_threads(options.exec_threads == 0 ? DefaultExecThreads()
+                                                   : options.exec_threads);
   schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
   object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
 

@@ -24,6 +24,10 @@ struct DatabaseOptions {
   /// Write-ahead logging + crash recovery (the ESM "backup and recovery"
   /// function). When off, no log file is kept and transactions are unavailable.
   bool enable_wal = true;
+  /// Worker threads for intra-query parallelism. 0 = hardware_concurrency,
+  /// 1 = serial execution (the exact pre-parallelism behavior). Can be changed
+  /// per-query later through Executor::set_threads.
+  size_t exec_threads = 0;
   OptimizerOptions optimizer;
 };
 

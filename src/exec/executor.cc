@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/parallel.h"
+
 namespace mood {
 
 std::string QueryResult::ToString(size_t limit) const {
@@ -75,29 +77,66 @@ Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
 Result<RowSet> Executor::ExecBind(const PlanNode& node) const {
   RowSet rs;
   rs.vars = {node.from.var};
-  MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
-                                            node.from.excludes,
-                                            [&](Oid oid, const MoodValue&) {
-                                              rs.rows.push_back({oid});
-                                              return Status::OK();
-                                            }));
+  if (threads_ <= 1) {
+    MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
+                                              node.from.excludes,
+                                              [&](Oid oid, const MoodValue&) {
+                                                rs.rows.push_back({oid});
+                                                return Status::OK();
+                                              }));
+    return rs;
+  }
+  // Parallel extent scan: one morsel per extent page, in (class, chain) order —
+  // the exact sequence ScanExtent visits — so the in-order merge reproduces the
+  // serial result.
+  MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
+                        objects_->ScanClasses(node.from.class_name, node.from.every,
+                                              node.from.excludes));
+  struct PageTask {
+    const std::string* class_name;
+    PageId page;
+  };
+  std::vector<PageTask> tasks;
+  for (const std::string& cls : classes) {
+    MOOD_ASSIGN_OR_RETURN(std::vector<PageId> pages, objects_->ExtentPageIds(cls));
+    for (PageId p : pages) tasks.push_back({&cls, p});
+  }
+  std::vector<std::vector<std::vector<Oid>>> partial(tasks.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, tasks.size(), [&](size_t t) {
+    return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
+                                    [&](Oid oid, const MoodValue&) {
+                                      partial[t].push_back({oid});
+                                      return Status::OK();
+                                    });
+  }));
+  for (auto& part : partial) {
+    for (auto& row : part) rs.rows.push_back(std::move(row));
+  }
   return rs;
 }
 
 Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node) const {
   RowSet rs;
   rs.vars = {node.from.var};
-  std::vector<Oid> current;
-  for (size_t p = 0; p < node.probes.size(); p++) {
+  // Probes run in parallel (each is an independent index lookup); the
+  // intersection then folds them in probe order, preserving the first probe's
+  // oid order exactly as the serial loop does.
+  std::vector<std::vector<Oid>> selected(node.probes.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, node.probes.size(), [&](size_t p) {
     const IndexProbe& probe = node.probes[p];
     MOOD_ASSIGN_OR_RETURN(
         Collection sel,
         algebra_->IndSel(node.from.class_name, probe.index, probe.cmp, probe.constant));
+    selected[p] = sel.oids();
+    return Status::OK();
+  }));
+  std::vector<Oid> current;
+  for (size_t p = 0; p < selected.size(); p++) {
     if (p == 0) {
-      current = sel.oids();
+      current = std::move(selected[p]);
     } else {
       std::unordered_set<uint64_t> keep;
-      for (Oid o : sel.oids()) keep.insert(o.Pack());
+      for (Oid o : selected[p]) keep.insert(o.Pack());
       std::vector<Oid> next;
       for (Oid o : current) {
         if (keep.count(o.Pack())) next.push_back(o);
@@ -113,14 +152,25 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node) const {
   MOOD_ASSIGN_OR_RETURN(RowSet child, ExecutePlan(node.child));
   RowSet rs;
   rs.vars = child.vars;
-  for (auto& row : child.rows) {
-    Evaluator::Env env = EnvOf(child, row);
-    bool keep = true;
-    for (const auto& pred : node.predicates) {
-      MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
-      if (!keep) break;  // short-circuit: predicates are selectivity-ordered
+  // Each morsel of child rows evaluates the predicate chain independently; the
+  // kept rows merge back in morsel order, matching the serial scan.
+  std::vector<Morsel> morsels = MakeMorsels(child.rows.size());
+  std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+    for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
+      auto& row = child.rows[i];
+      Evaluator::Env env = EnvOf(child, row);
+      bool keep = true;
+      for (const auto& pred : node.predicates) {
+        MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
+        if (!keep) break;  // short-circuit: predicates are selectivity-ordered
+      }
+      if (keep) partial[m].push_back(std::move(row));
     }
-    if (keep) rs.rows.push_back(std::move(row));
+    return Status::OK();
+  }));
+  for (auto& part : partial) {
+    for (auto& row : part) rs.rows.push_back(std::move(row));
   }
   return rs;
 }
@@ -179,16 +229,31 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node) const {
 
   // Forward / backward / hash-partition: in memory they all chase the stored
   // references and probe the inner side; the strategies differ in the disk
-  // access pattern the cost model prices (Section 6).
-  for (const auto& lrow : left.rows) {
-    Oid from = lrow[static_cast<size_t>(ref_idx)];
-    MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, [&](Oid reached) {
-      auto it = right_by_oid.find(reached.Pack());
-      if (it != right_by_oid.end()) {
-        for (size_t r : it->second) emit(lrow, r);
-      }
-      return Status::OK();
-    }));
+  // access pattern the cost model prices (Section 6). The chase side (the probe)
+  // fans out across workers in left-row morsels; right_by_oid is read-only here.
+  std::vector<Morsel> morsels = MakeMorsels(left.rows.size());
+  std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+    for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
+      const auto& lrow = left.rows[i];
+      Oid from = lrow[static_cast<size_t>(ref_idx)];
+      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, [&](Oid reached) {
+        auto it = right_by_oid.find(reached.Pack());
+        if (it != right_by_oid.end()) {
+          for (size_t r : it->second) {
+            std::vector<Oid> combined = lrow;
+            combined.insert(combined.end(), right.rows[r].begin(),
+                            right.rows[r].end());
+            partial[m].push_back(std::move(combined));
+          }
+        }
+        return Status::OK();
+      }));
+    }
+    return Status::OK();
+  }));
+  for (auto& part : partial) {
+    for (auto& row : part) rs.rows.push_back(std::move(row));
   }
   return rs;
 }
@@ -199,17 +264,29 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node) const {
   RowSet rs;
   rs.vars = left.vars;
   rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
-  for (const auto& lrow : left.rows) {
-    for (const auto& rrow : right.rows) {
-      std::vector<Oid> combined = lrow;
-      combined.insert(combined.end(), rrow.begin(), rrow.end());
-      if (node.join_pred != nullptr) {
-        Evaluator::Env env = EnvOf(rs, combined);
-        MOOD_ASSIGN_OR_RETURN(bool match, evaluator_->EvalPredicate(node.join_pred, env));
-        if (!match) continue;
+  // The outer (left) side partitions into morsels; every worker loops the full
+  // inner side, so merged morsels reproduce the serial (lrow, rrow) order.
+  std::vector<Morsel> morsels = MakeMorsels(left.rows.size());
+  std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+    for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
+      const auto& lrow = left.rows[i];
+      for (const auto& rrow : right.rows) {
+        std::vector<Oid> combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        if (node.join_pred != nullptr) {
+          Evaluator::Env env = EnvOf(rs, combined);
+          MOOD_ASSIGN_OR_RETURN(bool match,
+                                evaluator_->EvalPredicate(node.join_pred, env));
+          if (!match) continue;
+        }
+        partial[m].push_back(std::move(combined));
       }
-      rs.rows.push_back(std::move(combined));
     }
+    return Status::OK();
+  }));
+  for (auto& part : partial) {
+    for (auto& row : part) rs.rows.push_back(std::move(row));
   }
   return rs;
 }

@@ -35,10 +35,25 @@ struct QueryResult {
 /// Executes physical plans produced by the optimizer, then applies the clause
 /// pipeline of Figure 7.1: FROM -> WHERE -> GROUP BY -> HAVING -> SELECT
 /// (projection) -> ORDER BY.
+///
+/// With threads() > 1 the operators use morsel-driven intra-query parallelism:
+/// extent scans partition into extent pages, filters and join probe sides into
+/// fixed-size row morsels, and index selections into per-probe tasks. Partial
+/// results are merged in morsel order, so the produced RowSet is byte-identical
+/// to serial execution (the determinism property parallel_exec_test asserts).
+/// Only read paths run concurrently; the kernel structures underneath
+/// (BufferPool, HeapFile/BpTree reads, FunctionManager invocation) are
+/// concurrent-read safe, while Catalog/ObjectManager schema state must not be
+/// mutated during a query (see DESIGN.md "Parallel query execution").
 class Executor {
  public:
   Executor(ObjectManager* objects, Evaluator* evaluator, MoodAlgebra* algebra)
       : objects_(objects), evaluator_(evaluator), algebra_(algebra) {}
+
+  /// Worker threads for query execution; 1 (the default) reproduces the serial
+  /// executor exactly, including its error behavior.
+  void set_threads(size_t threads) { threads_ = threads == 0 ? 1 : threads; }
+  size_t threads() const { return threads_; }
 
   Result<RowSet> ExecutePlan(const PlanPtr& plan) const;
 
@@ -66,6 +81,7 @@ class Executor {
   ObjectManager* objects_;
   Evaluator* evaluator_;
   MoodAlgebra* algebra_;
+  size_t threads_ = 1;
 };
 
 }  // namespace mood

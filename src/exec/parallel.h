@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mood {
+
+/// Worker-thread count used when the caller asks for "as many as the hardware
+/// allows" (std::thread::hardware_concurrency, never less than 1).
+size_t DefaultExecThreads();
+
+/// Half-open row range [begin, end): one unit of parallel work.
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Rows per morsel. Small enough that skewed predicates still load-balance,
+/// large enough that the per-morsel dispatch cost is noise.
+inline constexpr size_t kMorselRows = 256;
+
+/// Partitions [0, n) into fixed-size morsels; the last one may be short.
+std::vector<Morsel> MakeMorsels(size_t n, size_t morsel_size = kMorselRows);
+
+/// Runs `task(i)` for every i in [0, num_tasks) on up to `threads` workers.
+/// Workers pull indexes from a shared cursor (morsel-driven scheduling: work
+/// distribution adapts to per-morsel cost skew instead of pre-partitioning).
+///
+/// Error semantics are deterministic: if any tasks fail, the returned status is
+/// the failure with the *smallest* task index — exactly the error an in-order
+/// serial run would surface first. Tasks with indexes above an already-recorded
+/// failure may be skipped (their results would be discarded anyway).
+///
+/// With threads <= 1 or num_tasks <= 1 the tasks run inline on the calling
+/// thread, in order, stopping at the first failure.
+Status ParallelFor(size_t threads, size_t num_tasks,
+                   const std::function<Status(size_t)>& task);
+
+}  // namespace mood

@@ -49,7 +49,10 @@ Status FunctionManager::Update(const std::string& class_name, const std::string&
     return Status::NotFound("no compiled body for " + sig);
   }
   it->second = std::move(body);
-  loaded_.erase(sig);  // force a reload: the shared object was rewritten
+  {
+    std::lock_guard<std::mutex> lock(loaded_mu_);
+    loaded_.erase(sig);  // force a reload: the shared object was rewritten
+  }
   return Status::OK();
 }
 
@@ -63,7 +66,10 @@ Status FunctionManager::Remove(const std::string& class_name,
   }
   std::string sig = decl->Signature(class_name);
   registry_.erase(sig);
-  loaded_.erase(sig);
+  {
+    std::lock_guard<std::mutex> lock(loaded_mu_);
+    loaded_.erase(sig);
+  }
   return catalog_->DropFunction(class_name, fname);
 }
 
@@ -74,14 +80,14 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
   // Late binding: resolve the method bottom-up from the receiver's class.
   auto resolved = catalog_->ResolveFunction(class_name, fname);
   if (!resolved.ok()) {
-    stats_.errors++;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::FunctionError(resolved.status().message());
   }
   const auto& [defining_class, decl] = resolved.value();
 
   // Run-time parameter type checking.
   if (args.size() != decl->params.size()) {
-    stats_.errors++;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::FunctionError(
         "method '" + fname + "' expects " + std::to_string(decl->params.size()) +
         " argument(s), got " + std::to_string(args.size()));
@@ -89,7 +95,7 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
   for (size_t i = 0; i < args.size(); i++) {
     Status st = decl->params[i].type->CheckValue(args[i]);
     if (!st.ok()) {
-      stats_.errors++;
+      errors_.fetch_add(1, std::memory_order_relaxed);
       return Status::FunctionError("argument '" + decl->params[i].name +
                                    "': " + st.message());
     }
@@ -98,18 +104,21 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
   // Build the signature and locate the compiled body in the CATALOG/registry.
   std::string sig = decl->Signature(defining_class);
   const NativeFunction* fn = nullptr;
-  auto loaded_it = loaded_.find(sig);
-  if (loaded_it != loaded_.end()) {
-    stats_.warm_calls++;
-    fn = loaded_it->second;
-  } else {
-    auto reg_it = registry_.find(sig);
-    if (reg_it != registry_.end()) {
-      // "Shared Object File of the Class is opened and the function is loaded
-      // into memory."
-      stats_.cold_loads++;
-      loaded_[sig] = &reg_it->second;
-      fn = &reg_it->second;
+  {
+    std::lock_guard<std::mutex> lock(loaded_mu_);
+    auto loaded_it = loaded_.find(sig);
+    if (loaded_it != loaded_.end()) {
+      warm_calls_.fetch_add(1, std::memory_order_relaxed);
+      fn = loaded_it->second;
+    } else {
+      auto reg_it = registry_.find(sig);
+      if (reg_it != registry_.end()) {
+        // "Shared Object File of the Class is opened and the function is loaded
+        // into memory."
+        cold_loads_.fetch_add(1, std::memory_order_relaxed);
+        loaded_[sig] = &reg_it->second;
+        fn = &reg_it->second;
+      }
     }
   }
 
@@ -117,10 +126,10 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
   if (fn != nullptr) {
     result = (*fn)(ctx, args);
   } else if (fallback_) {
-    stats_.fallback_calls++;
+    fallback_calls_.fetch_add(1, std::memory_order_relaxed);
     result = fallback_(defining_class, *decl, ctx, args);
   } else {
-    stats_.errors++;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::FunctionError("no compiled body for " + sig +
                                  " and no interpreter fallback installed");
   }
@@ -128,17 +137,20 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
   if (!result.ok()) {
     // The Exception class: system errors of compiled functions are surfaced as
     // interpreter-style errors.
-    stats_.errors++;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::FunctionError(sig + ": " + result.status().message());
   }
   Status st = decl->return_type->CheckValue(result.value());
   if (!st.ok()) {
-    stats_.errors++;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::FunctionError(sig + " returned ill-typed value: " + st.message());
   }
   return result;
 }
 
-void FunctionManager::UnloadAll() { loaded_.clear(); }
+void FunctionManager::UnloadAll() {
+  std::lock_guard<std::mutex> lock(loaded_mu_);
+  loaded_.clear();
+}
 
 }  // namespace mood

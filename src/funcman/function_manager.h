@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -78,14 +79,28 @@ class FunctionManager {
       const std::vector<MoodValue>& args)>;
   void SetInterpretedFallback(InterpretedFallback fb) { fallback_ = std::move(fb); }
 
+  /// Snapshot of the invocation counters. Counters are atomics internally, so
+  /// parallel query workers invoking methods keep them coherent.
   struct InvokeStats {
     uint64_t cold_loads = 0;   ///< signature resolved + body loaded
     uint64_t warm_calls = 0;   ///< body already in memory
     uint64_t fallback_calls = 0;
     uint64_t errors = 0;
   };
-  const InvokeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = InvokeStats{}; }
+  InvokeStats stats() const {
+    InvokeStats s;
+    s.cold_loads = cold_loads_.load(std::memory_order_relaxed);
+    s.warm_calls = warm_calls_.load(std::memory_order_relaxed);
+    s.fallback_calls = fallback_calls_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    cold_loads_.store(0, std::memory_order_relaxed);
+    warm_calls_.store(0, std::memory_order_relaxed);
+    fallback_calls_.store(0, std::memory_order_relaxed);
+    errors_.store(0, std::memory_order_relaxed);
+  }
 
   size_t registered_count() const { return registry_.size(); }
   size_t loaded_count() const { return loaded_.size(); }
@@ -95,13 +110,21 @@ class FunctionManager {
 
   Catalog* catalog_;
   /// signature -> compiled body (the per-class shared-object file contents).
+  /// Mutated only by Register/Update/Remove (DDL, externally synchronized);
+  /// Invoke reads it under loaded_mu_ so lookups and lazy loads are safe from
+  /// parallel query workers.
   std::map<std::string, NativeFunction> registry_;
-  /// signature -> body currently "loaded into memory".
+  /// signature -> body currently "loaded into memory". Guarded by loaded_mu_:
+  /// concurrent Invoke calls race to load the same body.
   std::map<std::string, const NativeFunction*> loaded_;
+  std::mutex loaded_mu_;
   std::map<std::string, std::mutex> class_latches_;
   std::mutex latch_map_mu_;
   InterpretedFallback fallback_;
-  InvokeStats stats_;
+  std::atomic<uint64_t> cold_loads_{0};
+  std::atomic<uint64_t> warm_calls_{0};
+  std::atomic<uint64_t> fallback_calls_{0};
+  std::atomic<uint64_t> errors_{0};
 };
 
 }  // namespace mood

@@ -29,6 +29,11 @@ struct BPlusTreeStats {
 ///
 /// Deletion is lazy (no rebalancing); the tree stays correct, matching the
 /// prototype-era behaviour the cost model assumes.
+///
+/// Thread safety: the const read path (SearchEqual/SearchRange/Scan/stats) is
+/// concurrent-read safe — every page access goes through the BufferPool, which
+/// serializes frame management internally. Insert/Remove are externally
+/// synchronized (DDL and DML never overlap queries; see DESIGN.md §6).
 class BPlusTree {
  public:
   /// Creates a fresh tree; its meta page id is the handle to reopen it later.

@@ -140,10 +140,9 @@ Result<MoodValue> ObjectManager::GetAttribute(Oid oid, const std::string& attr) 
   return *f;
 }
 
-Status ObjectManager::ScanExtent(
+Result<std::vector<std::string>> ObjectManager::ScanClasses(
     const std::string& class_name, bool include_subclasses,
-    const std::vector<std::string>& exclude,
-    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+    const std::vector<std::string>& exclude) const {
   std::vector<std::string> classes;
   if (include_subclasses) {
     MOOD_ASSIGN_OR_RETURN(classes, catalog_->SubtreeClasses(class_name));
@@ -156,8 +155,43 @@ Status ObjectManager::ScanExtent(
     MOOD_ASSIGN_OR_RETURN(auto sub, catalog_->SubtreeClasses(ex));
     excluded.insert(sub.begin(), sub.end());
   }
-  for (const auto& cls : classes) {
+  std::vector<std::string> kept;
+  kept.reserve(classes.size());
+  for (auto& cls : classes) {
     if (excluded.count(cls)) continue;
+    kept.push_back(std::move(cls));
+  }
+  return kept;
+}
+
+Result<std::vector<PageId>> ObjectManager::ExtentPageIds(
+    const std::string& class_name) const {
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  return extent->PageIds();
+}
+
+Status ObjectManager::ScanExtentPage(
+    const std::string& class_name, PageId page,
+    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
+  return extent->ScanPage(page, [&](RecordId rid, const std::string& rec) -> Status {
+    MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
+    Oid oid;
+    oid.file = static_cast<uint16_t>(type->extent_file);
+    oid.page = rid.page;
+    oid.slot = rid.slot;
+    return fn(oid, decoded.second);
+  });
+}
+
+Status ObjectManager::ScanExtent(
+    const std::string& class_name, bool include_subclasses,
+    const std::vector<std::string>& exclude,
+    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+  MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
+                        ScanClasses(class_name, include_subclasses, exclude));
+  for (const auto& cls : classes) {
     MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(cls));
     MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
     auto it = extent->Begin();
@@ -457,6 +491,7 @@ Status ObjectManager::TraversePath(
 }
 
 Result<BPlusTree*> ObjectManager::OpenBTree(const IndexDesc& desc) {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
   auto it = btrees_.find(desc.name);
   if (it != btrees_.end()) return it->second.get();
   MOOD_ASSIGN_OR_RETURN(auto tree,
@@ -467,6 +502,7 @@ Result<BPlusTree*> ObjectManager::OpenBTree(const IndexDesc& desc) {
 }
 
 Result<HashIndex*> ObjectManager::OpenHash(const IndexDesc& desc) {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
   auto it = hashes_.find(desc.name);
   if (it != hashes_.end()) return it->second.get();
   MOOD_ASSIGN_OR_RETURN(auto hash,
@@ -477,6 +513,7 @@ Result<HashIndex*> ObjectManager::OpenHash(const IndexDesc& desc) {
 }
 
 Result<BinaryJoinIndex*> ObjectManager::OpenJoinIndex(const IndexDesc& desc) {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
   auto it = bjis_.find(desc.name);
   if (it != bjis_.end()) return it->second.get();
   MOOD_ASSIGN_OR_RETURN(auto bji, BinaryJoinIndex::Open(storage_->buffer_pool(),
@@ -487,6 +524,7 @@ Result<BinaryJoinIndex*> ObjectManager::OpenJoinIndex(const IndexDesc& desc) {
 }
 
 Result<PathIndex*> ObjectManager::OpenPathIndex(const IndexDesc& desc) {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
   auto it = path_indexes_.find(desc.name);
   if (it != path_indexes_.end()) return it->second.get();
   MOOD_ASSIGN_OR_RETURN(auto pidx,

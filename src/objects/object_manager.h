@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,23 @@ class ObjectManager {
   Status ScanExtent(const std::string& class_name, bool include_subclasses,
                     const std::vector<std::string>& exclude,
                     const std::function<Status(Oid, const MoodValue&)>& fn) const;
+
+  /// The classes whose own extents a ScanExtent over the same arguments visits,
+  /// in visit order (subtree expansion minus excluded subtrees).
+  Result<std::vector<std::string>> ScanClasses(
+      const std::string& class_name, bool include_subclasses,
+      const std::vector<std::string>& exclude) const;
+
+  /// Page ids of one class's own extent, in scan (chain) order. Together with
+  /// ScanExtentPage this partitions ScanExtent into page-granular morsels:
+  /// scanning the listed pages in order yields exactly ScanExtent's sequence.
+  Result<std::vector<PageId>> ExtentPageIds(const std::string& class_name) const;
+
+  /// Scans the records homed on one extent page (same decode and forwarding
+  /// semantics as ScanExtent). Concurrent-read safe for distinct or identical
+  /// pages while no writer mutates the extent.
+  Status ScanExtentPage(const std::string& class_name, PageId page,
+                        const std::function<Status(Oid, const MoodValue&)>& fn) const;
 
   /// |C| for one class (own extent only or with subclasses).
   Result<uint64_t> ExtentCount(const std::string& class_name,
@@ -119,6 +137,10 @@ class ObjectManager {
 
   StorageManager* storage_;
   Catalog* catalog_;
+  /// Guards the lazily-populated index-handle caches below: parallel workers
+  /// may race to open the same index (e.g. concurrent IndSel probes). The
+  /// handles themselves are concurrent-read safe once opened.
+  mutable std::mutex index_cache_mu_;
   mutable std::unordered_map<std::string, std::unique_ptr<BPlusTree>> btrees_;
   mutable std::unordered_map<std::string, std::unique_ptr<HashIndex>> hashes_;
   mutable std::unordered_map<std::string, std::unique_ptr<BinaryJoinIndex>> bjis_;

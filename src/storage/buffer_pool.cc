@@ -23,7 +23,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   if (victim.dirty()) {
     if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(victim));
     MOOD_RETURN_IF_ERROR(disk_->WritePage(victim.page_id(), victim.data()));
-    stats_.evictions++;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   page_table_.erase(victim.page_id());
   return idx;
@@ -33,7 +33,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
-    stats_.hits++;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     size_t idx = it->second;
     Page& page = frames_[idx];
     if (page.pin_count() == 0) {
@@ -47,7 +47,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     page.Pin();
     return &page;
   }
-  stats_.misses++;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page& page = frames_[idx];
   page.Reset(page_id);
@@ -100,6 +100,15 @@ Status BufferPool::FlushPage(PageId page_id) {
     page.set_dirty(false);
   }
   return Status::OK();
+}
+
+size_t BufferPool::PinnedPageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pinned = 0;
+  for (const auto& [page_id, idx] : page_table_) {
+    if (frames_[idx].pin_count() > 0) pinned++;
+  }
+  return pinned;
 }
 
 Status BufferPool::FlushAll() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -13,7 +14,9 @@
 
 namespace mood {
 
-/// Buffer-pool statistics (hits/misses/evictions) consumed by bench_file_ops.
+/// Buffer-pool statistics snapshot (hits/misses/evictions) consumed by
+/// bench_file_ops. Counters are maintained as atomics inside the pool so
+/// stats()/ResetStats() are coherent while other threads fetch pages.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -27,6 +30,12 @@ struct BufferPoolStats {
 /// Pages are pinned by Fetch/New and must be unpinned; pinned pages are never
 /// evicted. An optional flush hook implements the WAL rule: before a dirty page is
 /// written back, the hook is invoked so the log can be forced first.
+///
+/// Thread safety: every public entry point takes the pool mutex, so concurrent
+/// FetchPage/UnpinPage/FlushPage callers (the parallel executor's workers) are
+/// safe. Pin counts keep a resident page's frame stable, so holding a pinned
+/// Page* across the call boundary remains valid under concurrency. Statistics
+/// are atomics and may be read or cleared at any time without tearing.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t pool_size);
@@ -55,8 +64,25 @@ class BufferPool {
   }
 
   size_t pool_size() const { return frames_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Clear(); }
+
+  /// Coherent snapshot of the counters (safe under concurrent fetches).
+  BufferPoolStats stats() const {
+    BufferPoolStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of currently pinned pages (used by concurrency tests to assert no
+  /// lost pins).
+  size_t PinnedPageCount() const;
+
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -71,8 +97,10 @@ class BufferPool {
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   std::unordered_map<PageId, size_t> page_table_;
   std::function<Status(const Page&)> pre_flush_hook_;
-  BufferPoolStats stats_;
-  std::mutex mu_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::mutex mu_;
 };
 
 /// RAII pin guard: unpins on destruction.

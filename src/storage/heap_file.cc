@@ -203,6 +203,57 @@ Status HeapFile::Delete(RecordId rid, PageWriteLogger* wal) {
   return PersistInfo(wal);
 }
 
+Result<std::vector<PageId>> HeapFile::PageIds() const {
+  std::vector<PageId> pages;
+  pages.reserve(info_.page_count);
+  PageId page = info_.first_page;
+  while (page != kInvalidPageId) {
+    pages.push_back(page);
+    MOOD_ASSIGN_OR_RETURN(Page* p, pool_->FetchPage(page));
+    PageGuard guard(pool_, p);
+    SlottedPage sp(p);
+    page = sp.next_page();
+  }
+  return pages;
+}
+
+Status HeapFile::ScanPage(PageId page_id,
+                          const std::function<Status(RecordId, const std::string&)>& fn) const {
+  struct Item {
+    RecordId rid;
+    std::string record;
+    bool forwarded;
+  };
+  std::vector<Item> items;
+  {
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(page_id));
+    PageGuard guard(pool_, page);
+    SlottedPage sp(page);
+    for (SlotId s = 0; s < sp.slot_count(); s++) {
+      if (!sp.IsLive(s)) continue;
+      MOOD_ASSIGN_OR_RETURN(uint8_t flags, sp.GetFlags(s));
+      if (flags & kSlotMovedIn) continue;  // reached via its home slot
+      Item item;
+      item.rid = RecordId{page_id, s};
+      item.forwarded = (flags & kSlotForward) != 0;
+      if (!item.forwarded) {
+        MOOD_ASSIGN_OR_RETURN(Slice data, sp.Get(s));
+        item.record = data.ToString();
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  // Chase forwarding stubs and run the callback with no page pinned, so deep
+  // callbacks cannot exhaust a small pool.
+  for (auto& item : items) {
+    if (item.forwarded) {
+      MOOD_ASSIGN_OR_RETURN(item.record, Get(item.rid));
+    }
+    MOOD_RETURN_IF_ERROR(fn(item.rid, item.record));
+  }
+  return Status::OK();
+}
+
 HeapFile::Iterator::Iterator(const HeapFile* file, PageId page) : file_(file) {
   LoadFrom(page, 0);
 }

@@ -87,6 +87,19 @@ class HeapFile {
 
   Iterator Begin() const { return Iterator(this, info_.first_page); }
 
+  /// Page ids of the chain in scan order. A page-granular partitioning of the
+  /// file for the parallel executor: scanning the pages of this list in order
+  /// visits exactly the records Begin()/Next() would, in the same order.
+  Result<std::vector<PageId>> PageIds() const;
+
+  /// Invokes `fn` for every live record whose home slot is on `page`, in slot
+  /// order, with the same forwarding semantics as the Iterator (moved-in bodies
+  /// are skipped, forwarding stubs are chased). Records are copied out before
+  /// `fn` runs, so at most one page is pinned at a time and the callback may
+  /// itself fetch pages. Concurrent-read safe: many threads may ScanPage/Get
+  /// disjoint or identical pages while no writer mutates the file.
+  Status ScanPage(PageId page, const std::function<Status(RecordId, const std::string&)>& fn) const;
+
   const FileInfo& info() const { return info_; }
   FileId id() const { return info_.id; }
   uint32_t page_count() const { return info_.page_count; }

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
 #include "storage/buffer_pool.h"
@@ -130,6 +132,47 @@ TEST(BufferPoolTest, UnpinUnknownPageFails) {
   MOOD_ASSERT_OK(disk.Open(dir.Path("db")));
   BufferPool pool(&disk, 2);
   EXPECT_FALSE(pool.UnpinPage(99, false).ok());
+}
+
+TEST(BufferPoolTest, StatsResetRacesWithFetchesCoherently) {
+  // stats()/ResetStats() are atomic-counter based: a reset racing a fetch loop
+  // must neither tear a snapshot nor lose fetches counted after the reset.
+  TempDir dir;
+  DiskManager disk;
+  MOOD_ASSERT_OK(disk.Open(dir.Path("db")));
+  BufferPool pool(&disk, 2);
+  MOOD_ASSERT_OK_AND_ASSIGN(Page* p, pool.NewPage());
+  PageId id = p->page_id();
+  MOOD_ASSERT_OK(pool.UnpinPage(id, true));
+
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load()) {
+      BufferPoolStats s = pool.stats();
+      // hits/misses are unsigned; a torn read would show absurd values.
+      EXPECT_LT(s.hits, 1u << 30);
+      EXPECT_LE(s.evictions, s.misses + 2);
+      pool.ResetStats();
+    }
+  });
+  constexpr size_t kFetches = 5000;
+  for (size_t i = 0; i < kFetches; i++) {
+    MOOD_ASSERT_OK(pool.FetchPage(id).status());
+    MOOD_ASSERT_OK(pool.UnpinPage(id, false));
+  }
+  stop = true;
+  resetter.join();
+
+  // After the dust settles the counters behave exactly as single-threaded.
+  pool.ResetStats();
+  for (int i = 0; i < 10; i++) {
+    MOOD_ASSERT_OK(pool.FetchPage(id).status());
+    MOOD_ASSERT_OK(pool.UnpinPage(id, false));
+  }
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.hits, 10u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(pool.PinnedPageCount(), 0u);
 }
 
 class SlottedPageTest : public ::testing::Test {
