@@ -1,0 +1,170 @@
+// Buffer-pool sharding bench: threads x shards sweep over a working set 4x the
+// pool size, measuring fetch throughput and checking that the sharded pool's
+// accounting stays coherent under contention.
+//
+// The throughput table (and the 8-thread 8-shard vs 1-shard speedup) is
+// informative, not pass/fail — it depends on how many cores the host grants
+// (mirrors bench_query_e2e's parallel table). The hard checks are the
+// correctness invariants: every fetched byte matches the written pattern,
+// hits + misses == fetches, per-shard counters sum to the aggregate, and no
+// pin is leaked.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace mood::bench {
+namespace {
+
+constexpr size_t kNumPages = 1024;     // working set
+constexpr size_t kPoolFrames = 256;    // pool = 1/4 of working set -> constant eviction
+constexpr size_t kFetchesPerThread = 20000;
+
+struct RunResult {
+  double secs = 0;
+  uint64_t fetches = 0;
+  uint64_t errors = 0;
+  uint64_t bad_bytes = 0;
+  BufferPoolStats stats;
+  uint64_t shard_sum_hits = 0;
+  uint64_t shard_sum_misses = 0;
+  size_t pinned_after = 0;
+  size_t shard_count = 0;
+};
+
+RunResult RunSweep(DiskManager* disk, const std::vector<PageId>& pages,
+                   size_t shards, size_t threads) {
+  BufferPool pool(disk, kPoolFrames, shards);
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> bad_bytes{0};
+
+  auto worker = [&](size_t tid) {
+    std::mt19937_64 rng(0x5eed + tid * 7919);
+    std::uniform_int_distribution<size_t> pick(0, pages.size() - 1);
+    for (size_t i = 0; i < kFetchesPerThread; i++) {
+      PageId id = pages[pick(rng)];
+      auto page = pool.FetchPage(id);
+      if (!page.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (static_cast<uint8_t>(page.value()->data()[0]) !=
+          static_cast<uint8_t>(id & 0xFF)) {
+        bad_bytes.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!pool.UnpinPage(id, false).ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool_threads;
+  for (size_t t = 1; t < threads; t++) pool_threads.emplace_back(worker, t);
+  worker(0);
+  for (auto& th : pool_threads) th.join();
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.secs = std::chrono::duration<double>(end - start).count();
+  r.fetches = static_cast<uint64_t>(threads) * kFetchesPerThread;
+  r.errors = errors.load();
+  r.bad_bytes = bad_bytes.load();
+  r.stats = pool.stats();
+  r.shard_count = pool.shard_count();
+  for (size_t s = 0; s < pool.shard_count(); s++) {
+    BufferPoolStats ss = pool.ShardStats(s);
+    r.shard_sum_hits += ss.hits;
+    r.shard_sum_misses += ss.misses;
+  }
+  r.pinned_after = pool.PinnedPageCount();
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  const bool json = WantJson(argc, argv);
+  BenchDb db("buffer_pool");
+  DiskManager disk;
+  Check(disk.Open(db.Path("pool.mood")), "open disk");
+
+  // Working set: kNumPages pages whose first byte encodes the page id.
+  std::vector<PageId> pages;
+  pages.reserve(kNumPages);
+  std::vector<char> buf(kPageSize, 0);
+  for (size_t i = 0; i < kNumPages; i++) {
+    PageId id = CheckV(disk.AllocatePage(), "allocate page");
+    buf[0] = static_cast<char>(id & 0xFF);
+    Check(disk.WritePage(id, buf.data()), "write pattern page");
+    pages.push_back(id);
+  }
+
+  Banner("Sharded buffer pool: random fetch throughput");
+  std::printf("pool %zu frames, working set %zu pages (%.0fx pool), %zu fetches/thread\n",
+              kPoolFrames, kNumPages,
+              static_cast<double>(kNumPages) / kPoolFrames, kFetchesPerThread);
+
+  const std::vector<size_t> shard_counts = {1, 4, 8};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  Checks checks;
+  JsonReport report("bench_buffer_pool");
+  Table table({"threads", "shards", "fetches/s", "hit rate", "evictions"});
+  // [threads][shards] -> throughput, for the ratio lines below.
+  std::map<std::pair<size_t, size_t>, double> tput;
+
+  for (size_t threads : thread_counts) {
+    for (size_t shards : shard_counts) {
+      RunResult r = RunSweep(&disk, pages, shards, threads);
+      double per_sec = static_cast<double>(r.fetches) / r.secs;
+      tput[{threads, shards}] = per_sec;
+      std::string label = std::to_string(threads) + "t/" + std::to_string(shards) + "s";
+
+      table.AddRow({std::to_string(threads), std::to_string(r.shard_count),
+                    FmtSci(per_sec),
+                    Fmt(static_cast<double>(r.stats.hits) / r.fetches, 3),
+                    std::to_string(r.stats.evictions)});
+      report.Metric("fetches_per_sec", label, per_sec);
+
+      checks.Expect(r.shard_count == shards,
+                    label + ": pool honors explicit shard count");
+      checks.Expect(r.errors == 0, label + ": zero fetch/unpin errors");
+      checks.Expect(r.bad_bytes == 0, label + ": every fetched page matches its pattern");
+      checks.Expect(r.stats.hits + r.stats.misses == r.fetches,
+                    label + ": hits + misses == fetches");
+      checks.Expect(r.shard_sum_hits == r.stats.hits &&
+                        r.shard_sum_misses == r.stats.misses,
+                    label + ": per-shard counters sum to aggregate");
+      checks.Expect(r.stats.evictions <= r.stats.misses,
+                    label + ": evictions bounded by misses");
+      checks.Expect(r.pinned_after == 0, label + ": no leaked pins");
+    }
+  }
+  table.Print();
+
+  Banner("Sharding speedup (informative — depends on host cores)");
+  for (size_t threads : {static_cast<size_t>(4), static_cast<size_t>(8)}) {
+    double ratio = tput[{threads, 8}] / tput[{threads, 1}];
+    std::printf("  %zu threads: 8 shards vs 1 shard = %.2fx\n", threads, ratio);
+    report.Metric("speedup_8_shards_vs_1", std::to_string(threads) + "t", ratio);
+  }
+  std::printf("  (hardware_concurrency here: %u)\n",
+              std::thread::hardware_concurrency());
+
+  Check(disk.Close(), "close disk");
+  if (json) report.Emit(JsonPath(argc, argv));
+  return checks.ExitCode();
+}
+
+}  // namespace
+}  // namespace mood::bench
+
+int main(int argc, char** argv) { return mood::bench::Main(argc, argv); }

@@ -59,7 +59,9 @@ Result<size_t> NaiveCount(Database* db, const std::string& sql) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = WantJson(argc, argv);
+  JsonReport report_json("bench_query_e2e");
   BenchDb scratch("query_e2e");
   Database db;
   Check(db.Open(scratch.Path("mood")), "open");
@@ -77,14 +79,16 @@ int main() {
 
   struct Query {
     const char* label;
+    const char* key;  ///< short metric name for --json output
     std::string sql;
     bool run_naive;
   };
   std::vector<Query> queries = {
-      {"Example 8.1 (two path predicates)", paperdb::kExample81Query, true},
-      {"Example 8.2 (one path predicate)", paperdb::kExample82Query, true},
-      {"Section 3.1 (explicit join, cross product for naive)", paperdb::kSection31Query, true},
-      {"indexed immediate selection",
+      {"Example 8.1 (two path predicates)", "example81", paperdb::kExample81Query, true},
+      {"Example 8.2 (one path predicate)", "example82", paperdb::kExample82Query, true},
+      {"Section 3.1 (explicit join, cross product for naive)", "section31",
+       paperdb::kSection31Query, true},
+      {"indexed immediate selection", "indexed_select",
        "SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", true},
   };
 
@@ -95,12 +99,14 @@ int main() {
     auto start = std::chrono::steady_clock::now();
     auto qr = CheckV(db.Query(q.sql), q.label);
     double opt_ms = MillisSince(start);
+    report_json.Metric("optimized_ms", q.key, opt_ms);
 
     std::string naive_ms = "-", naive_rows = "-", speedup = "-";
     if (q.run_naive) {
       start = std::chrono::steady_clock::now();
       size_t n = CheckV(NaiveCount(&db, q.sql), "naive");
       double ms = MillisSince(start);
+      report_json.Metric("naive_ms", q.key, ms);
       naive_ms = Fmt(ms, 1);
       naive_rows = std::to_string(n);
       speedup = Fmt(ms / std::max(opt_ms, 0.001), 1) + "x";
@@ -131,7 +137,10 @@ int main() {
       db.executor()->set_threads(threads);
       auto start = std::chrono::steady_clock::now();
       auto qr = CheckV(db.Query(q.sql), q.label);
-      cells.push_back(Fmt(MillisSince(start), 2));
+      double par_ms = MillisSince(start);
+      report_json.Metric(std::string("parallel_ms_t") + std::to_string(threads),
+                         q.key, par_ms);
+      cells.push_back(Fmt(par_ms, 2));
       // Parity is the hard assertion; wall-clock scaling depends on the host's
       // core count (this table is informative, not pass/fail).
       checks.Expect(qr.ToString() == serial.ToString(),
@@ -148,5 +157,6 @@ int main() {
       "order, so every thread count returns byte-identical rows; speedup needs\n"
       "real cores and working sets past the hot-cache regime.\n",
       DefaultExecThreads());
+  if (json) report_json.Emit(JsonPath(argc, argv));
   return checks.ExitCode();
 }

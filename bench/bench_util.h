@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
@@ -85,6 +87,90 @@ inline std::string FmtSci(double v, int precision = 2) {
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// True when `--json` (or `--json=<path>`) was passed to the bench binary.
+inline bool WantJson(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0 ||
+        std::strncmp(argv[i], "--json=", 7) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Path from `--json=<path>` if given, else "" (meaning: print to stdout).
+inline std::string JsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+/// Machine-readable benchmark report (the --json mode): named metric groups in
+/// insertion order, serialized as one JSON object so CI can track the perf
+/// trajectory across PRs (see BENCH_baseline.json).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void Metric(const std::string& section, const std::string& name, double value) {
+    for (auto& [sec, metrics] : sections_) {
+      if (sec == section) {
+        metrics.emplace_back(name, value);
+        return;
+      }
+    }
+    sections_.push_back({section, {{name, value}}});
+  }
+
+  std::string ToString() const {
+    std::string out = "{\"bench\":\"" + Escape(bench_) + "\",\"metrics\":{";
+    for (size_t s = 0; s < sections_.size(); s++) {
+      if (s > 0) out += ",";
+      out += "\"" + Escape(sections_[s].first) + "\":{";
+      const auto& metrics = sections_[s].second;
+      for (size_t m = 0; m < metrics.size(); m++) {
+        if (m > 0) out += ",";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", metrics[m].second);
+        out += "\"" + Escape(metrics[m].first) + "\":" + buf;
+      }
+      out += "}";
+    }
+    out += "}}";
+    return out;
+  }
+
+  /// Writes to `path` ("" = stdout, as the final line of output).
+  void Emit(const std::string& path) const {
+    if (path.empty()) {
+      std::printf("%s\n", ToString().c_str());
+      return;
+    }
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", ToString().c_str());
+    std::fclose(f);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      sections_;
+};
 
 /// Records pass/fail of shape assertions; returns a process exit code.
 class Checks {

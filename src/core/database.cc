@@ -17,6 +17,8 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   storage_ = std::make_unique<StorageManager>();
   StorageOptions sopts;
   sopts.pool_pages = options.pool_pages;
+  sopts.pool_shards = options.pool_shards;
+  sopts.readahead_pages = options.readahead_pages;
   MOOD_RETURN_IF_ERROR(storage_->Open(path + ".mood", sopts));
 
   if (options.enable_wal) {
@@ -46,6 +48,7 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
       std::make_unique<Executor>(objects_.get(), evaluator_.get(), algebra_.get());
   executor_->set_threads(options.exec_threads == 0 ? DefaultExecThreads()
                                                    : options.exec_threads);
+  executor_->set_deref_cache_capacity(options.deref_cache_entries);
   schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
   object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
 

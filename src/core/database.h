@@ -21,6 +21,17 @@ namespace mood {
 
 struct DatabaseOptions {
   size_t pool_pages = 1024;
+  /// Buffer-pool shard count. 0 = auto (max(4, hardware threads), capped so
+  /// each shard keeps a useful number of frames); rounded down to a power of
+  /// two. Shards cut lock contention between parallel morsel workers.
+  size_t pool_shards = 0;
+  /// Sequential-scan readahead depth in pages (0 disables). Full scans detect
+  /// monotone page access and prefetch this many chain pages ahead.
+  size_t readahead_pages = 4;
+  /// Per-query Deref-cache capacity in objects (0 disables). Repeated path-
+  /// expression hops over the same objects within one query hit memory; any
+  /// write to a class invalidates its cached objects (see DerefCache).
+  size_t deref_cache_entries = 4096;
   /// Write-ahead logging + crash recovery (the ESM "backup and recovery"
   /// function). When off, no log file is kept and transactions are unavailable.
   bool enable_wal = true;

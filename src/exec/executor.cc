@@ -48,16 +48,19 @@ std::string QueryResult::ToString(size_t limit) const {
   return out;
 }
 
-Evaluator::Env Executor::EnvOf(const RowSet& rs, const std::vector<Oid>& row) const {
+Evaluator::Env Executor::EnvOf(const RowSet& rs, const std::vector<Oid>& row,
+                               DerefCache* cache) const {
   Evaluator::Env env;
+  env.deref = cache;
   for (size_t i = 0; i < rs.vars.size(); i++) env.vars[rs.vars[i]] = row[i];
   return env;
 }
 
 Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
+                           DerefCache* cache,
                            const std::function<Status(Oid)>& fn) const {
   if (path.empty()) return fn(from);
-  MOOD_ASSIGN_OR_RETURN(MoodValue v, objects_->GetAttribute(from, path[0]));
+  MOOD_ASSIGN_OR_RETURN(MoodValue v, objects_->GetAttribute(from, path[0], cache));
   std::vector<std::string> rest(path.begin() + 1, path.end());
   auto handle = [&](const MoodValue& r) -> Status {
     if (r.is_null()) return Status::OK();
@@ -65,7 +68,7 @@ Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
       return Status::TypeError("reference path step '" + path[0] +
                                "' reached a non-reference value");
     }
-    return ChaseRefs(r.AsReference(), rest, fn);
+    return ChaseRefs(r.AsReference(), rest, cache, fn);
   };
   if (v.IsCollection()) {
     for (const auto& e : v.elements()) MOOD_RETURN_IF_ERROR(handle(e));
@@ -74,7 +77,7 @@ Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
   return handle(v);
 }
 
-Result<RowSet> Executor::ExecBind(const PlanNode& node) const {
+Result<RowSet> Executor::ExecBind(const PlanNode& node, DerefCache*) const {
   RowSet rs;
   rs.vars = {node.from.var};
   if (threads_ <= 1) {
@@ -95,15 +98,21 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node) const {
   struct PageTask {
     const std::string* class_name;
     PageId page;
+    HeapFile::ScanCursor* cursor;
   };
   std::vector<PageTask> tasks;
+  // One readahead cursor per class: workers advancing through a class's chain
+  // share the scan front, so prefetches run ahead of the fastest worker.
+  std::vector<std::unique_ptr<HeapFile::ScanCursor>> cursors;
   for (const std::string& cls : classes) {
     MOOD_ASSIGN_OR_RETURN(std::vector<PageId> pages, objects_->ExtentPageIds(cls));
-    for (PageId p : pages) tasks.push_back({&cls, p});
+    cursors.push_back(std::make_unique<HeapFile::ScanCursor>());
+    for (PageId p : pages) tasks.push_back({&cls, p, cursors.back().get()});
   }
   std::vector<std::vector<std::vector<Oid>>> partial(tasks.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(threads_, tasks.size(), [&](size_t t) {
     return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
+                                    tasks[t].cursor,
                                     [&](Oid oid, const MoodValue&) {
                                       partial[t].push_back({oid});
                                       return Status::OK();
@@ -115,7 +124,7 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node) const {
+Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, DerefCache*) const {
   RowSet rs;
   rs.vars = {node.from.var};
   // Probes run in parallel (each is an independent index lookup); the
@@ -148,8 +157,8 @@ Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecFilter(const PlanNode& node) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet child, ExecutePlan(node.child));
+Result<RowSet> Executor::ExecFilter(const PlanNode& node, DerefCache* cache) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.child, cache));
   RowSet rs;
   rs.vars = child.vars;
   // Each morsel of child rows evaluates the predicate chain independently; the
@@ -159,7 +168,7 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node) const {
   MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       auto& row = child.rows[i];
-      Evaluator::Env env = EnvOf(child, row);
+      Evaluator::Env env = EnvOf(child, row, cache);
       bool keep = true;
       for (const auto& pred : node.predicates) {
         MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
@@ -175,9 +184,9 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.left));
-  MOOD_ASSIGN_OR_RETURN(RowSet right, ExecutePlan(node.right));
+Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, DerefCache* cache) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, cache));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, cache));
   int ref_idx = left.VarIndex(node.ref_var);
   int tgt_idx = right.VarIndex(node.target_var);
   if (ref_idx < 0 || tgt_idx < 0) {
@@ -237,7 +246,7 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node) const {
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       const auto& lrow = left.rows[i];
       Oid from = lrow[static_cast<size_t>(ref_idx)];
-      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, [&](Oid reached) {
+      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, cache, [&](Oid reached) {
         auto it = right_by_oid.find(reached.Pack());
         if (it != right_by_oid.end()) {
           for (size_t r : it->second) {
@@ -258,9 +267,9 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.left));
-  MOOD_ASSIGN_OR_RETURN(RowSet right, ExecutePlan(node.right));
+Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, DerefCache* cache) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, cache));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, cache));
   RowSet rs;
   rs.vars = left.vars;
   rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
@@ -275,7 +284,7 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node) const {
         std::vector<Oid> combined = lrow;
         combined.insert(combined.end(), rrow.begin(), rrow.end());
         if (node.join_pred != nullptr) {
-          Evaluator::Env env = EnvOf(rs, combined);
+          Evaluator::Env env = EnvOf(rs, combined, cache);
           MOOD_ASSIGN_OR_RETURN(bool match,
                                 evaluator_->EvalPredicate(node.join_pred, env));
           if (!match) continue;
@@ -291,9 +300,9 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecUnion(const PlanNode& node) const {
+Result<RowSet> Executor::ExecUnion(const PlanNode& node, DerefCache* cache) const {
   if (node.children.empty()) return RowSet{};
-  MOOD_ASSIGN_OR_RETURN(RowSet first, ExecutePlan(node.children[0]));
+  MOOD_ASSIGN_OR_RETURN(RowSet first, Exec(node.children[0], cache));
   // Align every child on the first child's variable order and deduplicate
   // (DNF AND-terms overlap, so the UNION needs set semantics).
   std::set<std::vector<uint64_t>> seen;
@@ -320,32 +329,43 @@ Result<RowSet> Executor::ExecUnion(const PlanNode& node) const {
   };
   MOOD_RETURN_IF_ERROR(add(first));
   for (size_t c = 1; c < node.children.size(); c++) {
-    MOOD_ASSIGN_OR_RETURN(RowSet child, ExecutePlan(node.children[c]));
+    MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.children[c], cache));
     MOOD_RETURN_IF_ERROR(add(child));
   }
   return rs;
 }
 
-Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan) const {
+Result<RowSet> Executor::Exec(const PlanPtr& plan, DerefCache* cache) const {
   switch (plan->op) {
-    case PlanOp::kBindClass: return ExecBind(*plan);
-    case PlanOp::kIndexSelect: return ExecIndexSelect(*plan);
-    case PlanOp::kFilter: return ExecFilter(*plan);
-    case PlanOp::kPointerJoin: return ExecPointerJoin(*plan);
-    case PlanOp::kNestedLoopJoin: return ExecNestedLoop(*plan);
-    case PlanOp::kUnion: return ExecUnion(*plan);
+    case PlanOp::kBindClass: return ExecBind(*plan, cache);
+    case PlanOp::kIndexSelect: return ExecIndexSelect(*plan, cache);
+    case PlanOp::kFilter: return ExecFilter(*plan, cache);
+    case PlanOp::kPointerJoin: return ExecPointerJoin(*plan, cache);
+    case PlanOp::kNestedLoopJoin: return ExecNestedLoop(*plan, cache);
+    case PlanOp::kUnion: return ExecUnion(*plan, cache);
   }
   return Status::Internal("unknown plan operator");
 }
 
+Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan) const {
+  DerefCache cache(deref_cache_capacity_);
+  return Exec(plan, deref_cache_capacity_ > 0 ? &cache : nullptr);
+}
+
 Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) const {
+  DerefCache cache(deref_cache_capacity_);
+  return Finish(stmt, std::move(rows), deref_cache_capacity_ > 0 ? &cache : nullptr);
+}
+
+Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
+                                     DerefCache* cache) const {
   // GROUP BY: keep one representative row per group key (MOODSQL has no
   // aggregate functions; grouping exposes one row per partition, matching the
   // algebra's Partition operator).
   if (!stmt.group_by.empty()) {
     std::map<std::string, std::vector<Oid>> groups;
     for (const auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row);
+      Evaluator::Env env = EnvOf(rows, row, cache);
       std::string key;
       for (const auto& g : stmt.group_by) {
         MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(g, env));
@@ -361,7 +381,7 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
       RowSet kept;
       kept.vars = rows.vars;
       for (auto& row : rows.rows) {
-        Evaluator::Env env = EnvOf(rows, row);
+        Evaluator::Env env = EnvOf(rows, row, cache);
         MOOD_ASSIGN_OR_RETURN(bool keep, evaluator_->EvalPredicate(stmt.having, env));
         if (keep) kept.rows.push_back(std::move(row));
       }
@@ -378,7 +398,7 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
     std::vector<Keyed> keyed;
     keyed.reserve(rows.rows.size());
     for (auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row);
+      Evaluator::Env env = EnvOf(rows, row, cache);
       Keyed k;
       for (const auto& o : stmt.order_by) {
         MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(o.expr, env));
@@ -410,7 +430,7 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
   QueryResult result;
   for (const auto& p : stmt.projection) result.columns.push_back(p->ToString());
   for (const auto& row : rows.rows) {
-    Evaluator::Env env = EnvOf(rows, row);
+    Evaluator::Env env = EnvOf(rows, row, cache);
     std::vector<MoodValue> out;
     out.reserve(stmt.projection.size());
     for (const auto& p : stmt.projection) {
@@ -441,8 +461,12 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
 
 Result<QueryResult> Executor::ExecuteSelect(
     const QueryOptimizer::Optimized& optimized) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(optimized.plan));
-  return FinishSelect(optimized.bound.stmt, std::move(rows));
+  // One Deref cache per query: objects dereferenced while executing the plan
+  // stay warm for the projection/ORDER BY passes in Finish.
+  DerefCache cache(deref_cache_capacity_);
+  DerefCache* c = deref_cache_capacity_ > 0 ? &cache : nullptr;
+  MOOD_ASSIGN_OR_RETURN(RowSet rows, Exec(optimized.plan, c));
+  return Finish(optimized.bound.stmt, std::move(rows), c);
 }
 
 }  // namespace mood

@@ -55,6 +55,12 @@ class Executor {
   void set_threads(size_t threads) { threads_ = threads == 0 ? 1 : threads; }
   size_t threads() const { return threads_; }
 
+  /// Capacity of the per-query Deref cache (entries); 0 disables it. One cache
+  /// instance lives for the duration of each ExecutePlan/ExecuteSelect call and
+  /// is shared by all of that query's morsel workers.
+  void set_deref_cache_capacity(size_t entries) { deref_cache_capacity_ = entries; }
+  size_t deref_cache_capacity() const { return deref_cache_capacity_; }
+
   Result<RowSet> ExecutePlan(const PlanPtr& plan) const;
 
   Result<QueryResult> ExecuteSelect(const QueryOptimizer::Optimized& optimized) const;
@@ -64,24 +70,29 @@ class Executor {
   Result<QueryResult> FinishSelect(const SelectStmt& stmt, RowSet rows) const;
 
  private:
-  Result<RowSet> ExecBind(const PlanNode& node) const;
-  Result<RowSet> ExecIndexSelect(const PlanNode& node) const;
-  Result<RowSet> ExecFilter(const PlanNode& node) const;
-  Result<RowSet> ExecPointerJoin(const PlanNode& node) const;
-  Result<RowSet> ExecNestedLoop(const PlanNode& node) const;
-  Result<RowSet> ExecUnion(const PlanNode& node) const;
+  Result<RowSet> Exec(const PlanPtr& plan, DerefCache* cache) const;
+  Result<RowSet> ExecBind(const PlanNode& node, DerefCache* cache) const;
+  Result<RowSet> ExecIndexSelect(const PlanNode& node, DerefCache* cache) const;
+  Result<RowSet> ExecFilter(const PlanNode& node, DerefCache* cache) const;
+  Result<RowSet> ExecPointerJoin(const PlanNode& node, DerefCache* cache) const;
+  Result<RowSet> ExecNestedLoop(const PlanNode& node, DerefCache* cache) const;
+  Result<RowSet> ExecUnion(const PlanNode& node, DerefCache* cache) const;
 
-  Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row) const;
+  Result<QueryResult> Finish(const SelectStmt& stmt, RowSet rows, DerefCache* cache) const;
+
+  Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row,
+                       DerefCache* cache) const;
 
   /// Chases a reference path from an object, invoking `fn` for every reached
   /// object identifier (fan-out through set/list-valued reference attributes).
-  Status ChaseRefs(Oid from, const std::vector<std::string>& path,
+  Status ChaseRefs(Oid from, const std::vector<std::string>& path, DerefCache* cache,
                    const std::function<Status(Oid)>& fn) const;
 
   ObjectManager* objects_;
   Evaluator* evaluator_;
   MoodAlgebra* algebra_;
   size_t threads_ = 1;
+  size_t deref_cache_capacity_ = 4096;
 };
 
 }  // namespace mood

@@ -21,6 +21,41 @@ Result<std::pair<TypeId, MoodValue>> DecodeObjectRecord(Slice record) {
   return std::make_pair(id, std::move(v));
 }
 
+bool DerefCache::Lookup(Oid oid, uint64_t epoch, Snapshot* out) {
+  if (capacity_ == 0) return false;
+  uint64_t key = oid.Pack();
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second.epoch != epoch) {
+    stripe.map.erase(it);  // stale: a write landed since this was cached
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = it->second.snap;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DerefCache::Insert(Oid oid, uint64_t epoch, const Snapshot& snap) {
+  if (capacity_ == 0) return;
+  uint64_t key = oid.Pack();
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  size_t per_stripe = capacity_ / kStripes;
+  if (per_stripe == 0) per_stripe = 1;
+  if (stripe.map.size() >= per_stripe && stripe.map.find(key) == stripe.map.end()) {
+    // Arbitrary-entry eviction: per-query lifetime makes recency tracking not
+    // worth its bookkeeping.
+    stripe.map.erase(stripe.map.begin());
+  }
+  stripe.map[key] = Entry{epoch, snap};
+}
+
 Result<HeapFile*> ObjectManager::ExtentOf(const std::string& class_name) const {
   MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
   if (!type->is_class) {
@@ -67,15 +102,38 @@ Result<Oid> ObjectManager::CreateObject(const std::string& class_name, MoodValue
   oid.page = rid.page;
   oid.slot = rid.slot;
   MOOD_RETURN_IF_ERROR(MaintainIndexes(class_name, oid, nullptr, &tuple));
+  BumpWriteEpoch(oid.file);
   return oid;
 }
 
-Result<MoodValue> ObjectManager::Fetch(Oid oid) const {
+Result<DerefCache::Snapshot> ObjectManager::FetchSnapshot(Oid oid,
+                                                          DerefCache* cache) const {
   if (!oid.valid()) return Status::InvalidArgument("null object identifier");
+  // Epoch before the read: a write racing the read can at worst tag a fresh
+  // value with a pre-write epoch, which later lookups treat as stale.
+  uint64_t epoch = WriteEpochOf(oid.file);
+  DerefCache::Snapshot snap;
+  if (cache != nullptr && cache->Lookup(oid, epoch, &snap)) return snap;
   MOOD_ASSIGN_OR_RETURN(HeapFile* file, storage_->GetFile(oid.file));
   MOOD_ASSIGN_OR_RETURN(std::string rec, file->Get(RecordId{oid.page, oid.slot}));
   MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
-  return std::move(decoded.second);
+  snap.type_id = decoded.first;
+  snap.tuple = std::make_shared<const MoodValue>(std::move(decoded.second));
+  if (cache != nullptr) cache->Insert(oid, epoch, snap);
+  return snap;
+}
+
+Result<MoodValue> ObjectManager::Fetch(Oid oid, DerefCache* cache) const {
+  if (cache == nullptr) {
+    // Uncached fast path: skip the shared_ptr allocation.
+    if (!oid.valid()) return Status::InvalidArgument("null object identifier");
+    MOOD_ASSIGN_OR_RETURN(HeapFile* file, storage_->GetFile(oid.file));
+    MOOD_ASSIGN_OR_RETURN(std::string rec, file->Get(RecordId{oid.page, oid.slot}));
+    MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
+    return std::move(decoded.second);
+  }
+  MOOD_ASSIGN_OR_RETURN(DerefCache::Snapshot snap, FetchSnapshot(oid, cache));
+  return *snap.tuple;
 }
 
 Result<std::string> ObjectManager::ClassOf(Oid oid) const {
@@ -84,6 +142,15 @@ Result<std::string> ObjectManager::ClassOf(Oid oid) const {
   if (rec.size() < 4) return Status::Corruption("short object record");
   TypeId id = DecodeFixed32(rec.data());
   std::string name = catalog_->typeName(id);
+  if (name.empty()) return Status::CatalogError("object has unknown type id");
+  return name;
+}
+
+Result<std::string> ObjectManager::ClassOf(Oid oid, DerefCache* cache) const {
+  if (cache == nullptr) return ClassOf(oid);
+  if (!oid.valid()) return Status::InvalidArgument("null object identifier");
+  MOOD_ASSIGN_OR_RETURN(DerefCache::Snapshot snap, FetchSnapshot(oid, cache));
+  std::string name = catalog_->typeName(snap.type_id);
   if (name.empty()) return Status::CatalogError("object has unknown type id");
   return name;
 }
@@ -97,7 +164,11 @@ Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wa
   std::string rec;
   EncodeObjectRecord(type->id, tuple, &rec);
   MOOD_RETURN_IF_ERROR(extent->Update(RecordId{oid.page, oid.slot}, rec, wal));
-  return MaintainIndexes(class_name, oid, &old_tuple, &tuple);
+  Status st = MaintainIndexes(class_name, oid, &old_tuple, &tuple);
+  // After the write so a concurrent reader cannot cache the old value under
+  // the new epoch.
+  BumpWriteEpoch(oid.file);
+  return st;
 }
 
 Result<int> ObjectManager::AttrIndex(const std::string& class_name,
@@ -124,19 +195,36 @@ Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal) {
   MOOD_ASSIGN_OR_RETURN(MoodValue old_tuple, Fetch(oid));
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
   MOOD_RETURN_IF_ERROR(extent->Delete(RecordId{oid.page, oid.slot}, wal));
-  return MaintainIndexes(class_name, oid, &old_tuple, nullptr);
+  Status st = MaintainIndexes(class_name, oid, &old_tuple, nullptr);
+  BumpWriteEpoch(oid.file);
+  return st;
 }
 
-Result<MoodValue> ObjectManager::GetAttribute(Oid oid, const std::string& attr) const {
-  MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+Result<MoodValue> ObjectManager::GetAttribute(Oid oid, const std::string& attr,
+                                              DerefCache* cache) const {
+  if (cache == nullptr) {
+    MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
+    MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attr));
+    MOOD_ASSIGN_OR_RETURN(MoodValue tuple, Fetch(oid));
+    if (static_cast<size_t>(idx) >= tuple.size()) {
+      // Object predates a schema change; the attribute takes its default.
+      MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
+      return attrs[static_cast<size_t>(idx)].type->DefaultValue();
+    }
+    MOOD_ASSIGN_OR_RETURN(const MoodValue* f, tuple.Field(static_cast<size_t>(idx)));
+    return *f;
+  }
+  // Cached path: one snapshot serves both the class lookup and the tuple, so
+  // even a cache miss costs one heap read where the uncached path needs two.
+  MOOD_ASSIGN_OR_RETURN(DerefCache::Snapshot snap, FetchSnapshot(oid, cache));
+  std::string class_name = catalog_->typeName(snap.type_id);
+  if (class_name.empty()) return Status::CatalogError("object has unknown type id");
   MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attr));
-  MOOD_ASSIGN_OR_RETURN(MoodValue tuple, Fetch(oid));
-  if (static_cast<size_t>(idx) >= tuple.size()) {
-    // Object predates a schema change; the attribute takes its default.
+  if (static_cast<size_t>(idx) >= snap.tuple->size()) {
     MOOD_ASSIGN_OR_RETURN(auto attrs, catalog_->AllAttributes(class_name));
     return attrs[static_cast<size_t>(idx)].type->DefaultValue();
   }
-  MOOD_ASSIGN_OR_RETURN(const MoodValue* f, tuple.Field(static_cast<size_t>(idx)));
+  MOOD_ASSIGN_OR_RETURN(const MoodValue* f, snap.tuple->Field(static_cast<size_t>(idx)));
   return *f;
 }
 
@@ -173,9 +261,15 @@ Result<std::vector<PageId>> ObjectManager::ExtentPageIds(
 Status ObjectManager::ScanExtentPage(
     const std::string& class_name, PageId page,
     const std::function<Status(Oid, const MoodValue&)>& fn) const {
+  return ScanExtentPage(class_name, page, nullptr, fn);
+}
+
+Status ObjectManager::ScanExtentPage(
+    const std::string& class_name, PageId page, HeapFile::ScanCursor* cursor,
+    const std::function<Status(Oid, const MoodValue&)>& fn) const {
   MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
-  return extent->ScanPage(page, [&](RecordId rid, const std::string& rec) -> Status {
+  return extent->ScanPage(page, cursor, [&](RecordId rid, const std::string& rec) -> Status {
     MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
     Oid oid;
     oid.file = static_cast<uint16_t>(type->extent_file);
@@ -468,10 +562,10 @@ Status ObjectManager::CreatePathIndex(const std::string& index_name,
 }
 
 Status ObjectManager::TraversePath(
-    Oid root, const std::vector<std::string>& path,
+    Oid root, const std::vector<std::string>& path, DerefCache* cache,
     const std::function<Status(const MoodValue&)>& fn) const {
   std::function<Status(Oid, size_t)> step = [&](Oid oid, size_t depth) -> Status {
-    MOOD_ASSIGN_OR_RETURN(MoodValue v, GetAttribute(oid, path[depth]));
+    MOOD_ASSIGN_OR_RETURN(MoodValue v, GetAttribute(oid, path[depth], cache));
     auto handle = [&](const MoodValue& val) -> Status {
       if (depth + 1 == path.size()) return fn(val);
       if (val.is_null()) return Status::OK();  // broken path: no terminal value

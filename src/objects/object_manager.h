@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +18,66 @@
 #include "types/value.h"
 
 namespace mood {
+
+/// Per-query dereference cache: OID -> decoded object snapshot. Path
+/// expressions (the paper's forward-traversal inner loop) dereference the same
+/// objects repeatedly; this cache turns the second and later Deref(oid) of a
+/// query into a memory lookup instead of a page pin + record decode.
+///
+/// Staleness contract: every entry carries the write epoch of the object's
+/// extent file at fetch time (see ObjectManager::WriteEpochOf). Any write to
+/// that file bumps the epoch, so a lookup after an update in the same query
+/// sees an epoch mismatch and refetches — an update is always visible to the
+/// next Deref. Tuples are held behind shared_ptr<const MoodValue> so hits from
+/// parallel morsel workers share one immutable snapshot.
+///
+/// Thread safety: lock-striped; safe for concurrent Lookup/Insert from the
+/// executor's workers.
+class DerefCache {
+ public:
+  /// `capacity` bounds the total entry count (0 disables caching entirely).
+  explicit DerefCache(size_t capacity) : capacity_(capacity) {}
+
+  DerefCache(const DerefCache&) = delete;
+  DerefCache& operator=(const DerefCache&) = delete;
+
+  struct Snapshot {
+    TypeId type_id = 0;
+    std::shared_ptr<const MoodValue> tuple;
+  };
+
+  /// Returns true and fills `out` only when an entry for `oid` exists at
+  /// exactly `epoch`. A stale entry is erased and reported as a miss.
+  bool Lookup(Oid oid, uint64_t epoch, Snapshot* out);
+
+  void Insert(Oid oid, uint64_t epoch, const Snapshot& snap);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    Snapshot snap;
+  };
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;  // key: Oid::Pack()
+  };
+  static constexpr size_t kStripes = 8;
+
+  Stripe& StripeOf(uint64_t packed) {
+    // Mix so oids differing only in low slot bits spread over stripes.
+    packed ^= packed >> 33;
+    packed *= 0xff51afd7ed558ccdull;
+    return stripes_[(packed >> 33) % kStripes];
+  }
+
+  size_t capacity_;
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
 
 /// Object-level storage interface: creates, fetches, updates and deletes class
 /// instances in their default extents, maintains registered secondary indexes,
@@ -34,12 +96,15 @@ class ObjectManager {
   Result<Oid> CreateObject(const std::string& class_name, MoodValue tuple,
                            PageWriteLogger* wal = nullptr);
 
-  /// The algebra's Deref(oid) operator.
-  Result<MoodValue> Fetch(Oid oid) const;
+  /// The algebra's Deref(oid) operator. The DerefCache overloads consult and
+  /// fill `cache` (may be null); see DerefCache for the staleness contract.
+  Result<MoodValue> Fetch(Oid oid) const { return Fetch(oid, nullptr); }
+  Result<MoodValue> Fetch(Oid oid, DerefCache* cache) const;
 
   /// Class name of the object (the algebra's TypeId/isA support). Derived from
   /// the type id stored with every object.
   Result<std::string> ClassOf(Oid oid) const;
+  Result<std::string> ClassOf(Oid oid, DerefCache* cache) const;
 
   /// Replaces the whole attribute tuple (type-checked; indexes maintained).
   Status UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal = nullptr);
@@ -50,8 +115,20 @@ class ObjectManager {
 
   Status DeleteObject(Oid oid, PageWriteLogger* wal = nullptr);
 
-  /// Attribute of an object by name (inherited attributes included).
-  Result<MoodValue> GetAttribute(Oid oid, const std::string& attr) const;
+  /// Attribute of an object by name (inherited attributes included). The
+  /// cached overload does one heap read per object per query instead of the
+  /// two (ClassOf + Fetch) the uncached path needs.
+  Result<MoodValue> GetAttribute(Oid oid, const std::string& attr) const {
+    return GetAttribute(oid, attr, nullptr);
+  }
+  Result<MoodValue> GetAttribute(Oid oid, const std::string& attr,
+                                 DerefCache* cache) const;
+
+  /// Write epoch of one extent file's slot (see DerefCache). Monotonically
+  /// increases on every object write to files sharing the slot.
+  uint64_t WriteEpochOf(uint16_t file) const {
+    return write_epochs_[file % kEpochSlots].load(std::memory_order_acquire);
+  }
 
   /// Scans a class extent. `include_subclasses` adds every transitive subclass
   /// extent (the EVERY form); `exclude` removes the subtrees of the listed
@@ -75,6 +152,12 @@ class ObjectManager {
   /// semantics as ScanExtent). Concurrent-read safe for distinct or identical
   /// pages while no writer mutates the extent.
   Status ScanExtentPage(const std::string& class_name, PageId page,
+                        const std::function<Status(Oid, const MoodValue&)>& fn) const;
+
+  /// ScanExtentPage with a readahead cursor (one cursor per logical scan of
+  /// the class; see HeapFile::ScanCursor).
+  Status ScanExtentPage(const std::string& class_name, PageId page,
+                        HeapFile::ScanCursor* cursor,
                         const std::function<Status(Oid, const MoodValue&)>& fn) const;
 
   /// |C| for one class (own extent only or with subclasses).
@@ -116,6 +199,10 @@ class ObjectManager {
   /// valued reference attributes fan out. The callback receives each terminal
   /// value reached.
   Status TraversePath(Oid root, const std::vector<std::string>& path,
+                      const std::function<Status(const MoodValue&)>& fn) const {
+    return TraversePath(root, path, nullptr, fn);
+  }
+  Status TraversePath(Oid root, const std::vector<std::string>& path, DerefCache* cache,
                       const std::function<Status(const MoodValue&)>& fn) const;
 
   Catalog* catalog() const { return catalog_; }
@@ -124,6 +211,17 @@ class ObjectManager {
  private:
   Result<HeapFile*> ExtentOf(const std::string& class_name) const;
   Result<MoodValue> PadToSchema(const std::string& class_name, MoodValue tuple) const;
+
+  /// Reads + decodes an object, consulting `cache` when non-null. The epoch is
+  /// sampled before the heap read, so a racing write can only make the cached
+  /// entry look stale (a wasted refetch), never hide the new value.
+  Result<DerefCache::Snapshot> FetchSnapshot(Oid oid, DerefCache* cache) const;
+
+  /// Called after any committed object write to `file`; invalidates cached
+  /// snapshots of every object in files sharing the epoch slot.
+  void BumpWriteEpoch(uint16_t file) const {
+    write_epochs_[file % kEpochSlots].fetch_add(1, std::memory_order_acq_rel);
+  }
 
   /// Applies index maintenance for one object transition old -> new (either may
   /// be null for insert/delete).
@@ -137,6 +235,12 @@ class ObjectManager {
 
   StorageManager* storage_;
   Catalog* catalog_;
+  /// Per-file-slot write epochs backing the DerefCache staleness contract.
+  /// Slotted by file id so a write invalidates at class granularity (plus any
+  /// class whose extent file aliases the slot — a false invalidation, never a
+  /// false hit).
+  static constexpr size_t kEpochSlots = 64;
+  mutable std::array<std::atomic<uint64_t>, kEpochSlots> write_epochs_{};
   /// Guards the lazily-populated index-handle caches below: parallel workers
   /// may race to open the same index (e.g. concurrent IndSel probes). The
   /// handles themselves are concurrent-read safe once opened.

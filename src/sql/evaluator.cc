@@ -7,8 +7,8 @@ namespace mood {
 Result<MoodValue> Evaluator::CallMethod(Oid receiver, const std::string& fname,
                                         const std::vector<ExprPtr>& args,
                                         const Env& env) const {
-  MOOD_ASSIGN_OR_RETURN(std::string cls, objects_->ClassOf(receiver));
-  MOOD_ASSIGN_OR_RETURN(MoodValue self_value, objects_->Fetch(receiver));
+  MOOD_ASSIGN_OR_RETURN(std::string cls, objects_->ClassOf(receiver, env.deref));
+  MOOD_ASSIGN_OR_RETURN(MoodValue self_value, objects_->Fetch(receiver, env.deref));
   MOOD_ASSIGN_OR_RETURN(auto attrs, objects_->catalog()->AllAttributes(cls));
   std::vector<std::string> attr_names;
   attr_names.reserve(attrs.size());
@@ -32,7 +32,7 @@ Result<MoodValue> Evaluator::CallMethod(Oid receiver, const std::string& fname,
   ctx.self = receiver;
   ctx.self_value = &self_value;
   ctx.attr_names = &attr_names;
-  ctx.deref = [this](Oid oid) { return objects_->Fetch(oid); };
+  ctx.deref = [this, &env](Oid oid) { return objects_->Fetch(oid, env.deref); };
   return functions_->Invoke(cls, fname, ctx, std::move(arg_values));
 }
 
@@ -53,7 +53,7 @@ Result<MoodValue> Evaluator::EvalPathFrom(Oid root, const std::vector<PathStep>&
       if (step.is_call) return CallMethod(oid, step.name, step.args, env);
       // Attribute access; a name that is not an attribute may be a parameterless
       // method (the paper allows `s.A` where A is a parameterless method).
-      auto attr = objects_->GetAttribute(oid, step.name);
+      auto attr = objects_->GetAttribute(oid, step.name, env.deref);
       if (attr.ok()) return attr;
       if (attr.status().IsNotFound()) {
         return CallMethod(oid, step.name, {}, env);

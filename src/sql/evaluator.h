@@ -19,9 +19,13 @@ class Evaluator {
   Evaluator(ObjectManager* objects, FunctionManager* functions)
       : objects_(objects), functions_(functions) {}
 
-  /// Bindings of range variables to objects for the current row.
+  /// Bindings of range variables to objects for the current row, plus the
+  /// query's Deref cache (null disables caching). Every dereference in a path
+  /// step or method call goes through `deref`, so repeated hops over the same
+  /// objects within one query hit memory.
   struct Env {
     std::map<std::string, Oid> vars;
+    DerefCache* deref = nullptr;
   };
 
   /// Evaluates an expression to a value. A path through a Set/List-valued

@@ -1,99 +1,173 @@
 #include "storage/buffer_pool.h"
 
+#include <thread>
+
 namespace mood {
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
-    : disk_(disk), frames_(pool_size) {
-  for (size_t i = 0; i < pool_size; i++) free_frames_.push_back(i);
+namespace {
+
+/// Each auto-selected shard keeps at least this many frames so tiny pools
+/// (the 8-frame concurrency-test pools) stay a single shard and cannot be
+/// exhausted by splitting their few frames into slivers.
+constexpr size_t kMinAutoFramesPerShard = 8;
+
+size_t ResolveShardCount(size_t requested, size_t pool_size) {
+  size_t target;
+  if (requested == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    target = hw > 4 ? hw : 4;
+    size_t cap = pool_size / kMinAutoFramesPerShard;
+    if (cap == 0) cap = 1;
+    if (target > cap) target = cap;
+  } else {
+    target = requested;
+    if (pool_size > 0 && target > pool_size) target = pool_size;
+  }
+  if (target == 0) target = 1;
+  size_t pow2 = 1;
+  while (pow2 * 2 <= target) pow2 *= 2;
+  return pow2;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.front();
-    free_frames_.pop_front();
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size, size_t shards)
+    : disk_(disk), pool_size_(pool_size) {
+  size_t n = ResolveShardCount(shards, pool_size);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  size_t base = pool_size / n;
+  size_t rem = pool_size % n;
+  for (size_t i = 0; i < n; i++) {
+    auto shard = std::make_unique<Shard>();
+    size_t frames = base + (i < rem ? 1 : 0);
+    shard->frames = std::vector<Page>(frames);
+    shard->ref.assign(frames, 0);
+    for (size_t f = 0; f < frames; f++) shard->free_frames.push_back(f);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t BufferPool::ShardOf(PageId page_id) const {
+  // splitmix64 finalizer: adjacent page ids (a sequential chain) spread across
+  // shards instead of marching through one shard at a time.
+  uint64_t x = static_cast<uint64_t>(page_id) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x & shard_mask_);
+}
+
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    size_t idx = shard.free_frames.front();
+    shard.free_frames.pop_front();
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::Internal("buffer pool exhausted: all pages pinned");
+  size_t n = shard.frames.size();
+  // Two full sweeps suffice: the first pass clears every ref bit that was set,
+  // the second must find an unpinned frame if one exists.
+  for (size_t visited = 0; visited < 2 * n; visited++) {
+    size_t idx = shard.clock_hand;
+    shard.clock_hand = (shard.clock_hand + 1) % n;
+    Page& frame = shard.frames[idx];
+    if (frame.pin_count() > 0) continue;
+    if (shard.ref[idx] != 0) {
+      shard.ref[idx] = 0;
+      continue;
+    }
+    if (frame.dirty()) {
+      if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(frame));
+      MOOD_RETURN_IF_ERROR(disk_->WritePage(frame.page_id(), frame.data()));
+    }
+    shard.page_table.erase(frame.page_id());
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    return idx;
   }
-  size_t idx = lru_.front();
-  lru_.pop_front();
-  lru_pos_.erase(idx);
-  Page& victim = frames_[idx];
-  if (victim.dirty()) {
-    if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(victim));
-    MOOD_RETURN_IF_ERROR(disk_->WritePage(victim.page_id(), victim.data()));
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal("buffer pool exhausted: all pages in shard pinned");
+}
+
+Status BufferPool::ReadIntoFrame(Shard& shard, size_t idx, PageId page_id) {
+  Page& page = shard.frames[idx];
+  page.Reset(page_id);
+  Status st = disk_->ReadPage(page_id, page.data());
+  if (!st.ok()) {
+    shard.free_frames.push_back(idx);
+    return st;
   }
-  page_table_.erase(victim.page_id());
-  return idx;
+  shard.ref[idx] = 1;
+  shard.page_table[page_id] = idx;
+  return Status::OK();
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    size_t idx = it->second;
-    Page& page = frames_[idx];
-    if (page.pin_count() == 0) {
-      // Remove from the evictable LRU list while pinned.
-      auto pos = lru_pos_.find(idx);
-      if (pos != lru_pos_.end()) {
-        lru_.erase(pos->second);
-        lru_pos_.erase(pos);
-      }
-    }
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    Page& page = shard.frames[it->second];
+    shard.ref[it->second] = 1;
     page.Pin();
     return &page;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Page& page = frames_[idx];
-  page.Reset(page_id);
-  MOOD_RETURN_IF_ERROR(disk_->ReadPage(page_id, page.data()));
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  MOOD_RETURN_IF_ERROR(ReadIntoFrame(shard, idx, page_id));
+  Page& page = shard.frames[idx];
   page.Pin();
-  page_table_[page_id] = idx;
   return &page;
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
   MOOD_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
-  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Page& page = frames_[idx];
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  Page& page = shard.frames[idx];
   page.Reset(page_id);
   page.Pin();
   page.set_dirty(true);
-  page_table_[page_id] = idx;
+  shard.ref[idx] = 1;
+  shard.page_table[page_id] = idx;
   return &page;
 }
 
+Status BufferPool::Prefetch(PageId page_id) {
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.page_table.find(page_id) != shard.page_table.end()) {
+    return Status::OK();  // already resident
+  }
+  auto victim = GetVictimFrame(shard);
+  if (!victim.ok()) return Status::OK();  // shard under pin pressure: skip
+  MOOD_RETURN_IF_ERROR(ReadIntoFrame(shard, victim.value(), page_id));
+  shard.prefetches.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) {
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) {
     return Status::InvalidArgument("UnpinPage: page not resident");
   }
-  size_t idx = it->second;
-  Page& page = frames_[idx];
+  Page& page = shard.frames[it->second];
   if (page.pin_count() <= 0) {
     return Status::Internal("UnpinPage: pin count underflow");
   }
   if (dirty) page.set_dirty(true);
   page.Unpin();
-  if (page.pin_count() == 0) {
-    lru_.push_back(idx);
-    lru_pos_[idx] = std::prev(lru_.end());
-  }
   return Status::OK();
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return Status::OK();
-  Page& page = frames_[it->second];
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) return Status::OK();
+  Page& page = shard.frames[it->second];
   if (page.dirty()) {
     if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(page));
     MOOD_RETURN_IF_ERROR(disk_->WritePage(page.page_id(), page.data()));
@@ -102,26 +176,64 @@ Status BufferPool::FlushPage(PageId page_id) {
   return Status::OK();
 }
 
-size_t BufferPool::PinnedPageCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t pinned = 0;
-  for (const auto& [page_id, idx] : page_table_) {
-    if (frames_[idx].pin_count() > 0) pinned++;
-  }
-  return pinned;
-}
-
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [page_id, idx] : page_table_) {
-    Page& page = frames_[idx];
-    if (page.dirty()) {
-      if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(page));
-      MOOD_RETURN_IF_ERROR(disk_->WritePage(page.page_id(), page.data()));
-      page.set_dirty(false);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [page_id, idx] : shard->page_table) {
+      Page& page = shard->frames[idx];
+      if (page.dirty()) {
+        if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(page));
+        MOOD_RETURN_IF_ERROR(disk_->WritePage(page.page_id(), page.data()));
+        page.set_dirty(false);
+      }
     }
   }
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::ShardStats(size_t shard_idx) const {
+  BufferPoolStats s;
+  const Shard& shard = *shards_[shard_idx];
+  // Evictions before misses: both grow monotonically and every eviction is
+  // caused by an earlier miss (or NewPage), so a lagging snapshot stays
+  // consistent with "evictions <= misses + free frames".
+  s.evictions = shard.evictions.load(std::memory_order_relaxed);
+  s.prefetches = shard.prefetches.load(std::memory_order_relaxed);
+  s.misses = shard.misses.load(std::memory_order_relaxed);
+  s.hits = shard.hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    BufferPoolStats s = ShardStats(i);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.prefetches += s.prefetches;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
+    shard->prefetches.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t BufferPool::PinnedPageCount() const {
+  size_t pinned = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [page_id, idx] : shard->page_table) {
+      if (shard->frames[idx].pin_count() > 0) pinned++;
+    }
+  }
+  return pinned;
 }
 
 }  // namespace mood

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -14,31 +15,49 @@
 
 namespace mood {
 
-/// Buffer-pool statistics snapshot (hits/misses/evictions) consumed by
-/// bench_file_ops. Counters are maintained as atomics inside the pool so
-/// stats()/ResetStats() are coherent while other threads fetch pages.
+/// Buffer-pool statistics snapshot consumed by benches and the concurrency
+/// tests. Counters are per-shard atomics inside the pool; stats() aggregates
+/// them coherently while other threads fetch pages. `prefetches` counts pages
+/// brought in by readahead (Prefetch); a later demand FetchPage of such a page
+/// is a hit, so hits + misses == FetchPage calls always holds.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t prefetches = 0;
   void Clear() { *this = BufferPoolStats{}; }
 };
 
-/// LRU buffer pool over a DiskManager. Fulfils the "storage management" kernel
-/// function the paper delegates to the Exodus Storage Manager.
+/// Sharded, lock-striped buffer pool over a DiskManager. Fulfils the "storage
+/// management" kernel function the paper delegates to the Exodus Storage
+/// Manager.
+///
+/// The pool's frames are split across N shards (power of two); a page id is
+/// hashed to its owning shard, which holds its own mutex, page table, frames
+/// and clock-sweep eviction state. Parallel morsel workers touching different
+/// pages therefore contend only when their pages hash to the same shard,
+/// instead of serializing on one pool-wide mutex.
 ///
 /// Pages are pinned by Fetch/New and must be unpinned; pinned pages are never
-/// evicted. An optional flush hook implements the WAL rule: before a dirty page is
-/// written back, the hook is invoked so the log can be forced first.
+/// evicted. Eviction is clock-sweep (second chance): each frame has a ref bit
+/// set on placement and on every hit; the sweep clears ref bits and evicts the
+/// first unpinned frame whose bit is already clear. An optional flush hook
+/// implements the WAL rule: before a dirty page is written back, the hook is
+/// invoked so the log can be forced first (the hook must be internally
+/// thread-safe — evictions in different shards may invoke it concurrently).
 ///
-/// Thread safety: every public entry point takes the pool mutex, so concurrent
-/// FetchPage/UnpinPage/FlushPage callers (the parallel executor's workers) are
-/// safe. Pin counts keep a resident page's frame stable, so holding a pinned
+/// Thread safety: every public entry point takes only the owning shard's
+/// mutex. Pin counts keep a resident page's frame stable, so holding a pinned
 /// Page* across the call boundary remains valid under concurrency. Statistics
 /// are atomics and may be read or cleared at any time without tearing.
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t pool_size);
+  /// `shards` = 0 picks a default: max(4, hardware_concurrency), capped so
+  /// each shard keeps at least kMinAutoFramesPerShard frames (tiny pools
+  /// degenerate to one shard and behave like the old single-mutex pool).
+  /// An explicit `shards` is honored after rounding down to a power of two
+  /// and clamping to at most one shard per frame.
+  BufferPool(DiskManager* disk, size_t pool_size, size_t shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -52,32 +71,46 @@ class BufferPool {
   /// Releases one pin; `dirty` marks the page as modified.
   Status UnpinPage(PageId page_id, bool dirty);
 
+  /// Best-effort readahead: brings `page_id` into its shard unpinned with the
+  /// ref bit set, so the demand fetch that follows is a hit. A no-op when the
+  /// page is already resident or the shard has no evictable frame (readahead
+  /// must never fail a query); only a failed disk read reports an error.
+  Status Prefetch(PageId page_id);
+
   /// Writes one page back if dirty. The page stays cached.
   Status FlushPage(PageId page_id);
 
   /// Writes back every dirty page.
   Status FlushAll();
 
-  /// Set a hook invoked with the page about to be flushed (WAL rule).
+  /// Set a hook invoked with the page about to be flushed (WAL rule). Must be
+  /// set while no other thread uses the pool; the hook itself may be invoked
+  /// concurrently from different shards.
   void SetPreFlushHook(std::function<Status(const Page&)> hook) {
     pre_flush_hook_ = std::move(hook);
   }
 
-  size_t pool_size() const { return frames_.size(); }
+  size_t pool_size() const { return pool_size_; }
+  size_t shard_count() const { return shards_.size(); }
 
-  /// Coherent snapshot of the counters (safe under concurrent fetches).
-  BufferPoolStats stats() const {
-    BufferPoolStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
-    return s;
-  }
-  void ResetStats() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    evictions_.store(0, std::memory_order_relaxed);
-  }
+  /// Which shard owns `page_id` (exposed so tests can pick same-shard or
+  /// cross-shard page sets deliberately).
+  size_t ShardOf(PageId page_id) const;
+
+  /// Readahead depth used by HeapFile scans (0 disables). Stored here so every
+  /// scan path sees one knob; set at open time, read from scan threads.
+  void set_readahead(size_t pages) { readahead_.store(pages, std::memory_order_relaxed); }
+  size_t readahead() const { return readahead_.load(std::memory_order_relaxed); }
+
+  /// Coherent aggregate snapshot of all shards (safe under concurrent
+  /// fetches). Evictions are read before misses per shard so a lagging
+  /// snapshot can never show more evictions than the misses that caused them.
+  BufferPoolStats stats() const;
+
+  /// Counters of one shard (for eviction-accounting tests and bench output).
+  BufferPoolStats ShardStats(size_t shard) const;
+
+  void ResetStats();
 
   /// Number of currently pinned pages (used by concurrency tests to assert no
   /// lost pins).
@@ -86,21 +119,34 @@ class BufferPool {
   DiskManager* disk() const { return disk_; }
 
  private:
-  /// Finds a frame for a new resident page: free list first, else LRU victim.
-  Result<size_t> GetVictimFrame();
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Page> frames;
+    std::vector<uint8_t> ref;       // clock-sweep second-chance bits
+    std::list<size_t> free_frames;  // never-used frames
+    size_t clock_hand = 0;
+    std::unordered_map<PageId, size_t> page_table;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> prefetches{0};
+  };
+
+  /// Finds a frame for a new resident page: free list first, else clock-sweep
+  /// victim. Requires `shard.mu` held; the victim is written back if dirty and
+  /// unhooked from the shard's page table.
+  Result<size_t> GetVictimFrame(Shard& shard);
+
+  /// Places `page_id` into `idx` of `shard` after reading it from disk. On a
+  /// read error the frame is returned to the free list. Requires mu held.
+  Status ReadIntoFrame(Shard& shard, size_t idx, PageId page_id);
 
   DiskManager* disk_;
-  std::vector<Page> frames_;
-  std::list<size_t> free_frames_;
-  /// LRU list of evictable frame indexes; most recently used at the back.
-  std::list<size_t> lru_;
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::unordered_map<PageId, size_t> page_table_;
+  size_t pool_size_;
+  size_t shard_mask_ = 0;  // shard count is a power of two
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::function<Status(const Page&)> pre_flush_hook_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  mutable std::mutex mu_;
+  std::atomic<size_t> readahead_{0};
 };
 
 /// RAII pin guard: unpins on destruction.
@@ -110,12 +156,14 @@ class PageGuard {
   PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
   PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
   PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this == &other) return *this;
     Release();
     pool_ = other.pool_;
     page_ = other.page_;
     dirty_ = other.dirty_;
     other.pool_ = nullptr;
     other.page_ = nullptr;
+    other.dirty_ = false;
     return *this;
   }
   PageGuard(const PageGuard&) = delete;

@@ -63,6 +63,11 @@ Result<Page*> HeapFile::AppendPage(PageWriteLogger* wal) {
     info_.last_page = new_id;
   }
   info_.page_count++;
+  {
+    // The chain grew: drop the readahead map so the next scan rebuilds it.
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    chain_.reset();
+  }
   Status st = PersistInfo(wal);
   if (!st.ok()) {
     pool_->UnpinPage(new_id, true);
@@ -217,7 +222,58 @@ Result<std::vector<PageId>> HeapFile::PageIds() const {
   return pages;
 }
 
+Result<std::shared_ptr<const HeapFile::ChainMap>> HeapFile::Chain() const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  if (chain_ != nullptr) return chain_;
+  auto map = std::make_shared<ChainMap>();
+  MOOD_ASSIGN_OR_RETURN(map->pages, PageIds());
+  map->index.reserve(map->pages.size());
+  for (uint32_t i = 0; i < map->pages.size(); i++) map->index[map->pages[i]] = i;
+  chain_ = std::move(map);
+  return chain_;
+}
+
+void HeapFile::MaybeReadAhead(PageId page, ScanCursor* cursor) const {
+  if (cursor == nullptr) return;
+  size_t depth = pool_->readahead();
+  if (depth == 0) return;
+  auto chain_res = Chain();
+  if (!chain_res.ok()) return;
+  const ChainMap& chain = *chain_res.value();
+  auto it = chain.index.find(page);
+  if (it == chain.index.end()) return;
+  uint32_t idx = it->second;
+
+  // Advance last_index to max(last_index, idx); a touch below the current
+  // watermark means this worker is behind the scan front — no readahead.
+  uint32_t prev = cursor->last_index.load(std::memory_order_relaxed);
+  while (prev == ScanCursor::kNoIndex || idx > prev) {
+    if (cursor->last_index.compare_exchange_weak(prev, idx, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (prev != ScanCursor::kNoIndex && idx < prev) return;
+
+  uint64_t want = static_cast<uint64_t>(idx) + 1 + depth;
+  if (want > chain.pages.size()) want = chain.pages.size();
+  uint32_t from = cursor->prefetched_to.load(std::memory_order_relaxed);
+  if (from < idx + 1) from = idx + 1;
+  for (uint32_t i = from; i < want; i++) {
+    (void)pool_->Prefetch(chain.pages[i]);  // best-effort
+  }
+  uint32_t to = static_cast<uint32_t>(want);
+  uint32_t pf = cursor->prefetched_to.load(std::memory_order_relaxed);
+  while (to > pf &&
+         !cursor->prefetched_to.compare_exchange_weak(pf, to, std::memory_order_relaxed)) {
+  }
+}
+
 Status HeapFile::ScanPage(PageId page_id,
+                          const std::function<Status(RecordId, const std::string&)>& fn) const {
+  return ScanPage(page_id, nullptr, fn);
+}
+
+Status HeapFile::ScanPage(PageId page_id, ScanCursor* cursor,
                           const std::function<Status(RecordId, const std::string&)>& fn) const {
   struct Item {
     RecordId rid;
@@ -243,6 +299,9 @@ Status HeapFile::ScanPage(PageId page_id,
       items.push_back(std::move(item));
     }
   }
+  // Readahead after the demand page is read and released: disk access order
+  // stays sequential and the prefetches cannot collide with this page's pin.
+  MaybeReadAhead(page_id, cursor);
   // Chase forwarding stubs and run the callback with no page pinned, so deep
   // callbacks cannot exhaust a small pool.
   for (auto& item : items) {
@@ -255,6 +314,7 @@ Status HeapFile::ScanPage(PageId page_id,
 }
 
 HeapFile::Iterator::Iterator(const HeapFile* file, PageId page) : file_(file) {
+  if (file_->pool_->readahead() > 0) cursor_ = std::make_shared<ScanCursor>();
   LoadFrom(page, 0);
 }
 
@@ -266,6 +326,8 @@ void HeapFile::Iterator::LoadFrom(PageId page, SlotId slot) {
       status_ = page_res.status();
       return;
     }
+    // Trigger readahead once per page (slot 0 marks first entry onto it).
+    if (slot == 0) file_->MaybeReadAhead(page, cursor_.get());
     PageGuard guard(file_->pool_, page_res.value());
     SlottedPage sp(page_res.value());
     for (SlotId s = slot; s < sp.slot_count(); s++) {

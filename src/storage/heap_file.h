@@ -1,8 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/slice.h"
@@ -62,6 +66,19 @@ class HeapFile {
   Status Update(RecordId rid, Slice record, PageWriteLogger* wal = nullptr);
   Status Delete(RecordId rid, PageWriteLogger* wal = nullptr);
 
+  /// Per-scan readahead state. One cursor tracks one logical scan (which may
+  /// be driven by many morsel workers): the furthest chain position touched so
+  /// far and the prefetch frontier already issued. All fields are atomics so
+  /// workers sharing a cursor need no extra lock; a worker that jumps backward
+  /// (out-of-order morsel pickup) simply doesn't trigger readahead.
+  struct ScanCursor {
+    static constexpr uint32_t kNoIndex = 0xFFFFFFFFu;
+    /// Chain index of the furthest page this scan has touched.
+    std::atomic<uint32_t> last_index{kNoIndex};
+    /// Exclusive chain index up to which prefetches have been issued.
+    std::atomic<uint32_t> prefetched_to{0};
+  };
+
   /// Forward scan over live records in page-chain order. Skips tombstones and
   /// moved-in bodies (those are reached through their home slot).
   class Iterator {
@@ -83,6 +100,8 @@ class HeapFile {
     RecordId current_rid_;
     std::string current_record_;
     Status status_;
+    /// Drives sequential readahead for this scan; shared across copies.
+    std::shared_ptr<ScanCursor> cursor_;
   };
 
   Iterator Begin() const { return Iterator(this, info_.first_page); }
@@ -99,6 +118,14 @@ class HeapFile {
   /// itself fetch pages. Concurrent-read safe: many threads may ScanPage/Get
   /// disjoint or identical pages while no writer mutates the file.
   Status ScanPage(PageId page, const std::function<Status(RecordId, const std::string&)>& fn) const;
+
+  /// ScanPage with readahead: when `cursor` is non-null and the scan's page
+  /// accesses are monotone forward along the chain, the next
+  /// `pool->readahead()` chain pages are prefetched into the pool (unpinned)
+  /// after this page's records are copied out. Readahead is best-effort and
+  /// never changes which records `fn` sees.
+  Status ScanPage(PageId page, ScanCursor* cursor,
+                  const std::function<Status(RecordId, const std::string&)>& fn) const;
 
   const FileInfo& info() const { return info_; }
   FileId id() const { return info_.id; }
@@ -120,9 +147,29 @@ class HeapFile {
 
   Status PersistInfo(PageWriteLogger* wal) { return directory_->UpdateFileInfo(info_, wal); }
 
+  /// Chain order and page→index map used only for readahead targeting.
+  /// PageIds() deliberately does NOT use this cache: a transaction abort
+  /// restores page images without refreshing in-memory file metadata, so
+  /// correctness-critical chain walks must re-read the chain. A stale
+  /// readahead target merely wastes one disk read.
+  struct ChainMap {
+    std::vector<PageId> pages;
+    std::unordered_map<PageId, uint32_t> index;
+  };
+
+  /// Returns the cached chain map, (re)building it on first use after an
+  /// AppendPage. Thread-safe.
+  Result<std::shared_ptr<const ChainMap>> Chain() const;
+
+  /// Issues up to pool_->readahead() prefetches past `page` when `cursor`
+  /// shows a monotone forward scan. Never fails: readahead errors are dropped.
+  void MaybeReadAhead(PageId page, ScanCursor* cursor) const;
+
   BufferPool* pool_;
   FileDirectory* directory_;
   FileInfo info_;
+  mutable std::mutex chain_mu_;
+  mutable std::shared_ptr<const ChainMap> chain_;
 };
 
 /// Encodes a RecordId into 6 bytes (used by forwarding stubs and join indices).

@@ -34,7 +34,8 @@ Status StorageManager::Open(const std::string& path, const StorageOptions& optio
   if (is_open()) return Status::InvalidArgument("StorageManager already open");
   disk_ = std::make_unique<DiskManager>();
   MOOD_RETURN_IF_ERROR(disk_->Open(path));
-  pool_ = std::make_unique<BufferPool>(disk_.get(), options.pool_pages);
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options.pool_pages, options.pool_shards);
+  pool_->set_readahead(options.readahead_pages);
   if (disk_->num_pages() == 0) {
     // Fresh database: format the first directory page.
     MOOD_ASSIGN_OR_RETURN(Page* page, pool_->NewPage());

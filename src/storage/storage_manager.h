@@ -14,6 +14,11 @@ namespace mood {
 struct StorageOptions {
   /// Buffer-pool capacity in pages.
   size_t pool_pages = 256;
+  /// Buffer-pool shard count (0 = auto: max(4, hardware threads), capped so
+  /// small pools stay one shard). Rounded down to a power of two.
+  size_t pool_shards = 0;
+  /// Sequential-scan readahead depth in pages (0 disables prefetching).
+  size_t readahead_pages = 4;
 };
 
 /// The storage facade replacing the Exodus Storage Manager: one database file

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -19,7 +20,14 @@ namespace {
 
 using testing::TempDir;
 
-constexpr size_t kThreads = 8;
+/// Thread count for the torture tests below; MOOD_TEST_THREADS=<n> overrides
+/// (the tsan/ubsan CTest presets run the suite at 2 and 8).
+size_t TestThreads() {
+  const char* env = std::getenv("MOOD_TEST_THREADS");
+  if (env != nullptr && std::atoi(env) > 0) return static_cast<size_t>(std::atoi(env));
+  return 8;
+}
+const size_t kThreads = TestThreads();
 
 /// Deterministic per-thread pseudo-random stream (no shared RNG state).
 struct Lcg {

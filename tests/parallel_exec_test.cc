@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <thread>
@@ -15,6 +16,17 @@ namespace mood {
 namespace {
 
 using testing::TempDir;
+
+/// Thread counts the determinism fixture exercises. MOOD_TEST_THREADS=<n>
+/// narrows the sweep to one count — the tsan/ubsan CTest presets register
+/// parallel_exec_test_t2 / _t8 variants that way to bound sanitizer runtime.
+std::vector<size_t> TestThreadCounts() {
+  const char* env = std::getenv("MOOD_TEST_THREADS");
+  if (env != nullptr && std::atoi(env) > 0) {
+    return {static_cast<size_t>(std::atoi(env))};
+  }
+  return {2, 8};
+}
 
 // ---------------------------------------------------------------------------
 // ParallelFor / MakeMorsels unit properties
@@ -118,7 +130,7 @@ class ParallelExecFixture : public ::testing::Test {
   void ExpectDeterministic(const std::string& sql) {
     db_.executor()->set_threads(1);
     auto serial = db_.Query(sql);
-    for (size_t threads : {2u, 8u}) {
+    for (size_t threads : TestThreadCounts()) {
       db_.executor()->set_threads(threads);
       auto parallel = db_.Query(sql);
       ASSERT_EQ(serial.ok(), parallel.ok())
