@@ -130,13 +130,15 @@ int main(int argc, char** argv) {
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
   Table pt({"query", "t=1 ms", "t=2 ms", "t=4 ms", "t=8 ms", "rows"});
   for (const auto& q : queries) {
-    db.executor()->set_threads(1);
-    auto serial = CheckV(db.Query(q.sql), q.label);
+    QueryOptions serial_opts;
+    serial_opts.exec_threads = 1;
+    auto serial = CheckV(db.Query(q.sql, serial_opts), q.label);
     std::vector<std::string> cells = {q.label};
     for (size_t threads : thread_counts) {
-      db.executor()->set_threads(threads);
+      QueryOptions opts;
+      opts.exec_threads = threads;
       auto start = std::chrono::steady_clock::now();
-      auto qr = CheckV(db.Query(q.sql), q.label);
+      auto qr = CheckV(db.Query(q.sql, opts), q.label);
       double par_ms = MillisSince(start);
       report_json.Metric(std::string("parallel_ms_t") + std::to_string(threads),
                          q.key, par_ms);
@@ -150,13 +152,15 @@ int main(int argc, char** argv) {
     cells.push_back(std::to_string(serial.rows.size()));
     pt.AddRow(cells);
   }
-  db.executor()->set_threads(1);
   pt.Print();
   std::printf(
       "hardware_concurrency on this host: %zu. Results are merged in morsel\n"
       "order, so every thread count returns byte-identical rows; speedup needs\n"
       "real cores and working sets past the hot-cache regime.\n",
       DefaultExecThreads());
-  if (json) report_json.Emit(JsonPath(argc, argv));
+  if (json) {
+    AddMetricsSnapshot(&report_json, db.metrics());
+    report_json.Emit(JsonPath(argc, argv));
+  }
   return checks.ExitCode();
 }

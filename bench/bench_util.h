@@ -9,6 +9,7 @@
 
 #include "core/database.h"
 #include "core/paper_example.h"
+#include "obs/metrics.h"
 
 namespace mood::bench {
 
@@ -171,6 +172,17 @@ class JsonReport {
   std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
       sections_;
 };
+
+/// Folds a MetricsRegistry snapshot into `report` as an "engine_metrics"
+/// section, so --json artifacts carry the engine's counters (buffer-pool
+/// hit rates, record reads, deref-cache traffic, ...) alongside the timings
+/// and BENCH_baseline.json can track both.
+inline void AddMetricsSnapshot(JsonReport* report, MetricsRegistry* metrics) {
+  if (report == nullptr || metrics == nullptr) return;
+  for (const auto& [name, value] : metrics->Snapshot().values) {
+    report->Metric("engine_metrics", name, value);
+  }
+}
 
 /// Records pass/fail of shape assertions; returns a process exit code.
 class Checks {

@@ -52,6 +52,20 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
   object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
 
+  // Engine metrics: every kernel component registers its probe; the facade
+  // owns the execution counters. Probes hold component pointers, so Close()
+  // tears the registry down first.
+  metrics_ = std::make_unique<MetricsRegistry>();
+  storage_->RegisterMetrics(metrics_.get());
+  objects_->RegisterMetrics(metrics_.get());
+  functions_->RegisterMetrics(metrics_.get());
+  if (locks_ != nullptr) locks_->RegisterMetrics(metrics_.get());
+  statements_counter_ = metrics_->Counter("exec.statements");
+  queries_counter_ = metrics_->Counter("exec.queries");
+  explains_counter_ = metrics_->Counter("exec.explains");
+  slow_counter_ = metrics_->Counter("exec.slow_queries");
+  query_us_hist_ = metrics_->Histogram("exec.query_us");
+
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
   // `return <expr>;` bodies.
@@ -67,6 +81,9 @@ Status Database::Close() {
   if (!is_open()) return Status::OK();
   if (active_txn_ != nullptr) MOOD_RETURN_IF_ERROR(Abort());
   MOOD_RETURN_IF_ERROR(Checkpoint());
+  metrics_.reset();
+  statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
+  query_us_hist_ = nullptr;
   schema_browser_.reset();
   object_browser_.reset();
   executor_.reset();
@@ -138,8 +155,21 @@ Status Database::RegisterMethod(const std::string& class_name,
 }
 
 Result<ExecResult> Database::Execute(const std::string& sql) {
+  return Execute(sql, QueryOptions{});
+}
+
+Result<ExecResult> Database::Execute(const std::string& sql,
+                                     const QueryOptions& options) {
   MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
-  return ExecuteStatement(stmt);
+  uint64_t start = ProfileNowNs();
+  Result<ExecResult> res = ExecuteStatement(stmt, options);
+  if (res.ok() && res.value().kind == ExecResult::Kind::kQuery) {
+    double elapsed_ms = static_cast<double>(ProfileNowNs() - start) / 1e6;
+    size_t threads =
+        options.exec_threads == 0 ? executor_->threads() : options.exec_threads;
+    NoteQuery(sql, elapsed_ms, res.value().query.rows.size(), threads);
+  }
+  return res;
 }
 
 Result<ExecResult> Database::ExecuteScript(const std::string& sql) {
@@ -153,30 +183,122 @@ Result<ExecResult> Database::ExecuteScript(const std::string& sql) {
 }
 
 Result<QueryResult> Database::Query(const std::string& sql) {
-  MOOD_ASSIGN_OR_RETURN(ExecResult res, Execute(sql));
+  return Query(sql, QueryOptions{});
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  MOOD_ASSIGN_OR_RETURN(ExecResult res, Execute(sql, options));
   if (res.kind != ExecResult::Kind::kQuery) {
     return Status::InvalidArgument("not a SELECT statement");
   }
   return res.query;
 }
 
+Result<ExplainResult> Database::Explain(const std::string& sql,
+                                        const ExplainOptions& options) {
+  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  if (const auto* ex = std::get_if<ExplainStmt>(&stmt)) {
+    // `EXPLAIN [ANALYZE] SELECT ...` text passed through the API: statement
+    // flags merge with (never cancel) the caller's options.
+    ExplainOptions merged = options;
+    merged.analyze = options.analyze || ex->analyze;
+    merged.verbose = options.verbose || ex->verbose;
+    return ExplainSelect(ex->select, merged);
+  }
+  const auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
+  return ExplainSelect(*select, options);
+}
+
 Result<std::string> Database::Explain(const std::string& sql) {
-  MOOD_ASSIGN_OR_RETURN(auto optimized, OptimizeOnly(sql));
-  return optimized.Explain();
+  // Deprecated wrapper: the historical "dictionaries + plan" text is the
+  // verbose non-analyzed rendering of the consolidated API.
+  ExplainOptions options;
+  options.verbose = true;
+  MOOD_ASSIGN_OR_RETURN(ExplainResult res, Explain(sql, options));
+  return res.Render();
 }
 
 Result<QueryOptimizer::Optimized> Database::OptimizeOnly(const std::string& sql) {
-  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
-  auto* select = std::get_if<SelectStmt>(&stmt);
-  if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
-  return optimizer_->Optimize(*select);
+  // Deprecated wrapper: Explain(sql, {}).optimized.
+  ExplainOptions options;
+  MOOD_ASSIGN_OR_RETURN(ExplainResult res, Explain(sql, options));
+  return std::move(res.optimized);
 }
 
-Result<ExecResult> Database::ExecuteStatement(const Statement& stmt) {
+Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
+                                              const ExplainOptions& options) {
+  if (explains_counter_ != nullptr) explains_counter_->Add(1);
+  ExplainResult out;
+  out.options = options;
+  MOOD_ASSIGN_OR_RETURN(out.optimized, optimizer_->Optimize(stmt));
+  if (options.analyze) {
+    out.analyzed = true;
+    out.profile = std::make_shared<QueryProfile>();
+    out.profile->label = "RESULT";
+    ExecOptions exec;
+    exec.threads = options.query.exec_threads;
+    exec.deref_cache_entries = options.query.deref_cache_entries;
+    exec.profile = out.profile.get();
+    uint64_t start = ProfileNowNs();
+    MOOD_ASSIGN_OR_RETURN(out.result, executor_->ExecuteSelect(out.optimized, exec));
+    out.profile->wall_ns = ProfileNowNs() - start;
+    out.profile->rows_out = out.result.rows.size();
+    if (!out.profile->children.empty()) {
+      out.profile->rows_in = out.profile->children.front()->rows_out;
+    }
+    if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  }
+  return out;
+}
+
+namespace {
+/// Mirrors a plan subtree into an unexecuted profile skeleton (estimates only),
+/// so plan-only EXPLAIN shares the profile renderings.
+void MirrorPlan(const PlanPtr& plan, QueryProfile* parent) {
+  QueryProfile* p = parent->AddChild(plan->Describe());
+  p->est_rows = plan->est_rows;
+  p->est_cost = plan->est_cost;
+  p->has_estimates = true;
+  if (plan->child) MirrorPlan(plan->child, p);
+  if (plan->left) MirrorPlan(plan->left, p);
+  if (plan->right) MirrorPlan(plan->right, p);
+  for (const auto& c : plan->children) MirrorPlan(c, p);
+}
+}  // namespace
+
+std::string ExplainResult::Render() const {
+  QueryProfile::RenderOptions render;
+  if (options.format == ExplainOptions::Format::kJson) {
+    if (analyzed && profile != nullptr) return profile->ToJson(render);
+    QueryProfile skeleton;
+    skeleton.label = "PLAN";
+    MirrorPlan(optimized.plan, &skeleton);
+    render.timing = false;
+    render.buffer = false;
+    return skeleton.ToJson(render);
+  }
+  std::string out;
+  if (options.verbose) out += optimized.Explain();
+  if (analyzed && profile != nullptr) {
+    if (!out.empty()) out += "\n";
+    out += "EXPLAIN ANALYZE:\n";
+    out += profile->Render(render);
+  } else if (!options.verbose) {
+    out += "Plan:\n" + optimized.plan->Explain(1);
+  }
+  return out;
+}
+
+Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
+                                              const QueryOptions& options) {
+  if (statements_counter_ != nullptr) statements_counter_->Add(1);
   return std::visit(
-      [this](const auto& s) -> Result<ExecResult> {
+      [this, &options](const auto& s) -> Result<ExecResult> {
         using T = std::decay_t<decltype(s)>;
-        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s);
+        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s, options);
+        else if constexpr (std::is_same_v<T, ExplainStmt>) return ExecExplain(s, options);
         else if constexpr (std::is_same_v<T, CreateClassStmt>) return ExecCreateClass(s);
         else if constexpr (std::is_same_v<T, NewObjectStmt>) return ExecNew(s);
         else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s);
@@ -187,13 +309,67 @@ Result<ExecResult> Database::ExecuteStatement(const Statement& stmt) {
       stmt);
 }
 
-Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt) {
+Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
+                                        const QueryOptions& options) {
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
   MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(stmt));
-  MOOD_ASSIGN_OR_RETURN(QueryResult qr, executor_->ExecuteSelect(optimized));
   ExecResult res;
   res.kind = ExecResult::Kind::kQuery;
+  ExecOptions exec;
+  exec.threads = options.exec_threads;
+  exec.deref_cache_entries = options.deref_cache_entries;
+  if (options.collect_profile) {
+    res.profile = std::make_shared<QueryProfile>();
+    res.profile->label = "RESULT";
+    exec.profile = res.profile.get();
+  }
+  uint64_t start = exec.profile != nullptr ? ProfileNowNs() : 0;
+  MOOD_ASSIGN_OR_RETURN(QueryResult qr, executor_->ExecuteSelect(optimized, exec));
+  if (exec.profile != nullptr) {
+    res.profile->wall_ns = ProfileNowNs() - start;
+    res.profile->rows_out = qr.rows.size();
+    if (!res.profile->children.empty()) {
+      res.profile->rows_in = res.profile->children.front()->rows_out;
+    }
+  }
   res.query = std::move(qr);
   return res;
+}
+
+Result<ExecResult> Database::ExecExplain(const ExplainStmt& stmt,
+                                         const QueryOptions& options) {
+  ExplainOptions eopts;
+  eopts.analyze = stmt.analyze;
+  eopts.verbose = stmt.verbose;
+  eopts.query = options;
+  MOOD_ASSIGN_OR_RETURN(ExplainResult er, ExplainSelect(stmt.select, eopts));
+  ExecResult res;
+  res.kind = ExecResult::Kind::kExplain;
+  res.message = er.Render();
+  res.profile = er.profile;
+  return res;
+}
+
+void Database::NoteQuery(const std::string& sql, double elapsed_ms, size_t rows,
+                         size_t threads) {
+  if (query_us_hist_ != nullptr) {
+    query_us_hist_->Record(static_cast<uint64_t>(elapsed_ms * 1000.0));
+  }
+  if (options_.slow_query_ms <= 0 || elapsed_ms < options_.slow_query_ms ||
+      options_.slow_query_log_size == 0) {
+    return;
+  }
+  if (slow_counter_ != nullptr) slow_counter_->Add(1);
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  while (slow_queries_.size() >= options_.slow_query_log_size) {
+    slow_queries_.pop_front();
+  }
+  slow_queries_.push_back(SlowQueryRecord{sql, elapsed_ms, rows, threads});
+}
+
+std::vector<SlowQueryRecord> Database::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_queries_.begin(), slow_queries_.end()};
 }
 
 Result<ExecResult> Database::ExecCreateClass(const CreateClassStmt& stmt) {

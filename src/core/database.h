@@ -1,6 +1,9 @@
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "algebra/operators.h"
@@ -11,6 +14,8 @@
 #include "moodview/query_manager.h"
 #include "moodview/schema_browser.h"
 #include "objects/object_manager.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "stats/statistics.h"
@@ -36,20 +41,86 @@ struct DatabaseOptions {
   /// function). When off, no log file is kept and transactions are unavailable.
   bool enable_wal = true;
   /// Worker threads for intra-query parallelism. 0 = hardware_concurrency,
-  /// 1 = serial execution (the exact pre-parallelism behavior). Can be changed
-  /// per-query later through Executor::set_threads.
+  /// 1 = serial execution (the exact pre-parallelism behavior). This is the
+  /// default; individual calls override it with QueryOptions::exec_threads.
   size_t exec_threads = 0;
+  /// SELECT statements slower than this (wall milliseconds) land in the
+  /// slow-query ring buffer (Database::SlowQueries). <= 0 disables recording.
+  double slow_query_ms = 250;
+  /// Capacity of the slow-query ring buffer; older entries fall out first.
+  size_t slow_query_log_size = 64;
   OptimizerOptions optimizer;
 };
 
-/// Result of executing one MOODSQL statement.
+/// Per-call query options. Defaults inherit the DatabaseOptions the database
+/// was opened with, so `QueryOptions{}` reproduces the plain Execute/Query
+/// behavior. Replaces mutating Executor::set_threads between queries.
+struct QueryOptions {
+  /// Sentinel: use the database's configured deref-cache capacity.
+  static constexpr size_t kInheritCache = static_cast<size_t>(-1);
+
+  /// Worker threads for this call; 0 = the database default (exec_threads).
+  size_t exec_threads = 0;
+  /// Deref-cache capacity for this call; kInheritCache = database default,
+  /// 0 disables the cache.
+  size_t deref_cache_entries = kInheritCache;
+  /// Record a per-operator QueryProfile into ExecResult::profile. Off by
+  /// default: the disabled path costs one pointer test per operator.
+  bool collect_profile = false;
+};
+
+/// Options for the consolidated Database::Explain entry point.
+struct ExplainOptions {
+  enum class Format { kText, kJson };
+
+  /// Execute the query and annotate each operator with actual rows, wall time
+  /// and buffer-pool deltas (EXPLAIN ANALYZE).
+  bool analyze = false;
+  /// Include the optimizer's selectivity/cost dictionaries (ImmSelInfo,
+  /// PathSelInfo, per-AND-term plans) ahead of the plan.
+  bool verbose = false;
+  Format format = Format::kText;
+  /// Per-call execution knobs for the ANALYZE run.
+  QueryOptions query;
+};
+
+/// Structured result of Database::Explain. Render() produces the human-readable
+/// (or JSON) form; callers wanting the raw plan or actuals read the fields.
+struct ExplainResult {
+  QueryOptimizer::Optimized optimized;
+  /// Per-operator actuals; null unless analyze was requested.
+  std::shared_ptr<QueryProfile> profile;
+  /// Query output of the ANALYZE run (empty otherwise).
+  QueryResult result;
+  bool analyzed = false;
+  ExplainOptions options;
+
+  std::string Render() const;
+};
+
+/// One slow-query ring-buffer entry (see DatabaseOptions::slow_query_ms).
+struct SlowQueryRecord {
+  std::string sql;
+  double elapsed_ms = 0;
+  size_t rows = 0;
+  size_t threads = 0;
+};
+
+/// Result of executing one MOODSQL statement. Which fields are meaningful is
+/// determined by `kind`:
+///   kQuery   -> query (and profile when QueryOptions::collect_profile is set)
+///   kDdl     -> message
+///   kDml     -> message, affected; created_oid is engaged for NEW statements
+///   kExplain -> message holds the rendered plan (and actuals under ANALYZE)
 struct ExecResult {
-  enum class Kind { kQuery, kDdl, kDml };
+  enum class Kind { kQuery, kDdl, kDml, kExplain };
   Kind kind = Kind::kDdl;
-  QueryResult query;     ///< kQuery
-  std::string message;   ///< DDL/DML summary
-  Oid created_oid;       ///< NEW statements
-  size_t affected = 0;   ///< UPDATE/DELETE row counts
+  QueryResult query;                  ///< kQuery
+  std::string message;                ///< DDL/DML summary, EXPLAIN rendering
+  std::optional<Oid> created_oid;     ///< engaged only for NEW statements
+  size_t affected = 0;                ///< UPDATE/DELETE row counts
+  /// Per-operator actuals; non-null only when profiling was requested.
+  std::shared_ptr<QueryProfile> profile;
 };
 
 /// The MOOD database facade (Figure 2.1): the MOODSQL interpreter on top of the
@@ -75,14 +146,34 @@ class Database {
 
   /// Parses and executes one MOODSQL statement.
   Result<ExecResult> Execute(const std::string& sql);
+  /// Same, with per-call options (threads, deref cache, profiling).
+  Result<ExecResult> Execute(const std::string& sql, const QueryOptions& options);
   /// Executes a ';'-separated script; returns the last statement's result.
   Result<ExecResult> ExecuteScript(const std::string& sql);
   /// Convenience: SELECT statements only.
   Result<QueryResult> Query(const std::string& sql);
-  /// Optimizer dictionaries + chosen plan, without executing.
+  Result<QueryResult> Query(const std::string& sql, const QueryOptions& options);
+
+  /// The consolidated EXPLAIN entry point: optimizes `sql` (a SELECT, or an
+  /// EXPLAIN statement whose flags merge with `options`) and, when
+  /// options.analyze is set, executes it recording per-operator actuals.
+  Result<ExplainResult> Explain(const std::string& sql, const ExplainOptions& options);
+
+  /// Deprecated: optimizer dictionaries + chosen plan as text, without
+  /// executing. Equivalent to Explain(sql, {.verbose = true}).Render().
   Result<std::string> Explain(const std::string& sql);
-  /// Full optimizer output (for benches asserting on plan shapes).
+  /// Deprecated: full optimizer output (for benches asserting on plan shapes).
+  /// Equivalent to Explain(sql, {}).optimized.
   Result<QueryOptimizer::Optimized> OptimizeOnly(const std::string& sql);
+
+  /// Engine-wide metrics registry (buffer pool, heap files, object manager,
+  /// function manager, lock manager, execution counters). Snapshot() is safe
+  /// while queries run. Null before Open.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+
+  /// Slow-query ring-buffer contents, oldest first (see
+  /// DatabaseOptions::slow_query_ms).
+  std::vector<SlowQueryRecord> SlowQueries() const;
 
   // --- Methods (Function Manager) --------------------------------------------------
 
@@ -128,8 +219,16 @@ class Database {
   std::unique_ptr<QueryManager> MakeQuerySession();
 
  private:
-  Result<ExecResult> ExecuteStatement(const Statement& stmt);
-  Result<ExecResult> ExecSelect(const SelectStmt& stmt);
+  Result<ExecResult> ExecuteStatement(const Statement& stmt,
+                                      const QueryOptions& options = {});
+  Result<ExecResult> ExecSelect(const SelectStmt& stmt, const QueryOptions& options);
+  Result<ExecResult> ExecExplain(const ExplainStmt& stmt, const QueryOptions& options);
+  /// Shared core of Explain()/EXPLAIN statements over an already-parsed SELECT.
+  Result<ExplainResult> ExplainSelect(const SelectStmt& stmt,
+                                      const ExplainOptions& options);
+  /// Records a finished SELECT into the slow-query ring buffer.
+  void NoteQuery(const std::string& sql, double elapsed_ms, size_t rows,
+                 size_t threads);
   Result<ExecResult> ExecCreateClass(const CreateClassStmt& stmt);
   Result<ExecResult> ExecNew(const NewObjectStmt& stmt);
   Result<ExecResult> ExecUpdate(const UpdateStmt& stmt);
@@ -166,6 +265,17 @@ class Database {
   std::unique_ptr<SchemaBrowser> schema_browser_;
   std::unique_ptr<ObjectBrowser> object_browser_;
   Transaction* active_txn_ = nullptr;
+
+  /// Engine metrics. Destroyed before the components its probes point into.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  MetricCounter* statements_counter_ = nullptr;  ///< exec.statements
+  MetricCounter* queries_counter_ = nullptr;     ///< exec.queries
+  MetricCounter* explains_counter_ = nullptr;    ///< exec.explains
+  MetricCounter* slow_counter_ = nullptr;        ///< exec.slow_queries
+  MetricHistogram* query_us_hist_ = nullptr;     ///< exec.query_us (microseconds)
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQueryRecord> slow_queries_;
 };
 
 }  // namespace mood

@@ -7,8 +7,36 @@
 #include <unordered_set>
 
 #include "exec/parallel.h"
+#include "obs/query_profile.h"
 
 namespace mood {
+
+namespace {
+
+/// Scoped profiling span: null node = profiling off, every hook degenerates to
+/// one pointer test. Timing is taken only when the node exists.
+struct StageSpan {
+  QueryProfile* node = nullptr;
+  uint64_t start = 0;
+
+  static StageSpan Begin(QueryProfile* parent, const char* label, size_t rows_in) {
+    StageSpan s;
+    if (parent != nullptr) {
+      s.node = parent->AddChild(label);
+      s.node->rows_in = rows_in;
+      s.start = ProfileNowNs();
+    }
+    return s;
+  }
+  void End(size_t rows_out) {
+    if (node != nullptr) {
+      node->rows_out = rows_out;
+      node->wall_ns = ProfileNowNs() - start;
+    }
+  }
+};
+
+}  // namespace
 
 std::string QueryResult::ToString(size_t limit) const {
   std::vector<size_t> widths(columns.size());
@@ -77,16 +105,29 @@ Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
   return handle(v);
 }
 
-Result<RowSet> Executor::ExecBind(const PlanNode& node, DerefCache*) const {
+Result<RowSet> Executor::ExecBind(const PlanNode& node, Ctx& ctx) const {
   RowSet rs;
   rs.vars = {node.from.var};
-  if (threads_ <= 1) {
+  if (ctx.threads <= 1) {
     MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
                                               node.from.excludes,
                                               [&](Oid oid, const MoodValue&) {
                                                 rs.rows.push_back({oid});
                                                 return Status::OK();
                                               }));
+    if (ctx.profile != nullptr) {
+      // Report the page-task count the parallel path would partition into, so
+      // the profile's morsel column is identical across thread counts.
+      MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
+                            objects_->ScanClasses(node.from.class_name, node.from.every,
+                                                  node.from.excludes));
+      size_t pages = 0;
+      for (const std::string& cls : classes) {
+        MOOD_ASSIGN_OR_RETURN(std::vector<PageId> ids, objects_->ExtentPageIds(cls));
+        pages += ids.size();
+      }
+      ctx.profile->morsels = pages;
+    }
     return rs;
   }
   // Parallel extent scan: one morsel per extent page, in (class, chain) order —
@@ -109,8 +150,9 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node, DerefCache*) const {
     cursors.push_back(std::make_unique<HeapFile::ScanCursor>());
     for (PageId p : pages) tasks.push_back({&cls, p, cursors.back().get()});
   }
+  if (ctx.profile != nullptr) ctx.profile->morsels = tasks.size();
   std::vector<std::vector<std::vector<Oid>>> partial(tasks.size());
-  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, tasks.size(), [&](size_t t) {
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, tasks.size(), [&](size_t t) {
     return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
                                     tasks[t].cursor,
                                     [&](Oid oid, const MoodValue&) {
@@ -124,14 +166,15 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node, DerefCache*) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, DerefCache*) const {
+Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, Ctx& ctx) const {
   RowSet rs;
   rs.vars = {node.from.var};
+  if (ctx.profile != nullptr) ctx.profile->morsels = node.probes.size();
   // Probes run in parallel (each is an independent index lookup); the
   // intersection then folds them in probe order, preserving the first probe's
   // oid order exactly as the serial loop does.
   std::vector<std::vector<Oid>> selected(node.probes.size());
-  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, node.probes.size(), [&](size_t p) {
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, node.probes.size(), [&](size_t p) {
     const IndexProbe& probe = node.probes[p];
     MOOD_ASSIGN_OR_RETURN(
         Collection sel,
@@ -157,18 +200,19 @@ Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, DerefCache*) cons
   return rs;
 }
 
-Result<RowSet> Executor::ExecFilter(const PlanNode& node, DerefCache* cache) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.child, cache));
+Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.child, ctx));
   RowSet rs;
   rs.vars = child.vars;
   // Each morsel of child rows evaluates the predicate chain independently; the
   // kept rows merge back in morsel order, matching the serial scan.
   std::vector<Morsel> morsels = MakeMorsels(child.rows.size());
+  if (ctx.profile != nullptr) ctx.profile->morsels = morsels.size();
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
-  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       auto& row = child.rows[i];
-      Evaluator::Env env = EnvOf(child, row, cache);
+      Evaluator::Env env = EnvOf(child, row, ctx.cache);
       bool keep = true;
       for (const auto& pred : node.predicates) {
         MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
@@ -184,9 +228,9 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, DerefCache* cache) con
   return rs;
 }
 
-Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, DerefCache* cache) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, cache));
-  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, cache));
+Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, ctx));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, ctx));
   int ref_idx = left.VarIndex(node.ref_var);
   int tgt_idx = right.VarIndex(node.target_var);
   if (ref_idx < 0 || tgt_idx < 0) {
@@ -241,12 +285,13 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, DerefCache* cache
   // access pattern the cost model prices (Section 6). The chase side (the probe)
   // fans out across workers in left-row morsels; right_by_oid is read-only here.
   std::vector<Morsel> morsels = MakeMorsels(left.rows.size());
+  if (ctx.profile != nullptr) ctx.profile->morsels = morsels.size();
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
-  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       const auto& lrow = left.rows[i];
       Oid from = lrow[static_cast<size_t>(ref_idx)];
-      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, cache, [&](Oid reached) {
+      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, ctx.cache, [&](Oid reached) {
         auto it = right_by_oid.find(reached.Pack());
         if (it != right_by_oid.end()) {
           for (size_t r : it->second) {
@@ -267,24 +312,25 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, DerefCache* cache
   return rs;
 }
 
-Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, DerefCache* cache) const {
-  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, cache));
-  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, cache));
+Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(RowSet left, Exec(node.left, ctx));
+  MOOD_ASSIGN_OR_RETURN(RowSet right, Exec(node.right, ctx));
   RowSet rs;
   rs.vars = left.vars;
   rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
   // The outer (left) side partitions into morsels; every worker loops the full
   // inner side, so merged morsels reproduce the serial (lrow, rrow) order.
   std::vector<Morsel> morsels = MakeMorsels(left.rows.size());
+  if (ctx.profile != nullptr) ctx.profile->morsels = morsels.size();
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
-  MOOD_RETURN_IF_ERROR(ParallelFor(threads_, morsels.size(), [&](size_t m) {
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       const auto& lrow = left.rows[i];
       for (const auto& rrow : right.rows) {
         std::vector<Oid> combined = lrow;
         combined.insert(combined.end(), rrow.begin(), rrow.end());
         if (node.join_pred != nullptr) {
-          Evaluator::Env env = EnvOf(rs, combined, cache);
+          Evaluator::Env env = EnvOf(rs, combined, ctx.cache);
           MOOD_ASSIGN_OR_RETURN(bool match,
                                 evaluator_->EvalPredicate(node.join_pred, env));
           if (!match) continue;
@@ -300,9 +346,9 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, DerefCache* cache)
   return rs;
 }
 
-Result<RowSet> Executor::ExecUnion(const PlanNode& node, DerefCache* cache) const {
+Result<RowSet> Executor::ExecUnion(const PlanNode& node, Ctx& ctx) const {
   if (node.children.empty()) return RowSet{};
-  MOOD_ASSIGN_OR_RETURN(RowSet first, Exec(node.children[0], cache));
+  MOOD_ASSIGN_OR_RETURN(RowSet first, Exec(node.children[0], ctx));
   // Align every child on the first child's variable order and deduplicate
   // (DNF AND-terms overlap, so the UNION needs set semantics).
   std::set<std::vector<uint64_t>> seen;
@@ -329,43 +375,104 @@ Result<RowSet> Executor::ExecUnion(const PlanNode& node, DerefCache* cache) cons
   };
   MOOD_RETURN_IF_ERROR(add(first));
   for (size_t c = 1; c < node.children.size(); c++) {
-    MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.children[c], cache));
+    MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.children[c], ctx));
     MOOD_RETURN_IF_ERROR(add(child));
   }
   return rs;
 }
 
-Result<RowSet> Executor::Exec(const PlanPtr& plan, DerefCache* cache) const {
-  switch (plan->op) {
-    case PlanOp::kBindClass: return ExecBind(*plan, cache);
-    case PlanOp::kIndexSelect: return ExecIndexSelect(*plan, cache);
-    case PlanOp::kFilter: return ExecFilter(*plan, cache);
-    case PlanOp::kPointerJoin: return ExecPointerJoin(*plan, cache);
-    case PlanOp::kNestedLoopJoin: return ExecNestedLoop(*plan, cache);
-    case PlanOp::kUnion: return ExecUnion(*plan, cache);
+Result<RowSet> Executor::Dispatch(const PlanNode& node, Ctx& ctx) const {
+  switch (node.op) {
+    case PlanOp::kBindClass: return ExecBind(node, ctx);
+    case PlanOp::kIndexSelect: return ExecIndexSelect(node, ctx);
+    case PlanOp::kFilter: return ExecFilter(node, ctx);
+    case PlanOp::kPointerJoin: return ExecPointerJoin(node, ctx);
+    case PlanOp::kNestedLoopJoin: return ExecNestedLoop(node, ctx);
+    case PlanOp::kUnion: return ExecUnion(node, ctx);
   }
   return Status::Internal("unknown plan operator");
 }
 
+Result<RowSet> Executor::Exec(const PlanPtr& plan, Ctx& ctx) const {
+  if (ctx.profile == nullptr) return Dispatch(*plan, ctx);
+
+  // Profiling on: mirror the plan node into the profile tree, then dispatch
+  // with the mirrored node as the attach point so children nest underneath.
+  QueryProfile* node = ctx.profile->AddChild(plan->Describe());
+  node->est_rows = plan->est_rows;
+  node->est_cost = plan->est_cost;
+  node->has_estimates = true;
+  BufferPoolStats before;
+  if (ctx.pool != nullptr) before = ctx.pool->stats();
+  uint64_t start = ProfileNowNs();
+  Ctx sub = ctx;
+  sub.profile = node;
+  Result<RowSet> result = Dispatch(*plan, sub);
+  node->wall_ns = ProfileNowNs() - start;  // inclusive of children
+  if (ctx.pool != nullptr) {
+    BufferPoolStats after = ctx.pool->stats();
+    node->pool.hits = after.hits - before.hits;
+    node->pool.misses = after.misses - before.misses;
+    node->pool.evictions = after.evictions - before.evictions;
+    node->pool.prefetches = after.prefetches - before.prefetches;
+  }
+  if (result.ok()) {
+    node->rows_out = result.value().rows.size();
+    uint64_t in = 0;
+    for (const auto& c : node->children) in += c->rows_out;
+    node->rows_in = in;
+  }
+  return result;
+}
+
+Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
+  Ctx ctx;
+  ctx.threads = options.threads == 0 ? threads_ : options.threads;
+  ctx.profile = options.profile;
+  if (options.profile != nullptr && objects_->storage() != nullptr) {
+    ctx.pool = objects_->storage()->buffer_pool();
+  }
+  return ctx;
+}
+
 Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan) const {
-  DerefCache cache(deref_cache_capacity_);
-  return Exec(plan, deref_cache_capacity_ > 0 ? &cache : nullptr);
+  return ExecutePlan(plan, ExecOptions{});
+}
+
+Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan,
+                                     const ExecOptions& options) const {
+  size_t capacity = options.deref_cache_entries == ExecOptions::kInheritCache
+                        ? deref_cache_capacity_
+                        : options.deref_cache_entries;
+  Ctx ctx = MakeCtx(options);
+  DerefCache cache(capacity);
+  ctx.cache = capacity > 0 ? &cache : nullptr;
+  Result<RowSet> result = Exec(plan, ctx);
+  objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+  return result;
 }
 
 Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) const {
   DerefCache cache(deref_cache_capacity_);
-  return Finish(stmt, std::move(rows), deref_cache_capacity_ > 0 ? &cache : nullptr);
+  Ctx ctx;
+  ctx.threads = threads_;
+  ctx.cache = deref_cache_capacity_ > 0 ? &cache : nullptr;
+  Result<QueryResult> result = Finish(stmt, std::move(rows), ctx);
+  objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+  return result;
 }
 
 Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
-                                     DerefCache* cache) const {
+                                     Ctx& ctx) const {
+  QueryProfile* prof = ctx.profile;
   // GROUP BY: keep one representative row per group key (MOODSQL has no
   // aggregate functions; grouping exposes one row per partition, matching the
   // algebra's Partition operator).
   if (!stmt.group_by.empty()) {
+    StageSpan span = StageSpan::Begin(prof, "GROUP BY", rows.rows.size());
     std::map<std::string, std::vector<Oid>> groups;
     for (const auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row, cache);
+      Evaluator::Env env = EnvOf(rows, row, ctx.cache);
       std::string key;
       for (const auto& g : stmt.group_by) {
         MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(g, env));
@@ -377,20 +484,24 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     grouped.vars = rows.vars;
     for (auto& [key, row] : groups) grouped.rows.push_back(row);
     rows = std::move(grouped);
+    span.End(rows.rows.size());
     if (stmt.having != nullptr) {
+      StageSpan hspan = StageSpan::Begin(prof, "HAVING", rows.rows.size());
       RowSet kept;
       kept.vars = rows.vars;
       for (auto& row : rows.rows) {
-        Evaluator::Env env = EnvOf(rows, row, cache);
+        Evaluator::Env env = EnvOf(rows, row, ctx.cache);
         MOOD_ASSIGN_OR_RETURN(bool keep, evaluator_->EvalPredicate(stmt.having, env));
         if (keep) kept.rows.push_back(std::move(row));
       }
       rows = std::move(kept);
+      hspan.End(rows.rows.size());
     }
   }
 
   // ORDER BY before projection (keys may not be projected).
   if (!stmt.order_by.empty()) {
+    StageSpan span = StageSpan::Begin(prof, "ORDER BY", rows.rows.size());
     struct Keyed {
       std::vector<MoodValue> keys;
       std::vector<Oid> row;
@@ -398,7 +509,7 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     std::vector<Keyed> keyed;
     keyed.reserve(rows.rows.size());
     for (auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row, cache);
+      Evaluator::Env env = EnvOf(rows, row, ctx.cache);
       Keyed k;
       for (const auto& o : stmt.order_by) {
         MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(o.expr, env));
@@ -424,13 +535,15 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     MOOD_RETURN_IF_ERROR(cmp_error);
     rows.rows.clear();
     for (auto& k : keyed) rows.rows.push_back(std::move(k.row));
+    span.End(rows.rows.size());
   }
 
   // Projection.
+  StageSpan pspan = StageSpan::Begin(prof, "PROJECT", rows.rows.size());
   QueryResult result;
   for (const auto& p : stmt.projection) result.columns.push_back(p->ToString());
   for (const auto& row : rows.rows) {
-    Evaluator::Env env = EnvOf(rows, row, cache);
+    Evaluator::Env env = EnvOf(rows, row, ctx.cache);
     std::vector<MoodValue> out;
     out.reserve(stmt.projection.size());
     for (const auto& p : stmt.projection) {
@@ -439,8 +552,10 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     }
     result.rows.push_back(std::move(out));
   }
+  pspan.End(result.rows.size());
 
   if (stmt.distinct) {
+    StageSpan span = StageSpan::Begin(prof, "DISTINCT", result.rows.size());
     std::vector<std::vector<MoodValue>> dedup;
     for (auto& row : result.rows) {
       bool seen = false;
@@ -455,18 +570,35 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
       if (!seen) dedup.push_back(std::move(row));
     }
     result.rows = std::move(dedup);
+    span.End(result.rows.size());
   }
   return result;
 }
 
 Result<QueryResult> Executor::ExecuteSelect(
     const QueryOptimizer::Optimized& optimized) const {
+  return ExecuteSelect(optimized, ExecOptions{});
+}
+
+Result<QueryResult> Executor::ExecuteSelect(const QueryOptimizer::Optimized& optimized,
+                                            const ExecOptions& options) const {
+  size_t capacity = options.deref_cache_entries == ExecOptions::kInheritCache
+                        ? deref_cache_capacity_
+                        : options.deref_cache_entries;
+  Ctx ctx = MakeCtx(options);
   // One Deref cache per query: objects dereferenced while executing the plan
-  // stay warm for the projection/ORDER BY passes in Finish.
-  DerefCache cache(deref_cache_capacity_);
-  DerefCache* c = deref_cache_capacity_ > 0 ? &cache : nullptr;
-  MOOD_ASSIGN_OR_RETURN(RowSet rows, Exec(optimized.plan, c));
-  return Finish(optimized.bound.stmt, std::move(rows), c);
+  // stay warm for the projection/ORDER BY passes in Finish. Its hit/miss tally
+  // folds into the engine-wide objects.deref_cache.* metrics when it dies.
+  DerefCache cache(capacity);
+  ctx.cache = capacity > 0 ? &cache : nullptr;
+  Result<RowSet> rows = Exec(optimized.plan, ctx);
+  if (!rows.ok()) {
+    objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+    return rows.status();
+  }
+  Result<QueryResult> result = Finish(optimized.bound.stmt, std::move(rows).value(), ctx);
+  objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+  return result;
 }
 
 }  // namespace mood

@@ -10,6 +10,8 @@
 
 namespace mood {
 
+struct QueryProfile;
+
 /// Intermediate result: rows of range-variable bindings.
 struct RowSet {
   std::vector<std::string> vars;
@@ -32,11 +34,31 @@ struct QueryResult {
   std::string ToString(size_t limit = 0) const;
 };
 
+/// Per-call execution options. Every field defaults to "inherit the executor
+/// default", so `ExecOptions{}` reproduces the configured behavior exactly;
+/// callers override individual knobs per query without mutating shared state
+/// (the Executor itself stays const and therefore safe for concurrent callers).
+struct ExecOptions {
+  /// Sentinel: use the executor's configured deref-cache capacity.
+  static constexpr size_t kInheritCache = static_cast<size_t>(-1);
+
+  /// Worker threads for this call; 0 = the executor default (set_threads).
+  size_t threads = 0;
+  /// Per-query Deref cache capacity in entries; kInheritCache = the executor
+  /// default, 0 disables the cache for this call.
+  size_t deref_cache_entries = kInheritCache;
+  /// When non-null, per-operator actuals (rows in/out, morsels, wall time,
+  /// buffer-pool deltas) are recorded as children of this node. Null (the
+  /// default) skips every profiling hook behind a single inlined pointer test,
+  /// so disabled profiling costs nothing measurable.
+  QueryProfile* profile = nullptr;
+};
+
 /// Executes physical plans produced by the optimizer, then applies the clause
 /// pipeline of Figure 7.1: FROM -> WHERE -> GROUP BY -> HAVING -> SELECT
 /// (projection) -> ORDER BY.
 ///
-/// With threads() > 1 the operators use morsel-driven intra-query parallelism:
+/// With threads > 1 the operators use morsel-driven intra-query parallelism:
 /// extent scans partition into extent pages, filters and join probe sides into
 /// fixed-size row morsels, and index selections into per-probe tasks. Partial
 /// results are merged in morsel order, so the produced RowSet is byte-identical
@@ -50,35 +72,56 @@ class Executor {
   Executor(ObjectManager* objects, Evaluator* evaluator, MoodAlgebra* algebra)
       : objects_(objects), evaluator_(evaluator), algebra_(algebra) {}
 
-  /// Worker threads for query execution; 1 (the default) reproduces the serial
-  /// executor exactly, including its error behavior.
+  /// Default worker-thread count for calls that do not pass ExecOptions;
+  /// 1 reproduces the serial executor exactly, including its error behavior.
+  /// Deprecated as a per-query knob: pass ExecOptions::threads instead of
+  /// mutating this shared default mid-stream.
   void set_threads(size_t threads) { threads_ = threads == 0 ? 1 : threads; }
   size_t threads() const { return threads_; }
 
-  /// Capacity of the per-query Deref cache (entries); 0 disables it. One cache
-  /// instance lives for the duration of each ExecutePlan/ExecuteSelect call and
-  /// is shared by all of that query's morsel workers.
+  /// Default capacity of the per-query Deref cache (entries); 0 disables it.
+  /// One cache instance lives for the duration of each ExecutePlan /
+  /// ExecuteSelect call and is shared by all of that query's morsel workers.
+  /// Deprecated as a per-query knob: pass ExecOptions::deref_cache_entries.
   void set_deref_cache_capacity(size_t entries) { deref_cache_capacity_ = entries; }
   size_t deref_cache_capacity() const { return deref_cache_capacity_; }
 
   Result<RowSet> ExecutePlan(const PlanPtr& plan) const;
+  Result<RowSet> ExecutePlan(const PlanPtr& plan, const ExecOptions& options) const;
 
   Result<QueryResult> ExecuteSelect(const QueryOptimizer::Optimized& optimized) const;
+  Result<QueryResult> ExecuteSelect(const QueryOptimizer::Optimized& optimized,
+                                    const ExecOptions& options) const;
 
   /// Evaluates the clause pipeline over an already-computed row set (used by the
   /// naive executor in bench_query_e2e).
   Result<QueryResult> FinishSelect(const SelectStmt& stmt, RowSet rows) const;
 
  private:
-  Result<RowSet> Exec(const PlanPtr& plan, DerefCache* cache) const;
-  Result<RowSet> ExecBind(const PlanNode& node, DerefCache* cache) const;
-  Result<RowSet> ExecIndexSelect(const PlanNode& node, DerefCache* cache) const;
-  Result<RowSet> ExecFilter(const PlanNode& node, DerefCache* cache) const;
-  Result<RowSet> ExecPointerJoin(const PlanNode& node, DerefCache* cache) const;
-  Result<RowSet> ExecNestedLoop(const PlanNode& node, DerefCache* cache) const;
-  Result<RowSet> ExecUnion(const PlanNode& node, DerefCache* cache) const;
+  /// Per-call state threaded through the operator tree: resolved options plus
+  /// the profile node operator children attach under (null = profiling off).
+  struct Ctx {
+    size_t threads = 1;
+    DerefCache* cache = nullptr;
+    QueryProfile* profile = nullptr;
+    BufferPool* pool = nullptr;  ///< sampled for per-operator deltas when profiling
+  };
 
-  Result<QueryResult> Finish(const SelectStmt& stmt, RowSet rows, DerefCache* cache) const;
+  Result<RowSet> Exec(const PlanPtr& plan, Ctx& ctx) const;
+  Result<RowSet> Dispatch(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecBind(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecIndexSelect(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecFilter(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecPointerJoin(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecNestedLoop(const PlanNode& node, Ctx& ctx) const;
+  Result<RowSet> ExecUnion(const PlanNode& node, Ctx& ctx) const;
+
+  Result<QueryResult> Finish(const SelectStmt& stmt, RowSet rows, Ctx& ctx) const;
+
+  /// Resolves ExecOptions inherit-sentinels (threads, profiling pool handle)
+  /// against the executor defaults. The deref-cache capacity resolves at the
+  /// call sites because the cache itself lives on their stack.
+  Ctx MakeCtx(const ExecOptions& options) const;
 
   Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row,
                        DerefCache* cache) const;

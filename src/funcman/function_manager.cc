@@ -1,5 +1,7 @@
 #include "funcman/function_manager.h"
 
+#include "obs/metrics.h"
+
 namespace mood {
 
 Result<MoodValue> MethodContext::Attr(const std::string& name) const {
@@ -151,6 +153,21 @@ Result<MoodValue> FunctionManager::Invoke(const std::string& class_name,
 void FunctionManager::UnloadAll() {
   std::lock_guard<std::mutex> lock(loaded_mu_);
   loaded_.clear();
+}
+
+void FunctionManager::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterProbe(
+      "funcman", [this](std::vector<std::pair<std::string, double>>* out) {
+        InvokeStats s = stats();
+        out->emplace_back("funcman.cold_loads", static_cast<double>(s.cold_loads));
+        out->emplace_back("funcman.warm_calls", static_cast<double>(s.warm_calls));
+        out->emplace_back("funcman.fallback_calls",
+                          static_cast<double>(s.fallback_calls));
+        out->emplace_back("funcman.errors", static_cast<double>(s.errors));
+        out->emplace_back("funcman.registered",
+                          static_cast<double>(registered_count()));
+        out->emplace_back("funcman.loaded", static_cast<double>(loaded_count()));
+      });
 }
 
 }  // namespace mood

@@ -13,6 +13,8 @@
 
 namespace mood {
 
+class MetricsRegistry;
+
 /// Context passed to an invoked member function: the receiver object and a
 /// dereferencing hook so method bodies can chase references.
 struct MethodContext {
@@ -104,6 +106,10 @@ class FunctionManager {
 
   size_t registered_count() const { return registry_.size(); }
   size_t loaded_count() const { return loaded_.size(); }
+
+  /// Registers the `funcman.*` probe: invoke counters plus registered/loaded
+  /// body gauges.
+  void RegisterMetrics(MetricsRegistry* registry) const;
 
  private:
   std::mutex& ClassLatch(const std::string& class_name);

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "index/key_codec.h"
+#include "obs/metrics.h"
 
 namespace mood {
 
@@ -103,6 +104,7 @@ Result<Oid> ObjectManager::CreateObject(const std::string& class_name, MoodValue
   oid.slot = rid.slot;
   MOOD_RETURN_IF_ERROR(MaintainIndexes(class_name, oid, nullptr, &tuple));
   BumpWriteEpoch(oid.file);
+  objects_created_.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
 
@@ -197,6 +199,7 @@ Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal) {
   MOOD_RETURN_IF_ERROR(extent->Delete(RecordId{oid.page, oid.slot}, wal));
   Status st = MaintainIndexes(class_name, oid, &old_tuple, nullptr);
   BumpWriteEpoch(oid.file);
+  objects_deleted_.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
@@ -626,6 +629,35 @@ Result<PathIndex*> ObjectManager::OpenPathIndex(const IndexDesc& desc) {
   PathIndex* raw = pidx.get();
   path_indexes_[desc.name] = std::move(pidx);
   return raw;
+}
+
+void ObjectManager::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterProbe(
+      "objects", [this](std::vector<std::pair<std::string, double>>* out) {
+        uint64_t epochs = 0;
+        for (const auto& e : write_epochs_) {
+          epochs += e.load(std::memory_order_relaxed);
+        }
+        out->emplace_back("objects.created",
+                          static_cast<double>(
+                              objects_created_.load(std::memory_order_relaxed)));
+        out->emplace_back("objects.deleted",
+                          static_cast<double>(
+                              objects_deleted_.load(std::memory_order_relaxed)));
+        out->emplace_back(
+            "objects.deref_cache.hits",
+            static_cast<double>(deref_hits_.load(std::memory_order_relaxed)));
+        out->emplace_back(
+            "objects.deref_cache.misses",
+            static_cast<double>(deref_misses_.load(std::memory_order_relaxed)));
+        out->emplace_back("objects.write_epochs", static_cast<double>(epochs));
+        {
+          std::lock_guard<std::mutex> lock(index_cache_mu_);
+          out->emplace_back("objects.open_indexes",
+                            static_cast<double>(btrees_.size() + hashes_.size() +
+                                                bjis_.size() + path_indexes_.size()));
+        }
+      });
 }
 
 }  // namespace mood

@@ -208,6 +208,19 @@ class ObjectManager {
   Catalog* catalog() const { return catalog_; }
   StorageManager* storage() const { return storage_; }
 
+  /// Folds one finished query's DerefCache hit/miss counts into the
+  /// engine-wide totals (called by the Executor when the per-query cache
+  /// dies); `objects.deref_cache.*` in the metrics registry.
+  void AccumulateDerefStats(uint64_t hits, uint64_t misses) const {
+    deref_hits_.fetch_add(hits, std::memory_order_relaxed);
+    deref_misses_.fetch_add(misses, std::memory_order_relaxed);
+  }
+
+  /// Registers the `objects.*` probe: created/deleted counters, accumulated
+  /// deref-cache totals, and the summed write epochs (total cache-invalidating
+  /// writes across all extent-file slots).
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   Result<HeapFile*> ExtentOf(const std::string& class_name) const;
   Result<MoodValue> PadToSchema(const std::string& class_name, MoodValue tuple) const;
@@ -241,6 +254,11 @@ class ObjectManager {
   /// false hit).
   static constexpr size_t kEpochSlots = 64;
   mutable std::array<std::atomic<uint64_t>, kEpochSlots> write_epochs_{};
+  /// Engine-wide observability counters (relaxed atomics; see RegisterMetrics).
+  mutable std::atomic<uint64_t> objects_created_{0};
+  mutable std::atomic<uint64_t> objects_deleted_{0};
+  mutable std::atomic<uint64_t> deref_hits_{0};
+  mutable std::atomic<uint64_t> deref_misses_{0};
   /// Guards the lazily-populated index-handle caches below: parallel workers
   /// may race to open the same index (e.g. concurrent IndSel probes). The
   /// handles themselves are concurrent-read safe once opened.

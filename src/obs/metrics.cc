@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mood {
+
+uint64_t MetricHistogram::PercentileUpperBound(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the percentile sample (1-based, clamped into [1, total]).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+  rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    seen += counts[i];
+    if (seen >= rank) return i == 0 ? 1 : (uint64_t{1} << i);
+  }
+  return uint64_t{1} << (kBuckets - 1);
+}
+
+double MetricsSnapshot::ValueOf(const std::string& name, double fallback) const {
+  for (const auto& [n, v] : values) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+bool MetricsSnapshot::Has(const std::string& name) const {
+  for (const auto& [n, v] : values) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+namespace {
+std::string FormatValue(double v) {
+  char buf[64];
+  // Counters dominate; print integers exactly, everything else compactly.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : values) {
+    out += name;
+    out += ' ';
+    out += FormatValue(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); i++) {
+    if (i > 0) out += ",";
+    out += "\"" + values[i].first + "\":" + FormatValue(values[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterProbe(const std::string& component, Probe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_[component] = std::move(probe);
+}
+
+void MetricsRegistry::UnregisterProbe(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(component);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    snap.values.emplace_back(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.values.emplace_back(name, static_cast<double>(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.values.emplace_back(name + ".count", static_cast<double>(h->count()));
+    snap.values.emplace_back(name + ".sum", static_cast<double>(h->sum()));
+    snap.values.emplace_back(name + ".p50",
+                             static_cast<double>(h->PercentileUpperBound(50)));
+    snap.values.emplace_back(name + ".p99",
+                             static_cast<double>(h->PercentileUpperBound(99)));
+  }
+  for (const auto& [component, probe] : probes_) {
+    probe(&snap.values);
+  }
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() + probes_.size();
+}
+
+}  // namespace mood

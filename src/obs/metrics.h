@@ -1,0 +1,141 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mood {
+
+/// Monotone event counter. Updates are single relaxed atomic adds — safe and
+/// lock-free from any thread, including the executor's morsel workers.
+class MetricCounter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (open transactions, pinned pages, ...).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (e.g. query latencies in
+/// microseconds). Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts
+/// zeros and ones. Recording is two relaxed atomic adds, lock-free.
+class MetricHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t sample) {
+    buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper-bound estimate of the p-th percentile (0 < p <= 100): the exclusive
+  /// upper edge of the bucket holding that rank.
+  uint64_t PercentileUpperBound(double p) const;
+
+  static size_t BucketOf(uint64_t sample) {
+    size_t b = 0;
+    while (sample > 1 && b + 1 < kBuckets) {
+      sample >>= 1;
+      b++;
+    }
+    return b;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One coherent sample of every registered metric, sorted by name. Counter and
+/// gauge values appear under their registered names; a histogram `h` expands to
+/// `h.count`, `h.sum`, `h.p50`, `h.p99`.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> values;
+
+  /// Value by exact name; `fallback` when absent.
+  double ValueOf(const std::string& name, double fallback = 0) const;
+  bool Has(const std::string& name) const;
+
+  /// `name value` lines, one per metric (the text exposition format).
+  std::string ToText() const;
+  /// One flat JSON object {"name": value, ...}.
+  std::string ToJson() const;
+};
+
+/// Registry of named engine metrics (DESIGN.md §8 documents the naming
+/// scheme: dotted lowercase `component.metric`, e.g. `bufferpool.hits`).
+///
+/// Two registration styles:
+///  - Owned instruments (Counter/Gauge/Histogram): the registry allocates and
+///    returns a stable pointer the component updates lock-free on its hot
+///    path. Registering the same name twice returns the same instrument.
+///  - Probes: a callback sampled at Snapshot() time, for components that
+///    already maintain their own atomic counters (BufferPool's per-shard
+///    stats, FunctionManager's invoke counters, ...). Probes must be
+///    thread-safe and non-blocking.
+///
+/// Registration takes a mutex; instrument updates never do. Snapshot() may be
+/// called from any thread at any time and sees a coherent name set (individual
+/// values are relaxed-atomic samples; cross-counter invariants hold only up to
+/// in-flight updates).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  MetricCounter* Counter(const std::string& name);
+  MetricGauge* Gauge(const std::string& name);
+  MetricHistogram* Histogram(const std::string& name);
+
+  /// Sampled at Snapshot(): append (name, value) pairs to `out`. `component`
+  /// names the owner (re-registering a component replaces its probe, so a
+  /// reopened subsystem doesn't leave a dangling callback).
+  using Probe = std::function<void(std::vector<std::pair<std::string, double>>* out)>;
+  void RegisterProbe(const std::string& component, Probe probe);
+  void UnregisterProbe(const std::string& component);
+
+  MetricsSnapshot Snapshot() const;
+
+  size_t instrument_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  std::map<std::string, Probe> probes_;
+};
+
+}  // namespace mood

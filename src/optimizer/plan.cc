@@ -86,37 +86,52 @@ std::string PlanNode::ToString() const {
   return "?";
 }
 
-std::string PlanNode::Explain(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "  [cost=%.3f rows=%.2f]", est_cost, est_rows);
-  std::string est(buf);
+std::string PlanNode::Describe() const {
   switch (op) {
     case PlanOp::kBindClass:
     case PlanOp::kIndexSelect:
-      return pad + ToString() + est + "\n";
+      return ToString();
     case PlanOp::kFilter: {
       std::string preds;
       for (size_t i = 0; i < predicates.size(); i++) {
         if (i > 0) preds += " AND ";
         preds += predicates[i]->ToString();
       }
-      return pad + "SELECT " + preds + est + "\n" + child->Explain(indent + 1);
+      return "SELECT " + preds;
     }
     case PlanOp::kPointerJoin:
-      return pad + "JOIN[" + std::string(JoinMethodName(method)) + "] " +
-             JoinPathString(*this) + est + "\n" + left->Explain(indent + 1) +
-             right->Explain(indent + 1);
+      return "JOIN[" + std::string(JoinMethodName(method)) + "] " +
+             JoinPathString(*this);
     case PlanOp::kNestedLoopJoin:
-      return pad + "JOIN[NESTED_LOOP] " + (join_pred ? join_pred->ToString() : "true") +
-             est + "\n" + left->Explain(indent + 1) + right->Explain(indent + 1);
-    case PlanOp::kUnion: {
-      std::string out = pad + "UNION" + est + "\n";
-      for (const auto& c : children) out += c->Explain(indent + 1);
-      return out;
-    }
+      return "JOIN[NESTED_LOOP] " + (join_pred ? join_pred->ToString() : "true");
+    case PlanOp::kUnion:
+      return "UNION";
   }
-  return pad + "?\n";
+  return "?";
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  [cost=%.3f rows=%.2f]", est_cost, est_rows);
+  std::string out = pad + Describe() + buf + "\n";
+  switch (op) {
+    case PlanOp::kBindClass:
+    case PlanOp::kIndexSelect:
+      break;
+    case PlanOp::kFilter:
+      out += child->Explain(indent + 1);
+      break;
+    case PlanOp::kPointerJoin:
+    case PlanOp::kNestedLoopJoin:
+      out += left->Explain(indent + 1);
+      out += right->Explain(indent + 1);
+      break;
+    case PlanOp::kUnion:
+      for (const auto& c : children) out += c->Explain(indent + 1);
+      break;
+  }
+  return out;
 }
 
 PlanPtr PlanNode::Bind(FromEntry from) {

@@ -68,6 +68,10 @@ struct PlanNode {
   ///   JOIN(BIND(Vehicle, v), SELECT(BIND(Company, c), (c.name = 'BMW')),
   ///        HASH_PARTITION, v.company = c.self)
   std::string ToString() const;
+  /// One-line label for this node alone (no estimates, no children) — the label
+  /// EXPLAIN lines and QueryProfile nodes share, so plan and profile renderings
+  /// pair up line for line.
+  std::string Describe() const;
   /// Indented multi-line EXPLAIN rendering with estimates.
   std::string Explain(int indent = 0) const;
 

@@ -132,7 +132,15 @@ struct DropClassStmt {
   std::string class_name;
 };
 
+/// EXPLAIN [ANALYZE] [VERBOSE] <select>. Plain EXPLAIN optimizes and renders
+/// the plan; ANALYZE also executes it and annotates each operator with actuals.
+struct ExplainStmt {
+  SelectStmt select;
+  bool analyze = false;
+  bool verbose = false;
+};
+
 using Statement = std::variant<SelectStmt, CreateClassStmt, NewObjectStmt, UpdateStmt,
-                               DeleteStmt, CreateIndexStmt, DropClassStmt>;
+                               DeleteStmt, CreateIndexStmt, DropClassStmt, ExplainStmt>;
 
 }  // namespace mood

@@ -102,6 +102,10 @@ Result<Statement> Parser::ParseStatement() {
     MOOD_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
     return Statement(std::move(s));
   }
+  if (CheckKeyword("EXPLAIN")) {
+    MOOD_ASSIGN_OR_RETURN(ExplainStmt s, ParseExplain());
+    return Statement(std::move(s));
+  }
   if (CheckKeyword("CREATE")) return ParseCreate();
   if (CheckKeyword("NEW")) {
     MOOD_ASSIGN_OR_RETURN(NewObjectStmt s, ParseNew());
@@ -120,6 +124,15 @@ Result<Statement> Parser::ParseStatement() {
     return Statement(std::move(s));
   }
   return Status::ParseError("unknown statement start: '" + Peek().text + "'");
+}
+
+Result<ExplainStmt> Parser::ParseExplain() {
+  MOOD_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+  ExplainStmt stmt;
+  if (MatchKeyword("ANALYZE")) stmt.analyze = true;
+  if (MatchKeyword("VERBOSE")) stmt.verbose = true;
+  MOOD_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  return stmt;
 }
 
 Result<SelectStmt> Parser::ParseSelect() {

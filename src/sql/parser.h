@@ -38,6 +38,7 @@ class Parser {
 
   Result<Statement> ParseStatement();
   Result<SelectStmt> ParseSelect();
+  Result<ExplainStmt> ParseExplain();
   Result<Statement> ParseCreate();
   Result<CreateClassStmt> ParseCreateClass();
   Result<CreateIndexStmt> ParseCreateIndex(bool unique);

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace mood {
 
 namespace {
@@ -234,6 +236,36 @@ size_t BufferPool::PinnedPageCount() const {
     }
   }
   return pinned;
+}
+
+void BufferPool::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterProbe(
+      "bufferpool", [this](std::vector<std::pair<std::string, double>>* out) {
+        BufferPoolStats total = stats();
+        out->emplace_back("bufferpool.hits", static_cast<double>(total.hits));
+        out->emplace_back("bufferpool.misses", static_cast<double>(total.misses));
+        out->emplace_back("bufferpool.evictions",
+                          static_cast<double>(total.evictions));
+        out->emplace_back("bufferpool.prefetches",
+                          static_cast<double>(total.prefetches));
+        out->emplace_back("bufferpool.fetches",
+                          static_cast<double>(total.hits + total.misses));
+        out->emplace_back("bufferpool.pool_pages", static_cast<double>(pool_size_));
+        out->emplace_back("bufferpool.shards", static_cast<double>(shards_.size()));
+        out->emplace_back("bufferpool.pinned_pages",
+                          static_cast<double>(PinnedPageCount()));
+        out->emplace_back("bufferpool.readahead_depth",
+                          static_cast<double>(readahead()));
+        for (size_t i = 0; i < shards_.size(); i++) {
+          BufferPoolStats s = ShardStats(i);
+          std::string prefix = "bufferpool.shard" + std::to_string(i) + ".";
+          out->emplace_back(prefix + "hits", static_cast<double>(s.hits));
+          out->emplace_back(prefix + "misses", static_cast<double>(s.misses));
+          out->emplace_back(prefix + "evictions", static_cast<double>(s.evictions));
+          out->emplace_back(prefix + "prefetches",
+                            static_cast<double>(s.prefetches));
+        }
+      });
 }
 
 }  // namespace mood

@@ -15,6 +15,8 @@
 
 namespace mood {
 
+class MetricsRegistry;
+
 /// Buffer-pool statistics snapshot consumed by benches and the concurrency
 /// tests. Counters are per-shard atomics inside the pool; stats() aggregates
 /// them coherently while other threads fetch pages. `prefetches` counts pages
@@ -115,6 +117,11 @@ class BufferPool {
   /// Number of currently pinned pages (used by concurrency tests to assert no
   /// lost pins).
   size_t PinnedPageCount() const;
+
+  /// Registers a `bufferpool.*` probe: aggregate hits/misses/evictions/
+  /// prefetches, pinned-page and capacity gauges, and per-shard
+  /// `bufferpool.shard<i>.*` counters (DESIGN.md §8 naming scheme).
+  void RegisterMetrics(MetricsRegistry* registry) const;
 
   DiskManager* disk() const { return disk_; }
 

@@ -107,6 +107,7 @@ Result<RecordId> HeapFile::InsertWithFlags(Slice record, uint8_t flags,
 }
 
 Result<RecordId> HeapFile::Insert(Slice record, PageWriteLogger* wal) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(RecordId rid, InsertWithFlags(record, kSlotNormal, wal));
   info_.record_count++;
   MOOD_RETURN_IF_ERROR(PersistInfo(wal));
@@ -114,12 +115,14 @@ Result<RecordId> HeapFile::Insert(Slice record, PageWriteLogger* wal) {
 }
 
 Result<std::string> HeapFile::Get(RecordId rid) const {
+  record_reads_.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rid.page));
   PageGuard guard(pool_, page);
   SlottedPage sp(page);
   MOOD_ASSIGN_OR_RETURN(uint8_t flags, sp.GetFlags(rid.slot));
   MOOD_ASSIGN_OR_RETURN(Slice data, sp.Get(rid.slot));
   if (flags & kSlotForward) {
+    forward_chases_.fetch_add(1, std::memory_order_relaxed);
     MOOD_ASSIGN_OR_RETURN(RecordId target, DecodeRecordId(data));
     guard.Release();
     MOOD_ASSIGN_OR_RETURN(Page* tpage, pool_->FetchPage(target.page));
@@ -132,6 +135,7 @@ Result<std::string> HeapFile::Get(RecordId rid) const {
 }
 
 Status HeapFile::Update(RecordId rid, Slice record, PageWriteLogger* wal) {
+  updates_.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rid.page));
   PageGuard guard(pool_, page);
   guard.MarkDirty();
@@ -186,6 +190,7 @@ Status HeapFile::Update(RecordId rid, Slice record, PageWriteLogger* wal) {
 }
 
 Status HeapFile::Delete(RecordId rid, PageWriteLogger* wal) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rid.page));
   PageGuard guard(pool_, page);
   guard.MarkDirty();
@@ -275,6 +280,7 @@ Status HeapFile::ScanPage(PageId page_id,
 
 Status HeapFile::ScanPage(PageId page_id, ScanCursor* cursor,
                           const std::function<Status(RecordId, const std::string&)>& fn) const {
+  scan_pages_.fetch_add(1, std::memory_order_relaxed);
   struct Item {
     RecordId rid;
     std::string record;

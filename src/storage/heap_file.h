@@ -132,6 +132,29 @@ class HeapFile {
   uint32_t page_count() const { return info_.page_count; }
   uint64_t record_count() const { return info_.record_count; }
 
+  /// Lock-free per-file operation counters (relaxed atomics, incremented on
+  /// the respective entry points; sampled by the StorageManager's `storage.*`
+  /// metrics probe). `forward_chases` counts Get() calls that followed a
+  /// forwarding stub — the extra page fetch updates-in-place avoid.
+  struct OpStats {
+    uint64_t inserts = 0;
+    uint64_t updates = 0;
+    uint64_t deletes = 0;
+    uint64_t record_reads = 0;
+    uint64_t forward_chases = 0;
+    uint64_t scan_pages = 0;
+  };
+  OpStats op_stats() const {
+    OpStats s;
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.updates = updates_.load(std::memory_order_relaxed);
+    s.deletes = deletes_.load(std::memory_order_relaxed);
+    s.record_reads = record_reads_.load(std::memory_order_relaxed);
+    s.forward_chases = forward_chases_.load(std::memory_order_relaxed);
+    s.scan_pages = scan_pages_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   friend class Iterator;
 
@@ -170,6 +193,12 @@ class HeapFile {
   FileInfo info_;
   mutable std::mutex chain_mu_;
   mutable std::shared_ptr<const ChainMap> chain_;
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> updates_{0};
+  mutable std::atomic<uint64_t> deletes_{0};
+  mutable std::atomic<uint64_t> record_reads_{0};
+  mutable std::atomic<uint64_t> forward_chases_{0};
+  mutable std::atomic<uint64_t> scan_pages_{0};
 };
 
 /// Encodes a RecordId into 6 bytes (used by forwarding stubs and join indices).

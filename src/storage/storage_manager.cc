@@ -1,6 +1,7 @@
 #include "storage/storage_manager.h"
 
 #include "common/coding.h"
+#include "obs/metrics.h"
 
 namespace mood {
 
@@ -190,6 +191,38 @@ Result<PageId> StorageManager::AllocatePage() {
   PageId id = page->page_id();
   MOOD_RETURN_IF_ERROR(pool_->UnpinPage(id, true));
   return id;
+}
+
+void StorageManager::RegisterMetrics(MetricsRegistry* registry) {
+  pool_->RegisterMetrics(registry);
+  registry->RegisterProbe(
+      "storage", [this](std::vector<std::pair<std::string, double>>* out) {
+        uint64_t pages = 0, records = 0;
+        HeapFile::OpStats ops;
+        for (const auto& [id, file] : files_) {
+          pages += file->page_count();
+          records += file->record_count();
+          HeapFile::OpStats s = file->op_stats();
+          ops.inserts += s.inserts;
+          ops.updates += s.updates;
+          ops.deletes += s.deletes;
+          ops.record_reads += s.record_reads;
+          ops.forward_chases += s.forward_chases;
+          ops.scan_pages += s.scan_pages;
+        }
+        out->emplace_back("storage.files", static_cast<double>(files_.size()));
+        out->emplace_back("storage.pages", static_cast<double>(pages));
+        out->emplace_back("storage.records", static_cast<double>(records));
+        out->emplace_back("storage.inserts", static_cast<double>(ops.inserts));
+        out->emplace_back("storage.updates", static_cast<double>(ops.updates));
+        out->emplace_back("storage.deletes", static_cast<double>(ops.deletes));
+        out->emplace_back("storage.record_reads",
+                          static_cast<double>(ops.record_reads));
+        out->emplace_back("storage.forward_chases",
+                          static_cast<double>(ops.forward_chases));
+        out->emplace_back("storage.scan_pages",
+                          static_cast<double>(ops.scan_pages));
+      });
 }
 
 }  // namespace mood

@@ -65,6 +65,12 @@ class StorageManager : public FileDirectory {
   DiskManager* disk() { return disk_.get(); }
   bool is_open() const { return disk_ != nullptr && disk_->is_open(); }
 
+  /// Registers a `storage.*` probe (file/page/record gauges plus the heap
+  /// files' aggregated operation counters) and the buffer pool's
+  /// `bufferpool.*` probe. Sampling walks the open file table, so snapshots
+  /// must not race DDL that creates or drops files (queries are fine).
+  void RegisterMetrics(MetricsRegistry* registry);
+
  private:
   struct DirSlot {
     PageId dir_page;

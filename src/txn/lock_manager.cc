@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace mood {
 
 bool LockManager::Compatible(const Queue& q, uint64_t txn_id, LockMode mode) const {
@@ -42,6 +44,7 @@ bool LockManager::WouldDeadlockLocked(uint64_t start) const {
 }
 
 Status LockManager::Acquire(uint64_t txn_id, LockKey key, LockMode mode) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
   Queue& q = queues_[key];
 
@@ -67,9 +70,11 @@ Status LockManager::Acquire(uint64_t txn_id, LockKey key, LockMode mode) {
       }
       if (WouldDeadlockLocked(txn_id)) {
         waits_for_.erase(txn_id);
+        deadlocks_.fetch_add(1, std::memory_order_relaxed);
         return Status::Deadlock("lock upgrade deadlock on txn " +
                                 std::to_string(txn_id));
       }
+      wait_blocks_.fetch_add(1, std::memory_order_relaxed);
       cv_.wait(lock);
       // The queue node may have been invalidated only by our own release, which
       // cannot happen while we wait; re-scan from scratch for safety.
@@ -103,8 +108,10 @@ Status LockManager::Acquire(uint64_t txn_id, LockKey key, LockMode mode) {
       q.requests.erase(self);
       waits_for_.erase(txn_id);
       cv_.notify_all();
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
       return Status::Deadlock("deadlock detected for txn " + std::to_string(txn_id));
     }
+    wait_blocks_.fetch_add(1, std::memory_order_relaxed);
     cv_.wait(lock);
   }
 }
@@ -147,6 +154,20 @@ bool LockManager::Holds(uint64_t txn_id, LockKey key, LockMode mode) const {
 size_t LockManager::LockedResourceCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queues_.size();
+}
+
+void LockManager::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterProbe(
+      "lockman", [this](std::vector<std::pair<std::string, double>>* out) {
+        out->emplace_back("lockman.acquires",
+                          static_cast<double>(acquires_.load(std::memory_order_relaxed)));
+        out->emplace_back("lockman.wait_blocks",
+                          static_cast<double>(wait_blocks_.load(std::memory_order_relaxed)));
+        out->emplace_back("lockman.deadlocks",
+                          static_cast<double>(deadlocks_.load(std::memory_order_relaxed)));
+        out->emplace_back("lockman.locked_resources",
+                          static_cast<double>(LockedResourceCount()));
+      });
 }
 
 }  // namespace mood

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -12,6 +13,8 @@
 #include "common/status.h"
 
 namespace mood {
+
+class MetricsRegistry;
 
 enum class LockMode : uint8_t { kShared, kExclusive };
 
@@ -45,6 +48,10 @@ class LockManager {
   /// Number of distinct locked resources (for tests).
   size_t LockedResourceCount() const;
 
+  /// Registers the `lockman.*` probe: acquire/wait/deadlock counters plus the
+  /// live locked-resource gauge.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   struct Request {
     uint64_t txn_id;
@@ -67,6 +74,11 @@ class LockManager {
   std::unordered_map<uint64_t, std::set<LockKey>> held_;
   /// waiting txn -> set of txns it waits for.
   std::unordered_map<uint64_t, std::set<uint64_t>> waits_for_;
+  /// Contention counters, sampled by the metrics probe. Relaxed atomics: they
+  /// are monotonic event counts with no ordering relation to the lock state.
+  mutable std::atomic<uint64_t> acquires_{0};
+  mutable std::atomic<uint64_t> wait_blocks_{0};
+  mutable std::atomic<uint64_t> deadlocks_{0};
 };
 
 }  // namespace mood

@@ -216,22 +216,23 @@ TEST_F(ExecFixture, NewUpdateDeleteStatements) {
   MOOD_ASSERT_OK_AND_ASSIGN(
       ExecResult created,
       db_.Execute("NEW Employee <999, 'Test Person', 33> AS tester"));
-  EXPECT_TRUE(created.created_oid.valid());
+  ASSERT_TRUE(created.created_oid.has_value());
+  EXPECT_TRUE(created.created_oid->valid());
   MOOD_ASSERT_OK_AND_ASSIGN(Oid bound, db_.catalog()->LookupName("tester"));
-  EXPECT_EQ(bound, created.created_oid);
+  EXPECT_EQ(bound, *created.created_oid);
 
   MOOD_ASSERT_OK_AND_ASSIGN(
       ExecResult updated,
       db_.Execute("UPDATE Employee e SET age = e.age + 1 WHERE e.ssno = 999"));
   EXPECT_EQ(updated.affected, 1u);
   MOOD_ASSERT_OK_AND_ASSIGN(MoodValue age,
-                            db_.objects()->GetAttribute(created.created_oid, "age"));
+                            db_.objects()->GetAttribute(*created.created_oid, "age"));
   EXPECT_EQ(age.AsInteger(), 34);
 
   MOOD_ASSERT_OK_AND_ASSIGN(ExecResult deleted,
                             db_.Execute("DELETE FROM Employee e WHERE e.ssno = 999"));
   EXPECT_EQ(deleted.affected, 1u);
-  EXPECT_FALSE(db_.objects()->Fetch(created.created_oid).ok());
+  EXPECT_FALSE(db_.objects()->Fetch(*created.created_oid).ok());
 }
 
 TEST_F(ExecFixture, PersistsAcrossReopen) {
