@@ -59,7 +59,7 @@ int main() {
   }
 
   std::printf("\nQuery (Example 8.1):\n  %s\n", paperdb::kExample81Query);
-  auto optimized = CheckV(db.OptimizeOnly(paperdb::kExample81Query), "optimize");
+  auto optimized = CheckV(db.Explain(paperdb::kExample81Query, {}), "optimize").optimized;
 
   Banner("Table 16: PathSelInfo dictionary (ours vs paper)");
   {
@@ -121,7 +121,7 @@ int main() {
     Check(mdb.CollectAllStatistics(), "collect");
     auto qr = CheckV(mdb.Query(paperdb::kExample81Query), "run query");
     auto all = CheckV(mdb.Query("SELECT v FROM Vehicle v"), "count vehicles");
-    auto mopt = CheckV(mdb.OptimizeOnly(paperdb::kExample81Query), "optimize measured");
+    auto mopt = CheckV(mdb.Explain(paperdb::kExample81Query, {}), "optimize measured").optimized;
     double est = 1.0;
     for (const auto& e : mopt.terms[0].paths) est *= e.selectivity;
     double actual = all.rows.empty()

@@ -89,7 +89,7 @@ int main() {
         "paper's T1.\n");
   }
 
-  auto optimized = CheckV(db.OptimizeOnly(paperdb::kExample82Query), "optimize");
+  auto optimized = CheckV(db.Explain(paperdb::kExample82Query, {}), "optimize").optimized;
   Banner("Access plan (paper: both joins HASH_PARTITION, engine selection first)");
   std::printf("%s\n", optimized.plan->Explain().c_str());
   std::printf("compact: %s\n", optimized.plan->ToString().c_str());

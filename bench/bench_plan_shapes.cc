@@ -69,7 +69,7 @@ int main() {
       {"explicit join + EVERY/minus (Section 3.1)", paperdb::kSection31Query},
   };
   for (const auto& q : queries) {
-    auto optimized = CheckV(db.OptimizeOnly(q.sql), q.label);
+    auto optimized = CheckV(db.Explain(q.sql, {}), q.label).optimized;
     std::printf("\n-- %s\n%s", q.label, optimized.plan->Explain(1).c_str());
     std::string why;
     checks.Expect(CheckLayering(optimized.plan, false, &why),

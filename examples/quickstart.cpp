@@ -69,14 +69,18 @@ int main() {
   std::printf("%s\n", result.value().ToString().c_str());
 
   // 5. EXPLAIN shows the optimizer's dictionaries and the chosen plan.
-  auto plan = db.Explain("SELECT b FROM Book b WHERE b.author.name = 'Asuman Dogac'");
+  mood::ExplainOptions explain_opts;
+  explain_opts.verbose = true;
+  auto plan = db.Explain("SELECT b FROM Book b WHERE b.author.name = 'Asuman Dogac'",
+                         explain_opts);
   Die(plan.status(), "explain");
-  std::printf("%s\n", plan.value().c_str());
+  std::printf("%s\n", plan.value().Render().c_str());
 
-  // 6. Transactions: abort rolls everything back.
-  Die(db.Begin().status(), "begin");
+  // 6. Transactions: the RAII handle aborts on destruction unless committed.
+  auto txn = db.Begin();
+  Die(txn.status(), "begin");
   Die(db.Execute("NEW Book <'Uncommitted', 10>").status(), "new in txn");
-  Die(db.Abort(), "abort");
+  Die(txn.value().Abort(), "abort");
   auto count = db.Query("SELECT b FROM Book b");
   std::printf("books after abort: %zu (still 2)\n", count.value().rows.size());
 

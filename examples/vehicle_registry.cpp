@@ -71,7 +71,10 @@ int main() {
 
   // Example 8.1 with EXPLAIN first.
   std::printf("\n-- EXPLAIN %s\n", paperdb::kExample81Query);
-  std::printf("%s", db.Explain(paperdb::kExample81Query).value().c_str());
+  mood::ExplainOptions explain_opts;
+  explain_opts.verbose = true;
+  std::printf("%s",
+              db.Explain(paperdb::kExample81Query, explain_opts).value().Render().c_str());
   auto q2 = db.Query(paperdb::kExample81Query);
   Die(q2.status(), "example 8.1 query");
   std::printf("BMW 2-cylinder vehicles: %zu\n", q2.value().rows.size());

@@ -1,0 +1,108 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+namespace mood {
+
+std::atomic<int> FailPoints::armed_count_{0};
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints instance;
+  return instance;
+}
+
+FailPoints::FailPoints() {
+  const char* env = std::getenv("MOOD_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string all(env);
+  size_t pos = 0;
+  while (pos < all.size()) {
+    size_t comma = all.find(',', pos);
+    if (comma == std::string::npos) comma = all.size();
+    std::string entry = all.substr(pos, comma - pos);
+    size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      // Malformed env entries are ignored rather than failing process start.
+      (void)Arm(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+    pos = comma + 1;
+  }
+}
+
+Status FailPoints::Arm(const std::string& name, const std::string& spec) {
+  std::string mode_str = spec;
+  uint64_t trigger_at = 1;
+  size_t at = spec.find('@');
+  if (at != std::string::npos) {
+    mode_str = spec.substr(0, at);
+    char* end = nullptr;
+    trigger_at = std::strtoull(spec.c_str() + at + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || trigger_at == 0) {
+      return Status::InvalidArgument("failpoint spec '" + spec +
+                                     "': trigger count must be a positive integer");
+    }
+  }
+  Point p;
+  p.trigger_at = trigger_at;
+  if (mode_str == "error") {
+    p.mode = FailPointMode::kError;
+  } else if (mode_str == "torn") {
+    p.mode = FailPointMode::kTorn;
+  } else if (mode_str == "crash") {
+    p.mode = FailPointMode::kCrash;
+  } else if (mode_str == "torn-crash") {
+    p.mode = FailPointMode::kTornCrash;
+  } else {
+    return Status::InvalidArgument("failpoint spec '" + spec +
+                                   "': mode must be error|torn|crash|torn-crash");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, existing] : points_) {
+    if (n == name) {
+      existing = p;
+      return Status::OK();
+    }
+  }
+  points_.emplace_back(name, p);
+  armed_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    if (it->first == name) {
+      points_.erase(it);
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+std::optional<FailPointAction> FailPoints::Check(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, p] : points_) {
+    if (n != name) continue;
+    p.hits++;
+    if (p.hits < p.trigger_at) return std::nullopt;
+    return FailPointAction{p.mode};
+  }
+  return std::nullopt;
+}
+
+uint64_t FailPoints::Hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, p] : points_) {
+    if (n == name) return p.hits;
+  }
+  return 0;
+}
+
+}  // namespace mood

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mood {
+
+/// What an armed failpoint does once triggered.
+///   kError     return an injected IOError from the instrumented call
+///   kTorn      perform a deliberately partial (torn) write, then return IOError
+///   kCrash     abort() the process at the injection point
+///   kTornCrash perform the partial write, then abort()
+/// Torn modes are only meaningful at write sites (DiskManager::WritePage,
+/// LogManager flush); elsewhere they degrade to kError/kCrash.
+enum class FailPointMode : uint8_t { kError, kTorn, kCrash, kTornCrash };
+
+struct FailPointAction {
+  FailPointMode mode = FailPointMode::kError;
+  bool torn() const {
+    return mode == FailPointMode::kTorn || mode == FailPointMode::kTornCrash;
+  }
+  bool crash() const {
+    return mode == FailPointMode::kCrash || mode == FailPointMode::kTornCrash;
+  }
+  /// The Status an error-returning site should surface.
+  Status Error(const char* site) const {
+    return Status::IOError(std::string("failpoint triggered at ") + site);
+  }
+};
+
+/// Process-wide registry of named fault-injection points (DESIGN.md §9 lists
+/// the catalog). Instrumented sites call CheckFailPoint("name"); the fast path
+/// for an empty registry is a single relaxed atomic load, so production code
+/// pays nothing when no point is armed.
+///
+/// Arming, via API or the MOOD_FAILPOINTS environment variable
+/// (`name=spec[,name=spec...]`, parsed once at first use):
+///   spec := mode["@" N]      mode in {error, torn, crash, torn-crash}
+/// The point triggers on every hit from the N-th on (N defaults to 1), which
+/// makes crash points one-shot by construction and error points persistent —
+/// exactly what the kill-and-recover harness and the error-path unit tests
+/// need. Thread-safe.
+class FailPoints {
+ public:
+  static FailPoints& Instance();
+
+  /// Arms (or re-arms) `name`. InvalidArgument on a malformed spec.
+  Status Arm(const std::string& name, const std::string& spec);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Counts a hit of `name`; returns the action to take when armed and
+  /// triggered, nullopt otherwise. Hits are only counted while armed.
+  std::optional<FailPointAction> Check(const std::string& name);
+
+  /// Hits recorded against `name` since it was armed (0 when not armed).
+  uint64_t Hits(const std::string& name) const;
+
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct Point {
+    FailPointMode mode = FailPointMode::kError;
+    uint64_t trigger_at = 1;  // fires once hits >= trigger_at
+    uint64_t hits = 0;
+  };
+
+  FailPoints();  // loads MOOD_FAILPOINTS
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Point>> points_;
+  static std::atomic<int> armed_count_;
+};
+
+/// The instrumented-site entry point. Near-free when nothing is armed.
+inline std::optional<FailPointAction> CheckFailPoint(const char* name) {
+  if (!FailPoints::AnyArmed()) return std::nullopt;
+  return FailPoints::Instance().Check(name);
+}
+
+}  // namespace mood

@@ -19,11 +19,17 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   sopts.pool_pages = options.pool_pages;
   sopts.pool_shards = options.pool_shards;
   sopts.readahead_pages = options.readahead_pages;
+  // With a WAL, torn data pages are healed from logged full images, so the
+  // directory load may tolerate them; without one they stay hard errors.
+  sopts.tolerate_torn_pages = options.enable_wal;
   MOOD_RETURN_IF_ERROR(storage_->Open(path + ".mood", sopts));
 
   if (options.enable_wal) {
     log_ = std::make_unique<LogManager>();
-    MOOD_RETURN_IF_ERROR(log_->Open(path + ".wal"));
+    WalOptions wopts;
+    wopts.fsync_mode = options.wal_fsync;
+    wopts.group_commit_window_us = options.group_commit_window_us;
+    MOOD_RETURN_IF_ERROR(log_->Open(path + ".wal", wopts));
     locks_ = std::make_unique<LockManager>();
     txn_manager_ = std::make_unique<TransactionManager>(storage_->buffer_pool(),
                                                         log_.get(), locks_.get());
@@ -60,6 +66,7 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   objects_->RegisterMetrics(metrics_.get());
   functions_->RegisterMetrics(metrics_.get());
   if (locks_ != nullptr) locks_->RegisterMetrics(metrics_.get());
+  if (log_ != nullptr) log_->RegisterMetrics(metrics_.get());
   statements_counter_ = metrics_->Counter("exec.statements");
   queries_counter_ = metrics_->Counter("exec.queries");
   explains_counter_ = metrics_->Counter("exec.explains");
@@ -79,7 +86,12 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
 
 Status Database::Close() {
   if (!is_open()) return Status::OK();
-  if (active_txn_ != nullptr) MOOD_RETURN_IF_ERROR(Abort());
+  if (active_txn_ != nullptr) {
+    // Any TxnHandle still out there becomes inert: FinishTxn rejects it once
+    // active_txn_ is cleared.
+    MOOD_RETURN_IF_ERROR(txn_manager_->Abort(active_txn_));
+    active_txn_ = nullptr;
+  }
   MOOD_RETURN_IF_ERROR(Checkpoint());
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
@@ -105,7 +117,7 @@ Status Database::Close() {
   return Status::OK();
 }
 
-Result<Transaction*> Database::Begin() {
+Result<TxnHandle> Database::Begin() {
   if (txn_manager_ == nullptr) {
     return Status::NotSupported("transactions require enable_wal");
   }
@@ -113,20 +125,46 @@ Result<Transaction*> Database::Begin() {
     return Status::InvalidArgument("a transaction is already active");
   }
   MOOD_ASSIGN_OR_RETURN(active_txn_, txn_manager_->Begin());
-  return active_txn_;
+  return TxnHandle(this, active_txn_);
 }
 
-Status Database::Commit() {
-  if (active_txn_ == nullptr) return Status::InvalidArgument("no active transaction");
-  Status st = txn_manager_->Commit(active_txn_);
+Status Database::FinishTxn(Transaction* txn, bool commit) {
+  if (txn == nullptr || txn != active_txn_) {
+    return Status::InvalidArgument("transaction is no longer active");
+  }
+  Status st = commit ? txn_manager_->Commit(txn) : txn_manager_->Abort(txn);
   active_txn_ = nullptr;
+  txn_manager_->PruneCompleted();
   return st;
 }
 
-Status Database::Abort() {
-  if (active_txn_ == nullptr) return Status::InvalidArgument("no active transaction");
-  Status st = txn_manager_->Abort(active_txn_);
-  active_txn_ = nullptr;
+TxnHandle& TxnHandle::operator=(TxnHandle&& other) noexcept {
+  if (this == &other) return *this;
+  if (txn_ != nullptr) (void)db_->FinishTxn(txn_, /*commit=*/false);
+  db_ = other.db_;
+  txn_ = other.txn_;
+  other.db_ = nullptr;
+  other.txn_ = nullptr;
+  return *this;
+}
+
+TxnHandle::~TxnHandle() {
+  if (txn_ != nullptr) (void)db_->FinishTxn(txn_, /*commit=*/false);
+}
+
+Status TxnHandle::Commit() {
+  if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
+  Status st = db_->FinishTxn(txn_, /*commit=*/true);
+  txn_ = nullptr;
+  db_ = nullptr;
+  return st;
+}
+
+Status TxnHandle::Abort() {
+  if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
+  Status st = db_->FinishTxn(txn_, /*commit=*/false);
+  txn_ = nullptr;
+  db_ = nullptr;
   return st;
 }
 
@@ -209,22 +247,6 @@ Result<ExplainResult> Database::Explain(const std::string& sql,
   const auto* select = std::get_if<SelectStmt>(&stmt);
   if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
   return ExplainSelect(*select, options);
-}
-
-Result<std::string> Database::Explain(const std::string& sql) {
-  // Deprecated wrapper: the historical "dictionaries + plan" text is the
-  // verbose non-analyzed rendering of the consolidated API.
-  ExplainOptions options;
-  options.verbose = true;
-  MOOD_ASSIGN_OR_RETURN(ExplainResult res, Explain(sql, options));
-  return res.Render();
-}
-
-Result<QueryOptimizer::Optimized> Database::OptimizeOnly(const std::string& sql) {
-  // Deprecated wrapper: Explain(sql, {}).optimized.
-  ExplainOptions options;
-  MOOD_ASSIGN_OR_RETURN(ExplainResult res, Explain(sql, options));
-  return std::move(res.optimized);
 }
 
 Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,

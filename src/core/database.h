@@ -40,6 +40,14 @@ struct DatabaseOptions {
   /// Write-ahead logging + crash recovery (the ESM "backup and recovery"
   /// function). When off, no log file is kept and transactions are unavailable.
   bool enable_wal = true;
+  /// Commit durability policy: kAlways = one fsync per commit, kGroup = a
+  /// background flusher batches concurrent committers into shared fsyncs,
+  /// kOff = no forcing (durability only at checkpoint/close). Ignored when
+  /// enable_wal is false.
+  WalFsync wal_fsync = WalFsync::kAlways;
+  /// Group-commit collection window in microseconds (see WalOptions); only
+  /// meaningful with wal_fsync = kGroup.
+  uint32_t group_commit_window_us = 100;
   /// Worker threads for intra-query parallelism. 0 = hardware_concurrency,
   /// 1 = serial execution (the exact pre-parallelism behavior). This is the
   /// default; individual calls override it with QueryOptions::exec_threads.
@@ -96,6 +104,41 @@ struct ExplainResult {
   ExplainOptions options;
 
   std::string Render() const;
+};
+
+class Database;
+
+/// Move-only RAII handle for one transaction, returned by Database::Begin().
+/// Commit() or Abort() finish the transaction explicitly; a handle destroyed
+/// while still active aborts it (so an early `return` on error can never leak
+/// an open transaction holding locks). A handle outliving the database (or a
+/// Close() that already aborted the transaction) is inert: its destructor
+/// does nothing and explicit Commit/Abort report InvalidArgument.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+  TxnHandle(TxnHandle&& other) noexcept { *this = std::move(other); }
+  TxnHandle& operator=(TxnHandle&& other) noexcept;
+  TxnHandle(const TxnHandle&) = delete;
+  TxnHandle& operator=(const TxnHandle&) = delete;
+  /// Aborts the transaction if still active (best effort; errors are dropped —
+  /// finish explicitly when you need the status).
+  ~TxnHandle();
+
+  Status Commit();
+  Status Abort();
+
+  bool active() const { return txn_ != nullptr; }
+  /// The underlying transaction, for lock calls or log inspection; null once
+  /// finished. Ownership stays with the TransactionManager.
+  Transaction* txn() const { return txn_; }
+
+ private:
+  friend class Database;
+  TxnHandle(Database* db, Transaction* txn) : db_(db), txn_(txn) {}
+
+  Database* db_ = nullptr;
+  Transaction* txn_ = nullptr;
 };
 
 /// One slow-query ring-buffer entry (see DatabaseOptions::slow_query_ms).
@@ -157,14 +200,9 @@ class Database {
   /// The consolidated EXPLAIN entry point: optimizes `sql` (a SELECT, or an
   /// EXPLAIN statement whose flags merge with `options`) and, when
   /// options.analyze is set, executes it recording per-operator actuals.
+  /// Plan-only callers read `.optimized`; the historical "dictionaries +
+  /// plan" text is Explain(sql, {.verbose = true}).Render().
   Result<ExplainResult> Explain(const std::string& sql, const ExplainOptions& options);
-
-  /// Deprecated: optimizer dictionaries + chosen plan as text, without
-  /// executing. Equivalent to Explain(sql, {.verbose = true}).Render().
-  Result<std::string> Explain(const std::string& sql);
-  /// Deprecated: full optimizer output (for benches asserting on plan shapes).
-  /// Equivalent to Explain(sql, {}).optimized.
-  Result<QueryOptimizer::Optimized> OptimizeOnly(const std::string& sql);
 
   /// Engine-wide metrics registry (buffer pool, heap files, object manager,
   /// function manager, lock manager, execution counters). Snapshot() is safe
@@ -183,11 +221,11 @@ class Database {
 
   // --- Transactions ----------------------------------------------------------------
 
-  /// Begins a transaction. While active, DML through Execute() is logged and can
-  /// be rolled back. (One active transaction per Database handle.)
-  Result<Transaction*> Begin();
-  Status Commit();
-  Status Abort();
+  /// Begins a transaction and returns its RAII handle. While the handle is
+  /// active, DML through Execute() is logged and can be rolled back; the
+  /// handle commits/aborts explicitly and auto-aborts on destruction. (One
+  /// active transaction per Database handle.)
+  Result<TxnHandle> Begin();
   bool in_transaction() const { return active_txn_ != nullptr; }
 
   /// Flushes all pages and truncates the log.
@@ -219,6 +257,13 @@ class Database {
   std::unique_ptr<QueryManager> MakeQuerySession();
 
  private:
+  friend class TxnHandle;
+
+  /// Finishes the transaction a TxnHandle refers to. Rejects handles whose
+  /// transaction is no longer the active one (e.g. Close() already aborted
+  /// it), which makes destroying a stale handle harmless.
+  Status FinishTxn(Transaction* txn, bool commit);
+
   Result<ExecResult> ExecuteStatement(const Statement& stmt,
                                       const QueryOptions& options = {});
   Result<ExecResult> ExecSelect(const SelectStmt& stmt, const QueryOptions& options);

@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include <cstdlib>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace mood {
@@ -79,6 +81,10 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
       continue;
     }
     if (frame.dirty()) {
+      if (auto fp = CheckFailPoint("pool.evict")) {
+        if (fp->crash()) std::abort();
+        return fp->Error("pool.evict");
+      }
       if (pre_flush_hook_) MOOD_RETURN_IF_ERROR(pre_flush_hook_(frame));
       MOOD_RETURN_IF_ERROR(disk_->WritePage(frame.page_id(), frame.data()));
     }
@@ -92,11 +98,7 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
 Status BufferPool::ReadIntoFrame(Shard& shard, size_t idx, PageId page_id) {
   Page& page = shard.frames[idx];
   page.Reset(page_id);
-  Status st = disk_->ReadPage(page_id, page.data());
-  if (!st.ok()) {
-    shard.free_frames.push_back(idx);
-    return st;
-  }
+  MOOD_RETURN_IF_ERROR(disk_->ReadPage(page_id, page.data()));
   shard.ref[idx] = 1;
   shard.page_table[page_id] = idx;
   return Status::OK();
@@ -115,7 +117,45 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   }
   shard.misses.fetch_add(1, std::memory_order_relaxed);
   MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
-  MOOD_RETURN_IF_ERROR(ReadIntoFrame(shard, idx, page_id));
+  Status st = ReadIntoFrame(shard, idx, page_id);
+  if (!st.ok()) {
+    shard.free_frames.push_back(idx);
+    return st;
+  }
+  Page& page = shard.frames[idx];
+  page.Pin();
+  return &page;
+}
+
+Result<Page*> BufferPool::FetchPageTolerant(PageId page_id, bool* corrupted) {
+  *corrupted = false;
+  MOOD_RETURN_IF_ERROR(disk_->EnsureAllocated(page_id));
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    Page& page = shard.frames[it->second];
+    shard.ref[it->second] = 1;
+    page.Pin();
+    return &page;
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  MOOD_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  Status st = ReadIntoFrame(shard, idx, page_id);
+  if (st.IsCorruption()) {
+    // Torn/corrupt frame: hand recovery a zeroed image (page LSN 0) so redo
+    // re-applies the logged full image. Deliberately not marked dirty — if no
+    // record covers the page, the disk keeps the corrupt frame for detection.
+    *corrupted = true;
+    Page& page = shard.frames[idx];
+    page.Reset(page_id);
+    shard.ref[idx] = 1;
+    shard.page_table[page_id] = idx;
+  } else if (!st.ok()) {
+    shard.free_frames.push_back(idx);
+    return st;
+  }
   Page& page = shard.frames[idx];
   page.Pin();
   return &page;

@@ -65,7 +65,19 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Fetches a page, reading it from disk on a miss. The returned page is pinned.
+  /// A page whose on-disk frame fails checksum verification surfaces as
+  /// Status::Corruption.
   Result<Page*> FetchPage(PageId page_id);
+
+  /// Recovery-mode fetch: like FetchPage, but a page whose frame fails
+  /// checksum verification is installed as a zeroed frame (page LSN 0, not
+  /// dirty) with `*corrupted` set, so WAL replay re-creates its contents from
+  /// the logged full image — and a page id beyond the end of the file (its
+  /// allocating write was lost in the crash) is allocated on the spot. Only
+  /// RecoveryManager and the torn-page-tolerant directory load use this; the
+  /// zeroed frame is never marked dirty, so if no log record covers the page
+  /// its on-disk corruption is preserved and detected by later reads.
+  Result<Page*> FetchPageTolerant(PageId page_id, bool* corrupted);
 
   /// Allocates a fresh page on disk and returns it pinned.
   Result<Page*> NewPage();
@@ -145,7 +157,8 @@ class BufferPool {
   Result<size_t> GetVictimFrame(Shard& shard);
 
   /// Places `page_id` into `idx` of `shard` after reading it from disk. On a
-  /// read error the frame is returned to the free list. Requires mu held.
+  /// read error the frame is left unhooked; the caller recycles it. Requires
+  /// mu held.
   Status ReadIntoFrame(Shard& shard, size_t idx, PageId page_id);
 
   DiskManager* disk_;

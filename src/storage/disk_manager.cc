@@ -5,14 +5,35 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 
 namespace mood {
 
 namespace {
+
 Status Errno(const std::string& op, const std::string& path) {
   return Status::IOError(op + " failed for '" + path + "': " + std::strerror(errno));
 }
+
+/// CRC over the payload, extended with the little-endian page id so a frame
+/// written to the wrong offset fails verification too.
+uint32_t FrameChecksum(PageId page_id, const char* payload) {
+  char id_bytes[4];
+  EncodeFixed32(id_bytes, page_id);
+  return Crc32cExtend(Crc32c(payload, kPageSize), id_bytes, sizeof(id_bytes));
+}
+
+void EncodeFrame(PageId page_id, const char* payload, char* frame) {
+  EncodeFixed32(frame, FrameChecksum(page_id, payload));
+  EncodeFixed32(frame + 4, kPageFrameMagic);
+  std::memcpy(frame + kPageFrameHeaderSize, payload, kPageSize);
+}
+
 }  // namespace
 
 DiskManager::~DiskManager() {
@@ -27,7 +48,9 @@ Status DiskManager::Open(const std::string& path) {
   path_ = path;
   struct stat st;
   if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
-  num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  // A trailing partial frame (torn AllocatePage) is dropped by the division;
+  // EnsureAllocated / the next AllocatePage overwrite it in place.
+  num_pages_ = static_cast<uint32_t>(st.st_size / kDiskFrameSize);
   return Status::OK();
 }
 
@@ -39,17 +62,45 @@ Status DiskManager::Close() {
   return Status::OK();
 }
 
+Status DiskManager::WriteFrameLocked(PageId page_id, const char* data) {
+  char frame[kDiskFrameSize];
+  EncodeFrame(page_id, data, frame);
+  off_t off = static_cast<off_t>(page_id) * static_cast<off_t>(kDiskFrameSize);
+  if (auto fp = CheckFailPoint("disk.write_page")) {
+    if (fp->torn()) {
+      // Persist only the first half of the frame: header plus a payload
+      // prefix, exactly the shape of a sector-level torn write.
+      (void)::pwrite(fd_, frame, kDiskFrameSize / 2, off);
+    }
+    if (fp->crash()) std::abort();
+    return fp->Error("disk.write_page");
+  }
+  ssize_t n = ::pwrite(fd_, frame, kDiskFrameSize, off);
+  if (n != static_cast<ssize_t>(kDiskFrameSize)) return Errno("pwrite", path_);
+  return Status::OK();
+}
+
 Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::IOError("DiskManager not open");
   PageId id = num_pages_;
   char zeros[kPageSize];
   std::memset(zeros, 0, kPageSize);
-  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
-                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", path_);
+  MOOD_RETURN_IF_ERROR(WriteFrameLocked(id, zeros));
   num_pages_++;
   return id;
+}
+
+Status DiskManager::EnsureAllocated(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("DiskManager not open");
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  while (num_pages_ <= page_id) {
+    MOOD_RETURN_IF_ERROR(WriteFrameLocked(num_pages_, zeros));
+    num_pages_++;
+  }
+  return Status::OK();
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
@@ -59,9 +110,23 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     return Status::InvalidArgument("ReadPage: page " + std::to_string(page_id) +
                                    " out of range (" + std::to_string(num_pages_) + ")");
   }
-  ssize_t n = ::pread(fd_, out, kPageSize,
-                      static_cast<off_t>(page_id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pread", path_);
+  if (auto fp = CheckFailPoint("disk.read_page")) {
+    if (fp->crash()) std::abort();
+    return fp->Error("disk.read_page");
+  }
+  char frame[kDiskFrameSize];
+  ssize_t n = ::pread(fd_, frame, kDiskFrameSize,
+                      static_cast<off_t>(page_id) * static_cast<off_t>(kDiskFrameSize));
+  if (n != static_cast<ssize_t>(kDiskFrameSize)) return Errno("pread", path_);
+  uint32_t stored_crc = DecodeFixed32(frame);
+  uint32_t magic = DecodeFixed32(frame + 4);
+  if (magic != kPageFrameMagic ||
+      stored_crc != FrameChecksum(page_id, frame + kPageFrameHeaderSize)) {
+    stats_.checksum_failures++;
+    return Status::Corruption("page " + std::to_string(page_id) +
+                              " failed checksum verification (torn or corrupt write)");
+  }
+  std::memcpy(out, frame + kPageFrameHeaderSize, kPageSize);
   stats_.reads++;
   if (last_read_page_ != kInvalidPageId && page_id == last_read_page_ + 1) {
     stats_.sequential_reads++;
@@ -78,9 +143,7 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
   if (page_id >= num_pages_) {
     return Status::InvalidArgument("WritePage: page out of range");
   }
-  ssize_t n = ::pwrite(fd_, data, kPageSize,
-                       static_cast<off_t>(page_id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", path_);
+  MOOD_RETURN_IF_ERROR(WriteFrameLocked(page_id, data));
   stats_.writes++;
   return Status::OK();
 }
@@ -88,6 +151,10 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
 Status DiskManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::IOError("DiskManager not open");
+  if (auto fp = CheckFailPoint("disk.sync")) {
+    if (fp->crash()) std::abort();
+    return fp->Error("disk.sync");
+  }
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
   return Status::OK();
 }

@@ -9,6 +9,20 @@
 
 namespace mood {
 
+/// On-disk, every logical 4 KiB page is stored as a physical frame with an
+/// 8-byte header in front of the payload:
+///   [0..4)  CRC-32C over the 4096 payload bytes, extended with the page id
+///           (catches misdirected writes, not just bit flips)
+///   [4..8)  magic 'MPG1' (format marker; a frame without it is torn/foreign)
+/// The header is owned entirely by the DiskManager — no layer above ever sees
+/// it, so slotted pages, index nodes and directory pages keep their full
+/// 4096-byte layouts. Verified on every read; a mismatch surfaces as
+/// Status::Corruption and counts into DiskStats::checksum_failures (exported
+/// as the `storage.checksum_failures` metric).
+inline constexpr size_t kPageFrameHeaderSize = 8;
+inline constexpr size_t kDiskFrameSize = kPageSize + kPageFrameHeaderSize;
+inline constexpr uint32_t kPageFrameMagic = 0x3147504du;  // "MPG1" little-endian
+
 /// I/O statistics the benchmark harness reads to compare *measured* page accesses
 /// against the paper's cost formulas (SEQCOST / RNDCOST, Section 5).
 struct DiskStats {
@@ -19,11 +33,17 @@ struct DiskStats {
   /// measured access pattern.
   uint64_t sequential_reads = 0;
   uint64_t random_reads = 0;
+  /// Reads whose frame failed CRC/magic verification (torn or corrupt writes).
+  uint64_t checksum_failures = 0;
 
   void Clear() { *this = DiskStats{}; }
 };
 
 /// Page-granular file I/O. One DiskManager owns one OS file. Thread-safe.
+///
+/// Failpoints (see common/failpoint.h): `disk.read_page`, `disk.write_page`
+/// (supports torn modes — a torn write persists only the first half of the
+/// frame), `disk.sync`.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -39,6 +59,10 @@ class DiskManager {
   /// Appends a zeroed page and returns its id.
   Result<PageId> AllocatePage();
 
+  /// Grows the file with zeroed pages until `page_id` exists. Recovery uses
+  /// this to re-create pages whose allocating write was lost in a crash.
+  Status EnsureAllocated(PageId page_id);
+
   Status ReadPage(PageId page_id, char* out);
   Status WritePage(PageId page_id, const char* data);
 
@@ -52,6 +76,10 @@ class DiskManager {
   void ResetStats() { stats_.Clear(); }
 
  private:
+  /// Encodes `data` into a checksummed frame and pwrites it. Requires mu_ held;
+  /// carries the `disk.write_page` failpoint (error / torn / crash modes).
+  Status WriteFrameLocked(PageId page_id, const char* data);
+
   int fd_ = -1;
   std::string path_;
   uint32_t num_pages_ = 0;

@@ -37,6 +37,7 @@ Status StorageManager::Open(const std::string& path, const StorageOptions& optio
   MOOD_RETURN_IF_ERROR(disk_->Open(path));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options.pool_pages, options.pool_shards);
   pool_->set_readahead(options.readahead_pages);
+  tolerate_torn_pages_ = options.tolerate_torn_pages;
   if (disk_->num_pages() == 0) {
     // Fresh database: format the first directory page.
     MOOD_ASSIGN_OR_RETURN(Page* page, pool_->NewPage());
@@ -80,7 +81,15 @@ Status StorageManager::ReloadDirectory() {
 Status StorageManager::LoadDirectory() {
   PageId dir = 0;
   while (dir != kInvalidPageId) {
-    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(dir));
+    Page* page = nullptr;
+    if (tolerate_torn_pages_) {
+      // A torn directory page comes back zeroed (count 0, next 0 → treated as
+      // end-of-chain below); redo restores it, then ReloadDirectory re-reads.
+      bool corrupted = false;
+      MOOD_ASSIGN_OR_RETURN(page, pool_->FetchPageTolerant(dir, &corrupted));
+    } else {
+      MOOD_ASSIGN_OR_RETURN(page, pool_->FetchPage(dir));
+    }
     PageGuard guard(pool_.get(), page);
     uint32_t count = DecodeFixed32(page->data() + 12);
     if (count > kDirCapacity) return Status::Corruption("directory entry count");
@@ -222,6 +231,11 @@ void StorageManager::RegisterMetrics(MetricsRegistry* registry) {
                           static_cast<double>(ops.forward_chases));
         out->emplace_back("storage.scan_pages",
                           static_cast<double>(ops.scan_pages));
+        const DiskStats& disk = disk_->stats();
+        out->emplace_back("storage.disk_reads", static_cast<double>(disk.reads));
+        out->emplace_back("storage.disk_writes", static_cast<double>(disk.writes));
+        out->emplace_back("storage.checksum_failures",
+                          static_cast<double>(disk.checksum_failures));
       });
 }
 

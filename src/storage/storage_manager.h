@@ -19,6 +19,13 @@ struct StorageOptions {
   size_t pool_shards = 0;
   /// Sequential-scan readahead depth in pages (0 disables prefetching).
   size_t readahead_pages = 4;
+  /// When set (the WAL-enabled configuration), the directory load after a
+  /// crash tolerates torn pages: a directory page failing checksum
+  /// verification is read as a zeroed frame (decoding as an empty end-of-chain
+  /// page) instead of failing Open, and WAL replay then rebuilds it before
+  /// ReloadDirectory re-reads the real chain. Without a WAL there is nothing
+  /// to rebuild from, so corruption stays a hard error.
+  bool tolerate_torn_pages = false;
 };
 
 /// The storage facade replacing the Exodus Storage Manager: one database file
@@ -85,6 +92,7 @@ class StorageManager : public FileDirectory {
   Status WriteDirEntry(const FileInfo& info, const DirSlot& slot, PageWriteLogger* wal);
   Status AppendDirEntry(const FileInfo& info, PageWriteLogger* wal, DirSlot* out);
 
+  bool tolerate_torn_pages_ = false;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unordered_map<FileId, std::unique_ptr<HeapFile>> files_;

@@ -5,9 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 
 namespace mood {
 
@@ -21,16 +25,18 @@ LogManager::~LogManager() {
   if (fd_ >= 0) Close();
 }
 
-Status LogManager::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ >= 0) return Status::InvalidArgument("LogManager already open");
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0) return Errno("open", path);
-  path_ = path;
-  // Recover next_lsn_ by scanning the existing log tail.
-  std::vector<LogRecord> records;
+Status LogManager::Open(const std::string& path, const WalOptions& options) {
   {
-    // ReadAll without re-locking.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) return Status::InvalidArgument("LogManager already open");
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) return Errno("open", path);
+    path_ = path;
+    options_ = options;
+    flusher_error_ = Status::OK();
+    stop_flusher_ = false;
+    // Recover next_lsn_ by scanning the existing log tail; a record whose CRC
+    // fails marks the torn tail, beyond which nothing is trusted.
     struct stat st;
     if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
     std::string all(static_cast<size_t>(st.st_size), '\0');
@@ -40,17 +46,32 @@ Status LogManager::Open(const std::string& path) {
     }
     Decoder dec(all);
     while (!dec.Empty()) {
-      Slice body;
-      if (!dec.GetLengthPrefixedSlice(&body).ok()) break;  // torn tail: stop
-      if (body.size() < 17) break;
-      Lsn lsn = DecodeFixed64(body.data());
+      Slice payload;
+      if (!dec.GetLengthPrefixedSlice(&payload).ok()) break;  // torn tail: stop
+      if (payload.size() < 21) break;                         // crc + minimal body
+      uint32_t crc = DecodeFixed32(payload.data());
+      if (crc != Crc32c(payload.data() + 4, payload.size() - 4)) break;
+      Lsn lsn = DecodeFixed64(payload.data() + 4);
       if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
     }
+    durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
+    requested_lsn_ = next_lsn_ - 1;
+  }
+  if (options.fsync_mode == WalFsync::kGroup) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
   }
   return Status::OK();
 }
 
 Status LogManager::Close() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_flusher_ = true;
+    }
+    work_cv_.notify_all();
+    flusher_.join();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
   if (!buffer_.empty()) {
@@ -67,6 +88,10 @@ Result<Lsn> LogManager::Append(LogRecordType type, uint64_t txn_id, PageId page,
                                Slice before, Slice after) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::IOError("LogManager not open");
+  if (auto fp = CheckFailPoint("log.append")) {
+    if (fp->crash()) std::abort();
+    return fp->Error("log.append");
+  }
   Lsn lsn = next_lsn_++;
   std::string body;
   PutFixed64(&body, lsn);
@@ -77,7 +102,10 @@ Result<Lsn> LogManager::Append(LogRecordType type, uint64_t txn_id, PageId page,
     PutLengthPrefixedSlice(&body, before);
     PutLengthPrefixedSlice(&body, after);
   }
-  PutLengthPrefixedSlice(&buffer_, body);
+  PutFixed32(&buffer_, static_cast<uint32_t>(body.size()) + 4);
+  PutFixed32(&buffer_, Crc32c(body.data(), body.size()));
+  buffer_.append(body);
+  appends_.fetch_add(1, std::memory_order_relaxed);
   return lsn;
 }
 
@@ -98,16 +126,96 @@ Result<Lsn> LogManager::AppendCheckpoint() {
   return Append(LogRecordType::kCheckpoint, 0, kInvalidPageId, {}, {});
 }
 
-Status LogManager::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+Status LogManager::FlushLocked() {
   if (fd_ < 0) return Status::IOError("LogManager not open");
+  if (auto fp = CheckFailPoint("log.flush")) {
+    if (fp->torn() && !buffer_.empty()) {
+      // Persist only a prefix of the pending records — the shape of a crash
+      // mid-write. The torn record's CRC won't verify on replay.
+      (void)::write(fd_, buffer_.data(), buffer_.size() / 2);
+    }
+    if (fp->crash()) std::abort();
+    return fp->Error("log.flush");
+  }
+  Lsn flushed_up_to = next_lsn_ - 1;
   if (!buffer_.empty()) {
     ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
     if (n != static_cast<ssize_t>(buffer_.size())) return Errno("write", path_);
     buffer_.clear();
   }
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  durable_lsn_.store(flushed_up_to, std::memory_order_release);
   return Status::OK();
+}
+
+Status LogManager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LogManager::SyncCommit(Lsn lsn) {
+  switch (options_.fsync_mode) {
+    case WalFsync::kOff:
+      return Status::OK();
+    case WalFsync::kAlways:
+      return Flush();
+    case WalFsync::kGroup:
+      break;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!flusher_error_.ok()) return flusher_error_;
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return Status::OK();
+  if (requested_lsn_ < lsn) requested_lsn_ = lsn;
+  commit_waiters_++;
+  work_cv_.notify_one();
+  durable_cv_.wait(lock, [&] {
+    return !flusher_error_.ok() || stop_flusher_ ||
+           durable_lsn_.load(std::memory_order_acquire) >= lsn;
+  });
+  commit_waiters_--;
+  if (!flusher_error_.ok()) return flusher_error_;
+  if (durable_lsn_.load(std::memory_order_acquire) < lsn) {
+    return Status::IOError("log closed before commit became durable");
+  }
+  return Status::OK();
+}
+
+void LogManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_flusher_ ||
+             requested_lsn_ > durable_lsn_.load(std::memory_order_acquire);
+    });
+    if (stop_flusher_) {
+      durable_cv_.notify_all();
+      return;
+    }
+    // Collect committers for the window so they share one fsync. The lock is
+    // dropped while sleeping: arriving committers enqueue records and bump
+    // requested_lsn_, all covered by the single flush below.
+    if (options_.group_commit_window_us > 0) {
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.group_commit_window_us));
+      lock.lock();
+      if (stop_flusher_) {
+        durable_cv_.notify_all();
+        return;
+      }
+    }
+    size_t batch = commit_waiters_;
+    Status st = FlushLocked();
+    if (!st.ok()) {
+      flusher_error_ = st;
+      durable_cv_.notify_all();
+      return;
+    }
+    batch_hist_.Record(batch);
+    durable_cv_.notify_all();
+  }
 }
 
 Status LogManager::ReadAll(std::vector<LogRecord>* out) {
@@ -124,9 +232,20 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   Decoder dec(all);
   out->clear();
   while (!dec.Empty()) {
-    Slice body;
-    Status st2 = dec.GetLengthPrefixedSlice(&body);
-    if (!st2.ok()) break;  // torn tail after crash: ignore
+    Slice payload;
+    Status st2 = dec.GetLengthPrefixedSlice(&payload);
+    if (!st2.ok() || payload.size() < 4) {
+      // Torn tail after crash: the interrupted write never completed, so
+      // everything from here on is garbage. Prefix durability.
+      torn_tail_drops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    uint32_t crc = DecodeFixed32(payload.data());
+    Slice body(payload.data() + 4, payload.size() - 4);
+    if (crc != Crc32c(body.data(), body.size())) {
+      torn_tail_drops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     Decoder b(body);
     LogRecord rec;
     uint8_t type_byte = 0;
@@ -155,7 +274,32 @@ Status LogManager::Truncate() {
   buffer_.clear();
   if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
+  requested_lsn_ = next_lsn_ - 1;
   return Status::OK();
+}
+
+void LogManager::RegisterMetrics(MetricsRegistry* registry) {
+  registry->RegisterProbe(
+      "wal", [this](std::vector<std::pair<std::string, double>>* out) {
+        out->emplace_back("wal.appends",
+                          static_cast<double>(appends_.load(std::memory_order_relaxed)));
+        out->emplace_back("wal.flushes",
+                          static_cast<double>(flushes_.load(std::memory_order_relaxed)));
+        out->emplace_back("wal.fsyncs",
+                          static_cast<double>(fsyncs_.load(std::memory_order_relaxed)));
+        out->emplace_back(
+            "wal.torn_tail_drops",
+            static_cast<double>(torn_tail_drops_.load(std::memory_order_relaxed)));
+        out->emplace_back("wal.group_commit_batch.count",
+                          static_cast<double>(batch_hist_.count()));
+        out->emplace_back("wal.group_commit_batch.sum",
+                          static_cast<double>(batch_hist_.sum()));
+        out->emplace_back("wal.group_commit_batch.p50",
+                          static_cast<double>(batch_hist_.PercentileUpperBound(50)));
+        out->emplace_back("wal.group_commit_batch.p99",
+                          static_cast<double>(batch_hist_.PercentileUpperBound(99)));
+      });
 }
 
 }  // namespace mood

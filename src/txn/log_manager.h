@@ -1,16 +1,22 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace mood {
+
+class MetricsRegistry;
 
 enum class LogRecordType : uint8_t {
   kBegin = 1,
@@ -32,8 +38,39 @@ struct LogRecord {
   std::string after;
 };
 
+/// Commit-durability policy (DatabaseOptions::wal_fsync).
+enum class WalFsync : uint8_t {
+  /// Every commit forces its own write + fsync before returning. Strongest
+  /// latency guarantee, one fsync per commit.
+  kAlways = 0,
+  /// Commits hand their LSN to a background flusher and block until it is
+  /// durable; the flusher collects committers for a short window so N of them
+  /// share one fsync (group commit).
+  kGroup = 1,
+  /// Commits return without forcing the log. Durability only at checkpoints
+  /// and clean close — a crash loses recent commits but never corrupts.
+  kOff = 2,
+};
+
+struct WalOptions {
+  WalFsync fsync_mode = WalFsync::kAlways;
+  /// How long the group-commit flusher waits to collect committers before
+  /// issuing the shared fsync. Only meaningful for WalFsync::kGroup.
+  uint32_t group_commit_window_us = 100;
+};
+
 /// Append-only write-ahead log backed by one file. Provides the "backup and
 /// recovery" kernel function the paper obtains from the Exodus Storage Manager.
+///
+/// On-disk record framing: [u32 len][u32 CRC-32C of body][body]. The CRC is
+/// verified on every read; the first record that fails (length overruns the
+/// file or checksum mismatch) is treated as the torn tail of an interrupted
+/// write — scanning stops there and the remainder is discarded, which is
+/// exactly the prefix-durability contract commits rely on.
+///
+/// Failpoints (common/failpoint.h): `log.append` (record construction),
+/// `log.flush` (buffer write + fsync; torn mode persists only the first half
+/// of the pending buffer, modelling a crash mid-write).
 class LogManager {
  public:
   LogManager() = default;
@@ -42,7 +79,7 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, const WalOptions& options = {});
   Status Close();
 
   Result<Lsn> AppendBegin(uint64_t txn_id);
@@ -51,27 +88,70 @@ class LogManager {
   Result<Lsn> AppendPageWrite(uint64_t txn_id, PageId page, Slice before, Slice after);
   Result<Lsn> AppendCheckpoint();
 
-  /// Forces buffered log records to stable storage.
+  /// Forces buffered log records to stable storage unconditionally (the WAL
+  /// rule and checkpoints use this regardless of fsync mode).
   Status Flush();
 
-  /// Reads every record currently in the log, in LSN order.
+  /// Makes the commit record at `lsn` durable per the configured fsync mode:
+  /// kAlways forces immediately, kGroup blocks on the shared flusher until
+  /// durable_lsn() covers `lsn`, kOff returns at once. A failed group flush is
+  /// sticky: every subsequent SyncCommit reports it.
+  Status SyncCommit(Lsn lsn);
+
+  /// Reads every record currently in the log, in LSN order. Stops at the first
+  /// torn/corrupt record (counted in the `wal.torn_tail_drops` metric).
   Status ReadAll(std::vector<LogRecord>* out);
 
   /// Discards the log contents (after a checkpoint has flushed all data pages).
   Status Truncate();
 
   Lsn last_lsn() const { return next_lsn_ - 1; }
+  /// Highest LSN known to be on stable storage.
+  Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
   bool is_open() const { return fd_ >= 0; }
+  WalFsync fsync_mode() const { return options_.fsync_mode; }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  /// Commit batches the flusher has retired (0 outside kGroup mode).
+  uint64_t group_commit_batches() const { return batch_hist_.count(); }
+
+  /// Registers the `wal.*` probe: appends/flushes/fsyncs/torn_tail_drops
+  /// counters and the group-commit batch-size histogram (count/sum/p50/p99).
+  /// The LogManager owns its instruments — Database destroys the registry
+  /// before the log, so a probe (unregisterable by component) is the only
+  /// lifetime-safe wiring.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   Result<Lsn> Append(LogRecordType type, uint64_t txn_id, PageId page, Slice before,
                      Slice after);
+  /// Writes the pending buffer and fsyncs. Requires mu_ held; carries the
+  /// `log.flush` failpoint and advances durable_lsn_ on success.
+  Status FlushLocked();
+  void FlusherLoop();
 
   int fd_ = -1;
   std::string path_;
+  WalOptions options_;
   Lsn next_lsn_ = 1;
   std::string buffer_;  // unflushed tail
   mutable std::mutex mu_;
+
+  // Group-commit state (all under mu_ except the atomics).
+  std::atomic<Lsn> durable_lsn_{0};
+  Lsn requested_lsn_ = 0;       // highest LSN a committer asked to be made durable
+  size_t commit_waiters_ = 0;   // committers currently blocked in SyncCommit
+  Status flusher_error_;        // sticky: first error from the background flush
+  bool stop_flusher_ = false;
+  std::thread flusher_;
+  std::condition_variable work_cv_;     // wakes the flusher
+  std::condition_variable durable_cv_;  // wakes committers
+
+  // wal.* instruments (owned; see RegisterMetrics).
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> torn_tail_drops_{0};
+  MetricHistogram batch_hist_;
 };
 
 }  // namespace mood

@@ -45,12 +45,39 @@ Result<Transaction*> TransactionManager::Begin() {
   return ptr;
 }
 
+Status TransactionManager::RollbackInBuffer(Transaction* txn) {
+  Status first;
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    auto page = pool_->FetchPage(it->page);
+    if (!page.ok()) {
+      if (first.ok()) first = page.status();
+      continue;
+    }
+    std::memcpy(page.value()->data(), it->before.data(), kPageSize);
+    Status up = pool_->UnpinPage(it->page, /*dirty=*/true);
+    if (!up.ok() && first.ok()) first = up;
+  }
+  txn->state_ = TxnState::kAborted;
+  txn->undo_.clear();
+  locks_->ReleaseAll(txn->id_);
+  return first;
+}
+
 Status TransactionManager::Commit(Transaction* txn) {
   if (txn->state_ != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
-  MOOD_RETURN_IF_ERROR(log_->AppendCommit(txn->id_).status());
-  MOOD_RETURN_IF_ERROR(log_->Flush());
+  Status durable = [&]() -> Status {
+    MOOD_ASSIGN_OR_RETURN(Lsn commit_lsn, log_->AppendCommit(txn->id_));
+    return log_->SyncCommit(commit_lsn);
+  }();
+  if (!durable.ok()) {
+    // The commit record may not have reached stable storage, so the commit
+    // cannot be acknowledged. Roll back and release the locks — otherwise one
+    // log failure wedges every later transaction behind orphaned locks.
+    (void)RollbackInBuffer(txn);
+    return durable;
+  }
   txn->state_ = TxnState::kCommitted;
   txn->undo_.clear();
   locks_->ReleaseAll(txn->id_);
@@ -61,18 +88,16 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->state_ != TxnState::kActive) {
     return Status::InvalidArgument("abort of non-active transaction");
   }
-  // Restore before-images newest-first.
-  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
-    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(it->page));
-    std::memcpy(page->data(), it->before.data(), kPageSize);
-    MOOD_RETURN_IF_ERROR(pool_->UnpinPage(it->page, /*dirty=*/true));
-  }
-  MOOD_RETURN_IF_ERROR(log_->AppendAbort(txn->id_).status());
-  MOOD_RETURN_IF_ERROR(log_->Flush());
-  txn->state_ = TxnState::kAborted;
-  txn->undo_.clear();
-  locks_->ReleaseAll(txn->id_);
-  return Status::OK();
+  Status undone = RollbackInBuffer(txn);
+  // Log the abort so recovery can skip the undo it just performed. Best
+  // effort: if this fails the transaction is a loser in the log and the next
+  // recovery undoes it again (idempotent), but the rollback above already
+  // released its locks.
+  Status logged = [&]() -> Status {
+    MOOD_ASSIGN_OR_RETURN(Lsn abort_lsn, log_->AppendAbort(txn->id_));
+    return log_->SyncCommit(abort_lsn);
+  }();
+  return undone.ok() ? logged : undone;
 }
 
 Result<RecoveryManager::Report> RecoveryManager::Recover() {
@@ -99,7 +124,12 @@ Result<RecoveryManager::Report> RecoveryManager::Recover() {
   // by the undo phase below, which also covers losers.
   for (const LogRecord& rec : records) {
     if (rec.type != LogRecordType::kPageWrite) continue;
-    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rec.page_id));
+    // Tolerant fetch: a torn/corrupt frame arrives zeroed (page LSN 0), so the
+    // `current < rec.lsn` test below always re-applies the logged full image —
+    // this is how checksum failures heal instead of failing recovery.
+    bool corrupted = false;
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPageTolerant(rec.page_id, &corrupted));
+    if (corrupted) report.corrupt_pages_rebuilt++;
     Lsn current = DecodeFixed64(page->data());
     if (current < rec.lsn) {
       std::memcpy(page->data(), rec.after.data(), kPageSize);
@@ -107,7 +137,7 @@ Result<RecoveryManager::Report> RecoveryManager::Recover() {
       MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, true));
       report.redo_applied++;
     } else {
-      MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, false));
+      MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, corrupted));
     }
   }
 
@@ -116,7 +146,9 @@ Result<RecoveryManager::Report> RecoveryManager::Recover() {
     const LogRecord& rec = *it;
     if (rec.type != LogRecordType::kPageWrite) continue;
     if (committed.count(rec.txn_id)) continue;
-    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPage(rec.page_id));
+    bool corrupted = false;
+    MOOD_ASSIGN_OR_RETURN(Page* page, pool_->FetchPageTolerant(rec.page_id, &corrupted));
+    if (corrupted) report.corrupt_pages_rebuilt++;
     std::memcpy(page->data(), rec.before.data(), kPageSize);
     EncodeFixed64(page->data(), rec.lsn);
     MOOD_RETURN_IF_ERROR(pool_->UnpinPage(rec.page_id, true));

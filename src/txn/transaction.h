@@ -58,11 +58,15 @@ class TransactionManager {
   /// Commit/Abort.
   Result<Transaction*> Begin();
 
-  /// Commit: append + flush the commit record, release locks.
+  /// Commit: append + flush the commit record, release locks. If making the
+  /// commit record durable fails, the transaction is rolled back in-buffer and
+  /// its locks are released before the error is returned — a failed Commit
+  /// never leaves the transaction active or its locks orphaned.
   Status Commit(Transaction* txn);
 
   /// Abort: restore before-images in reverse order, append abort record, release
-  /// locks.
+  /// locks. Locks are released even when logging the abort fails (recovery
+  /// treats the transaction as a loser and undoes it again from the log).
   Status Abort(Transaction* txn);
 
   /// Frees committed/aborted transaction objects. Completed transactions stay
@@ -75,6 +79,11 @@ class TransactionManager {
 
  private:
   friend class Transaction;
+
+  /// Restores before-images newest-first, marks the transaction aborted and
+  /// releases its locks. Best-effort: keeps going past page errors and returns
+  /// the first one (locks are always released).
+  Status RollbackInBuffer(Transaction* txn);
 
   BufferPool* pool_;
   LogManager* log_;
@@ -97,6 +106,9 @@ class RecoveryManager {
     size_t loser_txns = 0;
     size_t redo_applied = 0;
     size_t undo_applied = 0;
+    /// Pages whose on-disk frame failed checksum verification and were rebuilt
+    /// from logged full images (torn writes healed by redo).
+    size_t corrupt_pages_rebuilt = 0;
   };
 
   Result<Report> Recover();

@@ -247,16 +247,33 @@ TEST_F(ExecFixture, PersistsAcrossReopen) {
 }
 
 TEST_F(ExecFixture, TransactionAbortRollsBackDml) {
-  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db_.Begin());
   MOOD_ASSERT_OK(db_.Execute("NEW Employee <555, 'Ghost', 1> AS ghost").status());
   EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 555"), 1u);
-  MOOD_ASSERT_OK(db_.Abort());
+  MOOD_ASSERT_OK(txn.Abort());
+  EXPECT_FALSE(txn.active());
   EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 555"), 0u);
   // Commit path.
-  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn2, db_.Begin());
   MOOD_ASSERT_OK(db_.Execute("NEW Employee <556, 'Real', 1>").status());
-  MOOD_ASSERT_OK(db_.Commit());
+  MOOD_ASSERT_OK(txn2.Commit());
   EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 556"), 1u);
+}
+
+TEST_F(ExecFixture, TxnHandleAutoAbortsOnDestruction) {
+  {
+    MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db_.Begin());
+    MOOD_ASSERT_OK(db_.Execute("NEW Employee <557, 'Leaky', 1>").status());
+    EXPECT_TRUE(db_.in_transaction());
+    // Handle goes out of scope without Commit: the transaction must abort.
+  }
+  EXPECT_FALSE(db_.in_transaction());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 557"), 0u);
+  // Locks released too: a fresh transaction can touch the same extent.
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn2, db_.Begin());
+  MOOD_ASSERT_OK(db_.Execute("NEW Employee <558, 'Clean', 1>").status());
+  MOOD_ASSERT_OK(txn2.Commit());
+  EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 558"), 1u);
 }
 
 TEST_F(ExecFixture, CrashRecoveryThroughDatabaseOpen) {
@@ -264,9 +281,9 @@ TEST_F(ExecFixture, CrashRecoveryThroughDatabaseOpen) {
   // change and "crash" (skip Close): the WAL replay must restore the committed
   // change even though its data pages were never flushed.
   MOOD_ASSERT_OK(db_.Checkpoint());
-  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db_.Begin());
   MOOD_ASSERT_OK(db_.Execute("NEW Employee <777, 'Survivor', 40>").status());
-  MOOD_ASSERT_OK(db_.Commit());
+  MOOD_ASSERT_OK(txn.Commit());
   // Abandon db_ without a clean close: open a second handle on the same files.
   Database db2;
   MOOD_ASSERT_OK(db2.Open(dir_.Path("mood")));
@@ -276,18 +293,18 @@ TEST_F(ExecFixture, CrashRecoveryThroughDatabaseOpen) {
 }
 
 TEST_F(ExecFixture, DmlInsideTransactionHoldsLocks) {
-  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db_.Begin());
   MOOD_ASSERT_OK(db_.Execute("NEW Employee <600, 'Locker', 30>").status());
   MOOD_ASSERT_OK(
       db_.Execute("UPDATE Employee e SET age = 31 WHERE e.ssno = 600").status());
   // Strict 2PL: locks held until commit.
   LockManager* lm = db_.txn_manager()->locks();
   EXPECT_GT(lm->LockedResourceCount(), 0u);
-  MOOD_ASSERT_OK(db_.Commit());
+  MOOD_ASSERT_OK(txn.Commit());
   EXPECT_EQ(lm->LockedResourceCount(), 0u);
-  MOOD_ASSERT_OK(db_.Begin().status());
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn2, db_.Begin());
   MOOD_ASSERT_OK(db_.Execute("DELETE FROM Employee e WHERE e.ssno = 600").status());
-  MOOD_ASSERT_OK(db_.Commit());
+  MOOD_ASSERT_OK(txn2.Commit());
   EXPECT_EQ(Count("SELECT e FROM Employee e WHERE e.ssno = 600"), 0u);
 }
 

@@ -276,12 +276,20 @@ TEST_F(ObsFixture, ExplainJsonFormat) {
   EXPECT_EQ(json2.find("time_ms"), std::string::npos);
 }
 
-TEST_F(ObsFixture, DeprecatedWrappersStillWork) {
-  MOOD_ASSERT_OK_AND_ASSIGN(std::string text, db_.Explain(paperdb::kExample81Query));
+TEST_F(ObsFixture, ConsolidatedExplainCoversLegacyShapes) {
+  // The verbose rendering carries the historical "dictionaries + plan" text...
+  ExplainOptions verbose;
+  verbose.verbose = true;
+  MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult res,
+                            db_.Explain(paperdb::kExample81Query, verbose));
+  std::string text = res.Render();
   EXPECT_NE(text.find("Plan:"), std::string::npos);
   EXPECT_NE(text.find("PathSelInfo"), std::string::npos);
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample81Query));
-  EXPECT_NE(optimized.plan, nullptr);
+  // ...and the plain result exposes the raw optimizer output.
+  MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult plain,
+                            db_.Explain(paperdb::kExample81Query, ExplainOptions{}));
+  EXPECT_NE(plain.optimized.plan, nullptr);
+  EXPECT_FALSE(plain.analyzed);
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,12 @@ namespace {
 
 using testing::TempDir;
 
+/// Plan-only optimization through the consolidated Explain API.
+Result<QueryOptimizer::Optimized> Optimize(Database& db, const std::string& sql) {
+  MOOD_ASSIGN_OR_RETURN(ExplainResult res, db.Explain(sql, {}));
+  return std::move(res.optimized);
+}
+
 // --- Algorithm 8.1 / Appendix lemma: pure ordering properties --------------------
 
 TEST(OrderingLemmaTest, TwoExpressionBaseCase) {
@@ -71,7 +77,7 @@ class OptimizerFixture : public ::testing::Test {
 };
 
 TEST_F(OptimizerFixture, Example81PathOrderingMatchesTable16) {
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample81Query));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, Optimize(db_, paperdb::kExample81Query));
   ASSERT_EQ(optimized.terms.size(), 1u);
   const auto& paths = optimized.terms[0].paths;
   ASSERT_EQ(paths.size(), 2u);
@@ -87,7 +93,7 @@ TEST_F(OptimizerFixture, Example81PathOrderingMatchesTable16) {
 }
 
 TEST_F(OptimizerFixture, Example81PlanShapeMatchesPaper) {
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample81Query));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, Optimize(db_, paperdb::kExample81Query));
   std::string plan = optimized.plan->ToString();
   // The first subplan (T1): hash-partition join of Vehicle with the selected
   // Company — JOIN(BIND(Vehicle, v), SELECT(BIND(Company, ...), name='BMW'),
@@ -102,7 +108,7 @@ TEST_F(OptimizerFixture, Example81PlanShapeMatchesPaper) {
 }
 
 TEST_F(OptimizerFixture, Example82PlanShapeMatchesPaper) {
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kExample82Query));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, Optimize(db_, paperdb::kExample82Query));
   std::string plan = optimized.plan->ToString();
   // T1 = JOIN(BIND(VehicleDriveTrain, d), SELECT(BIND(VehicleEngine, e),
   // cylinders=2), HASH_PARTITION, d.engine = e.self) — the drivetrain/engine pair
@@ -123,7 +129,7 @@ TEST_F(OptimizerFixture, Example82PlanShapeMatchesPaper) {
 TEST_F(OptimizerFixture, ImmediateSelectionDictionary) {
   MOOD_ASSERT_OK_AND_ASSIGN(
       auto optimized,
-      db_.OptimizeOnly("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 AND "
+      Optimize(db_, "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 AND "
                        "e.size > 2000"));
   ASSERT_EQ(optimized.terms.size(), 1u);
   const auto& imm = optimized.terms[0].imm;
@@ -144,7 +150,7 @@ TEST_F(OptimizerFixture, ImmediateSelectionDictionary) {
 TEST_F(OptimizerFixture, DisjunctionBecomesUnionOfAndTerms) {
   MOOD_ASSERT_OK_AND_ASSIGN(
       auto optimized,
-      db_.OptimizeOnly("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR "
+      Optimize(db_, "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR "
                        "e.cylinders = 4"));
   EXPECT_EQ(optimized.terms.size(), 2u);
   EXPECT_EQ(optimized.plan->op, PlanOp::kUnion);
@@ -152,7 +158,7 @@ TEST_F(OptimizerFixture, DisjunctionBecomesUnionOfAndTerms) {
 }
 
 TEST_F(OptimizerFixture, ExplicitJoinPredicateClassified) {
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly(paperdb::kSection31Query));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, Optimize(db_, paperdb::kSection31Query));
   ASSERT_EQ(optimized.terms.size(), 1u);
   const auto& term = optimized.terms[0];
   // c.drivetrain.engine = v is a pointer-form join predicate.
@@ -168,20 +174,24 @@ TEST_F(OptimizerFixture, ExplicitJoinPredicateClassified) {
 }
 
 TEST_F(OptimizerFixture, NoWherePlanIsBareScan) {
-  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, db_.OptimizeOnly("SELECT v FROM Vehicle v"));
+  MOOD_ASSERT_OK_AND_ASSIGN(auto optimized, Optimize(db_, "SELECT v FROM Vehicle v"));
   EXPECT_EQ(optimized.plan->op, PlanOp::kBindClass);
 }
 
 TEST_F(OptimizerFixture, CrossProductWhenNoJoinPredicate) {
   MOOD_ASSERT_OK_AND_ASSIGN(
       auto optimized,
-      db_.OptimizeOnly("SELECT v FROM Vehicle v, Company c"));
+      Optimize(db_, "SELECT v FROM Vehicle v, Company c"));
   EXPECT_EQ(optimized.plan->op, PlanOp::kNestedLoopJoin);
   EXPECT_EQ(optimized.plan->join_pred, nullptr);
 }
 
 TEST_F(OptimizerFixture, ExplainRendersDictionariesAndPlan) {
-  MOOD_ASSERT_OK_AND_ASSIGN(std::string text, db_.Explain(paperdb::kExample81Query));
+  ExplainOptions verbose;
+  verbose.verbose = true;
+  MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult res,
+                            db_.Explain(paperdb::kExample81Query, verbose));
+  std::string text = res.Render();
   EXPECT_NE(text.find("PathSelInfo"), std::string::npos);
   EXPECT_NE(text.find("F/(1-s)"), std::string::npos);
   EXPECT_NE(text.find("Plan:"), std::string::npos);
@@ -215,7 +225,7 @@ class IndexChoiceFixture : public ::testing::Test {
 
 TEST_F(IndexChoiceFixture, EqualityUsesIndexWhenCheaper) {
   MOOD_ASSERT_OK_AND_ASSIGN(auto optimized,
-                            db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id = 5"));
+                            Optimize(db_, "SELECT i FROM Item i WHERE i.id = 5"));
   const auto& imm = optimized.terms[0].imm;
   ASSERT_EQ(imm.size(), 1u);
   EXPECT_EQ(imm[0].access_type, "indexed");
@@ -227,7 +237,7 @@ TEST_F(IndexChoiceFixture, EqualityUsesIndexWhenCheaper) {
 TEST_F(IndexChoiceFixture, UnselectiveRangeFallsBackToScan) {
   // id > 0 selects ~everything: the Section 8.1 inequality rejects the index.
   MOOD_ASSERT_OK_AND_ASSIGN(auto optimized,
-                            db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id >= 0"));
+                            Optimize(db_, "SELECT i FROM Item i WHERE i.id >= 0"));
   const auto& imm = optimized.terms[0].imm;
   ASSERT_EQ(imm.size(), 1u);
   EXPECT_EQ(imm[0].access_type, "sequential");
@@ -237,7 +247,7 @@ TEST_F(IndexChoiceFixture, UnselectiveRangeFallsBackToScan) {
 
 TEST_F(IndexChoiceFixture, SelectiveRangeUsesIndex) {
   MOOD_ASSERT_OK_AND_ASSIGN(
-      auto optimized, db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id < 3"));
+      auto optimized, Optimize(db_, "SELECT i FROM Item i WHERE i.id < 3"));
   const auto& imm = optimized.terms[0].imm;
   ASSERT_EQ(imm.size(), 1u);
   EXPECT_EQ(imm[0].access_type, "indexed");
@@ -246,7 +256,7 @@ TEST_F(IndexChoiceFixture, SelectiveRangeUsesIndex) {
 TEST_F(IndexChoiceFixture, UnindexedPredicateStaysResidual) {
   MOOD_ASSERT_OK_AND_ASSIGN(
       auto optimized,
-      db_.OptimizeOnly("SELECT i FROM Item i WHERE i.id = 5 AND i.grade = 3"));
+      Optimize(db_, "SELECT i FROM Item i WHERE i.id = 5 AND i.grade = 3"));
   // id=5 via index, grade=3 residual filter on top.
   ASSERT_EQ(optimized.plan->op, PlanOp::kFilter);
   EXPECT_EQ(optimized.plan->child->op, PlanOp::kIndexSelect);

@@ -64,10 +64,11 @@ CREATE CLASS JapaneseAuto
   MOOD_ASSERT_OK_AND_ASSIGN(auto fns, db.catalog()->AllFunctions("JapaneseAuto"));
   EXPECT_EQ(fns.size(), 2u);
   // The paper's query over this schema parses and binds.
-  MOOD_ASSERT_OK(db.OptimizeOnly(
+  MOOD_ASSERT_OK(db.Explain(
                        "SELECT c FROM EVERY Automobile - JapaneseAuto c, "
                        "VehicleEngine v WHERE c.drivetrain.transmission = "
-                       "'AUTOMATIC' AND c.drivetrain.engine = v AND v.cylinders > 4")
+                       "'AUTOMATIC' AND c.drivetrain.engine = v AND v.cylinders > 4",
+                       ExplainOptions{})
                      .status());
 }
 
@@ -141,10 +142,14 @@ TEST_F(RegressionFixture, UpdateGrowingStringKeepsIndexConsistent) {
 }
 
 TEST_F(RegressionFixture, ExplainOnDisjunctionShowsBothTerms) {
+  ExplainOptions verbose;
+  verbose.verbose = true;
   MOOD_ASSERT_OK_AND_ASSIGN(
-      std::string text,
+      ExplainResult res,
       db_.Explain("SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 OR "
-                  "e.cylinders = 30"));
+                  "e.cylinders = 30",
+                  verbose));
+  std::string text = res.Render();
   EXPECT_NE(text.find("AND-term 1"), std::string::npos);
   EXPECT_NE(text.find("AND-term 2"), std::string::npos);
 }
