@@ -83,6 +83,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }

@@ -8,6 +8,9 @@
 namespace mood {
 
 Database::~Database() {
+  // Outstanding TxnHandles check this flag before dereferencing their back
+  // pointer; flip it first so a handle destroyed after us is a no-op.
+  *alive_ = false;
   if (is_open()) Close();
 }
 
@@ -125,7 +128,7 @@ Result<TxnHandle> Database::Begin() {
     return Status::InvalidArgument("a transaction is already active");
   }
   MOOD_ASSIGN_OR_RETURN(active_txn_, txn_manager_->Begin());
-  return TxnHandle(this, active_txn_);
+  return TxnHandle(this, active_txn_, alive_);
 }
 
 Status Database::FinishTxn(Transaction* txn, bool commit) {
@@ -140,31 +143,38 @@ Status Database::FinishTxn(Transaction* txn, bool commit) {
 
 TxnHandle& TxnHandle::operator=(TxnHandle&& other) noexcept {
   if (this == &other) return *this;
-  if (txn_ != nullptr) (void)db_->FinishTxn(txn_, /*commit=*/false);
+  if (txn_ != nullptr && DbAlive()) (void)db_->FinishTxn(txn_, /*commit=*/false);
   db_ = other.db_;
   txn_ = other.txn_;
+  db_alive_ = std::move(other.db_alive_);
   other.db_ = nullptr;
   other.txn_ = nullptr;
   return *this;
 }
 
 TxnHandle::~TxnHandle() {
-  if (txn_ != nullptr) (void)db_->FinishTxn(txn_, /*commit=*/false);
+  if (txn_ != nullptr && DbAlive()) (void)db_->FinishTxn(txn_, /*commit=*/false);
 }
 
 Status TxnHandle::Commit() {
   if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
+  if (!DbAlive()) {
+    Reset();
+    return Status::InvalidArgument("database no longer exists");
+  }
   Status st = db_->FinishTxn(txn_, /*commit=*/true);
-  txn_ = nullptr;
-  db_ = nullptr;
+  Reset();
   return st;
 }
 
 Status TxnHandle::Abort() {
   if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
+  if (!DbAlive()) {
+    Reset();
+    return Status::InvalidArgument("database no longer exists");
+  }
   Status st = db_->FinishTxn(txn_, /*commit=*/false);
-  txn_ = nullptr;
-  db_ = nullptr;
+  Reset();
   return st;
 }
 

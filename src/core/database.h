@@ -111,9 +111,11 @@ class Database;
 /// Move-only RAII handle for one transaction, returned by Database::Begin().
 /// Commit() or Abort() finish the transaction explicitly; a handle destroyed
 /// while still active aborts it (so an early `return` on error can never leak
-/// an open transaction holding locks). A handle outliving the database (or a
-/// Close() that already aborted the transaction) is inert: its destructor
-/// does nothing and explicit Commit/Abort report InvalidArgument.
+/// an open transaction holding locks). A handle outliving the Database object
+/// (its destruction aborted the transaction), or a Close() that already
+/// aborted it, is inert: the handle watches the database's liveness through a
+/// shared flag, so its destructor does nothing and explicit Commit/Abort
+/// report InvalidArgument — never a dangling dereference.
 class TxnHandle {
  public:
   TxnHandle() = default;
@@ -135,10 +137,22 @@ class TxnHandle {
 
  private:
   friend class Database;
-  TxnHandle(Database* db, Transaction* txn) : db_(db), txn_(txn) {}
+  TxnHandle(Database* db, Transaction* txn,
+            std::shared_ptr<const bool> db_alive)
+      : db_(db), txn_(txn), db_alive_(std::move(db_alive)) {}
+
+  /// True while db_ is safe to dereference (the Database object still exists).
+  bool DbAlive() const { return db_alive_ != nullptr && *db_alive_; }
+  void Reset() {
+    db_ = nullptr;
+    txn_ = nullptr;
+    db_alive_.reset();
+  }
 
   Database* db_ = nullptr;
   Transaction* txn_ = nullptr;
+  /// Set to false by ~Database; keeps stale handles from touching freed memory.
+  std::shared_ptr<const bool> db_alive_;
 };
 
 /// One slow-query ring-buffer entry (see DatabaseOptions::slow_query_ms).
@@ -310,6 +324,9 @@ class Database {
   std::unique_ptr<SchemaBrowser> schema_browser_;
   std::unique_ptr<ObjectBrowser> object_browser_;
   Transaction* active_txn_ = nullptr;
+  /// Liveness flag shared with outstanding TxnHandles; flipped to false by
+  /// the destructor so a handle outliving the Database stays inert.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   /// Engine metrics. Destroyed before the components its probes point into.
   std::unique_ptr<MetricsRegistry> metrics_;

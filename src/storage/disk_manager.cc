@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,36 @@ Status DiskManager::Open(const std::string& path) {
   // A trailing partial frame (torn AllocatePage) is dropped by the division;
   // EnsureAllocated / the next AllocatePage overwrite it in place.
   num_pages_ = static_cast<uint32_t>(st.st_size / kDiskFrameSize);
+  // Format check: a non-empty file must carry the frame magic. A file written
+  // before the checksummed-frame format (bare 4096-byte pages) has no magic at
+  // any frame boundary; misparsing it as frames would fail every checksum and,
+  // under torn-page tolerance, silently open the database as empty — so refuse
+  // it outright. A single torn frame must NOT fail the whole file, so accept
+  // if *any* of the first few frame headers verifies; only when none does is
+  // the file considered foreign/pre-format.
+  if (st.st_size > 0) {
+    bool any_magic = false;
+    uint32_t probe_frames = num_pages_ > 0 ? std::min<uint32_t>(num_pages_, 8) : 1;
+    for (uint32_t i = 0; i < probe_frames; i++) {
+      char header[kPageFrameHeaderSize];
+      off_t off = static_cast<off_t>(i) * static_cast<off_t>(kDiskFrameSize);
+      if (off + static_cast<off_t>(sizeof(header)) > st.st_size) break;
+      ssize_t n = ::pread(fd_, header, sizeof(header), off);
+      if (n != static_cast<ssize_t>(sizeof(header))) break;
+      if (DecodeFixed32(header + 4) == kPageFrameMagic) {
+        any_magic = true;
+        break;
+      }
+    }
+    if (!any_magic) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::NotSupported(
+          "'" + path + "' is not in the checksummed page-frame format (it "
+          "predates the 'MPG1' frame header or is not a mood data file); "
+          "refusing to open it as it would be misread as corrupt/empty");
+    }
+  }
   return Status::OK();
 }
 

@@ -52,7 +52,10 @@ class DiskManager {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Opens (creating if necessary) the backing file.
+  /// Opens (creating if necessary) the backing file. A non-empty file whose
+  /// leading frame headers carry no 'MPG1' magic (a pre-frame-format database
+  /// or a foreign file) is rejected with NotSupported instead of being
+  /// misread as all-corrupt; a single torn frame does not trip this check.
   Status Open(const std::string& path);
   Status Close();
 

@@ -54,6 +54,13 @@ class FileDirectory {
 /// chain. Records that outgrow their page are moved and a forwarding stub keeps
 /// the original RecordId valid — object identifiers in MOOD are physical, so they
 /// must never dangle after an update.
+///
+/// Thread safety: reads may run concurrently, but writers to the same file must
+/// be serialized by the caller — Insert/Update/Delete probe free space and then
+/// mutate the page without a latch, so two unserialized writers can race into
+/// spurious "page full" errors or a torn page chain. The SQL layer provides this
+/// serialization via its strict-2PL extent locks (ExecNew takes the extent lock
+/// exclusively); code driving HeapFile directly must do its own.
 class HeapFile {
  public:
   HeapFile(BufferPool* pool, FileDirectory* directory, FileInfo info);

@@ -29,21 +29,29 @@ Status LogManager::Open(const std::string& path, const WalOptions& options) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (fd_ >= 0) return Status::InvalidArgument("LogManager already open");
-    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
     if (fd_ < 0) return Errno("open", path);
+    auto fail = [&](const char* op) {
+      Status st = Errno(op, path);
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    };
     path_ = path;
     options_ = options;
     flusher_error_ = Status::OK();
+    sticky_error_ = Status::OK();
     stop_flusher_ = false;
     // Recover next_lsn_ by scanning the existing log tail; a record whose CRC
     // fails marks the torn tail, beyond which nothing is trusted.
     struct stat st;
-    if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
+    if (::fstat(fd_, &st) != 0) return fail("fstat");
     std::string all(static_cast<size_t>(st.st_size), '\0');
     if (st.st_size > 0) {
       ssize_t n = ::pread(fd_, all.data(), all.size(), 0);
-      if (n != st.st_size) return Errno("pread", path);
+      if (n != st.st_size) return fail("pread");
     }
+    size_t valid_end = 0;  // byte offset just past the last CRC-valid record
     Decoder dec(all);
     while (!dec.Empty()) {
       Slice payload;
@@ -53,6 +61,21 @@ Status LogManager::Open(const std::string& path, const WalOptions& options) {
       if (crc != Crc32c(payload.data() + 4, payload.size() - 4)) break;
       Lsn lsn = DecodeFixed64(payload.data() + 4);
       if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
+      valid_end = all.size() - dec.Remaining();
+    }
+    // Physically drop the torn tail so the valid prefix stays contiguous.
+    // Merely skipping it logically would let post-recovery appends land
+    // *after* the garbage, and the next recovery (which also stops at the
+    // first bad CRC) would silently discard every one of them.
+    if (valid_end < static_cast<size_t>(st.st_size)) {
+      torn_tail_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+        return fail("ftruncate");
+      }
+      if (::fsync(fd_) != 0) return fail("fsync");
+    }
+    if (::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+      return fail("lseek");
     }
     durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
     requested_lsn_ = next_lsn_ - 1;
@@ -74,7 +97,10 @@ Status LogManager::Close() {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
-  if (!buffer_.empty()) {
+  // After an indeterminate flush failure the on-disk suffix is unknown;
+  // re-writing the buffer could duplicate partially written bytes mid-log.
+  // The buffered records were never acknowledged durable, so drop them.
+  if (!buffer_.empty() && sticky_error_.ok()) {
     ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
     if (n != static_cast<ssize_t>(buffer_.size())) return Errno("write", path_);
     buffer_.clear();
@@ -88,6 +114,7 @@ Result<Lsn> LogManager::Append(LogRecordType type, uint64_t txn_id, PageId page,
                                Slice before, Slice after) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::IOError("LogManager not open");
+  if (!sticky_error_.ok()) return sticky_error_;
   if (auto fp = CheckFailPoint("log.append")) {
     if (fp->crash()) std::abort();
     return fp->Error("log.append");
@@ -128,22 +155,44 @@ Result<Lsn> LogManager::AppendCheckpoint() {
 
 Status LogManager::FlushLocked() {
   if (fd_ < 0) return Status::IOError("LogManager not open");
+  if (!sticky_error_.ok()) return sticky_error_;
   if (auto fp = CheckFailPoint("log.flush")) {
     if (fp->torn() && !buffer_.empty()) {
       // Persist only a prefix of the pending records — the shape of a crash
       // mid-write. The torn record's CRC won't verify on replay.
       (void)::write(fd_, buffer_.data(), buffer_.size() / 2);
+      // Bytes of unknown extent reached the file: the log suffix is now
+      // indeterminate, exactly like a real short write. Poison the log.
+      sticky_error_ = fp->Error("log.flush");
+      if (fp->crash()) std::abort();
+      return sticky_error_;
     }
     if (fp->crash()) std::abort();
+    // Plain error mode fires before any byte is written: the buffered
+    // records are definitely NOT durable, so this failure is retryable
+    // (not sticky) — unlike the write/fsync failures below.
     return fp->Error("log.flush");
   }
   Lsn flushed_up_to = next_lsn_ - 1;
   if (!buffer_.empty()) {
     ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
-    if (n != static_cast<ssize_t>(buffer_.size())) return Errno("write", path_);
+    if (n != static_cast<ssize_t>(buffer_.size())) {
+      // A short or failed write leaves an unknown prefix of the buffer in
+      // the file; a failed fsync below leaves fully written records in the
+      // OS page cache where they may still become durable. Either way the
+      // on-disk state is indeterminate: make the failure sticky so no later
+      // append/flush can acknowledge durability on top of it (the database
+      // must be reopened, letting recovery decide from what actually
+      // persisted).
+      sticky_error_ = Errno("write", path_);
+      return sticky_error_;
+    }
     buffer_.clear();
   }
-  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (::fsync(fd_) != 0) {
+    sticky_error_ = Errno("fsync", path_);
+    return sticky_error_;
+  }
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   flushes_.fetch_add(1, std::memory_order_relaxed);
   durable_lsn_.store(flushed_up_to, std::memory_order_release);
@@ -271,9 +320,14 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
 Status LogManager::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::IOError("LogManager not open");
+  // A poisoned log may hold acknowledged commits whose data pages can no
+  // longer be checkpointed (the pre-flush hook fails); dropping it here
+  // would discard them. Recovery on reopen is the only way out.
+  if (!sticky_error_.ok()) return sticky_error_;
   buffer_.clear();
   if (::ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return Errno("lseek", path_);
   durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
   requested_lsn_ = next_lsn_ - 1;
   return Status::OK();

@@ -66,7 +66,17 @@ struct WalOptions {
 /// verified on every read; the first record that fails (length overruns the
 /// file or checksum mismatch) is treated as the torn tail of an interrupted
 /// write — scanning stops there and the remainder is discarded, which is
-/// exactly the prefix-durability contract commits rely on.
+/// exactly the prefix-durability contract commits rely on. Open() physically
+/// ftruncates the torn tail away before accepting appends, so the valid
+/// prefix is always contiguous: records written after a recovery can never
+/// hide behind leftover garbage and be dropped by the *next* recovery.
+///
+/// Failure model: a flush that fails after bytes may have reached the file
+/// or page cache (short write, failed fsync, torn failpoint) leaves the log
+/// suffix indeterminate. Such failures are sticky in every fsync mode —
+/// all further Append/Flush/SyncCommit calls return the original error and
+/// Close() drops (never rewrites) the unacknowledged buffer — until the log
+/// is reopened and recovery re-derives the durable prefix.
 ///
 /// Failpoints (common/failpoint.h): `log.append` (record construction),
 /// `log.flush` (buffer write + fsync; torn mode persists only the first half
@@ -141,6 +151,10 @@ class LogManager {
   Lsn requested_lsn_ = 0;       // highest LSN a committer asked to be made durable
   size_t commit_waiters_ = 0;   // committers currently blocked in SyncCommit
   Status flusher_error_;        // sticky: first error from the background flush
+  /// First indeterminate flush failure (short write / failed fsync / torn
+  /// failpoint): bytes may be durable without acknowledgment, so every
+  /// subsequent append/flush refuses with this status until reopen.
+  Status sticky_error_;
   bool stop_flusher_ = false;
   std::thread flusher_;
   std::condition_variable work_cv_;     // wakes the flusher

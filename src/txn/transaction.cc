@@ -75,6 +75,15 @@ Status TransactionManager::Commit(Transaction* txn) {
     // The commit record may not have reached stable storage, so the commit
     // cannot be acknowledged. Roll back and release the locks — otherwise one
     // log failure wedges every later transaction behind orphaned locks.
+    //
+    // If the failure was indeterminate (bytes may have reached the file or
+    // page cache), the LogManager has made it sticky: every further append
+    // and flush — including the buffer pool's pre-flush hook — returns the
+    // same error, so neither this in-buffer rollback nor any later write can
+    // reach disk. On reopen, recovery decides the transaction's true fate
+    // from whatever prefix of the log actually persisted; either outcome is
+    // internally consistent, and the caller was told only that durability
+    // could not be confirmed.
     (void)RollbackInBuffer(txn);
     return durable;
   }

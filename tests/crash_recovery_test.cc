@@ -283,6 +283,95 @@ TEST_F(FailPointFixture, ErrorModeSurfacesIoError) {
   EXPECT_EQ(Count(db, "SELECT t FROM T t WHERE t.n = 2"), 1u);
 }
 
+TEST_F(FailPointFixture, TornFlushFailureIsStickyUntilReopen) {
+  TempDir dir;
+  auto db = std::make_unique<Database>();
+  MOOD_ASSERT_OK(db->Open(dir.Path("db"), HarnessOptions()));
+  MOOD_ASSERT_OK(db->Execute("CREATE CLASS T TUPLE (n Integer)").status());
+  MOOD_ASSERT_OK(db->Checkpoint());
+  MOOD_ASSERT_OK(FailPoints::Instance().Arm("log.flush", "torn"));
+  {
+    MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db->Begin());
+    MOOD_ASSERT_OK(db->Execute("NEW T <1>").status());
+    Status st = txn.Commit();
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  }
+  FailPoints::Instance().DisarmAll();
+  // Unlike plain error mode (nothing written, retry safe), the torn flush put
+  // bytes of unknown extent into the log file: the commit record may yet
+  // become durable. The failure is sticky — the engine refuses to build new
+  // durability claims on the indeterminate suffix until a reopen lets
+  // recovery re-derive the valid prefix.
+  Status begin_st = db->Begin().status();
+  EXPECT_TRUE(begin_st.IsIOError()) << begin_st.ToString();
+  db.reset();  // Close() cannot checkpoint through the poisoned log; recovery heals
+  Database db2;
+  MOOD_ASSERT_OK(db2.Open(dir.Path("db"), HarnessOptions()));
+  EXPECT_EQ(Count(db2, "SELECT t FROM T t WHERE t.n = 1"), 0u);  // loser undone
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, db2.Begin());
+  MOOD_ASSERT_OK(db2.Execute("NEW T <2>").status());
+  MOOD_ASSERT_OK(txn.Commit());
+  EXPECT_EQ(Count(db2, "SELECT t FROM T t WHERE t.n = 2"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// On-disk format detection
+// ---------------------------------------------------------------------------
+
+TEST(FormatCheckTest, PreFrameFormatFileRejected) {
+  TempDir dir;
+  // A database file from before the checksummed-frame format: bare 4096-byte
+  // pages, no 'MPG1' magic at any frame boundary.
+  std::string raw = dir.Path("db") + ".mood";
+  {
+    std::ofstream f(raw, std::ios::binary);
+    std::string page(kPageSize, '\x5a');
+    f << page << page;
+  }
+  DiskManager disk;
+  Status st = disk.Open(raw);
+  EXPECT_TRUE(st.IsNotSupported()) << st.ToString();
+  EXPECT_FALSE(disk.is_open());
+  // Through the full stack the same file must be a clean error — never a
+  // tolerated "all pages torn" open that reads as an empty database and gets
+  // destroyed by the next checkpoint.
+  Database db;
+  Status open_st = db.Open(dir.Path("db"), HarnessOptions());
+  EXPECT_FALSE(open_st.ok());
+  EXPECT_TRUE(open_st.IsNotSupported()) << open_st.ToString();
+  // The original bytes are untouched.
+  std::ifstream f(raw, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  ASSERT_EQ(contents.size(), 2 * kPageSize);
+  EXPECT_EQ(contents[0], '\x5a');
+  EXPECT_EQ(contents[contents.size() - 1], '\x5a');
+}
+
+// ---------------------------------------------------------------------------
+// TxnHandle lifetime
+// ---------------------------------------------------------------------------
+
+TEST(TxnHandleLifetime, HandleOutlivingDatabaseIsInert) {
+  TempDir dir;
+  TxnHandle handle;
+  {
+    Database db;
+    MOOD_ASSERT_OK(db.Open(dir.Path("db"), HarnessOptions()));
+    MOOD_ASSERT_OK(db.Execute("CREATE CLASS T TUPLE (n Integer)").status());
+    MOOD_ASSERT_OK_AND_ASSIGN(handle, db.Begin());
+    ASSERT_TRUE(handle.active());
+    // The Database object dies here with the handle still active; its
+    // destructor aborts the transaction and flips the shared liveness flag.
+  }
+  // The stale handle must not dereference the dead Database: explicit
+  // finishes report InvalidArgument and its destructor is a no-op.
+  Status st = handle.Commit();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  TxnHandle moved = std::move(handle);
+  EXPECT_TRUE(moved.Abort().IsInvalidArgument());
+}
+
 TEST_F(FailPointFixture, DiskReadErrorModePropagates) {
   TempDir dir;
   Database db;

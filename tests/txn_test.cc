@@ -1,5 +1,6 @@
 #include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -79,6 +80,52 @@ TEST(LogManagerTest, TornTailIsIgnored) {
   std::vector<LogRecord> records;
   MOOD_ASSERT_OK(log.ReadAll(&records));
   EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(LogManagerTest, CommitsAfterTornTailRecoverySurviveSecondRecovery) {
+  TempDir dir;
+  const std::string path = dir.Path("wal");
+  {
+    LogManager log;
+    MOOD_ASSERT_OK(log.Open(path));
+    MOOD_ASSERT_OK(log.AppendBegin(1).status());
+    MOOD_ASSERT_OK(log.AppendCommit(1).status());
+    MOOD_ASSERT_OK(log.Flush());
+  }
+  // Crash 1: a torn write leaves garbage at the tail.
+  {
+    FILE* f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    uint32_t bogus_len = 100000;
+    fwrite(&bogus_len, sizeof(bogus_len), 1, f);
+    fwrite("junk", 4, 1, f);
+    fclose(f);
+  }
+  struct stat st_torn;
+  ASSERT_EQ(::stat(path.c_str(), &st_torn), 0);
+  // Recovery 1 must physically truncate the torn tail so the records appended
+  // below land contiguously after the valid prefix, not behind the garbage.
+  {
+    LogManager log;
+    MOOD_ASSERT_OK(log.Open(path));
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    EXPECT_LT(st.st_size, st_torn.st_size);
+    MOOD_ASSERT_OK(log.AppendBegin(2).status());
+    MOOD_ASSERT_OK(log.AppendCommit(2).status());
+    MOOD_ASSERT_OK(log.Flush());
+  }
+  // Crash 2 (before any checkpoint): recovery 2 must still see txn 2 — the
+  // commit acknowledged as durable after the first recovery cannot vanish.
+  LogManager log;
+  MOOD_ASSERT_OK(log.Open(path));
+  std::vector<LogRecord> records;
+  MOOD_ASSERT_OK(log.ReadAll(&records));
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[2].txn_id, 2u);
+  EXPECT_EQ(records[2].type, LogRecordType::kBegin);
+  EXPECT_EQ(records[3].txn_id, 2u);
+  EXPECT_EQ(records[3].type, LogRecordType::kCommit);
 }
 
 TEST(LogManagerTest, TruncateEmptiesLog) {
