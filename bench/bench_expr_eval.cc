@@ -1,0 +1,120 @@
+// Compiled expression programs vs the interpreted Evaluator: runs
+// filter-heavy queries with QueryOptions::compile_expressions on and off and
+// reports per-query medians, speedups, and result parity. Separates pure
+// scalar predicates (slot + arithmetic, no pointer chasing) from path-bound
+// ones (multi-step deref), since the deref cost dilutes the eval win.
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "sql/parser.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+double MedianMs(Database* db, const std::string& sql, bool compile, int iters) {
+  QueryOptions opts;
+  opts.compile_expressions = compile;
+  opts.exec_threads = 1;  // isolate eval cost from morsel scheduling
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; i++) {
+    auto start = std::chrono::steady_clock::now();
+    CheckV(db->Query(sql, opts), sql.c_str());
+    ms.push_back(MillisSince(start));
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = WantJson(argc, argv);
+  JsonReport report_json("bench_expr_eval");
+  BenchDb scratch("expr_eval");
+  Database db;
+  Check(db.Open(scratch.Path("mood")), "open");
+  Check(paperdb::CreatePaperSchema(&db), "schema");
+  auto report = CheckV(paperdb::PopulatePaperData(&db, 800), "populate");
+  Check(db.CollectAllStatistics(), "collect");
+  std::printf("scale: %llu vehicles, %llu engines\n",
+              (unsigned long long)report.vehicles,
+              (unsigned long long)report.engines);
+
+  struct Query {
+    const char* label;
+    const char* key;
+    std::string sql;
+    bool pure_scalar;  ///< no multi-step deref: expect exec.expr.fallback == 0
+  };
+  // No secondary indexes exist in this bench, so every WHERE clause is
+  // evaluated row by row — exactly the path under measurement.
+  std::vector<Query> queries = {
+      {"scalar arithmetic filter", "scalar_arith",
+       "SELECT e FROM VehicleEngine e WHERE e.cylinders * 3 + 1 > 10 AND "
+       "e.cylinders < 12",
+       true},
+      {"scalar comparison chain", "scalar_cmp",
+       "SELECT e FROM VehicleEngine e WHERE e.cylinders >= 2 AND e.cylinders <= 8 "
+       "AND NOT (e.cylinders = 5) AND e.size > 0 AND e.size < 100000",
+       true},
+      {"const-foldable filter", "const_fold",
+       "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 + 2 AND 1 + 1 = 2",
+       true},
+      {"single path step", "path1",
+       "SELECT v FROM Vehicle v WHERE v.company.name = 'BMW'", false},
+      {"three path steps (Example 8.2)", "path3", paperdb::kExample82Query, false},
+      {"projection-heavy select", "projection",
+       "SELECT e.cylinders, e.cylinders * 2, e.cylinders + 100 FROM VehicleEngine e "
+       "WHERE e.cylinders > 0",
+       true},
+  };
+
+  const int kIters = 15;
+  Checks checks;
+  Banner("Compiled vs interpreted expression evaluation (median of 15, t=1)");
+  Table t({"query", "interpreted ms", "compiled ms", "speedup", "rows"});
+  MetricCounter* fallback = db.metrics()->Counter("exec.expr.fallback");
+  for (const auto& q : queries) {
+    QueryOptions off, on;
+    off.compile_expressions = false;
+    auto oracle = CheckV(db.Query(q.sql, off), q.label);
+    uint64_t fallback_before = fallback->value();
+    auto compiled_res = CheckV(db.Query(q.sql, on), q.label);
+    checks.Expect(compiled_res.ToString() == oracle.ToString(),
+                  std::string(q.label) + ": compiled matches interpreted");
+    if (q.pure_scalar) {
+      checks.Expect(fallback->value() == fallback_before,
+                    std::string(q.label) + ": no runtime fallback");
+    }
+
+    double interp_ms = MedianMs(&db, q.sql, /*compile=*/false, kIters);
+    double comp_ms = MedianMs(&db, q.sql, /*compile=*/true, kIters);
+    report_json.Metric("interpreted_ms", q.key, interp_ms);
+    report_json.Metric("compiled_ms", q.key, comp_ms);
+    report_json.Metric("speedup", q.key, interp_ms / std::max(comp_ms, 0.001));
+    t.AddRow({q.label, Fmt(interp_ms, 3), Fmt(comp_ms, 3),
+              Fmt(interp_ms / std::max(comp_ms, 0.001), 2) + "x",
+              std::to_string(oracle.rows.size())});
+  }
+  t.Print();
+  std::printf(
+      "scalar filters isolate the eval loop (slot load + arithmetic per row);\n"
+      "path-bound queries still pay object fetches per step, so the compiled\n"
+      "win narrows as deref cost dominates.\n");
+  if (json) {
+    AddMetricsSnapshot(&report_json, db.metrics());
+    report_json.Emit(JsonPath(argc, argv));
+  }
+  return checks.ExitCode();
+}

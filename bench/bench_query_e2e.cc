@@ -3,6 +3,7 @@
 // the cross product of the FROM extents and evaluates the whole WHERE clause
 // per row, and reports wall-clock times and result parity.
 
+#include <algorithm>
 #include <chrono>
 
 #include "bench/bench_util.h"
@@ -158,6 +159,65 @@ int main(int argc, char** argv) {
       "order, so every thread count returns byte-identical rows; speedup needs\n"
       "real cores and working sets past the hot-cache regime.\n",
       DefaultExecThreads());
+  // --- Compiled expression programs: the same plans with predicate/projection
+  // compilation on vs off (QueryOptions::compile_expressions).
+  Banner("Expression compilation (compiled vs interpreted, t=1, median of 9)");
+  std::vector<Query> compile_queries = queries;
+  // `size` has no index, so these stay full scans with per-row evaluation —
+  // the regime predicate compilation targets.
+  compile_queries.push_back({"filter-heavy scalar arithmetic", "filter_scalar",
+                             "SELECT e FROM VehicleEngine e WHERE "
+                             "(e.size * 3 + e.size / 2 - 7) % 1000 > 100 AND "
+                             "e.size * 2 - e.size / 4 > 500",
+                             false});
+  compile_queries.push_back({"filter-heavy comparison chain", "filter_chain",
+                             "SELECT e FROM VehicleEngine e WHERE "
+                             "e.size >= 1100 AND e.size <= 1350 AND "
+                             "NOT (e.size = 1200)",
+                             false});
+  const int kCompileIters = 9;
+  auto median_ms = [&](const std::string& sql, bool compile) {
+    QueryOptions opts;
+    opts.exec_threads = 1;
+    opts.compile_expressions = compile;
+    std::vector<double> ms;
+    for (int i = 0; i < kCompileIters; i++) {
+      auto start = std::chrono::steady_clock::now();
+      CheckV(db.Query(sql, opts), sql.c_str());
+      ms.push_back(MillisSince(start));
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[ms.size() / 2];
+  };
+  MetricCounter* expr_fallback = db.metrics()->Counter("exec.expr.fallback");
+  Table ct({"query", "interpreted ms", "compiled ms", "speedup"});
+  for (const auto& q : compile_queries) {
+    QueryOptions off, on;
+    off.compile_expressions = false;
+    off.exec_threads = 1;
+    on.exec_threads = 1;
+    auto interp_res = CheckV(db.Query(q.sql, off), q.label);
+    uint64_t fb_before = expr_fallback->value();
+    auto comp_res = CheckV(db.Query(q.sql, on), q.label);
+    checks.Expect(comp_res.ToString() == interp_res.ToString(),
+                  std::string(q.label) + ": compiled matches interpreted");
+    if (q.key == std::string("filter_scalar") || q.key == std::string("filter_chain")) {
+      checks.Expect(expr_fallback->value() == fb_before,
+                    std::string(q.label) + ": no runtime fallback (pure scalar)");
+    }
+    double interp_ms = median_ms(q.sql, false);
+    double comp_ms = median_ms(q.sql, true);
+    report_json.Metric("interpreted_ms", q.key, interp_ms);
+    report_json.Metric("compiled_ms", q.key, comp_ms);
+    report_json.Metric("compile_speedup", q.key, interp_ms / std::max(comp_ms, 0.001));
+    ct.AddRow({q.label, Fmt(interp_ms, 2), Fmt(comp_ms, 2),
+               Fmt(interp_ms / std::max(comp_ms, 0.001), 2) + "x"});
+  }
+  ct.Print();
+  std::printf(
+      "compilation pays off where per-row evaluation dominates (scalar\n"
+      "filter-heavy queries); pointer-chasing queries spend their time in\n"
+      "object fetches, which both evaluation paths share.\n");
   if (json) {
     AddMetricsSnapshot(&report_json, db.metrics());
     report_json.Emit(JsonPath(argc, argv));

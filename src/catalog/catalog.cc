@@ -204,6 +204,9 @@ Status Catalog::LoadAll() {
 }
 
 Status Catalog::PersistType(StoredType* st) {
+  // Every schema mutation (Define + the MoodView class-designer operations)
+  // lands here; derived layout caches revalidate against the epoch.
+  BumpSchemaEpoch();
   std::string rec;
   EncodeType(st->type, &rec);
   if (st->rid.valid()) {
@@ -305,6 +308,7 @@ Status Catalog::Drop(const std::string& name) {
   MOOD_RETURN_IF_ERROR(file_->Delete(it->second->rid));
   by_id_.erase(it->second->type.id);
   by_name_.erase(it);
+  BumpSchemaEpoch();  // Drop bypasses PersistType; invalidate layouts here too.
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -166,7 +167,15 @@ class Catalog {
 
   StorageManager* storage() const { return storage_; }
 
+  /// Monotone counter bumped by every schema mutation (class definition/drop,
+  /// attribute or function changes). Caches derived from catalog contents —
+  /// e.g. ObjectManager's per-class attribute layouts — validate against this
+  /// epoch, mirroring the object-level write-epoch mechanism.
+  uint64_t schema_epoch() const { return schema_epoch_.load(std::memory_order_acquire); }
+
  private:
+  void BumpSchemaEpoch() { schema_epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
   struct StoredType {
     MoodsType type;
     RecordId rid;
@@ -192,6 +201,7 @@ class Catalog {
   RecordId index_record_rid_{};
   RecordId names_record_rid_{};
   TypeId next_type_id_ = kFirstUserTypeId;
+  std::atomic<uint64_t> schema_epoch_{0};
 };
 
 }  // namespace mood

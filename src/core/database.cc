@@ -75,6 +75,9 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   explains_counter_ = metrics_->Counter("exec.explains");
   slow_counter_ = metrics_->Counter("exec.slow_queries");
   query_us_hist_ = metrics_->Histogram("exec.query_us");
+  executor_->SetExprMetrics(metrics_->Counter("exec.expr.compiled"),
+                            metrics_->Counter("exec.expr.fallback"),
+                            metrics_->Counter("exec.expr.const_folded"));
 
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
@@ -96,6 +99,8 @@ Status Database::Close() {
     active_txn_ = nullptr;
   }
   MOOD_RETURN_IF_ERROR(Checkpoint());
+  // Executor holds raw counter pointers into the registry; detach them first.
+  executor_->SetExprMetrics(nullptr, nullptr, nullptr);
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
   query_us_hist_ = nullptr;
@@ -265,6 +270,12 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
   ExplainResult out;
   out.options = options;
   MOOD_ASSIGN_OR_RETURN(out.optimized, optimizer_->Optimize(stmt));
+  if (options.verbose && options.query.compile_expressions) {
+    // Annotate each predicate-bearing operator with compiled/interpreted so
+    // EXPLAIN VERBOSE shows which evaluation path execution would take.
+    executor_->AnnotateCompilation(out.optimized.plan.get(),
+                                   out.optimized.bound.range_vars);
+  }
   if (options.analyze) {
     out.analyzed = true;
     out.profile = std::make_shared<QueryProfile>();
@@ -272,6 +283,7 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
     ExecOptions exec;
     exec.threads = options.query.exec_threads;
     exec.deref_cache_entries = options.query.deref_cache_entries;
+    exec.compile_expressions = options.query.compile_expressions;
     exec.profile = out.profile.get();
     uint64_t start = ProfileNowNs();
     MOOD_ASSIGN_OR_RETURN(out.result, executor_->ExecuteSelect(out.optimized, exec));
@@ -350,6 +362,7 @@ Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
   ExecOptions exec;
   exec.threads = options.exec_threads;
   exec.deref_cache_entries = options.deref_cache_entries;
+  exec.compile_expressions = options.compile_expressions;
   if (options.collect_profile) {
     res.profile = std::make_shared<QueryProfile>();
     res.profile->label = "RESULT";

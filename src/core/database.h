@@ -75,6 +75,10 @@ struct QueryOptions {
   /// Record a per-operator QueryProfile into ExecResult::profile. Off by
   /// default: the disabled path costs one pointer test per operator.
   bool collect_profile = false;
+  /// Lower WHERE/HAVING/SELECT-list expressions to plan-time bytecode programs
+  /// (exec/expr_compile). Off forces the interpreted Evaluator everywhere —
+  /// the differential-testing oracle and the paper's original behavior.
+  bool compile_expressions = true;
 };
 
 /// Options for the consolidated Database::Explain entry point.

@@ -2,16 +2,36 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 #include "obs/query_profile.h"
 
 namespace mood {
 
 namespace {
+
+/// Range-variable declarations reachable from a plan subtree (kBindClass /
+/// kIndexSelect leaves). Used when a caller hands us a bare plan without the
+/// BoundQuery that produced it.
+void CollectRangeVars(const PlanNode& node, std::map<std::string, FromEntry>* out) {
+  switch (node.op) {
+    case PlanOp::kBindClass:
+    case PlanOp::kIndexSelect:
+      out->emplace(node.from.var, node.from);
+      return;
+    default:
+      break;
+  }
+  if (node.child != nullptr) CollectRangeVars(*node.child, out);
+  if (node.left != nullptr) CollectRangeVars(*node.left, out);
+  if (node.right != nullptr) CollectRangeVars(*node.right, out);
+  for (const auto& c : node.children) CollectRangeVars(*c, out);
+}
 
 /// Scoped profiling span: null node = profiling off, every hook degenerates to
 /// one pointer test. Timing is taken only when the node exists.
@@ -82,6 +102,60 @@ Evaluator::Env Executor::EnvOf(const RowSet& rs, const std::vector<Oid>& row,
   env.deref = cache;
   for (size_t i = 0; i < rs.vars.size(); i++) env.vars[rs.vars[i]] = row[i];
   return env;
+}
+
+ExprCompileEnv Executor::CompileEnvOf(
+    const std::vector<std::string>& vars,
+    const std::map<std::string, FromEntry>* range_vars) const {
+  ExprCompileEnv env;
+  for (size_t i = 0; i < vars.size(); i++) {
+    ExprCompileEnv::VarInfo vi;
+    vi.slot = static_cast<uint32_t>(i);
+    if (range_vars != nullptr) {
+      auto it = range_vars->find(vars[i]);
+      if (it != range_vars->end()) {
+        const FromEntry& fe = it->second;
+        if (!fe.every) {
+          // A plain FROM scans one extent: every instance is exactly this class.
+          vi.class_name = fe.class_name;
+          vi.single_class = true;
+        } else {
+          // EVERY is polymorphic unless the exclusions prune the subtree to a
+          // single class (e.g. `EVERY Automobile - JapaneseAuto` with exactly
+          // one remaining extent).
+          auto classes = objects_->ScanClasses(fe.class_name, true, fe.excludes);
+          if (classes.ok() && classes.value().size() == 1) {
+            vi.class_name = classes.value()[0];
+            vi.single_class = true;
+          }
+        }
+      }
+    }
+    env.vars.emplace(vars[i], vi);
+  }
+  return env;
+}
+
+ExprProgramPtr Executor::CompileExpr(const ExprPtr& expr,
+                                     const std::vector<std::string>& vars,
+                                     const Ctx& ctx) const {
+  if (!ctx.compile || expr == nullptr) return nullptr;
+  ExprCompileEnv cenv = CompileEnvOf(vars, ctx.range_vars);
+  ExprCompiler compiler(objects_);
+  std::unique_ptr<ExprProgram> prog = compiler.Compile(expr, cenv);
+  if (prog == nullptr) {
+    if (expr_fallback_ != nullptr) expr_fallback_->Add(1);
+    return nullptr;
+  }
+  if (expr_compiled_ != nullptr) expr_compiled_->Add(1);
+  if (expr_folded_ != nullptr && prog->const_folded() > 0) {
+    expr_folded_->Add(prog->const_folded());
+  }
+  return ExprProgramPtr(std::move(prog));
+}
+
+void Executor::CountRuntimeFallback() const {
+  if (expr_fallback_ != nullptr) expr_fallback_->Add(1);
 }
 
 Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
@@ -204,19 +278,42 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
   MOOD_ASSIGN_OR_RETURN(RowSet child, Exec(node.child, ctx));
   RowSet rs;
   rs.vars = child.vars;
+  // Compile each predicate once per operator (slots bound to child.vars order);
+  // the read-only programs are shared by every morsel worker. A null program
+  // means that predicate stays interpreted.
+  std::vector<ExprProgramPtr> programs(node.predicates.size());
+  for (size_t p = 0; p < node.predicates.size(); p++) {
+    programs[p] = CompileExpr(node.predicates[p], child.vars, ctx);
+  }
   // Each morsel of child rows evaluates the predicate chain independently; the
   // kept rows merge back in morsel order, matching the serial scan.
   std::vector<Morsel> morsels = MakeMorsels(child.rows.size());
   if (ctx.profile != nullptr) ctx.profile->morsels = morsels.size();
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
+    ExprProgram::Scratch scratch;
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       auto& row = child.rows[i];
-      Evaluator::Env env = EnvOf(child, row, ctx.cache);
+      // The interpreter env (a per-row string map) is built only when some
+      // predicate actually needs the interpreted path.
+      std::optional<Evaluator::Env> env;
       bool keep = true;
-      for (const auto& pred : node.predicates) {
-        MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(pred, env));
-        if (!keep) break;  // short-circuit: predicates are selectivity-ordered
+      for (size_t p = 0; p < node.predicates.size(); p++) {
+        if (programs[p] != nullptr) {
+          bool need_fallback = false;
+          auto r = programs[p]->EvalPredicate(row.data(), row.size(), ctx.cache,
+                                              &scratch, &need_fallback);
+          MOOD_RETURN_IF_ERROR(r.status());
+          if (!need_fallback) {
+            keep = r.value();
+            if (!keep) break;  // short-circuit: predicates are selectivity-ordered
+            continue;
+          }
+          CountRuntimeFallback();
+        }
+        if (!env.has_value()) env = EnvOf(child, row, ctx.cache);
+        MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(node.predicates[p], *env));
+        if (!keep) break;
       }
       if (keep) partial[m].push_back(std::move(row));
     }
@@ -318,21 +415,40 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, Ctx& ctx) const {
   RowSet rs;
   rs.vars = left.vars;
   rs.vars.insert(rs.vars.end(), right.vars.begin(), right.vars.end());
+  // Join predicate compiled against the combined (left ++ right) slot layout.
+  ExprProgramPtr join_prog = CompileExpr(node.join_pred, rs.vars, ctx);
   // The outer (left) side partitions into morsels; every worker loops the full
   // inner side, so merged morsels reproduce the serial (lrow, rrow) order.
   std::vector<Morsel> morsels = MakeMorsels(left.rows.size());
   if (ctx.profile != nullptr) ctx.profile->morsels = morsels.size();
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
+    ExprProgram::Scratch scratch;
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       const auto& lrow = left.rows[i];
       for (const auto& rrow : right.rows) {
         std::vector<Oid> combined = lrow;
         combined.insert(combined.end(), rrow.begin(), rrow.end());
         if (node.join_pred != nullptr) {
-          Evaluator::Env env = EnvOf(rs, combined, ctx.cache);
-          MOOD_ASSIGN_OR_RETURN(bool match,
-                                evaluator_->EvalPredicate(node.join_pred, env));
+          bool match = false;
+          bool interpreted = join_prog == nullptr;
+          if (join_prog != nullptr) {
+            bool need_fallback = false;
+            auto r = join_prog->EvalPredicate(combined.data(), combined.size(),
+                                              ctx.cache, &scratch, &need_fallback);
+            MOOD_RETURN_IF_ERROR(r.status());
+            if (need_fallback) {
+              CountRuntimeFallback();
+              interpreted = true;
+            } else {
+              match = r.value();
+            }
+          }
+          if (interpreted) {
+            Evaluator::Env env = EnvOf(rs, combined, ctx.cache);
+            MOOD_ASSIGN_OR_RETURN(match,
+                                  evaluator_->EvalPredicate(node.join_pred, env));
+          }
           if (!match) continue;
         }
         partial[m].push_back(std::move(combined));
@@ -429,6 +545,7 @@ Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
   Ctx ctx;
   ctx.threads = options.threads == 0 ? threads_ : options.threads;
   ctx.profile = options.profile;
+  ctx.compile = options.compile_expressions;
   if (options.profile != nullptr && objects_->storage() != nullptr) {
     ctx.pool = objects_->storage()->buffer_pool();
   }
@@ -445,6 +562,11 @@ Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan,
                         ? deref_cache_capacity_
                         : options.deref_cache_entries;
   Ctx ctx = MakeCtx(options);
+  // Bare-plan entry point: recover the range-variable declarations from the
+  // plan's leaves so expressions still compile against static classes.
+  std::map<std::string, FromEntry> range_vars;
+  CollectRangeVars(*plan, &range_vars);
+  ctx.range_vars = &range_vars;
   DerefCache cache(capacity);
   ctx.cache = capacity > 0 ? &cache : nullptr;
   Result<RowSet> result = Exec(plan, ctx);
@@ -457,6 +579,9 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
   Ctx ctx;
   ctx.threads = threads_;
   ctx.cache = deref_cache_capacity_ > 0 ? &cache : nullptr;
+  std::map<std::string, FromEntry> range_vars;
+  for (const FromEntry& fe : stmt.from) range_vars.emplace(fe.var, fe);
+  ctx.range_vars = &range_vars;
   Result<QueryResult> result = Finish(stmt, std::move(rows), ctx);
   objects_->AccumulateDerefStats(cache.hits(), cache.misses());
   return result;
@@ -465,6 +590,48 @@ Result<QueryResult> Executor::FinishSelect(const SelectStmt& stmt, RowSet rows) 
 Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
                                      Ctx& ctx) const {
   QueryProfile* prof = ctx.profile;
+  // Compile the clause expressions once against the row layout; a null program
+  // (or a runtime fallback) routes that expression through the interpreter.
+  std::vector<ExprProgramPtr> group_progs(stmt.group_by.size());
+  for (size_t g = 0; g < stmt.group_by.size(); g++) {
+    group_progs[g] = CompileExpr(stmt.group_by[g], rows.vars, ctx);
+  }
+  ExprProgramPtr having_prog = CompileExpr(stmt.having, rows.vars, ctx);
+  std::vector<ExprProgramPtr> order_progs(stmt.order_by.size());
+  for (size_t o = 0; o < stmt.order_by.size(); o++) {
+    order_progs[o] = CompileExpr(stmt.order_by[o].expr, rows.vars, ctx);
+  }
+  std::vector<ExprProgramPtr> proj_progs(stmt.projection.size());
+  for (size_t p = 0; p < stmt.projection.size(); p++) {
+    proj_progs[p] = CompileExpr(stmt.projection[p], rows.vars, ctx);
+  }
+  ExprProgram::Scratch scratch;
+  auto eval_value = [&](const ExprPtr& e, const ExprProgramPtr& prog,
+                        const RowSet& rset, const std::vector<Oid>& row,
+                        std::optional<Evaluator::Env>& env) -> Result<MoodValue> {
+    if (prog != nullptr) {
+      bool need_fallback = false;
+      auto r = prog->Eval(row.data(), row.size(), ctx.cache, &scratch, &need_fallback);
+      if (!r.ok() || !need_fallback) return r;
+      CountRuntimeFallback();
+    }
+    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache);
+    return evaluator_->Eval(e, env.value());
+  };
+  auto eval_pred = [&](const ExprPtr& e, const ExprProgramPtr& prog,
+                       const RowSet& rset, const std::vector<Oid>& row,
+                       std::optional<Evaluator::Env>& env) -> Result<bool> {
+    if (prog != nullptr) {
+      bool need_fallback = false;
+      auto r = prog->EvalPredicate(row.data(), row.size(), ctx.cache, &scratch,
+                                   &need_fallback);
+      if (!r.ok() || !need_fallback) return r;
+      CountRuntimeFallback();
+    }
+    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache);
+    return evaluator_->EvalPredicate(e, env.value());
+  };
+
   // GROUP BY: keep one representative row per group key (MOODSQL has no
   // aggregate functions; grouping exposes one row per partition, matching the
   // algebra's Partition operator).
@@ -472,10 +639,11 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     StageSpan span = StageSpan::Begin(prof, "GROUP BY", rows.rows.size());
     std::map<std::string, std::vector<Oid>> groups;
     for (const auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row, ctx.cache);
+      std::optional<Evaluator::Env> env;
       std::string key;
-      for (const auto& g : stmt.group_by) {
-        MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(g, env));
+      for (size_t g = 0; g < stmt.group_by.size(); g++) {
+        MOOD_ASSIGN_OR_RETURN(
+            MoodValue v, eval_value(stmt.group_by[g], group_progs[g], rows, row, env));
         v.EncodeTo(&key);
       }
       groups.emplace(std::move(key), row);
@@ -490,8 +658,9 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
       RowSet kept;
       kept.vars = rows.vars;
       for (auto& row : rows.rows) {
-        Evaluator::Env env = EnvOf(rows, row, ctx.cache);
-        MOOD_ASSIGN_OR_RETURN(bool keep, evaluator_->EvalPredicate(stmt.having, env));
+        std::optional<Evaluator::Env> env;
+        MOOD_ASSIGN_OR_RETURN(bool keep,
+                              eval_pred(stmt.having, having_prog, rows, row, env));
         if (keep) kept.rows.push_back(std::move(row));
       }
       rows = std::move(kept);
@@ -509,10 +678,12 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     std::vector<Keyed> keyed;
     keyed.reserve(rows.rows.size());
     for (auto& row : rows.rows) {
-      Evaluator::Env env = EnvOf(rows, row, ctx.cache);
+      std::optional<Evaluator::Env> env;
       Keyed k;
-      for (const auto& o : stmt.order_by) {
-        MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(o.expr, env));
+      for (size_t o = 0; o < stmt.order_by.size(); o++) {
+        MOOD_ASSIGN_OR_RETURN(
+            MoodValue v,
+            eval_value(stmt.order_by[o].expr, order_progs[o], rows, row, env));
         k.keys.push_back(std::move(v));
       }
       k.row = std::move(row);
@@ -543,11 +714,12 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
   QueryResult result;
   for (const auto& p : stmt.projection) result.columns.push_back(p->ToString());
   for (const auto& row : rows.rows) {
-    Evaluator::Env env = EnvOf(rows, row, ctx.cache);
+    std::optional<Evaluator::Env> env;
     std::vector<MoodValue> out;
     out.reserve(stmt.projection.size());
-    for (const auto& p : stmt.projection) {
-      MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(p, env));
+    for (size_t p = 0; p < stmt.projection.size(); p++) {
+      MOOD_ASSIGN_OR_RETURN(
+          MoodValue v, eval_value(stmt.projection[p], proj_progs[p], rows, row, env));
       out.push_back(std::move(v));
     }
     result.rows.push_back(std::move(out));
@@ -586,6 +758,12 @@ Result<QueryResult> Executor::ExecuteSelect(const QueryOptimizer::Optimized& opt
                         ? deref_cache_capacity_
                         : options.deref_cache_entries;
   Ctx ctx = MakeCtx(options);
+  // Compile against the plan's own leaves, not just the query's FROM list:
+  // path-expansion plans introduce synthetic range variables (_t1, _t2, ...)
+  // whose filters are exactly the hot predicates worth compiling.
+  std::map<std::string, FromEntry> range_vars = optimized.bound.range_vars;
+  if (optimized.plan != nullptr) CollectRangeVars(*optimized.plan, &range_vars);
+  ctx.range_vars = &range_vars;
   // One Deref cache per query: objects dereferenced while executing the plan
   // stay warm for the projection/ORDER BY passes in Finish. Its hit/miss tally
   // folds into the engine-wide objects.deref_cache.* metrics when it dies.
@@ -599,6 +777,53 @@ Result<QueryResult> Executor::ExecuteSelect(const QueryOptimizer::Optimized& opt
   Result<QueryResult> result = Finish(optimized.bound.stmt, std::move(rows).value(), ctx);
   objects_->AccumulateDerefStats(cache.hits(), cache.misses());
   return result;
+}
+
+void Executor::AnnotateCompilation(
+    PlanNode* plan, const std::map<std::string, FromEntry>& bound_vars) const {
+  if (plan == nullptr) return;
+  // Execution compiles against the plan's leaves too (synthetic _tN vars from
+  // path expansion); annotate with the same environment.
+  std::map<std::string, FromEntry> range_vars = bound_vars;
+  CollectRangeVars(*plan, &range_vars);
+  // Dry-run compiles only: no programs are kept and no exec.expr.* counters
+  // move (EXPLAIN must not skew execution metrics).
+  auto annotate = [&](const std::vector<ExprPtr>& exprs,
+                      const std::vector<std::string>& vars) -> std::string {
+    if (exprs.empty()) return "";
+    ExprCompileEnv cenv = CompileEnvOf(vars, &range_vars);
+    ExprCompiler compiler(objects_);
+    size_t ok = 0;
+    for (const auto& e : exprs) {
+      if (compiler.Compile(e, cenv) != nullptr) ok++;
+    }
+    if (ok == exprs.size()) return "exprs: compiled";
+    if (ok == 0) return "exprs: interpreted";
+    return "exprs: mixed";
+  };
+  switch (plan->op) {
+    case PlanOp::kFilter:
+      plan->note = annotate(plan->predicates, plan->child->BoundVars());
+      AnnotateCompilation(plan->child.get(), range_vars);
+      break;
+    case PlanOp::kNestedLoopJoin:
+      if (plan->join_pred != nullptr) {
+        plan->note = annotate({plan->join_pred}, plan->BoundVars());
+      }
+      AnnotateCompilation(plan->left.get(), range_vars);
+      AnnotateCompilation(plan->right.get(), range_vars);
+      break;
+    case PlanOp::kPointerJoin:
+      AnnotateCompilation(plan->left.get(), range_vars);
+      AnnotateCompilation(plan->right.get(), range_vars);
+      break;
+    case PlanOp::kUnion:
+      for (auto& c : plan->children) AnnotateCompilation(c.get(), range_vars);
+      break;
+    case PlanOp::kBindClass:
+    case PlanOp::kIndexSelect:
+      break;
+  }
 }
 
 }  // namespace mood

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "algebra/operators.h"
+#include "exec/expr_compile.h"
 #include "objects/object_manager.h"
 #include "optimizer/optimizer.h"
 #include "sql/evaluator.h"
@@ -11,6 +13,7 @@
 namespace mood {
 
 struct QueryProfile;
+class MetricCounter;
 
 /// Intermediate result: rows of range-variable bindings.
 struct RowSet {
@@ -52,6 +55,10 @@ struct ExecOptions {
   /// default) skips every profiling hook behind a single inlined pointer test,
   /// so disabled profiling costs nothing measurable.
   QueryProfile* profile = nullptr;
+  /// Lower WHERE/HAVING/SELECT-list expressions into bytecode programs once
+  /// per operator instead of interpreting the Expr tree per row. Dynamic
+  /// constructs keep the interpreted path regardless (see exec/expr_compile.h).
+  bool compile_expressions = true;
 };
 
 /// Executes physical plans produced by the optimizer, then applies the clause
@@ -97,6 +104,22 @@ class Executor {
   /// naive executor in bench_query_e2e).
   Result<QueryResult> FinishSelect(const SelectStmt& stmt, RowSet rows) const;
 
+  /// Wires the exec.expr.* counters (registered by Database::Open): programs
+  /// compiled, expressions left to / rows re-routed through the interpreter,
+  /// and constant subtrees folded.
+  void SetExprMetrics(MetricCounter* compiled, MetricCounter* fallback,
+                      MetricCounter* folded) {
+    expr_compiled_ = compiled;
+    expr_fallback_ = fallback;
+    expr_folded_ = folded;
+  }
+
+  /// EXPLAIN VERBOSE support: dry-run compiles each Filter/NestedLoop
+  /// expression and stamps the node's `note` with "exprs: compiled" /
+  /// "exprs: interpreted" (or "exprs: mixed").
+  void AnnotateCompilation(PlanNode* plan,
+                           const std::map<std::string, FromEntry>& range_vars) const;
+
  private:
   /// Per-call state threaded through the operator tree: resolved options plus
   /// the profile node operator children attach under (null = profiling off).
@@ -105,6 +128,10 @@ class Executor {
     DerefCache* cache = nullptr;
     QueryProfile* profile = nullptr;
     BufferPool* pool = nullptr;  ///< sampled for per-operator deltas when profiling
+    bool compile = true;         ///< lower expressions to bytecode programs
+    /// Range-variable declarations for plan-time slot/class binding (owned by
+    /// the caller; null disables compilation for lack of static classes).
+    const std::map<std::string, FromEntry>* range_vars = nullptr;
   };
 
   Result<RowSet> Exec(const PlanPtr& plan, Ctx& ctx) const;
@@ -126,6 +153,20 @@ class Executor {
   Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row,
                        DerefCache* cache) const;
 
+  /// Slot/class bindings for compiling expressions over rows shaped `vars`.
+  /// Uses the ACTUAL RowSet var order for slot indices (PlanNode::BoundVars is
+  /// sorted and may disagree with runtime row layout).
+  ExprCompileEnv CompileEnvOf(const std::vector<std::string>& vars,
+                              const std::map<std::string, FromEntry>* range_vars) const;
+
+  /// Compiles one expression against `vars`, bumping the exec.expr.* counters.
+  /// Null when compilation is off, the expression is null, or it uses a
+  /// dynamic construct (callers then evaluate through the interpreter).
+  ExprProgramPtr CompileExpr(const ExprPtr& expr, const std::vector<std::string>& vars,
+                             const Ctx& ctx) const;
+
+  void CountRuntimeFallback() const;
+
   /// Chases a reference path from an object, invoking `fn` for every reached
   /// object identifier (fan-out through set/list-valued reference attributes).
   Status ChaseRefs(Oid from, const std::vector<std::string>& path, DerefCache* cache,
@@ -136,6 +177,9 @@ class Executor {
   MoodAlgebra* algebra_;
   size_t threads_ = 1;
   size_t deref_cache_capacity_ = 4096;
+  MetricCounter* expr_compiled_ = nullptr;
+  MetricCounter* expr_fallback_ = nullptr;
+  MetricCounter* expr_folded_ = nullptr;
 };
 
 }  // namespace mood

@@ -1,0 +1,419 @@
+#include "exec/expr_compile.h"
+
+#include <cstdio>
+
+#include "sql/evaluator.h"
+#include "types/operand.h"
+
+namespace mood {
+
+namespace {
+
+/// Bottom-up constant evaluation with the interpreter's exact semantics.
+/// Returns false for non-constant subtrees AND for constant subtrees whose
+/// evaluation errors: an erroring subtree is left in bytecode form so the
+/// identical error surfaces at run time.
+bool TryConstEval(const Expr& e, MoodValue* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      *out = e.literal;
+      return true;
+    case ExprKind::kPath:
+      return false;
+    case ExprKind::kUnary: {
+      MoodValue v;
+      if (!TryConstEval(*e.operand, &v)) return false;
+      OperandDataType o = OperandDataType::FromValue(v);
+      auto r = e.uop == UnaryOp::kNeg ? (-o).ToValue() : (!o).ToValue();
+      if (!r.ok()) return false;
+      *out = std::move(r).value();
+      return true;
+    }
+    case ExprKind::kBinary: {
+      if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+        // Short-circuit is part of the semantics: a deciding lhs folds the
+        // node even when the rhs is non-constant (the interpreter would never
+        // evaluate it).
+        MoodValue lv;
+        if (!TryConstEval(*e.lhs, &lv)) return false;
+        auto lb = OperandDataType::FromValue(lv).AsBool();
+        if (!lb.ok()) return false;
+        if (e.op == BinaryOp::kAnd && !lb.value()) {
+          *out = MoodValue::Boolean(false);
+          return true;
+        }
+        if (e.op == BinaryOp::kOr && lb.value()) {
+          *out = MoodValue::Boolean(true);
+          return true;
+        }
+        MoodValue rv;
+        if (!TryConstEval(*e.rhs, &rv)) return false;
+        auto rb = OperandDataType::FromValue(rv).AsBool();
+        if (!rb.ok()) return false;
+        *out = MoodValue::Boolean(rb.value());
+        return true;
+      }
+      MoodValue lv, rv;
+      if (!TryConstEval(*e.lhs, &lv) || !TryConstEval(*e.rhs, &rv)) return false;
+      if (IsComparison(e.op)) {
+        auto r = Evaluator::Compare(e.op, lv, rv);
+        if (!r.ok()) return false;
+        *out = MoodValue::Boolean(r.value());
+        return true;
+      }
+      OperandDataType x = OperandDataType::FromValue(lv);
+      OperandDataType y = OperandDataType::FromValue(rv);
+      OperandDataType r(DataTypeCode::kInt32);
+      switch (e.op) {
+        case BinaryOp::kAdd: r = x + y; break;
+        case BinaryOp::kSub: r = x - y; break;
+        case BinaryOp::kMul: r = x * y; break;
+        case BinaryOp::kDiv: r = x / y; break;
+        case BinaryOp::kMod: r = x % y; break;
+        default: return false;
+      }
+      auto v = r.ToValue();
+      if (!v.ok()) return false;
+      *out = std::move(v).value();
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t AddConst(std::vector<MoodValue>* consts, MoodValue v) {
+  consts->push_back(std::move(v));
+  return static_cast<uint32_t>(consts->size() - 1);
+}
+
+}  // namespace
+
+std::unique_ptr<ExprProgram> ExprCompiler::Compile(const ExprPtr& expr,
+                                                   const ExprCompileEnv& env) const {
+  if (expr == nullptr) return nullptr;
+  auto prog = std::make_unique<ExprProgram>();
+  prog->objects_ = objects_;
+  if (!Emit(*expr, env, prog.get())) return nullptr;
+  return prog;
+}
+
+bool ExprCompiler::Emit(const Expr& e, const ExprCompileEnv& env,
+                        ExprProgram* prog) const {
+  if (e.kind != ExprKind::kLiteral) {
+    MoodValue folded;
+    if (TryConstEval(e, &folded)) {
+      prog->code_.push_back({ExprProgram::OpCode::kPushConst,
+                             AddConst(&prog->consts_, std::move(folded)), 0});
+      prog->const_folded_++;
+      return true;
+    }
+  }
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      prog->code_.push_back({ExprProgram::OpCode::kPushConst,
+                             AddConst(&prog->consts_, e.literal), 0});
+      return true;
+    case ExprKind::kPath:
+      return EmitPath(e, env, prog);
+    case ExprKind::kUnary:
+      if (!Emit(*e.operand, env, prog)) return false;
+      prog->code_.push_back(
+          {ExprProgram::OpCode::kUnary, static_cast<uint32_t>(e.uop), 0});
+      return true;
+    case ExprKind::kBinary: {
+      if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+        // A constant lhs that does not decide the result still disappears:
+        // the node reduces to CoerceBool(rhs). (A deciding lhs was already
+        // handled by the whole-node fold above.)
+        MoodValue lv;
+        if (TryConstEval(*e.lhs, &lv)) {
+          auto lb = OperandDataType::FromValue(lv).AsBool();
+          if (lb.ok()) {
+            if (!Emit(*e.rhs, env, prog)) return false;
+            prog->code_.push_back({ExprProgram::OpCode::kCoerceBool, 0, 0});
+            if (e.lhs->kind != ExprKind::kLiteral) prog->const_folded_++;
+            return true;
+          }
+        }
+        if (!Emit(*e.lhs, env, prog)) return false;
+        size_t jmp = prog->code_.size();
+        prog->code_.push_back({e.op == BinaryOp::kAnd
+                                   ? ExprProgram::OpCode::kJumpIfFalse
+                                   : ExprProgram::OpCode::kJumpIfTrue,
+                               0, 0});
+        if (!Emit(*e.rhs, env, prog)) return false;
+        prog->code_.push_back({ExprProgram::OpCode::kCoerceBool, 0, 0});
+        prog->code_[jmp].a = static_cast<uint32_t>(prog->code_.size());
+        return true;
+      }
+      if (!Emit(*e.lhs, env, prog) || !Emit(*e.rhs, env, prog)) return false;
+      prog->code_.push_back({IsComparison(e.op) ? ExprProgram::OpCode::kCompare
+                                                : ExprProgram::OpCode::kBinaryArith,
+                             static_cast<uint32_t>(e.op), 0});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExprCompiler::EmitPath(const Expr& e, const ExprCompileEnv& env,
+                            ExprProgram* prog) const {
+  auto it = env.vars.find(e.range_var);
+  if (it == env.vars.end()) return false;  // unbound: the interpreter reports it
+  const ExprCompileEnv::VarInfo& vi = it->second;
+  // Leading `self` steps on the root are identities (the slot always holds a
+  // valid reference), so they compile away.
+  size_t first = 0;
+  while (first < e.steps.size() && !e.steps[first].is_call &&
+         e.steps[first].name == "self") {
+    first++;
+  }
+  if (first == e.steps.size()) {
+    prog->code_.push_back({ExprProgram::OpCode::kLoadSlot, vi.slot, 0});
+    return true;
+  }
+  if (!vi.single_class || vi.class_name.empty()) return false;  // polymorphic root
+  std::string cls = vi.class_name;
+  for (size_t i = first; i < e.steps.size(); i++) {
+    const PathStep& step = e.steps[i];
+    if (step.is_call) return false;        // method dispatch stays interpreted
+    if (step.name == "self") return false; // non-root self: rare, interpreter's
+    auto layout_r = objects_->LayoutOf(cls);
+    if (!layout_r.ok()) return false;
+    AttributeLayoutPtr layout = std::move(layout_r).value();
+    int ord = layout->OrdinalOf(step.name);
+    if (ord < 0) return false;  // may resolve to a parameterless method
+    const TypeDescPtr& type = layout->attrs[static_cast<size_t>(ord)].type;
+    auto attr_idx = static_cast<uint32_t>(prog->attrs_.size());
+    prog->attrs_.push_back({layout, static_cast<uint32_t>(ord), step.name});
+    if (i == first) {
+      prog->code_.push_back({ExprProgram::OpCode::kLoadAttr, vi.slot, attr_idx});
+    } else {
+      prog->code_.push_back({ExprProgram::OpCode::kDerefAttr, 0, attr_idx});
+    }
+    if (i + 1 < e.steps.size()) {
+      // Non-terminal steps must be single-valued references: a Set/List here
+      // would fan out mid-path (interpreter territory), anything else raises
+      // the interpreter's type error — which kDerefAttr reproduces only for
+      // values, not for the statically-knowable cases we can refuse now.
+      if (type->kind() != ConstructorKind::kReference) return false;
+      cls = type->referenced_class();
+    }
+  }
+  return true;
+}
+
+Result<MoodValue> ExprProgram::Eval(const Oid* slots, size_t nslots, DerefCache* cache,
+                                    Scratch* scratch, bool* need_fallback) const {
+  (void)nslots;
+  *need_fallback = false;
+  auto& st = scratch->stack;
+  st.clear();  // keeps capacity: no per-row allocation once warmed up
+  size_t pc = 0;
+  while (pc < code_.size()) {
+    const Instr& ins = code_[pc];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        st.push_back(consts_[ins.a]);
+        break;
+      case OpCode::kLoadSlot:
+        st.push_back(MoodValue::Reference(slots[ins.a]));
+        break;
+      case OpCode::kLoadAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        auto r = objects_->GetAttributeByOrdinal(slots[ins.a], *ar.layout, ar.ordinal,
+                                                 cache);
+        if (!r.ok()) {
+          // NotFound: the instance's class lacks the attribute, so the name
+          // may be a parameterless method — the interpreter decides.
+          if (r.status().IsNotFound()) {
+            *need_fallback = true;
+            return MoodValue::Null();
+          }
+          return r.status();
+        }
+        st.push_back(std::move(r).value());
+        break;
+      }
+      case OpCode::kDerefAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        MoodValue v = std::move(st.back());
+        st.pop_back();
+        if (v.is_null()) {
+          // Null propagates through every remaining step of this path,
+          // matching the interpreter's early Null() return.
+          st.push_back(MoodValue::Null());
+          break;
+        }
+        if (v.IsCollection()) {
+          // Runtime fan-out the static type ruled out (shouldn't happen for
+          // type-checked objects; be safe, not clever).
+          *need_fallback = true;
+          return MoodValue::Null();
+        }
+        if (v.kind() != ValueKind::kReference) {
+          return Status::TypeError("path step '" + ar.name +
+                                   "' applied to a non-reference value");
+        }
+        auto r = objects_->GetAttributeByOrdinal(v.AsReference(), *ar.layout,
+                                                 ar.ordinal, cache);
+        if (!r.ok()) {
+          if (r.status().IsNotFound()) {
+            *need_fallback = true;
+            return MoodValue::Null();
+          }
+          return r.status();
+        }
+        st.push_back(std::move(r).value());
+        break;
+      }
+      case OpCode::kBinaryArith: {
+        MoodValue rv = std::move(st.back());
+        st.pop_back();
+        MoodValue lv = std::move(st.back());
+        st.pop_back();
+        OperandDataType x = OperandDataType::FromValue(lv);
+        OperandDataType y = OperandDataType::FromValue(rv);
+        OperandDataType r(DataTypeCode::kInt32);
+        switch (static_cast<BinaryOp>(ins.a)) {
+          case BinaryOp::kAdd: r = x + y; break;
+          case BinaryOp::kSub: r = x - y; break;
+          case BinaryOp::kMul: r = x * y; break;
+          case BinaryOp::kDiv: r = x / y; break;
+          case BinaryOp::kMod: r = x % y; break;
+          default:
+            return Status::Internal("unhandled binary operator");
+        }
+        MOOD_ASSIGN_OR_RETURN(MoodValue out, r.ToValue());
+        st.push_back(std::move(out));
+        break;
+      }
+      case OpCode::kCompare: {
+        MoodValue rv = std::move(st.back());
+        st.pop_back();
+        MoodValue lv = std::move(st.back());
+        st.pop_back();
+        MOOD_ASSIGN_OR_RETURN(
+            bool b, Evaluator::Compare(static_cast<BinaryOp>(ins.a), lv, rv));
+        st.push_back(MoodValue::Boolean(b));
+        break;
+      }
+      case OpCode::kUnary: {
+        MoodValue v = std::move(st.back());
+        st.pop_back();
+        OperandDataType o = OperandDataType::FromValue(v);
+        auto r = static_cast<UnaryOp>(ins.a) == UnaryOp::kNeg ? (-o).ToValue()
+                                                              : (!o).ToValue();
+        MOOD_RETURN_IF_ERROR(r.status());
+        st.push_back(std::move(r).value());
+        break;
+      }
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue: {
+        MoodValue v = std::move(st.back());
+        st.pop_back();
+        OperandDataType o = OperandDataType::FromValue(v);
+        MOOD_ASSIGN_OR_RETURN(bool b, o.AsBool());
+        bool jump = ins.op == OpCode::kJumpIfFalse ? !b : b;
+        if (jump) {
+          st.push_back(MoodValue::Boolean(b));
+          pc = ins.a;
+          continue;
+        }
+        break;
+      }
+      case OpCode::kCoerceBool: {
+        MoodValue v = std::move(st.back());
+        st.pop_back();
+        OperandDataType o = OperandDataType::FromValue(v);
+        MOOD_ASSIGN_OR_RETURN(bool b, o.AsBool());
+        st.push_back(MoodValue::Boolean(b));
+        break;
+      }
+    }
+    pc++;
+  }
+  if (st.size() != 1) return Status::Internal("expression program stack imbalance");
+  return std::move(st.back());
+}
+
+Result<bool> ExprProgram::EvalPredicate(const Oid* slots, size_t nslots,
+                                        DerefCache* cache, Scratch* scratch,
+                                        bool* need_fallback) const {
+  MOOD_ASSIGN_OR_RETURN(MoodValue v, Eval(slots, nslots, cache, scratch, need_fallback));
+  if (*need_fallback) return false;
+  if (v.is_null()) return false;
+  OperandDataType o = OperandDataType::FromValue(v);
+  return o.AsBool();
+}
+
+std::string ExprProgram::ToString() const {
+  std::string out;
+  char buf[64];
+  auto op_name = [](OpCode op) -> const char* {
+    switch (op) {
+      case OpCode::kPushConst: return "PushConst";
+      case OpCode::kLoadSlot: return "LoadSlot";
+      case OpCode::kLoadAttr: return "LoadAttr";
+      case OpCode::kDerefAttr: return "DerefAttr";
+      case OpCode::kBinaryArith: return "Arith";
+      case OpCode::kCompare: return "Compare";
+      case OpCode::kUnary: return "Unary";
+      case OpCode::kJumpIfFalse: return "JumpIfFalse";
+      case OpCode::kJumpIfTrue: return "JumpIfTrue";
+      case OpCode::kCoerceBool: return "CoerceBool";
+    }
+    return "?";
+  };
+  for (size_t i = 0; i < code_.size(); i++) {
+    const Instr& ins = code_[i];
+    std::snprintf(buf, sizeof(buf), "%04zu %-11s ", i, op_name(ins.op));
+    out += buf;
+    switch (ins.op) {
+      case OpCode::kPushConst: {
+        const MoodValue& c = consts_[ins.a];
+        std::snprintf(buf, sizeof(buf), "c%u ", ins.a);
+        out += buf;
+        out += ValueKindName(c.kind());
+        out += "(" + c.ToString() + ")";
+        break;
+      }
+      case OpCode::kLoadSlot:
+        std::snprintf(buf, sizeof(buf), "s%u", ins.a);
+        out += buf;
+        break;
+      case OpCode::kLoadAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        std::snprintf(buf, sizeof(buf), "s%u a%u ", ins.a, ins.b);
+        out += buf;
+        out += "(" + ar.layout->class_name + "." + ar.name + ")";
+        break;
+      }
+      case OpCode::kDerefAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        std::snprintf(buf, sizeof(buf), "a%u ", ins.b);
+        out += buf;
+        out += "(" + ar.layout->class_name + "." + ar.name + ")";
+        break;
+      }
+      case OpCode::kBinaryArith:
+      case OpCode::kCompare:
+        out += BinaryOpName(static_cast<BinaryOp>(ins.a));
+        break;
+      case OpCode::kUnary:
+        out += static_cast<UnaryOp>(ins.a) == UnaryOp::kNeg ? "-" : "NOT";
+        break;
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue:
+        std::snprintf(buf, sizeof(buf), "-> %04u", ins.a);
+        out += buf;
+        break;
+      case OpCode::kCoerceBool:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mood

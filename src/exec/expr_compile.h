@@ -1,0 +1,128 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objects/object_manager.h"
+#include "sql/ast.h"
+
+namespace mood {
+
+/// A bound expression lowered into flat postfix bytecode. The program is
+/// evaluated by a small non-recursive stack machine: operands live in a
+/// caller-provided scratch stack (reused across rows, so scalar operands never
+/// touch the heap), range variables are dense slot indices into the row's Oid
+/// vector, and attribute steps are plan-time ordinals into per-class
+/// AttributeLayouts (no string-map or catalog lookup per row).
+///
+/// Semantics contract: a program produces byte-identical MoodValues and
+/// identical error statuses to the interpreted Evaluator for every expression
+/// it accepts — arithmetic runs through the same OperandDataType operators,
+/// comparisons through Evaluator::Compare, AND/OR keep short-circuit order.
+/// Dynamic constructs the compiler cannot pin down statically (method calls,
+/// mid-path collection fan-out, polymorphic roots) are rejected at compile
+/// time; runtime surprises (a subclass instance lacking the bound attribute, a
+/// value that fans out unexpectedly) raise `need_fallback` so the caller
+/// re-evaluates that row with the interpreter.
+class ExprProgram {
+ public:
+  enum class OpCode : uint8_t {
+    kPushConst,    ///< a: consts index
+    kLoadSlot,     ///< a: slot; push Reference(slots[a])
+    kLoadAttr,     ///< a: slot, b: attrs index; push attribute of slots[a]
+    kDerefAttr,    ///< b: attrs index; pop ref, push its attribute
+    kBinaryArith,  ///< a: BinaryOp (+ - * / %); pop rhs, lhs, push result
+    kCompare,      ///< a: BinaryOp (= <> < <= > >=); pop rhs, lhs, push Boolean
+    kUnary,        ///< a: UnaryOp; pop v, push result
+    kJumpIfFalse,  ///< a: target pc; AND: pop cond, if false push false + jump
+    kJumpIfTrue,   ///< a: target pc; OR: pop cond, if true push true + jump
+    kCoerceBool,   ///< pop v, push Boolean(AsBool(v))
+  };
+
+  struct Instr {
+    OpCode op;
+    uint32_t a = 0;
+    uint32_t b = 0;
+  };
+
+  /// One attribute access bound at compile time. `layout` pins the class the
+  /// ordinal was resolved against (shared_ptr keeps it alive across DDL);
+  /// `name` feeds interpreter-identical error messages.
+  struct AttrRef {
+    AttributeLayoutPtr layout;
+    uint32_t ordinal = 0;
+    std::string name;
+  };
+
+  /// Reusable per-worker evaluation state; clear()ed (capacity kept) per row.
+  struct Scratch {
+    std::vector<MoodValue> stack;
+  };
+
+  /// Evaluates over a row of range-variable bindings. On a dynamic case the
+  /// compiled form cannot express, sets *need_fallback and returns OK(Null);
+  /// the caller must re-evaluate the row through the interpreter.
+  Result<MoodValue> Eval(const Oid* slots, size_t nslots, DerefCache* cache,
+                         Scratch* scratch, bool* need_fallback) const;
+
+  /// Predicate wrapper with the interpreter's truth rules (null => false).
+  Result<bool> EvalPredicate(const Oid* slots, size_t nslots, DerefCache* cache,
+                             Scratch* scratch, bool* need_fallback) const;
+
+  /// Deterministic bytecode dump (golden-tested), e.g.
+  ///   0000 LoadAttr    s0 a0 (cylinders)
+  ///   0001 PushConst   c0 (Integer 4)
+  ///   0002 Compare     =
+  std::string ToString() const;
+
+  /// Number of maximal non-literal constant subtrees folded at compile time.
+  size_t const_folded() const { return const_folded_; }
+
+ private:
+  friend class ExprCompiler;
+
+  ObjectManager* objects_ = nullptr;
+  std::vector<Instr> code_;
+  std::vector<MoodValue> consts_;
+  std::vector<AttrRef> attrs_;
+  size_t const_folded_ = 0;
+};
+
+using ExprProgramPtr = std::shared_ptr<const ExprProgram>;
+
+/// Plan-time compilation environment: which slot each range variable occupies
+/// in the executor's row vectors, and the statically-known class of the
+/// objects bound to it (empty / !single_class when the extent is polymorphic).
+struct ExprCompileEnv {
+  struct VarInfo {
+    uint32_t slot = 0;
+    std::string class_name;
+    bool single_class = false;
+  };
+  std::map<std::string, VarInfo> vars;
+};
+
+/// Lowers Expr trees into ExprPrograms. Compile returns null (not an error)
+/// when the expression uses a construct the bytecode cannot reproduce
+/// faithfully — callers keep the interpreter for those:
+///   - method-call steps, or attribute names that may resolve to methods;
+///   - non-terminal Set/List-typed steps (mid-path fan-out);
+///   - `self` steps anywhere but directly on the root variable;
+///   - range variables absent from the env or without a single static class.
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(ObjectManager* objects) : objects_(objects) {}
+
+  std::unique_ptr<ExprProgram> Compile(const ExprPtr& expr,
+                                       const ExprCompileEnv& env) const;
+
+ private:
+  bool Emit(const Expr& e, const ExprCompileEnv& env, ExprProgram* prog) const;
+  bool EmitPath(const Expr& e, const ExprCompileEnv& env, ExprProgram* prog) const;
+
+  ObjectManager* objects_;
+};
+
+}  // namespace mood

@@ -231,6 +231,77 @@ Result<MoodValue> ObjectManager::GetAttribute(Oid oid, const std::string& attr,
   return *f;
 }
 
+Result<AttributeLayoutPtr> ObjectManager::LayoutOf(const std::string& class_name) const {
+  TypeId id = catalog_->typeId(class_name);
+  if (id == kInvalidTypeId) {
+    return Status::NotFound("no class or type named '" + class_name + "'");
+  }
+  return LayoutOf(id);
+}
+
+Result<AttributeLayoutPtr> ObjectManager::LayoutOf(TypeId type_id) const {
+  uint64_t epoch = catalog_->schema_epoch();
+  {
+    std::lock_guard<std::mutex> lock(layout_mu_);
+    if (layout_epoch_ != epoch) {
+      layouts_.clear();
+      layout_epoch_ = epoch;
+    } else {
+      auto it = layouts_.find(type_id);
+      if (it != layouts_.end()) return it->second;
+    }
+  }
+  // Build outside the lock: AllAttributes walks the IS-A DAG and allocates.
+  std::string name = catalog_->typeName(type_id);
+  if (name.empty()) return Status::CatalogError("object has unknown type id");
+  auto layout = std::make_shared<AttributeLayout>();
+  layout->type_id = type_id;
+  layout->class_name = name;
+  MOOD_ASSIGN_OR_RETURN(layout->attrs, catalog_->AllAttributes(name));
+  layout->names.reserve(layout->attrs.size());
+  layout->ordinal_by_name.reserve(layout->attrs.size());
+  for (uint32_t i = 0; i < layout->attrs.size(); i++) {
+    layout->names.push_back(layout->attrs[i].name);
+    layout->ordinal_by_name.emplace(layout->attrs[i].name, i);
+  }
+  std::lock_guard<std::mutex> lock(layout_mu_);
+  if (layout_epoch_ != epoch) {
+    // A DDL slipped in while we built; serve the (still-correct-at-`epoch`)
+    // layout to this caller without caching it.
+    return AttributeLayoutPtr(layout);
+  }
+  auto [it, inserted] = layouts_.emplace(type_id, std::move(layout));
+  return it->second;
+}
+
+Result<MoodValue> ObjectManager::GetAttributeByOrdinal(Oid oid,
+                                                       const AttributeLayout& expected,
+                                                       uint32_t ordinal,
+                                                       DerefCache* cache) const {
+  MOOD_ASSIGN_OR_RETURN(DerefCache::Snapshot snap, FetchSnapshot(oid, cache));
+  size_t idx = ordinal;
+  const AttributeLayout* layout = &expected;
+  AttributeLayoutPtr actual;  // keepalive when the instance is a subclass
+  if (snap.type_id != expected.type_id) {
+    // Subclass instance behind a statically-typed reference: its flattened
+    // layout may order inherited attributes differently, so re-resolve by name.
+    MOOD_ASSIGN_OR_RETURN(actual, LayoutOf(snap.type_id));
+    int pos = actual->OrdinalOf(expected.attrs[ordinal].name);
+    if (pos < 0) {
+      return Status::NotFound("class '" + actual->class_name + "' has no attribute '" +
+                              expected.attrs[ordinal].name + "'");
+    }
+    idx = static_cast<size_t>(pos);
+    layout = actual.get();
+  }
+  if (idx >= snap.tuple->size()) {
+    // Object predates a schema change; the attribute takes its default.
+    return layout->attrs[idx].type->DefaultValue();
+  }
+  MOOD_ASSIGN_OR_RETURN(const MoodValue* f, snap.tuple->Field(idx));
+  return *f;
+}
+
 Result<std::vector<std::string>> ObjectManager::ScanClasses(
     const std::string& class_name, bool include_subclasses,
     const std::vector<std::string>& exclude) const {

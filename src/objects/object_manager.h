@@ -79,6 +79,28 @@ class DerefCache {
   std::atomic<uint64_t> misses_{0};
 };
 
+/// Immutable per-class attribute layout: the flattened AllAttributes view of
+/// one class (supers first, duplicates merged) frozen at a schema epoch.
+/// Compiled expression programs bind attribute accesses to `attrs` ordinals at
+/// plan time; `names` feeds MethodContext::attr_names without re-walking the
+/// IS-A DAG per method call. Handed out behind shared_ptr<const> so a layout
+/// stays valid for the duration of a query even if DDL invalidates the cache.
+struct AttributeLayout {
+  TypeId type_id = kInvalidTypeId;
+  std::string class_name;
+  std::vector<MoodsAttribute> attrs;  ///< Catalog::AllAttributes order
+  std::vector<std::string> names;     ///< attrs[i].name (method-context view)
+  std::unordered_map<std::string, uint32_t> ordinal_by_name;
+
+  /// Ordinal of `name`, or a negative value when the class lacks it.
+  int OrdinalOf(const std::string& name) const {
+    auto it = ordinal_by_name.find(name);
+    return it == ordinal_by_name.end() ? -1 : static_cast<int>(it->second);
+  }
+};
+
+using AttributeLayoutPtr = std::shared_ptr<const AttributeLayout>;
+
 /// Object-level storage interface: creates, fetches, updates and deletes class
 /// instances in their default extents, maintains registered secondary indexes,
 /// and implements dereferencing and deep equality — the object layer the MOOD
@@ -123,6 +145,22 @@ class ObjectManager {
   }
   Result<MoodValue> GetAttribute(Oid oid, const std::string& attr,
                                  DerefCache* cache) const;
+
+  // --- Attribute layouts (compiled expression support) -------------------------
+
+  /// Memoized flattened attribute layout of a class. Entries are invalidated
+  /// as a whole when Catalog::schema_epoch() moves (DDL), mirroring the
+  /// write-epoch mechanism the DerefCache uses for object data.
+  Result<AttributeLayoutPtr> LayoutOf(const std::string& class_name) const;
+  Result<AttributeLayoutPtr> LayoutOf(TypeId type_id) const;
+
+  /// Attribute of an object by plan-time ordinal. `expected` is the layout the
+  /// ordinal was bound against; when the stored instance is of exactly that
+  /// class the access is a direct tuple index (no name lookup). A subclass
+  /// instance re-resolves by name through the instance's own layout; NotFound
+  /// when that class lacks the attribute (callers fall back to interpretation).
+  Result<MoodValue> GetAttributeByOrdinal(Oid oid, const AttributeLayout& expected,
+                                          uint32_t ordinal, DerefCache* cache) const;
 
   /// Write epoch of one extent file's slot (see DerefCache). Monotonically
   /// increases on every object write to files sharing the slot.
@@ -267,6 +305,11 @@ class ObjectManager {
   mutable std::unordered_map<std::string, std::unique_ptr<HashIndex>> hashes_;
   mutable std::unordered_map<std::string, std::unique_ptr<BinaryJoinIndex>> bjis_;
   mutable std::unordered_map<std::string, std::unique_ptr<PathIndex>> path_indexes_;
+  /// Memoized per-class attribute layouts (see LayoutOf), validated against
+  /// Catalog::schema_epoch(): any DDL clears the whole map on next use.
+  mutable std::mutex layout_mu_;
+  mutable uint64_t layout_epoch_ = 0;
+  mutable std::unordered_map<TypeId, AttributeLayoutPtr> layouts_;
 };
 
 /// Encodes an object record: [type_id u32][tuple value bytes].

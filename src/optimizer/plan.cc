@@ -114,7 +114,9 @@ std::string PlanNode::Explain(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   char buf[96];
   std::snprintf(buf, sizeof(buf), "  [cost=%.3f rows=%.2f]", est_cost, est_rows);
-  std::string out = pad + Describe() + buf + "\n";
+  std::string out = pad + Describe() + buf;
+  if (!note.empty()) out += "  [" + note + "]";
+  out += "\n";
   switch (op) {
     case PlanOp::kBindClass:
     case PlanOp::kIndexSelect:

@@ -61,6 +61,11 @@ struct PlanNode {
   double est_cost = 0;
   double est_rows = 0;
 
+  /// Free-form annotation rendered by Explain (e.g. EXPLAIN VERBOSE's
+  /// "exprs: compiled"). Deliberately not part of Describe(): profile labels
+  /// must stay identical with and without annotations.
+  std::string note;
+
   /// Range variables bound by this subtree.
   std::vector<std::string> BoundVars() const;
 

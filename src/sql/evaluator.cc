@@ -9,10 +9,11 @@ Result<MoodValue> Evaluator::CallMethod(Oid receiver, const std::string& fname,
                                         const Env& env) const {
   MOOD_ASSIGN_OR_RETURN(std::string cls, objects_->ClassOf(receiver, env.deref));
   MOOD_ASSIGN_OR_RETURN(MoodValue self_value, objects_->Fetch(receiver, env.deref));
-  MOOD_ASSIGN_OR_RETURN(auto attrs, objects_->catalog()->AllAttributes(cls));
-  std::vector<std::string> attr_names;
-  attr_names.reserve(attrs.size());
-  for (const auto& a : attrs) attr_names.push_back(a.name);
+  // The memoized layout supplies the flattened attribute list (and its name
+  // vector for the method context) without re-walking the IS-A DAG per call;
+  // DDL invalidates it through the catalog's schema epoch.
+  MOOD_ASSIGN_OR_RETURN(AttributeLayoutPtr layout, objects_->LayoutOf(cls));
+  const auto& attrs = layout->attrs;
   // Pad the tuple so methods can see attributes added after this object was made.
   if (self_value.kind() == ValueKind::kTuple && self_value.size() < attrs.size()) {
     auto& elems = self_value.mutable_elements();
@@ -31,7 +32,7 @@ Result<MoodValue> Evaluator::CallMethod(Oid receiver, const std::string& fname,
   MethodContext ctx;
   ctx.self = receiver;
   ctx.self_value = &self_value;
-  ctx.attr_names = &attr_names;
+  ctx.attr_names = &layout->names;
   ctx.deref = [this, &env](Oid oid) { return objects_->Fetch(oid, env.deref); };
   return functions_->Invoke(cls, fname, ctx, std::move(arg_values));
 }
@@ -63,11 +64,16 @@ Result<MoodValue> Evaluator::EvalPathFrom(Oid root, const std::vector<PathStep>&
 
     if (current.IsCollection()) {
       MoodValue::ValueList results;
+      results.reserve(current.elements().size());
       for (const auto& e : current.elements()) {
         MOOD_ASSIGN_OR_RETURN(MoodValue r, apply_one(e));
         if (r.is_null()) continue;
         if (r.IsCollection()) {
-          for (const auto& inner : r.elements()) results.push_back(inner);
+          // Flatten by moving: mutable_elements() is copy-on-write, so a
+          // uniquely-owned inner collection moves element-wise without copies.
+          auto& inner = r.mutable_elements();
+          results.reserve(results.size() + inner.size());
+          for (auto& iv : inner) results.push_back(std::move(iv));
         } else {
           results.push_back(std::move(r));
         }
@@ -107,7 +113,7 @@ Result<MoodValue> Evaluator::Eval(const ExprPtr& expr, const Env& env) const {
 }
 
 Result<bool> Evaluator::Compare(BinaryOp op, const MoodValue& lhs,
-                                const MoodValue& rhs) const {
+                                const MoodValue& rhs) {
   // Existential fan-out: if either side is a collection, the comparison holds if
   // any element pair does.
   if (lhs.IsCollection()) {

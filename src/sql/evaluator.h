@@ -41,6 +41,11 @@ class Evaluator {
   Result<MoodValue> EvalPathFrom(Oid root, const std::vector<PathStep>& steps,
                                  const Env& env) const;
 
+  /// Compares with existential fan-out semantics. Static and public so the
+  /// compiled expression programs (exec/expr_compile) share the exact same
+  /// comparison code path as the interpreter.
+  static Result<bool> Compare(BinaryOp op, const MoodValue& lhs, const MoodValue& rhs);
+
   ObjectManager* objects() const { return objects_; }
   FunctionManager* functions() const { return functions_; }
 
@@ -48,9 +53,6 @@ class Evaluator {
   Result<MoodValue> EvalBinary(const Expr& e, const Env& env) const;
   Result<MoodValue> CallMethod(Oid receiver, const std::string& fname,
                                const std::vector<ExprPtr>& args, const Env& env) const;
-
-  /// Compares with existential fan-out semantics.
-  Result<bool> Compare(BinaryOp op, const MoodValue& lhs, const MoodValue& rhs) const;
 
   ObjectManager* objects_;
   FunctionManager* functions_;

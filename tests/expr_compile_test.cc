@@ -1,0 +1,489 @@
+#include "exec/expr_compile.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/paper_example.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+/// Paper database at a small scale, queried through both evaluation paths.
+class ExprCompileFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(paperdb::CreatePaperSchema(&db_));
+    MOOD_ASSERT_OK_AND_ASSIGN(report_, paperdb::PopulatePaperData(&db_, 90));
+    MOOD_ASSERT_OK(db_.CollectAllStatistics());
+  }
+
+  /// The differential contract: compiled and interpreted execution produce
+  /// byte-identical results and identical error statuses. Serial execution
+  /// keeps row order (and thus first-error choice) deterministic.
+  void ExpectDifferentialMatch(const std::string& sql) {
+    QueryOptions interp_opts, comp_opts;
+    interp_opts.compile_expressions = false;
+    interp_opts.exec_threads = 1;
+    comp_opts.compile_expressions = true;
+    comp_opts.exec_threads = 1;
+    auto interp = db_.Query(sql, interp_opts);
+    auto comp = db_.Query(sql, comp_opts);
+    ASSERT_EQ(interp.ok(), comp.ok())
+        << sql << "\n interpreted: " << interp.status().ToString()
+        << "\n compiled:    " << comp.status().ToString();
+    if (!interp.ok()) {
+      EXPECT_EQ(interp.status().ToString(), comp.status().ToString()) << sql;
+      return;
+    }
+    EXPECT_EQ(interp.value().ToString(), comp.value().ToString()) << sql;
+  }
+
+  /// Parses `SELECT ... WHERE <pred>` and compiles the WHERE clause directly.
+  ExprPtr ParseWhere(const std::string& sql) {
+    auto stmt = Parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+    if (!stmt.ok()) return nullptr;
+    return std::get<SelectStmt>(stmt.value()).where;
+  }
+
+  std::unique_ptr<ExprProgram> CompileWhere(const std::string& sql,
+                                            const ExprCompileEnv& env) {
+    ExprPtr where = ParseWhere(sql);
+    if (where == nullptr) return nullptr;
+    return ExprCompiler(db_.objects()).Compile(where, env);
+  }
+
+  static ExprCompileEnv EngineEnv() {
+    ExprCompileEnv env;
+    env.vars["e"] = {0, "VehicleEngine", true};
+    return env;
+  }
+
+  static ExprCompileEnv VehicleEnv(bool single_class = true) {
+    ExprCompileEnv env;
+    env.vars["v"] = {0, "Vehicle", single_class};
+    return env;
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return db_.metrics()->Counter(name)->value();
+  }
+
+  TempDir dir_;
+  Database db_;
+  paperdb::PopulateReport report_;
+};
+
+// ---------------------------------------------------------------------------
+// Golden bytecode dumps
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, GoldenSimpleComparison) {
+  auto prog = CompileWhere("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4",
+                           EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadAttr    s0 a0 (VehicleEngine.cylinders)\n"
+            "0001 PushConst   c0 Integer(4)\n"
+            "0002 Compare     =\n");
+  EXPECT_EQ(prog->const_folded(), 0u);
+}
+
+TEST_F(ExprCompileFixture, GoldenConstantSubtreeFolds) {
+  // `2 + 2` disappears at compile time; the dump is identical to `= 4`.
+  auto prog = CompileWhere(
+      "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2 + 2", EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadAttr    s0 a0 (VehicleEngine.cylinders)\n"
+            "0001 PushConst   c0 Integer(4)\n"
+            "0002 Compare     =\n");
+  EXPECT_EQ(prog->const_folded(), 1u);
+}
+
+TEST_F(ExprCompileFixture, GoldenWholePredicateFolds) {
+  auto prog =
+      CompileWhere("SELECT e FROM VehicleEngine e WHERE 1 + 1 = 2", EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(), "0000 PushConst   c0 Boolean(true)\n");
+  EXPECT_EQ(prog->const_folded(), 1u);
+}
+
+TEST_F(ExprCompileFixture, GoldenShortCircuitJumps) {
+  auto prog = CompileWhere(
+      "SELECT e FROM VehicleEngine e WHERE e.cylinders > 2 AND e.size < 100",
+      EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadAttr    s0 a0 (VehicleEngine.cylinders)\n"
+            "0001 PushConst   c0 Integer(2)\n"
+            "0002 Compare     >\n"
+            "0003 JumpIfFalse -> 0008\n"
+            "0004 LoadAttr    s0 a1 (VehicleEngine.size)\n"
+            "0005 PushConst   c1 Integer(100)\n"
+            "0006 Compare     <\n"
+            "0007 CoerceBool  \n");
+}
+
+TEST_F(ExprCompileFixture, GoldenMultiStepPath) {
+  auto prog = CompileWhere(
+      "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2",
+      VehicleEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadAttr    s0 a0 (Vehicle.drivetrain)\n"
+            "0001 DerefAttr   a1 (VehicleDriveTrain.engine)\n"
+            "0002 DerefAttr   a2 (VehicleEngine.cylinders)\n"
+            "0003 PushConst   c0 Integer(2)\n"
+            "0004 Compare     =\n");
+}
+
+TEST_F(ExprCompileFixture, NonDecidingConstLhsElides) {
+  // `1 = 1 AND p` reduces to CoerceBool(p): the constant conjunct vanishes
+  // but the node still coerces its result to Boolean like the interpreter.
+  auto prog = CompileWhere(
+      "SELECT e FROM VehicleEngine e WHERE 1 = 1 AND e.cylinders > 2",
+      EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadAttr    s0 a0 (VehicleEngine.cylinders)\n"
+            "0001 PushConst   c0 Integer(2)\n"
+            "0002 Compare     >\n"
+            "0003 CoerceBool  \n");
+  EXPECT_EQ(prog->const_folded(), 1u);
+}
+
+TEST_F(ExprCompileFixture, ErroringConstSubtreeStaysInBytecode) {
+  // 1 / 0 must error at run time exactly like the interpreter, so the folder
+  // abstains and the division survives into bytecode.
+  auto prog = CompileWhere(
+      "SELECT e FROM VehicleEngine e WHERE e.cylinders = 1 / 0", EngineEnv());
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->const_folded(), 0u);
+  EXPECT_NE(prog->ToString().find("Arith       /"), std::string::npos);
+  ExpectDifferentialMatch("SELECT e FROM VehicleEngine e WHERE e.cylinders = 1 / 0");
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time refusals: dynamic constructs stay with the interpreter
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, RefusesMethodCalls) {
+  EXPECT_EQ(CompileWhere("SELECT v FROM Vehicle v WHERE v.lbweight() > 0",
+                         VehicleEnv()),
+            nullptr);
+}
+
+TEST_F(ExprCompileFixture, RefusesUnknownAttribute) {
+  // The name may resolve to a parameterless method at evaluation time.
+  EXPECT_EQ(CompileWhere("SELECT v FROM Vehicle v WHERE v.lbweight > 0",
+                         VehicleEnv()),
+            nullptr);
+}
+
+TEST_F(ExprCompileFixture, RefusesUnboundRangeVar) {
+  EXPECT_EQ(CompileWhere("SELECT e FROM VehicleEngine e WHERE x.cylinders = 4",
+                         EngineEnv()),
+            nullptr);
+}
+
+TEST_F(ExprCompileFixture, RefusesPolymorphicRootForAttributeAccess) {
+  // EVERY over a class with subclasses: no single static layout to bind to.
+  EXPECT_EQ(CompileWhere("SELECT v FROM Vehicle v WHERE v.weight > 0",
+                         VehicleEnv(/*single_class=*/false)),
+            nullptr);
+}
+
+TEST_F(ExprCompileFixture, BareVarCompilesEvenWhenPolymorphic) {
+  // `v` (and `v.self`) need no layout — just the slot's reference.
+  auto prog = CompileWhere("SELECT v FROM Vehicle v WHERE v = v.self",
+                           VehicleEnv(/*single_class=*/false));
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->ToString(),
+            "0000 LoadSlot    s0\n"
+            "0001 LoadSlot    s0\n"
+            "0002 Compare     =\n");
+}
+
+TEST_F(ExprCompileFixture, RefusesMidPathCollectionFanOut) {
+  MOOD_ASSERT_OK(db_.Execute("CREATE CLASS Garage TUPLE ("
+                             "cars SET (REFERENCE (Vehicle)))")
+                     .status());
+  ExprCompileEnv env;
+  env.vars["g"] = {0, "Garage", true};
+  // Terminal collection access compiles (the value is just pushed)...
+  EXPECT_NE(CompileWhere("SELECT g FROM Garage g WHERE g.cars = g.cars", env),
+            nullptr);
+  // ...but a step *through* the set would fan out mid-path: interpreter only.
+  EXPECT_EQ(CompileWhere("SELECT g FROM Garage g WHERE g.cars.weight = 1", env),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fixed workload
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, PaperQueriesMatch) {
+  ExpectDifferentialMatch(paperdb::kExample81Query);
+  ExpectDifferentialMatch(paperdb::kExample82Query);
+  ExpectDifferentialMatch(paperdb::kSection31Query);
+}
+
+TEST_F(ExprCompileFixture, ScalarAndProjectionQueriesMatch) {
+  ExpectDifferentialMatch("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4");
+  ExpectDifferentialMatch(
+      "SELECT e.size, e.cylinders * 2 + 1 FROM VehicleEngine e "
+      "WHERE e.cylinders >= 2 AND NOT (e.cylinders = 6)");
+  ExpectDifferentialMatch(
+      "SELECT e.cylinders FROM VehicleEngine e WHERE 8 < e.cylinders OR "
+      "e.size % 7 = 3");
+  ExpectDifferentialMatch(
+      "SELECT DISTINCT e.cylinders FROM VehicleEngine e ORDER BY e.cylinders");
+  ExpectDifferentialMatch("SELECT v.weight, v.lbweight() FROM Vehicle v");
+  ExpectDifferentialMatch("SELECT v FROM EVERY Vehicle - JapaneseAuto v "
+                          "WHERE v.weight > 1000");
+}
+
+TEST_F(ExprCompileFixture, ErrorStatusesMatch) {
+  // Type errors and arithmetic errors must surface identically.
+  ExpectDifferentialMatch(
+      "SELECT e FROM VehicleEngine e WHERE e.cylinders = 'four'");
+  ExpectDifferentialMatch(
+      "SELECT e FROM VehicleEngine e WHERE e.size / (e.cylinders - e.cylinders) = 1");
+  ExpectDifferentialMatch(
+      "SELECT v FROM Vehicle v WHERE v.id.cylinders = 2");  // step on non-ref
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fixed-seed randomized expressions
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, RandomizedExpressionsMatch) {
+  std::mt19937 rng(20260807);  // fixed seed: failures must reproduce
+  auto pick = [&](int n) { return static_cast<int>(rng() % static_cast<uint32_t>(n)); };
+  const char* arith[] = {"+", "-", "*", "/", "%"};
+  const char* cmp[] = {"=", "<>", "<", "<=", ">", ">="};
+
+  std::function<std::string(int)> term = [&](int depth) -> std::string {
+    int c = pick(depth > 0 ? 6 : 4);
+    switch (c) {
+      case 0: return "e.cylinders";
+      case 1: return "e.size";
+      case 2: return std::to_string(pick(40) - 5);
+      case 3: return "'BMW'";  // type-error fodder
+      case 4:
+        return "(" + term(depth - 1) + " " + arith[pick(5)] + " " +
+               term(depth - 1) + ")";
+      default: return "(-" + term(depth - 1) + ")";
+    }
+  };
+  std::function<std::string(int)> pred = [&](int depth) -> std::string {
+    if (depth == 0 || pick(3) == 0) {
+      return "(" + term(depth) + " " + cmp[pick(6)] + " " + term(depth) + ")";
+    }
+    switch (pick(3)) {
+      case 0: return "(" + pred(depth - 1) + " AND " + pred(depth - 1) + ")";
+      case 1: return "(" + pred(depth - 1) + " OR " + pred(depth - 1) + ")";
+      default: return "NOT " + pred(depth - 1);
+    }
+  };
+
+  for (int i = 0; i < 120; i++) {
+    std::string sql = "SELECT e FROM VehicleEngine e WHERE " + pred(3);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + sql);
+    ExpectDifferentialMatch(sql);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics and EXPLAIN VERBOSE
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, MetricsCountCompilationNotFallback) {
+  uint64_t compiled0 = CounterValue("exec.expr.compiled");
+  uint64_t fallback0 = CounterValue("exec.expr.fallback");
+  uint64_t folded0 = CounterValue("exec.expr.const_folded");
+  QueryOptions opts;
+  opts.exec_threads = 1;
+  // WHERE constants are pre-folded by the optimizer's DNF normalization, so
+  // the compiler's own folding shows up in SELECT-list programs.
+  MOOD_ASSERT_OK(
+      db_.Query("SELECT e.cylinders + 2 * 3 FROM VehicleEngine e "
+                "WHERE e.cylinders = 4",
+                opts)
+          .status());
+  EXPECT_GT(CounterValue("exec.expr.compiled"), compiled0);
+  EXPECT_GT(CounterValue("exec.expr.const_folded"), folded0);
+  EXPECT_EQ(CounterValue("exec.expr.fallback"), fallback0);
+
+  // Method calls cannot compile: the fallback counter moves instead.
+  uint64_t fb1 = CounterValue("exec.expr.fallback");
+  MOOD_ASSERT_OK(
+      db_.Query("SELECT v FROM Vehicle v WHERE v.lbweight() > 0", opts).status());
+  EXPECT_GT(CounterValue("exec.expr.fallback"), fb1);
+}
+
+TEST_F(ExprCompileFixture, ExplainVerboseAnnotatesOperators) {
+  ExplainOptions eo;
+  eo.verbose = true;
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto res,
+      db_.Explain("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", eo));
+  EXPECT_NE(res.Render().find("[exprs: compiled]"), std::string::npos)
+      << res.Render();
+
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto interp_res,
+      db_.Explain("SELECT v FROM Vehicle v WHERE v.lbweight() > 0", eo));
+  EXPECT_NE(interp_res.Render().find("[exprs: interpreted]"), std::string::npos)
+      << interp_res.Render();
+
+  // With compilation off the annotation disappears entirely.
+  eo.query.compile_expressions = false;
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto off_res,
+      db_.Explain("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", eo));
+  EXPECT_EQ(off_res.Render().find("[exprs:"), std::string::npos)
+      << off_res.Render();
+}
+
+TEST_F(ExprCompileFixture, ExplainAnalyzeIdenticalAcrossThreadCounts) {
+  // The acceptance bar: EXPLAIN ANALYZE output (modulo timings, which the
+  // renderer embeds — so compare the query *results*, byte for byte) is
+  // identical at 1/2/8 threads with compilation on.
+  QueryOptions base;
+  base.exec_threads = 1;
+  auto serial = db_.Query(paperdb::kExample81Query, base);
+  MOOD_ASSERT_OK(serial.status());
+  for (size_t threads : {2u, 8u}) {
+    QueryOptions opts;
+    opts.exec_threads = threads;
+    auto par = db_.Query(paperdb::kExample81Query, opts);
+    MOOD_ASSERT_OK(par.status());
+    EXPECT_EQ(serial.value().ToString(), par.value().ToString()) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layout cache invalidation on DDL
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, SchemaEpochBumpsOnDdl) {
+  uint64_t e0 = db_.catalog()->schema_epoch();
+  MOOD_ASSERT_OK(db_.catalog()->AddAttribute(
+      "VehicleEngine", {"extra", TypeDesc::Basic(BasicType::kFloat)}));
+  EXPECT_GT(db_.catalog()->schema_epoch(), e0);
+}
+
+TEST_F(ExprCompileFixture, AddAttributeInvalidatesLayouts) {
+  QueryOptions opts;
+  opts.exec_threads = 1;
+  // Warm the layout cache through a compiled query.
+  MOOD_ASSERT_OK(
+      db_.Query("SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", opts)
+          .status());
+  MOOD_ASSERT_OK(db_.catalog()->AddAttribute(
+      "VehicleEngine", {"extra", TypeDesc::Basic(BasicType::kFloat)}));
+  // Existing objects predate the attribute: both paths serve the default.
+  ExpectDifferentialMatch(
+      "SELECT e.extra FROM VehicleEngine e WHERE e.cylinders >= 2");
+  ExpectDifferentialMatch("SELECT e FROM VehicleEngine e WHERE e.extra = 0.0");
+}
+
+TEST_F(ExprCompileFixture, RenameAttributeInvalidatesLayouts) {
+  QueryOptions opts;
+  opts.exec_threads = 1;
+  MOOD_ASSERT_OK(
+      db_.Query("SELECT e FROM VehicleEngine e WHERE e.size > 0", opts).status());
+  MOOD_ASSERT_OK(
+      db_.catalog()->RenameAttribute("VehicleEngine", "size", "displacement"));
+  ExpectDifferentialMatch(
+      "SELECT e.displacement FROM VehicleEngine e WHERE e.displacement > 0");
+  // The old name fails the same way in both modes.
+  ExpectDifferentialMatch("SELECT e FROM VehicleEngine e WHERE e.size > 0");
+}
+
+// ---------------------------------------------------------------------------
+// Subclass instances behind statically-typed references
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprCompileFixture, SubclassInstanceResolvesByName) {
+  MOOD_ASSERT_OK(db_.Execute("CREATE CLASS TurboEngine INHERITS FROM "
+                             "VehicleEngine TUPLE (boost Integer)")
+                     .status());
+  ObjectManager* om = db_.objects();
+  // A TurboEngine behind a REFERENCE(VehicleEngine): the compiled ordinal was
+  // bound against VehicleEngine's layout and must re-resolve by name.
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Oid turbo,
+      om->CreateObject("TurboEngine",
+                       MoodValue::Tuple({MoodValue::Integer(9999),
+                                         MoodValue::Integer(12),
+                                         MoodValue::Integer(5)})));
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      Oid dt, om->CreateObject(
+                  "VehicleDriveTrain",
+                  MoodValue::Tuple({MoodValue::Reference(turbo),
+                                    MoodValue::String("MANUAL")})));
+  Oid company{};
+  MOOD_ASSERT_OK(om->ScanExtent("Company", false, {},
+                                [&](Oid oid, const MoodValue&) {
+                                  company = oid;
+                                  return Status::OK();
+                                }));
+  MOOD_ASSERT_OK(
+      om->CreateObject("Vehicle", MoodValue::Tuple({MoodValue::Integer(777),
+                                                    MoodValue::Integer(1000),
+                                                    MoodValue::Reference(dt),
+                                                    MoodValue::Reference(company)}))
+          .status());
+
+  // Direct ordinal access against the *base* layout.
+  MOOD_ASSERT_OK_AND_ASSIGN(AttributeLayoutPtr layout, om->LayoutOf("VehicleEngine"));
+  int ord = layout->OrdinalOf("cylinders");
+  ASSERT_GE(ord, 0);
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      MoodValue cyl, om->GetAttributeByOrdinal(
+                         turbo, *layout, static_cast<uint32_t>(ord), nullptr));
+  EXPECT_EQ(cyl.AsInteger(), 12);
+
+  // The WHERE form may plan as a pointer join over the now-polymorphic engine
+  // extent (which compiles conservatively); parity still must hold.
+  ExpectDifferentialMatch(
+      "SELECT v.id FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 12");
+
+  // The projection form compiles against Vehicle's single-class root and hits
+  // the TurboEngine instance through kDerefAttr: name re-resolution succeeds,
+  // so no interpreter fallback is needed.
+  uint64_t fallback0 = CounterValue("exec.expr.fallback");
+  QueryOptions opts;
+  opts.exec_threads = 1;
+  MOOD_ASSERT_OK_AND_ASSIGN(
+      auto proj,
+      db_.Query("SELECT v.id, v.drivetrain.engine.cylinders FROM Vehicle v", opts));
+  EXPECT_EQ(CounterValue("exec.expr.fallback"), fallback0);
+  bool saw_turbo = false;
+  for (const auto& row : proj.rows) {
+    if (row.size() == 2 && row[0].ToString() == "777") {
+      saw_turbo = true;
+      EXPECT_EQ(row[1].ToString(), "12");
+    }
+  }
+  EXPECT_TRUE(saw_turbo);
+  ExpectDifferentialMatch(
+      "SELECT v.id, v.drivetrain.engine.cylinders FROM Vehicle v");
+}
+
+}  // namespace
+}  // namespace mood

@@ -125,24 +125,45 @@ class ParallelExecFixture : public ::testing::Test {
     MOOD_ASSERT_OK(db_.CollectAllStatistics());
   }
 
-  /// Serial result must match the parallel result byte-for-byte at every
-  /// tested thread count.
+  /// Expression-evaluation modes the sweep exercises. MOOD_TEST_COMPILE=on|off
+  /// narrows it to one mode, the same way MOOD_TEST_THREADS bounds the thread
+  /// axis for the sanitizer presets.
+  static std::vector<bool> TestCompileModes() {
+    const char* env = std::getenv("MOOD_TEST_COMPILE");
+    if (env != nullptr && std::string(env) == "on") return {true};
+    if (env != nullptr && std::string(env) == "off") return {false};
+    return {false, true};
+  }
+
+  /// Oracle: serial, interpreted. Every (compile mode, thread count)
+  /// combination must match it byte-for-byte.
   void ExpectDeterministic(const std::string& sql) {
     db_.executor()->set_threads(1);
-    auto serial = db_.Query(sql);
-    for (size_t threads : TestThreadCounts()) {
-      db_.executor()->set_threads(threads);
-      auto parallel = db_.Query(sql);
-      ASSERT_EQ(serial.ok(), parallel.ok())
-          << sql << " @" << threads << " threads: serial="
-          << serial.status().ToString()
-          << " parallel=" << parallel.status().ToString();
-      if (!serial.ok()) continue;
-      const QueryResult& s = serial.value();
-      const QueryResult& p = parallel.value();
-      EXPECT_EQ(s.columns, p.columns) << sql << " @" << threads;
-      ASSERT_EQ(s.rows.size(), p.rows.size()) << sql << " @" << threads;
-      EXPECT_EQ(s.ToString(), p.ToString()) << sql << " @" << threads;
+    QueryOptions oracle_opts;
+    oracle_opts.compile_expressions = false;
+    auto serial = db_.Query(sql, oracle_opts);
+    for (bool compile : TestCompileModes()) {
+      QueryOptions opts;
+      opts.compile_expressions = compile;
+      std::vector<size_t> counts = TestThreadCounts();
+      // Compiled mode also diffs serially against the interpreted oracle.
+      if (compile) counts.insert(counts.begin(), 1);
+      for (size_t threads : counts) {
+        db_.executor()->set_threads(threads);
+        auto parallel = db_.Query(sql, opts);
+        ASSERT_EQ(serial.ok(), parallel.ok())
+            << sql << " @" << threads << " threads compile=" << compile
+            << ": serial=" << serial.status().ToString()
+            << " parallel=" << parallel.status().ToString();
+        if (!serial.ok()) continue;
+        const QueryResult& s = serial.value();
+        const QueryResult& p = parallel.value();
+        EXPECT_EQ(s.columns, p.columns) << sql << " @" << threads;
+        ASSERT_EQ(s.rows.size(), p.rows.size())
+            << sql << " @" << threads << " compile=" << compile;
+        EXPECT_EQ(s.ToString(), p.ToString())
+            << sql << " @" << threads << " compile=" << compile;
+      }
     }
     db_.executor()->set_threads(1);
   }
