@@ -58,6 +58,7 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   executor_->set_threads(options.exec_threads == 0 ? DefaultExecThreads()
                                                    : options.exec_threads);
   executor_->set_deref_cache_capacity(options.deref_cache_entries);
+  executor_->set_batch_size(options.batch_size);
   schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
   object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
 
@@ -78,6 +79,8 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   executor_->SetExprMetrics(metrics_->Counter("exec.expr.compiled"),
                             metrics_->Counter("exec.expr.fallback"),
                             metrics_->Counter("exec.expr.const_folded"));
+  executor_->SetBatchMetrics(metrics_->Counter("exec.batch.batches"),
+                             metrics_->Counter("exec.batch.rows"));
 
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
@@ -101,6 +104,7 @@ Status Database::Close() {
   MOOD_RETURN_IF_ERROR(Checkpoint());
   // Executor holds raw counter pointers into the registry; detach them first.
   executor_->SetExprMetrics(nullptr, nullptr, nullptr);
+  executor_->SetBatchMetrics(nullptr, nullptr);
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
   query_us_hist_ = nullptr;
@@ -284,6 +288,7 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
     exec.threads = options.query.exec_threads;
     exec.deref_cache_entries = options.query.deref_cache_entries;
     exec.compile_expressions = options.query.compile_expressions;
+    exec.batch_size = options.query.batch_size;
     exec.profile = out.profile.get();
     uint64_t start = ProfileNowNs();
     MOOD_ASSIGN_OR_RETURN(out.result, executor_->ExecuteSelect(out.optimized, exec));
@@ -363,6 +368,7 @@ Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
   exec.threads = options.exec_threads;
   exec.deref_cache_entries = options.deref_cache_entries;
   exec.compile_expressions = options.compile_expressions;
+  exec.batch_size = options.batch_size;
   if (options.collect_profile) {
     res.profile = std::make_shared<QueryProfile>();
     res.profile->label = "RESULT";

@@ -52,6 +52,10 @@ struct DatabaseOptions {
   /// 1 = serial execution (the exact pre-parallelism behavior). This is the
   /// default; individual calls override it with QueryOptions::exec_threads.
   size_t exec_threads = 0;
+  /// Rows per RowBatch in the batch-at-a-time executor. 0 = row-at-a-time
+  /// execution (the pre-vectorization behavior, kept as the differential-
+  /// testing oracle). Individual calls override with QueryOptions::batch_size.
+  size_t batch_size = 1024;
   /// SELECT statements slower than this (wall milliseconds) land in the
   /// slow-query ring buffer (Database::SlowQueries). <= 0 disables recording.
   double slow_query_ms = 250;
@@ -66,9 +70,14 @@ struct DatabaseOptions {
 struct QueryOptions {
   /// Sentinel: use the database's configured deref-cache capacity.
   static constexpr size_t kInheritCache = static_cast<size_t>(-1);
+  /// Sentinel: use the database's configured batch size.
+  static constexpr size_t kInheritBatch = static_cast<size_t>(-1);
 
   /// Worker threads for this call; 0 = the database default (exec_threads).
   size_t exec_threads = 0;
+  /// RowBatch capacity for this call; kInheritBatch = database default,
+  /// 0 = row-at-a-time execution (the differential-testing oracle).
+  size_t batch_size = kInheritBatch;
   /// Deref-cache capacity for this call; kInheritCache = database default,
   /// 0 disables the cache.
   size_t deref_cache_entries = kInheritCache;

@@ -56,6 +56,75 @@ struct StageSpan {
   }
 };
 
+/// Interpreter environment hoisted out of the row loop: the var map and the
+/// deref-cache handle are set up once per batch/morsel, then only the Oid
+/// bindings are rewritten per row. (Rebuilding the whole env per row — a map
+/// allocation plus a deref-handle re-resolve for every row — was the Filter
+/// operator's known perf bug.) Built lazily: queries where every predicate
+/// stays compiled never pay for it.
+struct BoundEnv {
+  Evaluator::Env env;
+  std::vector<std::map<std::string, Oid>::iterator> binds;
+  bool ready = false;
+
+  void Prepare(const std::vector<std::string>& vars, DerefCache* cache) {
+    if (ready) return;
+    env.deref = cache;
+    binds.reserve(vars.size());
+    for (const std::string& v : vars) {
+      binds.push_back(env.vars.emplace(v, Oid{}).first);
+    }
+    ready = true;
+  }
+  void BindRow(const std::vector<std::string>& vars, const RowBatch& b, uint32_t row,
+               DerefCache* cache) {
+    Prepare(vars, cache);
+    for (size_t i = 0; i < binds.size(); i++) binds[i]->second = b.col(i)[row];
+  }
+  void BindRow(const std::vector<std::string>& vars, const std::vector<Oid>& row,
+               DerefCache* cache) {
+    Prepare(vars, cache);
+    for (size_t i = 0; i < binds.size(); i++) binds[i]->second = row[i];
+  }
+};
+
+/// Batch results flatten to the row-major RowSet in row order (public
+/// ExecutePlan API and the differential oracle comparisons).
+RowSet FlattenBatches(const BatchSet& bs) {
+  RowSet rs;
+  rs.vars = bs.vars;
+  rs.rows.reserve(bs.ActiveRows());
+  std::vector<Oid> rowbuf;
+  for (const RowBatch& b : bs.batches) {
+    rowbuf.resize(b.nslots);
+    for (size_t k = 0; k < b.ActiveRows(); k++) {
+      b.GatherRow(b.RowAt(k), rowbuf.data());
+      rs.rows.push_back(rowbuf);
+    }
+  }
+  return rs;
+}
+
+/// DISTINCT stage shared by both Finish paths (operates on final values).
+void ApplyDistinct(QueryResult* result, QueryProfile* prof) {
+  StageSpan span = StageSpan::Begin(prof, "DISTINCT", result->rows.size());
+  std::vector<std::vector<MoodValue>> dedup;
+  for (auto& row : result->rows) {
+    bool seen = false;
+    for (const auto& d : dedup) {
+      bool all = d.size() == row.size();
+      for (size_t i = 0; all && i < d.size(); i++) all = d[i].Equals(row[i]);
+      if (all) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) dedup.push_back(std::move(row));
+  }
+  result->rows = std::move(dedup);
+  span.End(result->rows.size());
+}
+
 }  // namespace
 
 std::string QueryResult::ToString(size_t limit) const {
@@ -240,9 +309,7 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node, Ctx& ctx) const {
   return rs;
 }
 
-Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, Ctx& ctx) const {
-  RowSet rs;
-  rs.vars = {node.from.var};
+Result<std::vector<Oid>> Executor::RunIndexProbes(const PlanNode& node, Ctx& ctx) const {
   if (ctx.profile != nullptr) ctx.profile->morsels = node.probes.size();
   // Probes run in parallel (each is an independent index lookup); the
   // intersection then folds them in probe order, preserving the first probe's
@@ -270,6 +337,13 @@ Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, Ctx& ctx) const {
       current = std::move(next);
     }
   }
+  return current;
+}
+
+Result<RowSet> Executor::ExecIndexSelect(const PlanNode& node, Ctx& ctx) const {
+  RowSet rs;
+  rs.vars = {node.from.var};
+  MOOD_ASSIGN_OR_RETURN(std::vector<Oid> current, RunIndexProbes(node, ctx));
   for (Oid o : current) rs.rows.push_back({o});
   return rs;
 }
@@ -292,11 +366,11 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     ExprProgram::Scratch scratch;
+    // The interpreter env is hoisted to the morsel and built only when some
+    // predicate actually needs the interpreted path; rows just rebind Oids.
+    BoundEnv benv;
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       auto& row = child.rows[i];
-      // The interpreter env (a per-row string map) is built only when some
-      // predicate actually needs the interpreted path.
-      std::optional<Evaluator::Env> env;
       bool keep = true;
       for (size_t p = 0; p < node.predicates.size(); p++) {
         if (programs[p] != nullptr) {
@@ -311,8 +385,9 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
           }
           CountRuntimeFallback();
         }
-        if (!env.has_value()) env = EnvOf(child, row, ctx.cache);
-        MOOD_ASSIGN_OR_RETURN(keep, evaluator_->EvalPredicate(node.predicates[p], *env));
+        benv.BindRow(child.vars, row, ctx.cache);
+        MOOD_ASSIGN_OR_RETURN(keep,
+                              evaluator_->EvalPredicate(node.predicates[p], benv.env));
         if (!keep) break;
       }
       if (keep) partial[m].push_back(std::move(row));
@@ -541,9 +616,417 @@ Result<RowSet> Executor::Exec(const PlanPtr& plan, Ctx& ctx) const {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Batch-at-a-time operator path (ctx.batch > 0). A one-for-one mirror of the
+// row operators above: operators exchange column-major RowBatches with
+// selection vectors, expressions evaluate through ExprProgram::EvalBatch, and
+// whole batches are the morsel unit. The row path is kept verbatim as the
+// differential-testing oracle (batch_size = 0); batch_exec_test asserts both
+// paths produce identical results and error statuses.
+// ---------------------------------------------------------------------------
+
+Result<BatchSet> Executor::ExecBindB(const PlanNode& node, Ctx& ctx) const {
+  BatchSet bs;
+  bs.vars = {node.from.var};
+  if (ctx.threads <= 1) {
+    BatchAppender out(&bs, 1, ctx.batch);
+    MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
+                                              node.from.excludes,
+                                              [&](Oid oid, const MoodValue&) {
+                                                out.Push(&oid, 1);
+                                                return Status::OK();
+                                              }));
+    if (ctx.profile != nullptr) {
+      // Same page-task morsel accounting as the row path, for the same reason:
+      // the profile must be identical across thread counts.
+      MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
+                            objects_->ScanClasses(node.from.class_name, node.from.every,
+                                                  node.from.excludes));
+      size_t pages = 0;
+      for (const std::string& cls : classes) {
+        MOOD_ASSIGN_OR_RETURN(std::vector<PageId> ids, objects_->ExtentPageIds(cls));
+        pages += ids.size();
+      }
+      ctx.profile->morsels = pages;
+    }
+    return bs;
+  }
+  // Parallel scan: the row path's page tasks, but the per-page oid runs pack
+  // into fixed-size batches in (class, chain) order — batches freely straddle
+  // page boundaries, and the in-order pack reproduces the serial scan order.
+  MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
+                        objects_->ScanClasses(node.from.class_name, node.from.every,
+                                              node.from.excludes));
+  struct PageTask {
+    const std::string* class_name;
+    PageId page;
+    HeapFile::ScanCursor* cursor;
+  };
+  std::vector<PageTask> tasks;
+  std::vector<std::unique_ptr<HeapFile::ScanCursor>> cursors;
+  for (const std::string& cls : classes) {
+    MOOD_ASSIGN_OR_RETURN(std::vector<PageId> pages, objects_->ExtentPageIds(cls));
+    cursors.push_back(std::make_unique<HeapFile::ScanCursor>());
+    for (PageId p : pages) tasks.push_back({&cls, p, cursors.back().get()});
+  }
+  if (ctx.profile != nullptr) ctx.profile->morsels = tasks.size();
+  std::vector<std::vector<Oid>> partial(tasks.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, tasks.size(), [&](size_t t) {
+    return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
+                                    tasks[t].cursor,
+                                    [&](Oid oid, const MoodValue&) {
+                                      partial[t].push_back(oid);
+                                      return Status::OK();
+                                    });
+  }));
+  BatchAppender out(&bs, 1, ctx.batch);
+  for (const auto& part : partial) {
+    for (Oid o : part) out.Push(&o, 1);
+  }
+  return bs;
+}
+
+Result<BatchSet> Executor::ExecIndexSelectB(const PlanNode& node, Ctx& ctx) const {
+  BatchSet bs;
+  bs.vars = {node.from.var};
+  MOOD_ASSIGN_OR_RETURN(std::vector<Oid> current, RunIndexProbes(node, ctx));
+  BatchAppender out(&bs, 1, ctx.batch);
+  for (Oid o : current) out.Push(&o, 1);
+  return bs;
+}
+
+Status Executor::FilterBatch(const std::vector<ExprPtr>& preds,
+                             const std::vector<ExprProgramPtr>& programs,
+                             const std::vector<std::string>& vars, RowBatch* batch,
+                             Ctx& ctx) const {
+  if (batch->ActiveRows() == 0) return Status::OK();
+  ExprProgram::BatchScratch scratch;
+  BoundEnv benv;
+  // Serial-equivalent error choice: the serial loop is row-outer, so the
+  // surfaced error is the smallest row index that errors at its own first
+  // failing predicate — a later predicate pass can still find a *smaller*
+  // erroring row among the earlier survivors. Rows at or past the recorded
+  // error row leave the selection (the serial loop never reached them).
+  const uint32_t no_err = static_cast<uint32_t>(-1);
+  uint32_t err_row = no_err;
+  Status err;
+  std::vector<uint32_t> survivors;
+  for (size_t p = 0; p < preds.size(); p++) {
+    const size_t n = batch->ActiveRows();
+    if (n == 0) break;
+    survivors.clear();
+    if (programs[p] != nullptr) {
+      programs[p]->EvalPredicateBatch(*batch, ctx.cache, &scratch);
+      for (size_t k = 0; k < n; k++) {
+        uint32_t row = batch->RowAt(k);
+        if (row >= err_row) break;
+        bool keep = false;
+        switch (scratch.flags[k]) {
+          case ExprProgram::kRowOk:
+            keep = scratch.keep[k] != 0;
+            break;
+          case ExprProgram::kRowFallback: {
+            CountRuntimeFallback();
+            benv.BindRow(vars, *batch, row, ctx.cache);
+            auto r = evaluator_->EvalPredicate(preds[p], benv.env);
+            if (!r.ok()) {
+              err_row = row;
+              err = r.status();
+            } else {
+              keep = r.value();
+            }
+            break;
+          }
+          case ExprProgram::kRowError:
+            err_row = row;
+            err = scratch.errors[k];
+            break;
+        }
+        if (keep && row < err_row) survivors.push_back(row);
+      }
+    } else {
+      // Predicate the compiler refused: interpret the whole batch through the
+      // hoisted env.
+      for (size_t k = 0; k < n; k++) {
+        uint32_t row = batch->RowAt(k);
+        if (row >= err_row) break;
+        benv.BindRow(vars, *batch, row, ctx.cache);
+        auto r = evaluator_->EvalPredicate(preds[p], benv.env);
+        if (!r.ok()) {
+          err_row = row;
+          err = r.status();
+          break;
+        }
+        if (r.value()) survivors.push_back(row);
+      }
+    }
+    batch->sel.assign(survivors.begin(), survivors.end());
+    batch->sel_active = true;
+  }
+  if (err_row != no_err) return err;
+  return Status::OK();
+}
+
+Result<BatchSet> Executor::ExecFilterB(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(BatchSet child, ExecB(node.child, ctx));
+  std::vector<ExprProgramPtr> programs(node.predicates.size());
+  for (size_t p = 0; p < node.predicates.size(); p++) {
+    programs[p] = CompileExpr(node.predicates[p], child.vars, ctx);
+  }
+  // Whole batches are the morsel unit; each worker narrows its batch's
+  // selection vector in place, so the morsel-order "merge" is the identity.
+  if (ctx.profile != nullptr) ctx.profile->morsels = child.batches.size();
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, child.batches.size(), [&](size_t m) {
+    return FilterBatch(node.predicates, programs, child.vars, &child.batches[m], ctx);
+  }));
+  return child;
+}
+
+Result<BatchSet> Executor::ExecPointerJoinB(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(BatchSet left, ExecB(node.left, ctx));
+  MOOD_ASSIGN_OR_RETURN(BatchSet right, ExecB(node.right, ctx));
+  int ref_idx = left.VarIndex(node.ref_var);
+  int tgt_idx = right.VarIndex(node.target_var);
+  if (ref_idx < 0 || tgt_idx < 0) {
+    return Status::Internal("pointer join variables not bound by children");
+  }
+  BatchSet bs;
+  bs.vars = left.vars;
+  bs.vars.insert(bs.vars.end(), right.vars.begin(), right.vars.end());
+  const size_t lcols = left.vars.size();
+  const size_t ncols = bs.vars.size();
+
+  // The build side is addressed globally through a flat live index, so batch
+  // raggedness never shows in the probe results.
+  std::vector<std::pair<uint32_t, uint32_t>> ridx = right.LiveIndex();
+  std::unordered_map<uint64_t, std::vector<size_t>> right_by_oid;
+  for (size_t i = 0; i < ridx.size(); i++) {
+    Oid tgt = right.batches[ridx[i].first].col(static_cast<size_t>(tgt_idx))[ridx[i].second];
+    right_by_oid[tgt.Pack()].push_back(i);
+  }
+  auto gather_right = [&](size_t r, Oid* row) {
+    const RowBatch& rb = right.batches[ridx[r].first];
+    for (size_t c = 0; c < rb.nslots; c++) row[lcols + c] = rb.col(c)[ridx[r].second];
+  };
+
+  if (node.method == JoinMethod::kIndexed && node.ref_path.size() == 1) {
+    auto desc = objects_->catalog()->FindIndex(
+        node.left ? node.left->from.class_name : "", node.ref_path[0],
+        IndexKind::kBinaryJoin);
+    if (desc.has_value()) {
+      MOOD_ASSIGN_OR_RETURN(BinaryJoinIndex * bji, objects_->OpenJoinIndex(*desc));
+      std::vector<std::pair<uint32_t, uint32_t>> lidx = left.LiveIndex();
+      std::unordered_map<uint64_t, std::vector<size_t>> left_by_ref;
+      for (size_t i = 0; i < lidx.size(); i++) {
+        Oid ref =
+            left.batches[lidx[i].first].col(static_cast<size_t>(ref_idx))[lidx[i].second];
+        left_by_ref[ref.Pack()].push_back(i);
+      }
+      BatchAppender out(&bs, ncols, ctx.batch);
+      std::vector<Oid> rowbuf(ncols);
+      std::set<std::pair<size_t, size_t>> emitted;
+      for (size_t r = 0; r < ridx.size(); r++) {
+        Oid target =
+            right.batches[ridx[r].first].col(static_cast<size_t>(tgt_idx))[ridx[r].second];
+        MOOD_ASSIGN_OR_RETURN(auto sources, bji->Sources(target));
+        for (Oid src : sources) {
+          auto it = left_by_ref.find(src.Pack());
+          if (it == left_by_ref.end()) continue;
+          for (size_t l : it->second) {
+            if (!emitted.insert({l, r}).second) continue;
+            left.batches[lidx[l].first].GatherRow(lidx[l].second, rowbuf.data());
+            gather_right(r, rowbuf.data());
+            out.Push(rowbuf.data(), ncols);
+          }
+        }
+      }
+      return bs;
+    }
+  }
+
+  // Chase path: one task per left batch. Output batches are ragged at task
+  // boundaries — deterministic, because the input batch decomposition is.
+  if (ctx.profile != nullptr) ctx.profile->morsels = left.batches.size();
+  std::vector<BatchSet> partial(left.batches.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, left.batches.size(), [&](size_t m) {
+    const RowBatch& lb = left.batches[m];
+    BatchAppender out(&partial[m], ncols, ctx.batch);
+    std::vector<Oid> rowbuf(ncols);
+    for (size_t k = 0; k < lb.ActiveRows(); k++) {
+      lb.GatherRow(lb.RowAt(k), rowbuf.data());
+      Oid from = rowbuf[static_cast<size_t>(ref_idx)];
+      MOOD_RETURN_IF_ERROR(ChaseRefs(from, node.ref_path, ctx.cache, [&](Oid reached) {
+        auto it = right_by_oid.find(reached.Pack());
+        if (it != right_by_oid.end()) {
+          for (size_t r : it->second) {
+            gather_right(r, rowbuf.data());
+            out.Push(rowbuf.data(), ncols);
+          }
+        }
+        return Status::OK();
+      }));
+    }
+    return Status::OK();
+  }));
+  for (auto& part : partial) {
+    for (auto& b : part.batches) bs.batches.push_back(std::move(b));
+  }
+  return bs;
+}
+
+Result<BatchSet> Executor::ExecNestedLoopB(const PlanNode& node, Ctx& ctx) const {
+  MOOD_ASSIGN_OR_RETURN(BatchSet left, ExecB(node.left, ctx));
+  MOOD_ASSIGN_OR_RETURN(BatchSet right, ExecB(node.right, ctx));
+  BatchSet bs;
+  bs.vars = left.vars;
+  bs.vars.insert(bs.vars.end(), right.vars.begin(), right.vars.end());
+  const size_t lcols = left.vars.size();
+  const size_t ncols = bs.vars.size();
+  ExprProgramPtr join_prog = CompileExpr(node.join_pred, bs.vars, ctx);
+  std::vector<ExprPtr> preds;
+  std::vector<ExprProgramPtr> progs;
+  if (node.join_pred != nullptr) {
+    preds.push_back(node.join_pred);
+    progs.push_back(join_prog);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> ridx = right.LiveIndex();
+  if (ctx.profile != nullptr) ctx.profile->morsels = left.batches.size();
+  std::vector<BatchSet> partial(left.batches.size());
+  MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, left.batches.size(), [&](size_t m) {
+    const RowBatch& lb = left.batches[m];
+    BatchAppender out(&partial[m], ncols, ctx.batch);
+    // Candidate (lrow, rrow) pairs accumulate into a transient combined batch;
+    // each flush evaluates the join predicate batch-at-a-time and copies the
+    // survivors out. Pairs are generated in the serial (lrow, rrow) order, so
+    // batch boundaries never affect the results or the surfaced error.
+    RowBatch pair(ncols, ctx.batch);
+    std::vector<Oid> rowbuf(ncols);
+    std::vector<Oid> outbuf(ncols);
+    auto flush = [&]() -> Status {
+      if (pair.nrows == 0) return Status::OK();
+      if (!preds.empty()) {
+        MOOD_RETURN_IF_ERROR(FilterBatch(preds, progs, bs.vars, &pair, ctx));
+      }
+      for (size_t k = 0; k < pair.ActiveRows(); k++) {
+        pair.GatherRow(pair.RowAt(k), outbuf.data());
+        out.Push(outbuf.data(), ncols);
+      }
+      pair.Clear();
+      return Status::OK();
+    };
+    for (size_t k = 0; k < lb.ActiveRows(); k++) {
+      lb.GatherRow(lb.RowAt(k), rowbuf.data());
+      for (const auto& [rb, rrow] : ridx) {
+        const RowBatch& rbatch = right.batches[rb];
+        for (size_t c = 0; c < rbatch.nslots; c++) {
+          rowbuf[lcols + c] = rbatch.col(c)[rrow];
+        }
+        pair.PushRow(rowbuf.data(), ncols);
+        if (pair.Full()) MOOD_RETURN_IF_ERROR(flush());
+      }
+    }
+    return flush();
+  }));
+  for (auto& part : partial) {
+    for (auto& b : part.batches) bs.batches.push_back(std::move(b));
+  }
+  return bs;
+}
+
+Result<BatchSet> Executor::ExecUnionB(const PlanNode& node, Ctx& ctx) const {
+  if (node.children.empty()) return BatchSet{};
+  MOOD_ASSIGN_OR_RETURN(BatchSet first, ExecB(node.children[0], ctx));
+  std::set<std::vector<uint64_t>> seen;
+  BatchSet bs;
+  bs.vars = first.vars;
+  BatchAppender out(&bs, bs.vars.size(), ctx.batch);
+  std::vector<Oid> aligned(bs.vars.size());
+  std::vector<uint64_t> key(bs.vars.size());
+  auto add = [&](const BatchSet& child) -> Status {
+    std::vector<int> mapping(bs.vars.size());
+    for (size_t i = 0; i < bs.vars.size(); i++) {
+      mapping[i] = child.VarIndex(bs.vars[i]);
+      if (mapping[i] < 0) {
+        return Status::Internal("UNION children bind different range variables");
+      }
+    }
+    for (const RowBatch& b : child.batches) {
+      for (size_t k = 0; k < b.ActiveRows(); k++) {
+        uint32_t row = b.RowAt(k);
+        for (size_t i = 0; i < bs.vars.size(); i++) {
+          aligned[i] = b.col(static_cast<size_t>(mapping[i]))[row];
+          key[i] = aligned[i].Pack();
+        }
+        if (seen.insert(key).second) out.Push(aligned.data(), aligned.size());
+      }
+    }
+    return Status::OK();
+  };
+  MOOD_RETURN_IF_ERROR(add(first));
+  for (size_t c = 1; c < node.children.size(); c++) {
+    MOOD_ASSIGN_OR_RETURN(BatchSet child, ExecB(node.children[c], ctx));
+    MOOD_RETURN_IF_ERROR(add(child));
+  }
+  return bs;
+}
+
+Result<BatchSet> Executor::DispatchB(const PlanNode& node, Ctx& ctx) const {
+  switch (node.op) {
+    case PlanOp::kBindClass: return ExecBindB(node, ctx);
+    case PlanOp::kIndexSelect: return ExecIndexSelectB(node, ctx);
+    case PlanOp::kFilter: return ExecFilterB(node, ctx);
+    case PlanOp::kPointerJoin: return ExecPointerJoinB(node, ctx);
+    case PlanOp::kNestedLoopJoin: return ExecNestedLoopB(node, ctx);
+    case PlanOp::kUnion: return ExecUnionB(node, ctx);
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<BatchSet> Executor::ExecB(const PlanPtr& plan, Ctx& ctx) const {
+  if (ctx.profile == nullptr) {
+    Result<BatchSet> result = DispatchB(*plan, ctx);
+    if (result.ok()) {
+      if (batch_batches_ != nullptr) batch_batches_->Add(result.value().batches.size());
+      if (batch_rows_ != nullptr) batch_rows_->Add(result.value().ActiveRows());
+    }
+    return result;
+  }
+  QueryProfile* node = ctx.profile->AddChild(plan->Describe());
+  node->est_rows = plan->est_rows;
+  node->est_cost = plan->est_cost;
+  node->has_estimates = true;
+  BufferPoolStats before;
+  if (ctx.pool != nullptr) before = ctx.pool->stats();
+  uint64_t start = ProfileNowNs();
+  Ctx sub = ctx;
+  sub.profile = node;
+  Result<BatchSet> result = DispatchB(*plan, sub);
+  node->wall_ns = ProfileNowNs() - start;  // inclusive of children
+  if (ctx.pool != nullptr) {
+    BufferPoolStats after = ctx.pool->stats();
+    node->pool.hits = after.hits - before.hits;
+    node->pool.misses = after.misses - before.misses;
+    node->pool.evictions = after.evictions - before.evictions;
+    node->pool.prefetches = after.prefetches - before.prefetches;
+  }
+  if (result.ok()) {
+    node->rows_out = result.value().ActiveRows();
+    node->batches = result.value().batches.size();
+    uint64_t in = 0;
+    for (const auto& c : node->children) in += c->rows_out;
+    node->rows_in = in;
+    if (batch_batches_ != nullptr) batch_batches_->Add(result.value().batches.size());
+    if (batch_rows_ != nullptr) batch_rows_->Add(result.value().ActiveRows());
+  }
+  return result;
+}
+
 Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
   Ctx ctx;
   ctx.threads = options.threads == 0 ? threads_ : options.threads;
+  ctx.batch = ClampBatchSize(options.batch_size == ExecOptions::kInheritBatch
+                                 ? batch_size_
+                                 : options.batch_size);
   ctx.profile = options.profile;
   ctx.compile = options.compile_expressions;
   if (options.profile != nullptr && objects_->storage() != nullptr) {
@@ -569,7 +1052,11 @@ Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan,
   ctx.range_vars = &range_vars;
   DerefCache cache(capacity);
   ctx.cache = capacity > 0 ? &cache : nullptr;
-  Result<RowSet> result = Exec(plan, ctx);
+  Result<RowSet> result = [&]() -> Result<RowSet> {
+    if (ctx.batch == 0) return Exec(plan, ctx);
+    MOOD_ASSIGN_OR_RETURN(BatchSet bs, ExecB(plan, ctx));
+    return FlattenBatches(bs);
+  }();
   objects_->AccumulateDerefStats(cache.hits(), cache.misses());
   return result;
 }
@@ -726,24 +1213,201 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
   }
   pspan.End(result.rows.size());
 
-  if (stmt.distinct) {
-    StageSpan span = StageSpan::Begin(prof, "DISTINCT", result.rows.size());
-    std::vector<std::vector<MoodValue>> dedup;
-    for (auto& row : result.rows) {
-      bool seen = false;
-      for (const auto& d : dedup) {
-        bool all = d.size() == row.size();
-        for (size_t i = 0; all && i < d.size(); i++) all = d[i].Equals(row[i]);
-        if (all) {
-          seen = true;
-          break;
+  if (stmt.distinct) ApplyDistinct(&result, prof);
+  return result;
+}
+
+void Executor::EvalColumn(const ExprPtr& e, const ExprProgramPtr& prog,
+                          const BatchSet& bs, size_t limit, Ctx& ctx,
+                          ExprProgram::BatchScratch* scratch,
+                          std::vector<MoodValue>* out, size_t* err_row,
+                          Status* err) const {
+  // Evaluate one clause expression over every live row (in flat row order),
+  // stopping at `limit` — rows the serial evaluation would never have reached
+  // because an earlier expression already errored there.
+  out->resize(bs.ActiveRows());
+  *err_row = static_cast<size_t>(-1);
+  BoundEnv benv;
+  size_t base = 0;
+  for (const RowBatch& b : bs.batches) {
+    const size_t nb = b.ActiveRows();
+    if (base >= limit) break;
+    if (prog != nullptr) {
+      prog->EvalBatch(b, ctx.cache, scratch);
+      for (size_t k = 0; k < nb; k++) {
+        size_t g = base + k;
+        if (g >= limit) break;
+        switch (scratch->flags[k]) {
+          case ExprProgram::kRowOk:
+            (*out)[g] = std::move(scratch->values[k]);
+            break;
+          case ExprProgram::kRowFallback: {
+            CountRuntimeFallback();
+            benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache);
+            auto r = evaluator_->Eval(e, benv.env);
+            if (!r.ok()) {
+              *err_row = g;
+              *err = r.status();
+              return;
+            }
+            (*out)[g] = std::move(r).value();
+            break;
+          }
+          case ExprProgram::kRowError:
+            *err_row = g;
+            *err = scratch->errors[k];
+            return;
         }
       }
-      if (!seen) dedup.push_back(std::move(row));
+    } else {
+      for (size_t k = 0; k < nb; k++) {
+        size_t g = base + k;
+        if (g >= limit) break;
+        benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache);
+        auto r = evaluator_->Eval(e, benv.env);
+        if (!r.ok()) {
+          *err_row = g;
+          *err = r.status();
+          return;
+        }
+        (*out)[g] = std::move(r).value();
+      }
     }
-    result.rows = std::move(dedup);
-    span.End(result.rows.size());
+    base += nb;
   }
+}
+
+Status Executor::EvalColumns(const std::vector<ExprPtr>& exprs,
+                             const std::vector<ExprProgramPtr>& progs,
+                             const BatchSet& bs, Ctx& ctx,
+                             std::vector<std::vector<MoodValue>>* cols) const {
+  // The serial loop is row-outer / expression-inner, so the surfaced error is
+  // the minimum (row, expression index) pair. Column-wise evaluation recovers
+  // it: each column records its first erroring row; a later column only wins
+  // with a strictly smaller row (ties go to the earlier expression), and
+  // `limit` keeps later columns from touching rows past the best error.
+  cols->assign(exprs.size(), {});
+  ExprProgram::BatchScratch scratch;
+  size_t best_row = static_cast<size_t>(-1);
+  Status best;
+  for (size_t i = 0; i < exprs.size(); i++) {
+    size_t err_row;
+    Status err;
+    EvalColumn(exprs[i], progs[i], bs, best_row, ctx, &scratch, &(*cols)[i], &err_row,
+               &err);
+    if (err_row < best_row) {
+      best_row = err_row;
+      best = err;
+    }
+  }
+  if (best_row != static_cast<size_t>(-1)) return best;
+  return Status::OK();
+}
+
+Result<QueryResult> Executor::FinishB(const SelectStmt& stmt, BatchSet rows,
+                                      Ctx& ctx) const {
+  QueryProfile* prof = ctx.profile;
+  std::vector<ExprProgramPtr> group_progs(stmt.group_by.size());
+  for (size_t g = 0; g < stmt.group_by.size(); g++) {
+    group_progs[g] = CompileExpr(stmt.group_by[g], rows.vars, ctx);
+  }
+  ExprProgramPtr having_prog = CompileExpr(stmt.having, rows.vars, ctx);
+  std::vector<ExprProgramPtr> order_progs(stmt.order_by.size());
+  for (size_t o = 0; o < stmt.order_by.size(); o++) {
+    order_progs[o] = CompileExpr(stmt.order_by[o].expr, rows.vars, ctx);
+  }
+  std::vector<ExprProgramPtr> proj_progs(stmt.projection.size());
+  for (size_t p = 0; p < stmt.projection.size(); p++) {
+    proj_progs[p] = CompileExpr(stmt.projection[p], rows.vars, ctx);
+  }
+
+  // Rebuild `rows` keeping only the flat live indices in `order`.
+  auto repack = [&](const std::vector<size_t>& order) {
+    std::vector<std::pair<uint32_t, uint32_t>> lidx = rows.LiveIndex();
+    BatchSet next;
+    next.vars = rows.vars;
+    BatchAppender out(&next, rows.vars.size(), ctx.batch == 0 ? 1 : ctx.batch);
+    std::vector<Oid> rowbuf(rows.vars.size());
+    for (size_t i : order) {
+      const RowBatch& b = rows.batches[lidx[i].first];
+      b.GatherRow(lidx[i].second, rowbuf.data());
+      out.Push(rowbuf.data(), rowbuf.size());
+    }
+    rows = std::move(next);
+  };
+
+  if (!stmt.group_by.empty()) {
+    StageSpan span = StageSpan::Begin(prof, "GROUP BY", rows.ActiveRows());
+    std::vector<std::vector<MoodValue>> keys;
+    MOOD_RETURN_IF_ERROR(EvalColumns(stmt.group_by, group_progs, rows, ctx, &keys));
+    std::map<std::string, size_t> groups;
+    const size_t n = rows.ActiveRows();
+    for (size_t i = 0; i < n; i++) {
+      std::string key;
+      for (size_t g = 0; g < stmt.group_by.size(); g++) keys[g][i].EncodeTo(&key);
+      groups.emplace(std::move(key), i);
+    }
+    std::vector<size_t> order;
+    order.reserve(groups.size());
+    for (const auto& [key, i] : groups) order.push_back(i);
+    repack(order);
+    span.End(rows.ActiveRows());
+    if (stmt.having != nullptr) {
+      StageSpan hspan = StageSpan::Begin(prof, "HAVING", rows.ActiveRows());
+      std::vector<ExprPtr> preds = {stmt.having};
+      std::vector<ExprProgramPtr> progs = {having_prog};
+      for (RowBatch& b : rows.batches) {
+        MOOD_RETURN_IF_ERROR(FilterBatch(preds, progs, rows.vars, &b, ctx));
+      }
+      hspan.End(rows.ActiveRows());
+    }
+  }
+
+  if (!stmt.order_by.empty()) {
+    StageSpan span = StageSpan::Begin(prof, "ORDER BY", rows.ActiveRows());
+    std::vector<ExprPtr> key_exprs;
+    for (const auto& ob : stmt.order_by) key_exprs.push_back(ob.expr);
+    std::vector<std::vector<MoodValue>> keys;
+    MOOD_RETURN_IF_ERROR(EvalColumns(key_exprs, order_progs, rows, ctx, &keys));
+    std::vector<size_t> order(rows.ActiveRows());
+    for (size_t i = 0; i < order.size(); i++) order[i] = i;
+    Status cmp_error;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t i = 0; i < stmt.order_by.size(); i++) {
+        auto c = keys[i][a].Compare(keys[i][b]);
+        if (!c.ok()) {
+          if (cmp_error.ok()) cmp_error = c.status();
+          return false;
+        }
+        if (c.value() != 0) {
+          return stmt.order_by[i].ascending ? c.value() < 0 : c.value() > 0;
+        }
+      }
+      return false;
+    });
+    MOOD_RETURN_IF_ERROR(cmp_error);
+    repack(order);
+    span.End(rows.ActiveRows());
+  }
+
+  StageSpan pspan = StageSpan::Begin(prof, "PROJECT", rows.ActiveRows());
+  QueryResult result;
+  for (const auto& p : stmt.projection) result.columns.push_back(p->ToString());
+  std::vector<std::vector<MoodValue>> cols;
+  MOOD_RETURN_IF_ERROR(EvalColumns(stmt.projection, proj_progs, rows, ctx, &cols));
+  const size_t n = rows.ActiveRows();
+  result.rows.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    std::vector<MoodValue> out;
+    out.reserve(stmt.projection.size());
+    for (size_t p = 0; p < stmt.projection.size(); p++) {
+      out.push_back(std::move(cols[p][i]));
+    }
+    result.rows.push_back(std::move(out));
+  }
+  pspan.End(result.rows.size());
+
+  if (stmt.distinct) ApplyDistinct(&result, prof);
   return result;
 }
 
@@ -769,6 +1433,17 @@ Result<QueryResult> Executor::ExecuteSelect(const QueryOptimizer::Optimized& opt
   // folds into the engine-wide objects.deref_cache.* metrics when it dies.
   DerefCache cache(capacity);
   ctx.cache = capacity > 0 ? &cache : nullptr;
+  if (ctx.batch > 0) {
+    Result<BatchSet> bs = ExecB(optimized.plan, ctx);
+    if (!bs.ok()) {
+      objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+      return bs.status();
+    }
+    Result<QueryResult> result =
+        FinishB(optimized.bound.stmt, std::move(bs).value(), ctx);
+    objects_->AccumulateDerefStats(cache.hits(), cache.misses());
+    return result;
+  }
   Result<RowSet> rows = Exec(optimized.plan, ctx);
   if (!rows.ok()) {
     objects_->AccumulateDerefStats(cache.hits(), cache.misses());

@@ -6,6 +6,8 @@
 
 #include "algebra/operators.h"
 #include "exec/expr_compile.h"
+#include "exec/parallel.h"
+#include "exec/row_batch.h"
 #include "objects/object_manager.h"
 #include "optimizer/optimizer.h"
 #include "sql/evaluator.h"
@@ -44,12 +46,18 @@ struct QueryResult {
 struct ExecOptions {
   /// Sentinel: use the executor's configured deref-cache capacity.
   static constexpr size_t kInheritCache = static_cast<size_t>(-1);
+  /// Sentinel: use the executor's configured batch size.
+  static constexpr size_t kInheritBatch = static_cast<size_t>(-1);
 
   /// Worker threads for this call; 0 = the executor default (set_threads).
   size_t threads = 0;
   /// Per-query Deref cache capacity in entries; kInheritCache = the executor
   /// default, 0 disables the cache for this call.
   size_t deref_cache_entries = kInheritCache;
+  /// Rows per execution batch; kInheritBatch = the executor default, 0 runs
+  /// the row-at-a-time path (the differential-testing oracle and the exact
+  /// pre-batching behavior). Values above kMaxBatchRows are clamped.
+  size_t batch_size = kInheritBatch;
   /// When non-null, per-operator actuals (rows in/out, morsels, wall time,
   /// buffer-pool deltas) are recorded as children of this node. Null (the
   /// default) skips every profiling hook behind a single inlined pointer test,
@@ -65,11 +73,20 @@ struct ExecOptions {
 /// pipeline of Figure 7.1: FROM -> WHERE -> GROUP BY -> HAVING -> SELECT
 /// (projection) -> ORDER BY.
 ///
+/// Operators run batch-at-a-time by default: they exchange fixed-size
+/// RowBatches (column-major Oid slots plus a selection vector), expressions
+/// evaluate through ExprProgram::EvalBatch's columnar loops, and the morsel
+/// scheduler hands workers whole batches. batch_size = 0 selects the original
+/// row-at-a-time operators — kept intact as the differential-testing oracle
+/// (tests/batch_exec_test.cc proves the two paths produce identical results
+/// and error statuses).
+///
 /// With threads > 1 the operators use morsel-driven intra-query parallelism:
 /// extent scans partition into extent pages, filters and join probe sides into
-/// fixed-size row morsels, and index selections into per-probe tasks. Partial
-/// results are merged in morsel order, so the produced RowSet is byte-identical
-/// to serial execution (the determinism property parallel_exec_test asserts).
+/// fixed-size row morsels (whole batches in batch mode), and index selections
+/// into per-probe tasks. Partial results are merged in morsel order, so the
+/// produced RowSet is byte-identical to serial execution (the determinism
+/// property parallel_exec_test asserts).
 /// Only read paths run concurrently; the kernel structures underneath
 /// (BufferPool, HeapFile/BpTree reads, FunctionManager invocation) are
 /// concurrent-read safe, while Catalog/ObjectManager schema state must not be
@@ -93,6 +110,11 @@ class Executor {
   void set_deref_cache_capacity(size_t entries) { deref_cache_capacity_ = entries; }
   size_t deref_cache_capacity() const { return deref_cache_capacity_; }
 
+  /// Default rows per execution batch; 0 = row-at-a-time (oracle mode).
+  /// Deprecated as a per-query knob: pass ExecOptions::batch_size.
+  void set_batch_size(size_t rows) { batch_size_ = ClampBatchSize(rows); }
+  size_t batch_size() const { return batch_size_; }
+
   Result<RowSet> ExecutePlan(const PlanPtr& plan) const;
   Result<RowSet> ExecutePlan(const PlanPtr& plan, const ExecOptions& options) const;
 
@@ -114,6 +136,14 @@ class Executor {
     expr_folded_ = folded;
   }
 
+  /// Wires the exec.batch.* counters (registered by Database::Open): RowBatches
+  /// produced by batch-mode operators and the live rows they carried. Both stay
+  /// flat in row-at-a-time (batch_size = 0) mode.
+  void SetBatchMetrics(MetricCounter* batches, MetricCounter* rows) {
+    batch_batches_ = batches;
+    batch_rows_ = rows;
+  }
+
   /// EXPLAIN VERBOSE support: dry-run compiles each Filter/NestedLoop
   /// expression and stamps the node's `note` with "exprs: compiled" /
   /// "exprs: interpreted" (or "exprs: mixed").
@@ -125,6 +155,7 @@ class Executor {
   /// the profile node operator children attach under (null = profiling off).
   struct Ctx {
     size_t threads = 1;
+    size_t batch = 0;            ///< rows per batch; 0 = row-at-a-time operators
     DerefCache* cache = nullptr;
     QueryProfile* profile = nullptr;
     BufferPool* pool = nullptr;  ///< sampled for per-operator deltas when profiling
@@ -144,6 +175,46 @@ class Executor {
   Result<RowSet> ExecUnion(const PlanNode& node, Ctx& ctx) const;
 
   Result<QueryResult> Finish(const SelectStmt& stmt, RowSet rows, Ctx& ctx) const;
+
+  // Batch-at-a-time operator path (ctx.batch > 0). Mirrors the row operators
+  // one for one; the row path above is kept verbatim as the oracle.
+  Result<BatchSet> ExecB(const PlanPtr& plan, Ctx& ctx) const;
+  Result<BatchSet> DispatchB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecBindB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecIndexSelectB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecFilterB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecPointerJoinB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecNestedLoopB(const PlanNode& node, Ctx& ctx) const;
+  Result<BatchSet> ExecUnionB(const PlanNode& node, Ctx& ctx) const;
+
+  Result<QueryResult> FinishB(const SelectStmt& stmt, BatchSet rows, Ctx& ctx) const;
+
+  /// Applies one predicate chain to a batch, rewriting its selection vector in
+  /// place. Reproduces the serial row loop exactly: predicates run in order
+  /// with short-circuit, fallback rows re-evaluate through a per-batch hoisted
+  /// interpreter env, and the returned status is the error of the smallest row
+  /// index that fails (rows at or past it are dropped from the selection —
+  /// the serial loop never reached them).
+  Status FilterBatch(const std::vector<ExprPtr>& preds,
+                     const std::vector<ExprProgramPtr>& programs,
+                     const std::vector<std::string>& vars, RowBatch* batch,
+                     Ctx& ctx) const;
+
+  /// Evaluates one clause expression for every live row of `bs` (row order),
+  /// appending into `out`. Rows at or past `limit` are skipped (a smaller-row
+  /// error in an earlier column already decided the query). On a row error,
+  /// records its row index and status instead of filling the value.
+  void EvalColumn(const ExprPtr& e, const ExprProgramPtr& prog, const BatchSet& bs,
+                  size_t limit, Ctx& ctx, ExprProgram::BatchScratch* scratch,
+                  std::vector<MoodValue>* out, size_t* err_row, Status* err) const;
+
+  /// Column-wise evaluation of a clause's expression list with the serial
+  /// loop's error ordering: the surfaced error is the candidate with the
+  /// smallest (row, expression-index) — exactly what the row-outer,
+  /// expression-inner serial loop hits first.
+  Status EvalColumns(const std::vector<ExprPtr>& exprs,
+                     const std::vector<ExprProgramPtr>& progs, const BatchSet& bs,
+                     Ctx& ctx, std::vector<std::vector<MoodValue>>* cols) const;
 
   /// Resolves ExecOptions inherit-sentinels (threads, profiling pool handle)
   /// against the executor defaults. The deref-cache capacity resolves at the
@@ -172,14 +243,20 @@ class Executor {
   Status ChaseRefs(Oid from, const std::vector<std::string>& path, DerefCache* cache,
                    const std::function<Status(Oid)>& fn) const;
 
+  /// Shared probe/intersect step of kIndexSelect (both execution modes).
+  Result<std::vector<Oid>> RunIndexProbes(const PlanNode& node, Ctx& ctx) const;
+
   ObjectManager* objects_;
   Evaluator* evaluator_;
   MoodAlgebra* algebra_;
   size_t threads_ = 1;
   size_t deref_cache_capacity_ = 4096;
+  size_t batch_size_ = kDefaultBatchRows;
   MetricCounter* expr_compiled_ = nullptr;
   MetricCounter* expr_fallback_ = nullptr;
   MetricCounter* expr_folded_ = nullptr;
+  MetricCounter* batch_batches_ = nullptr;
+  MetricCounter* batch_rows_ = nullptr;
 };
 
 }  // namespace mood

@@ -347,6 +347,267 @@ Result<bool> ExprProgram::EvalPredicate(const Oid* slots, size_t nslots,
   return o.AsBool();
 }
 
+bool ExprProgram::has_jumps() const {
+  for (const Instr& ins : code_) {
+    if (ins.op == OpCode::kJumpIfFalse || ins.op == OpCode::kJumpIfTrue) return true;
+  }
+  return false;
+}
+
+void ExprProgram::EvalBatch(const RowBatch& batch, DerefCache* cache,
+                            BatchScratch* s) const {
+  const size_t n = batch.ActiveRows();
+  s->flags.assign(n, kRowOk);
+  s->values.resize(n);
+  s->errors.clear();
+  s->errors.resize(n);
+  if (n == 0) return;
+
+  if (has_jumps()) {
+    // Short-circuit jumps make control flow diverge per row; run the row
+    // machine over a row-major slot gather. Dispatch is not amortized here,
+    // but DNF splitting keeps jumps out of the hot filter predicates.
+    s->rowbuf.resize(batch.nslots);
+    for (size_t k = 0; k < n; k++) {
+      batch.GatherRow(batch.RowAt(k), s->rowbuf.data());
+      bool need_fallback = false;
+      auto r = Eval(s->rowbuf.data(), batch.nslots, cache, &s->row, &need_fallback);
+      if (!r.ok()) {
+        s->flags[k] = kRowError;
+        s->errors[k] = r.status();
+      } else if (need_fallback) {
+        s->flags[k] = kRowFallback;
+      } else {
+        s->values[k] = std::move(r).value();
+      }
+    }
+    return;
+  }
+
+  // Columnar path: every opcode runs as one tight loop over the live rows.
+  // The stack holds columns instead of scalars; `live` lists the rows still
+  // executing (a row leaves the moment it errors or needs the interpreter).
+  // The push/pop discipline is row-independent, so all rows agree on the
+  // stack shape at every pc.
+  auto& live = s->live;
+  live.resize(n);
+  for (size_t k = 0; k < n; k++) live[k] = static_cast<uint32_t>(k);
+  s->top = 0;
+  auto push = [&]() -> BatchScratch::Col& {
+    if (s->stack.size() <= s->top) s->stack.emplace_back();
+    BatchScratch::Col& c = s->stack[s->top++];
+    c.is_const = false;
+    if (c.v.size() < n) c.v.resize(n);
+    return c;
+  };
+  auto val = [](const BatchScratch::Col& c, uint32_t k) -> const MoodValue& {
+    return c.is_const ? c.cval : c.v[k];
+  };
+  auto fail = [&](uint32_t k, Status st) {
+    s->flags[k] = kRowError;
+    s->errors[k] = std::move(st);
+  };
+
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case OpCode::kPushConst: {
+        BatchScratch::Col& c = push();
+        c.is_const = true;
+        c.cval = consts_[ins.a];
+        break;
+      }
+      case OpCode::kLoadSlot: {
+        BatchScratch::Col& c = push();
+        const Oid* col = batch.col(ins.a);
+        for (uint32_t k : live) c.v[k] = MoodValue::Reference(col[batch.RowAt(k)]);
+        break;
+      }
+      case OpCode::kLoadAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        BatchScratch::Col& c = push();
+        const Oid* col = batch.col(ins.a);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          auto r = objects_->GetAttributeByOrdinal(col[batch.RowAt(k)], *ar.layout,
+                                                   ar.ordinal, cache);
+          if (!r.ok()) {
+            if (r.status().IsNotFound()) {
+              s->flags[k] = kRowFallback;
+            } else {
+              fail(k, r.status());
+            }
+            continue;
+          }
+          c.v[k] = std::move(r).value();
+          live[w++] = k;
+        }
+        live.resize(w);
+        break;
+      }
+      case OpCode::kDerefAttr: {
+        const AttrRef& ar = attrs_[ins.b];
+        BatchScratch::Col& c = s->stack[s->top - 1];
+        if (c.v.size() < n) c.v.resize(n);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          const MoodValue& v = val(c, k);
+          if (v.is_null()) {
+            c.v[k] = MoodValue::Null();
+            live[w++] = k;
+            continue;
+          }
+          if (v.IsCollection()) {
+            s->flags[k] = kRowFallback;
+            continue;
+          }
+          if (v.kind() != ValueKind::kReference) {
+            fail(k, Status::TypeError("path step '" + ar.name +
+                                      "' applied to a non-reference value"));
+            continue;
+          }
+          auto r = objects_->GetAttributeByOrdinal(v.AsReference(), *ar.layout,
+                                                   ar.ordinal, cache);
+          if (!r.ok()) {
+            if (r.status().IsNotFound()) {
+              s->flags[k] = kRowFallback;
+            } else {
+              fail(k, r.status());
+            }
+            continue;
+          }
+          c.v[k] = std::move(r).value();
+          live[w++] = k;
+        }
+        c.is_const = false;
+        live.resize(w);
+        break;
+      }
+      case OpCode::kBinaryArith: {
+        BatchScratch::Col& rhs = s->stack[s->top - 1];
+        BatchScratch::Col& lhs = s->stack[s->top - 2];
+        if (lhs.v.size() < n) lhs.v.resize(n);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          OperandDataType x = OperandDataType::FromValue(val(lhs, k));
+          OperandDataType y = OperandDataType::FromValue(val(rhs, k));
+          OperandDataType r(DataTypeCode::kInt32);
+          switch (static_cast<BinaryOp>(ins.a)) {
+            case BinaryOp::kAdd: r = x + y; break;
+            case BinaryOp::kSub: r = x - y; break;
+            case BinaryOp::kMul: r = x * y; break;
+            case BinaryOp::kDiv: r = x / y; break;
+            case BinaryOp::kMod: r = x % y; break;
+            default:
+              fail(k, Status::Internal("unhandled binary operator"));
+              continue;
+          }
+          auto out = r.ToValue();
+          if (!out.ok()) {
+            fail(k, out.status());
+            continue;
+          }
+          lhs.v[k] = std::move(out).value();
+          live[w++] = k;
+        }
+        lhs.is_const = false;
+        live.resize(w);
+        s->top--;
+        break;
+      }
+      case OpCode::kCompare: {
+        BatchScratch::Col& rhs = s->stack[s->top - 1];
+        BatchScratch::Col& lhs = s->stack[s->top - 2];
+        if (lhs.v.size() < n) lhs.v.resize(n);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          auto b = Evaluator::Compare(static_cast<BinaryOp>(ins.a), val(lhs, k),
+                                      val(rhs, k));
+          if (!b.ok()) {
+            fail(k, b.status());
+            continue;
+          }
+          lhs.v[k] = MoodValue::Boolean(b.value());
+          live[w++] = k;
+        }
+        lhs.is_const = false;
+        live.resize(w);
+        s->top--;
+        break;
+      }
+      case OpCode::kUnary: {
+        BatchScratch::Col& c = s->stack[s->top - 1];
+        if (c.v.size() < n) c.v.resize(n);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          OperandDataType o = OperandDataType::FromValue(val(c, k));
+          auto r = static_cast<UnaryOp>(ins.a) == UnaryOp::kNeg ? (-o).ToValue()
+                                                                : (!o).ToValue();
+          if (!r.ok()) {
+            fail(k, r.status());
+            continue;
+          }
+          c.v[k] = std::move(r).value();
+          live[w++] = k;
+        }
+        c.is_const = false;
+        live.resize(w);
+        break;
+      }
+      case OpCode::kCoerceBool: {
+        BatchScratch::Col& c = s->stack[s->top - 1];
+        if (c.v.size() < n) c.v.resize(n);
+        size_t w = 0;
+        for (uint32_t k : live) {
+          OperandDataType o = OperandDataType::FromValue(val(c, k));
+          auto b = o.AsBool();
+          if (!b.ok()) {
+            fail(k, b.status());
+            continue;
+          }
+          c.v[k] = MoodValue::Boolean(b.value());
+          live[w++] = k;
+        }
+        c.is_const = false;
+        live.resize(w);
+        break;
+      }
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue:
+        // Unreachable: has_jumps() routed jumpful programs to the row machine.
+        break;
+    }
+  }
+
+  if (s->top != 1) {
+    Status st = Status::Internal("expression program stack imbalance");
+    for (uint32_t k : live) fail(k, st);
+    return;
+  }
+  BatchScratch::Col& res = s->stack[0];
+  for (uint32_t k : live) {
+    s->values[k] = res.is_const ? res.cval : std::move(res.v[k]);
+  }
+}
+
+void ExprProgram::EvalPredicateBatch(const RowBatch& batch, DerefCache* cache,
+                                     BatchScratch* s) const {
+  EvalBatch(batch, cache, s);
+  const size_t n = batch.ActiveRows();
+  s->keep.assign(n, 0);
+  for (size_t k = 0; k < n; k++) {
+    if (s->flags[k] != kRowOk) continue;
+    const MoodValue& v = s->values[k];
+    if (v.is_null()) continue;  // null => false, as in EvalPredicate
+    auto b = OperandDataType::FromValue(v).AsBool();
+    if (!b.ok()) {
+      s->flags[k] = kRowError;
+      s->errors[k] = b.status();
+      continue;
+    }
+    s->keep[k] = b.value() ? 1 : 0;
+  }
+}
+
 std::string ExprProgram::ToString() const {
   std::string out;
   char buf[64];

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "objects/object_manager.h"
 #include "sql/ast.h"
 
@@ -70,6 +71,60 @@ class ExprProgram {
   /// Predicate wrapper with the interpreter's truth rules (null => false).
   Result<bool> EvalPredicate(const Oid* slots, size_t nslots, DerefCache* cache,
                              Scratch* scratch, bool* need_fallback) const;
+
+  /// Per-row outcome of a batch evaluation.
+  enum RowFlag : uint8_t {
+    kRowOk = 0,        ///< values[k] (or keep[k]) holds the row's result
+    kRowFallback = 1,  ///< re-evaluate this row through the interpreter
+    kRowError = 2,     ///< errors[k] is the interpreter-identical status
+  };
+
+  /// Reusable columnar evaluation state for EvalBatch; one instance per worker,
+  /// reused across batches so the column vectors never reallocate once warm.
+  /// The output vectors are indexed by live-row position k in
+  /// [0, batch.ActiveRows()), i.e. selection order, not raw row index.
+  struct BatchScratch {
+    std::vector<MoodValue> values;  ///< per-row results (kRowOk rows)
+    std::vector<uint8_t> flags;     ///< per-row RowFlag
+    std::vector<Status> errors;     ///< per-row statuses (kRowError rows)
+    std::vector<uint8_t> keep;      ///< EvalPredicateBatch verdicts (kRowOk rows)
+
+    // -- internals --
+    /// One operand-stack column. A constant operand stays a single broadcast
+    /// value (`is_const`), so PushConst never copies per row.
+    struct Col {
+      bool is_const = false;
+      MoodValue cval;
+      std::vector<MoodValue> v;
+    };
+    std::vector<Col> stack;
+    size_t top = 0;
+    std::vector<uint32_t> live;
+    Scratch row;               ///< row machine state for programs with jumps
+    std::vector<Oid> rowbuf;   ///< row-major slot gather for the row machine
+  };
+
+  /// Evaluates the program once per live row of `batch`, amortizing opcode
+  /// dispatch across the batch: jump-free programs (the common case after DNF
+  /// splitting) run every opcode as one tight loop over a columnar operand
+  /// stack; programs with short-circuit jumps diverge per row, so they run the
+  /// row machine internally over a slot gather. A row stops executing the
+  /// moment it errors or needs the interpreter — the other rows keep
+  /// streaming. Never fails as a whole: per-row outcomes land in
+  /// scratch->flags/values/errors, and the caller owns first-error ordering
+  /// (walk the rows in selection order, exactly like the serial loop).
+  void EvalBatch(const RowBatch& batch, DerefCache* cache, BatchScratch* scratch) const;
+
+  /// Predicate form of EvalBatch: scratch->keep[k] is set for kRowOk rows with
+  /// the interpreter's truth rules (null => false); a value AsBool() rejects
+  /// turns the row into kRowError, matching EvalPredicate.
+  void EvalPredicateBatch(const RowBatch& batch, DerefCache* cache,
+                          BatchScratch* scratch) const;
+
+  /// True when the program contains short-circuit jumps (per-row control
+  /// flow); EvalBatch then runs rows through the row machine instead of the
+  /// columnar loops.
+  bool has_jumps() const;
 
   /// Deterministic bytecode dump (golden-tested), e.g.
   ///   0000 LoadAttr    s0 a0 (cylinders)

@@ -12,6 +12,11 @@ size_t DefaultExecThreads() {
   return n == 0 ? 1 : static_cast<size_t>(n);
 }
 
+size_t ClampBatchSize(size_t requested) {
+  if (requested == 0) return 0;
+  return std::min(requested, kMaxBatchRows);
+}
+
 std::vector<Morsel> MakeMorsels(size_t n, size_t morsel_size) {
   if (morsel_size == 0) morsel_size = 1;
   std::vector<Morsel> morsels;

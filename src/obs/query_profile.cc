@@ -24,10 +24,21 @@ std::string QueryProfile::Render(const RenderOptions& options) const {
     std::snprintf(buf, sizeof(buf), "  (est rows=%.2f cost=%.3f)", est_rows, est_cost);
     out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "  (actual rows=%llu in=%llu morsels=%llu)",
-                static_cast<unsigned long long>(rows_out),
-                static_cast<unsigned long long>(rows_in),
-                static_cast<unsigned long long>(morsels));
+  // `batches` appears only in batch mode, so row-at-a-time renderings are
+  // byte-identical to what they were before batch execution existed.
+  if (batches > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  (actual rows=%llu in=%llu morsels=%llu batches=%llu)",
+                  static_cast<unsigned long long>(rows_out),
+                  static_cast<unsigned long long>(rows_in),
+                  static_cast<unsigned long long>(morsels),
+                  static_cast<unsigned long long>(batches));
+  } else {
+    std::snprintf(buf, sizeof(buf), "  (actual rows=%llu in=%llu morsels=%llu)",
+                  static_cast<unsigned long long>(rows_out),
+                  static_cast<unsigned long long>(rows_in),
+                  static_cast<unsigned long long>(morsels));
+  }
   out += buf;
   if (has_estimates && est_rows > 0 && rows_out > 0) {
     double actual = static_cast<double>(rows_out);
@@ -93,6 +104,11 @@ std::string QueryProfile::ToJson(const RenderOptions& options) const {
                 static_cast<unsigned long long>(rows_in),
                 static_cast<unsigned long long>(morsels));
   out += buf;
+  if (batches > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"batches\":%llu",
+                  static_cast<unsigned long long>(batches));
+    out += buf;
+  }
   if (options.timing) {
     std::snprintf(buf, sizeof(buf), ",\"time_ms\":%.3f",
                   static_cast<double>(wall_ns) / 1e6);

@@ -35,7 +35,7 @@ struct PoolDelta {
 /// Determinism contract: every field except `wall_ns` and `pool` is a pure
 /// function of the query and the data — morsel workers accumulate into
 /// per-morsel partials that the executor folds in morsel order, so
-/// `rows_in`/`rows_out`/`morsels` are identical at any thread count.
+/// `rows_in`/`rows_out`/`morsels`/`batches` are identical at any thread count.
 /// Render(timing=false) emits only the deterministic fields (what the
 /// golden-shape tests compare across exec_threads ∈ {1,2,8}).
 struct QueryProfile {
@@ -51,6 +51,7 @@ struct QueryProfile {
   uint64_t rows_in = 0;    ///< rows consumed from children (0 for leaves)
   uint64_t rows_out = 0;   ///< rows produced
   uint64_t morsels = 0;    ///< parallel work units dispatched (0 = inline)
+  uint64_t batches = 0;    ///< RowBatches produced (0 = row-at-a-time mode)
   uint64_t wall_ns = 0;    ///< inclusive wall time on the coordinating thread
   PoolDelta pool;          ///< inclusive buffer-pool delta
 

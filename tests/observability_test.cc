@@ -205,49 +205,57 @@ TEST_F(ObsFixture, ExplainAnalyzeStatementHasActuals) {
 }
 
 // Golden shape: every plan operator line carries estimates and actuals, and
-// the deterministic rendering is identical across worker-thread counts.
+// the deterministic rendering is identical across worker-thread counts, in
+// both row-at-a-time (batch_size = 0) and batched execution.
 TEST_F(ObsFixture, ExplainAnalyzeGoldenShapeAndThreadDeterminism) {
   for (const char* sql : {paperdb::kExample81Query, paperdb::kExample82Query}) {
-    QueryProfile::RenderOptions stable;
-    stable.timing = false;
-    stable.buffer = false;
-    std::string baseline;
-    for (size_t threads : {1u, 2u, 8u}) {
-      ExplainOptions options;
-      options.analyze = true;
-      options.query.exec_threads = threads;
-      MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult res, db_.Explain(sql, options));
-      ASSERT_TRUE(res.analyzed);
-      ASSERT_NE(res.profile, nullptr);
-      // Optimizer temp-variable names (_tN) come from a counter that advances
-      // across queries; normalize them so only real shape differences count.
-      std::string rendered = std::regex_replace(res.profile->Render(stable),
-                                                std::regex("_t[0-9]+"), "_t#");
-      // Each operator line pairs (est ...) with (actual ...).
-      size_t lines = 0;
-      std::istringstream in(rendered);
-      std::string line;
-      while (std::getline(in, line)) {
-        lines++;
-        EXPECT_NE(line.find("actual rows="), std::string::npos) << line;
-        if (line.find("RESULT") == std::string::npos &&
-            line.find("PROJECT") == std::string::npos &&
-            line.find("ORDER BY") == std::string::npos &&
-            line.find("GROUP BY") == std::string::npos &&
-            line.find("HAVING") == std::string::npos &&
-            line.find("DISTINCT") == std::string::npos) {
-          EXPECT_NE(line.find("est rows="), std::string::npos) << line;
+    for (size_t batch : {size_t{0}, size_t{1024}}) {
+      QueryProfile::RenderOptions stable;
+      stable.timing = false;
+      stable.buffer = false;
+      std::string baseline;
+      for (size_t threads : {1u, 2u, 8u}) {
+        ExplainOptions options;
+        options.analyze = true;
+        options.query.exec_threads = threads;
+        options.query.batch_size = batch;
+        MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult res, db_.Explain(sql, options));
+        ASSERT_TRUE(res.analyzed);
+        ASSERT_NE(res.profile, nullptr);
+        // Optimizer temp-variable names (_tN) come from a counter that advances
+        // across queries; normalize them so only real shape differences count.
+        std::string rendered = std::regex_replace(res.profile->Render(stable),
+                                                  std::regex("_t[0-9]+"), "_t#");
+        // Each operator line pairs (est ...) with (actual ...); the batches=
+        // field appears only in batch mode (row-mode renderings are unchanged).
+        size_t lines = 0;
+        bool saw_batches = false;
+        std::istringstream in(rendered);
+        std::string line;
+        while (std::getline(in, line)) {
+          lines++;
+          EXPECT_NE(line.find("actual rows="), std::string::npos) << line;
+          if (line.find("batches=") != std::string::npos) saw_batches = true;
+          if (line.find("RESULT") == std::string::npos &&
+              line.find("PROJECT") == std::string::npos &&
+              line.find("ORDER BY") == std::string::npos &&
+              line.find("GROUP BY") == std::string::npos &&
+              line.find("HAVING") == std::string::npos &&
+              line.find("DISTINCT") == std::string::npos) {
+            EXPECT_NE(line.find("est rows="), std::string::npos) << line;
+          }
         }
+        EXPECT_GE(lines, 3u) << rendered;
+        EXPECT_EQ(saw_batches, batch > 0) << rendered;
+        if (baseline.empty()) {
+          baseline = rendered;
+        } else {
+          EXPECT_EQ(rendered, baseline)
+              << sql << " render differs at threads=" << threads << " batch=" << batch;
+        }
+        // The analyzed run also returns the query's rows.
+        EXPECT_EQ(res.result.rows.size(), res.profile->rows_out);
       }
-      EXPECT_GE(lines, 3u) << rendered;
-      if (baseline.empty()) {
-        baseline = rendered;
-      } else {
-        EXPECT_EQ(rendered, baseline)
-            << sql << " render differs at threads=" << threads;
-      }
-      // The analyzed run also returns the query's rows.
-      EXPECT_EQ(res.result.rows.size(), res.profile->rows_out);
     }
   }
 }

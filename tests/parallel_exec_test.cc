@@ -135,34 +135,47 @@ class ParallelExecFixture : public ::testing::Test {
     return {false, true};
   }
 
-  /// Oracle: serial, interpreted. Every (compile mode, thread count)
-  /// combination must match it byte-for-byte.
+  /// Batch sizes the sweep exercises: row-at-a-time (0), a small size that
+  /// forces many partial batches, and the default. MOOD_TEST_BATCH=<n> narrows
+  /// the axis the same way MOOD_TEST_THREADS does.
+  static std::vector<size_t> TestBatchSizes() {
+    const char* env = std::getenv("MOOD_TEST_BATCH");
+    if (env != nullptr) return {static_cast<size_t>(std::atoi(env))};
+    return {0, 7, 1024};
+  }
+
+  /// Oracle: serial, interpreted, row-at-a-time. Every (batch size, compile
+  /// mode, thread count) combination must match it byte-for-byte.
   void ExpectDeterministic(const std::string& sql) {
     db_.executor()->set_threads(1);
     QueryOptions oracle_opts;
     oracle_opts.compile_expressions = false;
+    oracle_opts.batch_size = 0;
     auto serial = db_.Query(sql, oracle_opts);
-    for (bool compile : TestCompileModes()) {
-      QueryOptions opts;
-      opts.compile_expressions = compile;
-      std::vector<size_t> counts = TestThreadCounts();
-      // Compiled mode also diffs serially against the interpreted oracle.
-      if (compile) counts.insert(counts.begin(), 1);
-      for (size_t threads : counts) {
-        db_.executor()->set_threads(threads);
-        auto parallel = db_.Query(sql, opts);
-        ASSERT_EQ(serial.ok(), parallel.ok())
-            << sql << " @" << threads << " threads compile=" << compile
-            << ": serial=" << serial.status().ToString()
-            << " parallel=" << parallel.status().ToString();
-        if (!serial.ok()) continue;
-        const QueryResult& s = serial.value();
-        const QueryResult& p = parallel.value();
-        EXPECT_EQ(s.columns, p.columns) << sql << " @" << threads;
-        ASSERT_EQ(s.rows.size(), p.rows.size())
-            << sql << " @" << threads << " compile=" << compile;
-        EXPECT_EQ(s.ToString(), p.ToString())
-            << sql << " @" << threads << " compile=" << compile;
+    for (size_t batch : TestBatchSizes()) {
+      for (bool compile : TestCompileModes()) {
+        QueryOptions opts;
+        opts.compile_expressions = compile;
+        opts.batch_size = batch;
+        std::vector<size_t> counts = TestThreadCounts();
+        // Compiled and batched modes also diff serially against the oracle.
+        if (compile || batch > 0) counts.insert(counts.begin(), 1);
+        for (size_t threads : counts) {
+          db_.executor()->set_threads(threads);
+          auto parallel = db_.Query(sql, opts);
+          ASSERT_EQ(serial.ok(), parallel.ok())
+              << sql << " @" << threads << " threads compile=" << compile
+              << " batch=" << batch << ": serial=" << serial.status().ToString()
+              << " parallel=" << parallel.status().ToString();
+          if (!serial.ok()) continue;
+          const QueryResult& s = serial.value();
+          const QueryResult& p = parallel.value();
+          EXPECT_EQ(s.columns, p.columns) << sql << " @" << threads;
+          ASSERT_EQ(s.rows.size(), p.rows.size())
+              << sql << " @" << threads << " compile=" << compile << " batch=" << batch;
+          EXPECT_EQ(s.ToString(), p.ToString())
+              << sql << " @" << threads << " compile=" << compile << " batch=" << batch;
+        }
       }
     }
     db_.executor()->set_threads(1);
