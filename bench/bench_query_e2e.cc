@@ -58,6 +58,33 @@ Result<size_t> NaiveCount(Database* db, const std::string& sql) {
   return count;
 }
 
+/// Collects per-operator q-errors (max(actual/est, est/actual), 0.5 floors on
+/// both sides) over every profiled operator that carries estimates.
+void CollectQErrors(const QueryProfile& p, std::vector<double>* out) {
+  if (p.has_estimates && p.est_rows > 0) {
+    double actual = std::max<double>(p.rows_out, 0.5);
+    double est = std::max(p.est_rows, 0.5);
+    out->push_back(std::max(actual / est, est / actual));
+  }
+  for (const auto& c : p.children) CollectQErrors(*c, out);
+}
+
+struct QErrorSummary {
+  double median = 1.0;
+  double max = 1.0;
+};
+
+QErrorSummary SummarizeQErrors(const QueryProfile& p) {
+  std::vector<double> q;
+  CollectQErrors(p, &q);
+  QErrorSummary s;
+  if (q.empty()) return s;
+  std::sort(q.begin(), q.end());
+  s.median = q[q.size() / 2];
+  s.max = q.back();
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,29 +119,72 @@ int main(int argc, char** argv) {
       {"indexed immediate selection", "indexed_select",
        "SELECT e FROM VehicleEngine e WHERE e.cylinders = 4", true},
       {"filter scan (no index)", "filter_scan",
-       "SELECT e FROM VehicleEngine e WHERE e.size % 7 < 3", false},
+       "SELECT e FROM VehicleEngine e WHERE e.size % 7 < 3", true},
   };
 
   Checks checks;
-  Banner("Optimized vs naive execution");
+
+  // --- Feedback warmup: one profiled run per query writes measured
+  // selectivities and per-operation costs back into the statistics manager;
+  // a second profiled run shows the q-errors after the loop closes. Every
+  // later section runs against the warmed-up optimizer.
+  Banner("Feedback warmup (profiled; q-error cold vs warm)");
+  Table ft({"query", "cold ms", "cold qerr med/max", "warm qerr med/max"});
+  for (const auto& q : queries) {
+    ExplainOptions eo;
+    eo.analyze = true;
+    auto start = std::chrono::steady_clock::now();
+    auto cold = CheckV(db.Explain(q.sql, eo), q.label);
+    double cold_ms = MillisSince(start);
+    report_json.Metric("optimized_cold_ms", q.key, cold_ms);
+    QErrorSummary cold_q = SummarizeQErrors(*cold.profile);
+    auto warm = CheckV(db.Explain(q.sql, eo), q.label);
+    QErrorSummary warm_q = SummarizeQErrors(*warm.profile);
+    report_json.Metric("qerror_median", q.key, warm_q.median);
+    report_json.Metric("qerror_max", q.key, warm_q.max);
+    ft.AddRow({q.label, Fmt(cold_ms, 1),
+               Fmt(cold_q.median, 2) + " / " + Fmt(cold_q.max, 1),
+               Fmt(warm_q.median, 2) + " / " + Fmt(warm_q.max, 1)});
+  }
+  ft.Print();
+  std::printf(
+      "the first profiled run executes on pure model estimates and records\n"
+      "observed cardinalities keyed by predicate signature; the second run's\n"
+      "estimates come from those measurements, so its q-errors sit near 1.\n");
+
+  Banner("Optimized vs naive execution (post-warmup, min of 5/3)");
   Table t({"query", "optimized ms", "naive ms", "speedup", "rows", "naive rows"});
   for (const auto& q : queries) {
-    auto start = std::chrono::steady_clock::now();
-    auto qr = CheckV(db.Query(q.sql), q.label);
-    double opt_ms = MillisSince(start);
+    double opt_ms = 1e300;
+    QueryResult qr;
+    for (int i = 0; i < 5; i++) {
+      auto start = std::chrono::steady_clock::now();
+      qr = CheckV(db.Query(q.sql), q.label);
+      opt_ms = std::min(opt_ms, MillisSince(start));
+    }
     report_json.Metric("optimized_ms", q.key, opt_ms);
 
     std::string naive_ms = "-", naive_rows = "-", speedup = "-";
     if (q.run_naive) {
-      start = std::chrono::steady_clock::now();
-      size_t n = CheckV(NaiveCount(&db, q.sql), "naive");
-      double ms = MillisSince(start);
+      double ms = 1e300;
+      size_t n = 0;
+      for (int i = 0; i < 3; i++) {
+        auto start = std::chrono::steady_clock::now();
+        n = CheckV(NaiveCount(&db, q.sql), "naive");
+        ms = std::min(ms, MillisSince(start));
+      }
       report_json.Metric("naive_ms", q.key, ms);
       naive_ms = Fmt(ms, 1);
       naive_rows = std::to_string(n);
       speedup = Fmt(ms / std::max(opt_ms, 0.001), 1) + "x";
       checks.Expect(n == qr.rows.size(),
                     std::string(q.label) + ": naive and optimized agree");
+      // The point of the feedback loop: after one profiled warmup the
+      // optimizer must never lose to the naive cross-product evaluator
+      // (pre-feedback, example81 ran ~20x slower optimized than naive).
+      checks.Expect(opt_ms <= 1.1 * ms + 0.1,
+                    std::string(q.label) + ": optimized <= 1.1x naive (" +
+                        Fmt(opt_ms, 2) + " vs " + Fmt(ms, 2) + ")");
     }
     t.AddRow({q.label, Fmt(opt_ms, 1), naive_ms, speedup, std::to_string(qr.rows.size()),
               naive_rows});
@@ -123,10 +193,10 @@ int main(int argc, char** argv) {
   std::printf(
       "the optimizer's win shows on multi-variable queries, where the naive\n"
       "evaluator pays the cross product (Section 3.1's two range variables).\n"
-      "For single-variable path queries over memory-resident extents the naive\n"
-      "scan is competitive in wall-clock terms: the paper's optimizer targets\n"
-      "1994 disk behaviour, which the modeled costs in bench_join_strategies\n"
-      "price; the plan choices matter there, not in hot-cache microseconds.\n");
+      "On single-variable path queries the feedback loop is what keeps the\n"
+      "optimized plan honest: measured selectivities and per-operation costs\n"
+      "replace the paper's 1994 disk model, so chain expansion is only chosen\n"
+      "when it actually beats a residual filter over the bound extent.\n");
 
   // --- Morsel-driven parallelism: the same optimized plans at 1/2/4/8 workers.
   Banner("Intra-query parallelism (threads axis)");

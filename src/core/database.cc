@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/parallel.h"
+#include "optimizer/feedback.h"
 #include "types/operand.h"
 
 namespace mood {
@@ -51,6 +52,10 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   evaluator_ = std::make_unique<Evaluator>(objects_.get(), functions_.get());
   algebra_ = std::make_unique<MoodAlgebra>(objects_.get(), evaluator_.get());
   stats_ = std::make_unique<StatisticsManager>(objects_.get());
+  FeedbackOptions fopts;
+  fopts.max_entries = options.feedback_entries;
+  fopts.refresh_epoch_delta = options.stats_refresh_epoch_delta;
+  stats_->Configure(options.stats_histogram_buckets, fopts);
   optimizer_ = std::make_unique<QueryOptimizer>(catalog_.get(), objects_.get(),
                                                 stats_.get(), options.optimizer);
   executor_ =
@@ -81,6 +86,11 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
                             metrics_->Counter("exec.expr.const_folded"));
   executor_->SetBatchMetrics(metrics_->Counter("exec.batch.batches"),
                              metrics_->Counter("exec.batch.rows"));
+  stats_->SetMetrics(metrics_->Counter("stats.feedback_hits"),
+                     metrics_->Counter("stats.feedback_writes"),
+                     metrics_->Counter("stats.feedback_invalidations"),
+                     metrics_->Counter("stats.refreshes"));
+  feedback_absorbed_counter_ = metrics_->Counter("stats.feedback_absorbed");
 
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
@@ -105,9 +115,11 @@ Status Database::Close() {
   // Executor holds raw counter pointers into the registry; detach them first.
   executor_->SetExprMetrics(nullptr, nullptr, nullptr);
   executor_->SetBatchMetrics(nullptr, nullptr);
+  stats_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
   query_us_hist_ = nullptr;
+  feedback_absorbed_counter_ = nullptr;
   schema_browser_.reset();
   object_browser_.reset();
   executor_.reset();
@@ -273,7 +285,8 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
   if (explains_counter_ != nullptr) explains_counter_->Add(1);
   ExplainResult out;
   out.options = options;
-  MOOD_ASSIGN_OR_RETURN(out.optimized, optimizer_->Optimize(stmt));
+  MOOD_ASSIGN_OR_RETURN(out.optimized,
+                        optimizer_->Optimize(stmt, options.query.feedback));
   if (options.verbose && options.query.compile_expressions) {
     // Annotate each predicate-bearing operator with compiled/interpreted so
     // EXPLAIN VERBOSE shows which evaluation path execution would take.
@@ -296,6 +309,12 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
     out.profile->rows_out = out.result.rows.size();
     if (!out.profile->children.empty()) {
       out.profile->rows_in = out.profile->children.front()->rows_out;
+    }
+    if (options.query.feedback) {
+      size_t n = AbsorbProfile(out.optimized, *out.profile, stats_.get());
+      if (n > 0 && feedback_absorbed_counter_ != nullptr) {
+        feedback_absorbed_counter_->Add(n);
+      }
     }
     if (queries_counter_ != nullptr) queries_counter_->Add(1);
   }
@@ -353,6 +372,7 @@ Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
         else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s);
         else if constexpr (std::is_same_v<T, DeleteStmt>) return ExecDelete(s);
         else if constexpr (std::is_same_v<T, CreateIndexStmt>) return ExecCreateIndex(s);
+        else if constexpr (std::is_same_v<T, AnalyzeStmt>) return ExecAnalyze(s);
         else return ExecDropClass(s);
       },
       stmt);
@@ -361,7 +381,7 @@ Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
 Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
                                         const QueryOptions& options) {
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(stmt));
+  MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(stmt, options.feedback));
   ExecResult res;
   res.kind = ExecResult::Kind::kQuery;
   ExecOptions exec;
@@ -381,6 +401,14 @@ Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
     res.profile->rows_out = qr.rows.size();
     if (!res.profile->children.empty()) {
       res.profile->rows_in = res.profile->children.front()->rows_out;
+    }
+    if (options.feedback) {
+      // Close the loop: write observed cardinalities and measured operator
+      // costs back into the statistics manager for the next optimization.
+      size_t n = AbsorbProfile(optimized, *res.profile, stats_.get());
+      if (n > 0 && feedback_absorbed_counter_ != nullptr) {
+        feedback_absorbed_counter_->Add(n);
+      }
     }
   }
   res.query = std::move(qr);
@@ -548,6 +576,18 @@ Result<ExecResult> Database::ExecDropClass(const DropClassStmt& stmt) {
   MOOD_RETURN_IF_ERROR(catalog_->Drop(stmt.class_name));
   ExecResult res;
   res.message = "class '" + stmt.class_name + "' dropped";
+  return res;
+}
+
+Result<ExecResult> Database::ExecAnalyze(const AnalyzeStmt& stmt) {
+  ExecResult res;
+  if (!stmt.class_name.empty()) {
+    MOOD_RETURN_IF_ERROR(CollectStatistics(stmt.class_name));
+    res.message = "analyzed class '" + stmt.class_name + "'";
+    return res;
+  }
+  MOOD_RETURN_IF_ERROR(CollectAllStatistics());
+  res.message = "analyzed all classes";
   return res;
 }
 

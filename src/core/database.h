@@ -61,6 +61,15 @@ struct DatabaseOptions {
   double slow_query_ms = 250;
   /// Capacity of the slow-query ring buffer; older entries fall out first.
   size_t slow_query_log_size = 64;
+  /// Equi-depth histogram buckets built per numeric attribute by
+  /// CollectStatistics / ANALYZE (0 disables histograms).
+  size_t stats_histogram_buckets = 32;
+  /// Capacity of the feedback store of measured selectivities written back
+  /// from profiled executions (0 disables the feedback loop's store).
+  size_t feedback_entries = 256;
+  /// Write-epoch churn on a class's extent file beyond which feedback entries
+  /// are invalidated and collected statistics auto-refresh.
+  uint64_t stats_refresh_epoch_delta = 256;
   OptimizerOptions optimizer;
 };
 
@@ -88,6 +97,10 @@ struct QueryOptions {
   /// (exec/expr_compile). Off forces the interpreted Evaluator everywhere —
   /// the differential-testing oracle and the paper's original behavior.
   bool compile_expressions = true;
+  /// Let the optimizer use measured selectivities/costs written back from
+  /// profiled executions, and write this execution's profile back when
+  /// collect_profile is on. Off reproduces the paper's pure-model plans.
+  bool feedback = true;
 };
 
 /// Options for the consolidated Database::Explain entry point.
@@ -307,6 +320,7 @@ class Database {
   Result<ExecResult> ExecDelete(const DeleteStmt& stmt);
   Result<ExecResult> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<ExecResult> ExecDropClass(const DropClassStmt& stmt);
+  Result<ExecResult> ExecAnalyze(const AnalyzeStmt& stmt);
 
   /// Evaluates the rows a WHERE clause selects for UPDATE/DELETE.
   Result<std::vector<Oid>> MatchingObjects(const std::string& class_name,
@@ -348,6 +362,7 @@ class Database {
   MetricCounter* explains_counter_ = nullptr;    ///< exec.explains
   MetricCounter* slow_counter_ = nullptr;        ///< exec.slow_queries
   MetricHistogram* query_us_hist_ = nullptr;     ///< exec.query_us (microseconds)
+  MetricCounter* feedback_absorbed_counter_ = nullptr;  ///< stats.feedback_absorbed
 
   mutable std::mutex slow_mu_;
   std::deque<SlowQueryRecord> slow_queries_;

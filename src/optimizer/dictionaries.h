@@ -8,6 +8,7 @@
 #include "optimizer/plan.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
+#include "stats/selectivity.h"
 
 namespace mood {
 
@@ -25,6 +26,8 @@ struct ImmSelEntry {
   double sequential_access_cost = 0;
   std::string access_type;  ///< "indexed" or "sequential"
   std::optional<IndexDesc> index;
+  SelSource sel_source = SelSource::kDefault;
+  std::string feedback_sig;  ///< normalized signature for the feedback store
 };
 
 /// Entry of the PathSelInfo dictionary (paper Table 12, extended with the
@@ -37,6 +40,8 @@ struct PathSelEntry {
   MoodValue constant;
   double selectivity = 1.0;
   double forward_traversal_cost = 0;  ///< F_i
+  SelSource sel_source = SelSource::kDefault;
+  std::string feedback_sig;
 
   double Rank() const {
     double denom = 1.0 - selectivity;
@@ -52,6 +57,8 @@ struct OtherSelEntry {
   std::string range_var;  ///< empty when the predicate spans several variables
   ExprPtr pred;
   double selectivity = 1.0 / 3.0;
+  SelSource sel_source = SelSource::kDefault;
+  std::string feedback_sig;
 };
 
 /// An explicit join predicate connecting two range variables, e.g.

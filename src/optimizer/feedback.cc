@@ -1,0 +1,135 @@
+#include "optimizer/feedback.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mood {
+
+namespace {
+
+/// Class whose extent epoch keys the feedback entry: the leftmost scan leaf of
+/// the subtree (the root variable's class for a path chain).
+const std::string* LeafClass(const PlanNode* plan) {
+  while (plan != nullptr) {
+    if (plan->op == PlanOp::kBindClass || plan->op == PlanOp::kIndexSelect) {
+      return &plan->from.class_name;
+    }
+    if (plan->child) {
+      plan = plan->child.get();
+    } else if (plan->left) {
+      plan = plan->left.get();
+    } else if (!plan->children.empty()) {
+      plan = plan->children[0].get();
+    } else {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+struct Walker {
+  StatisticsManager* stats;
+  size_t recorded = 0;
+
+  void Visit(const PlanNode* plan, const QueryProfile* prof) {
+    // Children of a profiled node mirror the plan node's children one-for-one
+    // (Executor::Exec adds a child per Describe() label), but execution order
+    // depends on the join strategy — pair by label, first unused match.
+    std::vector<const PlanNode*> kids;
+    if (plan->child) kids.push_back(plan->child.get());
+    if (plan->left) kids.push_back(plan->left.get());
+    if (plan->right) kids.push_back(plan->right.get());
+    for (const auto& c : plan->children) kids.push_back(c.get());
+
+    std::vector<const QueryProfile*> paired(kids.size(), nullptr);
+    std::vector<bool> used(prof->children.size(), false);
+    for (size_t i = 0; i < kids.size(); i++) {
+      const std::string want = kids[i]->Describe();
+      for (size_t j = 0; j < prof->children.size(); j++) {
+        if (!used[j] && prof->children[j]->label == want) {
+          paired[i] = prof->children[j].get();
+          used[j] = true;
+          break;
+        }
+      }
+    }
+
+    // Observed selectivity: rows_out over the stamped base (or this node's
+    // input when no base was stamped — a single-predicate filter).
+    if (!plan->feedback_sig.empty()) {
+      double base = plan->feedback_base_rows > 0
+                        ? plan->feedback_base_rows
+                        : static_cast<double>(prof->rows_in);
+      if (base > 0) {
+        const double observed = std::clamp(
+            std::max(static_cast<double>(prof->rows_out), 0.5) / base, 0.0, 1.0);
+        if (const std::string* cls = LeafClass(plan)) {
+          stats->RecordFeedback(plan->feedback_sig, observed, *cls);
+          recorded++;
+        }
+      }
+    }
+
+    // Cost calibration samples.
+    const double excl_ms =
+        prof->wall_ns > prof->ChildWallNs()
+            ? static_cast<double>(prof->wall_ns - prof->ChildWallNs()) / 1e6
+            : 0.0;
+    switch (plan->op) {
+      case PlanOp::kBindClass:
+        if (plan->feedback_pages > 0 && prof->rows_out > 0 && prof->wall_ns > 0) {
+          stats->calibration().AddPage(static_cast<double>(prof->wall_ns) / 1e6 /
+                                       static_cast<double>(plan->feedback_pages));
+        }
+        break;
+      case PlanOp::kFilter:
+        if (prof->rows_in > 0 && excl_ms > 0 && !plan->predicates.empty()) {
+          stats->calibration().AddPredicate(
+              excl_ms / (static_cast<double>(prof->rows_in) *
+                         static_cast<double>(plan->predicates.size())));
+        }
+        break;
+      case PlanOp::kPointerJoin: {
+        // One dereference per left-input row per hop of the chased path.
+        const QueryProfile* left = paired.empty() ? nullptr : paired[0];
+        const double hops = std::max<size_t>(1, plan->ref_path.size());
+        if (left != nullptr && left->rows_out > 0 && excl_ms > 0) {
+          stats->calibration().AddDeref(
+              excl_ms / (static_cast<double>(left->rows_out) * hops));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    for (size_t i = 0; i < kids.size(); i++) {
+      if (paired[i] != nullptr) Visit(kids[i], paired[i]);
+    }
+  }
+};
+
+}  // namespace
+
+size_t AbsorbProfile(const QueryOptimizer::Optimized& optimized,
+                     const QueryProfile& root, StatisticsManager* stats) {
+  if (optimized.plan == nullptr || stats == nullptr) return 0;
+  Walker w{stats};
+  const std::string want = optimized.plan->Describe();
+  if (root.label == want) {
+    w.Visit(optimized.plan.get(), &root);
+    return w.recorded;
+  }
+  // The profile root is the RESULT node; the plan root is one of its children
+  // (next to Finish stages such as PROJECT or ORDER BY).
+  for (const auto& c : root.children) {
+    if (c->label == want) {
+      w.Visit(optimized.plan.get(), c.get());
+      return w.recorded;
+    }
+  }
+  return 0;
+}
+
+}  // namespace mood

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "obs/query_profile.h"
+#include "optimizer/optimizer.h"
+#include "stats/statistics.h"
+
+namespace mood {
+
+/// Closes the feedback loop: pairs the optimized plan tree with the profile
+/// tree of its execution (profile children mirror plan nodes by Describe()
+/// label) and
+///   - writes observed selectivities into the StatisticsManager's feedback
+///     store for every plan node carrying a feedback signature, and
+///   - feeds measured per-operation costs (ms/page from BIND leaves, ms/deref
+///     from pointer joins, ms/predicate from filters) into CostCalibration so
+///     the next Optimize() prices plans with this machine's numbers instead of
+///     the paper's 1994 disk.
+/// Returns the number of selectivity entries recorded.
+size_t AbsorbProfile(const QueryOptimizer::Optimized& optimized,
+                     const QueryProfile& root, StatisticsManager* stats);
+
+}  // namespace mood

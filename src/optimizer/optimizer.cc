@@ -50,6 +50,38 @@ bool HasMethodStep(const BoundPath& path) {
   return false;
 }
 
+/// Normalized feedback signature for an immediate selection. Class-qualified
+/// and range-var-free, so the synthetic `_tN` terminal predicate of an
+/// expanded path chain aliases the same entry as a user-written predicate on
+/// that class.
+std::string ImmSig(const std::string& cls, const std::string& attr, BinaryOp op,
+                   const MoodValue& constant) {
+  return cls + "." + attr + " " + std::string(BinaryOpName(op)) + " " +
+         constant.ToString();
+}
+
+/// Normalized signature for a path-expression predicate, rooted at the class
+/// rather than the range variable.
+std::string PathSig(const BoundPath& path, BinaryOp op, const MoodValue& constant) {
+  std::string sig = path.classes[0];
+  for (const auto& s : path.steps) sig += "." + s.name;
+  sig += ": " + std::string(BinaryOpName(op)) + " " + constant.ToString();
+  return sig;
+}
+
+/// Signature for a single-variable Other predicate: the class plus the
+/// predicate text with the range variable stripped.
+std::string OtherSig(const std::string& cls, const std::string& var,
+                     const ExprPtr& pred) {
+  std::string text = pred->ToString();
+  const std::string needle = var + ".";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    text.erase(pos, needle.size());
+  }
+  return cls + ": " + text;
+}
+
 }  // namespace
 
 QueryOptimizer::QueryOptimizer(Catalog* catalog, ObjectManager* objects,
@@ -59,7 +91,8 @@ QueryOptimizer::QueryOptimizer(Catalog* catalog, ObjectManager* objects,
       stats_(stats),
       options_(options),
       estimator_(stats),
-      binder_(catalog) {}
+      binder_(catalog),
+      active_disk_(options_.disk) {}
 
 std::vector<size_t> QueryOptimizer::OrderByRank(const std::vector<double>& cost,
                                                 const std::vector<double>& selectivity) {
@@ -123,7 +156,20 @@ Result<QueryOptimizer::Classified> QueryOptimizer::Classify(const BoundQuery& qu
       OtherSelEntry e;
       e.pred = p;
       e.selectivity = options_.default_selectivity;
-      if (vars.size() == 1) e.range_var = *vars.begin();
+      if (vars.size() == 1) {
+        e.range_var = *vars.begin();
+        auto it = query.range_vars.find(e.range_var);
+        if (it != query.range_vars.end()) {
+          e.feedback_sig = OtherSig(it->second.class_name, e.range_var, p);
+          double measured = 0;
+          if (use_feedback_ && stats_->LookupFeedback(e.feedback_sig,
+                                                      it->second.class_name,
+                                                      &measured)) {
+            e.selectivity = measured;
+            e.sel_source = SelSource::kFeedback;
+          }
+        }
+      }
       out.other.push_back(std::move(e));
     };
 
@@ -222,7 +268,7 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
     std::vector<OtherSelEntry*> other) const {
   const FromEntry& from = query.range_vars.at(var);
   MOOD_ASSIGN_OR_RETURN(ClassStats cls, ClassStatsOrLive(from.class_name));
-  const double seq = SeqCost(cls.nbpages, options_.disk);
+  const double seq = SeqCost(cls.nbpages, active_disk_);
 
   // Fill in selectivities and access costs (Table 11 columns).
   for (ImmSelEntry* e : imm) {
@@ -232,9 +278,26 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
       e->selectivity = options_.default_selectivity;
       continue;
     }
-    MOOD_ASSIGN_OR_RETURN(
-        e->selectivity,
-        AtomicSelectivityOrDefault(from.class_name, e->attribute, e->op, e->constant));
+    e->feedback_sig = ImmSig(from.class_name, e->attribute, e->op, e->constant);
+    double measured = 0;
+    if (use_feedback_ &&
+        stats_->LookupFeedback(e->feedback_sig, from.class_name, &measured)) {
+      e->selectivity = measured;
+      e->sel_source = SelSource::kFeedback;
+    } else {
+      SelSource src = SelSource::kDefault;
+      auto sel = estimator_.AtomicSelectivity(from.class_name, e->attribute,
+                                              e->op, e->constant, &src);
+      if (sel.ok()) {
+        e->selectivity = sel.value();
+        e->sel_source = src;
+      } else {
+        // No statistics: textbook defaults.
+        e->selectivity = e->op == BinaryOp::kEq   ? 0.1
+                         : e->op == BinaryOp::kNe ? 0.9
+                                                  : options_.default_selectivity;
+      }
+    }
     // Usable index?
     auto btree = catalog_->FindIndex(from.class_name, e->attribute, IndexKind::kBTree);
     auto hash = catalog_->FindIndex(from.class_name, e->attribute, IndexKind::kHash);
@@ -249,13 +312,13 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
         bt.keysize = ts.keysize;
         bt.unique = ts.unique;
         e->indexed_access_cost = e->op == BinaryOp::kEq
-                                     ? IndCost(1, bt, options_.disk)
-                                     : RngxCost(e->selectivity, bt, options_.disk);
+                                     ? IndCost(1, bt, active_disk_)
+                                     : RngxCost(e->selectivity, bt, active_disk_);
         e->index = btree;
       }
     } else if (hash.has_value() && e->op == BinaryOp::kEq) {
       // Bucket page + object page.
-      e->indexed_access_cost = RndCost(2, options_.disk);
+      e->indexed_access_cost = RndCost(2, active_disk_);
       e->index = hash;
     }
   }
@@ -277,7 +340,7 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
       cost_sum += indexed[k]->indexed_access_cost;
       sel_prod *= indexed[k]->selectivity;
       double total = cost_sum +
-                     RndCost(static_cast<double>(cls.cardinality) * sel_prod, options_.disk);
+                     RndCost(static_cast<double>(cls.cardinality) * sel_prod, active_disk_);
       if (total < seq) chosen = k + 1;
     }
   }
@@ -297,9 +360,19 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
     }
     leaf = PlanNode::IndexSel(from, std::move(probes));
     leaf_cost = cost_sum +
-                RndCost(static_cast<double>(cls.cardinality) * sel_prod, options_.disk);
+                RndCost(static_cast<double>(cls.cardinality) * sel_prod, active_disk_);
+    if (chosen == 1 && !indexed[0]->feedback_sig.empty()) {
+      // Single probe: its output count over |C| IS the predicate's
+      // selectivity, so the profiled run can write it back.
+      leaf->feedback_sig = indexed[0]->feedback_sig;
+      leaf->feedback_base_rows = static_cast<double>(cls.cardinality);
+    }
   } else {
     leaf = PlanNode::Bind(from);
+  }
+  if (auto type = catalog_->Lookup(from.class_name); type.ok()) {
+    leaf->feedback_file = static_cast<uint16_t>(type.value()->extent_file);
+    if (leaf->op == PlanOp::kBindClass) leaf->feedback_pages = cls.nbpages;
   }
 
   // Residual predicates: everything not enforced by the chosen probes, applied
@@ -307,6 +380,7 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
   struct Residual {
     ExprPtr pred;
     double selectivity;
+    std::string sig;
   };
   std::vector<Residual> residual;
   for (ImmSelEntry* e : imm) {
@@ -317,9 +391,11 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
         break;
       }
     }
-    if (!used) residual.push_back(Residual{e->pred, e->selectivity});
+    if (!used) residual.push_back(Residual{e->pred, e->selectivity, e->feedback_sig});
   }
-  for (OtherSelEntry* e : other) residual.push_back(Residual{e->pred, e->selectivity});
+  for (OtherSelEntry* e : other) {
+    residual.push_back(Residual{e->pred, e->selectivity, e->feedback_sig});
+  }
   std::stable_sort(residual.begin(), residual.end(),
                    [](const Residual& a, const Residual& b) {
                      return a.selectivity < b.selectivity;
@@ -337,6 +413,10 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
     std::vector<ExprPtr> preds;
     for (const auto& r : residual) preds.push_back(r.pred);
     vp.plan = PlanNode::Filter(leaf, std::move(preds));
+    if (residual.size() == 1 && !residual[0].sig.empty()) {
+      // One predicate: rows_out / rows_in of this filter is its selectivity.
+      vp.plan->feedback_sig = residual[0].sig;
+    }
   }
   vp.plan->est_cost = leaf_cost;
   vp.plan->est_rows = vp.k;
@@ -366,15 +446,25 @@ Result<QueryOptimizer::HopCost> QueryOptimizer::BestJoinStrategy(
     in.totref = std::min(in.card_c, in.card_d);
   }
 
+  // The paper's join formulas price disk only — right for 1994, where CPU
+  // vanished next to 25ms pages. Under a measured calibration the page/deref
+  // costs are microseconds and per-row CPU (hashing, probing, matching)
+  // becomes a first-order term, so surcharge each strategy by the rows it
+  // actually touches. Backward traversal already carries the paper's own
+  // k_c*fan*k_d*cpu term, so it is left alone; paper mode (cpu_surcharge=0)
+  // reproduces every worked example bit-exactly.
+  const double cpu_surcharge = calibrated_ ? active_disk_.cpu_cost : 0.0;
   HopCost best;
-  best.jc = ForwardTraversalCost(in, options_.disk);
+  best.jc = ForwardTraversalCost(in, active_disk_) +
+            (in.k_c * in.fan + in.k_d) * cpu_surcharge;
   best.method = JoinMethod::kForwardTraversal;
-  double btc = BackwardTraversalCost(in, options_.disk);
+  double btc = BackwardTraversalCost(in, active_disk_);
   if (btc < best.jc) {
     best.jc = btc;
     best.method = JoinMethod::kBackwardTraversal;
   }
-  double hhc = HashPartitionJoinCost(in, options_.disk);
+  double hhc = HashPartitionJoinCost(in, active_disk_) +
+               (in.k_c + in.k_d) * cpu_surcharge;
   if (hhc < best.jc) {
     best.jc = hhc;
     best.method = JoinMethod::kHashPartition;
@@ -388,7 +478,8 @@ Result<QueryOptimizer::HopCost> QueryOptimizer::BestJoinStrategy(
       bt.order = std::max<uint32_t>(ts.order, 2);
       bt.levels = std::max<uint32_t>(ts.levels, 1);
       bt.leaves = std::max<uint64_t>(ts.leaves, 1);
-      double bjc = BinaryJoinIndexCost(std::min(k_c, k_d), bt, options_.disk);
+      double bjc = BinaryJoinIndexCost(std::min(k_c, k_d), bt, active_disk_) +
+                   std::min(k_c, k_d) * cpu_surcharge;
       if (bjc < best.jc) {
         best.jc = bjc;
         best.method = JoinMethod::kIndexed;
@@ -453,6 +544,10 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::ExpandPathSelection(
       node.accessed = true;
     } else {
       node.plan = PlanNode::Bind(fe);
+      if (auto type = catalog_->Lookup(cls); type.ok()) {
+        node.plan->feedback_file = static_cast<uint16_t>(type.value()->extent_file);
+        node.plan->feedback_pages = cs.nbpages;
+      }
     }
     nodes.push_back(std::move(node));
   }
@@ -512,13 +607,77 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::ExpandPathSelection(
   out.plan = nodes[0].plan;
   out.k = nodes[0].k_left;
   out.accessed = true;
+  if (!entry.feedback_sig.empty()) {
+    // Observed selectivity of the whole path predicate = top join's output
+    // over the root extent's cardinality.
+    MOOD_ASSIGN_OR_RETURN(ClassStats root_cs, ClassStatsOrLive(path.classes[0]));
+    out.plan->feedback_sig = entry.feedback_sig;
+    out.plan->feedback_base_rows = static_cast<double>(root_cs.cardinality);
+  }
+
+  // Residual-filter alternative: instead of expanding the chain of implicit
+  // joins, evaluate the path expression per root candidate (hops dereferences
+  // + one comparison each). Under the paper's 1994 disk this never wins — a
+  // dereference costs a 25.1ms random access — but under a measured
+  // calibration it prices honestly and beats chain expansion whenever the
+  // root candidate set is small or the chain must bind large extents
+  // (example81's 20x regression). Gated on an actually-measured calibration so
+  // paper-mode and first-run plans are bit-identical; the chain above is
+  // always built first so temp-variable numbering does not depend on the
+  // choice.
+  if (calibrated_) {
+    const double filter_cost =
+        current.plan->est_cost +
+        current.k * (static_cast<double>(hops) * RndCost(1, active_disk_) +
+                     active_disk_.cpu_cost);
+    if (filter_cost < out.plan->est_cost) {
+      VarPlan alt;
+      alt.plan = PlanNode::Filter(current.plan, {entry.pred});
+      alt.plan->est_cost = filter_cost;
+      alt.plan->est_rows = current.k * entry.selectivity;
+      alt.plan->feedback_sig = entry.feedback_sig;
+      alt.k = current.k * entry.selectivity;
+      alt.accessed = true;
+      return alt;
+    }
+  }
   return out;
 }
 
-Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stmt) {
+Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stmt,
+                                                           bool use_feedback) {
+  use_feedback_ = use_feedback;
+  calibrated_ = false;
+  active_disk_ = options_.disk;
+  if (use_feedback_) {
+    CostCalibration& cal = stats_->calibration();
+    if (cal.Valid()) {
+      // Measured per-operation costs replace the paper's 1994 disk constants:
+      // no seek/rotation term, one "block transfer" = one object dereference,
+      // sequential transfer = one extent page, CPU = one predicate evaluation.
+      DiskParameters measured;
+      measured.s = 0;
+      measured.r = 0;
+      measured.btt = cal.MsPerDeref();
+      measured.ebt = cal.MsPerPage();
+      measured.cpu_cost =
+          cal.MsPerPredicate() > 0 ? cal.MsPerPredicate() : measured.btt;
+      measured.esm_btree_files = false;
+      active_disk_ = measured;
+      calibrated_ = true;
+    }
+  }
+
   Optimized result;
   MOOD_ASSIGN_OR_RETURN(result.bound, binder_.Bind(stmt));
   const BoundQuery& bound = result.bound;
+
+  if (use_feedback_) {
+    // Stats gone stale from write churn? Refresh before estimating.
+    for (const auto& [var, fe] : bound.range_vars) {
+      stats_->MaybeAutoRefresh(fe.class_name);
+    }
+  }
 
   std::vector<AndTerm> terms = bound.where_dnf;
   if (terms.empty()) terms.push_back(AndTerm{});
@@ -555,16 +714,26 @@ Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stm
     // Path-expression ordering (Algorithm 8.1): rank by F/(1-s) per variable.
     // Missing statistics fall back to defaults (OtherSelInfo-style treatment).
     for (auto& e : cls.paths) {
-      auto sel = estimator_.PathSelectivity(e.path, e.op, e.constant);
-      e.selectivity = sel.ok() ? sel.value() : options_.default_selectivity;
+      e.feedback_sig = PathSig(e.path, e.op, e.constant);
+      double measured = 0;
+      if (use_feedback_ && stats_->LookupFeedback(e.feedback_sig,
+                                                  e.path.classes[0], &measured)) {
+        e.selectivity = measured;
+        e.sel_source = SelSource::kFeedback;
+      } else {
+        SelSource src = SelSource::kDefault;
+        auto sel = estimator_.PathSelectivity(e.path, e.op, e.constant, &src);
+        e.selectivity = sel.ok() ? sel.value() : options_.default_selectivity;
+        if (sel.ok()) e.sel_source = src;
+      }
       auto fc = ForwardPathCost(e.path, options_.path_rank_root_objects, estimator_,
-                                options_.disk);
+                                active_disk_);
       const double hops = static_cast<double>(e.path.classes.size() - 1);
       e.forward_traversal_cost =
           fc.ok() ? fc.value()
-                  : options_.disk.s + options_.disk.r +
+                  : active_disk_.s + active_disk_.r +
                         RndCost(options_.path_rank_root_objects * (1.0 + hops),
-                                options_.disk);
+                                active_disk_);
     }
     std::stable_sort(cls.paths.begin(), cls.paths.end(),
                      [](const PathSelEntry& a, const PathSelEntry& b) {
@@ -631,7 +800,7 @@ Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stm
         } else {
           // Nested-loop theta join.
           hc.method = JoinMethod::kNestedLoop;
-          hc.jc = components[ca].k * components[cb].k * options_.disk.cpu_cost;
+          hc.jc = components[ca].k * components[cb].k * active_disk_.cpu_cost;
           hc.js = options_.default_selectivity;
         }
         if (hc.Rank() < best_rank) {
@@ -721,10 +890,10 @@ std::string QueryOptimizer::Optimized::Explain() const {
       out += "  ImmSelInfo:\n";
       for (const auto& e : terms[t].imm) {
         std::snprintf(buf, sizeof(buf),
-                      "    %-4s %-40s sel=%-10.4g idx=%-10.4g seq=%-10.4g %s\n",
+                      "    %-4s %-40s sel=%-10.4g idx=%-10.4g seq=%-10.4g %s [sel: %s]\n",
                       e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity,
                       e.indexed_access_cost, e.sequential_access_cost,
-                      e.access_type.c_str());
+                      e.access_type.c_str(), SelSourceName(e.sel_source));
         out += buf;
       }
     }
@@ -732,17 +901,18 @@ std::string QueryOptimizer::Optimized::Explain() const {
       out += "  PathSelInfo (ordered by F/(1-s)):\n";
       for (const auto& e : terms[t].paths) {
         std::snprintf(buf, sizeof(buf),
-                      "    %-4s %-40s sel=%-10.4g F=%-10.4f F/(1-s)=%-10.4f\n",
+                      "    %-4s %-40s sel=%-10.4g F=%-10.4f F/(1-s)=%-10.4f [sel: %s]\n",
                       e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity,
-                      e.forward_traversal_cost, e.Rank());
+                      e.forward_traversal_cost, e.Rank(), SelSourceName(e.sel_source));
         out += buf;
       }
     }
     if (!terms[t].other.empty()) {
       out += "  OtherSelInfo:\n";
       for (const auto& e : terms[t].other) {
-        std::snprintf(buf, sizeof(buf), "    %-4s %-40s sel=%-10.4g\n",
-                      e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity);
+        std::snprintf(buf, sizeof(buf), "    %-4s %-40s sel=%-10.4g [sel: %s]\n",
+                      e.range_var.c_str(), e.pred->ToString().c_str(), e.selectivity,
+                      SelSourceName(e.sel_source));
         out += buf;
       }
     }

@@ -44,7 +44,10 @@ class QueryOptimizer {
     std::string Explain() const;
   };
 
-  Result<Optimized> Optimize(const SelectStmt& stmt);
+  /// `use_feedback` gates the measured-selectivity store, the calibrated cost
+  /// model, and auto stats refresh — off reproduces the paper's plans exactly
+  /// (bench_example81 and the golden-plan tests rely on that).
+  Result<Optimized> Optimize(const SelectStmt& stmt, bool use_feedback = true);
 
   /// Algorithm 8.1 as a pure function: the permutation of indexes sorted by
   /// ascending F_i / (1 - s_i).
@@ -114,6 +117,12 @@ class QueryOptimizer {
   SelectivityEstimator estimator_;
   Binder binder_;
   mutable int temp_var_counter_ = 0;
+  // Per-Optimize state (same caveat as temp_var_counter_: one optimization at
+  // a time). active_disk_ is options_.disk, or the measured CostCalibration
+  // once enough profiled samples exist and feedback is on.
+  mutable bool use_feedback_ = false;
+  mutable bool calibrated_ = false;  ///< active_disk_ came from measurements
+  mutable DiskParameters active_disk_;
 };
 
 }  // namespace mood

@@ -66,6 +66,14 @@ struct PlanNode {
   /// must stay identical with and without annotations.
   std::string note;
 
+  // Feedback-loop stamping (AbsorbProfile pairs these with profile nodes by
+  // Describe() label; none of them is rendered, so plans print identically
+  // with feedback on or off).
+  std::string feedback_sig;       ///< signature this node's actuals feed
+  double feedback_base_rows = 0;  ///< divisor for observed selectivity (0: rows_in)
+  uint32_t feedback_pages = 0;    ///< extent pages (BIND leaves, calibration)
+  uint16_t feedback_file = 0;     ///< extent file of the scanned class
+
   /// Range variables bound by this subtree.
   std::vector<std::string> BoundVars() const;
 

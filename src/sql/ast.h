@@ -140,7 +140,15 @@ struct ExplainStmt {
   bool verbose = false;
 };
 
+/// ANALYZE [<class>]: collect optimizer statistics (Table 8 plus histograms
+/// and distinct sketches) for one class, or for every class when none is
+/// named.
+struct AnalyzeStmt {
+  std::string class_name;  ///< empty: all classes
+};
+
 using Statement = std::variant<SelectStmt, CreateClassStmt, NewObjectStmt, UpdateStmt,
-                               DeleteStmt, CreateIndexStmt, DropClassStmt, ExplainStmt>;
+                               DeleteStmt, CreateIndexStmt, DropClassStmt, ExplainStmt,
+                               AnalyzeStmt>;
 
 }  // namespace mood

@@ -123,7 +123,20 @@ Result<Statement> Parser::ParseStatement() {
     MOOD_ASSIGN_OR_RETURN(DropClassStmt s, ParseDrop());
     return Statement(std::move(s));
   }
+  if (CheckKeyword("ANALYZE")) {
+    MOOD_ASSIGN_OR_RETURN(AnalyzeStmt s, ParseAnalyze());
+    return Statement(std::move(s));
+  }
   return Status::ParseError("unknown statement start: '" + Peek().text + "'");
+}
+
+Result<AnalyzeStmt> Parser::ParseAnalyze() {
+  MOOD_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+  AnalyzeStmt stmt;
+  if (Check(TokenType::kIdentifier)) {
+    stmt.class_name = Advance().text;
+  }
+  return stmt;
 }
 
 Result<ExplainStmt> Parser::ParseExplain() {

@@ -46,6 +46,7 @@ class Parser {
   Result<UpdateStmt> ParseUpdate();
   Result<DeleteStmt> ParseDelete();
   Result<DropClassStmt> ParseDrop();
+  Result<AnalyzeStmt> ParseAnalyze();
 
   Result<FromEntry> ParseFromEntry();
   Result<TypeDescPtr> ParseType();

@@ -1,0 +1,117 @@
+#include "stats/feedback.h"
+
+namespace mood {
+
+namespace {
+void RunningMean(double* mean, uint64_t* n, double sample) {
+  *n += 1;
+  *mean += (sample - *mean) / static_cast<double>(*n);
+}
+}  // namespace
+
+void CostCalibration::AddPage(double ms_per_page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunningMean(&page_ms_, &pages_, ms_per_page);
+}
+
+void CostCalibration::AddDeref(double ms_per_deref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunningMean(&deref_ms_, &derefs_, ms_per_deref);
+}
+
+void CostCalibration::AddPredicate(double ms_per_predicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunningMean(&pred_ms_, &preds_, ms_per_predicate);
+}
+
+bool CostCalibration::Valid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_ > 0 && derefs_ > 0;
+}
+
+double CostCalibration::MsPerPage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_ms_;
+}
+
+double CostCalibration::MsPerDeref() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deref_ms_;
+}
+
+double CostCalibration::MsPerPredicate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pred_ms_;
+}
+
+void CostCalibration::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_ms_ = deref_ms_ = pred_ms_ = 0;
+  pages_ = derefs_ = preds_ = 0;
+}
+
+void FeedbackStore::Configure(const FeedbackOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = opts;
+  while (lru_.size() > opts_.max_entries && !lru_.empty()) {
+    index_.erase(lru_.back().sig);
+    lru_.pop_back();
+  }
+}
+
+void FeedbackStore::Record(const std::string& sig, double selectivity,
+                           uint64_t schema_epoch, uint16_t file,
+                           uint64_t write_epoch) {
+  if (opts_.max_entries == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sig);
+  if (it != index_.end()) {
+    it->second->entry = Entry{selectivity, schema_epoch, write_epoch, file};
+    Touch(it->second);
+    return;
+  }
+  lru_.push_front(Node{sig, Entry{selectivity, schema_epoch, write_epoch, file}});
+  index_[sig] = lru_.begin();
+  if (lru_.size() > opts_.max_entries) {
+    index_.erase(lru_.back().sig);
+    lru_.pop_back();
+  }
+}
+
+bool FeedbackStore::Lookup(const std::string& sig, uint64_t cur_schema_epoch,
+                           uint16_t file, uint64_t cur_write_epoch,
+                           double* selectivity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sig);
+  if (it == index_.end()) return false;
+  const Entry& e = it->second->entry;
+  const uint64_t churn =
+      cur_write_epoch >= e.write_epoch ? cur_write_epoch - e.write_epoch : 0;
+  if (e.schema_epoch != cur_schema_epoch || e.file != file ||
+      churn > opts_.refresh_epoch_delta) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    invalidations_++;
+    return false;
+  }
+  Touch(it->second);
+  *selectivity = e.selectivity;
+  return true;
+}
+
+void FeedbackStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t FeedbackStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void FeedbackStore::Touch(std::list<Node>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+}  // namespace mood

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mood {
+
+struct FeedbackOptions {
+  size_t max_entries = 256;           ///< LRU capacity
+  uint64_t refresh_epoch_delta = 256; ///< write-epoch churn before invalidation
+};
+
+/// Running means of measured per-operation costs, sampled from profiled
+/// executions (BIND wall-time / pages, join wall-time / derefs, filter
+/// wall-time / predicate evaluations). Once Valid(), the optimizer swaps the
+/// paper's 1994 disk parameters for these — which is what lets it see that a
+/// residual filter over an already-bound extent is cheaper than expanding a
+/// pointer-join chain on modern hardware.
+class CostCalibration {
+ public:
+  void AddPage(double ms_per_page);
+  void AddDeref(double ms_per_deref);
+  void AddPredicate(double ms_per_predicate);
+
+  /// Page and deref samples both present — enough to price plans coherently.
+  bool Valid() const;
+  double MsPerPage() const;
+  double MsPerDeref() const;
+  double MsPerPredicate() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  double page_ms_ = 0, deref_ms_ = 0, pred_ms_ = 0;  ///< running means
+  uint64_t pages_ = 0, derefs_ = 0, preds_ = 0;      ///< sample counts
+};
+
+/// Bounded LRU of measured selectivities keyed by normalized predicate
+/// signature (e.g. "Company.name = 'BMW'" or "Vehicle.manufacturer.name: =
+/// 'BMW'"). Entries remember the catalog schema epoch and the extent file's
+/// write epoch at record time; Lookup drops entries whose schema epoch moved
+/// or whose file churned past refresh_epoch_delta writes, so stale
+/// measurements cannot steer the optimizer after DDL or heavy update traffic.
+class FeedbackStore {
+ public:
+  struct Entry {
+    double selectivity = 0;
+    uint64_t schema_epoch = 0;
+    uint64_t write_epoch = 0;
+    uint16_t file = 0;
+  };
+
+  void Configure(const FeedbackOptions& opts);
+
+  void Record(const std::string& sig, double selectivity, uint64_t schema_epoch,
+              uint16_t file, uint64_t write_epoch);
+
+  /// Returns true and fills *selectivity when a still-valid entry exists.
+  /// Invalid entries are erased and counted in invalidations().
+  bool Lookup(const std::string& sig, uint64_t cur_schema_epoch, uint16_t file,
+              uint64_t cur_write_epoch, double* selectivity);
+
+  void Clear();
+  size_t size() const;
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Node {
+    std::string sig;
+    Entry entry;
+  };
+
+  void Touch(std::list<Node>::iterator it);
+
+  mutable std::mutex mu_;
+  FeedbackOptions opts_;
+  std::list<Node> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace mood

@@ -1,0 +1,76 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+namespace mood {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t target_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty() || target_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  h.total_ = values.size();
+  const size_t depth =
+      std::max<size_t>(1, (values.size() + target_buckets - 1) / target_buckets);
+
+  Bucket cur;
+  cur.lo = values[0];
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (cur.count == 0) {
+      cur.lo = v;
+      cur.distinct = 1;
+    } else if (v != values[i - 1]) {
+      cur.distinct++;
+    }
+    cur.count++;
+    cur.hi = v;
+    const bool last = i + 1 == values.size();
+    // Close the bucket once it is deep enough, but only at a value boundary:
+    // an equal-value run always lands in a single bucket.
+    if (!last && cur.count >= depth && values[i + 1] != v) {
+      h.buckets_.push_back(cur);
+      cur = Bucket{};
+    }
+  }
+  if (cur.count > 0) h.buckets_.push_back(cur);
+  return h;
+}
+
+double EquiDepthHistogram::FractionLE(double c) const {
+  if (empty()) return 0.0;
+  if (c < buckets_.front().lo) return 0.0;
+  if (c >= buckets_.back().hi) return 1.0;
+  uint64_t below = 0;
+  for (const Bucket& b : buckets_) {
+    if (c >= b.hi) {
+      below += b.count;
+      continue;
+    }
+    if (c >= b.lo) {
+      // Linear interpolation inside the bucket.
+      const double width = b.hi - b.lo;
+      const double frac = width > 0 ? (c - b.lo) / width : 1.0;
+      below += static_cast<uint64_t>(frac * static_cast<double>(b.count));
+    }
+    break;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double EquiDepthHistogram::FractionEq(double c) const {
+  if (empty()) return 0.0;
+  for (const Bucket& b : buckets_) {
+    if (c < b.lo) break;
+    if (c <= b.hi) {
+      const uint64_t d = std::max<uint64_t>(1, b.distinct);
+      return static_cast<double>(b.count) / static_cast<double>(d) /
+             static_cast<double>(total_);
+    }
+  }
+  // Value falls outside every bucket (or in a gap between buckets): present
+  // rows would have landed in a bucket, so estimate "about half a row".
+  return 0.5 / static_cast<double>(total_);
+}
+
+}  // namespace mood

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mood {
+
+/// Equi-depth histogram over one numeric attribute. Buckets hold roughly
+/// equal row counts, so skewed distributions get narrow buckets where the
+/// data is dense — exactly where the paper's flat (max-c)/(max-min) range
+/// formula is most wrong. Build() never splits a run of equal values across
+/// buckets; a heavy value therefore sits alone in a deep bucket and
+/// FractionEq reports its true weight instead of 1/dist.
+class EquiDepthHistogram {
+ public:
+  struct Bucket {
+    double lo = 0;        ///< inclusive lower bound
+    double hi = 0;        ///< inclusive upper bound
+    uint64_t count = 0;   ///< rows in [lo, hi]
+    uint64_t distinct = 0;///< distinct values in [lo, hi]
+  };
+
+  /// Builds from the sampled values (consumed; sorted internally). Returns an
+  /// empty histogram when values is empty or target_buckets is zero.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  size_t target_buckets);
+
+  bool empty() const { return buckets_.empty(); }
+  uint64_t total() const { return total_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Fraction of rows with value <= c (linear interpolation inside a bucket).
+  double FractionLE(double c) const;
+  /// Fraction of rows with value == c (bucket depth spread over its distinct
+  /// values; values outside every bucket get a small floor, not zero).
+  double FractionEq(double c) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mood

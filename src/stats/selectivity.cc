@@ -7,12 +7,63 @@
 
 namespace mood {
 
+const char* SelSourceName(SelSource s) {
+  switch (s) {
+    case SelSource::kHistogram:
+      return "histogram";
+    case SelSource::kFeedback:
+      return "feedback";
+    default:
+      return "default";
+  }
+}
+
 Result<double> SelectivityEstimator::AtomicSelectivity(const std::string& cls,
                                                        const std::string& attr,
                                                        BinaryOp op,
-                                                       const MoodValue& constant) const {
+                                                       const MoodValue& constant,
+                                                       SelSource* source) const {
   MOOD_ASSIGN_OR_RETURN(AttributeStats s, stats_->Attribute(cls, attr));
   auto clamp = [](double f) { return std::clamp(f, 0.0, 1.0); };
+  if (source) *source = SelSource::kDefault;
+
+  // Histogram path: bucket fractions instead of uniformity, when Collect()
+  // built one and the constant is numeric.
+  if (s.histogram && !s.histogram->empty()) {
+    auto c = constant.ToDouble();
+    if (c.ok()) {
+      const EquiDepthHistogram& h = *s.histogram;
+      double f = -1.0;
+      switch (op) {
+        case BinaryOp::kEq:
+          f = h.FractionEq(c.value());
+          break;
+        case BinaryOp::kNe:
+          f = 1.0 - h.FractionEq(c.value());
+          break;
+        case BinaryOp::kLe:
+          f = h.FractionLE(c.value());
+          break;
+        case BinaryOp::kLt:
+          f = h.FractionLE(c.value()) - h.FractionEq(c.value());
+          break;
+        case BinaryOp::kGe:
+          f = 1.0 - h.FractionLE(c.value()) + h.FractionEq(c.value());
+          break;
+        case BinaryOp::kGt:
+          f = 1.0 - h.FractionLE(c.value());
+          break;
+        default:
+          return Status::InvalidArgument("not a comparison operator");
+      }
+      if (f >= 0) {
+        if (source) *source = SelSource::kHistogram;
+        // Scale by notnull: histogram fractions are over present values.
+        return clamp(f * s.notnull);
+      }
+    }
+  }
+
   const double dist = s.dist == 0 ? 1.0 : static_cast<double>(s.dist);
   switch (op) {
     case BinaryOp::kEq:
@@ -72,28 +123,31 @@ Result<double> SelectivityEstimator::Fref(const BoundPath& path, double k,
 }
 
 Result<double> SelectivityEstimator::TerminalK(const BoundPath& path, BinaryOp op,
-                                               const MoodValue& constant) const {
+                                               const MoodValue& constant,
+                                               SelSource* source) const {
   if (!path.IsTerminalAtomic()) {
     return Status::InvalidArgument("path does not terminate in an atomic attribute");
   }
   const std::string& cm = path.TerminalClass();
   const std::string& am = path.steps.back().name;
-  MOOD_ASSIGN_OR_RETURN(double fs, AtomicSelectivity(cm, am, op, constant));
+  MOOD_ASSIGN_OR_RETURN(double fs, AtomicSelectivity(cm, am, op, constant, source));
   MOOD_ASSIGN_OR_RETURN(ClassStats cs, stats_->Class(cm));
   return static_cast<double>(cs.cardinality) * fs;
 }
 
 Result<double> SelectivityEstimator::PathSelectivity(const BoundPath& path, BinaryOp op,
-                                                     const MoodValue& constant) const {
+                                                     const MoodValue& constant,
+                                                     SelSource* source) const {
   if (path.steps.size() == 1) {
     // Immediate selection: plain atomic selectivity.
-    return AtomicSelectivity(path.classes[0], path.steps[0].name, op, constant);
+    return AtomicSelectivity(path.classes[0], path.steps[0].name, op, constant,
+                             source);
   }
   const size_t ref_hops = path.classes.size() - 1;
   if (ref_hops == 0) {
     return Status::InvalidArgument("path selectivity needs at least one reference hop");
   }
-  MOOD_ASSIGN_OR_RETURN(double k_m, TerminalK(path, op, constant));
+  MOOD_ASSIGN_OR_RETURN(double k_m, TerminalK(path, op, constant, source));
   MOOD_ASSIGN_OR_RETURN(double fref_one, Fref(path, 1.0));
   MOOD_ASSIGN_OR_RETURN(Hop last, HopParams(path, ref_hops - 1));
   // The paper's Table 16 requires the expected matching set to contain at least

@@ -7,8 +7,18 @@
 
 namespace mood {
 
+/// Where a selectivity figure came from — surfaced by EXPLAIN VERBOSE as
+/// `[sel: ...]` so mis-estimates are diagnosable at a glance.
+enum class SelSource {
+  kDefault,    ///< paper formulas (1/dist, (max-c)/(max-min)) or 1/3 fallback
+  kHistogram,  ///< equi-depth histogram from a Collect() pass
+  kFeedback,   ///< measured cardinality written back from a profiled run
+};
+
+const char* SelSourceName(SelSource s);
+
 /// Implements the selectivity formulas of Section 4.1 under the uniformity
-/// assumption.
+/// assumption, upgraded to equi-depth histograms when Collect() built one.
 class SelectivityEstimator {
  public:
   explicit SelectivityEstimator(const StatisticsManager* stats) : stats_(stats) {}
@@ -19,9 +29,13 @@ class SelectivityEstimator {
   ///   <, <=    -> (c - min) / (max - min)
   ///   <>       -> 1 - 1/dist
   /// BETWEEN arrives as >= AND <= after parsing. Non-numeric attributes fall back
-  /// to 1/dist for equality and 1/3 for ranges (the classic default).
+  /// to 1/dist for equality and 1/3 for ranges (the classic default). When the
+  /// attribute carries a histogram and the constant is numeric, the histogram's
+  /// bucket fractions replace the flat formulas (`source` reports which path
+  /// ran; pass nullptr when not interested).
   Result<double> AtomicSelectivity(const std::string& cls, const std::string& attr,
-                                   BinaryOp op, const MoodValue& constant) const;
+                                   BinaryOp op, const MoodValue& constant,
+                                   SelSource* source = nullptr) const;
 
   /// fref(p.A1...Ai, k): expected number of distinct objects of the class at the
   /// end of the reference prefix when starting from k objects of the root class.
@@ -36,11 +50,13 @@ class SelectivityEstimator {
   /// The max(1, .) clamp reproduces the paper's Table 16 value for P2 (see
   /// DESIGN.md's reverse-engineering note).
   Result<double> PathSelectivity(const BoundPath& path, BinaryOp op,
-                                 const MoodValue& constant) const;
+                                 const MoodValue& constant,
+                                 SelSource* source = nullptr) const;
 
   /// Expected number of C_m objects selected by the terminal predicate: k_m.
   Result<double> TerminalK(const BoundPath& path, BinaryOp op,
-                           const MoodValue& constant) const;
+                           const MoodValue& constant,
+                           SelSource* source = nullptr) const;
 
   const StatisticsManager* stats() const { return stats_; }
 

@@ -1,0 +1,68 @@
+#include "stats/sketch.h"
+
+#include <cmath>
+
+namespace mood {
+
+uint64_t DistinctSketch::Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // One finalization round spreads low-entropy encodings (small integers)
+  // across the register index bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+void DistinctSketch::AddHash(uint64_t hash) {
+  if (dense_.empty()) {
+    sparse_.insert(hash);
+    if (sparse_.size() > kSparseLimit) Densify();
+    return;
+  }
+  DenseAdd(hash);
+}
+
+void DistinctSketch::Densify() {
+  dense_.assign(kRegisters, 0);
+  for (uint64_t h : sparse_) DenseAdd(h);
+  sparse_.clear();
+}
+
+void DistinctSketch::DenseAdd(uint64_t hash) {
+  const size_t reg = hash >> (64 - kRegisterBits);
+  // Rank: position of the first 1-bit in the remaining bits (1-based).
+  uint64_t rest = hash << kRegisterBits;
+  uint8_t rank = 1;
+  while (rest != 0 && (rest & (1ull << 63)) == 0 && rank < 64 - kRegisterBits) {
+    rest <<= 1;
+    rank++;
+  }
+  if (rest == 0) rank = static_cast<uint8_t>(64 - kRegisterBits + 1);
+  if (rank > dense_[reg]) dense_[reg] = rank;
+}
+
+uint64_t DistinctSketch::Estimate() const {
+  if (dense_.empty()) return sparse_.size();
+  const double m = static_cast<double>(kRegisters);
+  double inv_sum = 0;
+  size_t zeros = 0;
+  for (uint8_t r : dense_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) zeros++;
+  }
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);  // standard HLL constant
+  double estimate = alpha * m * m / inv_sum;
+  // Linear-counting correction for the low range (sparse mode already covers
+  // most of it, but densify at 4096 < 2.5 * 1024 registers leaves a window).
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return static_cast<uint64_t>(estimate + 0.5);
+}
+
+}  // namespace mood

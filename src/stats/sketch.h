@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mood {
+
+/// Distinct-value counter for Table 8's dist(A,C) column. Starts in *sparse*
+/// mode — an exact hash set — and converts to an HLL-style register array only
+/// past kSparseLimit distinct values. The split matters because dist feeds the
+/// 1/dist equality selectivity directly: small extents (the common case for the
+/// paper's schema) keep exact counts, while wide attributes (unique ids,
+/// strings) get a fixed-memory estimate within a few percent instead of an
+/// unbounded std::set of encoded values.
+class DistinctSketch {
+ public:
+  static constexpr size_t kRegisterBits = 10;  ///< 2^10 registers, ~3.2% stderr
+  static constexpr size_t kRegisters = size_t{1} << kRegisterBits;
+  static constexpr size_t kSparseLimit = 4096;
+
+  void Add(const std::string& encoded) { AddHash(Fnv1a(encoded)); }
+  void AddHash(uint64_t hash);
+
+  /// Distinct values added so far. Exact while sparse, estimated when dense.
+  uint64_t Estimate() const;
+  bool sparse() const { return dense_.empty(); }
+
+ private:
+  static uint64_t Fnv1a(const std::string& s);
+  void Densify();
+  void DenseAdd(uint64_t hash);
+
+  std::unordered_set<uint64_t> sparse_;
+  std::vector<uint8_t> dense_;  ///< empty until kSparseLimit is crossed
+};
+
+}  // namespace mood

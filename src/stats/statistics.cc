@@ -1,7 +1,8 @@
 #include "stats/statistics.h"
 
-#include <set>
 #include <unordered_set>
+
+#include "stats/sketch.h"
 
 namespace mood {
 
@@ -15,7 +16,8 @@ Status StatisticsManager::Collect(const std::string& class_name) {
 
   struct AttrAcc {
     uint64_t notnull = 0;
-    std::set<std::string> distinct;  // encoded values
+    DistinctSketch distinct;  // over encoded values
+    std::vector<double> values;  // numeric values, feed the histogram
     double max_val = -1e308;
     double min_val = 1e308;
     bool numeric = true;
@@ -55,11 +57,12 @@ Status StatisticsManager::Collect(const std::string& class_name) {
             attr_acc[i].notnull++;
             std::string venc;
             v.EncodeTo(&venc);
-            attr_acc[i].distinct.insert(std::move(venc));
+            attr_acc[i].distinct.Add(venc);
             auto d = v.ToDouble();
             if (d.ok()) {
               attr_acc[i].max_val = std::max(attr_acc[i].max_val, d.value());
               attr_acc[i].min_val = std::min(attr_acc[i].min_val, d.value());
+              attr_acc[i].values.push_back(d.value());
             } else {
               attr_acc[i].numeric = false;
             }
@@ -91,11 +94,16 @@ Status StatisticsManager::Collect(const std::string& class_name) {
       s.notnull = count == 0 ? 1.0
                              : static_cast<double>(attr_acc[i].notnull) /
                                    static_cast<double>(count);
-      s.dist = attr_acc[i].distinct.size();
+      s.dist = attr_acc[i].distinct.Estimate();
       s.has_range = attr_acc[i].numeric && attr_acc[i].notnull > 0;
       if (s.has_range) {
         s.max_val = attr_acc[i].max_val;
         s.min_val = attr_acc[i].min_val;
+        if (histogram_buckets_ > 0 && !attr_acc[i].values.empty()) {
+          s.histogram = std::make_shared<const EquiDepthHistogram>(
+              EquiDepthHistogram::Build(std::move(attr_acc[i].values),
+                                        histogram_buckets_));
+        }
       }
       attributes_[{class_name, attrs[i].name}] = s;
     } else if (!ref_acc[i].target_class.empty()) {
@@ -108,7 +116,72 @@ Status StatisticsManager::Collect(const std::string& class_name) {
       references_[{class_name, attrs[i].name}] = s;
     }
   }
+
+  CollectEpochs ep;
+  ep.schema_epoch = catalog->schema_epoch();
+  if (ExtentEpoch(class_name, &ep.file, &ep.write_epoch)) {
+    collected_[class_name] = ep;
+  }
   return Status::OK();
+}
+
+void StatisticsManager::Configure(size_t histogram_buckets,
+                                  const FeedbackOptions& feedback) {
+  histogram_buckets_ = histogram_buckets;
+  feedback_opts_ = feedback;
+  feedback_.Configure(feedback);
+}
+
+bool StatisticsManager::ExtentEpoch(const std::string& cls, uint16_t* file,
+                                    uint64_t* write_epoch) const {
+  auto type = objects_->catalog()->Lookup(cls);
+  if (!type.ok()) return false;
+  *file = static_cast<uint16_t>(type.value()->extent_file);
+  *write_epoch = objects_->WriteEpochOf(*file);
+  return true;
+}
+
+void StatisticsManager::RecordFeedback(const std::string& sig,
+                                       double selectivity,
+                                       const std::string& cls) {
+  uint16_t file = 0;
+  uint64_t write_epoch = 0;
+  if (!ExtentEpoch(cls, &file, &write_epoch)) return;
+  feedback_.Record(sig, selectivity, objects_->catalog()->schema_epoch(), file,
+                   write_epoch);
+  if (feedback_writes_) feedback_writes_->Add();
+}
+
+bool StatisticsManager::LookupFeedback(const std::string& sig,
+                                       const std::string& cls,
+                                       double* selectivity) {
+  uint16_t file = 0;
+  uint64_t write_epoch = 0;
+  if (!ExtentEpoch(cls, &file, &write_epoch)) return false;
+  const uint64_t before = feedback_.invalidations();
+  const bool hit = feedback_.Lookup(sig, objects_->catalog()->schema_epoch(),
+                                    file, write_epoch, selectivity);
+  const uint64_t dropped = feedback_.invalidations() - before;
+  if (dropped > 0 && feedback_invalidations_) feedback_invalidations_->Add(dropped);
+  if (hit && feedback_hits_) feedback_hits_->Add();
+  return hit;
+}
+
+void StatisticsManager::MaybeAutoRefresh(const std::string& cls) {
+  auto it = collected_.find(cls);
+  if (it == collected_.end()) return;  // injected stats: never auto-refresh
+  uint16_t file = 0;
+  uint64_t write_epoch = 0;
+  if (!ExtentEpoch(cls, &file, &write_epoch)) return;
+  const uint64_t schema = objects_->catalog()->schema_epoch();
+  const uint64_t churn = write_epoch >= it->second.write_epoch
+                             ? write_epoch - it->second.write_epoch
+                             : 0;
+  if (schema == it->second.schema_epoch &&
+      churn <= feedback_opts_.refresh_epoch_delta) {
+    return;
+  }
+  if (Collect(cls).ok() && refreshes_) refreshes_->Add();
 }
 
 Result<ClassStats> StatisticsManager::Class(const std::string& cls) const {

@@ -1,11 +1,15 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "objects/object_manager.h"
+#include "stats/feedback.h"
+#include "stats/histogram.h"
 
 namespace mood {
 
@@ -25,6 +29,10 @@ struct AttributeStats {
   double max_val = 0;
   double min_val = 0;
   bool has_range = false;  ///< max/min meaningful (numeric attribute)
+  /// Equi-depth histogram over the attribute's numeric values. Only present
+  /// after Collect() on a numeric attribute; injected (modeled-mode) stats
+  /// never carry one, so paper-mode selectivity formulas stay byte-exact.
+  std::shared_ptr<const EquiDepthHistogram> histogram;
 };
 
 /// Per-reference-attribute statistics for A: C -> D (Table 8): fan, totref.
@@ -47,6 +55,38 @@ class StatisticsManager {
 
   /// Scans the class extent and recomputes class, attribute and reference stats.
   Status Collect(const std::string& class_name);
+
+  /// Histogram bucket target + feedback-store sizing, set once at Open.
+  void Configure(size_t histogram_buckets, const FeedbackOptions& feedback);
+  /// Metrics hookup (nullptrs allowed; detach with nullptrs before registry
+  /// teardown, matching the executor's pattern).
+  void SetMetrics(MetricCounter* feedback_hits, MetricCounter* feedback_writes,
+                  MetricCounter* feedback_invalidations,
+                  MetricCounter* refreshes) {
+    feedback_hits_ = feedback_hits;
+    feedback_writes_ = feedback_writes;
+    feedback_invalidations_ = feedback_invalidations;
+    refreshes_ = refreshes;
+  }
+
+  FeedbackStore& feedback() { return feedback_; }
+  CostCalibration& calibration() { return calibration_; }
+  uint64_t feedback_refresh_delta() const {
+    return feedback_opts_.refresh_epoch_delta;
+  }
+
+  /// Records one measured selectivity under `sig`, stamped with the current
+  /// schema epoch and the extent file's write epoch.
+  void RecordFeedback(const std::string& sig, double selectivity,
+                      const std::string& cls);
+  /// Looks up a still-valid measured selectivity for `sig` on class `cls`.
+  bool LookupFeedback(const std::string& sig, const std::string& cls,
+                      double* selectivity);
+
+  /// Re-collects stats for `cls` when its extent file's write epoch moved more
+  /// than the refresh threshold since the last Collect. No-op for classes
+  /// whose stats were injected rather than collected.
+  void MaybeAutoRefresh(const std::string& cls);
 
   // Injection (modeled mode).
   void SetClassStats(const std::string& cls, ClassStats s) { classes_[cls] = s; }
@@ -77,10 +117,30 @@ class StatisticsManager {
   std::vector<std::pair<std::string, std::string>> AtomicAttributes() const;
 
  private:
+  struct CollectEpochs {
+    uint64_t schema_epoch = 0;
+    uint64_t write_epoch = 0;
+    uint16_t file = 0;
+  };
+
+  /// Extent file + current write epoch for `cls`; false when unknown.
+  bool ExtentEpoch(const std::string& cls, uint16_t* file,
+                   uint64_t* write_epoch) const;
+
   ObjectManager* objects_;
   std::map<std::string, ClassStats> classes_;
   std::map<std::pair<std::string, std::string>, AttributeStats> attributes_;
   std::map<std::pair<std::string, std::string>, ReferenceStats> references_;
+  /// Epochs at the time of the last Collect(), only for collected classes.
+  std::map<std::string, CollectEpochs> collected_;
+  size_t histogram_buckets_ = 32;
+  FeedbackOptions feedback_opts_;
+  FeedbackStore feedback_;
+  CostCalibration calibration_;
+  MetricCounter* feedback_hits_ = nullptr;
+  MetricCounter* feedback_writes_ = nullptr;
+  MetricCounter* feedback_invalidations_ = nullptr;
+  MetricCounter* refreshes_ = nullptr;
 };
 
 }  // namespace mood

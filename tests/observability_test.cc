@@ -217,6 +217,9 @@ TEST_F(ObsFixture, ExplainAnalyzeGoldenShapeAndThreadDeterminism) {
       for (size_t threads : {1u, 2u, 8u}) {
         ExplainOptions options;
         options.analyze = true;
+        // Feedback writeback would change the plan between profiled runs;
+        // this test is about render determinism, not plan evolution.
+        options.query.feedback = false;
         options.query.exec_threads = threads;
         options.query.batch_size = batch;
         MOOD_ASSERT_OK_AND_ASSIGN(ExplainResult res, db_.Explain(sql, options));

@@ -68,6 +68,52 @@ TEST(ApproxTest, OverlapProbabilityIdentities) {
   }
 }
 
+TEST(ApproxTest, OverlapProbabilityFractionalY) {
+  // The paper multiplies k_m by hitprb, so y is routinely fractional; the
+  // Gamma-generalized binomial ratio must be continuous in y and bracketed by
+  // the adjacent integer evaluations.
+  double lo = OverlapProbability(10000, 50, 3.0);
+  double mid = OverlapProbability(10000, 50, 3.5);
+  double hi = OverlapProbability(10000, 50, 4.0);
+  EXPECT_GT(mid, lo);
+  EXPECT_LT(mid, hi);
+  // Tiny fractional y degrades smoothly toward zero, never negative.
+  double tiny = OverlapProbability(20000, 1, 0.05);
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_LT(tiny, OverlapProbability(20000, 1, 1.0));
+  // x = 1 identity extends to fractional y: o(t,1,y) = y/t.
+  EXPECT_NEAR(OverlapProbability(10000, 1, 2.5), 2.5e-4, 1e-9);
+}
+
+TEST(ApproxTest, OverlapProbabilityDegenerateInputs) {
+  // Pigeonhole: t < x + y forces an overlap.
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 70, 40), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapProbability(10, 10, 0.5), 1.0);
+  // Empty sets never overlap, whichever side is empty.
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 50, 0), 0.0);
+  // Full-universe set overlaps with anything non-empty.
+  EXPECT_DOUBLE_EQ(OverlapProbability(100, 100, 1), 1.0);
+}
+
+TEST(ApproxTest, CApproxBracketedByYaoRegimes) {
+  // CApprox is exact at the extremes Yao is exact at: r much smaller than m
+  // (every record a fresh color) and r past saturation (all colors hit).
+  const uint64_t n = 10000, m = 1000;
+  EXPECT_NEAR(CApprox(n, m, 5), YaoExact(n, m, 5), 0.05 * YaoExact(n, m, 5));
+  EXPECT_DOUBLE_EQ(CApprox(n, m, 10 * m), m);
+  EXPECT_NEAR(YaoExact(n, m, 10 * m), m, 1.0);
+  // Both stay within [min(r, m)] bounds across the transition band.
+  for (uint64_t r : {400u, 600u, 1000u, 1500u, 1999u}) {
+    double c = CApprox(n, m, r);
+    double y = YaoExact(n, m, r);
+    EXPECT_LE(c, m);
+    EXPECT_LE(c, static_cast<double>(r));
+    EXPECT_LE(y, m + 1e-9);
+    EXPECT_LE(y, static_cast<double>(r));
+  }
+}
+
 TEST(FileOpsTest, SeqAndRndCostFormulas) {
   DiskParameters p;  // defaults: s=16, r=8.3, btt=0.84, ebt=1.0
   EXPECT_DOUBLE_EQ(SeqCost(100, p), 16 + 8.3 + 100 * 1.0);
