@@ -152,13 +152,15 @@ int main() {
     Banner("Parallel probe scaling (implicit join via executor)");
     const std::string join_sql =
         "SELECT v FROM Vehicle v, VehicleDriveTrain d WHERE v.drivetrain = d";
-    mdb.executor()->set_threads(1);
-    auto serial = CheckV(mdb.Query(join_sql), "serial join");
+    QueryOptions serial_opts;
+    serial_opts.exec_threads = 1;
+    auto serial = CheckV(mdb.Query(join_sql, serial_opts), "serial join");
     Table pt({"threads", "ms", "pairs"});
     for (size_t threads : {1u, 2u, 4u}) {
-      mdb.executor()->set_threads(threads);
+      QueryOptions opts;
+      opts.exec_threads = threads;
       auto start = std::chrono::steady_clock::now();
-      auto qr = CheckV(mdb.Query(join_sql), "parallel join");
+      auto qr = CheckV(mdb.Query(join_sql, opts), "parallel join");
       double ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -168,7 +170,6 @@ int main() {
       pt.AddRow({std::to_string(threads), Fmt(ms, 2),
                  std::to_string(qr.rows.size())});
     }
-    mdb.executor()->set_threads(1);
     pt.Print();
   }
   return checks.ExitCode();

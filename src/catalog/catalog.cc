@@ -528,6 +528,9 @@ Status Catalog::RegisterIndex(const IndexDesc& desc) {
   }
   MOOD_RETURN_IF_ERROR(Lookup(desc.class_name).status());
   indexes_[desc.name] = desc;
+  // A new index changes which plans are possible; epoch-stamped caches
+  // (layouts, feedback, cached plans) must re-derive.
+  BumpSchemaEpoch();
   return PersistIndexes();
 }
 
@@ -535,6 +538,7 @@ Status Catalog::UnregisterIndex(const std::string& index_name) {
   if (indexes_.erase(index_name) == 0) {
     return Status::NotFound("no index '" + index_name + "'");
   }
+  BumpSchemaEpoch();
   return PersistIndexes();
 }
 

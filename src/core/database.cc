@@ -66,6 +66,11 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   executor_->set_batch_size(options.batch_size);
   schema_browser_ = std::make_unique<SchemaBrowser>(catalog_.get());
   object_browser_ = std::make_unique<ObjectBrowser>(objects_.get());
+  plan_cache_ = std::make_unique<PlanCache>();
+  plan_cache_->Configure(options.plan_cache_entries, options.stats_refresh_epoch_delta);
+  result_cache_ = std::make_unique<ResultCache>();
+  result_cache_->Configure(options.result_cache_bytes);
+  default_query_options_ = QueryOptions{};
 
   // Engine metrics: every kernel component registers its probe; the facade
   // owns the execution counters. Probes hold component pointers, so Close()
@@ -91,6 +96,14 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
                      metrics_->Counter("stats.feedback_invalidations"),
                      metrics_->Counter("stats.refreshes"));
   feedback_absorbed_counter_ = metrics_->Counter("stats.feedback_absorbed");
+  plan_cache_->SetMetrics(metrics_->Counter("cache.plan.hits"),
+                          metrics_->Counter("cache.plan.misses"),
+                          metrics_->Counter("cache.plan.evictions"),
+                          metrics_->Counter("cache.plan.invalidations"));
+  result_cache_->SetMetrics(metrics_->Counter("cache.result.hits"),
+                            metrics_->Counter("cache.result.misses"),
+                            metrics_->Counter("cache.result.evictions"),
+                            metrics_->Counter("cache.result.invalidations"));
 
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
@@ -116,12 +129,16 @@ Status Database::Close() {
   executor_->SetExprMetrics(nullptr, nullptr, nullptr);
   executor_->SetBatchMetrics(nullptr, nullptr);
   stats_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
+  plan_cache_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
+  result_cache_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
   query_us_hist_ = nullptr;
   feedback_absorbed_counter_ = nullptr;
   schema_browser_.reset();
   object_browser_.reset();
+  plan_cache_.reset();
+  result_cache_.reset();
   executor_.reset();
   optimizer_.reset();
   stats_.reset();
@@ -227,16 +244,98 @@ Result<ExecResult> Database::Execute(const std::string& sql) {
   return Execute(sql, QueryOptions{});
 }
 
+ResolvedQueryOptions Database::Resolve(const QueryOptions& options) const {
+  auto pick = [](const auto& call, const auto& session, auto fallback) {
+    return call.has_value() ? *call
+                            : (session.has_value() ? *session : fallback);
+  };
+  const QueryOptions& d = default_query_options_;
+  ResolvedQueryOptions r;
+  r.exec_threads = pick(options.exec_threads, d.exec_threads, size_t{0});
+  r.batch_size = pick(options.batch_size, d.batch_size, ExecOptions::kInheritBatch);
+  r.deref_cache_entries =
+      pick(options.deref_cache_entries, d.deref_cache_entries, ExecOptions::kInheritCache);
+  r.collect_profile = pick(options.collect_profile, d.collect_profile, false);
+  r.compile_expressions = pick(options.compile_expressions, d.compile_expressions, true);
+  r.feedback = pick(options.feedback, d.feedback, true);
+  r.use_cache = pick(options.use_cache, d.use_cache, true);
+  return r;
+}
+
+void Database::SetDefaultQueryOptions(const QueryOptions& options) {
+  default_query_options_ = options;
+}
+
 Result<ExecResult> Database::Execute(const std::string& sql,
                                      const QueryOptions& options) {
   MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
   uint64_t start = ProfileNowNs();
-  Result<ExecResult> res = ExecuteStatement(stmt, options);
+  Result<ExecResult> res = ExecuteStatement(stmt, options, NormalizeSql(sql));
   if (res.ok() && res.value().kind == ExecResult::Kind::kQuery) {
     double elapsed_ms = static_cast<double>(ProfileNowNs() - start) / 1e6;
-    size_t threads =
-        options.exec_threads == 0 ? executor_->threads() : options.exec_threads;
+    size_t threads = Resolve(options).exec_threads;
+    if (threads == 0) threads = executor_->threads();
     NoteQuery(sql, elapsed_ms, res.value().query.rows.size(), threads);
+  }
+  return res;
+}
+
+Result<PreparedStatement> Database::Prepare(const std::string& sql) {
+  if (!is_open()) return Status::InvalidArgument("database is not open");
+  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("Prepare supports SELECT statements only");
+  }
+  auto shared = std::make_shared<const SelectStmt>(std::move(*select));
+  const uint32_t params = ParamCount(*shared);
+  return PreparedStatement(this, alive_, std::move(shared), NormalizeSql(sql),
+                           params);
+}
+
+PreparedStatement& PreparedStatement::operator=(PreparedStatement&& other) noexcept {
+  if (this == &other) return *this;
+  db_ = other.db_;
+  db_alive_ = std::move(other.db_alive_);
+  stmt_ = std::move(other.stmt_);
+  normalized_sql_ = std::move(other.normalized_sql_);
+  param_count_ = other.param_count_;
+  other.db_ = nullptr;
+  other.param_count_ = 0;
+  return *this;
+}
+
+Result<ExecResult> PreparedStatement::Execute(const std::vector<MoodValue>& params,
+                                              const QueryOptions& options) const {
+  if (stmt_ == nullptr) return Status::InvalidArgument("prepared statement is empty");
+  if (!DbAlive()) return Status::InvalidArgument("database no longer exists");
+  if (params.size() != param_count_) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(param_count_) + " parameter(s), got " +
+        std::to_string(params.size()));
+  }
+  return db_->ExecPrepared(*stmt_, normalized_sql_, params, options);
+}
+
+Result<QueryResult> PreparedStatement::Query(const std::vector<MoodValue>& params,
+                                             const QueryOptions& options) const {
+  MOOD_ASSIGN_OR_RETURN(ExecResult res, Execute(params, options));
+  return std::move(res.query);
+}
+
+Result<ExecResult> Database::ExecPrepared(const SelectStmt& stmt,
+                                          const std::string& normalized_sql,
+                                          const std::vector<MoodValue>& params,
+                                          const QueryOptions& options) {
+  if (!is_open()) return Status::InvalidArgument("database is not open");
+  if (statements_counter_ != nullptr) statements_counter_->Add(1);
+  uint64_t start = ProfileNowNs();
+  Result<ExecResult> res = ExecSelectCached(stmt, Resolve(options), params, normalized_sql);
+  if (res.ok()) {
+    double elapsed_ms = static_cast<double>(ProfileNowNs() - start) / 1e6;
+    size_t threads = Resolve(options).exec_threads;
+    if (threads == 0) threads = executor_->threads();
+    NoteQuery(normalized_sql, elapsed_ms, res.value().query.rows.size(), threads);
   }
   return res;
 }
@@ -273,35 +372,47 @@ Result<ExplainResult> Database::Explain(const std::string& sql,
     ExplainOptions merged = options;
     merged.analyze = options.analyze || ex->analyze;
     merged.verbose = options.verbose || ex->verbose;
-    return ExplainSelect(ex->select, merged);
+    return ExplainSelect(ex->select, merged, NormalizeSql(sql));
   }
   const auto* select = std::get_if<SelectStmt>(&stmt);
   if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
-  return ExplainSelect(*select, options);
+  return ExplainSelect(*select, options, NormalizeSql(sql));
 }
 
 Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
-                                              const ExplainOptions& options) {
+                                              const ExplainOptions& options,
+                                              const std::string& cache_sql) {
   if (explains_counter_ != nullptr) explains_counter_->Add(1);
+  const ResolvedQueryOptions r = Resolve(options.query);
   ExplainResult out;
   out.options = options;
-  MOOD_ASSIGN_OR_RETURN(out.optimized,
-                        optimizer_->Optimize(stmt, options.query.feedback));
-  if (options.verbose && options.query.compile_expressions) {
+  // EXPLAIN always re-optimizes: its plan copy is annotated (notes below,
+  // AnnotateCompilation) and must never alias a shared cached plan. The cache
+  // is only *probed* to report whether execution would hit it.
+  MOOD_ASSIGN_OR_RETURN(out.optimized, optimizer_->Optimize(stmt, r.feedback));
+  if (options.verbose && r.compile_expressions) {
     // Annotate each predicate-bearing operator with compiled/interpreted so
     // EXPLAIN VERBOSE shows which evaluation path execution would take.
     executor_->AnnotateCompilation(out.optimized.plan.get(),
                                    out.optimized.bound.range_vars);
+  }
+  if (options.verbose && plan_cache_ != nullptr && !cache_sql.empty()) {
+    const bool cached = plan_cache_->ContainsSql(cache_sql);
+    std::string& note = out.optimized.plan->note;
+    const std::string tag = cached ? "plan: cached" : "plan: fresh";
+    // "] [" keeps existing annotations (e.g. "[exprs: compiled]") intact as
+    // their own bracket group in the rendered plan line.
+    note = note.empty() ? tag : note + "] [" + tag;
   }
   if (options.analyze) {
     out.analyzed = true;
     out.profile = std::make_shared<QueryProfile>();
     out.profile->label = "RESULT";
     ExecOptions exec;
-    exec.threads = options.query.exec_threads;
-    exec.deref_cache_entries = options.query.deref_cache_entries;
-    exec.compile_expressions = options.query.compile_expressions;
-    exec.batch_size = options.query.batch_size;
+    exec.threads = r.exec_threads;
+    exec.deref_cache_entries = r.deref_cache_entries;
+    exec.compile_expressions = r.compile_expressions;
+    exec.batch_size = r.batch_size;
     exec.profile = out.profile.get();
     uint64_t start = ProfileNowNs();
     MOOD_ASSIGN_OR_RETURN(out.result, executor_->ExecuteSelect(out.optimized, exec));
@@ -310,7 +421,7 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
     if (!out.profile->children.empty()) {
       out.profile->rows_in = out.profile->children.front()->rows_out;
     }
-    if (options.query.feedback) {
+    if (r.feedback) {
       size_t n = AbsorbProfile(out.optimized, *out.profile, stats_.get());
       if (n > 0 && feedback_absorbed_counter_ != nullptr) {
         feedback_absorbed_counter_->Add(n);
@@ -360,13 +471,14 @@ std::string ExplainResult::Render() const {
 }
 
 Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
-                                              const QueryOptions& options) {
+                                              const QueryOptions& options,
+                                              const std::string& cache_sql) {
   if (statements_counter_ != nullptr) statements_counter_->Add(1);
   return std::visit(
-      [this, &options](const auto& s) -> Result<ExecResult> {
+      [this, &options, &cache_sql](const auto& s) -> Result<ExecResult> {
         using T = std::decay_t<decltype(s)>;
-        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s, options);
-        else if constexpr (std::is_same_v<T, ExplainStmt>) return ExecExplain(s, options);
+        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s, options, cache_sql);
+        else if constexpr (std::is_same_v<T, ExplainStmt>) return ExecExplain(s, options, cache_sql);
         else if constexpr (std::is_same_v<T, CreateClassStmt>) return ExecCreateClass(s);
         else if constexpr (std::is_same_v<T, NewObjectStmt>) return ExecNew(s);
         else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s);
@@ -379,49 +491,136 @@ Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
 }
 
 Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
-                                        const QueryOptions& options) {
+                                        const QueryOptions& options,
+                                        const std::string& cache_sql) {
+  return ExecSelectCached(stmt, Resolve(options), {}, cache_sql);
+}
+
+Result<ExecResult> Database::ExecSelectCached(const SelectStmt& stmt,
+                                              const ResolvedQueryOptions& r,
+                                              const std::vector<MoodValue>& params,
+                                              const std::string& cache_sql) {
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(stmt, options.feedback));
+  WriteEpochFn epoch_of = [this](uint16_t file) {
+    return objects_->WriteEpochOf(file);
+  };
+  const bool caching = r.use_cache && !cache_sql.empty() &&
+                       plan_cache_ != nullptr && plan_cache_->capacity() > 0;
+
+  // --- Plan-cache probe ---------------------------------------------------
+  CachedPlanPtr entry;
+  std::string key;
+  uint64_t schema_epoch = 0;
+  if (caching) {
+    key = cache_sql;
+    key += '\x1f';
+    key += ParamTypeSignature(params);
+    key += '\x1f';
+    key += r.feedback ? 'F' : '-';
+    schema_epoch = catalog_->schema_epoch();
+    entry = plan_cache_->Lookup(key, schema_epoch, stats_->plans_version(), epoch_of);
+    if (entry == nullptr) {
+      auto built = std::make_shared<CachedPlan>();
+      built->schema_epoch = schema_epoch;
+      built->plans_version = stats_->plans_version();
+      MOOD_ASSIGN_OR_RETURN(built->optimized, optimizer_->Optimize(stmt, r.feedback));
+      built->programs = std::make_shared<ProgramMemo>();
+      built->param_count = ParamCount(stmt);
+      MOOD_RETURN_IF_ERROR(CollectTouchedExtents(catalog_.get(), objects_.get(),
+                                                 built->optimized.bound,
+                                                 &built->extents,
+                                                 &built->result_cacheable));
+      entry = std::move(built);
+      plan_cache_->Insert(key, entry);
+    }
+  }
+
+  const QueryOptimizer::Optimized* optimized;
+  QueryOptimizer::Optimized fresh;
+  if (entry != nullptr) {
+    optimized = &entry->optimized;
+  } else {
+    MOOD_ASSIGN_OR_RETURN(fresh, optimizer_->Optimize(stmt, r.feedback));
+    optimized = &fresh;
+  }
+
+  // --- Result-cache probe -------------------------------------------------
+  // Epochs are captured BEFORE execution; ResultCache::Insert re-validates
+  // them afterwards, so a result computed while a writer raced is dropped
+  // rather than admitted (staleness-never).
+  std::string result_key;
+  std::vector<TouchedExtent> captured;
+  bool fill_result = false;
+  if (entry != nullptr && entry->result_cacheable && !r.collect_profile &&
+      active_txn_ == nullptr && result_cache_ != nullptr &&
+      result_cache_->capacity_bytes() > 0) {
+    result_key = key;
+    result_key += '\x1e';
+    result_key += ParamValueKey(params);
+    captured.reserve(entry->extents.size());
+    for (const TouchedExtent& te : entry->extents) {
+      captured.push_back(TouchedExtent{te.file, epoch_of(te.file)});
+    }
+    ExecResult hit;
+    hit.kind = ExecResult::Kind::kQuery;
+    if (result_cache_->Lookup(result_key, schema_epoch, epoch_of, &hit.query)) {
+      return hit;
+    }
+    fill_result = true;
+  }
+
+  // --- Execution ----------------------------------------------------------
   ExecResult res;
   res.kind = ExecResult::Kind::kQuery;
   ExecOptions exec;
-  exec.threads = options.exec_threads;
-  exec.deref_cache_entries = options.deref_cache_entries;
-  exec.compile_expressions = options.compile_expressions;
-  exec.batch_size = options.batch_size;
-  if (options.collect_profile) {
+  exec.threads = r.exec_threads;
+  exec.deref_cache_entries = r.deref_cache_entries;
+  exec.compile_expressions = r.compile_expressions;
+  exec.batch_size = r.batch_size;
+  if (!params.empty()) exec.params = &params;
+  if (entry != nullptr && r.compile_expressions) {
+    exec.program_memo = entry->programs.get();
+  }
+  if (r.collect_profile) {
     res.profile = std::make_shared<QueryProfile>();
     res.profile->label = "RESULT";
     exec.profile = res.profile.get();
   }
   uint64_t start = exec.profile != nullptr ? ProfileNowNs() : 0;
-  MOOD_ASSIGN_OR_RETURN(QueryResult qr, executor_->ExecuteSelect(optimized, exec));
+  MOOD_ASSIGN_OR_RETURN(QueryResult qr, executor_->ExecuteSelect(*optimized, exec));
   if (exec.profile != nullptr) {
     res.profile->wall_ns = ProfileNowNs() - start;
     res.profile->rows_out = qr.rows.size();
     if (!res.profile->children.empty()) {
       res.profile->rows_in = res.profile->children.front()->rows_out;
     }
-    if (options.feedback) {
+    if (r.feedback) {
       // Close the loop: write observed cardinalities and measured operator
       // costs back into the statistics manager for the next optimization.
-      size_t n = AbsorbProfile(optimized, *res.profile, stats_.get());
+      // This bumps the statistics plans-version, so the entry this execution
+      // used re-optimizes on its next lookup — profiled warmups keep
+      // improving the plan while unprofiled hot loops stay cached.
+      size_t n = AbsorbProfile(*optimized, *res.profile, stats_.get());
       if (n > 0 && feedback_absorbed_counter_ != nullptr) {
         feedback_absorbed_counter_->Add(n);
       }
     }
+  }
+  if (fill_result) {
+    result_cache_->Insert(result_key, qr, schema_epoch, captured, epoch_of);
   }
   res.query = std::move(qr);
   return res;
 }
 
 Result<ExecResult> Database::ExecExplain(const ExplainStmt& stmt,
-                                         const QueryOptions& options) {
+                                         const QueryOptions& options,
+                                         const std::string& cache_sql) {
   ExplainOptions eopts;
   eopts.analyze = stmt.analyze;
   eopts.verbose = stmt.verbose;
   eopts.query = options;
-  MOOD_ASSIGN_OR_RETURN(ExplainResult er, ExplainSelect(stmt.select, eopts));
+  MOOD_ASSIGN_OR_RETURN(ExplainResult er, ExplainSelect(stmt.select, eopts, cache_sql));
   ExecResult res;
   res.kind = ExecResult::Kind::kExplain;
   res.message = er.Render();
@@ -456,6 +655,7 @@ Result<ExecResult> Database::ExecCreateClass(const CreateClassStmt& stmt) {
   ExecResult res;
   res.message = std::string(stmt.def.is_class ? "class '" : "type '") + stmt.def.name +
                 "' created with type id " + std::to_string(id);
+  res.schema_epoch = catalog_->schema_epoch();
   return res;
 }
 
@@ -569,6 +769,7 @@ Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
   ExecResult res;
   res.message = "index '" + stmt.index_name + "' created (" +
                 std::string(IndexKindName(stmt.kind)) + ")";
+  res.schema_epoch = catalog_->schema_epoch();
   return res;
 }
 
@@ -576,6 +777,7 @@ Result<ExecResult> Database::ExecDropClass(const DropClassStmt& stmt) {
   MOOD_RETURN_IF_ERROR(catalog_->Drop(stmt.class_name));
   ExecResult res;
   res.message = "class '" + stmt.class_name + "' dropped";
+  res.schema_epoch = catalog_->schema_epoch();
   return res;
 }
 
@@ -584,10 +786,12 @@ Result<ExecResult> Database::ExecAnalyze(const AnalyzeStmt& stmt) {
   if (!stmt.class_name.empty()) {
     MOOD_RETURN_IF_ERROR(CollectStatistics(stmt.class_name));
     res.message = "analyzed class '" + stmt.class_name + "'";
+    res.schema_epoch = catalog_->schema_epoch();
     return res;
   }
   MOOD_RETURN_IF_ERROR(CollectAllStatistics());
   res.message = "analyzed all classes";
+  res.schema_epoch = catalog_->schema_epoch();
   return res;
 }
 
@@ -622,6 +826,9 @@ Result<MoodValue> Database::InterpretMethodBody(const std::string& class_name,
     switch (e->kind) {
       case ExprKind::kLiteral:
         return e->literal;
+      case ExprKind::kParameter:
+        return Status::FunctionError(
+            "interpreted method bodies cannot use `?` parameters");
       case ExprKind::kPath: {
         MoodValue base;
         bool found = false;

@@ -9,6 +9,7 @@
 #include "algebra/operators.h"
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "exec/plan_cache.h"
 #include "funcman/function_manager.h"
 #include "moodview/object_browser.h"
 #include "moodview/query_manager.h"
@@ -70,37 +71,61 @@ struct DatabaseOptions {
   /// Write-epoch churn on a class's extent file beyond which feedback entries
   /// are invalidated and collected statistics auto-refresh.
   uint64_t stats_refresh_epoch_delta = 256;
+  /// Capacity of the plan cache: optimized plans (with their compiled
+  /// expression programs) keyed by normalized SQL + parameter-type signature,
+  /// so hot queries skip parse/optimize/compile. 0 disables. Entries are
+  /// validated lazily against the schema epoch, the statistics plans-version
+  /// and extent write-epoch churn (stats_refresh_epoch_delta).
+  size_t plan_cache_entries = 128;
+  /// Byte budget of the result cache for read-only, method-free SELECTs keyed
+  /// by plan-cache key + bound parameter values. A cached result is served
+  /// only while every touched extent's write epoch is unchanged — never
+  /// stale. 0 disables.
+  size_t result_cache_bytes = 4u << 20;
   OptimizerOptions optimizer;
 };
 
-/// Per-call query options. Defaults inherit the DatabaseOptions the database
-/// was opened with, so `QueryOptions{}` reproduces the plain Execute/Query
-/// behavior. Replaces mutating Executor::set_threads between queries.
+/// Per-call query options. Every field is an override-or-inherit optional: an
+/// unset field falls back to the session defaults installed with
+/// Database::SetDefaultQueryOptions, then to the behavior configured by the
+/// DatabaseOptions the database was opened with — so `QueryOptions{}`
+/// reproduces the plain Execute/Query behavior exactly. Replaces mutating
+/// Executor::set_threads between queries.
 struct QueryOptions {
-  /// Sentinel: use the database's configured deref-cache capacity.
-  static constexpr size_t kInheritCache = static_cast<size_t>(-1);
-  /// Sentinel: use the database's configured batch size.
-  static constexpr size_t kInheritBatch = static_cast<size_t>(-1);
-
-  /// Worker threads for this call; 0 = the database default (exec_threads).
-  size_t exec_threads = 0;
-  /// RowBatch capacity for this call; kInheritBatch = database default,
-  /// 0 = row-at-a-time execution (the differential-testing oracle).
-  size_t batch_size = kInheritBatch;
-  /// Deref-cache capacity for this call; kInheritCache = database default,
-  /// 0 disables the cache.
-  size_t deref_cache_entries = kInheritCache;
+  /// Worker threads for this call. 0 (and unset everywhere) = the database
+  /// default (DatabaseOptions::exec_threads).
+  std::optional<size_t> exec_threads;
+  /// RowBatch capacity for this call; 0 = row-at-a-time execution (the
+  /// differential-testing oracle).
+  std::optional<size_t> batch_size;
+  /// Deref-cache capacity for this call; 0 disables the cache.
+  std::optional<size_t> deref_cache_entries;
   /// Record a per-operator QueryProfile into ExecResult::profile. Off by
   /// default: the disabled path costs one pointer test per operator.
-  bool collect_profile = false;
+  std::optional<bool> collect_profile;
   /// Lower WHERE/HAVING/SELECT-list expressions to plan-time bytecode programs
   /// (exec/expr_compile). Off forces the interpreted Evaluator everywhere —
   /// the differential-testing oracle and the paper's original behavior.
-  bool compile_expressions = true;
+  std::optional<bool> compile_expressions;
   /// Let the optimizer use measured selectivities/costs written back from
   /// profiled executions, and write this execution's profile back when
   /// collect_profile is on. Off reproduces the paper's pure-model plans.
+  std::optional<bool> feedback;
+  /// Consult and populate the plan/result caches for this call. Off forces a
+  /// fresh parse-optimize-compile (the uncached oracle).
+  std::optional<bool> use_cache;
+};
+
+/// QueryOptions with every inherit chain resolved — what the execution layers
+/// consume. Produced by Database::Resolve.
+struct ResolvedQueryOptions {
+  size_t exec_threads = 0;  ///< 0 = the executor's configured default
+  size_t batch_size = ExecOptions::kInheritBatch;
+  size_t deref_cache_entries = ExecOptions::kInheritCache;
+  bool collect_profile = false;
+  bool compile_expressions = true;
   bool feedback = true;
+  bool use_cache = true;
 };
 
 /// Options for the consolidated Database::Explain entry point.
@@ -133,6 +158,7 @@ struct ExplainResult {
 };
 
 class Database;
+struct ExecResult;
 
 /// Move-only RAII handle for one transaction, returned by Database::Begin().
 /// Commit() or Abort() finish the transaction explicitly; a handle destroyed
@@ -181,6 +207,56 @@ class TxnHandle {
   std::shared_ptr<const bool> db_alive_;
 };
 
+/// A SELECT parsed and normalized once, executable many times with positional
+/// `?` parameters bound per call. Obtained from Database::Prepare; move-only
+/// in the TxnHandle style. Execution goes through the same plan/result caches
+/// as Execute(sql), but skips re-parsing and normalizing the text. A handle
+/// outliving its Database is inert: Execute reports InvalidArgument instead of
+/// dereferencing freed memory.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+  PreparedStatement(PreparedStatement&& other) noexcept { *this = std::move(other); }
+  PreparedStatement& operator=(PreparedStatement&& other) noexcept;
+  PreparedStatement(const PreparedStatement&) = delete;
+  PreparedStatement& operator=(const PreparedStatement&) = delete;
+
+  /// Executes with `params` bound to `?1..?N` in order. params.size() must
+  /// equal param_count().
+  Result<ExecResult> Execute(const std::vector<MoodValue>& params = {},
+                             const QueryOptions& options = {}) const;
+  /// Convenience: Execute() unwrapped to the query result.
+  Result<QueryResult> Query(const std::vector<MoodValue>& params = {},
+                            const QueryOptions& options = {}) const;
+
+  /// Number of `?` placeholders in the statement.
+  uint32_t param_count() const { return param_count_; }
+  /// The normalized statement text (also the plan-cache key base).
+  const std::string& sql() const { return normalized_sql_; }
+  bool valid() const { return stmt_ != nullptr; }
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db, std::shared_ptr<const bool> db_alive,
+                    std::shared_ptr<const SelectStmt> stmt,
+                    std::string normalized_sql, uint32_t param_count)
+      : db_(db),
+        db_alive_(std::move(db_alive)),
+        stmt_(std::move(stmt)),
+        normalized_sql_(std::move(normalized_sql)),
+        param_count_(param_count) {}
+
+  /// True while db_ is safe to dereference (the Database object still exists).
+  bool DbAlive() const { return db_alive_ != nullptr && *db_alive_; }
+
+  Database* db_ = nullptr;
+  /// Set to false by ~Database; keeps stale handles from touching freed memory.
+  std::shared_ptr<const bool> db_alive_;
+  std::shared_ptr<const SelectStmt> stmt_;
+  std::string normalized_sql_;
+  uint32_t param_count_ = 0;
+};
+
 /// One slow-query ring-buffer entry (see DatabaseOptions::slow_query_ms).
 struct SlowQueryRecord {
   std::string sql;
@@ -204,6 +280,10 @@ struct ExecResult {
   size_t affected = 0;                ///< UPDATE/DELETE row counts
   /// Per-operator actuals; non-null only when profiling was requested.
   std::shared_ptr<QueryProfile> profile;
+  /// Catalog schema epoch after the statement ran; set for DDL (CREATE/DROP
+  /// CLASS, CREATE INDEX, ANALYZE) so callers can observe the epoch the
+  /// statement produced — the value that invalidates epoch-stamped caches.
+  uint64_t schema_epoch = 0;
 };
 
 /// The MOOD database facade (Figure 2.1): the MOODSQL interpreter on top of the
@@ -236,6 +316,22 @@ class Database {
   /// Convenience: SELECT statements only.
   Result<QueryResult> Query(const std::string& sql);
   Result<QueryResult> Query(const std::string& sql, const QueryOptions& options);
+
+  /// Parses and normalizes a SELECT once, returning a handle that executes it
+  /// repeatedly with positional `?` parameters (SELECT-only: other statements
+  /// have no plan worth caching). The handle shares the database-wide plan and
+  /// result caches with Execute(sql) — preparing is a convenience plus one
+  /// saved parse, not a separate caching domain.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Installs session-wide QueryOptions defaults. Each per-call field that is
+  /// unset inherits these; fields unset here too fall back to the Open-time
+  /// DatabaseOptions behavior.
+  void SetDefaultQueryOptions(const QueryOptions& options);
+  const QueryOptions& default_query_options() const { return default_query_options_; }
+  /// Resolves one call's options through the inherit chain (call -> session
+  /// defaults -> Open-time configuration).
+  ResolvedQueryOptions Resolve(const QueryOptions& options) const;
 
   /// The consolidated EXPLAIN entry point: optimizes `sql` (a SELECT, or an
   /// EXPLAIN statement whose flags merge with `options`) and, when
@@ -290,6 +386,8 @@ class Database {
   QueryOptimizer* optimizer() { return optimizer_.get(); }
   SchemaBrowser* schema_browser() { return schema_browser_.get(); }
   ObjectBrowser* object_browser() { return object_browser_.get(); }
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+  ResultCache* result_cache() { return result_cache_.get(); }
   LogManager* log() { return log_.get(); }
   TransactionManager* txn_manager() { return txn_manager_.get(); }
 
@@ -298,19 +396,39 @@ class Database {
 
  private:
   friend class TxnHandle;
+  friend class PreparedStatement;
 
   /// Finishes the transaction a TxnHandle refers to. Rejects handles whose
   /// transaction is no longer the active one (e.g. Close() already aborted
   /// it), which makes destroying a stale handle harmless.
   Status FinishTxn(Transaction* txn, bool commit);
 
+  /// `cache_sql` is the normalized statement text for cache keying; "" means
+  /// this call path (scripts, internal queries) bypasses the caches.
   Result<ExecResult> ExecuteStatement(const Statement& stmt,
-                                      const QueryOptions& options = {});
-  Result<ExecResult> ExecSelect(const SelectStmt& stmt, const QueryOptions& options);
-  Result<ExecResult> ExecExplain(const ExplainStmt& stmt, const QueryOptions& options);
+                                      const QueryOptions& options = {},
+                                      const std::string& cache_sql = {});
+  Result<ExecResult> ExecSelect(const SelectStmt& stmt, const QueryOptions& options,
+                                const std::string& cache_sql = {});
+  /// The caching SELECT core shared by Execute and PreparedStatement::Execute:
+  /// plan-cache probe (optimize + compile-memo build on miss), result-cache
+  /// probe for read-only method-free statements, then execution with `params`
+  /// bound.
+  Result<ExecResult> ExecSelectCached(const SelectStmt& stmt,
+                                      const ResolvedQueryOptions& r,
+                                      const std::vector<MoodValue>& params,
+                                      const std::string& cache_sql);
+  /// PreparedStatement's entry point (adds statement accounting + slow log).
+  Result<ExecResult> ExecPrepared(const SelectStmt& stmt,
+                                  const std::string& normalized_sql,
+                                  const std::vector<MoodValue>& params,
+                                  const QueryOptions& options);
+  Result<ExecResult> ExecExplain(const ExplainStmt& stmt, const QueryOptions& options,
+                                 const std::string& cache_sql = {});
   /// Shared core of Explain()/EXPLAIN statements over an already-parsed SELECT.
   Result<ExplainResult> ExplainSelect(const SelectStmt& stmt,
-                                      const ExplainOptions& options);
+                                      const ExplainOptions& options,
+                                      const std::string& cache_sql = {});
   /// Records a finished SELECT into the slow-query ring buffer.
   void NoteQuery(const std::string& sql, double elapsed_ms, size_t rows,
                  size_t threads);
@@ -350,6 +468,9 @@ class Database {
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<SchemaBrowser> schema_browser_;
   std::unique_ptr<ObjectBrowser> object_browser_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
+  QueryOptions default_query_options_;
   Transaction* active_txn_ = nullptr;
   /// Liveness flag shared with outstanding TxnHandles; flipped to false by
   /// the destructor so a handle outliving the Database stays inert.

@@ -67,9 +67,11 @@ struct BoundEnv {
   std::vector<std::map<std::string, Oid>::iterator> binds;
   bool ready = false;
 
-  void Prepare(const std::vector<std::string>& vars, DerefCache* cache) {
+  void Prepare(const std::vector<std::string>& vars, DerefCache* cache,
+               const std::vector<MoodValue>* params) {
     if (ready) return;
     env.deref = cache;
+    env.params = params;
     binds.reserve(vars.size());
     for (const std::string& v : vars) {
       binds.push_back(env.vars.emplace(v, Oid{}).first);
@@ -77,13 +79,13 @@ struct BoundEnv {
     ready = true;
   }
   void BindRow(const std::vector<std::string>& vars, const RowBatch& b, uint32_t row,
-               DerefCache* cache) {
-    Prepare(vars, cache);
+               DerefCache* cache, const std::vector<MoodValue>* params) {
+    Prepare(vars, cache, params);
     for (size_t i = 0; i < binds.size(); i++) binds[i]->second = b.col(i)[row];
   }
   void BindRow(const std::vector<std::string>& vars, const std::vector<Oid>& row,
-               DerefCache* cache) {
-    Prepare(vars, cache);
+               DerefCache* cache, const std::vector<MoodValue>* params) {
+    Prepare(vars, cache, params);
     for (size_t i = 0; i < binds.size(); i++) binds[i]->second = row[i];
   }
 };
@@ -166,9 +168,11 @@ std::string QueryResult::ToString(size_t limit) const {
 }
 
 Evaluator::Env Executor::EnvOf(const RowSet& rs, const std::vector<Oid>& row,
-                               DerefCache* cache) const {
+                               DerefCache* cache,
+                               const std::vector<MoodValue>* params) const {
   Evaluator::Env env;
   env.deref = cache;
+  env.params = params;
   for (size_t i = 0; i < rs.vars.size(); i++) env.vars[rs.vars[i]] = row[i];
   return env;
 }
@@ -209,18 +213,28 @@ ExprProgramPtr Executor::CompileExpr(const ExprPtr& expr,
                                      const std::vector<std::string>& vars,
                                      const Ctx& ctx) const {
   if (!ctx.compile || expr == nullptr) return nullptr;
+  // A cached plan carries a memo of its compiled programs (keyed by Expr
+  // identity), so steady-state executions skip lowering entirely — including
+  // re-discovering that an expression must stay interpreted.
+  if (ctx.program_memo != nullptr) {
+    ExprProgramPtr memoized;
+    if (ctx.program_memo->Lookup(expr.get(), &memoized)) return memoized;
+  }
   ExprCompileEnv cenv = CompileEnvOf(vars, ctx.range_vars);
   ExprCompiler compiler(objects_);
   std::unique_ptr<ExprProgram> prog = compiler.Compile(expr, cenv);
   if (prog == nullptr) {
     if (expr_fallback_ != nullptr) expr_fallback_->Add(1);
+    if (ctx.program_memo != nullptr) ctx.program_memo->Insert(expr.get(), nullptr);
     return nullptr;
   }
   if (expr_compiled_ != nullptr) expr_compiled_->Add(1);
   if (expr_folded_ != nullptr && prog->const_folded() > 0) {
     expr_folded_->Add(prog->const_folded());
   }
-  return ExprProgramPtr(std::move(prog));
+  ExprProgramPtr shared(std::move(prog));
+  if (ctx.program_memo != nullptr) ctx.program_memo->Insert(expr.get(), shared);
+  return shared;
 }
 
 void Executor::CountRuntimeFallback() const {
@@ -317,9 +331,20 @@ Result<std::vector<Oid>> Executor::RunIndexProbes(const PlanNode& node, Ctx& ctx
   std::vector<std::vector<Oid>> selected(node.probes.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, node.probes.size(), [&](size_t p) {
     const IndexProbe& probe = node.probes[p];
+    // Parameterized probes resolve their key from the execution's bindings (a
+    // cached plan is reused across values of the same type signature).
+    const MoodValue* key = &probe.constant;
+    if (probe.param >= 0) {
+      if (ctx.params == nullptr ||
+          static_cast<size_t>(probe.param) >= ctx.params->size()) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(probe.param + 1) + " not bound");
+      }
+      key = &(*ctx.params)[static_cast<size_t>(probe.param)];
+    }
     MOOD_ASSIGN_OR_RETURN(
         Collection sel,
-        algebra_->IndSel(node.from.class_name, probe.index, probe.cmp, probe.constant));
+        algebra_->IndSel(node.from.class_name, probe.index, probe.cmp, *key));
     selected[p] = sel.oids();
     return Status::OK();
   }));
@@ -366,6 +391,7 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     ExprProgram::Scratch scratch;
+    scratch.params = ctx.params;
     // The interpreter env is hoisted to the morsel and built only when some
     // predicate actually needs the interpreted path; rows just rebind Oids.
     BoundEnv benv;
@@ -385,7 +411,7 @@ Result<RowSet> Executor::ExecFilter(const PlanNode& node, Ctx& ctx) const {
           }
           CountRuntimeFallback();
         }
-        benv.BindRow(child.vars, row, ctx.cache);
+        benv.BindRow(child.vars, row, ctx.cache, ctx.params);
         MOOD_ASSIGN_OR_RETURN(keep,
                               evaluator_->EvalPredicate(node.predicates[p], benv.env));
         if (!keep) break;
@@ -499,6 +525,7 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, Ctx& ctx) const {
   std::vector<std::vector<std::vector<Oid>>> partial(morsels.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, morsels.size(), [&](size_t m) {
     ExprProgram::Scratch scratch;
+    scratch.params = ctx.params;
     for (size_t i = morsels[m].begin; i < morsels[m].end; i++) {
       const auto& lrow = left.rows[i];
       for (const auto& rrow : right.rows) {
@@ -520,7 +547,7 @@ Result<RowSet> Executor::ExecNestedLoop(const PlanNode& node, Ctx& ctx) const {
             }
           }
           if (interpreted) {
-            Evaluator::Env env = EnvOf(rs, combined, ctx.cache);
+            Evaluator::Env env = EnvOf(rs, combined, ctx.cache, ctx.params);
             MOOD_ASSIGN_OR_RETURN(match,
                                   evaluator_->EvalPredicate(node.join_pred, env));
           }
@@ -701,6 +728,7 @@ Status Executor::FilterBatch(const std::vector<ExprPtr>& preds,
                              Ctx& ctx) const {
   if (batch->ActiveRows() == 0) return Status::OK();
   ExprProgram::BatchScratch scratch;
+  scratch.params = ctx.params;
   BoundEnv benv;
   // Serial-equivalent error choice: the serial loop is row-outer, so the
   // surfaced error is the smallest row index that errors at its own first
@@ -727,7 +755,7 @@ Status Executor::FilterBatch(const std::vector<ExprPtr>& preds,
             break;
           case ExprProgram::kRowFallback: {
             CountRuntimeFallback();
-            benv.BindRow(vars, *batch, row, ctx.cache);
+            benv.BindRow(vars, *batch, row, ctx.cache, ctx.params);
             auto r = evaluator_->EvalPredicate(preds[p], benv.env);
             if (!r.ok()) {
               err_row = row;
@@ -750,7 +778,7 @@ Status Executor::FilterBatch(const std::vector<ExprPtr>& preds,
       for (size_t k = 0; k < n; k++) {
         uint32_t row = batch->RowAt(k);
         if (row >= err_row) break;
-        benv.BindRow(vars, *batch, row, ctx.cache);
+        benv.BindRow(vars, *batch, row, ctx.cache, ctx.params);
         auto r = evaluator_->EvalPredicate(preds[p], benv.env);
         if (!r.ok()) {
           err_row = row;
@@ -1029,6 +1057,8 @@ Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
                                  : options.batch_size);
   ctx.profile = options.profile;
   ctx.compile = options.compile_expressions;
+  ctx.params = options.params;
+  ctx.program_memo = options.program_memo;
   if (options.profile != nullptr && objects_->storage() != nullptr) {
     ctx.pool = objects_->storage()->buffer_pool();
   }
@@ -1093,6 +1123,7 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
     proj_progs[p] = CompileExpr(stmt.projection[p], rows.vars, ctx);
   }
   ExprProgram::Scratch scratch;
+  scratch.params = ctx.params;
   auto eval_value = [&](const ExprPtr& e, const ExprProgramPtr& prog,
                         const RowSet& rset, const std::vector<Oid>& row,
                         std::optional<Evaluator::Env>& env) -> Result<MoodValue> {
@@ -1102,7 +1133,7 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
       if (!r.ok() || !need_fallback) return r;
       CountRuntimeFallback();
     }
-    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache);
+    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache, ctx.params);
     return evaluator_->Eval(e, env.value());
   };
   auto eval_pred = [&](const ExprPtr& e, const ExprProgramPtr& prog,
@@ -1115,7 +1146,7 @@ Result<QueryResult> Executor::Finish(const SelectStmt& stmt, RowSet rows,
       if (!r.ok() || !need_fallback) return r;
       CountRuntimeFallback();
     }
-    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache);
+    if (!env.has_value()) env = EnvOf(rset, row, ctx.cache, ctx.params);
     return evaluator_->EvalPredicate(e, env.value());
   };
 
@@ -1243,7 +1274,7 @@ void Executor::EvalColumn(const ExprPtr& e, const ExprProgramPtr& prog,
             break;
           case ExprProgram::kRowFallback: {
             CountRuntimeFallback();
-            benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache);
+            benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache, ctx.params);
             auto r = evaluator_->Eval(e, benv.env);
             if (!r.ok()) {
               *err_row = g;
@@ -1263,7 +1294,7 @@ void Executor::EvalColumn(const ExprPtr& e, const ExprProgramPtr& prog,
       for (size_t k = 0; k < nb; k++) {
         size_t g = base + k;
         if (g >= limit) break;
-        benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache);
+        benv.BindRow(bs.vars, b, b.RowAt(k), ctx.cache, ctx.params);
         auto r = evaluator_->Eval(e, benv.env);
         if (!r.ok()) {
           *err_row = g;
@@ -1288,6 +1319,7 @@ Status Executor::EvalColumns(const std::vector<ExprPtr>& exprs,
   // `limit` keeps later columns from touching rows past the best error.
   cols->assign(exprs.size(), {});
   ExprProgram::BatchScratch scratch;
+  scratch.params = ctx.params;
   size_t best_row = static_cast<size_t>(-1);
   Status best;
   for (size_t i = 0; i < exprs.size(); i++) {

@@ -67,6 +67,12 @@ struct ExecOptions {
   /// per operator instead of interpreting the Expr tree per row. Dynamic
   /// constructs keep the interpreted path regardless (see exec/expr_compile.h).
   bool compile_expressions = true;
+  /// Bound values for `?` positional parameters, in placeholder order (owned
+  /// by the caller for the duration of the call; null = none bound).
+  const std::vector<MoodValue>* params = nullptr;
+  /// Cross-execution memo of compiled programs, owned by a cached plan.
+  /// Null (the default) compiles fresh per call.
+  ProgramMemo* program_memo = nullptr;
 };
 
 /// Executes physical plans produced by the optimizer, then applies the clause
@@ -163,6 +169,11 @@ class Executor {
     /// Range-variable declarations for plan-time slot/class binding (owned by
     /// the caller; null disables compilation for lack of static classes).
     const std::map<std::string, FromEntry>* range_vars = nullptr;
+    /// Bound `?` parameter values for this call (null = none bound).
+    const std::vector<MoodValue>* params = nullptr;
+    /// Compiled-program memo of the (cached) plan being executed; null
+    /// compiles fresh per call.
+    ProgramMemo* program_memo = nullptr;
   };
 
   Result<RowSet> Exec(const PlanPtr& plan, Ctx& ctx) const;
@@ -222,7 +233,8 @@ class Executor {
   Ctx MakeCtx(const ExecOptions& options) const;
 
   Evaluator::Env EnvOf(const RowSet& rs, const std::vector<Oid>& row,
-                       DerefCache* cache) const;
+                       DerefCache* cache,
+                       const std::vector<MoodValue>* params) const;
 
   /// Slot/class bindings for compiling expressions over rows shaped `vars`.
   /// Uses the ACTUAL RowSet var order for slot indices (PlanNode::BoundVars is

@@ -19,6 +19,7 @@ bool TryConstEval(const Expr& e, MoodValue* out) {
       *out = e.literal;
       return true;
     case ExprKind::kPath:
+    case ExprKind::kParameter:
       return false;
     case ExprKind::kUnary: {
       MoodValue v;
@@ -115,6 +116,9 @@ bool ExprCompiler::Emit(const Expr& e, const ExprCompileEnv& env,
       return true;
     case ExprKind::kPath:
       return EmitPath(e, env, prog);
+    case ExprKind::kParameter:
+      prog->code_.push_back({ExprProgram::OpCode::kLoadParam, e.param_index, 0});
+      return true;
     case ExprKind::kUnary:
       if (!Emit(*e.operand, env, prog)) return false;
       prog->code_.push_back(
@@ -216,6 +220,15 @@ Result<MoodValue> ExprProgram::Eval(const Oid* slots, size_t nslots, DerefCache*
       case OpCode::kPushConst:
         st.push_back(consts_[ins.a]);
         break;
+      case OpCode::kLoadParam: {
+        const std::vector<MoodValue>* params = scratch->params;
+        if (params == nullptr || ins.a >= params->size()) {
+          return Status::InvalidArgument("parameter ?" + std::to_string(ins.a + 1) +
+                                         " not bound");
+        }
+        st.push_back((*params)[ins.a]);
+        break;
+      }
       case OpCode::kLoadSlot:
         st.push_back(MoodValue::Reference(slots[ins.a]));
         break;
@@ -367,6 +380,7 @@ void ExprProgram::EvalBatch(const RowBatch& batch, DerefCache* cache,
     // Short-circuit jumps make control flow diverge per row; run the row
     // machine over a row-major slot gather. Dispatch is not amortized here,
     // but DNF splitting keeps jumps out of the hot filter predicates.
+    s->row.params = s->params;
     s->rowbuf.resize(batch.nslots);
     for (size_t k = 0; k < n; k++) {
       batch.GatherRow(batch.RowAt(k), s->rowbuf.data());
@@ -414,6 +428,21 @@ void ExprProgram::EvalBatch(const RowBatch& batch, DerefCache* cache,
         BatchScratch::Col& c = push();
         c.is_const = true;
         c.cval = consts_[ins.a];
+        break;
+      }
+      case OpCode::kLoadParam: {
+        // One bound value per execution: a broadcast constant column.
+        BatchScratch::Col& c = push();
+        c.is_const = true;
+        if (s->params == nullptr || ins.a >= s->params->size()) {
+          Status st = Status::InvalidArgument(
+              "parameter ?" + std::to_string(ins.a + 1) + " not bound");
+          for (uint32_t k : live) fail(k, st);
+          live.clear();
+          c.cval = MoodValue::Null();
+          break;
+        }
+        c.cval = (*s->params)[ins.a];
         break;
       }
       case OpCode::kLoadSlot: {
@@ -623,6 +652,7 @@ std::string ExprProgram::ToString() const {
       case OpCode::kJumpIfFalse: return "JumpIfFalse";
       case OpCode::kJumpIfTrue: return "JumpIfTrue";
       case OpCode::kCoerceBool: return "CoerceBool";
+      case OpCode::kLoadParam: return "LoadParam";
     }
     return "?";
   };
@@ -667,6 +697,10 @@ std::string ExprProgram::ToString() const {
       case OpCode::kJumpIfFalse:
       case OpCode::kJumpIfTrue:
         std::snprintf(buf, sizeof(buf), "-> %04u", ins.a);
+        out += buf;
+        break;
+      case OpCode::kLoadParam:
+        std::snprintf(buf, sizeof(buf), "?%u", ins.a + 1);
         out += buf;
         break;
       case OpCode::kCoerceBool:

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@ class ExprProgram {
     kJumpIfFalse,  ///< a: target pc; AND: pop cond, if false push false + jump
     kJumpIfTrue,   ///< a: target pc; OR: pop cond, if true push true + jump
     kCoerceBool,   ///< pop v, push Boolean(AsBool(v))
+    kLoadParam,    ///< a: `?` position; push scratch params[a] (broadcast const)
   };
 
   struct Instr {
@@ -60,6 +62,8 @@ class ExprProgram {
   /// Reusable per-worker evaluation state; clear()ed (capacity kept) per row.
   struct Scratch {
     std::vector<MoodValue> stack;
+    /// Bound `?` parameter values for this execution (null: none bound).
+    const std::vector<MoodValue>* params = nullptr;
   };
 
   /// Evaluates over a row of range-variable bindings. On a dynamic case the
@@ -102,6 +106,8 @@ class ExprProgram {
     std::vector<uint32_t> live;
     Scratch row;               ///< row machine state for programs with jumps
     std::vector<Oid> rowbuf;   ///< row-major slot gather for the row machine
+    /// Bound `?` parameter values for this execution (null: none bound).
+    const std::vector<MoodValue>* params = nullptr;
   };
 
   /// Evaluates the program once per live row of `batch`, amortizing opcode
@@ -146,6 +152,34 @@ class ExprProgram {
 };
 
 using ExprProgramPtr = std::shared_ptr<const ExprProgram>;
+
+/// Thread-safe memo of compiled programs keyed by expression identity. A cached
+/// plan owns one: repeated executions of the same plan reuse the lowered
+/// bytecode — including negative ("keep the interpreter") outcomes — instead of
+/// re-compiling per call. Keying by Expr pointer is sound because the memo
+/// lives and dies with the plan that owns those expression nodes.
+class ProgramMemo {
+ public:
+  /// True when `key` was compiled before; *out receives the program (may be
+  /// null for expressions the compiler rejected).
+  bool Lookup(const Expr* key, ExprProgramPtr* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(key);
+    if (it == memo_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void Insert(const Expr* key, ExprProgramPtr prog) {
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_.emplace(key, std::move(prog));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<const Expr*, ExprProgramPtr> memo_;
+};
+
+using ProgramMemoPtr = std::shared_ptr<ProgramMemo>;
 
 /// Plan-time compilation environment: which slot each range variable occupies
 /// in the executor's row vectors, and the statically-known class of the

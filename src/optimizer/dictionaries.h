@@ -21,6 +21,7 @@ struct ImmSelEntry {
   bool is_method = false;
   BinaryOp op = BinaryOp::kEq;
   MoodValue constant;
+  int param = -1;  ///< >= 0: comparison against the `?` parameter at this position
   double selectivity = 1.0;
   double indexed_access_cost = -1;  ///< -1: no usable index
   double sequential_access_cost = 0;
@@ -38,6 +39,7 @@ struct PathSelEntry {
   BoundPath path;
   BinaryOp op = BinaryOp::kEq;
   MoodValue constant;
+  int param = -1;  ///< >= 0: comparison against the `?` parameter at this position
   double selectivity = 1.0;
   double forward_traversal_cost = 0;  ///< F_i
   SelSource sel_source = SelSource::kDefault;

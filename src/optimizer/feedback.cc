@@ -119,6 +119,9 @@ size_t AbsorbProfile(const QueryOptimizer::Optimized& optimized,
   const std::string want = optimized.plan->Describe();
   if (root.label == want) {
     w.Visit(optimized.plan.get(), &root);
+    // Calibration samples move cost constants even when no selectivity was
+    // recorded; make sure cached plans notice either way.
+    stats->BumpPlansVersion();
     return w.recorded;
   }
   // The profile root is the RESULT node; the plan root is one of its children
@@ -126,6 +129,7 @@ size_t AbsorbProfile(const QueryOptimizer::Optimized& optimized,
   for (const auto& c : root.children) {
     if (c->label == want) {
       w.Visit(optimized.plan.get(), c.get());
+      stats->BumpPlansVersion();
       return w.recorded;
     }
   }

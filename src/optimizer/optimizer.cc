@@ -16,6 +16,7 @@ void CollectRangeVars(const ExprPtr& e, std::set<std::string>* out) {
   if (e == nullptr) return;
   switch (e->kind) {
     case ExprKind::kLiteral:
+    case ExprKind::kParameter:
       return;
     case ExprKind::kPath:
       out->insert(e->range_var);
@@ -181,12 +182,15 @@ Result<QueryOptimizer::Classified> QueryOptimizer::Classify(const BoundQuery& qu
     ExprPtr lhs = pred->lhs;
     ExprPtr rhs = pred->rhs;
     BinaryOp op = pred->op;
-    if (lhs->kind == ExprKind::kLiteral && rhs->kind == ExprKind::kPath) {
+    auto is_const_operand = [](const ExprPtr& e) {
+      return e->kind == ExprKind::kLiteral || e->kind == ExprKind::kParameter;
+    };
+    if (is_const_operand(lhs) && rhs->kind == ExprKind::kPath) {
       std::swap(lhs, rhs);
       op = FlipComparison(op);
     }
 
-    if (lhs->kind == ExprKind::kPath && rhs->kind == ExprKind::kLiteral) {
+    if (lhs->kind == ExprKind::kPath && is_const_operand(rhs)) {
       auto bound = binder_.ResolvePath(query, *lhs);
       if (!bound.ok()) return bound.status();
       const BoundPath& path = bound.value();
@@ -202,7 +206,11 @@ Result<QueryOptimizer::Classified> QueryOptimizer::Classify(const BoundQuery& qu
         e.attribute = path.steps[0].name;
         e.is_method = path.step_is_method[0];
         e.op = op;
-        e.constant = rhs->literal;
+        if (rhs->kind == ExprKind::kParameter) {
+          e.param = static_cast<int>(rhs->param_index);
+        } else {
+          e.constant = rhs->literal;
+        }
         out.imm.push_back(std::move(e));
         continue;
       }
@@ -215,7 +223,11 @@ Result<QueryOptimizer::Classified> QueryOptimizer::Classify(const BoundQuery& qu
       e.pred = pred;
       e.path = path;
       e.op = op;
-      e.constant = rhs->literal;
+      if (rhs->kind == ExprKind::kParameter) {
+        e.param = static_cast<int>(rhs->param_index);
+      } else {
+        e.constant = rhs->literal;
+      }
       out.paths.push_back(std::move(e));
       continue;
     }
@@ -278,24 +290,35 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
       e->selectivity = options_.default_selectivity;
       continue;
     }
-    e->feedback_sig = ImmSig(from.class_name, e->attribute, e->op, e->constant);
-    double measured = 0;
-    if (use_feedback_ &&
-        stats_->LookupFeedback(e->feedback_sig, from.class_name, &measured)) {
-      e->selectivity = measured;
-      e->sel_source = SelSource::kFeedback;
+    if (e->param >= 0) {
+      // Parameterized comparison: the value is unknown until execution, so the
+      // estimate must be value-independent (the plan may be cached and reused
+      // for any value of the same type). Textbook defaults; no feedback
+      // signature, because a measured selectivity for one binding would
+      // mispredict the next.
+      e->selectivity = e->op == BinaryOp::kEq   ? 0.1
+                       : e->op == BinaryOp::kNe ? 0.9
+                                                : options_.default_selectivity;
     } else {
-      SelSource src = SelSource::kDefault;
-      auto sel = estimator_.AtomicSelectivity(from.class_name, e->attribute,
-                                              e->op, e->constant, &src);
-      if (sel.ok()) {
-        e->selectivity = sel.value();
-        e->sel_source = src;
+      e->feedback_sig = ImmSig(from.class_name, e->attribute, e->op, e->constant);
+      double measured = 0;
+      if (use_feedback_ &&
+          stats_->LookupFeedback(e->feedback_sig, from.class_name, &measured)) {
+        e->selectivity = measured;
+        e->sel_source = SelSource::kFeedback;
       } else {
-        // No statistics: textbook defaults.
-        e->selectivity = e->op == BinaryOp::kEq   ? 0.1
-                         : e->op == BinaryOp::kNe ? 0.9
-                                                  : options_.default_selectivity;
+        SelSource src = SelSource::kDefault;
+        auto sel = estimator_.AtomicSelectivity(from.class_name, e->attribute,
+                                                e->op, e->constant, &src);
+        if (sel.ok()) {
+          e->selectivity = sel.value();
+          e->sel_source = src;
+        } else {
+          // No statistics: textbook defaults.
+          e->selectivity = e->op == BinaryOp::kEq   ? 0.1
+                           : e->op == BinaryOp::kNe ? 0.9
+                                                    : options_.default_selectivity;
+        }
       }
     }
     // Usable index?
@@ -354,7 +377,7 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::BuildVarLeaf(
     for (size_t k = 0; k < chosen; k++) {
       indexed[k]->access_type = "indexed";
       probes.push_back(IndexProbe{*indexed[k]->index, indexed[k]->op,
-                                  indexed[k]->constant});
+                                  indexed[k]->constant, indexed[k]->param});
       cost_sum += indexed[k]->indexed_access_cost;
       sel_prod *= indexed[k]->selectivity;
     }
@@ -527,13 +550,15 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::ExpandPathSelection(
       const std::string& am = path.steps.back().name;
       ExprPtr term_pred = Expr::Binary(
           entry.op, Expr::Path(class_vars[i], {PathStep{am, false, {}}}),
-          Expr::Literal(entry.constant));
+          entry.param >= 0 ? Expr::Parameter(static_cast<uint32_t>(entry.param))
+                           : Expr::Literal(entry.constant));
       ImmSelEntry imm;
       imm.range_var = class_vars[i];
       imm.pred = term_pred;
       imm.attribute = am;
       imm.op = entry.op;
       imm.constant = entry.constant;
+      imm.param = entry.param;
       // Temporary bound query view providing the synthetic range variable.
       BoundQuery sub = query;
       sub.range_vars[class_vars[i]] = fe;
@@ -714,17 +739,25 @@ Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stm
     // Path-expression ordering (Algorithm 8.1): rank by F/(1-s) per variable.
     // Missing statistics fall back to defaults (OtherSelInfo-style treatment).
     for (auto& e : cls.paths) {
-      e.feedback_sig = PathSig(e.path, e.op, e.constant);
-      double measured = 0;
-      if (use_feedback_ && stats_->LookupFeedback(e.feedback_sig,
-                                                  e.path.classes[0], &measured)) {
-        e.selectivity = measured;
-        e.sel_source = SelSource::kFeedback;
+      if (e.param >= 0) {
+        // Parameterized terminal comparison: value-independent default, no
+        // feedback signature (same reasoning as immediate selections).
+        e.selectivity = e.op == BinaryOp::kEq   ? 0.1
+                        : e.op == BinaryOp::kNe ? 0.9
+                                                : options_.default_selectivity;
       } else {
-        SelSource src = SelSource::kDefault;
-        auto sel = estimator_.PathSelectivity(e.path, e.op, e.constant, &src);
-        e.selectivity = sel.ok() ? sel.value() : options_.default_selectivity;
-        if (sel.ok()) e.sel_source = src;
+        e.feedback_sig = PathSig(e.path, e.op, e.constant);
+        double measured = 0;
+        if (use_feedback_ && stats_->LookupFeedback(e.feedback_sig,
+                                                    e.path.classes[0], &measured)) {
+          e.selectivity = measured;
+          e.sel_source = SelSource::kFeedback;
+        } else {
+          SelSource src = SelSource::kDefault;
+          auto sel = estimator_.PathSelectivity(e.path, e.op, e.constant, &src);
+          e.selectivity = sel.ok() ? sel.value() : options_.default_selectivity;
+          if (sel.ok()) e.sel_source = src;
+        }
       }
       auto fc = ForwardPathCost(e.path, options_.path_rank_root_objects, estimator_,
                                 active_disk_);

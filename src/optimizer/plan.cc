@@ -53,7 +53,8 @@ std::string PlanNode::ToString() const {
       for (const auto& probe : probes) {
         out += ", " + probe.index.name + ": " + from.var + "." + probe.index.attribute +
                " " + std::string(BinaryOpName(probe.cmp)) + " " +
-               probe.constant.ToString();
+               (probe.param >= 0 ? "?" + std::to_string(probe.param + 1)
+                                 : probe.constant.ToString());
       }
       out += ")";
       return out;

@@ -33,6 +33,9 @@ struct IndexProbe {
   IndexDesc index;
   BinaryOp cmp = BinaryOp::kEq;
   MoodValue constant;
+  /// >= 0: probe key is the `?` parameter at this position, bound at execution
+  /// (`constant` is then a placeholder Null).
+  int param = -1;
 };
 
 struct PlanNode {

@@ -1,5 +1,7 @@
 #include "sql/ast.h"
 
+#include <algorithm>
+
 namespace mood {
 
 std::string_view BinaryOpName(BinaryOp op) {
@@ -67,6 +69,13 @@ ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
   return e;
 }
 
+ExprPtr Expr::Parameter(uint32_t index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kParameter;
+  e->param_index = index;
+  return e;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kLiteral:
@@ -92,8 +101,42 @@ std::string Expr::ToString() const {
     case ExprKind::kUnary:
       return uop == UnaryOp::kNot ? "NOT (" + operand->ToString() + ")"
                                   : "-(" + operand->ToString() + ")";
+    case ExprKind::kParameter:
+      return "?" + std::to_string(param_index + 1);
   }
   return "?";
+}
+
+uint32_t ParamCount(const ExprPtr& expr) {
+  if (expr == nullptr) return 0;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return 0;
+    case ExprKind::kParameter:
+      return expr->param_index + 1;
+    case ExprKind::kPath: {
+      uint32_t count = 0;
+      for (const auto& s : expr->steps) {
+        for (const auto& a : s.args) count = std::max(count, ParamCount(a));
+      }
+      return count;
+    }
+    case ExprKind::kBinary:
+      return std::max(ParamCount(expr->lhs), ParamCount(expr->rhs));
+    case ExprKind::kUnary:
+      return ParamCount(expr->operand);
+  }
+  return 0;
+}
+
+uint32_t ParamCount(const SelectStmt& stmt) {
+  uint32_t count = 0;
+  for (const auto& e : stmt.projection) count = std::max(count, ParamCount(e));
+  count = std::max(count, ParamCount(stmt.where));
+  for (const auto& e : stmt.group_by) count = std::max(count, ParamCount(e));
+  count = std::max(count, ParamCount(stmt.having));
+  for (const auto& k : stmt.order_by) count = std::max(count, ParamCount(k.expr));
+  return count;
 }
 
 }  // namespace mood

@@ -35,7 +35,7 @@ struct PathStep {
   std::vector<ExprPtr> args;
 };
 
-enum class ExprKind { kLiteral, kPath, kBinary, kUnary };
+enum class ExprKind { kLiteral, kPath, kBinary, kUnary, kParameter };
 
 /// MOODSQL expression tree. A path expression `v.a.b.c()` is one kPath node with
 /// range variable "v" and steps [a, b, c()].
@@ -44,6 +44,9 @@ struct Expr {
 
   // kLiteral
   MoodValue literal;
+
+  // kParameter: 0-based position of a `?` placeholder, bound at execution
+  uint32_t param_index = 0;
 
   // kPath
   std::string range_var;
@@ -61,10 +64,14 @@ struct Expr {
   static ExprPtr Path(std::string var, std::vector<PathStep> steps);
   static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
   static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Parameter(uint32_t index);
 
   /// Textual rendering (used by EXPLAIN and the optimizer dictionaries).
   std::string ToString() const;
 };
+
+/// Number of `?` placeholders in an expression tree (max param_index + 1).
+uint32_t ParamCount(const ExprPtr& expr);
 
 // ---------------------------------------------------------------------------
 // Statements
@@ -92,6 +99,9 @@ struct SelectStmt {
   std::vector<OrderKey> order_by;
   bool distinct = false;
 };
+
+/// Number of `?` placeholders anywhere in a SELECT statement.
+uint32_t ParamCount(const SelectStmt& stmt);
 
 struct CreateClassStmt {
   Catalog::ClassDef def;

@@ -41,6 +41,7 @@ Result<BoundQuery> Binder::Bind(const SelectStmt& stmt) const {
     if (e == nullptr) return Status::OK();
     switch (e->kind) {
       case ExprKind::kLiteral:
+      case ExprKind::kParameter:
         return Status::OK();
       case ExprKind::kPath: {
         MOOD_RETURN_IF_ERROR(ResolvePath(query, *e).status());

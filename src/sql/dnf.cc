@@ -49,6 +49,7 @@ Result<ExprPtr> FoldConstants(const ExprPtr& expr) {
   switch (expr->kind) {
     case ExprKind::kLiteral:
     case ExprKind::kPath:
+    case ExprKind::kParameter:
       return expr;
     case ExprKind::kUnary: {
       MOOD_ASSIGN_OR_RETURN(ExprPtr inner, FoldConstants(expr->operand));
@@ -89,6 +90,7 @@ ExprPtr PushNotDown(const ExprPtr& expr, bool negate) {
       return negate ? Expr::Unary(UnaryOp::kNot, expr) : expr;
     }
     case ExprKind::kPath:
+    case ExprKind::kParameter:
       return negate ? Expr::Unary(UnaryOp::kNot, expr) : expr;
     case ExprKind::kUnary: {
       if (expr->uop == UnaryOp::kNot) return PushNotDown(expr->operand, !negate);

@@ -108,6 +108,14 @@ Result<MoodValue> Evaluator::Eval(const ExprPtr& expr, const Env& env) const {
     }
     case ExprKind::kBinary:
       return EvalBinary(*expr, env);
+    case ExprKind::kParameter: {
+      if (env.params == nullptr || expr->param_index >= env.params->size()) {
+        return Status::InvalidArgument("parameter ?" +
+                                       std::to_string(expr->param_index + 1) +
+                                       " not bound");
+      }
+      return (*env.params)[expr->param_index];
+    }
   }
   return Status::Internal("unhandled expression kind");
 }

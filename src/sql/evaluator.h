@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "funcman/function_manager.h"
@@ -26,6 +27,8 @@ class Evaluator {
   struct Env {
     std::map<std::string, Oid> vars;
     DerefCache* deref = nullptr;
+    /// Bound values for `?` positional parameters, in placeholder order.
+    const std::vector<MoodValue>* params = nullptr;
   };
 
   /// Evaluates an expression to a value. A path through a Set/List-valued

@@ -154,6 +154,7 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& input) {
       case '%': tokens.push_back(make(TokenType::kPercent, "%", start)); break;
       case ';': tokens.push_back(make(TokenType::kSemicolon, ";", start)); break;
       case ':': tokens.push_back(make(TokenType::kColon, ":", start)); break;
+      case '?': tokens.push_back(make(TokenType::kQuestion, "?", start)); break;
       default:
         return Status::ParseError(std::string("unexpected character '") + c +
                                   "' at offset " + std::to_string(start));

@@ -32,6 +32,7 @@ enum class TokenType {
   kColon,
   kColonColon,
   kSemicolon,
+  kQuestion,  // ? positional parameter
   kEof,
 };
 

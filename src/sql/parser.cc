@@ -582,6 +582,9 @@ Result<ExprPtr> Parser::ParsePrimary() {
       return Expr::Literal(MoodValue::Float(Advance().float_value));
     case TokenType::kStringLiteral:
       return Expr::Literal(MoodValue::String(Advance().text));
+    case TokenType::kQuestion:
+      Advance();
+      return Expr::Parameter(param_counter_++);
     case TokenType::kLParen: {
       Advance();
       MOOD_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());

@@ -65,6 +65,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  uint32_t param_counter_ = 0;  // `?` placeholders numbered left to right
 };
 
 }  // namespace mood

@@ -122,6 +122,7 @@ Status StatisticsManager::Collect(const std::string& class_name) {
   if (ExtentEpoch(class_name, &ep.file, &ep.write_epoch)) {
     collected_[class_name] = ep;
   }
+  BumpPlansVersion();
   return Status::OK();
 }
 
@@ -150,6 +151,7 @@ void StatisticsManager::RecordFeedback(const std::string& sig,
   feedback_.Record(sig, selectivity, objects_->catalog()->schema_epoch(), file,
                    write_epoch);
   if (feedback_writes_) feedback_writes_->Add();
+  BumpPlansVersion();
 }
 
 bool StatisticsManager::LookupFeedback(const std::string& sig,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -71,6 +72,18 @@ class StatisticsManager {
 
   FeedbackStore& feedback() { return feedback_; }
   CostCalibration& calibration() { return calibration_; }
+
+  /// Monotone counter bumped whenever anything that shapes plans changes:
+  /// collected/injected statistics, a recorded feedback selectivity, or the
+  /// measured cost calibration. Cached plans stamp it and re-optimize on
+  /// mismatch, so the feedback loop keeps improving hot queries instead of
+  /// freezing their first plan.
+  uint64_t plans_version() const {
+    return plans_version_.load(std::memory_order_acquire);
+  }
+  void BumpPlansVersion() {
+    plans_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
   uint64_t feedback_refresh_delta() const {
     return feedback_opts_.refresh_epoch_delta;
   }
@@ -89,14 +102,19 @@ class StatisticsManager {
   void MaybeAutoRefresh(const std::string& cls);
 
   // Injection (modeled mode).
-  void SetClassStats(const std::string& cls, ClassStats s) { classes_[cls] = s; }
+  void SetClassStats(const std::string& cls, ClassStats s) {
+    classes_[cls] = s;
+    BumpPlansVersion();
+  }
   void SetAttributeStats(const std::string& cls, const std::string& attr,
                          AttributeStats s) {
     attributes_[{cls, attr}] = s;
+    BumpPlansVersion();
   }
   void SetReferenceStats(const std::string& cls, const std::string& attr,
                          ReferenceStats s) {
     references_[{cls, attr}] = s;
+    BumpPlansVersion();
   }
 
   Result<ClassStats> Class(const std::string& cls) const;
@@ -141,6 +159,7 @@ class StatisticsManager {
   MetricCounter* feedback_writes_ = nullptr;
   MetricCounter* feedback_invalidations_ = nullptr;
   MetricCounter* refreshes_ = nullptr;
+  std::atomic<uint64_t> plans_version_{0};
 };
 
 }  // namespace mood

@@ -387,9 +387,12 @@ TEST_F(BatchExecFixture, BatchCountersMoveOnlyInBatchMode) {
   uint64_t batches0 = CounterValue("exec.batch.batches");
   uint64_t rows0 = CounterValue("exec.batch.rows");
 
+  // This test asserts *execution* side effects, so the result cache (which
+  // legitimately skips execution on a repeat) must stay out of the way.
   QueryOptions oracle;
   oracle.batch_size = 0;
   oracle.exec_threads = 1;
+  oracle.use_cache = false;
   MOOD_ASSERT_OK(db_.Query(sql, oracle).status());
   EXPECT_EQ(CounterValue("exec.batch.batches"), batches0);
   EXPECT_EQ(CounterValue("exec.batch.rows"), rows0);
@@ -397,6 +400,7 @@ TEST_F(BatchExecFixture, BatchCountersMoveOnlyInBatchMode) {
   QueryOptions batched;
   batched.batch_size = 7;
   batched.exec_threads = 1;
+  batched.use_cache = false;
   MOOD_ASSERT_OK_AND_ASSIGN(auto res, db_.Query(sql, batched));
   uint64_t batches1 = CounterValue("exec.batch.batches");
   uint64_t rows1 = CounterValue("exec.batch.rows");
