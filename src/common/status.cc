@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kTxnAborted: return "TxnAborted";
     case StatusCode::kDeadlock: return "Deadlock";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

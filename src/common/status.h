@@ -11,6 +11,10 @@ namespace mood {
 /// Error categories used across the MOOD system. Mirrors the failure surface of the
 /// original system: storage-level failures (ESM in the paper), catalog lookups, SQL
 /// front-end errors, function-manager errors, and transaction aborts.
+///
+/// The numeric values are a stable wire contract: protocol error frames carry the
+/// integer and clients rebuild an equivalent Status with Status::FromCode. Never
+/// renumber an existing entry; append new codes at the end.
 enum class StatusCode : int {
   kOk = 0,
   kNotFound = 1,
@@ -26,6 +30,8 @@ enum class StatusCode : int {
   kTxnAborted = 11,
   kDeadlock = 12,
   kInternal = 13,
+  kTimeout = 14,      // request deadline exceeded (wire server)
+  kUnavailable = 15,  // server shutting down / session reaped
 };
 
 /// Human-readable name of a status code ("OK", "NotFound", ...).
@@ -78,6 +84,25 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// Rebuild a Status from a (code, message) pair that crossed the wire. Unknown
+  /// integer codes (a newer server talking to an older client) degrade to kInternal
+  /// so the error is still surfaced rather than silently dropped.
+  static Status FromCode(int code, std::string msg) {
+    if (code == 0) return OK();
+    if (code < 0 || code > static_cast<int>(StatusCode::kUnavailable)) {
+      return Status(StatusCode::kInternal,
+                    "unknown wire status code " + std::to_string(code) +
+                        (msg.empty() ? "" : ": " + msg));
+    }
+    return Status(static_cast<StatusCode>(code), std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -90,6 +115,8 @@ class Status {
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

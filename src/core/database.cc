@@ -2,17 +2,46 @@
 
 #include <algorithm>
 
+#include "core/session.h"
 #include "exec/parallel.h"
 #include "optimizer/feedback.h"
+#include "txn/version_store.h"
 #include "types/operand.h"
 
 namespace mood {
 
+namespace {
+/// Statement-scoped snapshot pin: releases the CSN pin on every exit path so
+/// an error return can never leak a pin (a leaked pin wedges version GC).
+struct SnapshotPin {
+  VersionStore* store = nullptr;
+  uint64_t snap = 0;
+  ~SnapshotPin() {
+    if (store != nullptr) store->UnpinSnapshot(snap);
+  }
+};
+}  // namespace
+
+Database::Database() {
+  // The implicit session exists for the Database's whole lifetime (it backs
+  // the facade's own SQL surface even before Open / after Close).
+  implicit_ = std::unique_ptr<Session>(new Session(this, alive_));
+  sessions_.push_back(implicit_.get());
+}
+
 Database::~Database() {
-  // Outstanding TxnHandles check this flag before dereferencing their back
-  // pointer; flip it first so a handle destroyed after us is a no-op.
+  // Outstanding TxnHandles and sessions check this flag before dereferencing
+  // their back pointer; flip it first so anything destroyed after us is a
+  // no-op.
   *alive_ = false;
   if (is_open()) Close();
+}
+
+std::unique_ptr<Session> Database::CreateSession() {
+  auto session = std::unique_ptr<Session>(new Session(this, alive_));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.push_back(session.get());
+  return session;
 }
 
 Status Database::Open(const std::string& path, const DatabaseOptions& options) {
@@ -45,9 +74,16 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
     MOOD_RETURN_IF_ERROR(storage_->ReloadDirectory());
   }
 
+  // MVCC version store: always present, WAL or not. Transactions stamp their
+  // batches at durable commit; autocommit writes use self-committing
+  // mini-batches inside ObjectManager.
+  versions_ = std::make_unique<VersionStore>();
+  if (txn_manager_ != nullptr) txn_manager_->SetVersionStore(versions_.get());
+
   catalog_ = std::make_unique<Catalog>();
   MOOD_RETURN_IF_ERROR(catalog_->Open(storage_.get()));
   objects_ = std::make_unique<ObjectManager>(storage_.get(), catalog_.get());
+  objects_->SetVersionStore(versions_.get());
   functions_ = std::make_unique<FunctionManager>(catalog_.get());
   evaluator_ = std::make_unique<Evaluator>(objects_.get(), functions_.get());
   algebra_ = std::make_unique<MoodAlgebra>(objects_.get(), evaluator_.get());
@@ -70,7 +106,7 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   plan_cache_->Configure(options.plan_cache_entries, options.stats_refresh_epoch_delta);
   result_cache_ = std::make_unique<ResultCache>();
   result_cache_->Configure(options.result_cache_bytes);
-  default_query_options_ = QueryOptions{};
+  implicit_->SetDefaultQueryOptions(QueryOptions{});
 
   // Engine metrics: every kernel component registers its probe; the facade
   // owns the execution counters. Probes hold component pointers, so Close()
@@ -78,6 +114,7 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   metrics_ = std::make_unique<MetricsRegistry>();
   storage_->RegisterMetrics(metrics_.get());
   objects_->RegisterMetrics(metrics_.get());
+  versions_->RegisterMetrics(metrics_.get());
   functions_->RegisterMetrics(metrics_.get());
   if (locks_ != nullptr) locks_->RegisterMetrics(metrics_.get());
   if (log_ != nullptr) log_->RegisterMetrics(metrics_.get());
@@ -118,12 +155,23 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
 
 Status Database::Close() {
   if (!is_open()) return Status::OK();
-  if (active_txn_ != nullptr) {
-    // Any TxnHandle still out there becomes inert: FinishTxn rejects it once
-    // active_txn_ is cleared.
-    MOOD_RETURN_IF_ERROR(txn_manager_->Abort(active_txn_));
-    active_txn_ = nullptr;
+  {
+    // Abort every session's open transaction and release pinned snapshots.
+    // Any TxnHandle still out there becomes inert: Session::FinishTxn rejects
+    // it once the session's txn_ is cleared.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (Session* s : sessions_) {
+      if (s->txn_ != nullptr && txn_manager_ != nullptr) {
+        MOOD_RETURN_IF_ERROR(txn_manager_->Abort(s->txn_));
+        s->txn_ = nullptr;
+      }
+      if (s->snapshot_pinned_ && versions_ != nullptr) {
+        versions_->UnpinSnapshot(s->snap_csn_);
+        s->snapshot_pinned_ = false;
+      }
+    }
   }
+  if (txn_manager_ != nullptr) txn_manager_->PruneCompleted();
   MOOD_RETURN_IF_ERROR(Checkpoint());
   // Executor holds raw counter pointers into the registry; detach them first.
   executor_->SetExprMetrics(nullptr, nullptr, nullptr);
@@ -149,6 +197,7 @@ Status Database::Close() {
   catalog_.reset();
   txn_manager_.reset();
   locks_.reset();
+  versions_.reset();
   if (log_) {
     MOOD_RETURN_IF_ERROR(log_->Close());
     log_.reset();
@@ -158,79 +207,71 @@ Status Database::Close() {
   return Status::OK();
 }
 
-Result<TxnHandle> Database::Begin() {
-  if (txn_manager_ == nullptr) {
-    return Status::NotSupported("transactions require enable_wal");
-  }
-  if (active_txn_ != nullptr) {
-    return Status::InvalidArgument("a transaction is already active");
-  }
-  MOOD_ASSIGN_OR_RETURN(active_txn_, txn_manager_->Begin());
-  return TxnHandle(this, active_txn_, alive_);
-}
+Result<TxnHandle> Database::Begin() { return implicit_->Begin(); }
 
-Status Database::FinishTxn(Transaction* txn, bool commit) {
-  if (txn == nullptr || txn != active_txn_) {
-    return Status::InvalidArgument("transaction is no longer active");
-  }
-  Status st = commit ? txn_manager_->Commit(txn) : txn_manager_->Abort(txn);
-  active_txn_ = nullptr;
-  txn_manager_->PruneCompleted();
-  return st;
-}
+bool Database::in_transaction() const { return implicit_->in_transaction(); }
 
 TxnHandle& TxnHandle::operator=(TxnHandle&& other) noexcept {
   if (this == &other) return *this;
-  if (txn_ != nullptr && DbAlive()) (void)db_->FinishTxn(txn_, /*commit=*/false);
-  db_ = other.db_;
+  if (txn_ != nullptr && SessionAlive()) {
+    (void)session_->FinishTxn(txn_, /*commit=*/false);
+  }
+  session_ = other.session_;
   txn_ = other.txn_;
-  db_alive_ = std::move(other.db_alive_);
-  other.db_ = nullptr;
+  session_alive_ = std::move(other.session_alive_);
+  other.session_ = nullptr;
   other.txn_ = nullptr;
   return *this;
 }
 
 TxnHandle::~TxnHandle() {
-  if (txn_ != nullptr && DbAlive()) (void)db_->FinishTxn(txn_, /*commit=*/false);
+  if (txn_ != nullptr && SessionAlive()) {
+    (void)session_->FinishTxn(txn_, /*commit=*/false);
+  }
 }
 
 Status TxnHandle::Commit() {
   if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
-  if (!DbAlive()) {
+  if (!SessionAlive()) {
     Reset();
-    return Status::InvalidArgument("database no longer exists");
+    return Status::InvalidArgument("session no longer exists");
   }
-  Status st = db_->FinishTxn(txn_, /*commit=*/true);
+  Status st = session_->FinishTxn(txn_, /*commit=*/true);
   Reset();
   return st;
 }
 
 Status TxnHandle::Abort() {
   if (txn_ == nullptr) return Status::InvalidArgument("transaction handle is empty");
-  if (!DbAlive()) {
+  if (!SessionAlive()) {
     Reset();
-    return Status::InvalidArgument("database no longer exists");
+    return Status::InvalidArgument("session no longer exists");
   }
-  Status st = db_->FinishTxn(txn_, /*commit=*/false);
+  Status st = session_->FinishTxn(txn_, /*commit=*/false);
   Reset();
   return st;
 }
 
 Status Database::Checkpoint() {
+  // Exclusive gate: page flushing must not observe a writer mid-mutation.
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   MOOD_RETURN_IF_ERROR(storage_->Checkpoint());
-  if (log_ && active_txn_ == nullptr) {
+  if (log_ && (txn_manager_ == nullptr || !txn_manager_->HasActive())) {
     MOOD_RETURN_IF_ERROR(log_->Truncate());
   }
   return Status::OK();
 }
 
 Status Database::CollectStatistics(const std::string& class_name) {
+  // Shared gate: the collection scan reads heap pages that concurrent writers
+  // mutate only inside the gate's exclusive sections.
+  CommitGate::SharedGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   return stats_->Collect(class_name);
 }
 
 Status Database::CollectAllStatistics() {
   for (const MoodsType* t : catalog_->AllTypes()) {
-    if (t->is_class) MOOD_RETURN_IF_ERROR(stats_->Collect(t->name));
+    if (t->is_class) MOOD_RETURN_IF_ERROR(CollectStatistics(t->name));
   }
   return Status::OK();
 }
@@ -241,15 +282,16 @@ Status Database::RegisterMethod(const std::string& class_name,
 }
 
 Result<ExecResult> Database::Execute(const std::string& sql) {
-  return Execute(sql, QueryOptions{});
+  return implicit_->Execute(sql, QueryOptions{});
 }
 
-ResolvedQueryOptions Database::Resolve(const QueryOptions& options) const {
+ResolvedQueryOptions Database::ResolveFor(const Session& s,
+                                          const QueryOptions& options) const {
   auto pick = [](const auto& call, const auto& session, auto fallback) {
     return call.has_value() ? *call
                             : (session.has_value() ? *session : fallback);
   };
-  const QueryOptions& d = default_query_options_;
+  const QueryOptions& d = s.defaults_;
   ResolvedQueryOptions r;
   r.exec_threads = pick(options.exec_threads, d.exec_threads, size_t{0});
   r.batch_size = pick(options.batch_size, d.batch_size, ExecOptions::kInheritBatch);
@@ -262,22 +304,21 @@ ResolvedQueryOptions Database::Resolve(const QueryOptions& options) const {
   return r;
 }
 
+ResolvedQueryOptions Database::Resolve(const QueryOptions& options) const {
+  return ResolveFor(*implicit_, options);
+}
+
 void Database::SetDefaultQueryOptions(const QueryOptions& options) {
-  default_query_options_ = options;
+  implicit_->SetDefaultQueryOptions(options);
+}
+
+const QueryOptions& Database::default_query_options() const {
+  return implicit_->default_query_options();
 }
 
 Result<ExecResult> Database::Execute(const std::string& sql,
                                      const QueryOptions& options) {
-  MOOD_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
-  uint64_t start = ProfileNowNs();
-  Result<ExecResult> res = ExecuteStatement(stmt, options, NormalizeSql(sql));
-  if (res.ok() && res.value().kind == ExecResult::Kind::kQuery) {
-    double elapsed_ms = static_cast<double>(ProfileNowNs() - start) / 1e6;
-    size_t threads = Resolve(options).exec_threads;
-    if (threads == 0) threads = executor_->threads();
-    NoteQuery(sql, elapsed_ms, res.value().query.rows.size(), threads);
-  }
-  return res;
+  return implicit_->Execute(sql, options);
 }
 
 Result<PreparedStatement> Database::Prepare(const std::string& sql) {
@@ -314,7 +355,7 @@ Result<ExecResult> PreparedStatement::Execute(const std::vector<MoodValue>& para
         "statement expects " + std::to_string(param_count_) + " parameter(s), got " +
         std::to_string(params.size()));
   }
-  return db_->ExecPrepared(*stmt_, normalized_sql_, params, options);
+  return db_->ExecPrepared(*db_->implicit_, *stmt_, normalized_sql_, params, options);
 }
 
 Result<QueryResult> PreparedStatement::Query(const std::vector<MoodValue>& params,
@@ -323,17 +364,18 @@ Result<QueryResult> PreparedStatement::Query(const std::vector<MoodValue>& param
   return std::move(res.query);
 }
 
-Result<ExecResult> Database::ExecPrepared(const SelectStmt& stmt,
+Result<ExecResult> Database::ExecPrepared(Session& s, const SelectStmt& stmt,
                                           const std::string& normalized_sql,
                                           const std::vector<MoodValue>& params,
                                           const QueryOptions& options) {
   if (!is_open()) return Status::InvalidArgument("database is not open");
   if (statements_counter_ != nullptr) statements_counter_->Add(1);
   uint64_t start = ProfileNowNs();
-  Result<ExecResult> res = ExecSelectCached(stmt, Resolve(options), params, normalized_sql);
+  Result<ExecResult> res =
+      ExecSelectCached(s, stmt, ResolveFor(s, options), params, normalized_sql);
   if (res.ok()) {
     double elapsed_ms = static_cast<double>(ProfileNowNs() - start) / 1e6;
-    size_t threads = Resolve(options).exec_threads;
+    size_t threads = ResolveFor(s, options).exec_threads;
     if (threads == 0) threads = executor_->threads();
     NoteQuery(normalized_sql, elapsed_ms, res.value().query.rows.size(), threads);
   }
@@ -341,26 +383,16 @@ Result<ExecResult> Database::ExecPrepared(const SelectStmt& stmt,
 }
 
 Result<ExecResult> Database::ExecuteScript(const std::string& sql) {
-  MOOD_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(sql));
-  if (stmts.empty()) return Status::InvalidArgument("empty script");
-  ExecResult last;
-  for (const auto& stmt : stmts) {
-    MOOD_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
-  }
-  return last;
+  return implicit_->ExecuteScript(sql);
 }
 
 Result<QueryResult> Database::Query(const std::string& sql) {
-  return Query(sql, QueryOptions{});
+  return implicit_->Query(sql, QueryOptions{});
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  MOOD_ASSIGN_OR_RETURN(ExecResult res, Execute(sql, options));
-  if (res.kind != ExecResult::Kind::kQuery) {
-    return Status::InvalidArgument("not a SELECT statement");
-  }
-  return res.query;
+  return implicit_->Query(sql, options);
 }
 
 Result<ExplainResult> Database::Explain(const std::string& sql,
@@ -372,18 +404,18 @@ Result<ExplainResult> Database::Explain(const std::string& sql,
     ExplainOptions merged = options;
     merged.analyze = options.analyze || ex->analyze;
     merged.verbose = options.verbose || ex->verbose;
-    return ExplainSelect(ex->select, merged, NormalizeSql(sql));
+    return ExplainSelect(*implicit_, ex->select, merged, NormalizeSql(sql));
   }
   const auto* select = std::get_if<SelectStmt>(&stmt);
   if (select == nullptr) return Status::InvalidArgument("EXPLAIN requires SELECT");
-  return ExplainSelect(*select, options, NormalizeSql(sql));
+  return ExplainSelect(*implicit_, *select, options, NormalizeSql(sql));
 }
 
-Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
+Result<ExplainResult> Database::ExplainSelect(Session& s, const SelectStmt& stmt,
                                               const ExplainOptions& options,
                                               const std::string& cache_sql) {
   if (explains_counter_ != nullptr) explains_counter_->Add(1);
-  const ResolvedQueryOptions r = Resolve(options.query);
+  const ResolvedQueryOptions r = ResolveFor(s, options.query);
   ExplainResult out;
   out.options = options;
   // EXPLAIN always re-optimizes: its plan copy is annotated (notes below,
@@ -414,6 +446,19 @@ Result<ExplainResult> Database::ExplainSelect(const SelectStmt& stmt,
     exec.compile_expressions = r.compile_expressions;
     exec.batch_size = r.batch_size;
     exec.profile = out.profile.get();
+    // Same read physics as ExecSelectCached: outside a write transaction the
+    // ANALYZE run reads a consistent snapshot under the shared gate.
+    const bool snapshot_read = versions_ != nullptr && s.txn_ == nullptr;
+    CommitGate::SharedGuard gate(snapshot_read ? &versions_->gate() : nullptr);
+    SnapshotPin pin;
+    if (snapshot_read) {
+      uint64_t snap = s.snapshot_pinned_ ? s.snap_csn_ : versions_->PinSnapshot();
+      if (!s.snapshot_pinned_) {
+        pin.store = versions_.get();
+        pin.snap = snap;
+      }
+      exec.snapshot = SnapshotView{versions_.get(), snap};
+    }
     uint64_t start = ProfileNowNs();
     MOOD_ASSIGN_OR_RETURN(out.result, executor_->ExecuteSelect(out.optimized, exec));
     out.profile->wall_ns = ProfileNowNs() - start;
@@ -470,33 +515,40 @@ std::string ExplainResult::Render() const {
   return out;
 }
 
-Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
+Result<ExecResult> Database::ExecuteStatement(Session& s, const Statement& stmt,
                                               const QueryOptions& options,
                                               const std::string& cache_sql) {
   if (statements_counter_ != nullptr) statements_counter_->Add(1);
+  if (s.snapshot_pinned_ && !std::holds_alternative<SelectStmt>(stmt) &&
+      !std::holds_alternative<ExplainStmt>(stmt)) {
+    // A pinned snapshot makes the session read-only by construction: its own
+    // writes could never become visible at the pinned CSN.
+    return Status::InvalidArgument(
+        "session has a pinned snapshot (read-only); EndSnapshot() before DML/DDL");
+  }
   return std::visit(
-      [this, &options, &cache_sql](const auto& s) -> Result<ExecResult> {
-        using T = std::decay_t<decltype(s)>;
-        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s, options, cache_sql);
-        else if constexpr (std::is_same_v<T, ExplainStmt>) return ExecExplain(s, options, cache_sql);
-        else if constexpr (std::is_same_v<T, CreateClassStmt>) return ExecCreateClass(s);
-        else if constexpr (std::is_same_v<T, NewObjectStmt>) return ExecNew(s);
-        else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s);
-        else if constexpr (std::is_same_v<T, DeleteStmt>) return ExecDelete(s);
-        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return ExecCreateIndex(s);
-        else if constexpr (std::is_same_v<T, AnalyzeStmt>) return ExecAnalyze(s);
-        else return ExecDropClass(s);
+      [this, &s, &options, &cache_sql](const auto& st) -> Result<ExecResult> {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) return ExecSelect(s, st, options, cache_sql);
+        else if constexpr (std::is_same_v<T, ExplainStmt>) return ExecExplain(s, st, options, cache_sql);
+        else if constexpr (std::is_same_v<T, CreateClassStmt>) return ExecCreateClass(st);
+        else if constexpr (std::is_same_v<T, NewObjectStmt>) return ExecNew(s, st);
+        else if constexpr (std::is_same_v<T, UpdateStmt>) return ExecUpdate(s, st);
+        else if constexpr (std::is_same_v<T, DeleteStmt>) return ExecDelete(s, st);
+        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return ExecCreateIndex(st);
+        else if constexpr (std::is_same_v<T, AnalyzeStmt>) return ExecAnalyze(st);
+        else return ExecDropClass(st);
       },
       stmt);
 }
 
-Result<ExecResult> Database::ExecSelect(const SelectStmt& stmt,
+Result<ExecResult> Database::ExecSelect(Session& s, const SelectStmt& stmt,
                                         const QueryOptions& options,
                                         const std::string& cache_sql) {
-  return ExecSelectCached(stmt, Resolve(options), {}, cache_sql);
+  return ExecSelectCached(s, stmt, ResolveFor(s, options), {}, cache_sql);
 }
 
-Result<ExecResult> Database::ExecSelectCached(const SelectStmt& stmt,
+Result<ExecResult> Database::ExecSelectCached(Session& s, const SelectStmt& stmt,
                                               const ResolvedQueryOptions& r,
                                               const std::vector<MoodValue>& params,
                                               const std::string& cache_sql) {
@@ -544,28 +596,91 @@ Result<ExecResult> Database::ExecSelectCached(const SelectStmt& stmt,
     optimized = &fresh;
   }
 
+  // --- Snapshot + gate scope ----------------------------------------------
+  // Outside a write transaction a SELECT runs at a consistent snapshot under
+  // the commit gate's shared side: writers' heap mutations never physically
+  // race the scan, and logically the statement sees exactly the commits with
+  // CSN <= its pin (the session's long pin, or a fresh statement pin).
+  // Inside a write transaction the statement reads latest — its own writes
+  // included — with 2PL providing its isolation.
+  const bool snapshot_read = versions_ != nullptr && s.txn_ == nullptr;
+  CommitGate::SharedGuard gate(snapshot_read ? &versions_->gate() : nullptr);
+  SnapshotPin pin;
+  uint64_t snap = 0;
+  if (snapshot_read) {
+    if (s.snapshot_pinned_) {
+      snap = s.snap_csn_;
+    } else {
+      snap = versions_->PinSnapshot();
+      pin.store = versions_.get();
+      pin.snap = snap;
+    }
+  }
+
   // --- Result-cache probe -------------------------------------------------
-  // Epochs are captured BEFORE execution; ResultCache::Insert re-validates
-  // them afterwards, so a result computed while a writer raced is dropped
-  // rather than admitted (staleness-never).
+  // Probed inside the gate, where touched extents are quiescent. The entry
+  // key bakes in the write epochs of every touched extent (the session's
+  // frozen pin-time view for pinned sessions, the live epochs otherwise), so
+  // an entry is only ever found by a reader whose visible state is exactly
+  // the state the entry was computed from. Reader cohorts pinned on either
+  // side of a commit therefore coexist as separate epoch-stamped variants
+  // instead of thrash-overwriting a single slot; superseded variants simply
+  // age out of the LRU. ResultCache::Insert still re-validates epochs after
+  // execution as a belt-and-braces staleness check.
+  //
+  // The one case where an epoch does NOT identify visible content is a
+  // PENDING (uncommitted) mutation: the heap and epoch are already advanced
+  // while every snapshot reader still sees the pre-image. Bypass the cache
+  // for a touched extent in that state — for an unpinned statement when the
+  // extent has pending chains now, and for a pinned session when it had
+  // pending chains at pin time (its frozen epoch view is tainted for the
+  // whole pin). Committed chains never bypass: the heap holds the latest
+  // committed state and its epochs identify it.
+  bool versioned_extent = false;
+  if (entry != nullptr && snapshot_read) {
+    for (const TouchedExtent& te : entry->extents) {
+      const bool tainted =
+          s.snapshot_pinned_
+              ? s.pinned_dirty_[te.file % ObjectManager::kEpochSlots]
+              : versions_->FileHasPendingVersions(te.file);
+      if (tainted) {
+        versioned_extent = true;
+        break;
+      }
+    }
+  }
+  WriteEpochFn result_epoch_of = epoch_of;
+  if (s.snapshot_pinned_) {
+    const auto& view = s.pinned_epochs_;
+    result_epoch_of = [&view](uint16_t file) {
+      return view[file % ObjectManager::kEpochSlots];
+    };
+  }
   std::string result_key;
   std::vector<TouchedExtent> captured;
   bool fill_result = false;
   if (entry != nullptr && entry->result_cacheable && !r.collect_profile &&
-      active_txn_ == nullptr && result_cache_ != nullptr &&
+      s.txn_ == nullptr && !versioned_extent && result_cache_ != nullptr &&
       result_cache_->capacity_bytes() > 0) {
+    captured.reserve(entry->extents.size());
     result_key = key;
     result_key += '\x1e';
     result_key += ParamValueKey(params);
-    captured.reserve(entry->extents.size());
+    result_key += '\x1d';
     for (const TouchedExtent& te : entry->extents) {
-      captured.push_back(TouchedExtent{te.file, epoch_of(te.file)});
+      const uint64_t epoch = result_epoch_of(te.file);
+      captured.push_back(TouchedExtent{te.file, epoch});
+      result_key.append(reinterpret_cast<const char*>(&te.file), sizeof(te.file));
+      result_key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
     }
     ExecResult hit;
     hit.kind = ExecResult::Kind::kQuery;
-    if (result_cache_->Lookup(result_key, schema_epoch, epoch_of, &hit.query)) {
+    if (result_cache_->Lookup(result_key, schema_epoch, result_epoch_of, &hit.query)) {
       return hit;
     }
+    // Filling is safe for pinned sessions too: the rows are the state at the
+    // session's frozen epoch view, and the key above stamps exactly that
+    // view, so only readers seeing the same state can ever find the entry.
     fill_result = true;
   }
 
@@ -577,6 +692,7 @@ Result<ExecResult> Database::ExecSelectCached(const SelectStmt& stmt,
   exec.deref_cache_entries = r.deref_cache_entries;
   exec.compile_expressions = r.compile_expressions;
   exec.batch_size = r.batch_size;
+  if (snapshot_read) exec.snapshot = SnapshotView{versions_.get(), snap};
   if (!params.empty()) exec.params = &params;
   if (entry != nullptr && r.compile_expressions) {
     exec.program_memo = entry->programs.get();
@@ -607,20 +723,21 @@ Result<ExecResult> Database::ExecSelectCached(const SelectStmt& stmt,
     }
   }
   if (fill_result) {
-    result_cache_->Insert(result_key, qr, schema_epoch, captured, epoch_of);
+    result_cache_->Insert(result_key, qr, schema_epoch, captured, result_epoch_of);
   }
   res.query = std::move(qr);
   return res;
 }
 
-Result<ExecResult> Database::ExecExplain(const ExplainStmt& stmt,
+Result<ExecResult> Database::ExecExplain(Session& s, const ExplainStmt& stmt,
                                          const QueryOptions& options,
                                          const std::string& cache_sql) {
   ExplainOptions eopts;
   eopts.analyze = stmt.analyze;
   eopts.verbose = stmt.verbose;
   eopts.query = options;
-  MOOD_ASSIGN_OR_RETURN(ExplainResult er, ExplainSelect(stmt.select, eopts, cache_sql));
+  MOOD_ASSIGN_OR_RETURN(ExplainResult er,
+                        ExplainSelect(s, stmt.select, eopts, cache_sql));
   ExecResult res;
   res.kind = ExecResult::Kind::kExplain;
   res.message = er.Render();
@@ -651,6 +768,10 @@ std::vector<SlowQueryRecord> Database::SlowQueries() const {
 }
 
 Result<ExecResult> Database::ExecCreateClass(const CreateClassStmt& stmt) {
+  // DDL runs under the exclusive gate: no SELECT is mid-flight while catalog
+  // pages mutate. (Concurrent DDL vs. optimization of other statements is
+  // still the caller's to serialize; see DESIGN.md §14.)
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   MOOD_ASSIGN_OR_RETURN(TypeId id, catalog_->Define(stmt.def));
   ExecResult res;
   res.message = std::string(stmt.def.is_class ? "class '" : "type '") + stmt.def.name +
@@ -659,11 +780,13 @@ Result<ExecResult> Database::ExecCreateClass(const CreateClassStmt& stmt) {
   return res;
 }
 
-Result<ExecResult> Database::ExecNew(const NewObjectStmt& stmt) {
-  // Strict 2PL: inserts take an exclusive lock on the class extent.
-  if (active_txn_ != nullptr) {
+Result<ExecResult> Database::ExecNew(Session& s, const NewObjectStmt& stmt) {
+  // Strict 2PL: inserts take an exclusive lock on the class extent. The lock
+  // is acquired before any gate section — never inside one (lock-ordering
+  // rule: the gate must not wait on the lock manager).
+  if (s.txn_ != nullptr) {
     MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(stmt.class_name));
-    MOOD_RETURN_IF_ERROR(active_txn_->Lock(
+    MOOD_RETURN_IF_ERROR(s.txn_->Lock(
         LockKey{/*space=*/1, type->extent_file}, LockMode::kExclusive));
   }
   Evaluator::Env empty;
@@ -674,7 +797,7 @@ Result<ExecResult> Database::ExecNew(const NewObjectStmt& stmt) {
   }
   MOOD_ASSIGN_OR_RETURN(
       Oid oid, objects_->CreateObject(stmt.class_name, MoodValue::Tuple(std::move(values)),
-                                      wal_for_writes()));
+                                      s.txn_));
   if (!stmt.bind_name.empty()) {
     MOOD_RETURN_IF_ERROR(catalog_->BindName(stmt.bind_name, oid));
   }
@@ -697,6 +820,10 @@ Result<std::vector<Oid>> Database::MatchingObjects(const std::string& class_name
   select.from.push_back(fe);
   select.where = where;
   MOOD_ASSIGN_OR_RETURN(auto optimized, optimizer_->Optimize(select));
+  // Shared gate for the row-selection scan: DML reads *latest* state (not a
+  // snapshot — the writer must see current rows), but must still never
+  // observe another writer mid-mutation.
+  CommitGate::SharedGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   MOOD_ASSIGN_OR_RETURN(RowSet rows, executor_->ExecutePlan(optimized.plan));
   int idx = rows.VarIndex(var);
   if (idx < 0) return Status::Internal("range variable lost during optimization");
@@ -709,18 +836,35 @@ Result<std::vector<Oid>> Database::MatchingObjects(const std::string& class_name
   return out;
 }
 
-Result<ExecResult> Database::ExecUpdate(const UpdateStmt& stmt) {
+Result<ExecResult> Database::ExecUpdate(Session& s, const UpdateStmt& stmt) {
+  // Strict 2PL: updates lock the class extent exclusively before selecting
+  // rows, serializing transactional writers on the class — the row set a
+  // writer updates cannot shift under it between selection and mutation.
+  if (s.txn_ != nullptr) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(stmt.class_name));
+    MOOD_RETURN_IF_ERROR(s.txn_->Lock(
+        LockKey{/*space=*/1, type->extent_file}, LockMode::kExclusive));
+  }
   MOOD_ASSIGN_OR_RETURN(auto oids, MatchingObjects(stmt.class_name, stmt.var, stmt.where));
   for (Oid oid : oids) {
-    if (active_txn_ != nullptr) {
-      MOOD_RETURN_IF_ERROR(active_txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
-                                             LockMode::kExclusive));
+    if (s.txn_ != nullptr) {
+      MOOD_RETURN_IF_ERROR(s.txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
+                                        LockMode::kExclusive));
     }
     Evaluator::Env env;
     env.vars[stmt.var] = oid;
     for (const auto& [attr, expr] : stmt.assignments) {
-      MOOD_ASSIGN_OR_RETURN(MoodValue v, evaluator_->Eval(expr, env));
-      MOOD_RETURN_IF_ERROR(objects_->SetAttribute(oid, attr, std::move(v), wal_for_writes()));
+      // Assignment expressions read heap objects; shared gate per evaluation
+      // (released before SetAttribute's exclusive section — the gate never
+      // nests on one thread).
+      Result<MoodValue> v = [&]() -> Result<MoodValue> {
+        CommitGate::SharedGuard eval_gate(versions_ != nullptr ? &versions_->gate()
+                                                               : nullptr);
+        return evaluator_->Eval(expr, env);
+      }();
+      if (!v.ok()) return v.status();
+      MOOD_RETURN_IF_ERROR(
+          objects_->SetAttribute(oid, attr, std::move(v.value()), s.txn_));
     }
   }
   ExecResult res;
@@ -730,14 +874,20 @@ Result<ExecResult> Database::ExecUpdate(const UpdateStmt& stmt) {
   return res;
 }
 
-Result<ExecResult> Database::ExecDelete(const DeleteStmt& stmt) {
+Result<ExecResult> Database::ExecDelete(Session& s, const DeleteStmt& stmt) {
+  // Same extent-level 2PL as ExecUpdate.
+  if (s.txn_ != nullptr) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(stmt.class_name));
+    MOOD_RETURN_IF_ERROR(s.txn_->Lock(
+        LockKey{/*space=*/1, type->extent_file}, LockMode::kExclusive));
+  }
   MOOD_ASSIGN_OR_RETURN(auto oids, MatchingObjects(stmt.class_name, stmt.var, stmt.where));
   for (Oid oid : oids) {
-    if (active_txn_ != nullptr) {
-      MOOD_RETURN_IF_ERROR(active_txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
-                                             LockMode::kExclusive));
+    if (s.txn_ != nullptr) {
+      MOOD_RETURN_IF_ERROR(s.txn_->Lock(LockKey{/*space=*/2, oid.Pack()},
+                                        LockMode::kExclusive));
     }
-    MOOD_RETURN_IF_ERROR(objects_->DeleteObject(oid, wal_for_writes()));
+    MOOD_RETURN_IF_ERROR(objects_->DeleteObject(oid, s.txn_));
   }
   ExecResult res;
   res.kind = ExecResult::Kind::kDml;
@@ -747,6 +897,9 @@ Result<ExecResult> Database::ExecDelete(const DeleteStmt& stmt) {
 }
 
 Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
+  // DDL under the exclusive gate (the build scan + inserts must not interleave
+  // with readers probing half-built index pages).
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   switch (stmt.kind) {
     case IndexKind::kBTree:
     case IndexKind::kHash:
@@ -774,6 +927,7 @@ Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
 }
 
 Result<ExecResult> Database::ExecDropClass(const DropClassStmt& stmt) {
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
   MOOD_RETURN_IF_ERROR(catalog_->Drop(stmt.class_name));
   ExecResult res;
   res.message = "class '" + stmt.class_name + "' dropped";

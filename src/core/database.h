@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "algebra/operators.h"
 #include "catalog/catalog.h"
@@ -158,16 +159,19 @@ struct ExplainResult {
 };
 
 class Database;
+class Session;
+class VersionStore;
 struct ExecResult;
 
-/// Move-only RAII handle for one transaction, returned by Database::Begin().
-/// Commit() or Abort() finish the transaction explicitly; a handle destroyed
-/// while still active aborts it (so an early `return` on error can never leak
-/// an open transaction holding locks). A handle outliving the Database object
-/// (its destruction aborted the transaction), or a Close() that already
-/// aborted it, is inert: the handle watches the database's liveness through a
-/// shared flag, so its destructor does nothing and explicit Commit/Abort
-/// report InvalidArgument — never a dangling dereference.
+/// Move-only RAII handle for one transaction, returned by Session::Begin()
+/// (Database::Begin() delegates to the implicit session). Commit() or Abort()
+/// finish the transaction explicitly; a handle destroyed while still active
+/// aborts it (so an early `return` on error can never leak an open transaction
+/// holding locks). A handle outliving its Session (whose destruction aborted
+/// the transaction), or a Close() that already aborted it, is inert: the
+/// handle watches the session's liveness through a shared flag, so its
+/// destructor does nothing and explicit Commit/Abort report InvalidArgument —
+/// never a dangling dereference.
 class TxnHandle {
  public:
   TxnHandle() = default;
@@ -189,22 +193,23 @@ class TxnHandle {
 
  private:
   friend class Database;
-  TxnHandle(Database* db, Transaction* txn,
-            std::shared_ptr<const bool> db_alive)
-      : db_(db), txn_(txn), db_alive_(std::move(db_alive)) {}
+  friend class Session;
+  TxnHandle(Session* session, Transaction* txn,
+            std::shared_ptr<const bool> session_alive)
+      : session_(session), txn_(txn), session_alive_(std::move(session_alive)) {}
 
-  /// True while db_ is safe to dereference (the Database object still exists).
-  bool DbAlive() const { return db_alive_ != nullptr && *db_alive_; }
+  /// True while session_ is safe to dereference (the Session still exists).
+  bool SessionAlive() const { return session_alive_ != nullptr && *session_alive_; }
   void Reset() {
-    db_ = nullptr;
+    session_ = nullptr;
     txn_ = nullptr;
-    db_alive_.reset();
+    session_alive_.reset();
   }
 
-  Database* db_ = nullptr;
+  Session* session_ = nullptr;
   Transaction* txn_ = nullptr;
-  /// Set to false by ~Database; keeps stale handles from touching freed memory.
-  std::shared_ptr<const bool> db_alive_;
+  /// Set to false by ~Session; keeps stale handles from touching freed memory.
+  std::shared_ptr<const bool> session_alive_;
 };
 
 /// A SELECT parsed and normalized once, executable many times with positional
@@ -237,6 +242,7 @@ class PreparedStatement {
 
  private:
   friend class Database;
+  friend class Session;
   PreparedStatement(Database* db, std::shared_ptr<const bool> db_alive,
                     std::shared_ptr<const SelectStmt> stmt,
                     std::string normalized_sql, uint32_t param_count)
@@ -292,7 +298,7 @@ struct ExecResult {
 /// replaces the Exodus Storage Manager.
 class Database {
  public:
-  Database() = default;
+  Database();
   ~Database();
 
   Database(const Database&) = delete;
@@ -305,7 +311,22 @@ class Database {
   Status Close();
   bool is_open() const { return storage_ != nullptr && storage_->is_open(); }
 
+  // --- Sessions ------------------------------------------------------------------
+
+  /// Mints a new Session: its own default QueryOptions, its own transaction /
+  /// snapshot scope. Concurrent statements must come from distinct sessions
+  /// (the wire server gives each connection one). The Database must outlive
+  /// uses of the returned session; destroying the session aborts its open
+  /// transaction and releases its pinned snapshot.
+  std::unique_ptr<Session> CreateSession();
+
+  /// The implicit session behind Database::Execute/Query (tests and embedders
+  /// that want Session semantics without minting one).
+  Session* session() { return implicit_.get(); }
+
   // --- SQL surface ---------------------------------------------------------------
+  // These delegate to an implicit built-in session, preserving the historical
+  // single-connection behavior exactly (see Session for the multi-client API).
 
   /// Parses and executes one MOODSQL statement.
   Result<ExecResult> Execute(const std::string& sql);
@@ -324,13 +345,14 @@ class Database {
   /// saved parse, not a separate caching domain.
   Result<PreparedStatement> Prepare(const std::string& sql);
 
-  /// Installs session-wide QueryOptions defaults. Each per-call field that is
-  /// unset inherits these; fields unset here too fall back to the Open-time
-  /// DatabaseOptions behavior.
+  /// Installs the implicit session's QueryOptions defaults. Deprecated in
+  /// favor of Session::SetDefaultQueryOptions — defaults are a per-session
+  /// property now; this only affects statements issued through the Database
+  /// facade itself, never through explicitly created sessions.
   void SetDefaultQueryOptions(const QueryOptions& options);
-  const QueryOptions& default_query_options() const { return default_query_options_; }
-  /// Resolves one call's options through the inherit chain (call -> session
-  /// defaults -> Open-time configuration).
+  const QueryOptions& default_query_options() const;
+  /// Resolves one call's options through the implicit session's inherit chain
+  /// (call -> session defaults -> Open-time configuration).
   ResolvedQueryOptions Resolve(const QueryOptions& options) const;
 
   /// The consolidated EXPLAIN entry point: optimizes `sql` (a SELECT, or an
@@ -357,12 +379,12 @@ class Database {
 
   // --- Transactions ----------------------------------------------------------------
 
-  /// Begins a transaction and returns its RAII handle. While the handle is
-  /// active, DML through Execute() is logged and can be rolled back; the
-  /// handle commits/aborts explicitly and auto-aborts on destruction. (One
-  /// active transaction per Database handle.)
+  /// Begins a transaction on the implicit session and returns its RAII
+  /// handle. While the handle is active, DML through Execute() is logged and
+  /// can be rolled back; the handle commits/aborts explicitly and auto-aborts
+  /// on destruction. (One active transaction per session.)
   Result<TxnHandle> Begin();
-  bool in_transaction() const { return active_txn_ != nullptr; }
+  bool in_transaction() const;
 
   /// Flushes all pages and truncates the log.
   Status Checkpoint();
@@ -390,6 +412,8 @@ class Database {
   ResultCache* result_cache() { return result_cache_.get(); }
   LogManager* log() { return log_.get(); }
   TransactionManager* txn_manager() { return txn_manager_.get(); }
+  /// The MVCC version store backing snapshot reads (null before Open).
+  VersionStore* versions() { return versions_.get(); }
 
   /// MoodView-style query session bound to this database.
   std::unique_ptr<QueryManager> MakeQuerySession();
@@ -397,45 +421,51 @@ class Database {
  private:
   friend class TxnHandle;
   friend class PreparedStatement;
+  friend class Session;
 
-  /// Finishes the transaction a TxnHandle refers to. Rejects handles whose
-  /// transaction is no longer the active one (e.g. Close() already aborted
-  /// it), which makes destroying a stale handle harmless.
-  Status FinishTxn(Transaction* txn, bool commit);
+  /// Resolves options against one session's defaults (Resolve() is the
+  /// implicit-session shorthand).
+  ResolvedQueryOptions ResolveFor(const Session& s, const QueryOptions& options) const;
 
   /// `cache_sql` is the normalized statement text for cache keying; "" means
-  /// this call path (scripts, internal queries) bypasses the caches.
-  Result<ExecResult> ExecuteStatement(const Statement& stmt,
+  /// this call path (scripts, internal queries) bypasses the caches. `s` is
+  /// the issuing session: its transaction scopes writes, its pinned snapshot
+  /// (if any) scopes reads.
+  Result<ExecResult> ExecuteStatement(Session& s, const Statement& stmt,
                                       const QueryOptions& options = {},
                                       const std::string& cache_sql = {});
-  Result<ExecResult> ExecSelect(const SelectStmt& stmt, const QueryOptions& options,
+  Result<ExecResult> ExecSelect(Session& s, const SelectStmt& stmt,
+                                const QueryOptions& options,
                                 const std::string& cache_sql = {});
   /// The caching SELECT core shared by Execute and PreparedStatement::Execute:
   /// plan-cache probe (optimize + compile-memo build on miss), result-cache
   /// probe for read-only method-free statements, then execution with `params`
-  /// bound.
-  Result<ExecResult> ExecSelectCached(const SelectStmt& stmt,
+  /// bound. Outside a write transaction the execution (and the result-cache
+  /// window) runs at a consistent snapshot under the commit gate's shared
+  /// side; inside one it reads latest so the transaction sees its own writes.
+  Result<ExecResult> ExecSelectCached(Session& s, const SelectStmt& stmt,
                                       const ResolvedQueryOptions& r,
                                       const std::vector<MoodValue>& params,
                                       const std::string& cache_sql);
   /// PreparedStatement's entry point (adds statement accounting + slow log).
-  Result<ExecResult> ExecPrepared(const SelectStmt& stmt,
+  Result<ExecResult> ExecPrepared(Session& s, const SelectStmt& stmt,
                                   const std::string& normalized_sql,
                                   const std::vector<MoodValue>& params,
                                   const QueryOptions& options);
-  Result<ExecResult> ExecExplain(const ExplainStmt& stmt, const QueryOptions& options,
+  Result<ExecResult> ExecExplain(Session& s, const ExplainStmt& stmt,
+                                 const QueryOptions& options,
                                  const std::string& cache_sql = {});
   /// Shared core of Explain()/EXPLAIN statements over an already-parsed SELECT.
-  Result<ExplainResult> ExplainSelect(const SelectStmt& stmt,
+  Result<ExplainResult> ExplainSelect(Session& s, const SelectStmt& stmt,
                                       const ExplainOptions& options,
                                       const std::string& cache_sql = {});
   /// Records a finished SELECT into the slow-query ring buffer.
   void NoteQuery(const std::string& sql, double elapsed_ms, size_t rows,
                  size_t threads);
   Result<ExecResult> ExecCreateClass(const CreateClassStmt& stmt);
-  Result<ExecResult> ExecNew(const NewObjectStmt& stmt);
-  Result<ExecResult> ExecUpdate(const UpdateStmt& stmt);
-  Result<ExecResult> ExecDelete(const DeleteStmt& stmt);
+  Result<ExecResult> ExecNew(Session& s, const NewObjectStmt& stmt);
+  Result<ExecResult> ExecUpdate(Session& s, const UpdateStmt& stmt);
+  Result<ExecResult> ExecDelete(Session& s, const DeleteStmt& stmt);
   Result<ExecResult> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<ExecResult> ExecDropClass(const DropClassStmt& stmt);
   Result<ExecResult> ExecAnalyze(const AnalyzeStmt& stmt);
@@ -451,13 +481,14 @@ class Database {
                                         const MethodContext& ctx,
                                         const std::vector<MoodValue>& args);
 
-  PageWriteLogger* wal_for_writes() { return active_txn_; }
-
   DatabaseOptions options_;
   std::unique_ptr<StorageManager> storage_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<TransactionManager> txn_manager_;
+  /// MVCC pre-image version store + commit gate (always created by Open:
+  /// snapshot reads do not require the WAL, only autocommit version batches).
+  std::unique_ptr<VersionStore> versions_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<ObjectManager> objects_;
   std::unique_ptr<FunctionManager> functions_;
@@ -470,11 +501,15 @@ class Database {
   std::unique_ptr<ObjectBrowser> object_browser_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<ResultCache> result_cache_;
-  QueryOptions default_query_options_;
-  Transaction* active_txn_ = nullptr;
-  /// Liveness flag shared with outstanding TxnHandles; flipped to false by
-  /// the destructor so a handle outliving the Database stays inert.
+  /// Liveness flag shared with sessions and prepared statements; flipped to
+  /// false by the destructor so anything outliving the Database stays inert.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// The built-in session behind the Database facade's own SQL surface.
+  std::unique_ptr<Session> implicit_;
+  /// Every live session (including implicit_), so Close() can abort open
+  /// transactions and release pinned snapshots. Guarded by sessions_mu_.
+  std::vector<Session*> sessions_;
+  mutable std::mutex sessions_mu_;
 
   /// Engine metrics. Destroyed before the components its probes point into.
   std::unique_ptr<MetricsRegistry> metrics_;

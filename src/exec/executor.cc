@@ -8,8 +8,10 @@
 #include <unordered_set>
 
 #include "exec/parallel.h"
+#include "index/key_codec.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
+#include "txn/version_store.h"
 
 namespace mood {
 
@@ -31,6 +33,36 @@ void CollectRangeVars(const PlanNode& node, std::map<std::string, FromEntry>* ou
   if (node.left != nullptr) CollectRangeVars(*node.left, out);
   if (node.right != nullptr) CollectRangeVars(*node.right, out);
   for (const auto& c : node.children) CollectRangeVars(*c, out);
+}
+
+/// Index-probe comparison over encoded keys: MakeIndexKey is order-preserving
+/// (the B+-tree relies on it), so the byte comparison here reproduces exactly
+/// the lo/hi bounds IndSel derives for the same BinaryOp.
+bool ProbeKeyMatches(const std::string& k, BinaryOp op, const std::string& key) {
+  switch (op) {
+    case BinaryOp::kEq: return k == key;
+    case BinaryOp::kGt: return k > key;
+    case BinaryOp::kGe: return k >= key;
+    case BinaryOp::kLt: return k < key;
+    case BinaryOp::kLe: return k <= key;
+    default: return false;  // IndSel rejects other operators at plan time
+  }
+}
+
+/// Splits a path index's dotted attribute chain ("a.b.c") into steps.
+std::vector<std::string> SplitDottedPath(const std::string& path) {
+  std::vector<std::string> steps;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t dot = path.find('.', start);
+    if (dot == std::string::npos) {
+      steps.push_back(path.substr(start));
+      break;
+    }
+    steps.push_back(path.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return steps;
 }
 
 /// Scoped profiling span: null node = profiling off, every hook degenerates to
@@ -267,7 +299,7 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node, Ctx& ctx) const {
   rs.vars = {node.from.var};
   if (ctx.threads <= 1) {
     MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
-                                              node.from.excludes,
+                                              node.from.excludes, ctx.snapshot,
                                               [&](Oid oid, const MoodValue&) {
                                                 rs.rows.push_back({oid});
                                                 return Status::OK();
@@ -302,28 +334,134 @@ Result<RowSet> Executor::ExecBind(const PlanNode& node, Ctx& ctx) const {
   // One readahead cursor per class: workers advancing through a class's chain
   // share the scan front, so prefetches run ahead of the fastest worker.
   std::vector<std::unique_ptr<HeapFile::ScanCursor>> cursors;
+  // Task-index range of each class, so the merge can append that class's
+  // snapshot leftovers right after its pages (= serial snapshot-scan order).
+  std::vector<std::pair<size_t, size_t>> class_tasks;
   for (const std::string& cls : classes) {
     MOOD_ASSIGN_OR_RETURN(std::vector<PageId> pages, objects_->ExtentPageIds(cls));
     cursors.push_back(std::make_unique<HeapFile::ScanCursor>());
+    size_t begin = tasks.size();
     for (PageId p : pages) tasks.push_back({&cls, p, cursors.back().get()});
+    class_tasks.emplace_back(begin, tasks.size());
   }
   if (ctx.profile != nullptr) ctx.profile->morsels = tasks.size();
   std::vector<std::vector<std::vector<Oid>>> partial(tasks.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, tasks.size(), [&](size_t t) {
     return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
-                                    tasks[t].cursor,
+                                    tasks[t].cursor, ctx.snapshot,
                                     [&](Oid oid, const MoodValue&) {
                                       partial[t].push_back({oid});
                                       return Status::OK();
                                     });
   }));
-  for (auto& part : partial) {
-    for (auto& row : part) rs.rows.push_back(std::move(row));
+  for (size_t c = 0; c < classes.size(); c++) {
+    for (size_t t = class_tasks[c].first; t < class_tasks[c].second; t++) {
+      for (auto& row : partial[t]) rs.rows.push_back(std::move(row));
+    }
+    MOOD_RETURN_IF_ERROR(objects_->SnapshotLeftovers(classes[c], ctx.snapshot,
+                                                     [&](Oid oid, const MoodValue&) {
+                                                       rs.rows.push_back({oid});
+                                                       return Status::OK();
+                                                     }));
   }
   return rs;
 }
 
+Result<bool> Executor::SnapshotScanHasVersions(const FromEntry& from,
+                                               const SnapshotView& snap) const {
+  if (!snap.active()) return false;
+  MOOD_ASSIGN_OR_RETURN(
+      std::vector<std::string> classes,
+      objects_->ScanClasses(from.class_name, from.every, from.excludes));
+  for (const std::string& cls : classes) {
+    MOOD_ASSIGN_OR_RETURN(const MoodsType* type, objects_->catalog()->Lookup(cls));
+    if (type->extent_file != kInvalidFileId &&
+        snap.versions->FileHasVersions(type->extent_file)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<Oid>> Executor::SnapshotProbeScan(const PlanNode& node,
+                                                     Ctx& ctx) const {
+  // Resolve every probe's key once, exactly as RunIndexProbes would.
+  struct ResolvedProbe {
+    const IndexProbe* probe;
+    std::string key;
+    std::vector<std::string> path;  // kPath probes only
+  };
+  std::vector<ResolvedProbe> probes;
+  probes.reserve(node.probes.size());
+  for (const IndexProbe& probe : node.probes) {
+    const MoodValue* key = &probe.constant;
+    if (probe.param >= 0) {
+      if (ctx.params == nullptr ||
+          static_cast<size_t>(probe.param) >= ctx.params->size()) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(probe.param + 1) + " not bound");
+      }
+      key = &(*ctx.params)[static_cast<size_t>(probe.param)];
+    }
+    ResolvedProbe rp{&probe, MakeIndexKey(*key), {}};
+    if (probe.index.kind == IndexKind::kPath) {
+      rp.path = SplitDottedPath(probe.index.attribute);
+    }
+    probes.push_back(std::move(rp));
+  }
+  // An object matches when each probe's comparison holds for its visible
+  // attribute value (any terminal for path probes) — the membership the index
+  // would report if it were versioned. NotFound attributes simply don't match
+  // (they would have no index entry either).
+  auto matches = [&](Oid oid) -> Result<bool> {
+    for (const ResolvedProbe& rp : probes) {
+      bool hit = false;
+      if (rp.probe->index.kind == IndexKind::kPath) {
+        MOOD_RETURN_IF_ERROR(objects_->TraversePath(
+            oid, rp.path, ctx.cache, [&](const MoodValue& terminal) {
+              if (ProbeKeyMatches(MakeIndexKey(terminal), rp.probe->cmp, rp.key)) {
+                hit = true;
+              }
+              return Status::OK();
+            }));
+      } else {
+        Result<MoodValue> v =
+            objects_->GetAttribute(oid, rp.probe->index.attribute, ctx.cache);
+        if (!v.ok()) {
+          if (v.status().IsNotFound()) return false;
+          return v.status();
+        }
+        hit = ProbeKeyMatches(MakeIndexKey(v.value()), rp.probe->cmp, rp.key);
+      }
+      if (!hit) return false;
+    }
+    return true;
+  };
+  std::vector<Oid> out;
+  MOOD_RETURN_IF_ERROR(objects_->ScanExtent(
+      node.from.class_name, node.from.every, node.from.excludes, ctx.snapshot,
+      [&](Oid oid, const MoodValue&) -> Status {
+        MOOD_ASSIGN_OR_RETURN(bool keep, matches(oid));
+        if (keep) out.push_back(oid);
+        return Status::OK();
+      }));
+  return out;
+}
+
 Result<std::vector<Oid>> Executor::RunIndexProbes(const PlanNode& node, Ctx& ctx) const {
+  if (ctx.snapshot.active()) {
+    // Indexes reflect the latest committed state, not the snapshot: a key
+    // updated (or an object deleted/created) after the snapshot pins would
+    // make the probe over- or under-report. While version chains exist on any
+    // scanned extent file, answer from the snapshot-visible extent instead;
+    // in steady state (no chains) the index path below stays untouched.
+    MOOD_ASSIGN_OR_RETURN(bool compensate,
+                          SnapshotScanHasVersions(node.from, ctx.snapshot));
+    if (compensate) {
+      if (ctx.profile != nullptr) ctx.profile->morsels = node.probes.size();
+      return SnapshotProbeScan(node, ctx);
+    }
+  }
   if (ctx.profile != nullptr) ctx.profile->morsels = node.probes.size();
   // Probes run in parallel (each is an independent index lookup); the
   // intersection then folds them in probe order, preserving the first probe's
@@ -450,7 +588,17 @@ Result<RowSet> Executor::ExecPointerJoin(const PlanNode& node, Ctx& ctx) const {
     rs.rows.push_back(std::move(combined));
   };
 
-  if (node.method == JoinMethod::kIndexed && node.ref_path.size() == 1) {
+  bool use_bji = node.method == JoinMethod::kIndexed && node.ref_path.size() == 1;
+  if (use_bji && ctx.snapshot.active() && node.left != nullptr) {
+    // The BJI maps the *latest* reference values. Under a snapshot with live
+    // version chains on the left extent the refs may have changed since the
+    // pin, so fall through to the chase path, which reads references through
+    // the snapshot-aware deref cache.
+    MOOD_ASSIGN_OR_RETURN(bool stale,
+                          SnapshotScanHasVersions(node.left->from, ctx.snapshot));
+    if (stale) use_bji = false;
+  }
+  if (use_bji) {
     auto desc = objects_->catalog()->FindIndex(
         node.left ? node.left->from.class_name : "", node.ref_path[0],
         IndexKind::kBinaryJoin);
@@ -658,7 +806,7 @@ Result<BatchSet> Executor::ExecBindB(const PlanNode& node, Ctx& ctx) const {
   if (ctx.threads <= 1) {
     BatchAppender out(&bs, 1, ctx.batch);
     MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
-                                              node.from.excludes,
+                                              node.from.excludes, ctx.snapshot,
                                               [&](Oid oid, const MoodValue&) {
                                                 out.Push(&oid, 1);
                                                 return Status::OK();
@@ -691,24 +839,36 @@ Result<BatchSet> Executor::ExecBindB(const PlanNode& node, Ctx& ctx) const {
   };
   std::vector<PageTask> tasks;
   std::vector<std::unique_ptr<HeapFile::ScanCursor>> cursors;
+  // Same per-class task ranges as the row path: each class's snapshot
+  // leftovers pack right after its pages, preserving the serial order.
+  std::vector<std::pair<size_t, size_t>> class_tasks;
   for (const std::string& cls : classes) {
     MOOD_ASSIGN_OR_RETURN(std::vector<PageId> pages, objects_->ExtentPageIds(cls));
     cursors.push_back(std::make_unique<HeapFile::ScanCursor>());
+    size_t begin = tasks.size();
     for (PageId p : pages) tasks.push_back({&cls, p, cursors.back().get()});
+    class_tasks.emplace_back(begin, tasks.size());
   }
   if (ctx.profile != nullptr) ctx.profile->morsels = tasks.size();
   std::vector<std::vector<Oid>> partial(tasks.size());
   MOOD_RETURN_IF_ERROR(ParallelFor(ctx.threads, tasks.size(), [&](size_t t) {
     return objects_->ScanExtentPage(*tasks[t].class_name, tasks[t].page,
-                                    tasks[t].cursor,
+                                    tasks[t].cursor, ctx.snapshot,
                                     [&](Oid oid, const MoodValue&) {
                                       partial[t].push_back(oid);
                                       return Status::OK();
                                     });
   }));
   BatchAppender out(&bs, 1, ctx.batch);
-  for (const auto& part : partial) {
-    for (Oid o : part) out.Push(&o, 1);
+  for (size_t c = 0; c < classes.size(); c++) {
+    for (size_t t = class_tasks[c].first; t < class_tasks[c].second; t++) {
+      for (Oid o : partial[t]) out.Push(&o, 1);
+    }
+    MOOD_RETURN_IF_ERROR(objects_->SnapshotLeftovers(classes[c], ctx.snapshot,
+                                                     [&](Oid oid, const MoodValue&) {
+                                                       out.Push(&oid, 1);
+                                                       return Status::OK();
+                                                     }));
   }
   return bs;
 }
@@ -837,7 +997,15 @@ Result<BatchSet> Executor::ExecPointerJoinB(const PlanNode& node, Ctx& ctx) cons
     for (size_t c = 0; c < rb.nslots; c++) row[lcols + c] = rb.col(c)[ridx[r].second];
   };
 
-  if (node.method == JoinMethod::kIndexed && node.ref_path.size() == 1) {
+  bool use_bji = node.method == JoinMethod::kIndexed && node.ref_path.size() == 1;
+  if (use_bji && ctx.snapshot.active() && node.left != nullptr) {
+    // Same snapshot staleness rule as the row path: a BJI answers from the
+    // latest refs, so live version chains on the left extent force the chase.
+    MOOD_ASSIGN_OR_RETURN(bool stale,
+                          SnapshotScanHasVersions(node.left->from, ctx.snapshot));
+    if (stale) use_bji = false;
+  }
+  if (use_bji) {
     auto desc = objects_->catalog()->FindIndex(
         node.left ? node.left->from.class_name : "", node.ref_path[0],
         IndexKind::kBinaryJoin);
@@ -1059,6 +1227,7 @@ Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
   ctx.compile = options.compile_expressions;
   ctx.params = options.params;
   ctx.program_memo = options.program_memo;
+  ctx.snapshot = options.snapshot;
   if (options.profile != nullptr && objects_->storage() != nullptr) {
     ctx.pool = objects_->storage()->buffer_pool();
   }
@@ -1081,7 +1250,10 @@ Result<RowSet> Executor::ExecutePlan(const PlanPtr& plan,
   CollectRangeVars(*plan, &range_vars);
   ctx.range_vars = &range_vars;
   DerefCache cache(capacity);
-  ctx.cache = capacity > 0 ? &cache : nullptr;
+  cache.SetSnapshot(ctx.snapshot);
+  // A snapshot query keeps the (possibly capacity-0) cache attached anyway:
+  // it is the conduit through which fetches see the version store.
+  ctx.cache = capacity > 0 || ctx.snapshot.active() ? &cache : nullptr;
   Result<RowSet> result = [&]() -> Result<RowSet> {
     if (ctx.batch == 0) return Exec(plan, ctx);
     MOOD_ASSIGN_OR_RETURN(BatchSet bs, ExecB(plan, ctx));
@@ -1464,7 +1636,10 @@ Result<QueryResult> Executor::ExecuteSelect(const QueryOptimizer::Optimized& opt
   // stay warm for the projection/ORDER BY passes in Finish. Its hit/miss tally
   // folds into the engine-wide objects.deref_cache.* metrics when it dies.
   DerefCache cache(capacity);
-  ctx.cache = capacity > 0 ? &cache : nullptr;
+  cache.SetSnapshot(ctx.snapshot);
+  // Snapshot queries keep the cache attached even at capacity 0: it is the
+  // conduit through which fetches consult the version store.
+  ctx.cache = capacity > 0 || ctx.snapshot.active() ? &cache : nullptr;
   if (ctx.batch > 0) {
     Result<BatchSet> bs = ExecB(optimized.plan, ctx);
     if (!bs.ok()) {

@@ -73,6 +73,10 @@ struct ExecOptions {
   /// Cross-execution memo of compiled programs, owned by a cached plan.
   /// Null (the default) compiles fresh per call.
   ProgramMemo* program_memo = nullptr;
+  /// Reader snapshot for multi-version reads: when active, scans, fetches and
+  /// index probes reconstruct the state as of `snapshot.csn` (see
+  /// VersionStore). Inactive (default) reads latest — the embedded behavior.
+  SnapshotView snapshot;
 };
 
 /// Executes physical plans produced by the optimizer, then applies the clause
@@ -174,6 +178,9 @@ class Executor {
     /// Compiled-program memo of the (cached) plan being executed; null
     /// compiles fresh per call.
     ProgramMemo* program_memo = nullptr;
+    /// Reader snapshot threaded down from ExecOptions (also attached to the
+    /// per-query DerefCache so every cached deref is snapshot-aware).
+    SnapshotView snapshot;
   };
 
   Result<RowSet> Exec(const PlanPtr& plan, Ctx& ctx) const;
@@ -257,6 +264,18 @@ class Executor {
 
   /// Shared probe/intersect step of kIndexSelect (both execution modes).
   Result<std::vector<Oid>> RunIndexProbes(const PlanNode& node, Ctx& ctx) const;
+
+  /// True when any extent file a scan over `from` visits currently has live
+  /// version chains — the trigger for snapshot compensation of index-backed
+  /// operators (indexes always reflect the latest state, not the snapshot).
+  Result<bool> SnapshotScanHasVersions(const FromEntry& from,
+                                       const SnapshotView& snap) const;
+
+  /// Snapshot-mode kIndexSelect fallback: scans the snapshot-visible extent
+  /// and applies the probe predicates through the index key codec (identical
+  /// comparison semantics to MoodAlgebra::IndSel), instead of consulting the
+  /// latest-state index. Row order is scan order, not index order.
+  Result<std::vector<Oid>> SnapshotProbeScan(const PlanNode& node, Ctx& ctx) const;
 
   ObjectManager* objects_;
   Evaluator* evaluator_;

@@ -1,0 +1,320 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mood {
+namespace net {
+
+namespace {
+
+Status NetError(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MoodClient::~MoodClient() { Close(); }
+
+void MoodClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  session_id_ = 0;
+  in_.clear();
+}
+
+Status MoodClient::Connect(const std::string& host, uint16_t port,
+                           const ClientOptions& options) {
+  if (connected()) return Status::InvalidArgument("client already connected");
+  options_ = options;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return NetError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address '" + host + "'");
+  }
+  // Connect with a timeout: nonblocking connect + poll, then back to blocking.
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status st = NetError("connect");
+    Close();
+    return st;
+  }
+  if (rc < 0) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+    if (pr <= 0 || soerr != 0) {
+      Close();
+      if (pr <= 0) return Status::Timeout("connect timed out");
+      errno = soerr;
+      return NetError("connect");
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  std::string hello;
+  PutFixed32(&hello, kProtocolVersion);
+  Status st = SendFrame(FrameType::kHello, hello);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  Frame reply;
+  st = ReadFrame(&reply);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  Slice in(reply.payload);
+  if (reply.type == FrameType::kError) {
+    uint32_t code = 0;
+    std::string msg;
+    (void)GetU32(&in, &code);
+    (void)GetStr(&in, &msg);
+    Close();
+    return Status::FromCode(static_cast<int>(code), std::move(msg));
+  }
+  if (reply.type != FrameType::kHelloOk) {
+    Close();
+    return Status::Corruption("unexpected handshake reply");
+  }
+  uint32_t version = 0;
+  MOOD_RETURN_IF_ERROR(GetU32(&in, &version));
+  MOOD_RETURN_IF_ERROR(GetU64(&in, &session_id_));
+  return Status::OK();
+}
+
+Status MoodClient::SendFrame(FrameType type, const Slice& payload) {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  std::string frame;
+  AppendFrame(&frame, type, payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::Timeout("send timed out");
+    }
+    return NetError("send");
+  }
+  return Status::OK();
+}
+
+Status MoodClient::ReadFrame(Frame* out) {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  while (true) {
+    Status ferr;
+    if (ExtractFrame(&in_, out, options_.max_frame_bytes, &ferr)) {
+      return Status::OK();
+    }
+    if (!ferr.ok()) return ferr;
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("receive timed out");
+    }
+    return NetError("recv");
+  }
+}
+
+Status MoodClient::SimpleCall(FrameType type, const Slice& payload) {
+  MOOD_RETURN_IF_ERROR(SendFrame(type, payload));
+  Frame reply;
+  MOOD_RETURN_IF_ERROR(ReadFrame(&reply));
+  if (reply.type == FrameType::kOk) return Status::OK();
+  if (reply.type == FrameType::kError) {
+    Slice in(reply.payload);
+    uint32_t code = 0;
+    std::string msg;
+    (void)GetU32(&in, &code);
+    (void)GetStr(&in, &msg);
+    return Status::FromCode(static_cast<int>(code), std::move(msg));
+  }
+  return Status::Corruption("unexpected reply frame");
+}
+
+Result<WireResult> MoodClient::ReadExecuteReply() {
+  Frame reply;
+  MOOD_RETURN_IF_ERROR(ReadFrame(&reply));
+  Slice in(reply.payload);
+  if (reply.type == FrameType::kError) {
+    uint32_t code = 0;
+    std::string msg;
+    (void)GetU32(&in, &code);
+    (void)GetStr(&in, &msg);
+    return Status::FromCode(static_cast<int>(code), std::move(msg));
+  }
+  WireResult out;
+  if (reply.type == FrameType::kExecOk) {
+    uint8_t has_oid = 0;
+    uint64_t packed = 0;
+    MOOD_RETURN_IF_ERROR(GetU8(&in, &out.kind));
+    MOOD_RETURN_IF_ERROR(GetU64(&in, &out.affected));
+    MOOD_RETURN_IF_ERROR(GetU64(&in, &out.schema_epoch));
+    MOOD_RETURN_IF_ERROR(GetU8(&in, &has_oid));
+    MOOD_RETURN_IF_ERROR(GetU64(&in, &packed));
+    MOOD_RETURN_IF_ERROR(GetStr(&in, &out.message));
+    if (has_oid != 0) out.created_oid = packed;
+    return out;
+  }
+  if (reply.type != FrameType::kResultSet) {
+    return Status::Corruption("unexpected execute reply frame");
+  }
+  out.kind = 0;
+  uint16_t ncols = 0;
+  MOOD_RETURN_IF_ERROR(GetU16(&in, &ncols));
+  out.columns.resize(ncols);
+  for (uint16_t i = 0; i < ncols; i++) {
+    MOOD_RETURN_IF_ERROR(GetStr(&in, &out.columns[i]));
+  }
+  uint64_t total = 0;
+  uint32_t cursor_id = 0, nrows = 0;
+  MOOD_RETURN_IF_ERROR(GetU64(&in, &total));
+  MOOD_RETURN_IF_ERROR(GetU32(&in, &cursor_id));
+  MOOD_RETURN_IF_ERROR(GetU32(&in, &nrows));
+  out.rows.reserve(total);
+  for (uint32_t i = 0; i < nrows; i++) {
+    std::vector<MoodValue> row;
+    MOOD_RETURN_IF_ERROR(DecodeRow(&in, ncols, &row));
+    out.rows.push_back(std::move(row));
+  }
+  // Fold remaining chunks: FETCH until the server reports the cursor drained.
+  while (cursor_id != 0) {
+    std::string req;
+    PutFixed32(&req, cursor_id);
+    PutFixed32(&req, 0);  // server default chunk
+    MOOD_RETURN_IF_ERROR(SendFrame(FrameType::kFetch, req));
+    Frame chunk;
+    MOOD_RETURN_IF_ERROR(ReadFrame(&chunk));
+    Slice cin(chunk.payload);
+    if (chunk.type == FrameType::kError) {
+      uint32_t code = 0;
+      std::string msg;
+      (void)GetU32(&cin, &code);
+      (void)GetStr(&cin, &msg);
+      return Status::FromCode(static_cast<int>(code), std::move(msg));
+    }
+    if (chunk.type != FrameType::kRows) {
+      return Status::Corruption("unexpected fetch reply frame");
+    }
+    out.fetch_round_trips++;
+    MOOD_RETURN_IF_ERROR(GetU32(&cin, &cursor_id));
+    MOOD_RETURN_IF_ERROR(GetU32(&cin, &nrows));
+    for (uint32_t i = 0; i < nrows; i++) {
+      std::vector<MoodValue> row;
+      MOOD_RETURN_IF_ERROR(DecodeRow(&cin, ncols, &row));
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<WireResult> MoodClient::Execute(const std::string& sql,
+                                       uint32_t deadline_ms,
+                                       uint32_t chunk_rows) {
+  std::string payload;
+  PutFixed32(&payload, deadline_ms);
+  PutFixed32(&payload, chunk_rows);
+  PutLengthPrefixedSlice(&payload, sql);
+  MOOD_RETURN_IF_ERROR(SendFrame(FrameType::kExecute, payload));
+  return ReadExecuteReply();
+}
+
+Result<WirePrepared> MoodClient::Prepare(const std::string& sql) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, sql);
+  MOOD_RETURN_IF_ERROR(SendFrame(FrameType::kPrepare, payload));
+  Frame reply;
+  MOOD_RETURN_IF_ERROR(ReadFrame(&reply));
+  Slice in(reply.payload);
+  if (reply.type == FrameType::kError) {
+    uint32_t code = 0;
+    std::string msg;
+    (void)GetU32(&in, &code);
+    (void)GetStr(&in, &msg);
+    return Status::FromCode(static_cast<int>(code), std::move(msg));
+  }
+  if (reply.type != FrameType::kPrepared) {
+    return Status::Corruption("unexpected prepare reply frame");
+  }
+  WirePrepared out;
+  MOOD_RETURN_IF_ERROR(GetU32(&in, &out.id));
+  MOOD_RETURN_IF_ERROR(GetU32(&in, &out.param_count));
+  return out;
+}
+
+Result<WireResult> MoodClient::ExecutePrepared(
+    const WirePrepared& stmt, const std::vector<MoodValue>& params,
+    uint32_t deadline_ms, uint32_t chunk_rows) {
+  if (params.size() != stmt.param_count) {
+    return Status::InvalidArgument("statement expects " +
+                                   std::to_string(stmt.param_count) +
+                                   " parameters, got " +
+                                   std::to_string(params.size()));
+  }
+  std::string payload;
+  PutFixed32(&payload, stmt.id);
+  PutFixed32(&payload, deadline_ms);
+  PutFixed32(&payload, chunk_rows);
+  PutFixed16(&payload, static_cast<uint16_t>(params.size()));
+  for (const MoodValue& v : params) v.EncodeTo(&payload);
+  MOOD_RETURN_IF_ERROR(SendFrame(FrameType::kBindExecute, payload));
+  return ReadExecuteReply();
+}
+
+Status MoodClient::ClosePrepared(const WirePrepared& stmt) {
+  std::string payload;
+  PutFixed32(&payload, stmt.id);
+  return SimpleCall(FrameType::kClosePrepared, payload);
+}
+
+Status MoodClient::SetOption(const std::string& name, int64_t value) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, name);
+  PutFixed64(&payload, static_cast<uint64_t>(value));
+  return SimpleCall(FrameType::kSetOption, payload);
+}
+
+Status MoodClient::Begin() { return SimpleCall(FrameType::kBegin); }
+Status MoodClient::Commit() { return SimpleCall(FrameType::kCommit); }
+Status MoodClient::Abort() { return SimpleCall(FrameType::kAbort); }
+Status MoodClient::BeginSnapshot() { return SimpleCall(FrameType::kBeginSnapshot); }
+Status MoodClient::EndSnapshot() { return SimpleCall(FrameType::kEndSnapshot); }
+
+}  // namespace net
+}  // namespace mood

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace mood {
+namespace net {
+
+struct ClientOptions {
+  uint32_t connect_timeout_ms = 5000;
+  /// Socket receive timeout per read; a stalled server surfaces as
+  /// Status::Timeout instead of hanging the client forever. 0 = block.
+  uint32_t recv_timeout_ms = 30000;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One statement's outcome as seen over the wire (the client-side mirror of
+/// ExecResult, minus server-only detail like the profile).
+struct WireResult {
+  uint8_t kind = 0;  ///< ExecResult::Kind as sent: 0 query, 1 ddl, 2 dml, 3 explain
+  std::vector<std::string> columns;
+  std::vector<std::vector<MoodValue>> rows;
+  std::string message;
+  uint64_t affected = 0;
+  uint64_t schema_epoch = 0;
+  std::optional<uint64_t> created_oid;  ///< packed Oid for NEW statements
+  /// How many kFetch round trips the client folded to complete the result
+  /// (0 when everything arrived inline) — observable chunking for tests.
+  uint32_t fetch_round_trips = 0;
+};
+
+struct WirePrepared {
+  uint32_t id = 0;
+  uint32_t param_count = 0;
+};
+
+/// Blocking client for the MOOD wire protocol. Not thread-safe: one
+/// MoodClient == one connection == one server-side Session; share nothing or
+/// open more clients. Every call is a strict request/response exchange;
+/// kError frames come back as the original Status via Status::FromCode.
+class MoodClient {
+ public:
+  MoodClient() = default;
+  ~MoodClient();
+
+  MoodClient(const MoodClient&) = delete;
+  MoodClient& operator=(const MoodClient&) = delete;
+
+  /// Connects and runs the kHello handshake.
+  Status Connect(const std::string& host, uint16_t port,
+                 const ClientOptions& options = {});
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// Server-assigned session id from the handshake.
+  uint64_t session_id() const { return session_id_; }
+
+  /// Executes one statement. Results larger than the server's chunk are
+  /// folded: the client keeps FETCHing until the cursor is exhausted.
+  Result<WireResult> Execute(const std::string& sql, uint32_t deadline_ms = 0,
+                             uint32_t chunk_rows = 0);
+
+  Result<WirePrepared> Prepare(const std::string& sql);
+  Result<WireResult> ExecutePrepared(const WirePrepared& stmt,
+                                     const std::vector<MoodValue>& params,
+                                     uint32_t deadline_ms = 0,
+                                     uint32_t chunk_rows = 0);
+  Status ClosePrepared(const WirePrepared& stmt);
+
+  /// Sets a server-side session default ("exec_threads", "use_cache",
+  /// "deadline_ms", "chunk_rows", ...). Booleans are 0/1.
+  Status SetOption(const std::string& name, int64_t value);
+
+  // Transaction / snapshot control, mapped 1:1 onto the server session.
+  Status Begin();
+  Status Commit();
+  Status Abort();
+  Status BeginSnapshot();
+  Status EndSnapshot();
+
+ private:
+  Status SendFrame(FrameType type, const Slice& payload);
+  Status ReadFrame(Frame* out);
+  /// Sends a request and expects a bare kOk (or kError) back.
+  Status SimpleCall(FrameType type, const Slice& payload = {});
+  /// Parses kExecOk / kResultSet (folding kFetch rounds for the latter).
+  Result<WireResult> ReadExecuteReply();
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  ClientOptions options_;
+  std::string in_;  ///< buffered unparsed bytes
+};
+
+}  // namespace net
+}  // namespace mood

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "core/session.h"
+#include "net/wire.h"
+
+namespace mood {
+namespace net {
+
+struct ServerOptions {
+  /// Bind address; loopback by default (the server speaks an unauthenticated
+  /// protocol — exposing it beyond localhost is the deployment's decision).
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back with MoodServer::port()).
+  uint16_t port = 0;
+  /// Worker threads executing statements; the epoll thread only moves bytes.
+  size_t worker_threads = 4;
+  /// Connections idle (no complete frame) longer than this are reaped: the
+  /// socket closes and the session's transaction/snapshot is rolled back.
+  /// 0 disables idle reaping.
+  uint64_t idle_timeout_ms = 30000;
+  /// Default per-request deadline when the frame carries 0; 0 = none.
+  uint32_t default_deadline_ms = 0;
+  /// Default result chunk: rows returned inline in kResultSet before the
+  /// client must FETCH the rest. 0 = whole result inline.
+  uint32_t default_chunk_rows = 0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The MOOD wire server: one epoll I/O thread feeding a worker pool; each
+/// accepted connection owns a Database Session (its transaction scope, its
+/// snapshot pins, its default QueryOptions). Frames from one connection are
+/// processed strictly in order (EPOLLONESHOT re-arm), so a session is only
+/// ever touched by one worker at a time; different connections execute
+/// concurrently — readers at MVCC snapshots, writers through 2PL.
+///
+/// Registers `net.*` metrics on the database's registry: connections,
+/// disconnects, active gauge, frames, errors, timeouts, sessions_reaped and
+/// the request_us latency histogram.
+class MoodServer {
+ public:
+  MoodServer() = default;
+  ~MoodServer();
+
+  MoodServer(const MoodServer&) = delete;
+  MoodServer& operator=(const MoodServer&) = delete;
+
+  /// Starts listening. The database must be open with WAL enabled (server
+  /// sessions expose transactions) and must outlive Stop().
+  Status Start(Database* db, const ServerOptions& options = {});
+  /// Stops accepting, closes every connection (open transactions abort,
+  /// snapshots unpin) and joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (useful with port = 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Cursor {
+    std::vector<std::string> columns;
+    std::vector<std::vector<MoodValue>> rows;
+    size_t next = 0;
+  };
+
+  /// One connection: socket + session + protocol state. Owned by conns_;
+  /// workers hold a shared_ptr while processing so a concurrent reap cannot
+  /// free it mid-request.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::unique_ptr<Session> session;
+    TxnHandle txn;
+    std::string in;   ///< buffered unparsed bytes
+    std::map<uint32_t, PreparedStatement> prepared;
+    std::map<uint32_t, Cursor> cursors;
+    uint32_t next_stmt_id = 1;
+    uint32_t next_cursor_id = 1;
+    uint32_t deadline_ms = 0;    ///< session default (kSetOption "deadline_ms")
+    uint32_t chunk_rows = 0;     ///< session default (kSetOption "chunk_rows")
+    bool hello_done = false;
+    std::atomic<bool> busy{false};     ///< a worker is processing this conn
+    std::atomic<bool> dead{false};     ///< marked for reap
+    std::atomic<uint64_t> last_active_ms{0};
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+  /// Reads, parses and answers every buffered frame on one connection, then
+  /// re-arms it in epoll (or reaps it on EOF/IO error).
+  void ServeConn(const std::shared_ptr<Conn>& conn);
+  /// Dispatches one frame; appends response frame(s) to `out`. `enqueued_ms`
+  /// is when the request's bytes arrived (deadline accounting).
+  void HandleFrame(Conn& c, const Frame& f, uint64_t enqueued_ms, std::string* out);
+  Status HandleExecuteResult(Conn& c, const Result<ExecResult>& result,
+                             uint32_t chunk_rows, std::string* out);
+  void CloseConn(const std::shared_ptr<Conn>& conn, bool reaped_idle);
+  Status BlockingWrite(Conn& c, const std::string& bytes);
+  static uint64_t NowMs();
+
+  Database* db_ = nullptr;
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd to interrupt epoll_wait on Stop
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::map<int, std::shared_ptr<Conn>> conns_;  ///< keyed by fd
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Conn>> ready_;
+
+  // net.* metrics (owned by the database's registry; null when absent).
+  MetricCounter* connections_ = nullptr;
+  MetricCounter* disconnects_ = nullptr;
+  MetricGauge* active_ = nullptr;
+  MetricCounter* frames_ = nullptr;
+  MetricCounter* errors_ = nullptr;
+  MetricCounter* timeouts_ = nullptr;
+  MetricCounter* reaped_ = nullptr;
+  MetricHistogram* request_us_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace mood

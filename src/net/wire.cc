@@ -1,0 +1,90 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace mood {
+namespace net {
+
+void AppendFrame(std::string* out, FrameType type, const Slice& payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(type));
+  out->append(payload.data(), payload.size());
+}
+
+bool ExtractFrame(std::string* buf, Frame* out, size_t max_frame_bytes,
+                  Status* error) {
+  *error = Status::OK();
+  if (buf->size() < 5) return false;
+  const uint32_t len = DecodeFixed32(buf->data());
+  if (len > max_frame_bytes) {
+    *error = Status::InvalidArgument("wire frame exceeds " +
+                                     std::to_string(max_frame_bytes) + " bytes");
+    return false;
+  }
+  if (buf->size() < 5u + len) return false;
+  out->type = static_cast<FrameType>(static_cast<uint8_t>((*buf)[4]));
+  out->payload.assign(buf->data() + 5, len);
+  buf->erase(0, 5u + len);
+  return true;
+}
+
+Status GetU8(Slice* in, uint8_t* v) {
+  if (in->size() < 1) return Status::Corruption("truncated wire payload (u8)");
+  *v = static_cast<uint8_t>(in->data()[0]);
+  in->remove_prefix(1);
+  return Status::OK();
+}
+
+Status GetU16(Slice* in, uint16_t* v) {
+  if (in->size() < 2) return Status::Corruption("truncated wire payload (u16)");
+  *v = DecodeFixed16(in->data());
+  in->remove_prefix(2);
+  return Status::OK();
+}
+
+Status GetU32(Slice* in, uint32_t* v) {
+  if (in->size() < 4) return Status::Corruption("truncated wire payload (u32)");
+  *v = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return Status::OK();
+}
+
+Status GetU64(Slice* in, uint64_t* v) {
+  if (in->size() < 8) return Status::Corruption("truncated wire payload (u64)");
+  *v = DecodeFixed64(in->data());
+  in->remove_prefix(8);
+  return Status::OK();
+}
+
+Status GetStr(Slice* in, std::string* v) {
+  uint32_t len = 0;
+  MOOD_RETURN_IF_ERROR(GetU32(in, &len));
+  if (in->size() < len) return Status::Corruption("truncated wire payload (str)");
+  v->assign(in->data(), len);
+  in->remove_prefix(len);
+  return Status::OK();
+}
+
+void AppendRow(std::string* dst, const std::vector<MoodValue>& row) {
+  for (const MoodValue& v : row) v.EncodeTo(dst);
+}
+
+Status DecodeRow(Slice* in, uint16_t ncols, std::vector<MoodValue>* out) {
+  out->clear();
+  out->reserve(ncols);
+  for (uint16_t i = 0; i < ncols; i++) {
+    MOOD_ASSIGN_OR_RETURN(MoodValue v, MoodValue::Decode(in));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+void AppendErrorFrame(std::string* out, const Status& status) {
+  std::string payload;
+  PutFixed32(&payload, static_cast<uint32_t>(status.code()));
+  PutLengthPrefixedSlice(&payload, status.message());
+  AppendFrame(out, FrameType::kError, payload);
+}
+
+}  // namespace net
+}  // namespace mood

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace mood {
+namespace net {
+
+/// MOOD wire protocol (DESIGN.md §14): length-prefixed binary frames over a
+/// byte stream. Every frame is
+///
+///     [u32 payload_len][u8 type][payload_len bytes]
+///
+/// little-endian, matching the storage codecs in common/coding.h. The client
+/// speaks a strict request/response discipline per frame, but may pipeline:
+/// the server answers queued frames in order on the same connection.
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 1,          ///< u32 protocol_version
+  kExecute = 2,        ///< u32 deadline_ms, u32 chunk_rows, str sql
+  kPrepare = 3,        ///< str sql
+  kBindExecute = 4,    ///< u32 stmt_id, u32 deadline_ms, u32 chunk_rows,
+                       ///< u16 nparams, nparams encoded MoodValues
+  kFetch = 5,          ///< u32 cursor_id, u32 max_rows
+  kClosePrepared = 6,  ///< u32 stmt_id
+  kSetOption = 7,      ///< str name, u64 value (two's-complement i64)
+  kBegin = 8,          ///< empty
+  kCommit = 9,         ///< empty
+  kAbort = 10,         ///< empty
+  kBeginSnapshot = 11, ///< empty
+  kEndSnapshot = 12,   ///< empty
+
+  // server -> client
+  kHelloOk = 64,    ///< u32 protocol_version, u64 session_id
+  kOk = 65,         ///< empty generic ack (txn control, options, close)
+  kExecOk = 66,     ///< u8 kind, u64 affected, u64 schema_epoch,
+                    ///< u8 has_oid, u64 packed_oid, str message
+  kResultSet = 67,  ///< u16 ncols, ncols str names, u64 total_rows,
+                    ///< u32 cursor_id (0 = complete), u32 nrows, rows
+  kRows = 68,       ///< u32 cursor_id (0 = exhausted), u32 nrows, rows
+  kPrepared = 69,   ///< u32 stmt_id, u32 param_count
+  kError = 70,      ///< u32 status_code, str message
+};
+
+constexpr uint32_t kProtocolVersion = 1;
+/// Frame-size ceiling both sides enforce before trusting a length prefix.
+constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Appends one whole frame (header + payload) to `out`.
+void AppendFrame(std::string* out, FrameType type, const Slice& payload);
+
+/// Extracts one frame from the front of `buf` if a complete one is buffered.
+/// Returns true and erases the consumed bytes on success; false with OK status
+/// when more bytes are needed; false with an error when the stream is corrupt
+/// (length prefix exceeds `max_frame_bytes`).
+bool ExtractFrame(std::string* buf, Frame* out, size_t max_frame_bytes, Status* error);
+
+// --- Payload cursor helpers (Slice-consuming, MoodValue::Decode style) -------
+
+Status GetU8(Slice* in, uint8_t* v);
+Status GetU16(Slice* in, uint16_t* v);
+Status GetU32(Slice* in, uint32_t* v);
+Status GetU64(Slice* in, uint64_t* v);
+Status GetStr(Slice* in, std::string* v);
+
+/// Row codec shared by kResultSet/kRows: each row is ncols back-to-back
+/// MoodValue encodings (the count lives in the frame header fields).
+void AppendRow(std::string* dst, const std::vector<MoodValue>& row);
+Status DecodeRow(Slice* in, uint16_t ncols, std::vector<MoodValue>* out);
+
+/// Builds a typed error frame from a Status: the numeric code round-trips
+/// through Status::FromCode on the client (satellite: stable wire codes).
+void AppendErrorFrame(std::string* out, const Status& status);
+
+}  // namespace net
+}  // namespace mood

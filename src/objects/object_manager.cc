@@ -6,8 +6,56 @@
 #include "common/coding.h"
 #include "index/key_codec.h"
 #include "obs/metrics.h"
+#include "txn/version_store.h"
 
 namespace mood {
+
+namespace {
+
+/// Resolves the VersionStore batch a write's pre-image capture belongs to and
+/// self-commits single-write batches. An explicit batch (a transaction's or an
+/// autocommit statement's) is used as-is and left open for its owner; with no
+/// batch in scope the write gets a private one, committed on success and
+/// dropped if the write never reached the heap.
+class BatchScope {
+ public:
+  BatchScope(VersionStore* versions, PageWriteLogger* wal, uint64_t explicit_batch)
+      : versions_(versions) {
+    if (versions_ == nullptr) return;
+    if (explicit_batch != 0) {
+      batch_ = explicit_batch;
+    } else if (wal != nullptr && wal->version_batch() != 0) {
+      batch_ = wal->version_batch();
+    } else {
+      batch_ = versions_->BeginBatch();
+      own_ = true;
+    }
+  }
+  ~BatchScope() {
+    if (versions_ == nullptr || !own_) return;
+    // Once the heap write happened the capture must commit even if index
+    // maintenance failed afterwards — the record change is visible, matching
+    // the non-versioned autocommit contract for partial failures.
+    if (wrote_) {
+      versions_->CommitBatch(batch_);
+    } else {
+      versions_->AbortBatch(batch_);
+    }
+  }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+  uint64_t batch() const { return batch_; }
+  void NoteHeapWrite() { wrote_ = true; }
+
+ private:
+  VersionStore* versions_;
+  uint64_t batch_ = 0;
+  bool own_ = false;
+  bool wrote_ = false;
+};
+
+}  // namespace
 
 void EncodeObjectRecord(TypeId type_id, const MoodValue& tuple, std::string* dst) {
   PutFixed32(dst, type_id);
@@ -91,17 +139,26 @@ Result<MoodValue> ObjectManager::PadToSchema(const std::string& class_name,
 }
 
 Result<Oid> ObjectManager::CreateObject(const std::string& class_name, MoodValue tuple,
-                                        PageWriteLogger* wal) {
+                                        PageWriteLogger* wal, uint64_t version_batch) {
   MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
   MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
   std::string rec;
   EncodeObjectRecord(type->id, tuple, &rec);
+  BatchScope batch(versions_, wal, version_batch);
+  // The exclusive gate section makes heap write + pre-image capture + index
+  // maintenance + epoch bump one atomic unit against snapshot readers.
+  CommitGate::ExclusiveGuard gate(versions_ ? &versions_->gate() : nullptr);
   MOOD_ASSIGN_OR_RETURN(RecordId rid, extent->Insert(rec, wal));
+  batch.NoteHeapWrite();
   Oid oid;
   oid.file = static_cast<uint16_t>(type->extent_file);
   oid.page = rid.page;
   oid.slot = rid.slot;
+  if (versions_ != nullptr) {
+    versions_->CapturePending(batch.batch(), oid, /*absent_before=*/true, 0, nullptr,
+                              /*live_after=*/true);
+  }
   MOOD_RETURN_IF_ERROR(MaintainIndexes(class_name, oid, nullptr, &tuple));
   BumpWriteEpoch(oid.file);
   objects_created_.fetch_add(1, std::memory_order_relaxed);
@@ -116,6 +173,25 @@ Result<DerefCache::Snapshot> ObjectManager::FetchSnapshot(Oid oid,
   uint64_t epoch = WriteEpochOf(oid.file);
   DerefCache::Snapshot snap;
   if (cache != nullptr && cache->Lookup(oid, epoch, &snap)) return snap;
+  // Version store first: it decides visibility for deleted objects (the heap
+  // read below would report NotFound) and supplies pre-images of objects
+  // written after the reader's snapshot.
+  if (cache != nullptr && cache->snapshot().active()) {
+    const SnapshotView& view = cache->snapshot();
+    if (view.versions->FileHasVersions(oid.file)) {
+      VersionStore::Version v;
+      if (view.versions->VisibleVersion(oid, view.csn, &v)) {
+        if (v.absent) {
+          return Status::NotFound("object " + oid.ToString() +
+                                  " not visible at reader snapshot");
+        }
+        snap.type_id = v.type_id;
+        snap.tuple = std::move(v.tuple);
+        cache->Insert(oid, epoch, snap);
+        return snap;
+      }
+    }
+  }
   MOOD_ASSIGN_OR_RETURN(HeapFile* file, storage_->GetFile(oid.file));
   MOOD_ASSIGN_OR_RETURN(std::string rec, file->Get(RecordId{oid.page, oid.slot}));
   MOOD_ASSIGN_OR_RETURN(auto decoded, DecodeObjectRecord(rec));
@@ -157,7 +233,8 @@ Result<std::string> ObjectManager::ClassOf(Oid oid, DerefCache* cache) const {
   return name;
 }
 
-Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal) {
+Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal,
+                                   uint64_t version_batch) {
   MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
   MOOD_ASSIGN_OR_RETURN(MoodValue old_tuple, Fetch(oid));
   MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
@@ -165,7 +242,17 @@ Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wa
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
   std::string rec;
   EncodeObjectRecord(type->id, tuple, &rec);
+  BatchScope batch(versions_, wal, version_batch);
+  CommitGate::ExclusiveGuard gate(versions_ ? &versions_->gate() : nullptr);
   MOOD_RETURN_IF_ERROR(extent->Update(RecordId{oid.page, oid.slot}, rec, wal));
+  batch.NoteHeapWrite();
+  if (versions_ != nullptr) {
+    // Capture only after the page write succeeded, inside the exclusive gate
+    // section — readers cannot observe the gap between write and capture.
+    versions_->CapturePending(batch.batch(), oid, /*absent_before=*/false, type->id,
+                              std::make_shared<const MoodValue>(old_tuple),
+                              /*live_after=*/true);
+  }
   Status st = MaintainIndexes(class_name, oid, &old_tuple, &tuple);
   // After the write so a concurrent reader cannot cache the old value under
   // the new epoch.
@@ -183,20 +270,30 @@ Result<int> ObjectManager::AttrIndex(const std::string& class_name,
 }
 
 Status ObjectManager::SetAttribute(Oid oid, const std::string& attr, MoodValue value,
-                                   PageWriteLogger* wal) {
+                                   PageWriteLogger* wal, uint64_t version_batch) {
   MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
   MOOD_ASSIGN_OR_RETURN(int idx, AttrIndex(class_name, attr));
   MOOD_ASSIGN_OR_RETURN(MoodValue tuple, Fetch(oid));
   MOOD_ASSIGN_OR_RETURN(tuple, PadToSchema(class_name, std::move(tuple)));
   tuple.mutable_elements()[static_cast<size_t>(idx)] = std::move(value);
-  return UpdateObject(oid, std::move(tuple), wal);
+  return UpdateObject(oid, std::move(tuple), wal, version_batch);
 }
 
-Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal) {
+Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal,
+                                   uint64_t version_batch) {
   MOOD_ASSIGN_OR_RETURN(std::string class_name, ClassOf(oid));
   MOOD_ASSIGN_OR_RETURN(MoodValue old_tuple, Fetch(oid));
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, ExtentOf(class_name));
+  BatchScope batch(versions_, wal, version_batch);
+  CommitGate::ExclusiveGuard gate(versions_ ? &versions_->gate() : nullptr);
   MOOD_RETURN_IF_ERROR(extent->Delete(RecordId{oid.page, oid.slot}, wal));
+  batch.NoteHeapWrite();
+  if (versions_ != nullptr) {
+    versions_->CapturePending(batch.batch(), oid, /*absent_before=*/false, type->id,
+                              std::make_shared<const MoodValue>(old_tuple),
+                              /*live_after=*/false);
+  }
   Status st = MaintainIndexes(class_name, oid, &old_tuple, nullptr);
   BumpWriteEpoch(oid.file);
   objects_deleted_.fetch_add(1, std::memory_order_relaxed);
@@ -338,8 +435,28 @@ Status ObjectManager::ScanExtentPage(
   return ScanExtentPage(class_name, page, nullptr, fn);
 }
 
+namespace {
+
+/// Applies the snapshot visibility rule to one scanned record: skip it (object
+/// born after the snapshot), substitute its visible pre-image, or pass the
+/// heap value through. `emit` receives the value to produce, or nothing.
+Status EmitVisible(const SnapshotView& snap, Oid oid, const MoodValue& heap_value,
+                   const std::function<Status(Oid, const MoodValue&)>& fn) {
+  if (snap.active() && snap.versions->FileHasVersions(oid.file)) {
+    VersionStore::Version v;
+    if (snap.versions->VisibleVersion(oid, snap.csn, &v)) {
+      if (v.absent) return Status::OK();  // created after the snapshot
+      return fn(oid, *v.tuple);           // updated since: serve the pre-image
+    }
+  }
+  return fn(oid, heap_value);
+}
+
+}  // namespace
+
 Status ObjectManager::ScanExtentPage(
     const std::string& class_name, PageId page, HeapFile::ScanCursor* cursor,
+    const SnapshotView& snap,
     const std::function<Status(Oid, const MoodValue&)>& fn) const {
   MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
   MOOD_ASSIGN_OR_RETURN(HeapFile* extent, storage_->GetFile(type->extent_file));
@@ -349,13 +466,13 @@ Status ObjectManager::ScanExtentPage(
     oid.file = static_cast<uint16_t>(type->extent_file);
     oid.page = rid.page;
     oid.slot = rid.slot;
-    return fn(oid, decoded.second);
+    return EmitVisible(snap, oid, decoded.second, fn);
   });
 }
 
 Status ObjectManager::ScanExtent(
     const std::string& class_name, bool include_subclasses,
-    const std::vector<std::string>& exclude,
+    const std::vector<std::string>& exclude, const SnapshotView& snap,
     const std::function<Status(Oid, const MoodValue&)>& fn) const {
   MOOD_ASSIGN_OR_RETURN(std::vector<std::string> classes,
                         ScanClasses(class_name, include_subclasses, exclude));
@@ -369,10 +486,29 @@ Status ObjectManager::ScanExtent(
       oid.file = static_cast<uint16_t>(type->extent_file);
       oid.page = it.rid().page;
       oid.slot = it.rid().slot;
-      MOOD_RETURN_IF_ERROR(fn(oid, decoded.second));
+      MOOD_RETURN_IF_ERROR(EmitVisible(snap, oid, decoded.second, fn));
     }
     MOOD_RETURN_IF_ERROR(it.status());
+    MOOD_RETURN_IF_ERROR(SnapshotLeftovers(cls, snap, fn));
   }
+  return Status::OK();
+}
+
+Status ObjectManager::SnapshotLeftovers(
+    const std::string& class_name, const SnapshotView& snap,
+    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+  if (!snap.active()) return Status::OK();
+  MOOD_ASSIGN_OR_RETURN(const MoodsType* type, catalog_->Lookup(class_name));
+  uint16_t file = static_cast<uint16_t>(type->extent_file);
+  if (!snap.versions->FileHasVersions(file)) return Status::OK();
+  uint64_t emitted = 0;
+  for (Oid oid : snap.versions->HeapAbsentOids(file)) {
+    VersionStore::Version v;
+    if (!snap.versions->VisibleVersion(oid, snap.csn, &v) || v.absent) continue;
+    emitted++;
+    MOOD_RETURN_IF_ERROR(fn(oid, *v.tuple));
+  }
+  if (emitted > 0) snap.versions->NoteInjected(emitted);
   return Status::OK();
 }
 

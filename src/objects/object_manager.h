@@ -19,6 +19,20 @@
 
 namespace mood {
 
+class VersionStore;
+
+/// A reader's multi-version snapshot: reconstruct object state as of commit
+/// sequence number `csn` using `versions` (see VersionStore's visibility
+/// rule). Inactive (null `versions`) means read-latest — the legacy embedded
+/// behavior. Carried by DerefCache so every cached read path is
+/// snapshot-aware without new parameters on each call.
+struct SnapshotView {
+  const VersionStore* versions = nullptr;
+  uint64_t csn = 0;
+
+  bool active() const { return versions != nullptr; }
+};
+
 /// Per-query dereference cache: OID -> decoded object snapshot. Path
 /// expressions (the paper's forward-traversal inner loop) dereference the same
 /// objects repeatedly; this cache turns the second and later Deref(oid) of a
@@ -52,6 +66,13 @@ class DerefCache {
 
   void Insert(Oid oid, uint64_t epoch, const Snapshot& snap);
 
+  /// Attaches a reader snapshot: ObjectManager's cached read paths
+  /// (FetchSnapshot and everything built on it) then serve the version visible
+  /// at the snapshot instead of the latest heap state. The cache is per-query,
+  /// so one snapshot per cache is exactly statement scope.
+  void SetSnapshot(const SnapshotView& view) { snapshot_ = view; }
+  const SnapshotView& snapshot() const { return snapshot_; }
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
@@ -74,6 +95,7 @@ class DerefCache {
   }
 
   size_t capacity_;
+  SnapshotView snapshot_;
   std::array<Stripe, kStripes> stripes_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -110,13 +132,26 @@ class ObjectManager {
   ObjectManager(StorageManager* storage, Catalog* catalog)
       : storage_(storage), catalog_(catalog) {}
 
+  /// Wires up multi-version snapshot support (Database::Open does this). Once
+  /// set, every object write runs under the store's exclusive CommitGate
+  /// section and captures its pre-image into the store, and cached reads honor
+  /// an attached SnapshotView. Null (the default) is the legacy read-latest
+  /// embedded behavior with zero overhead.
+  void SetVersionStore(VersionStore* versions) { versions_ = versions; }
+  VersionStore* versions() const { return versions_; }
+
   /// Creates an instance of `class_name` from a tuple whose fields follow
   /// Catalog::AllAttributes order. Type-checks against the class schema, inserts
   /// into the class extent and maintains indexes. A tuple shorter than the schema
   /// is padded with attribute defaults (supports schema evolution via
   /// AddAttribute).
+  ///
+  /// `version_batch` on the write methods groups this write's pre-image
+  /// capture under an existing VersionStore batch (a transaction's, or one
+  /// autocommit statement's). 0 derives it: the wal's batch when given,
+  /// otherwise a self-committing single-write batch.
   Result<Oid> CreateObject(const std::string& class_name, MoodValue tuple,
-                           PageWriteLogger* wal = nullptr);
+                           PageWriteLogger* wal = nullptr, uint64_t version_batch = 0);
 
   /// The algebra's Deref(oid) operator. The DerefCache overloads consult and
   /// fill `cache` (may be null); see DerefCache for the staleness contract.
@@ -129,13 +164,15 @@ class ObjectManager {
   Result<std::string> ClassOf(Oid oid, DerefCache* cache) const;
 
   /// Replaces the whole attribute tuple (type-checked; indexes maintained).
-  Status UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal = nullptr);
+  Status UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wal = nullptr,
+                      uint64_t version_batch = 0);
 
   /// Sets one attribute by name.
   Status SetAttribute(Oid oid, const std::string& attr, MoodValue value,
-                      PageWriteLogger* wal = nullptr);
+                      PageWriteLogger* wal = nullptr, uint64_t version_batch = 0);
 
-  Status DeleteObject(Oid oid, PageWriteLogger* wal = nullptr);
+  Status DeleteObject(Oid oid, PageWriteLogger* wal = nullptr,
+                      uint64_t version_batch = 0);
 
   /// Attribute of an object by name (inherited attributes included). The
   /// cached overload does one heap read per object per query instead of the
@@ -162,6 +199,10 @@ class ObjectManager {
   Result<MoodValue> GetAttributeByOrdinal(Oid oid, const AttributeLayout& expected,
                                           uint32_t ordinal, DerefCache* cache) const;
 
+  /// Write-epoch slot count (files alias slots by `file % kEpochSlots`).
+  /// Public so snapshot sessions can capture a full epoch view at pin time.
+  static constexpr size_t kEpochSlots = 64;
+
   /// Write epoch of one extent file's slot (see DerefCache). Monotonically
   /// increases on every object write to files sharing the slot.
   uint64_t WriteEpochOf(uint16_t file) const {
@@ -173,6 +214,18 @@ class ObjectManager {
   /// subclasses (the `-` operator in FROM).
   Status ScanExtent(const std::string& class_name, bool include_subclasses,
                     const std::vector<std::string>& exclude,
+                    const std::function<Status(Oid, const MoodValue&)>& fn) const {
+    return ScanExtent(class_name, include_subclasses, exclude, SnapshotView{}, fn);
+  }
+
+  /// ScanExtent as of a snapshot: records born after the snapshot are skipped,
+  /// records updated since serve their visible pre-image, and objects deleted
+  /// from the heap but visible at the snapshot are appended per class via
+  /// SnapshotLeftovers. The page-granular path (ScanExtentPage) omits the
+  /// leftover pass — parallel scans must run SnapshotLeftovers per class after
+  /// the page loop to match.
+  Status ScanExtent(const std::string& class_name, bool include_subclasses,
+                    const std::vector<std::string>& exclude, const SnapshotView& snap,
                     const std::function<Status(Oid, const MoodValue&)>& fn) const;
 
   /// The classes whose own extents a ScanExtent over the same arguments visits,
@@ -196,7 +249,22 @@ class ObjectManager {
   /// the class; see HeapFile::ScanCursor).
   Status ScanExtentPage(const std::string& class_name, PageId page,
                         HeapFile::ScanCursor* cursor,
+                        const std::function<Status(Oid, const MoodValue&)>& fn) const {
+    return ScanExtentPage(class_name, page, cursor, SnapshotView{}, fn);
+  }
+
+  /// Snapshot-aware page scan (same visibility semantics as the snapshot
+  /// ScanExtent overload; leftovers likewise excluded).
+  Status ScanExtentPage(const std::string& class_name, PageId page,
+                        HeapFile::ScanCursor* cursor, const SnapshotView& snap,
                         const std::function<Status(Oid, const MoodValue&)>& fn) const;
+
+  /// The completion pass for snapshot scans over `class_name`'s own extent:
+  /// produces, in oid order, every object whose heap record is gone (deleted
+  /// by a later or uncommitted writer) but which is still visible at the
+  /// snapshot. A no-op for inactive snapshots or version-free files.
+  Status SnapshotLeftovers(const std::string& class_name, const SnapshotView& snap,
+                           const std::function<Status(Oid, const MoodValue&)>& fn) const;
 
   /// |C| for one class (own extent only or with subclasses).
   Result<uint64_t> ExtentCount(const std::string& class_name,
@@ -286,11 +354,12 @@ class ObjectManager {
 
   StorageManager* storage_;
   Catalog* catalog_;
+  /// Snapshot/versioning hook (null in plain embedded use; see SetVersionStore).
+  VersionStore* versions_ = nullptr;
   /// Per-file-slot write epochs backing the DerefCache staleness contract.
   /// Slotted by file id so a write invalidates at class granularity (plus any
   /// class whose extent file aliases the slot — a false invalidation, never a
   /// false hit).
-  static constexpr size_t kEpochSlots = 64;
   mutable std::array<std::atomic<uint64_t>, kEpochSlots> write_epochs_{};
   /// Engine-wide observability counters (relaxed atomics; see RegisterMetrics).
   mutable std::atomic<uint64_t> objects_created_{0};

@@ -671,6 +671,7 @@ Result<QueryOptimizer::VarPlan> QueryOptimizer::ExpandPathSelection(
 
 Result<QueryOptimizer::Optimized> QueryOptimizer::Optimize(const SelectStmt& stmt,
                                                            bool use_feedback) {
+  std::lock_guard<std::mutex> optimize_lock(optimize_mu_);
   use_feedback_ = use_feedback;
   calibrated_ = false;
   active_disk_ = options_.disk;

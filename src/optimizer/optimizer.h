@@ -1,5 +1,7 @@
 #pragma once
 
+#include <mutex>
+
 #include <map>
 #include <memory>
 #include <string>
@@ -116,10 +118,14 @@ class QueryOptimizer {
   OptimizerOptions options_;
   SelectivityEstimator estimator_;
   Binder binder_;
+  /// Serializes Optimize: the members below are per-call scratch, and with
+  /// sessions running statements concurrently two optimizations can otherwise
+  /// overlap. Contention is limited to plan-cache misses — hits never enter.
+  mutable std::mutex optimize_mu_;
   mutable int temp_var_counter_ = 0;
-  // Per-Optimize state (same caveat as temp_var_counter_: one optimization at
-  // a time). active_disk_ is options_.disk, or the measured CostCalibration
-  // once enough profiled samples exist and feedback is on.
+  // Per-Optimize state (guarded by optimize_mu_). active_disk_ is
+  // options_.disk, or the measured CostCalibration once enough profiled
+  // samples exist and feedback is on.
   mutable bool use_feedback_ = false;
   mutable bool calibrated_ = false;  ///< active_disk_ came from measurements
   mutable DiskParameters active_disk_;

@@ -18,6 +18,12 @@ class PageWriteLogger {
   /// page header so recovery can decide whether the page already reflects the
   /// change.
   virtual Result<Lsn> LogPageWrite(PageId page, Slice before, Slice after) = 0;
+
+  /// VersionStore batch the logger's writes group under for snapshot pre-image
+  /// capture (0 = none). Implemented by txn::Transaction so object writes under
+  /// a transaction stamp their version-chain entries at the transaction's
+  /// commit; storage stays independent of the txn module.
+  virtual uint64_t version_batch() const { return 0; }
 };
 
 }  // namespace mood

@@ -5,11 +5,12 @@
 #include <set>
 
 #include "common/coding.h"
+#include "txn/version_store.h"
 
 namespace mood {
 
 Result<Lsn> Transaction::LogPageWrite(PageId page, Slice before, Slice after) {
-  if (state_ != TxnState::kActive) {
+  if (state_.load(std::memory_order_acquire) != TxnState::kActive) {
     return Status::TxnAborted("write in non-active transaction");
   }
   MOOD_ASSIGN_OR_RETURN(Lsn lsn, mgr_->log()->AppendPageWrite(id_, page, before, after));
@@ -30,6 +31,13 @@ TransactionManager::TransactionManager(BufferPool* pool, LogManager* log,
 
 TransactionManager::~TransactionManager() { pool_->SetPreFlushHook(nullptr); }
 
+bool TransactionManager::HasActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(live_.begin(), live_.end(), [](const auto& t) {
+    return t->state() == TxnState::kActive;
+  });
+}
+
 void TransactionManager::PruneCompleted() {
   std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(live_, [](const auto& t) { return t->state() != TxnState::kActive; });
@@ -40,6 +48,7 @@ Result<Transaction*> TransactionManager::Begin() {
   uint64_t id = next_txn_id_++;
   MOOD_RETURN_IF_ERROR(log_->AppendBegin(id).status());
   auto txn = std::unique_ptr<Transaction>(new Transaction(id, this));
+  if (versions_ != nullptr) txn->version_batch_ = versions_->BeginBatch();
   Transaction* ptr = txn.get();
   live_.push_back(std::move(txn));
   return ptr;
@@ -47,24 +56,35 @@ Result<Transaction*> TransactionManager::Begin() {
 
 Status TransactionManager::RollbackInBuffer(Transaction* txn) {
   Status first;
-  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
-    auto page = pool_->FetchPage(it->page);
-    if (!page.ok()) {
-      if (first.ok()) first = page.status();
-      continue;
+  {
+    // Exclusive gate section: snapshot readers must see the page restores as
+    // one atomic step, never a half-rolled-back heap.
+    CommitGate::ExclusiveGuard gate(versions_ ? &versions_->gate() : nullptr);
+    for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+      auto page = pool_->FetchPage(it->page);
+      if (!page.ok()) {
+        if (first.ok()) first = page.status();
+        continue;
+      }
+      std::memcpy(page.value()->data(), it->before.data(), kPageSize);
+      Status up = pool_->UnpinPage(it->page, /*dirty=*/true);
+      if (!up.ok() && first.ok()) first = up;
     }
-    std::memcpy(page.value()->data(), it->before.data(), kPageSize);
-    Status up = pool_->UnpinPage(it->page, /*dirty=*/true);
-    if (!up.ok() && first.ok()) first = up;
+    // Drop the pending captures only after the heap is restored: in between,
+    // a reader served the pending pre-image — the same bytes the restore just
+    // put back.
+    if (versions_ != nullptr && txn->version_batch_ != 0) {
+      versions_->AbortBatch(txn->version_batch_);
+    }
   }
-  txn->state_ = TxnState::kAborted;
+  txn->state_.store(TxnState::kAborted, std::memory_order_release);
   txn->undo_.clear();
   locks_->ReleaseAll(txn->id_);
   return first;
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
-  if (txn->state_ != TxnState::kActive) {
+  if (txn->state_.load(std::memory_order_acquire) != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
   Status durable = [&]() -> Status {
@@ -87,14 +107,20 @@ Status TransactionManager::Commit(Transaction* txn) {
     (void)RollbackInBuffer(txn);
     return durable;
   }
-  txn->state_ = TxnState::kCommitted;
+  // Stamp the version batch only after the commit record is durable: until
+  // this point snapshot readers treat the transaction's writes as uncommitted
+  // (pending pre-images), which is exactly right if we crash before here.
+  if (versions_ != nullptr && txn->version_batch_ != 0) {
+    versions_->CommitBatch(txn->version_batch_);
+  }
+  txn->state_.store(TxnState::kCommitted, std::memory_order_release);
   txn->undo_.clear();
   locks_->ReleaseAll(txn->id_);
   return Status::OK();
 }
 
 Status TransactionManager::Abort(Transaction* txn) {
-  if (txn->state_ != TxnState::kActive) {
+  if (txn->state_.load(std::memory_order_acquire) != TxnState::kActive) {
     return Status::InvalidArgument("abort of non-active transaction");
   }
   Status undone = RollbackInBuffer(txn);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -14,6 +15,7 @@ namespace mood {
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
 
 class TransactionManager;
+class VersionStore;
 
 /// A transaction context. Implements PageWriteLogger so storage structures can
 /// report page mutations: each mutation is logged with before/after images, and
@@ -21,9 +23,13 @@ class TransactionManager;
 class Transaction : public PageWriteLogger {
  public:
   uint64_t id() const { return id_; }
-  TxnState state() const { return state_; }
+  TxnState state() const { return state_.load(std::memory_order_acquire); }
 
   Result<Lsn> LogPageWrite(PageId page, Slice before, Slice after) override;
+
+  /// VersionStore batch collecting this transaction's pre-image captures;
+  /// stamped with one CSN at commit (0 when the manager has no version store).
+  uint64_t version_batch() const override { return version_batch_; }
 
   /// Acquires a lock through the owning manager's lock manager (strict 2PL: held
   /// until commit/abort).
@@ -42,7 +48,10 @@ class Transaction : public PageWriteLogger {
 
   uint64_t id_;
   TransactionManager* mgr_;
-  TxnState state_ = TxnState::kActive;
+  /// Atomic: the owning session's thread writes at commit/abort while other
+  /// sessions' threads observe it through HasActive()/PruneCompleted().
+  std::atomic<TxnState> state_{TxnState::kActive};
+  uint64_t version_batch_ = 0;
   std::vector<UndoEntry> undo_;
 };
 
@@ -53,6 +62,12 @@ class TransactionManager {
   TransactionManager(BufferPool* pool, LogManager* log, LockManager* locks);
   /// Uninstalls the WAL-rule hook (the buffer pool may outlive this manager).
   ~TransactionManager();
+
+  /// Wires snapshot versioning in (Database::Open). Each transaction then
+  /// carries a VersionStore batch: stamped with a CSN after a durable commit,
+  /// dropped on abort; in-buffer rollback runs under the store's exclusive
+  /// CommitGate so snapshot readers never see half-restored pages.
+  void SetVersionStore(VersionStore* versions) { versions_ = versions; }
 
   /// Begins a transaction; the returned object stays owned by the manager until
   /// Commit/Abort.
@@ -73,6 +88,10 @@ class TransactionManager {
   /// valid (their pointers may still be observed) until this is called.
   void PruneCompleted();
 
+  /// True while any transaction is still active (Checkpoint's log-truncation
+  /// guard: truncating under an active transaction would lose its undo).
+  bool HasActive() const;
+
   LogManager* log() { return log_; }
   LockManager* locks() { return locks_; }
   BufferPool* pool() { return pool_; }
@@ -88,9 +107,10 @@ class TransactionManager {
   BufferPool* pool_;
   LogManager* log_;
   LockManager* locks_;
+  VersionStore* versions_ = nullptr;
   uint64_t next_txn_id_ = 1;
   std::vector<std::unique_ptr<Transaction>> live_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
 };
 
 /// Crash recovery: replays the write-ahead log against the database file.

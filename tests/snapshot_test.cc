@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/session.h"
+#include "tests/test_util.h"
+#include "txn/version_store.h"
+
+namespace mood {
+namespace {
+
+using testing::TempDir;
+
+size_t TestThreads() {
+  const char* env = std::getenv("MOOD_TEST_THREADS");
+  if (env != nullptr && std::atoi(env) > 0) return static_cast<size_t>(std::atoi(env));
+  return 8;
+}
+
+class SnapshotFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MOOD_ASSERT_OK(db_.Open(dir_.Path("mood")));
+    MOOD_ASSERT_OK(db_.ExecuteScript("CREATE CLASS Acc TUPLE (id Integer, val Integer);")
+                       .status());
+    for (int i = 0; i < 8; i++) {
+      MOOD_ASSERT_OK(
+          db_.Execute("NEW Acc <" + std::to_string(i) + ", 0>").status());
+    }
+  }
+  TempDir dir_;
+  Database db_;
+};
+
+/// Reads all Acc.val through `s` and asserts the snapshot is consistent (every
+/// committed state has all 8 rows equal). Returns the common value.
+int32_t ReadConsistentValue(Session* s) {
+  auto qr = s->Query("SELECT a.val FROM Acc a");
+  EXPECT_TRUE(qr.ok()) << qr.status().ToString();
+  if (!qr.ok()) return -1;
+  EXPECT_EQ(qr.value().rows.size(), 8u);
+  int32_t common = qr.value().rows.empty() ? -1 : qr.value().rows[0][0].AsInteger();
+  for (const auto& row : qr.value().rows) {
+    EXPECT_EQ(row[0].AsInteger(), common) << "torn snapshot: mixed row versions";
+  }
+  return common;
+}
+
+// ---------------------------------------------------------------------------
+// Single-writer visibility basics
+// ---------------------------------------------------------------------------
+
+/// A pinned snapshot session keeps reading the state it pinned while a writer
+/// commits past it; EndSnapshot advances it to the latest committed state.
+TEST_F(SnapshotFixture, PinnedSnapshotIgnoresLaterCommits) {
+  std::unique_ptr<Session> reader = db_.CreateSession();
+  MOOD_ASSERT_OK(reader->BeginSnapshot());
+  EXPECT_TRUE(reader->in_snapshot());
+  EXPECT_EQ(ReadConsistentValue(reader.get()), 0);
+
+  std::unique_ptr<Session> writer = db_.CreateSession();
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, writer->Begin());
+  MOOD_ASSERT_OK(writer->Execute("UPDATE Acc a SET val = a.val + 1").status());
+  MOOD_ASSERT_OK(txn.Commit());
+
+  // The implicit session reads latest; the pinned session reads as-of pin.
+  EXPECT_EQ(ReadConsistentValue(db_.session()), 1);
+  EXPECT_EQ(ReadConsistentValue(reader.get()), 0);
+
+  MOOD_ASSERT_OK(reader->EndSnapshot());
+  EXPECT_EQ(ReadConsistentValue(reader.get()), 1);
+}
+
+/// Uncommitted writes are invisible to snapshot readers, and an abort leaves
+/// no trace.
+TEST_F(SnapshotFixture, UncommittedAndAbortedWritesInvisible) {
+  std::unique_ptr<Session> writer = db_.CreateSession();
+  MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, writer->Begin());
+  MOOD_ASSERT_OK(writer->Execute("UPDATE Acc a SET val = 99").status());
+
+  std::unique_ptr<Session> reader = db_.CreateSession();
+  EXPECT_EQ(ReadConsistentValue(reader.get()), 0) << "dirty write leaked";
+
+  MOOD_ASSERT_OK(txn.Abort());
+  EXPECT_EQ(ReadConsistentValue(reader.get()), 0);
+}
+
+/// A session with a pinned snapshot is read-only: DML and DDL are rejected
+/// centrally with InvalidArgument.
+TEST_F(SnapshotFixture, PinnedSessionRejectsWrites) {
+  std::unique_ptr<Session> s = db_.CreateSession();
+  MOOD_ASSERT_OK(s->BeginSnapshot());
+  auto dml = s->Execute("UPDATE Acc a SET val = 5");
+  ASSERT_FALSE(dml.ok());
+  EXPECT_EQ(dml.status().code(), StatusCode::kInvalidArgument);
+  auto ddl = s->Execute("CREATE CLASS Later TUPLE (x Integer)");
+  EXPECT_FALSE(ddl.ok());
+  // SELECT still works, and a second BeginSnapshot is rejected.
+  EXPECT_EQ(ReadConsistentValue(s.get()), 0);
+  EXPECT_FALSE(s->BeginSnapshot().ok());
+  MOOD_ASSERT_OK(s->EndSnapshot());
+  MOOD_ASSERT_OK(s->Execute("UPDATE Acc a SET val = 5").status());
+}
+
+/// Sessions are independent: per-session default QueryOptions don't bleed into
+/// the implicit session (the deprecated global setter now targets it).
+TEST_F(SnapshotFixture, PerSessionQueryOptions) {
+  std::unique_ptr<Session> s = db_.CreateSession();
+  QueryOptions q;
+  q.use_cache = false;
+  s->SetDefaultQueryOptions(q);
+  EXPECT_EQ(s->default_query_options().use_cache, std::optional<bool>(false));
+  // The implicit session (behind the deprecated database-wide setter) is
+  // untouched by a per-session default, and vice versa.
+  EXPECT_EQ(db_.default_query_options().use_cache, std::nullopt);
+  db_.SetDefaultQueryOptions(QueryOptions{});
+  EXPECT_EQ(s->default_query_options().use_cache, std::optional<bool>(false));
+}
+
+/// Destroying a session mid-transaction aborts it and releases its locks; the
+/// TxnHandle outliving its session degrades gracefully.
+TEST_F(SnapshotFixture, SessionDeathAbortsTransaction) {
+  TxnHandle orphan;
+  {
+    std::unique_ptr<Session> s = db_.CreateSession();
+    MOOD_ASSERT_OK_AND_ASSIGN(TxnHandle txn, s->Begin());
+    MOOD_ASSERT_OK(s->Execute("UPDATE Acc a SET val = 77").status());
+    orphan = std::move(txn);
+  }
+  // The session is gone: the write rolled back, the handle is inert.
+  EXPECT_EQ(ReadConsistentValue(db_.session()), 0);
+  EXPECT_FALSE(orphan.Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// 8 readers vs 2 writers torture
+// ---------------------------------------------------------------------------
+
+/// Writers repeatedly increment every row inside a transaction (so every
+/// committed state has all rows equal); 8 reader sessions hammer SELECTs.
+/// Invariants, per read:
+///  - the snapshot is consistent (all rows carry one committed value),
+///  - values are monotone per session (a later statement never reads an older
+///    committed state than an earlier one — snapshot CSNs only advance).
+TEST_F(SnapshotFixture, ReadersNeverSeeTornOrRegressingState) {
+  const size_t kReaders = TestThreads();
+  constexpr size_t kWritersRounds = 12;
+  constexpr size_t kReadsPerReader = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> torn{0}, regressed{0}, commits{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; w++) {
+    writers.emplace_back([&] {
+      std::unique_ptr<Session> s = db_.CreateSession();
+      for (size_t round = 0; round < kWritersRounds; round++) {
+        auto txn = s->Begin();
+        if (!txn.ok()) continue;
+        // Lock conflicts can pick this txn as deadlock victim: abort + move on.
+        auto up = s->Execute("UPDATE Acc a SET val = a.val + 1");
+        if (up.ok() && txn.value().Commit().ok()) {
+          commits.fetch_add(1);
+        } else {
+          (void)txn.value().Abort();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; r++) {
+    readers.emplace_back([&] {
+      std::unique_ptr<Session> s = db_.CreateSession();
+      int32_t last = -1;
+      for (size_t i = 0; i < kReadsPerReader && !stop.load(); i++) {
+        auto qr = s->Query("SELECT a.val FROM Acc a");
+        if (!qr.ok()) continue;
+        if (qr.value().rows.size() != 8u) {
+          torn.fetch_add(1);
+          continue;
+        }
+        int32_t common = qr.value().rows[0][0].AsInteger();
+        for (const auto& row : qr.value().rows) {
+          if (row[0].AsInteger() != common) {
+            torn.fetch_add(1);
+            break;
+          }
+        }
+        if (common < last) regressed.fetch_add(1);
+        last = std::max(last, common);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "reader observed a mix of row versions";
+  EXPECT_EQ(regressed.load(), 0u) << "reader session's snapshot went backwards";
+  EXPECT_GT(commits.load(), 0u);
+  // After the dust settles the latest state equals the commit count.
+  EXPECT_EQ(ReadConsistentValue(db_.session()),
+            static_cast<int32_t>(commits.load()));
+  // All statement pins drained: the version store holds no pinned snapshots.
+  EXPECT_EQ(db_.versions()->PinnedCount(), 0u);
+}
+
+/// Same torture with the readers on long pins: each reader pins a snapshot,
+/// reads it several times (must be frozen), unpins, re-pins. Pinned epochs must
+/// also never regress across re-pins.
+TEST_F(SnapshotFixture, LongPinsStayFrozenAndAdvanceMonotonically) {
+  const size_t kReaders = TestThreads();
+  std::atomic<size_t> frozen_violations{0}, regressed{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; r++) {
+    readers.emplace_back([&] {
+      std::unique_ptr<Session> s = db_.CreateSession();
+      int32_t last = -1;
+      for (int pin = 0; pin < 6 && !stop.load(); pin++) {
+        if (!s->BeginSnapshot().ok()) continue;
+        int32_t first = ReadConsistentValue(s.get());
+        for (int i = 0; i < 3; i++) {
+          if (ReadConsistentValue(s.get()) != first) frozen_violations.fetch_add(1);
+        }
+        if (first < last) regressed.fetch_add(1);
+        last = std::max(last, first);
+        EXPECT_TRUE(s->EndSnapshot().ok());
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; w++) {
+    writers.emplace_back([&] {
+      std::unique_ptr<Session> s = db_.CreateSession();
+      for (int round = 0; round < 10; round++) {
+        auto txn = s->Begin();
+        if (!txn.ok()) continue;
+        auto up = s->Execute("UPDATE Acc a SET val = a.val + 1");
+        if (!(up.ok() && txn.value().Commit().ok())) (void)txn.value().Abort();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(frozen_violations.load(), 0u) << "pinned snapshot drifted";
+  EXPECT_EQ(regressed.load(), 0u);
+  EXPECT_EQ(db_.versions()->PinnedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mood
