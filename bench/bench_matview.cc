@@ -1,0 +1,138 @@
+// Materialized-extent maintenance vs caching under a mixed read/write
+// workload: every round writes one root object, then re-runs the same
+// path-join query. The result cache (PR 8) is epoch-keyed, so each write
+// invalidates it and the read pays a full re-execution; the materialized view
+// re-derives only the written root's output rows and serves the stored
+// extent. Asserts byte parity with the uncached oracle and that the
+// delta-maintainable view never fell back to a full refresh.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mv/matview.h"
+
+using namespace mood;
+using namespace mood::bench;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+double CounterOf(Database* db, const std::string& name) {
+  return db->metrics()->Snapshot().ValueOf(name, -1);
+}
+
+constexpr uint64_t kScale = 600;
+constexpr int kRounds = 80;
+
+/// One root-extent write per round, deterministic, identical across modes.
+void WriteRound(Database* db, int round) {
+  Check(db->Execute("UPDATE Vehicle v SET weight = " +
+                    std::to_string(900 + (round * 37) % 2000) +
+                    " WHERE v.id = " + std::to_string((round * 3) % kScale))
+            .status(),
+        "write");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = WantJson(argc, argv);
+  JsonReport report_json("bench_matview");
+  BenchDb scratch("matview");
+  Database db;
+  DatabaseOptions opts;
+  opts.exec_threads = 1;
+  Check(db.Open(scratch.Path("mood"), opts), "open");
+  Check(paperdb::CreatePaperSchema(&db), "schema");
+  auto report = CheckV(paperdb::PopulatePaperData(&db, kScale), "populate");
+  Check(db.CollectAllStatistics(), "collect");
+  std::printf("scale: %llu vehicles, %llu engines; %d write+read rounds/mode\n",
+              (unsigned long long)report.vehicles,
+              (unsigned long long)report.engines, kRounds);
+
+  // A 2-hop path join over the whole vehicle hierarchy: re-execution chases
+  // drivetrain -> engine for every root; delta maintenance chases it for the
+  // one written root.
+  const std::string sql =
+      "SELECT v, v.weight, v.drivetrain.engine.cylinders FROM EVERY Vehicle v "
+      "WHERE v.drivetrain.engine.cylinders > 4";
+  QueryOptions uncached;
+  uncached.use_cache = false;
+
+  Checks checks;
+  auto run_phase = [&](const char* label, const QueryOptions& qopts) {
+    double total = 0;
+    size_t rows = 0;
+    for (int round = 0; round < kRounds; round++) {
+      WriteRound(&db, round);
+      auto start = std::chrono::steady_clock::now();
+      auto qr = CheckV(db.Query(sql, qopts), label);
+      total += MillisSince(start);
+      rows = qr.rows.size();
+    }
+    std::printf("  %-22s %8.1f ms total  %8.0f us/read  (%zu rows)\n", label,
+                total, total * 1000.0 / kRounds, rows);
+    return total;
+  };
+
+  Banner("Mixed workload: 1 root write + 1 path-join read per round");
+
+  // --- Mode 1: uncached re-execution (the oracle).
+  const double uncached_ms = run_phase("uncached", uncached);
+  report_json.Metric("read_ms_total", "uncached", uncached_ms);
+
+  // --- Mode 2: PR-8 plan + result caches. Every write bumps the root
+  // extent's epoch, so the result cache misses each round and pays a full
+  // re-execution (the plan cache still skips parse/optimize).
+  const double rhit0 = CounterOf(&db, "cache.result.hits");
+  const double cached_ms = run_phase("result cache", QueryOptions{});
+  report_json.Metric("read_ms_total", "result_cache", cached_ms);
+  checks.Expect(CounterOf(&db, "cache.result.hits") == rhit0,
+                "result cache never hits under per-round writes");
+
+  // --- Mode 3: materialized view with dependency-driven delta maintenance.
+  Check(db.Execute("CREATE MATERIALIZED VIEW mixed AS " + sql).status(),
+        "create view");
+  checks.Expect(db.matviews()->Views()[0].delta_maintainable,
+                "path-join view is delta-maintainable (" +
+                    db.matviews()->Views()[0].refusal + ")");
+  const double full0 = CounterOf(&db, "mv.full_refreshes");
+  const double mv_ms = run_phase("materialized view", QueryOptions{});
+  report_json.Metric("read_ms_total", "matview", mv_ms);
+
+  // Parity at the final state: the served rows must be byte-identical to
+  // uncached re-execution of the same statement.
+  auto served = CheckV(db.Query(sql), "served");
+  auto oracle = CheckV(db.Query(sql, uncached), "oracle");
+  checks.Expect(served.ToString() == oracle.ToString(),
+                "MV-served result byte-identical to uncached execution");
+  checks.Expect(CounterOf(&db, "mv.full_refreshes") == full0,
+                "no full refreshes on the delta-maintainable view");
+  const double speedup_uncached = uncached_ms / std::max(mv_ms, 0.001);
+  const double speedup_cached = cached_ms / std::max(mv_ms, 0.001);
+  report_json.Metric("speedup", "mv_vs_uncached", speedup_uncached);
+  report_json.Metric("speedup", "mv_vs_result_cache", speedup_cached);
+  report_json.Metric("mv_counters", "hits", CounterOf(&db, "mv.hits"));
+  report_json.Metric("mv_counters", "maintenance_rows",
+                     CounterOf(&db, "mv.maintenance_rows"));
+  report_json.Metric("mv_counters", "full_refreshes",
+                     CounterOf(&db, "mv.full_refreshes"));
+  report_json.Metric("mv_counters", "rebuilds", CounterOf(&db, "mv.rebuilds"));
+  std::printf("speedup: %.1fx vs uncached, %.1fx vs result cache\n",
+              speedup_uncached, speedup_cached);
+  checks.Expect(speedup_uncached >= 5.0,
+                "MV rewrite >= 5x uncached re-execution under writes (" +
+                    Fmt(speedup_uncached, 1) + "x)");
+
+  AddMetricsSnapshot(&report_json, db.metrics());
+  if (json) report_json.Emit(JsonPath(argc, argv));
+  Check(db.Close(), "close");
+  return checks.ExitCode();
+}

@@ -15,6 +15,7 @@ namespace {
 constexpr char kTagType = 'T';
 constexpr char kTagIndexes = 'X';
 constexpr char kTagNames = 'N';
+constexpr char kTagViews = 'V';
 constexpr FileId kCatalogFileId = 1;
 
 }  // namespace
@@ -143,8 +144,10 @@ Status Catalog::LoadAll() {
   by_id_.clear();
   indexes_.clear();
   named_objects_.clear();
+  views_.clear();
   index_record_rid_ = RecordId{};
   names_record_rid_ = RecordId{};
+  views_record_rid_ = RecordId{};
   next_type_id_ = kFirstUserTypeId;
 
   for (auto it = file_->Begin(); it.Valid(); it.Next()) {
@@ -196,6 +199,19 @@ Status Catalog::LoadAll() {
         }
         break;
       }
+      case kTagViews: {
+        views_record_rid_ = it.rid();
+        Decoder dec(Slice(rec.data() + 1, rec.size() - 1));
+        uint32_t n = 0;
+        MOOD_RETURN_IF_ERROR(dec.GetFixed32(&n));
+        for (uint32_t i = 0; i < n; i++) {
+          MatViewDef d;
+          MOOD_RETURN_IF_ERROR(dec.GetString(&d.name));
+          MOOD_RETURN_IF_ERROR(dec.GetString(&d.select_sql));
+          views_[d.name] = std::move(d);
+        }
+        break;
+      }
       default:
         return Status::Corruption("unknown catalog record tag");
     }
@@ -243,6 +259,66 @@ Status Catalog::PersistNames() {
   if (names_record_rid_.valid()) return file_->Update(names_record_rid_, rec);
   MOOD_ASSIGN_OR_RETURN(names_record_rid_, file_->Insert(rec));
   return Status::OK();
+}
+
+Status Catalog::PersistViews() {
+  std::string rec(1, kTagViews);
+  PutFixed32(&rec, static_cast<uint32_t>(views_.size()));
+  for (const auto& [name, d] : views_) {
+    PutLengthPrefixedSlice(&rec, d.name);
+    PutLengthPrefixedSlice(&rec, d.select_sql);
+  }
+  if (views_record_rid_.valid()) return file_->Update(views_record_rid_, rec);
+  MOOD_ASSIGN_OR_RETURN(views_record_rid_, file_->Insert(rec));
+  return Status::OK();
+}
+
+Status Catalog::RegisterView(const MatViewDef& def) {
+  if (def.name.empty()) return Status::InvalidArgument("empty view name");
+  if (views_.count(def.name) > 0) {
+    return Status::AlreadyExists("materialized view '" + def.name +
+                                 "' already defined");
+  }
+  if (Exists(def.name)) {
+    return Status::AlreadyExists("'" + def.name + "' already names a class or type");
+  }
+  views_[def.name] = def;
+  Status s = PersistViews();
+  if (!s.ok()) {
+    views_.erase(def.name);
+    return s;
+  }
+  BumpSchemaEpoch();
+  return Status::OK();
+}
+
+Status Catalog::UnregisterView(const std::string& view_name) {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("no materialized view '" + view_name + "'");
+  }
+  MatViewDef saved = it->second;
+  views_.erase(it);
+  Status s = PersistViews();
+  if (!s.ok()) {
+    views_[view_name] = std::move(saved);
+    return s;
+  }
+  BumpSchemaEpoch();
+  return Status::OK();
+}
+
+std::vector<MatViewDef> Catalog::AllViews() const {
+  std::vector<MatViewDef> out;
+  out.reserve(views_.size());
+  for (const auto& [name, d] : views_) out.push_back(d);
+  return out;
+}
+
+std::optional<MatViewDef> Catalog::FindView(const std::string& view_name) const {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) return std::nullopt;
+  return it->second;
 }
 
 Status Catalog::ValidateDef(const ClassDef& def) const {

@@ -81,6 +81,13 @@ struct MoodsType {
   const MoodsFunction* FindFunction(const std::string& fname) const;
 };
 
+/// Persisted definition of one materialized view: the name plus the SELECT
+/// source text (re-parsed and re-materialized on reopen by the MV subsystem).
+struct MatViewDef {
+  std::string name;
+  std::string select_sql;
+};
+
 /// The MOOD catalog: "the definition of classes, types, and member functions in a
 /// structure similar to a compiler symbol table", persisted on the storage
 /// manager so compile-time information survives to run time (late binding).
@@ -158,6 +165,13 @@ class Catalog {
                                      IndexKind kind) const;
   std::optional<IndexDesc> FindIndexByName(const std::string& index_name) const;
 
+  // --- Materialized views --------------------------------------------------------
+
+  Status RegisterView(const MatViewDef& def);
+  Status UnregisterView(const std::string& view_name);
+  std::vector<MatViewDef> AllViews() const;
+  std::optional<MatViewDef> FindView(const std::string& view_name) const;
+
   // --- Named objects (the Bind naming operator's persistent side) ---------------
 
   Status BindName(const std::string& name, Oid oid);
@@ -184,6 +198,7 @@ class Catalog {
   Status PersistType(StoredType* st);
   Status PersistIndexes();
   Status PersistNames();
+  Status PersistViews();
   Status LoadAll();
 
   /// Checks the supers exist and the merged attribute set has no name clashes.
@@ -198,8 +213,10 @@ class Catalog {
   std::unordered_map<TypeId, StoredType*> by_id_;
   std::map<std::string, IndexDesc> indexes_;
   std::map<std::string, Oid> named_objects_;
+  std::map<std::string, MatViewDef> views_;
   RecordId index_record_rid_{};
   RecordId names_record_rid_{};
+  RecordId views_record_rid_{};
   TypeId next_type_id_ = kFirstUserTypeId;
   std::atomic<uint64_t> schema_epoch_{0};
 };

@@ -106,6 +106,13 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
   plan_cache_->Configure(options.plan_cache_entries, options.stats_refresh_epoch_delta);
   result_cache_ = std::make_unique<ResultCache>();
   result_cache_->Configure(options.result_cache_bytes);
+  matviews_ = std::make_unique<MvManager>(catalog_.get(), objects_.get(),
+                                          optimizer_.get(), executor_.get());
+  MOOD_RETURN_IF_ERROR(matviews_->Load(catalog_->AllViews()));
+  // Delta capture: every object write (inside the exclusive gate, after the
+  // write-epoch bump) routes through the view dependency graph.
+  objects_->SetWriteObserver(
+      [this](uint16_t file, Oid oid) { matviews_->OnWrite(file, oid); });
   implicit_->SetDefaultQueryOptions(QueryOptions{});
 
   // Engine metrics: every kernel component registers its probe; the facade
@@ -141,6 +148,10 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options) {
                             metrics_->Counter("cache.result.misses"),
                             metrics_->Counter("cache.result.evictions"),
                             metrics_->Counter("cache.result.invalidations"));
+  matviews_->SetMetrics(metrics_->Counter("mv.hits"),
+                        metrics_->Counter("mv.maintenance_rows"),
+                        metrics_->Counter("mv.full_refreshes"),
+                        metrics_->Counter("mv.rebuilds"));
 
   // "The power of object oriented applications lies in the interpretation":
   // methods without a registered compiled body fall back to interpreting simple
@@ -179,6 +190,8 @@ Status Database::Close() {
   stats_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
   plan_cache_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
   result_cache_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
+  objects_->SetWriteObserver(nullptr);
+  matviews_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
   metrics_.reset();
   statements_counter_ = queries_counter_ = explains_counter_ = slow_counter_ = nullptr;
   query_us_hist_ = nullptr;
@@ -187,6 +200,7 @@ Status Database::Close() {
   object_browser_.reset();
   plan_cache_.reset();
   result_cache_.reset();
+  matviews_.reset();
   executor_.reset();
   optimizer_.reset();
   stats_.reset();
@@ -436,6 +450,14 @@ Result<ExplainResult> Database::ExplainSelect(Session& s, const SelectStmt& stmt
     // their own bracket group in the rendered plan line.
     note = note.empty() ? tag : note + "] [" + tag;
   }
+  if (options.verbose && matviews_ != nullptr && !cache_sql.empty() &&
+      s.txn_ == nullptr && matviews_->WouldServe(cache_sql)) {
+    // Execution would serve this statement from a materialized extent instead
+    // of the plan below (freshness permitting).
+    std::string& note = out.optimized.plan->note;
+    note = note.empty() ? std::string("mv: rewritten")
+                        : note + "] [" + "mv: rewritten";
+  }
   if (options.analyze) {
     out.analyzed = true;
     out.profile = std::make_shared<QueryProfile>();
@@ -537,6 +559,8 @@ Result<ExecResult> Database::ExecuteStatement(Session& s, const Statement& stmt,
         else if constexpr (std::is_same_v<T, DeleteStmt>) return ExecDelete(s, st);
         else if constexpr (std::is_same_v<T, CreateIndexStmt>) return ExecCreateIndex(st);
         else if constexpr (std::is_same_v<T, AnalyzeStmt>) return ExecAnalyze(st);
+        else if constexpr (std::is_same_v<T, CreateMatViewStmt>) return ExecCreateMatView(st);
+        else if constexpr (std::is_same_v<T, DropMatViewStmt>) return ExecDropMatView(st);
         else return ExecDropClass(st);
       },
       stmt);
@@ -556,6 +580,41 @@ Result<ExecResult> Database::ExecSelectCached(Session& s, const SelectStmt& stmt
   WriteEpochFn epoch_of = [this](uint16_t file) {
     return objects_->WriteEpochOf(file);
   };
+
+  // --- Materialized-view rewrite -------------------------------------------
+  // Probed before the plan cache: a registered view whose normalized SQL
+  // matches answers from its materialized extent (after catching up on
+  // pending deltas) without optimizing or executing anything. Eligibility
+  // mirrors the result cache: the normal cached path, outside a write
+  // transaction (a transaction must see its own uncommitted writes). The
+  // freshness callback vetoes the serve whenever a dependency extent's latest
+  // state is not what this session's read would see: pending (uncommitted)
+  // version chains for unpinned statements, any epoch drift since pin for
+  // pinned sessions. use_cache=false bypasses — the differential oracle.
+  if (r.use_cache && !cache_sql.empty() && matviews_ != nullptr &&
+      versions_ != nullptr && s.txn_ == nullptr) {
+    CommitGate::SharedGuard mv_gate(&versions_->gate());
+    auto mv_fresh = [this, &s](const std::vector<uint16_t>& deps) {
+      for (uint16_t f : deps) {
+        if (s.snapshot_pinned_) {
+          const size_t slot = f % ObjectManager::kEpochSlots;
+          if (s.pinned_dirty_[slot] ||
+              s.pinned_epochs_[slot] != objects_->WriteEpochOf(f)) {
+            return false;
+          }
+        } else if (versions_->FileHasPendingVersions(f)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    ExecResult hit;
+    hit.kind = ExecResult::Kind::kQuery;
+    MOOD_ASSIGN_OR_RETURN(MvManager::Outcome oc,
+                          matviews_->TryServe(cache_sql, mv_fresh, &hit.query));
+    if (oc == MvManager::Outcome::kServed) return hit;
+  }
+
   const bool caching = r.use_cache && !cache_sql.empty() &&
                        plan_cache_ != nullptr && plan_cache_->capacity() > 0;
 
@@ -931,6 +990,47 @@ Result<ExecResult> Database::ExecDropClass(const DropClassStmt& stmt) {
   MOOD_RETURN_IF_ERROR(catalog_->Drop(stmt.class_name));
   ExecResult res;
   res.message = "class '" + stmt.class_name + "' dropped";
+  res.schema_epoch = catalog_->schema_epoch();
+  return res;
+}
+
+Result<ExecResult> Database::ExecCreateMatView(const CreateMatViewStmt& stmt) {
+  if (matviews_ == nullptr) {
+    return Status::InvalidArgument("database is not open");
+  }
+  if (stmt.select_sql.empty()) {
+    return Status::InvalidArgument(
+        "materialized view definition text unavailable (internal parse path)");
+  }
+  // DDL under the exclusive gate: the initial materialization scan must not
+  // interleave with writers, and registration must not race serves.
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
+  // Catalog first: registration bumps the schema epoch, and Create() stamps
+  // the post-bump epoch so the first serve doesn't waste a rebuild.
+  MatViewDef def;
+  def.name = stmt.name;
+  def.select_sql = stmt.select_sql;
+  MOOD_RETURN_IF_ERROR(catalog_->RegisterView(def));
+  Status created = matviews_->Create(stmt.name, stmt.select_sql, stmt.select);
+  if (!created.ok()) {
+    (void)catalog_->UnregisterView(stmt.name);
+    return created;
+  }
+  ExecResult res;
+  res.message = "materialized view '" + stmt.name + "' created";
+  res.schema_epoch = catalog_->schema_epoch();
+  return res;
+}
+
+Result<ExecResult> Database::ExecDropMatView(const DropMatViewStmt& stmt) {
+  if (matviews_ == nullptr) {
+    return Status::InvalidArgument("database is not open");
+  }
+  CommitGate::ExclusiveGuard gate(versions_ != nullptr ? &versions_->gate() : nullptr);
+  MOOD_RETURN_IF_ERROR(catalog_->UnregisterView(stmt.name));
+  MOOD_RETURN_IF_ERROR(matviews_->Drop(stmt.name));
+  ExecResult res;
+  res.message = "materialized view '" + stmt.name + "' dropped";
   res.schema_epoch = catalog_->schema_epoch();
   return res;
 }

@@ -13,6 +13,7 @@
 #include "exec/plan_cache.h"
 #include "funcman/function_manager.h"
 #include "moodview/object_browser.h"
+#include "mv/matview.h"
 #include "moodview/query_manager.h"
 #include "moodview/schema_browser.h"
 #include "objects/object_manager.h"
@@ -410,6 +411,8 @@ class Database {
   ObjectBrowser* object_browser() { return object_browser_.get(); }
   PlanCache* plan_cache() { return plan_cache_.get(); }
   ResultCache* result_cache() { return result_cache_.get(); }
+  /// Materialized-extent registry and maintenance engine (null before Open).
+  MvManager* matviews() { return matviews_.get(); }
   LogManager* log() { return log_.get(); }
   TransactionManager* txn_manager() { return txn_manager_.get(); }
   /// The MVCC version store backing snapshot reads (null before Open).
@@ -469,6 +472,8 @@ class Database {
   Result<ExecResult> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<ExecResult> ExecDropClass(const DropClassStmt& stmt);
   Result<ExecResult> ExecAnalyze(const AnalyzeStmt& stmt);
+  Result<ExecResult> ExecCreateMatView(const CreateMatViewStmt& stmt);
+  Result<ExecResult> ExecDropMatView(const DropMatViewStmt& stmt);
 
   /// Evaluates the rows a WHERE clause selects for UPDATE/DELETE.
   Result<std::vector<Oid>> MatchingObjects(const std::string& class_name,
@@ -501,6 +506,9 @@ class Database {
   std::unique_ptr<ObjectBrowser> object_browser_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<ResultCache> result_cache_;
+  /// Materialized extents: registry, dependency graph, delta maintenance.
+  /// Holds executor/optimizer/catalog/objects pointers — destroyed first.
+  std::unique_ptr<MvManager> matviews_;
   /// Liveness flag shared with sessions and prepared statements; flipped to
   /// false by the destructor so anything outliving the Database stays inert.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -140,20 +140,19 @@ RowSet FlattenBatches(const BatchSet& bs) {
 }
 
 /// DISTINCT stage shared by both Finish paths (operates on final values).
+/// Hashed dedup on the same EncodeTo key encoding GROUP BY uses (the encoding
+/// is type-tagged, so distinct kinds never collide); first occurrence wins,
+/// preserving the pre-dedup row order.
 void ApplyDistinct(QueryResult* result, QueryProfile* prof) {
   StageSpan span = StageSpan::Begin(prof, "DISTINCT", result->rows.size());
   std::vector<std::vector<MoodValue>> dedup;
+  std::unordered_set<std::string> seen;
+  seen.reserve(result->rows.size());
+  std::string key;
   for (auto& row : result->rows) {
-    bool seen = false;
-    for (const auto& d : dedup) {
-      bool all = d.size() == row.size();
-      for (size_t i = 0; all && i < d.size(); i++) all = d[i].Equals(row[i]);
-      if (all) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) dedup.push_back(std::move(row));
+    key.clear();
+    for (const MoodValue& v : row) v.EncodeTo(&key);
+    if (seen.insert(key).second) dedup.push_back(std::move(row));
   }
   result->rows = std::move(dedup);
   span.End(result->rows.size());
@@ -297,6 +296,12 @@ Status Executor::ChaseRefs(Oid from, const std::vector<std::string>& path,
 Result<RowSet> Executor::ExecBind(const PlanNode& node, Ctx& ctx) const {
   RowSet rs;
   rs.vars = {node.from.var};
+  // MV delta maintenance: the restricted variable binds exactly the delta
+  // OIDs (caller-provided order) instead of scanning the extent.
+  if (ctx.bind_var != nullptr && *ctx.bind_var == node.from.var) {
+    for (Oid oid : *ctx.bind_oids) rs.rows.push_back({oid});
+    return rs;
+  }
   if (ctx.threads <= 1) {
     MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
                                               node.from.excludes, ctx.snapshot,
@@ -803,6 +808,12 @@ Result<RowSet> Executor::Exec(const PlanPtr& plan, Ctx& ctx) const {
 Result<BatchSet> Executor::ExecBindB(const PlanNode& node, Ctx& ctx) const {
   BatchSet bs;
   bs.vars = {node.from.var};
+  // MV delta maintenance (mirrors the row path).
+  if (ctx.bind_var != nullptr && *ctx.bind_var == node.from.var) {
+    BatchAppender out(&bs, 1, ctx.batch);
+    for (Oid oid : *ctx.bind_oids) out.Push(&oid, 1);
+    return bs;
+  }
   if (ctx.threads <= 1) {
     BatchAppender out(&bs, 1, ctx.batch);
     MOOD_RETURN_IF_ERROR(objects_->ScanExtent(node.from.class_name, node.from.every,
@@ -1228,6 +1239,8 @@ Executor::Ctx Executor::MakeCtx(const ExecOptions& options) const {
   ctx.params = options.params;
   ctx.program_memo = options.program_memo;
   ctx.snapshot = options.snapshot;
+  ctx.bind_var = options.bind_var;
+  ctx.bind_oids = options.bind_oids;
   if (options.profile != nullptr && objects_->storage() != nullptr) {
     ctx.pool = objects_->storage()->buffer_pool();
   }

@@ -77,6 +77,11 @@ struct ExecOptions {
   /// index probes reconstruct the state as of `snapshot.csn` (see
   /// VersionStore). Inactive (default) reads latest — the embedded behavior.
   SnapshotView snapshot;
+  /// MV delta maintenance: when set, the kBindClass leaf for `*bind_var`
+  /// emits exactly `*bind_oids` (in the given order) instead of scanning its
+  /// extent — re-deriving a view's output rows for just the delta objects.
+  const std::string* bind_var = nullptr;
+  const std::vector<Oid>* bind_oids = nullptr;
 };
 
 /// Executes physical plans produced by the optimizer, then applies the clause
@@ -181,6 +186,9 @@ class Executor {
     /// Reader snapshot threaded down from ExecOptions (also attached to the
     /// per-query DerefCache so every cached deref is snapshot-aware).
     SnapshotView snapshot;
+    /// MV delta restriction threaded down from ExecOptions (see bind_var).
+    const std::string* bind_var = nullptr;
+    const std::vector<Oid>* bind_oids = nullptr;
   };
 
   Result<RowSet> Exec(const PlanPtr& plan, Ctx& ctx) const;

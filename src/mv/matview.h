@@ -1,0 +1,172 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "objects/object_manager.h"
+#include "optimizer/optimizer.h"
+#include "sql/ast.h"
+
+namespace mood {
+
+class MetricCounter;
+
+/// One materialized extent: a SELECT whose result is stored, maintained
+/// incrementally from base-extent deltas, and served in place of re-executing
+/// the query (see DESIGN.md §15).
+struct MatView {
+  std::string name;
+  std::string select_sql;      ///< definition text (persisted in the catalog)
+  std::string normalized_sql;  ///< rewrite match key (NormalizeSql of the text)
+  SelectStmt stmt;             ///< parsed definition
+
+  // Compiled state, re-derived whenever the catalog schema epoch moves.
+  QueryOptimizer::Optimized optimized;
+  uint64_t schema_epoch = 0;
+  bool needs_setup = true;  ///< loaded from catalog; bind/build on first serve
+  bool broken = false;      ///< setup or maintenance failed at this epoch
+
+  // Dependency-graph edges: every base extent file feeding the view, split
+  // into the files the root variable's scan visits (deltas there are
+  // per-object maintainable) and the rest (hop extents -> full refresh).
+  std::vector<uint16_t> dep_files;
+  std::set<uint16_t> root_files;
+  std::string root_var;
+
+  // Maintenance mode decided by the refusal matrix (DESIGN.md §15.4).
+  bool delta_maintainable = false;
+  std::string refusal;  ///< why the view fell back to full refresh
+  /// Maintenance plan for delta re-derivation: Filter(where, Bind(root)) with
+  /// the bind restricted to the delta OIDs. Unlike the optimizer's join plan,
+  /// it never scans the hop extents — path predicates and projections chase
+  /// references from each delta root directly. Null unless delta-maintainable.
+  PlanPtr delta_plan;
+
+  // Materialized rows. Delta-maintainable views bucket output rows by the
+  // packed root OID they derive from; serving concatenates buckets in root
+  // extent-scan order, reproducing normal execution's row order. Fallback
+  // views store the finished result as-is.
+  std::vector<std::string> columns;
+  std::unordered_map<uint64_t, std::vector<std::vector<MoodValue>>> rows_by_root;
+  QueryResult flat;
+
+  // Dirt captured by the write observer, consumed by serve-time maintenance.
+  std::unordered_set<uint64_t> dirty_roots;
+  bool full_dirty = false;
+};
+
+/// Registry and maintenance engine for materialized extents.
+///
+/// Locking: one mutex guards all registry and view state. The write observer
+/// runs inside the commit gate's exclusive section; serves run inside a shared
+/// section — the gate already excludes observer/serve overlap, so the mutex
+/// only serializes concurrent serves (and never nests inside a gate
+/// acquisition, keeping the gate -> mv-mutex order acyclic).
+class MvManager {
+ public:
+  MvManager(Catalog* catalog, ObjectManager* objects, QueryOptimizer* optimizer,
+            Executor* executor)
+      : catalog_(catalog), objects_(objects), optimizer_(optimizer),
+        executor_(executor) {}
+
+  void SetMetrics(MetricCounter* hits, MetricCounter* maintenance_rows,
+                  MetricCounter* full_refreshes, MetricCounter* rebuilds) {
+    hits_ = hits;
+    maintenance_rows_ = maintenance_rows;
+    full_refreshes_ = full_refreshes;
+    rebuilds_ = rebuilds;
+  }
+
+  /// CREATE MATERIALIZED VIEW: validates the shape, binds + optimizes the
+  /// definition, materializes it, and registers the dependency edges. The
+  /// caller holds the exclusive gate and has already registered the
+  /// definition in the catalog.
+  Status Create(const std::string& name, const std::string& select_sql,
+                const SelectStmt& stmt);
+
+  Status Drop(const std::string& name);
+
+  /// Re-registers persisted definitions at open. Binding and materialization
+  /// happen lazily on first serve, so opening never fails on a definition
+  /// the current schema can no longer satisfy (it just never serves).
+  Status Load(const std::vector<MatViewDef>& defs);
+
+  /// Write observer (ObjectManager::SetWriteObserver): called after every
+  /// object write, inside the exclusive gate section. Routes the delta to the
+  /// views depending on `file`.
+  void OnWrite(uint16_t file, Oid oid);
+
+  enum class Outcome { kNoView, kDeclined, kServed };
+
+  /// The transparent rewrite: if a registered view's normalized SQL equals
+  /// `normalized_sql`, bring it up to date (delta maintenance, or flagged
+  /// full refresh) and copy its rows into `out`. `fresh` is consulted with
+  /// the view's dependency files after any schema-epoch re-setup and may veto
+  /// the serve — the caller checks MVCC pin/pending freshness there.
+  /// kDeclined and kNoView both mean "execute normally"; they differ only for
+  /// observability. Call under a shared commit-gate section.
+  Result<Outcome> TryServe(
+      const std::string& normalized_sql,
+      const std::function<bool(const std::vector<uint16_t>&)>& fresh,
+      QueryResult* out);
+
+  /// EXPLAIN support: a usable (registered, not known-broken) view matches.
+  bool WouldServe(const std::string& normalized_sql);
+
+  /// Introspection (tests, diagnostics).
+  struct ViewInfo {
+    std::string name;
+    std::string select_sql;
+    bool delta_maintainable = false;
+    std::string refusal;
+  };
+  std::vector<ViewInfo> Views();
+
+  size_t view_count();
+
+ private:
+  /// Bind + optimize + dependency/maintainability analysis; stamps the
+  /// current schema epoch. Registry maps are refreshed by the caller.
+  Status Setup(MatView* v);
+  /// Full rematerialization by executing the definition.
+  Status RebuildLocked(MatView* v);
+  /// Re-derives the output rows of the dirty root objects only.
+  Status MaintainDeltaLocked(MatView* v);
+  /// Decides delta maintainability (the refusal matrix); fills root/hop
+  /// metadata. Never fails — refusals downgrade to full refresh.
+  void AnalyzeMaintainability(MatView* v);
+  /// Executes the view's plan (optionally restricted to `delta` root OIDs)
+  /// and buckets the finished rows by root OID.
+  Status ExecuteIntoBuckets(MatView* v, const std::vector<Oid>* delta);
+  void ReindexDeps();
+
+  Catalog* catalog_;
+  ObjectManager* objects_;
+  QueryOptimizer* optimizer_;
+  Executor* executor_;
+  MetricCounter* hits_ = nullptr;
+  MetricCounter* maintenance_rows_ = nullptr;
+  MetricCounter* full_refreshes_ = nullptr;
+  MetricCounter* rebuilds_ = nullptr;
+
+  std::mutex mu_;
+  /// Lock-free guard for the hot write path: writes skip the mutex entirely
+  /// while no view depends on any extent.
+  std::atomic<size_t> dep_count_{0};
+  std::map<std::string, std::unique_ptr<MatView>> views_;
+  std::unordered_map<std::string, MatView*> by_sql_;
+  std::unordered_map<uint16_t, std::vector<MatView*>> by_dep_;
+};
+
+}  // namespace mood

@@ -161,6 +161,7 @@ Result<Oid> ObjectManager::CreateObject(const std::string& class_name, MoodValue
   }
   MOOD_RETURN_IF_ERROR(MaintainIndexes(class_name, oid, nullptr, &tuple));
   BumpWriteEpoch(oid.file);
+  if (write_observer_) write_observer_(oid.file, oid);
   objects_created_.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
@@ -257,6 +258,7 @@ Status ObjectManager::UpdateObject(Oid oid, MoodValue tuple, PageWriteLogger* wa
   // After the write so a concurrent reader cannot cache the old value under
   // the new epoch.
   BumpWriteEpoch(oid.file);
+  if (write_observer_) write_observer_(oid.file, oid);
   return st;
 }
 
@@ -296,6 +298,7 @@ Status ObjectManager::DeleteObject(Oid oid, PageWriteLogger* wal,
   }
   Status st = MaintainIndexes(class_name, oid, &old_tuple, nullptr);
   BumpWriteEpoch(oid.file);
+  if (write_observer_) write_observer_(oid.file, oid);
   objects_deleted_.fetch_add(1, std::memory_order_relaxed);
   return st;
 }

@@ -140,6 +140,13 @@ class ObjectManager {
   void SetVersionStore(VersionStore* versions) { versions_ = versions; }
   VersionStore* versions() const { return versions_; }
 
+  /// Observer invoked after every object write (create/update/delete), inside
+  /// the exclusive CommitGate section and after the write-epoch bump. The MV
+  /// subsystem uses it for delta capture. Must not call back into
+  /// ObjectManager write paths. Null disables (the default).
+  using WriteObserver = std::function<void(uint16_t file, Oid oid)>;
+  void SetWriteObserver(WriteObserver observer) { write_observer_ = std::move(observer); }
+
   /// Creates an instance of `class_name` from a tuple whose fields follow
   /// Catalog::AllAttributes order. Type-checks against the class schema, inserts
   /// into the class extent and maintains indexes. A tuple shorter than the schema
@@ -356,6 +363,8 @@ class ObjectManager {
   Catalog* catalog_;
   /// Snapshot/versioning hook (null in plain embedded use; see SetVersionStore).
   VersionStore* versions_ = nullptr;
+  /// Write observer (null in plain embedded use; see SetWriteObserver).
+  WriteObserver write_observer_;
   /// Per-file-slot write epochs backing the DerefCache staleness contract.
   /// Slotted by file id so a write invalidates at class granularity (plus any
   /// class whose extent file aliases the slot — a false invalidation, never a

@@ -142,6 +142,20 @@ struct DropClassStmt {
   std::string class_name;
 };
 
+/// CREATE MATERIALIZED VIEW name AS <select>. `select_sql` preserves the
+/// SELECT's source text verbatim so the definition can be persisted in the
+/// catalog and re-parsed on reopen.
+struct CreateMatViewStmt {
+  std::string name;
+  SelectStmt select;
+  std::string select_sql;
+};
+
+/// DROP MATERIALIZED VIEW name
+struct DropMatViewStmt {
+  std::string name;
+};
+
 /// EXPLAIN [ANALYZE] [VERBOSE] <select>. Plain EXPLAIN optimizes and renders
 /// the plan; ANALYZE also executes it and annotates each operator with actuals.
 struct ExplainStmt {
@@ -159,6 +173,6 @@ struct AnalyzeStmt {
 
 using Statement = std::variant<SelectStmt, CreateClassStmt, NewObjectStmt, UpdateStmt,
                                DeleteStmt, CreateIndexStmt, DropClassStmt, ExplainStmt,
-                               AnalyzeStmt>;
+                               AnalyzeStmt, CreateMatViewStmt, DropMatViewStmt>;
 
 }  // namespace mood

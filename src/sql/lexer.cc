@@ -14,7 +14,7 @@ bool IsKeyword(const std::string& upper) {
       "CHAR",   "BOOLEAN", "TRUE",    "FALSE",   "NULL",   "UPDATE",  "DELETE",
       "INDEX",  "ON",      "USING",   "BTREE",   "HASH",   "PATH",    "UNIQUE",
       "DROP",   "AS",      "BIND",    "TO",      "DISTINCT", "TYPE",  "RTREE",
-      "JOININDEX", "EXPLAIN", "ANALYZE", "VERBOSE"};
+      "JOININDEX", "EXPLAIN", "ANALYZE", "VERBOSE", "MATERIALIZED", "VIEW"};
   return kKeywords.count(upper) > 0;
 }
 

@@ -1,5 +1,7 @@
 #include "sql/parser.h"
 
+#include <cctype>
+
 namespace mood {
 
 const Token& Parser::Peek(size_t ahead) const {
@@ -62,7 +64,7 @@ Result<std::string> Parser::ExpectIdentifier(const std::string& what) {
 
 Result<Statement> Parser::Parse(const std::string& sql) {
   MOOD_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), &sql);
   MOOD_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
   parser.Match(TokenType::kSemicolon);
   if (!parser.Check(TokenType::kEof)) {
@@ -74,7 +76,7 @@ Result<Statement> Parser::Parse(const std::string& sql) {
 
 Result<std::vector<Statement>> Parser::ParseScript(const std::string& sql) {
   MOOD_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), &sql);
   std::vector<Statement> out;
   while (!parser.Check(TokenType::kEof)) {
     MOOD_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
@@ -87,7 +89,7 @@ Result<std::vector<Statement>> Parser::ParseScript(const std::string& sql) {
 
 Result<ExprPtr> Parser::ParseExpression(const std::string& text) {
   MOOD_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(text));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), &text);
   MOOD_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
   parser.Match(TokenType::kSemicolon);
   if (!parser.Check(TokenType::kEof)) {
@@ -119,10 +121,7 @@ Result<Statement> Parser::ParseStatement() {
     MOOD_ASSIGN_OR_RETURN(DeleteStmt s, ParseDelete());
     return Statement(std::move(s));
   }
-  if (CheckKeyword("DROP")) {
-    MOOD_ASSIGN_OR_RETURN(DropClassStmt s, ParseDrop());
-    return Statement(std::move(s));
-  }
+  if (CheckKeyword("DROP")) return ParseDrop();
   if (CheckKeyword("ANALYZE")) {
     MOOD_ASSIGN_OR_RETURN(AnalyzeStmt s, ParseAnalyze());
     return Statement(std::move(s));
@@ -226,12 +225,17 @@ Result<Statement> Parser::ParseCreate() {
     MOOD_ASSIGN_OR_RETURN(CreateClassStmt s, ParseCreateClass());
     return Statement(std::move(s));
   }
+  if (CheckKeyword("MATERIALIZED")) {
+    MOOD_ASSIGN_OR_RETURN(CreateMatViewStmt s, ParseCreateMatView());
+    return Statement(std::move(s));
+  }
   bool unique = MatchKeyword("UNIQUE");
   if (CheckKeyword("INDEX")) {
     MOOD_ASSIGN_OR_RETURN(CreateIndexStmt s, ParseCreateIndex(unique));
     return Statement(std::move(s));
   }
-  return Status::ParseError("expected CLASS, TYPE or INDEX after CREATE");
+  return Status::ParseError(
+      "expected CLASS, TYPE, INDEX or MATERIALIZED VIEW after CREATE");
 }
 
 Result<TypeDescPtr> Parser::ParseType() {
@@ -460,11 +464,38 @@ Result<DeleteStmt> Parser::ParseDelete() {
   return stmt;
 }
 
-Result<DropClassStmt> Parser::ParseDrop() {
+Result<Statement> Parser::ParseDrop() {
   MOOD_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  if (MatchKeyword("MATERIALIZED")) {
+    MOOD_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    DropMatViewStmt stmt;
+    MOOD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+    return Statement(std::move(stmt));
+  }
   if (!MatchKeyword("CLASS")) MOOD_RETURN_IF_ERROR(ExpectKeyword("TYPE"));
   DropClassStmt stmt;
   MOOD_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdentifier("class name"));
+  return Statement(std::move(stmt));
+}
+
+Result<CreateMatViewStmt> Parser::ParseCreateMatView() {
+  MOOD_RETURN_IF_ERROR(ExpectKeyword("MATERIALIZED"));
+  MOOD_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+  CreateMatViewStmt stmt;
+  MOOD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+  MOOD_RETURN_IF_ERROR(ExpectKeyword("AS"));
+  const size_t select_begin = Peek().position;
+  MOOD_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  if (source_ != nullptr) {
+    // The SELECT text runs from its first token to the token that terminated it
+    // (';' or EOF — EOF carries position == source length).
+    const size_t select_end = Peek().position;
+    stmt.select_sql = source_->substr(select_begin, select_end - select_begin);
+    while (!stmt.select_sql.empty() &&
+           std::isspace(static_cast<unsigned char>(stmt.select_sql.back()))) {
+      stmt.select_sql.pop_back();
+    }
+  }
   return stmt;
 }
 

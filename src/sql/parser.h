@@ -24,7 +24,8 @@ class Parser {
   static Result<ExprPtr> ParseExpression(const std::string& text);
 
  private:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const std::string* source)
+      : tokens_(std::move(tokens)), source_(source) {}
 
   const Token& Peek(size_t ahead = 0) const;
   const Token& Advance();
@@ -45,8 +46,9 @@ class Parser {
   Result<NewObjectStmt> ParseNew();
   Result<UpdateStmt> ParseUpdate();
   Result<DeleteStmt> ParseDelete();
-  Result<DropClassStmt> ParseDrop();
+  Result<Statement> ParseDrop();
   Result<AnalyzeStmt> ParseAnalyze();
+  Result<CreateMatViewStmt> ParseCreateMatView();
 
   Result<FromEntry> ParseFromEntry();
   Result<TypeDescPtr> ParseType();
@@ -64,6 +66,7 @@ class Parser {
   Result<ExprPtr> ParsePathFrom(std::string first);
 
   std::vector<Token> tokens_;
+  const std::string* source_ = nullptr;  // for CREATE MATERIALIZED VIEW text capture
   size_t pos_ = 0;
   uint32_t param_counter_ = 0;  // `?` placeholders numbered left to right
 };
